@@ -1,0 +1,118 @@
+/// \file
+/// Extension study: the paper's future-work proposal (Section VII) — a job
+/// that re-tunes its policy at runtime from cluster load and observed data
+/// characteristics — against the static Table I policies. Two settings:
+/// single user on an idle cluster (aggression pays) and 10 concurrent users
+/// (conservatism pays). A good adaptive provider should be near the best
+/// static policy in *both*.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dynamic/adaptive_input_provider.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+#include "workload/workload_driver.h"
+
+namespace dmr {
+namespace {
+
+Result<mapred::JobSubmission> MakeJob(const testbed::Dataset& dataset,
+                                      const std::string& provider_kind,
+                                      const std::string& user, uint64_t seed) {
+  auto policy = dynamic::PolicyTable::BuiltIn().Find(
+      provider_kind == "Adaptive" ? "LA" : provider_kind);
+  DMR_RETURN_NOT_OK(policy.status());
+  sampling::SamplingJobOptions options;
+  options.job_name = "adapt-" + provider_kind;
+  options.user = user;
+  options.sample_size = tpch::kPaperSampleSize;
+  options.seed = seed;
+  DMR_ASSIGN_OR_RETURN(
+      mapred::JobSubmission submission,
+      sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                *policy, options));
+  if (provider_kind == "Adaptive") {
+    submission.input_provider =
+        std::make_shared<dynamic::AdaptiveInputProvider>(seed);
+  }
+  return submission;
+}
+
+double SingleUserResponse(const std::string& kind, double z) {
+  double sum = 0;
+  constexpr int kRepeats = 5;
+  for (int run = 0; run < kRepeats; ++run) {
+    testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    auto dataset = bench::UnwrapOrDie(
+        testbed::MakeLineItemDataset(&bed.fs(), 40, z, 6100 + run),
+        "dataset");
+    auto submission = bench::UnwrapOrDie(
+        MakeJob(dataset, kind, "solo", 900 + run), "job");
+    auto stats = bench::UnwrapOrDie(
+        bed.RunJobToCompletion(std::move(submission)), "run");
+    sum += stats.response_time();
+  }
+  return sum / kRepeats;
+}
+
+double MultiUserThroughput(const std::string& kind, double z) {
+  constexpr int kUsers = 10;
+  testbed::Testbed bed(cluster::ClusterConfig::MultiUser());
+  std::vector<testbed::Dataset> datasets;
+  for (int u = 0; u < kUsers; ++u) {
+    datasets.push_back(bench::UnwrapOrDie(
+        testbed::MakeLineItemDataset(&bed.fs(), 100, z, 6200 + 31 * u,
+                                     "u" + std::to_string(u)),
+        "dataset"));
+  }
+  workload::WorkloadDriver driver(&bed.client());
+  for (int u = 0; u < kUsers; ++u) {
+    workload::UserSpec user;
+    user.name = "user" + std::to_string(u);
+    user.job_class = "Sampling";
+    const testbed::Dataset* ds = &datasets[u];
+    user.make_job = [ds, kind, u](int it) {
+      return MakeJob(*ds, kind, "user" + std::to_string(u),
+                     7000 + 97ULL * u + 13ULL * it);
+    };
+    driver.AddUser(std::move(user));
+  }
+  auto report = bench::UnwrapOrDie(
+      driver.Run({.duration = 4.0 * 3600, .warmup = 1800.0}), "workload");
+  return report.For("Sampling").throughput_jobs_per_hour;
+}
+
+}  // namespace
+}  // namespace dmr
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Extension: runtime-adaptive policy vs static Table I policies",
+      "Grover & Carey, ICDE 2012, Section VII (future work)",
+      "the adaptive provider should track HA on the idle cluster and "
+      "LA/C under contention, without being told which world it is in");
+
+  const std::vector<std::string> kinds = {"Adaptive", "HA", "MA", "LA", "C"};
+
+  std::printf("Single user, idle cluster: response time (s)\n");
+  TablePrinter single({"provider", "uniform (z=0)", "high skew (z=2)"});
+  for (const auto& kind : kinds) {
+    single.AddNumericRow(kind, {SingleUserResponse(kind, 0.0),
+                                SingleUserResponse(kind, 2.0)}, 1);
+  }
+  single.Print();
+
+  std::printf("\n10 concurrent users: throughput (jobs/hour)\n");
+  TablePrinter multi({"provider", "uniform (z=0)", "high skew (z=2)"});
+  for (const auto& kind : kinds) {
+    multi.AddNumericRow(kind, {MultiUserThroughput(kind, 0.0),
+                               MultiUserThroughput(kind, 2.0)}, 1);
+  }
+  multi.Print();
+  return 0;
+}

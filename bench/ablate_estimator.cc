@@ -1,0 +1,93 @@
+/// \file
+/// Ablation: online selectivity estimation (paper Section IV) vs blind
+/// policy-paced growth. The estimator lets the provider stop adding input
+/// once the expected yield of in-flight work covers the sample size; blind
+/// growth keeps adding GrabLimit-sized batches until the output target is
+/// actually met, over-processing partitions.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dynamic/sampling_input_provider.h"
+#include "mapred/input_splits.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr {
+namespace {
+
+struct Row {
+  double response = 0;
+  double partitions = 0;
+  double increments = 0;
+};
+
+Row RunOne(const std::string& policy_name, bool use_estimator, double z) {
+  double rt = 0, parts = 0, incs = 0;
+  constexpr int kRepeats = 5;
+  for (int run = 0; run < kRepeats; ++run) {
+    testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    auto dataset = bench::UnwrapOrDie(
+        testbed::MakeLineItemDataset(&bed.fs(), 20, z, 800 + 41 * run),
+        "dataset");
+    auto policy = bench::UnwrapOrDie(
+        dynamic::PolicyTable::BuiltIn().Find(policy_name), "policy");
+
+    sampling::SamplingJobOptions options;
+    options.job_name = "ablate-estimator";
+    options.sample_size = tpch::kPaperSampleSize;
+    options.seed = 4100 + run;
+    auto submission = bench::UnwrapOrDie(
+        sampling::MakeSamplingJob(dataset.file,
+                                  dataset.matching_per_partition, policy,
+                                  options),
+        "job");
+    // Swap in a provider with estimation toggled.
+    dynamic::SamplingInputProvider::Options popts;
+    popts.use_selectivity_estimation = use_estimator;
+    submission.input_provider =
+        std::make_shared<dynamic::SamplingInputProvider>(policy,
+                                                         options.seed, popts);
+    auto stats =
+        bench::UnwrapOrDie(bed.RunJobToCompletion(std::move(submission)),
+                           "run");
+    rt += stats.response_time();
+    parts += stats.splits_processed;
+    incs += stats.input_increments;
+  }
+  return {rt / kRepeats, parts / kRepeats, incs / kRepeats};
+}
+
+}  // namespace
+}  // namespace dmr
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Ablation: online selectivity estimation on/off",
+      "DESIGN.md ablation #2 (supports the paper's Section IV estimator)",
+      "without the estimator, jobs keep adding batches until the target is "
+      "met in completed output, processing more partitions and taking "
+      "longer, especially for aggressive policies");
+
+  TablePrinter table({"policy", "skew z", "estimator", "response (s)",
+                      "partitions", "increments"});
+  for (const char* policy : {"HA", "MA", "LA", "C"}) {
+    for (double z : {0.0, 2.0}) {
+      for (bool est : {true, false}) {
+        Row r = RunOne(policy, est, z);
+        table.AddRow({policy, std::to_string(static_cast<int>(z)),
+                      est ? "on" : "off",
+                      std::to_string(r.response).substr(0, 6),
+                      std::to_string(r.partitions).substr(0, 6),
+                      std::to_string(r.increments).substr(0, 4)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

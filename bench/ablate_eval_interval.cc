@@ -1,0 +1,65 @@
+/// \file
+/// Ablation: EvaluationInterval sweep (the paper fixes 4 s, Section III-B).
+/// Short intervals react quickly but would cost real evaluation overhead;
+/// long intervals leave the job starved between intakes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dynamic/growth_policy.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr {
+namespace {
+
+double RunWithInterval(double interval, int run) {
+  testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = bench::UnwrapOrDie(
+      testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0, 900 + 13 * run),
+      "dataset");
+  auto policy = bench::UnwrapOrDie(
+      dynamic::GrowthPolicy::Create("LA-sweep", "LA with custom interval",
+                                    10.0, "AS > 0 ? 0.2 * AS : 0.1 * TS",
+                                    interval),
+      "policy");
+  sampling::SamplingJobOptions options;
+  options.job_name = "ablate-interval";
+  options.sample_size = tpch::kPaperSampleSize;
+  options.seed = 7100 + run;
+  auto submission = bench::UnwrapOrDie(
+      sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                policy, options),
+      "job");
+  auto stats = bench::UnwrapOrDie(
+      bed.RunJobToCompletion(std::move(submission)), "run");
+  return stats.response_time();
+}
+
+}  // namespace
+}  // namespace dmr
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Ablation: evaluation interval sweep (LA policy, 20x, z=1)",
+      "DESIGN.md ablation #3 (supports the paper's 4 s choice)",
+      "response time grows with the interval once it dominates the wait "
+      "between intakes; very short intervals give diminishing returns");
+
+  TablePrinter table({"interval (s)", "mean response time (s)"});
+  for (double interval : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    double sum = 0;
+    constexpr int kRepeats = 5;
+    for (int run = 0; run < kRepeats; ++run) {
+      sum += RunWithInterval(interval, run);
+    }
+    table.AddNumericRow(std::to_string(interval).substr(0, 4),
+                        {sum / kRepeats}, 1);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef DMR_BENCH_BENCH_UTIL_H_
+#define DMR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dmr::bench {
+
+/// Aborts the benchmark with a message when a Status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).ValueUnsafe();
+}
+
+/// Prints the standard benchmark header.
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace dmr::bench
+
+#endif  // DMR_BENCH_BENCH_UTIL_H_

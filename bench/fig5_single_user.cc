@@ -1,0 +1,108 @@
+/// \file
+/// Reproduces Figure 5 of the paper: single-user response times for each
+/// policy (Hadoop, HA, MA, LA, C) over dataset scales 5..100 at zero (a),
+/// moderate (b) and high (c) skew, plus (d) the number of partitions
+/// processed per job under moderate skew.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dynamic/growth_policy.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr {
+namespace {
+
+constexpr int kRepeats = 5;  // the paper averages over 5 runs
+
+struct CellResult {
+  double response_time = 0;
+  double partitions = 0;
+};
+
+CellResult RunCell(const std::string& policy_name, int scale, double z) {
+  double rt_sum = 0, parts_sum = 0;
+  for (int run = 0; run < kRepeats; ++run) {
+    // A fresh cluster per run (the paper's runs are back-to-back on an idle
+    // cluster; a fresh testbed avoids cross-run interference).
+    testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    uint64_t seed = 1000 + 17 * run + scale;
+    auto dataset = bench::UnwrapOrDie(
+        testbed::MakeLineItemDataset(&bed.fs(), scale, z, seed),
+        "dataset generation");
+    auto policy = bench::UnwrapOrDie(
+        dynamic::PolicyTable::BuiltIn().Find(policy_name), "policy lookup");
+    sampling::SamplingJobOptions options;
+    options.job_name = "fig5-" + policy_name;
+    options.sample_size = tpch::kPaperSampleSize;
+    options.seed = seed * 31 + 7;
+    options.predicate_sql = "selectivity 0.05%, z=" + std::to_string(z);
+    auto submission = bench::UnwrapOrDie(
+        sampling::MakeSamplingJob(dataset.file,
+                                  dataset.matching_per_partition, policy,
+                                  options),
+        "job construction");
+    auto stats = bench::UnwrapOrDie(
+        bed.RunJobToCompletion(std::move(submission)), "job execution");
+    rt_sum += stats.response_time();
+    parts_sum += stats.splits_processed;
+  }
+  return {rt_sum / kRepeats, parts_sum / kRepeats};
+}
+
+void RunSkewPanel(const char* label, double z,
+                  std::vector<std::vector<double>>* partitions_out) {
+  const std::vector<std::string> policies = {"Hadoop", "HA", "MA", "LA", "C"};
+  const std::vector<int>& scales = tpch::StandardScales();
+
+  TablePrinter table({"policy", "5x", "10x", "20x", "40x", "100x"});
+  std::printf("Figure 5 (%s): response time (s) vs dataset scale, z=%g\n",
+              label, z);
+  for (const auto& policy : policies) {
+    std::vector<double> row_rt;
+    std::vector<double> row_parts;
+    for (int scale : scales) {
+      CellResult cell = RunCell(policy, scale, z);
+      row_rt.push_back(cell.response_time);
+      row_parts.push_back(cell.partitions);
+    }
+    table.AddNumericRow(policy, row_rt, 1);
+    if (partitions_out) partitions_out->push_back(row_parts);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dmr
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Figure 5: single-user workload",
+      "Grover & Carey, ICDE 2012, Fig. 5 (a)-(d)",
+      "Hadoop grows ~linearly with scale; dynamic policies stay ~flat; "
+      "HA <= MA < LA < C on the idle cluster; skew hurts conservative "
+      "policies most; Hadoop processes every partition");
+
+  RunSkewPanel("a: zero skew", 0.0, nullptr);
+
+  std::vector<std::vector<double>> partitions;
+  RunSkewPanel("b: moderate skew", 1.0, &partitions);
+
+  RunSkewPanel("c: high skew", 2.0, nullptr);
+
+  std::printf(
+      "Figure 5 (d): partitions processed per job (moderate skew, z=1)\n");
+  TablePrinter parts_table({"policy", "5x", "10x", "20x", "40x", "100x"});
+  const char* names[] = {"Hadoop", "HA", "MA", "LA", "C"};
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    parts_table.AddNumericRow(names[i], partitions[i], 1);
+  }
+  parts_table.Print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file
+/// Reproduces Figure 7: heterogeneous multi-user workload under the default
+/// (FIFO) scheduler. A fraction (0.2..0.8) of 10 users run dynamic sampling
+/// jobs under each policy; the rest run static select-project scans.
+/// Reports per-class throughput (jobs/hour).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/hetero_workload.h"
+#include "common/table_printer.h"
+
+namespace dmr {
+namespace {
+
+void RunFigure(testbed::SchedulerKind scheduler) {
+  const std::vector<std::string> policies = {"C", "LA", "MA", "HA", "Hadoop"};
+  const std::vector<int> sampling_counts = {2, 4, 6, 8};
+
+  std::vector<std::vector<double>> sampling_rows(policies.size());
+  std::vector<std::vector<double>> non_sampling_rows(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    for (int count : sampling_counts) {
+      bench::HeteroResult r =
+          bench::RunHeteroWorkload(scheduler, policies[p], count);
+      sampling_rows[p].push_back(r.sampling_throughput);
+      non_sampling_rows[p].push_back(r.non_sampling_throughput);
+    }
+  }
+
+  std::printf("(a) Sampling class throughput (jobs/hour)\n");
+  TablePrinter sampling_table(
+      {"policy", "frac=0.2", "frac=0.4", "frac=0.6", "frac=0.8"});
+  for (size_t p = 0; p < policies.size(); ++p) {
+    sampling_table.AddNumericRow(policies[p], sampling_rows[p], 1);
+  }
+  sampling_table.Print();
+
+  std::printf("\n(b) Non-Sampling class throughput (jobs/hour)\n");
+  TablePrinter ns_table(
+      {"policy", "frac=0.2", "frac=0.4", "frac=0.6", "frac=0.8"});
+  for (size_t p = 0; p < policies.size(); ++p) {
+    ns_table.AddNumericRow(policies[p], non_sampling_rows[p], 1);
+  }
+  ns_table.Print();
+
+  // The paper highlights the LA-vs-Hadoop improvement factors (3x at 20 %,
+  // up to 8x at 80 %).
+  size_t la = 1, hadoop = 4;
+  std::printf("\nNon-Sampling throughput gain, LA vs Hadoop: ");
+  for (size_t i = 0; i < sampling_counts.size(); ++i) {
+    double gain = non_sampling_rows[hadoop][i] > 0
+                      ? non_sampling_rows[la][i] / non_sampling_rows[hadoop][i]
+                      : 0.0;
+    std::printf("frac=%.1f: %.1fx  ", sampling_counts[i] / 10.0, gain);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dmr
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Figure 7: heterogeneous workload, default (FIFO) scheduler",
+      "Grover & Carey, ICDE 2012, Fig. 7 (a), (b)",
+      "Sampling throughput rises with the sampling fraction; Non-Sampling "
+      "throughput is lowest when the Sampling class runs the Hadoop policy "
+      "and improves ~3x (frac 0.2) to ~8x (frac 0.8) under LA; conservative "
+      "policies (C/LA) maximize both classes");
+  RunFigure(testbed::SchedulerKind::kFifo);
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef DMR_BENCH_HETERO_WORKLOAD_H_
+#define DMR_BENCH_HETERO_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+#include "workload/workload_driver.h"
+
+namespace dmr::bench {
+
+/// Shared driver for the heterogeneous-workload experiments (Figures 7 & 8
+/// and the Section V-F scheduler statistics): `sampling_users` of the 10
+/// users run dynamic predicate-based sampling jobs under `policy_name`
+/// (uniform matching distribution, per the paper), the rest run static
+/// select-project scans with 0.05 % selectivity over their own copy of the
+/// 100x data.
+struct HeteroResult {
+  double sampling_throughput = 0;
+  double non_sampling_throughput = 0;
+  double locality_percent = 0;
+  double slot_occupancy_percent = 0;
+};
+
+inline HeteroResult RunHeteroWorkload(testbed::SchedulerKind scheduler,
+                                      const std::string& policy_name,
+                                      int sampling_users,
+                                      double duration = 6.0 * 3600,
+                                      double warmup = 1800.0) {
+  constexpr int kNumUsers = 10;
+  constexpr int kScale = 100;
+
+  testbed::Testbed bed(cluster::ClusterConfig::MultiUser(), scheduler);
+  auto policy =
+      UnwrapOrDie(dynamic::PolicyTable::BuiltIn().Find(policy_name),
+                  "policy lookup");
+
+  std::vector<testbed::Dataset> datasets;
+  for (int u = 0; u < kNumUsers; ++u) {
+    datasets.push_back(UnwrapOrDie(
+        testbed::MakeLineItemDataset(&bed.fs(), kScale, /*z=*/0.0,
+                                     7000 + 311 * u, "u" + std::to_string(u)),
+        "dataset generation"));
+  }
+
+  workload::WorkloadDriver driver(&bed.client());
+  for (int u = 0; u < kNumUsers; ++u) {
+    workload::UserSpec user;
+    user.name = "user" + std::to_string(u);
+    // Hive client compile/submit/fetch plus Hadoop 0.20 job setup/cleanup.
+    user.think_time = 30.0;
+    const testbed::Dataset* dataset = &datasets[u];
+    if (u < sampling_users) {
+      user.job_class = "Sampling";
+      user.make_job = [dataset, policy, u](int iteration)
+          -> Result<mapred::JobSubmission> {
+        sampling::SamplingJobOptions options;
+        options.job_name = "hetero-sampling";
+        options.user = "user" + std::to_string(u);
+        options.sample_size = tpch::kPaperSampleSize;
+        options.seed = 400000 + 7919ULL * u + 104729ULL * iteration;
+        return sampling::MakeSamplingJob(
+            dataset->file, dataset->matching_per_partition, policy, options);
+      };
+    } else {
+      user.job_class = "NonSampling";
+      user.make_job = [dataset, u](int) -> Result<mapred::JobSubmission> {
+        return sampling::MakeSelectProjectJob(
+            dataset->file, dataset->matching_per_partition, "hetero-sp",
+            "user" + std::to_string(u));
+      };
+    }
+    driver.AddUser(std::move(user));
+  }
+
+  auto report = UnwrapOrDie(
+      driver.Run({.duration = duration, .warmup = warmup}), "workload run");
+
+  HeteroResult result;
+  result.sampling_throughput =
+      report.For("Sampling").throughput_jobs_per_hour;
+  result.non_sampling_throughput =
+      report.For("NonSampling").throughput_jobs_per_hour;
+  result.locality_percent = bed.tracker().LocalityPercent();
+  result.slot_occupancy_percent =
+      bed.monitor().slot_occupancy_percent().MeanAfter(warmup);
+  return result;
+}
+
+}  // namespace dmr::bench
+
+#endif  // DMR_BENCH_HETERO_WORKLOAD_H_

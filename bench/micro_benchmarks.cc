@@ -1,0 +1,148 @@
+/// \file
+/// Component micro-benchmarks (google-benchmark): PRNG and Zipf sampling,
+/// skew assignment, LINEITEM generation and text round-trip, predicate
+/// evaluation, HiveQL parsing, grab-limit expression evaluation, the
+/// discrete-event kernel and the processor-sharing resource.
+
+#include <benchmark/benchmark.h>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "dynamic/grab_limit_expr.h"
+#include "expr/expression.h"
+#include "hive/parser.h"
+#include "sim/ps_resource.h"
+#include "sim/simulation.h"
+#include "tpch/generator.h"
+#include "tpch/lineitem.h"
+#include "tpch/predicates.h"
+#include "tpch/skew_model.h"
+
+namespace dmr {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(state.range(0), 1.0);
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Next(&rng));
+}
+BENCHMARK(BM_ZipfNext)->Arg(40)->Arg(800)->Arg(8000);
+
+void BM_AssignMatchingRecords(benchmark::State& state) {
+  tpch::SkewSpec spec;
+  spec.num_partitions = static_cast<int>(state.range(0));
+  spec.zipf_z = 1.0;
+  for (auto _ : state) {
+    auto counts = tpch::AssignMatchingRecords(spec);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_AssignMatchingRecords)->Arg(40)->Arg(800);
+
+void BM_GenerateRow(benchmark::State& state) {
+  tpch::LineItemGenerator gen(3);
+  for (auto _ : state) {
+    auto row = gen.NextBaseRow();
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_GenerateRow);
+
+void BM_RowSerde(benchmark::State& state) {
+  tpch::LineItemGenerator gen(4);
+  auto row = gen.NextBaseRow();
+  for (auto _ : state) {
+    std::string text = tpch::SerializeRow(row);
+    auto parsed = tpch::ParseRow(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RowSerde);
+
+void BM_PredicateEval(benchmark::State& state) {
+  tpch::LineItemGenerator gen(5);
+  auto row = tpch::ToTuple(gen.NextBaseRow());
+  const auto& pred = tpch::PredicateSuite()[0];
+  const auto& schema = tpch::LineItemSchema();
+  for (auto _ : state) {
+    auto v = expr::EvaluatePredicate(*pred.predicate, schema, row);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PredicateEval);
+
+void BM_HiveParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT ORDERKEY, PARTKEY, SUPPKEY FROM lineitem "
+      "WHERE DISCOUNT > 0.05 AND QUANTITY BETWEEN 10 AND 20 "
+      "AND SHIPMODE IN ('AIR', 'RAIL') LIMIT 10000";
+  for (auto _ : state) {
+    auto stmt = hive::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_HiveParse);
+
+void BM_GrabLimitEval(benchmark::State& state) {
+  auto expr = dynamic::GrabLimitExpr::Parse("AS > 0 ? 0.2 * AS : 0.1 * TS");
+  dynamic::SlotVars vars{17, 160};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->Evaluate(vars));
+  }
+}
+BENCHMARK(BM_GrabLimitEval);
+
+void BM_PropertiesParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += "key." + std::to_string(i) + " = value" + std::to_string(i) +
+            "\n";
+  }
+  for (auto _ : state) {
+    auto props = Properties::Parse(text);
+    benchmark::DoNotOptimize(props);
+  }
+}
+BENCHMARK(BM_PropertiesParse);
+
+void BM_SimulationScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::PsResource disk(&sim, "disk", 80e6, 80e6);
+    int done = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(static_cast<double>(i), [&disk, &done] {
+        disk.Submit(8e6, [&done] { ++done; });
+      });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace dmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/// \file
+/// Prints Table I — the configured policies for incremental processing of
+/// input — as loaded from the built-in registry, and demonstrates the
+/// grab-limit expressions at a few cluster states.
+
+#include <cstdio>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dynamic/growth_policy.h"
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader("Table I: policies for incremental processing of input",
+                     "Grover & Carey, ICDE 2012, Table I",
+                     "five policies from Hadoop (unbounded) to C "
+                     "(conservative); grab limits shown for representative "
+                     "cluster states");
+
+  const auto& table = dynamic::PolicyTable::BuiltIn();
+  TablePrinter policies({"policy", "description", "work threshold (%)",
+                         "grab limit"});
+  for (const auto& p : table.policies()) {
+    policies.AddRow({p.name(), p.description(),
+                     std::to_string(static_cast<int>(p.work_threshold_pct())),
+                     p.grab_limit_text()});
+  }
+  policies.Print();
+
+  std::printf("\nGrab limits at representative cluster states "
+              "(TS = 40 total slots):\n");
+  TablePrinter states({"policy", "AS=40 (idle)", "AS=20", "AS=4", "AS=0"});
+  for (const auto& p : table.policies()) {
+    auto limit = [&](int as) -> std::string {
+      mapred::ClusterStatus status;
+      status.total_map_slots = 40;
+      status.occupied_map_slots = 40 - as;
+      int64_t g = p.GrabLimit(status);
+      return g == std::numeric_limits<int64_t>::max() ? "inf"
+                                                      : std::to_string(g);
+    };
+    states.AddRow({p.name(), limit(40), limit(20), limit(4), limit(0)});
+  }
+  states.Print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file
+/// Reproduces Table III: the predicate used for each degree of skew. The
+/// paper picked one arbitrary LINEITEM column per skew level, all with
+/// 0.05 % overall selectivity; skew lives in the *placement* of the
+/// matching records (Figure 4), not in the predicate itself. This harness
+/// prints the suite and then *verifies the selectivity empirically* by
+/// materializing a small dataset per predicate and counting matches.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "expr/expression.h"
+#include "tpch/dataset_catalog.h"
+#include "tpch/generator.h"
+#include "tpch/lineitem.h"
+#include "tpch/predicates.h"
+
+int main() {
+  using namespace dmr;
+  bench::PrintHeader(
+      "Table III: predicates and the associated skew",
+      "Grover & Carey, ICDE 2012, Table III",
+      "one predicate per skew degree (z = 0, 1, 2), each with 0.05% "
+      "selectivity imposed by the generator");
+
+  TablePrinter table({"skew z", "predicate", "name",
+                      "empirical selectivity (%)"});
+  for (const auto& pred : tpch::PredicateSuite()) {
+    // Materialize 200k rows at the paper's selectivity and count matches
+    // with the real evaluator.
+    tpch::SkewSpec spec;
+    spec.num_partitions = 8;
+    spec.records_per_partition = 25000;
+    spec.selectivity = tpch::kPaperSelectivity;
+    spec.zipf_z = pred.zipf_z;
+    spec.seed = 20120402;
+    auto dataset =
+        bench::UnwrapOrDie(tpch::MaterializeDataset(spec, pred), "dataset");
+    uint64_t matches = 0;
+    uint64_t total = 0;
+    for (const auto& partition : dataset.partitions) {
+      for (const auto& row : partition) {
+        auto ok = expr::EvaluatePredicate(*pred.predicate,
+                                          tpch::LineItemSchema(),
+                                          tpch::ToTuple(row));
+        bench::CheckOk(ok.status(), "predicate evaluation");
+        if (*ok) ++matches;
+        ++total;
+      }
+    }
+    char sel[32];
+    std::snprintf(sel, sizeof(sel), "%.4f",
+                  100.0 * static_cast<double>(matches) /
+                      static_cast<double>(total));
+    table.AddRow({std::to_string(static_cast<int>(pred.zipf_z)), pred.sql,
+                  pred.name, sel});
+  }
+  table.Print();
+  std::printf("\n(paper fixes 0.0500%% for every predicate; the empirical "
+              "counts above are exact by construction)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// \file
+/// Shared-cluster scenario (the paper's Section V-E in miniature): a team of
+/// analysts shares the 10-node cluster. Some explore data with
+/// predicate-based sampling queries, the rest run full select-project scans.
+/// The example contrasts how the samplers' growth policy affects *everyone*:
+/// run the sampling class under stock Hadoop execution and the scan users
+/// crawl; switch to a conservative policy and both classes speed up.
+///
+/// Usage: shared_cluster [sampling_users (0..10)] [scheduler: fifo|fair]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table_printer.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+#include "workload/workload_driver.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(dmr::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueUnsafe();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmr;
+  int sampling_users = argc > 1 ? std::atoi(argv[1]) : 4;
+  bool fair = argc > 2 && std::strcmp(argv[2], "fair") == 0;
+  if (sampling_users < 0 || sampling_users > 10) {
+    std::fprintf(stderr, "usage: %s [sampling_users 0..10] [fifo|fair]\n",
+                 argv[0]);
+    return 2;
+  }
+  constexpr int kUsers = 10;
+  constexpr int kScale = 100;
+
+  std::printf("10 analysts on a shared 10-node cluster (16 map slots/node), "
+              "%d sampling + %d scanning, %s scheduler\n\n",
+              sampling_users, kUsers - sampling_users,
+              fair ? "Fair" : "FIFO");
+
+  TablePrinter table({"samplers' policy", "Sampling (jobs/h)",
+                      "NonSampling (jobs/h)", "mean sample RT (s)",
+                      "mean scan RT (s)"});
+
+  for (const char* policy_name : {"Hadoop", "HA", "LA", "C"}) {
+    testbed::Testbed bed(
+        cluster::ClusterConfig::MultiUser(),
+        fair ? testbed::SchedulerKind::kFair : testbed::SchedulerKind::kFifo);
+    auto policy = Unwrap(dynamic::PolicyTable::BuiltIn().Find(policy_name),
+                         "policy");
+
+    std::vector<testbed::Dataset> datasets;
+    for (int u = 0; u < kUsers; ++u) {
+      datasets.push_back(Unwrap(
+          testbed::MakeLineItemDataset(&bed.fs(), kScale, /*z=*/0.0,
+                                       3000 + 7 * u,
+                                       "u" + std::to_string(u)),
+          "dataset"));
+    }
+
+    workload::WorkloadDriver driver(&bed.client());
+    for (int u = 0; u < kUsers; ++u) {
+      workload::UserSpec user;
+      user.name = "analyst" + std::to_string(u);
+      user.think_time = 30.0;
+      const testbed::Dataset* ds = &datasets[u];
+      if (u < sampling_users) {
+        user.job_class = "Sampling";
+        user.make_job = [ds, policy,
+                         u](int it) -> Result<mapred::JobSubmission> {
+          sampling::SamplingJobOptions options;
+          options.job_name = "explore";
+          options.user = "analyst" + std::to_string(u);
+          options.sample_size = tpch::kPaperSampleSize;
+          options.seed = 500 + 17ULL * u + 3121ULL * it;
+          return sampling::MakeSamplingJob(ds->file,
+                                           ds->matching_per_partition,
+                                           policy, options);
+        };
+      } else {
+        user.job_class = "NonSampling";
+        user.make_job = [ds, u](int) -> Result<mapred::JobSubmission> {
+          return sampling::MakeSelectProjectJob(
+              ds->file, ds->matching_per_partition, "report",
+              "analyst" + std::to_string(u));
+        };
+      }
+      driver.AddUser(std::move(user));
+    }
+
+    auto report = Unwrap(
+        driver.Run({.duration = 3.0 * 3600, .warmup = 1200.0}), "workload");
+    const auto& sampling = report.For("Sampling");
+    const auto& scans = report.For("NonSampling");
+    table.AddNumericRow(policy_name,
+                        {sampling.throughput_jobs_per_hour,
+                         scans.throughput_jobs_per_hour,
+                         sampling.response_times.Mean(),
+                         scans.response_times.Mean()},
+                        1);
+  }
+  table.Print();
+  std::printf("\nSwitching the samplers from 'Hadoop' to a conservative "
+              "policy frees the cluster for the scan users.\n");
+  return 0;
+}

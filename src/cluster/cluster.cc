@@ -1,0 +1,54 @@
+#include "cluster/cluster.h"
+
+#include "common/logging.h"
+
+namespace dmr::cluster {
+
+Cluster::Cluster(sim::Simulation* sim, const ClusterConfig& config)
+    : sim_(sim), config_(config) {
+  DMR_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  nodes_.reserve(config.num_nodes);
+  for (int i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, config, i));
+  }
+  network_ = std::make_unique<sim::PsResource>(
+      sim, "cluster.network", config.network_bandwidth,
+      config.network_stream_cap);
+}
+
+int Cluster::free_map_slots() const {
+  int free = 0;
+  for (const auto& n : nodes_) free += n->free_map_slots();
+  return free;
+}
+
+int Cluster::used_map_slots() const {
+  return total_map_slots() - free_map_slots();
+}
+
+int Cluster::free_reduce_slots() const {
+  int free = 0;
+  for (const auto& n : nodes_) free += n->free_reduce_slots();
+  return free;
+}
+
+double Cluster::CpuUtilizationPercent() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) {
+    sum += const_cast<Node*>(n.get())->cpu()->Utilization();
+  }
+  return 100.0 * sum / static_cast<double>(nodes_.size());
+}
+
+double Cluster::TotalDiskBytesRead() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    Node* node = const_cast<Node*>(n.get());
+    for (int d = 0; d < node->num_disks(); ++d) {
+      total += node->disk(d)->total_delivered();
+    }
+  }
+  return total;
+}
+
+}  // namespace dmr::cluster

@@ -1,0 +1,52 @@
+#ifndef DMR_CLUSTER_CLUSTER_H_
+#define DMR_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node.h"
+#include "sim/ps_resource.h"
+#include "sim/simulation.h"
+
+namespace dmr::cluster {
+
+/// \brief The simulated shared-nothing cluster: nodes plus the interconnect.
+class Cluster {
+ public:
+  Cluster(sim::Simulation* sim, const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  sim::Simulation* simulation() { return sim_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node* node(int id) { return nodes_[id].get(); }
+  const Node* node(int id) const { return nodes_[id].get(); }
+
+  /// Cluster-wide interconnect used for remote reads and shuffle traffic.
+  sim::PsResource* network() { return network_.get(); }
+
+  int total_map_slots() const { return config_.total_map_slots(); }
+  int free_map_slots() const;
+  int used_map_slots() const;
+  int free_reduce_slots() const;
+
+  /// Mean instantaneous CPU utilization across all nodes, in [0, 100] (%).
+  double CpuUtilizationPercent() const;
+
+  /// Total bytes delivered by all disks so far (monotone).
+  double TotalDiskBytesRead() const;
+
+ private:
+  sim::Simulation* sim_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<sim::PsResource> network_;
+};
+
+}  // namespace dmr::cluster
+
+#endif  // DMR_CLUSTER_CLUSTER_H_

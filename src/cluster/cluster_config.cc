@@ -1,0 +1,63 @@
+#include "cluster/cluster_config.h"
+
+namespace dmr::cluster {
+
+Status ClusterConfig::Validate() const {
+  if (num_nodes <= 0) return Status::InvalidArgument("num_nodes must be > 0");
+  if (cores_per_node <= 0) {
+    return Status::InvalidArgument("cores_per_node must be > 0");
+  }
+  if (disks_per_node <= 0) {
+    return Status::InvalidArgument("disks_per_node must be > 0");
+  }
+  if (map_slots_per_node <= 0) {
+    return Status::InvalidArgument("map_slots_per_node must be > 0");
+  }
+  if (reduce_slots_per_node <= 0) {
+    return Status::InvalidArgument("reduce_slots_per_node must be > 0");
+  }
+  if (disk_bandwidth <= 0 || network_bandwidth <= 0 ||
+      network_stream_cap <= 0) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (cpu_cost_per_record < 0 || reduce_cpu_cost_per_record < 0) {
+    return Status::InvalidArgument("cpu costs must be >= 0");
+  }
+  if (task_startup_seconds < 0) {
+    return Status::InvalidArgument("task_startup_seconds must be >= 0");
+  }
+  if (heartbeat_interval <= 0 || monitor_interval <= 0) {
+    return Status::InvalidArgument("intervals must be > 0");
+  }
+  if (map_failure_prob < 0 || map_failure_prob >= 1.0) {
+    return Status::InvalidArgument("map_failure_prob must be in [0, 1)");
+  }
+  if (straggler_prob < 0 || straggler_prob > 1.0) {
+    return Status::InvalidArgument("straggler_prob must be in [0, 1]");
+  }
+  if (straggler_slowdown < 1.0) {
+    return Status::InvalidArgument("straggler_slowdown must be >= 1");
+  }
+  if (speculative_slowdown_threshold <= 1.0) {
+    return Status::InvalidArgument(
+        "speculative_slowdown_threshold must be > 1");
+  }
+  if (speculative_min_runtime < 0.0) {
+    return Status::InvalidArgument("speculative_min_runtime must be >= 0");
+  }
+  return Status::OK();
+}
+
+ClusterConfig ClusterConfig::SingleUser() {
+  ClusterConfig config;
+  config.map_slots_per_node = 4;
+  return config;
+}
+
+ClusterConfig ClusterConfig::MultiUser() {
+  ClusterConfig config;
+  config.map_slots_per_node = 16;
+  return config;
+}
+
+}  // namespace dmr::cluster

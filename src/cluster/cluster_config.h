@@ -1,0 +1,94 @@
+#ifndef DMR_CLUSTER_CLUSTER_CONFIG_H_
+#define DMR_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dmr::cluster {
+
+/// \brief Static description of the simulated cluster.
+///
+/// Defaults model the paper's testbed (Section V-A): 10 IBM x3650 nodes,
+/// each with one 4-core 2.26 GHz processor, 12 GB RAM and four 300 GB disks
+/// (40 cores / 40 disks total); 4 map slots per node for the single-user
+/// experiments, 16 for the multi-user ones.
+struct ClusterConfig {
+  int num_nodes = 10;
+  int cores_per_node = 4;
+  int disks_per_node = 4;
+  int map_slots_per_node = 4;
+  int reduce_slots_per_node = 2;
+
+  /// Sequential bandwidth of one disk (bytes/s); also the single-stream cap.
+  double disk_bandwidth = 80.0e6;
+
+  /// Aggregate cluster interconnect capacity for remote reads + shuffle
+  /// (bytes/s) and the per-stream cap (~a third of one GbE link).
+  double network_bandwidth = 1.0e9;
+  double network_stream_cap = 40.0e6;
+
+  /// CPU demand to parse + evaluate the predicate on one record (seconds of
+  /// one core). 750 K records/partition * 6 us = 4.5 s of core time per map
+  /// task (~20 MB/s/core of record processing). Chosen so that, as in the
+  /// paper's tuning, oversubscribing map slots (16 per 4-core node) still
+  /// raises throughput: tasks overlap disk reads and CPU instead of being
+  /// purely CPU-bound.
+  double cpu_cost_per_record = 6.0e-6;
+
+  /// CPU demand per record on the reduce side (merge + emit).
+  double reduce_cpu_cost_per_record = 20.0e-6;
+
+  /// Fixed task launch overhead (JVM spin-up in Hadoop 0.20).
+  double task_startup_seconds = 1.0;
+
+  /// TaskTracker heartbeat period (Hadoop 0.20 default: 3 s).
+  double heartbeat_interval = 3.0;
+
+  /// Sampling period of the cluster monitor (the paper samples at 30 s).
+  double monitor_interval = 30.0;
+
+  // --- fault / variance injection (off by default) ----------------------
+
+  /// Probability that a launched map attempt fails after doing its work;
+  /// the attempt's split is requeued and retried (Hadoop retries failed
+  /// task attempts).
+  double map_failure_prob = 0.0;
+
+  /// Probability that a map attempt is a straggler, and the factor by which
+  /// a straggler's resource demands are inflated.
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 3.0;
+
+  /// Seed for the failure/straggler draws (the simulation stays
+  /// deterministic).
+  uint64_t fault_seed = 1;
+
+  // --- speculative execution (Hadoop backup tasks; off by default) ------
+
+  /// When true, the JobTracker launches a backup attempt for a map task
+  /// that has run speculative_slowdown_threshold times longer than the
+  /// job's mean completed map (and at least speculative_min_runtime
+  /// seconds); the first attempt to finish wins, the other is killed.
+  bool speculative_execution = false;
+  double speculative_slowdown_threshold = 1.5;
+  double speculative_min_runtime = 10.0;
+
+  int total_map_slots() const { return num_nodes * map_slots_per_node; }
+  int total_reduce_slots() const { return num_nodes * reduce_slots_per_node; }
+  int total_disks() const { return num_nodes * disks_per_node; }
+  int total_cores() const { return num_nodes * cores_per_node; }
+
+  /// Validates ranges; returns InvalidArgument on nonsense.
+  Status Validate() const;
+
+  /// The paper's single-user setup (4 map slots/node).
+  static ClusterConfig SingleUser();
+
+  /// The paper's multi-user setup (16 map slots/node, Section V-D).
+  static ClusterConfig MultiUser();
+};
+
+}  // namespace dmr::cluster
+
+#endif  // DMR_CLUSTER_CLUSTER_CONFIG_H_

@@ -1,0 +1,39 @@
+#include "cluster/cluster_monitor.h"
+
+namespace dmr::cluster {
+
+ClusterMonitor::ClusterMonitor(Cluster* cluster)
+    : cluster_(cluster),
+      interval_(cluster->config().monitor_interval),
+      last_disk_bytes_(cluster->TotalDiskBytesRead()) {
+  next_ = cluster_->simulation()->Schedule(interval_, [this] { Sample(); });
+}
+
+ClusterMonitor::~ClusterMonitor() { Stop(); }
+
+void ClusterMonitor::Stop() {
+  stopped_ = true;
+  next_.Cancel();
+}
+
+void ClusterMonitor::Sample() {
+  if (stopped_) return;
+  double now = cluster_->simulation()->Now();
+  cpu_percent_.Add(now, cluster_->CpuUtilizationPercent());
+
+  double bytes = cluster_->TotalDiskBytesRead();
+  double rate_per_disk =
+      (bytes - last_disk_bytes_) / interval_ /
+      static_cast<double>(cluster_->config().total_disks()) / 1024.0;
+  disk_read_kbs_.Add(now, rate_per_disk);
+  last_disk_bytes_ = bytes;
+
+  double occupancy = 100.0 *
+                     static_cast<double>(cluster_->used_map_slots()) /
+                     static_cast<double>(cluster_->total_map_slots());
+  slot_occupancy_percent_.Add(now, occupancy);
+
+  next_ = cluster_->simulation()->Schedule(interval_, [this] { Sample(); });
+}
+
+}  // namespace dmr::cluster

@@ -1,0 +1,49 @@
+#ifndef DMR_CLUSTER_CLUSTER_MONITOR_H_
+#define DMR_CLUSTER_CLUSTER_MONITOR_H_
+
+#include "cluster/cluster.h"
+#include "common/time_series.h"
+#include "sim/simulation.h"
+
+namespace dmr::cluster {
+
+/// \brief Periodically samples cluster resource usage, mirroring the paper's
+/// per-node monitoring of CPU utilization (%) and disk reads (KB/s) at 30 s
+/// intervals (Section V-D).
+class ClusterMonitor {
+ public:
+  /// Starts sampling immediately; samples every config.monitor_interval.
+  explicit ClusterMonitor(Cluster* cluster);
+
+  ~ClusterMonitor();
+
+  /// CPU utilization (%) averaged over all cores, one point per interval.
+  const TimeSeries& cpu_percent() const { return cpu_percent_; }
+
+  /// Disk read rate per disk (KB/s) averaged over all disks per interval.
+  const TimeSeries& disk_read_kbs() const { return disk_read_kbs_; }
+
+  /// Fraction of occupied map slots (%), one point per interval.
+  const TimeSeries& slot_occupancy_percent() const {
+    return slot_occupancy_percent_;
+  }
+
+  /// Stops sampling (idempotent).
+  void Stop();
+
+ private:
+  void Sample();
+
+  Cluster* cluster_;
+  double interval_;
+  double last_disk_bytes_;
+  bool stopped_ = false;
+  sim::EventHandle next_;
+  TimeSeries cpu_percent_;
+  TimeSeries disk_read_kbs_;
+  TimeSeries slot_occupancy_percent_;
+};
+
+}  // namespace dmr::cluster
+
+#endif  // DMR_CLUSTER_CLUSTER_MONITOR_H_

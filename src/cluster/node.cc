@@ -1,0 +1,45 @@
+#include "cluster/node.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace dmr::cluster {
+
+Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id)
+    : id_(node_id),
+      map_slots_(config.map_slots_per_node),
+      reduce_slots_(config.reduce_slots_per_node) {
+  cpu_ = std::make_unique<sim::PsResource>(
+      sim, "node" + std::to_string(node_id) + ".cpu",
+      static_cast<double>(config.cores_per_node), /*per_request_cap=*/1.0);
+  disks_.reserve(config.disks_per_node);
+  for (int d = 0; d < config.disks_per_node; ++d) {
+    disks_.push_back(std::make_unique<sim::PsResource>(
+        sim,
+        "node" + std::to_string(node_id) + ".disk" + std::to_string(d),
+        config.disk_bandwidth, config.disk_bandwidth));
+  }
+}
+
+void Node::AcquireMapSlot() {
+  DMR_CHECK_LT(used_map_slots_, map_slots_) << "node " << id_;
+  ++used_map_slots_;
+}
+
+void Node::ReleaseMapSlot() {
+  DMR_CHECK_GT(used_map_slots_, 0) << "node " << id_;
+  --used_map_slots_;
+}
+
+void Node::AcquireReduceSlot() {
+  DMR_CHECK_LT(used_reduce_slots_, reduce_slots_) << "node " << id_;
+  ++used_reduce_slots_;
+}
+
+void Node::ReleaseReduceSlot() {
+  DMR_CHECK_GT(used_reduce_slots_, 0) << "node " << id_;
+  --used_reduce_slots_;
+}
+
+}  // namespace dmr::cluster

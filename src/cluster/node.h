@@ -1,0 +1,56 @@
+#ifndef DMR_CLUSTER_NODE_H_
+#define DMR_CLUSTER_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "sim/ps_resource.h"
+#include "sim/simulation.h"
+
+namespace dmr::cluster {
+
+/// \brief One simulated worker machine: CPU cores, disks, and the map/reduce
+/// slot bookkeeping that a Hadoop TaskTracker would advertise.
+class Node {
+ public:
+  Node(sim::Simulation* sim, const ClusterConfig& config, int node_id);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+
+  /// Processor-shared CPU: capacity = cores (core-seconds/s), one task can
+  /// use at most one core.
+  sim::PsResource* cpu() { return cpu_.get(); }
+
+  sim::PsResource* disk(int disk_id) { return disks_[disk_id].get(); }
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  int map_slots() const { return map_slots_; }
+  int reduce_slots() const { return reduce_slots_; }
+  int used_map_slots() const { return used_map_slots_; }
+  int used_reduce_slots() const { return used_reduce_slots_; }
+  int free_map_slots() const { return map_slots_ - used_map_slots_; }
+  int free_reduce_slots() const { return reduce_slots_ - used_reduce_slots_; }
+
+  /// Slot acquisition; callers must check availability first.
+  void AcquireMapSlot();
+  void ReleaseMapSlot();
+  void AcquireReduceSlot();
+  void ReleaseReduceSlot();
+
+ private:
+  int id_;
+  int map_slots_;
+  int reduce_slots_;
+  int used_map_slots_ = 0;
+  int used_reduce_slots_ = 0;
+  std::unique_ptr<sim::PsResource> cpu_;
+  std::vector<std::unique_ptr<sim::PsResource>> disks_;
+};
+
+}  // namespace dmr::cluster
+
+#endif  // DMR_CLUSTER_NODE_H_

@@ -1,0 +1,50 @@
+#ifndef DMR_COMMON_HISTOGRAM_H_
+#define DMR_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+/// \brief Streaming summary statistics plus a percentile estimator.
+///
+/// Keeps all samples (the simulator produces at most tens of thousands per
+/// metric) so percentiles are exact. Used for latency/response-time
+/// reporting in the workload driver and benches.
+class Histogram {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Stddev() const;
+
+  /// Exact percentile via nearest-rank on the sorted samples. q in [0,100].
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  /// One-line summary: "n=.. mean=.. p50=.. p95=.. max=..".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_HISTOGRAM_H_

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dmr {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logging::threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void Logging::set_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+void LogMessage::Flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  std::string line = stream_.str();
+  std::fprintf(stderr, "%s\n", line.c_str());
+  (void)level_;
+}
+
+LogMessage::~LogMessage() { Flush(); }
+
+FatalLogMessage::~FatalLogMessage() {
+  Flush();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dmr

@@ -1,0 +1,77 @@
+#ifndef DMR_COMMON_LOGGING_H_
+#define DMR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dmr {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide logging configuration.
+///
+/// Logging defaults to kWarn so that library consumers and benchmark
+/// binaries are quiet unless they opt in.
+class Logging {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ protected:
+  /// Emits the accumulated line; idempotent.
+  void Flush();
+
+ private:
+  LogLevel level_;
+  bool flushed_ = false;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+}  // namespace dmr
+
+#define DMR_LOG(level)                                              \
+  if (::dmr::LogLevel::k##level < ::dmr::Logging::threshold()) {    \
+  } else                                                            \
+    ::dmr::internal::LogMessage(::dmr::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Unconditional check; aborts with a message when `cond` is false.
+#define DMR_CHECK(cond)                                      \
+  if (cond) {                                                \
+  } else                                                     \
+    ::dmr::internal::FatalLogMessage(__FILE__, __LINE__)     \
+        << "Check failed: " #cond " "
+
+#define DMR_CHECK_GE(a, b) DMR_CHECK((a) >= (b))
+#define DMR_CHECK_GT(a, b) DMR_CHECK((a) > (b))
+#define DMR_CHECK_LE(a, b) DMR_CHECK((a) <= (b))
+#define DMR_CHECK_LT(a, b) DMR_CHECK((a) < (b))
+#define DMR_CHECK_EQ(a, b) DMR_CHECK((a) == (b))
+#define DMR_CHECK_NE(a, b) DMR_CHECK((a) != (b))
+
+#endif  // DMR_COMMON_LOGGING_H_

@@ -1,0 +1,55 @@
+#ifndef DMR_COMMON_PROPERTIES_H_
+#define DMR_COMMON_PROPERTIES_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dmr {
+
+/// \brief An ordered string key/value configuration map.
+///
+/// This is the substrate for JobConf (mapred/job_conf.h) and for the policy
+/// configuration file — the analogue of Hadoop's Configuration class.
+class Properties {
+ public:
+  /// Sets (or overwrites) a key.
+  void Set(std::string_view key, std::string_view value);
+  void SetInt(std::string_view key, int64_t value);
+  void SetDouble(std::string_view key, double value);
+  void SetBool(std::string_view key, bool value);
+
+  bool Contains(std::string_view key) const;
+
+  /// Returns the raw value or `fallback` when absent.
+  std::string Get(std::string_view key, std::string_view fallback = "") const;
+
+  /// Typed getters; fall back when absent, error when malformed.
+  Result<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+  Result<double> GetDouble(std::string_view key, double fallback) const;
+  Result<bool> GetBool(std::string_view key, bool fallback) const;
+
+  /// Removes a key if present; returns whether it existed.
+  bool Erase(std::string_view key);
+
+  size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Parses "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Properties> Parse(std::string_view text);
+
+  /// Serializes back to the Parse() format.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_PROPERTIES_H_

@@ -1,0 +1,78 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dmr {
+
+uint64_t Rng::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double z) : n_(n), z_(z) {
+  assert(n >= 1);
+  assert(z >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), z);
+    cdf_[k - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfGenerator::Pmf(uint64_t k) const {
+  assert(k >= 1 && k <= n_);
+  if (k == 1) return cdf_[0];
+  return cdf_[k - 1] - cdf_[k - 2];
+}
+
+}  // namespace dmr

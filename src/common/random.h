@@ -1,0 +1,84 @@
+#ifndef DMR_COMMON_RANDOM_H_
+#define DMR_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dmr {
+
+/// \brief Fast, deterministic 64-bit PRNG (SplitMix64).
+///
+/// Used everywhere randomness is needed so that simulations are exactly
+/// reproducible given a seed. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Returns an exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+  /// Forks an independent generator; the child stream is decorrelated from
+  /// the parent by hashing the parent's next output.
+  Rng Fork();
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Draws ranks from a Zipfian distribution over {1, ..., n}.
+///
+/// f(k; z, n) = (1/k^z) / sum_{i=1..n} 1/i^z  — the distribution the paper
+/// uses to assign matching records to input partitions (Section V-B).
+/// z = 0 degenerates to uniform. Sampling is by inverted CDF with binary
+/// search over a precomputed table (O(log n) per draw after O(n) setup).
+class ZipfGenerator {
+ public:
+  /// \param n population size (number of ranks); must be >= 1.
+  /// \param z skew exponent; z >= 0. z=0 is uniform.
+  ZipfGenerator(uint64_t n, double z);
+
+  /// Returns a rank in [1, n].
+  uint64_t Next(Rng* rng) const;
+
+  /// Returns the probability mass of rank k (1-based).
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+#ifndef DMR_COMMON_RESULT_H_
+#define DMR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dmr {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A Result constructed from an OK status is a programming error. Access to
+/// the value of an errored Result aborts in debug builds; callers should use
+/// ok()/status() or the DMR_ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Moves the value out without checking; used by DMR_ASSIGN_OR_RETURN
+  /// after an ok() check.
+  T&& ValueUnsafe() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const& { return ok() ? std::get<T>(payload_) : fallback; }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_RESULT_H_

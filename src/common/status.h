@@ -1,0 +1,125 @@
+#ifndef DMR_COMMON_STATUS_H_
+#define DMR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dmr {
+
+/// \brief Error categories used across the library.
+///
+/// Modeled after the Arrow/RocksDB status idiom: functions that can fail
+/// return a Status (or a Result<T>, see result.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and cheap to move
+/// otherwise. It is [[nodiscard]] so that errors cannot be silently dropped.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Renders "<CODE>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace dmr
+
+/// \brief Returns early with the given Status if it is not OK.
+#define DMR_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::dmr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// \brief Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise moves the value into `lhs`.
+#define DMR_ASSIGN_OR_RETURN(lhs, expr)              \
+  DMR_ASSIGN_OR_RETURN_IMPL(                         \
+      DMR_CONCAT_NAME(_dmr_result_, __COUNTER__), lhs, expr)
+
+#define DMR_CONCAT_NAME_INNER(x, y) x##y
+#define DMR_CONCAT_NAME(x, y) DMR_CONCAT_NAME_INNER(x, y)
+
+#define DMR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // DMR_COMMON_STATUS_H_

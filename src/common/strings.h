@@ -1,0 +1,46 @@
+#ifndef DMR_COMMON_STRINGS_H_
+#define DMR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmr {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII lower-cases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-cases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats a byte count with binary units ("1.5 GB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats seconds with adaptive precision ("2m 13.5s").
+std::string FormatDuration(double seconds);
+
+/// Parses a signed integer; returns false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_STRINGS_H_

@@ -1,0 +1,37 @@
+#ifndef DMR_COMMON_TABLE_PRINTER_H_
+#define DMR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+/// \brief Renders aligned ASCII tables; used by the benchmark harnesses to
+/// print the paper's tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with fixed precision.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 1);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,25 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+
+namespace dmr {
+
+double TimeSeries::MeanAfter(double from) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time >= from) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::Max() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+}  // namespace dmr

@@ -1,0 +1,42 @@
+#ifndef DMR_COMMON_TIME_SERIES_H_
+#define DMR_COMMON_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+/// \brief A (time, value) series sampled at fixed or irregular intervals.
+///
+/// The cluster monitor records CPU utilization and disk-read rates as
+/// TimeSeries (the paper samples every 30 simulated seconds).
+class TimeSeries {
+ public:
+  struct Point {
+    double time;
+    double value;
+  };
+
+  void Add(double time, double value) { points_.push_back({time, value}); }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Mean of values with time >= from (steady-state averaging after warmup).
+  double MeanAfter(double from) const;
+
+  /// Mean over the whole series.
+  double Mean() const { return MeanAfter(-1.0); }
+
+  double Max() const;
+
+  void Clear() { points_.clear(); }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_TIME_SERIES_H_

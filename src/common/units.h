@@ -1,0 +1,18 @@
+#ifndef DMR_COMMON_UNITS_H_
+#define DMR_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace dmr {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+/// Simulated time is measured in seconds (double).
+using SimTime = double;
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_UNITS_H_

@@ -1,0 +1,144 @@
+#include "dynamic/adaptive_input_provider.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dmr::dynamic {
+
+using mapred::ClusterStatus;
+using mapred::InputResponse;
+using mapred::InputSplit;
+using mapred::JobProgress;
+
+AdaptiveInputProvider::AdaptiveInputProvider(uint64_t seed, Options options)
+    : options_(options), rng_(seed) {}
+
+AdaptiveInputProvider::AdaptiveInputProvider(uint64_t seed)
+    : AdaptiveInputProvider(seed, Options{}) {}
+
+Status AdaptiveInputProvider::Initialize(
+    const std::vector<InputSplit>& all_splits, const mapred::JobConf& conf) {
+  if (initialized_) {
+    return Status::FailedPrecondition("provider already initialized");
+  }
+  sample_size_ = conf.sample_size();
+  if (sample_size_ == 0) {
+    return Status::InvalidArgument(
+        "adaptive sampling requires a positive sample size");
+  }
+  unprocessed_ = all_splits;
+  initialized_ = true;
+  return Status::OK();
+}
+
+int64_t AdaptiveInputProvider::LoadScaledGrab(
+    const ClusterStatus& cluster) const {
+  double as = static_cast<double>(cluster.available_map_slots());
+  double ts = static_cast<double>(cluster.total_map_slots);
+  if (ts <= 0.0) return options_.min_grab;
+  double raw = as * as / ts;
+  return std::max<int64_t>(options_.min_grab,
+                           static_cast<int64_t>(std::llround(raw)));
+}
+
+std::vector<InputSplit> AdaptiveInputProvider::DrawSplits(int64_t count) {
+  std::vector<InputSplit> drawn;
+  int64_t n = std::min<int64_t>(count,
+                                static_cast<int64_t>(unprocessed_.size()));
+  drawn.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    size_t pick = static_cast<size_t>(rng_.NextBounded(unprocessed_.size()));
+    drawn.push_back(unprocessed_[pick]);
+    unprocessed_[pick] = unprocessed_.back();
+    unprocessed_.pop_back();
+  }
+  return drawn;
+}
+
+InputResponse AdaptiveInputProvider::GetInitialInput(
+    const ClusterStatus& cluster) {
+  DMR_CHECK(initialized_);
+  if (unprocessed_.empty()) return InputResponse::EndOfInput();
+  last_grab_limit_ = LoadScaledGrab(cluster);
+  return InputResponse::Available(DrawSplits(last_grab_limit_));
+}
+
+InputResponse AdaptiveInputProvider::Evaluate(const JobProgress& progress,
+                                              const ClusterStatus& cluster) {
+  DMR_CHECK(initialized_);
+
+  // Update the per-evaluation yield history (the skew signal).
+  int new_maps = progress.maps_completed - last_maps_completed_;
+  uint64_t new_output = progress.output_records - last_output_records_;
+  if (new_maps > 0) {
+    yields_.push_back(static_cast<double>(new_output) /
+                      static_cast<double>(new_maps));
+    last_maps_completed_ = progress.maps_completed;
+    last_output_records_ = progress.output_records;
+  }
+  if (yields_.size() >= 2) {
+    double sum = 0.0;
+    for (double y : yields_) sum += y;
+    double mean = sum / static_cast<double>(yields_.size());
+    if (mean > 0.0) {
+      double var = 0.0;
+      for (double y : yields_) var += (y - mean) * (y - mean);
+      var /= static_cast<double>(yields_.size());
+      skew_cv_ = std::sqrt(var) / mean;
+    }
+  }
+
+  if (progress.output_records >= sample_size_) {
+    return InputResponse::EndOfInput();
+  }
+  if (unprocessed_.empty()) {
+    return InputResponse::EndOfInput();
+  }
+
+  double selectivity =
+      progress.records_processed > 0
+          ? static_cast<double>(progress.output_records) /
+                static_cast<double>(progress.records_processed)
+          : 0.0;
+
+  last_grab_limit_ = LoadScaledGrab(cluster);
+
+  if (selectivity <= 0.0) {
+    // No estimate yet: grow by the load-scaled limit once starved.
+    if (!progress.starved()) return InputResponse::NoInput();
+    return InputResponse::Available(DrawSplits(last_grab_limit_));
+  }
+
+  // Projected yield of in-flight work, discounted when the data looks
+  // skewed (an unreliable estimate should not talk us into waiting).
+  double inflation =
+      1.0 + std::min(skew_cv_, options_.max_skew_inflation - 1.0);
+  double expected_pending =
+      selectivity * static_cast<double>(progress.pending_records);
+  double expected_total =
+      static_cast<double>(progress.output_records) +
+      expected_pending / inflation;
+  if (expected_total >= static_cast<double>(sample_size_)) {
+    return InputResponse::NoInput();
+  }
+
+  double records_needed =
+      (static_cast<double>(sample_size_) - expected_total) / selectivity *
+      inflation;
+  double records_per_split =
+      progress.maps_completed > 0
+          ? static_cast<double>(progress.records_processed) /
+                static_cast<double>(progress.maps_completed)
+          : static_cast<double>(unprocessed_.front().num_records);
+  if (records_per_split <= 0.0) records_per_split = 1.0;
+  int64_t splits_needed = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(records_needed / records_per_split)));
+
+  int64_t grab = std::min(splits_needed, last_grab_limit_);
+  if (grab <= 0) return InputResponse::NoInput();
+  return InputResponse::Available(DrawSplits(grab));
+}
+
+}  // namespace dmr::dynamic

@@ -1,0 +1,57 @@
+#ifndef DMR_DYNAMIC_GRAB_LIMIT_EXPR_H_
+#define DMR_DYNAMIC_GRAB_LIMIT_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace dmr::dynamic {
+
+/// \brief Variables available to grab-limit expressions (paper Table I):
+/// AS = currently available (free) map slots, TS = total map slots.
+struct SlotVars {
+  double available_slots = 0;  // AS
+  double total_slots = 0;      // TS
+};
+
+/// \brief A compiled grab-limit expression.
+///
+/// Grammar (paper Table I uses exactly these forms):
+///
+///   expr    := or ( '?' expr ':' expr )?
+///   or      := and ( 'or' and )*            (case-insensitive keywords)
+///   and     := cmp ( 'and' cmp )*
+///   cmp     := add ( ('<'|'<='|'>'|'>='|'=='|'!=') add )?
+///   add     := mul ( ('+'|'-') mul )*
+///   mul     := unary ( ('*'|'/') unary )*
+///   unary   := '-' unary | primary
+///   primary := NUMBER | 'AS' | 'TS' | 'INF'
+///            | ('max'|'min') '(' expr ',' expr ')' | '(' expr ')'
+///
+/// Comparisons yield 1.0 / 0.0; the ternary tests for non-zero. 'INF'
+/// evaluates to +infinity (the Hadoop policy's unbounded grab).
+class GrabLimitExpr {
+ public:
+  /// Compiles the expression text; reports syntax errors with positions.
+  static Result<GrabLimitExpr> Parse(const std::string& text);
+
+  /// Evaluates with the given slot variables.
+  double Evaluate(const SlotVars& vars) const;
+
+  /// Original text (for diagnostics / serialization).
+  const std::string& text() const { return text_; }
+
+  class Node;
+
+ private:
+  GrabLimitExpr(std::string text, std::shared_ptr<const Node> root)
+      : text_(std::move(text)), root_(std::move(root)) {}
+
+  std::string text_;
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace dmr::dynamic
+
+#endif  // DMR_DYNAMIC_GRAB_LIMIT_EXPR_H_

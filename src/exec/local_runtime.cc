@@ -1,0 +1,165 @@
+#include "exec/local_runtime.h"
+
+#include <future>
+#include <memory>
+
+#include "common/logging.h"
+#include "dynamic/sampling_input_provider.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::exec {
+
+using mapred::InputSplit;
+
+LocalRuntime::LocalRuntime(LocalRunOptions options) : options_(options) {
+  DMR_CHECK_GT(options_.num_threads, 0);
+}
+
+Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTask(
+    const std::vector<tpch::LineItemRow>& partition,
+    const expr::ExprPtr& predicate, uint64_t k) const {
+  PartitionOutput out;
+  if (!predicate) {
+    // No WHERE clause: every record is a candidate (up to the per-map cap).
+    out.records_seen = partition.size();
+    out.records_matched = partition.size();
+    uint64_t cap = k == 0 ? partition.size() : k;
+    for (const auto& row : partition) {
+      if (out.emitted.size() >= cap) break;
+      out.emitted.push_back(tpch::ToTuple(row));
+    }
+    return out;
+  }
+  sampling::SamplingMapper mapper(
+      predicate, &tpch::LineItemSchema(),
+      k == 0 ? static_cast<uint64_t>(partition.size()) : k);
+  for (const auto& row : partition) {
+    DMR_ASSIGN_OR_RETURN(bool matched,
+                         mapper.Map(tpch::ToTuple(row), &out.emitted));
+    (void)matched;
+  }
+  out.records_seen = mapper.records_seen();
+  out.records_matched = mapper.records_matched();
+  return out;
+}
+
+Result<LocalRunResult> LocalRuntime::Execute(
+    const hive::CompiledQuery& query,
+    const tpch::MaterializedDataset& dataset,
+    const dynamic::GrowthPolicy& policy) {
+  LocalRunResult result;
+  result.partitions_total = static_cast<int>(dataset.partitions.size());
+
+  // Fabricate splits describing the in-memory partitions (the provider only
+  // reads metadata, never ground truth).
+  std::vector<InputSplit> splits;
+  splits.reserve(dataset.partitions.size());
+  for (size_t i = 0; i < dataset.partitions.size(); ++i) {
+    InputSplit split;
+    split.file = query.conf.input_file();
+    split.index = static_cast<int>(i);
+    split.num_records = dataset.partitions[i].size();
+    split.size_bytes = split.num_records * tpch::kLineItemRecordBytes;
+    splits.push_back(split);
+  }
+
+  const uint64_t k = query.limit;
+  mapred::ClusterStatus status;
+  status.total_map_slots = options_.num_threads;
+  status.occupied_map_slots = 0;
+  status.running_jobs = 1;
+
+  // Decide the sequence of partition batches to process.
+  std::vector<std::vector<InputSplit>> batches;
+  std::unique_ptr<dynamic::SamplingInputProvider> provider;
+  if (query.is_sampling()) {
+    provider = std::make_unique<dynamic::SamplingInputProvider>(
+        policy, options_.seed);
+    DMR_RETURN_NOT_OK(provider->Initialize(splits, query.conf));
+  }
+
+  mapred::JobProgress progress;
+  progress.splits_total = static_cast<int>(splits.size());
+  std::vector<expr::Tuple> candidates;
+
+  auto process_batch = [&](const std::vector<InputSplit>& batch) -> Status {
+    // Fan the batch out in waves of at most num_threads workers.
+    for (size_t base = 0; base < batch.size();
+         base += static_cast<size_t>(options_.num_threads)) {
+      size_t wave_end = std::min(
+          batch.size(), base + static_cast<size_t>(options_.num_threads));
+      std::vector<std::future<Result<PartitionOutput>>> futures;
+      futures.reserve(wave_end - base);
+      for (size_t b = base; b < wave_end; ++b) {
+        const auto* partition = &dataset.partitions[batch[b].index];
+        futures.push_back(std::async(std::launch::async, [this, partition,
+                                                          &query, k] {
+          return RunMapTask(*partition, query.predicate, k);
+        }));
+      }
+      for (auto& future : futures) {
+        Result<PartitionOutput> out = future.get();
+        if (!out.ok()) return out.status();
+        progress.maps_completed += 1;
+        progress.records_processed += out->records_seen;
+        progress.output_records += out->emitted.size();
+        result.records_scanned += out->records_seen;
+        result.partitions_processed += 1;
+        for (auto& tuple : out->emitted) {
+          candidates.push_back(std::move(tuple));
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  if (query.is_sampling()) {
+    mapred::InputResponse response = provider->GetInitialInput(status);
+    while (response.kind == mapred::InputResponseKind::kInputAvailable) {
+      ++result.provider_rounds;
+      progress.splits_added += static_cast<int>(response.splits.size());
+      DMR_RETURN_NOT_OK(process_batch(response.splits));
+      progress.pending_records = 0;  // rounds are synchronous
+      response = provider->Evaluate(progress, status);
+      if (response.kind == mapred::InputResponseKind::kNoInputAvailable) {
+        // Unreachable for a starved synchronous job; guard anyway.
+        return Status::Internal(
+            "provider returned no-input-available for a starved job");
+      }
+    }
+    result.estimated_selectivity = provider->estimated_selectivity();
+  } else {
+    ++result.provider_rounds;
+    progress.splits_added = static_cast<int>(splits.size());
+    DMR_RETURN_NOT_OK(process_batch(splits));
+    if (progress.records_processed > 0) {
+      result.estimated_selectivity =
+          static_cast<double>(progress.output_records) /
+          static_cast<double>(progress.records_processed);
+    }
+  }
+
+  result.candidate_records = candidates.size();
+
+  // Reduce phase: trim to k (Algorithm 2) and project.
+  std::vector<expr::Tuple> reduced;
+  if (query.is_sampling()) {
+    sampling::SamplingReducer reducer(k, options_.sample_mode,
+                                      options_.seed);
+    for (auto& tuple : candidates) reducer.Add(std::move(tuple));
+    reduced = reducer.Finish();
+  } else {
+    reduced = std::move(candidates);
+  }
+
+  result.rows.reserve(reduced.size());
+  for (const auto& tuple : reduced) {
+    expr::Tuple projected;
+    projected.reserve(query.projection.size());
+    for (int index : query.projection) projected.push_back(tuple[index]);
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+}  // namespace dmr::exec

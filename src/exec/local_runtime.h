@@ -1,0 +1,78 @@
+#ifndef DMR_EXEC_LOCAL_RUNTIME_H_
+#define DMR_EXEC_LOCAL_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dynamic/growth_policy.h"
+#include "expr/expression.h"
+#include "hive/compiler.h"
+#include "sampling/sampler.h"
+#include "tpch/generator.h"
+
+namespace dmr::exec {
+
+/// \brief Options for local execution.
+struct LocalRunOptions {
+  /// Worker threads = "map slots" of the local mini-cluster.
+  int num_threads = 4;
+  /// Reduce-side trim mode (Algorithm 2 or the footnote's reservoir).
+  sampling::SampleMode sample_mode = sampling::SampleMode::kFirstK;
+  uint64_t seed = 7;
+};
+
+/// \brief Outcome of a local run.
+struct LocalRunResult {
+  /// Projected result rows (sample rows for LIMIT queries).
+  std::vector<expr::Tuple> rows;
+  uint64_t records_scanned = 0;
+  /// Map-output records (candidates that reached the reducer).
+  uint64_t candidate_records = 0;
+  int partitions_processed = 0;
+  int partitions_total = 0;
+  /// Input-provider invocations (rounds of incremental growth).
+  int provider_rounds = 0;
+  /// Final selectivity estimate (-1 when nothing was processed).
+  double estimated_selectivity = -1.0;
+};
+
+/// \brief Executes compiled queries over materialized datasets on the local
+/// machine — the record-level counterpart of the cluster simulator.
+///
+/// Sampling queries run the paper's exact loop, synchronously: the Input
+/// Provider picks an initial uniform batch of partitions, a pool of worker
+/// threads applies Algorithm 1 to each, and the provider is re-evaluated
+/// with the accumulated counters until it declares end-of-input; Algorithm 2
+/// then trims the candidates to k. Because rounds are synchronous, the
+/// policy's EvaluationInterval and WorkThreshold do not apply here — only
+/// its GrabLimit shapes the growth (with AS = idle worker threads).
+class LocalRuntime {
+ public:
+  explicit LocalRuntime(LocalRunOptions options);
+
+  /// Executes `query` over `dataset` (sampling when query.limit > 0, full
+  /// select-project scan otherwise). The policy's GrabLimit drives growth
+  /// for sampling queries.
+  Result<LocalRunResult> Execute(const hive::CompiledQuery& query,
+                                 const tpch::MaterializedDataset& dataset,
+                                 const dynamic::GrowthPolicy& policy);
+
+ private:
+  struct PartitionOutput {
+    std::vector<expr::Tuple> emitted;
+    uint64_t records_seen = 0;
+    uint64_t records_matched = 0;
+  };
+
+  /// Applies Algorithm 1 to one partition.
+  Result<PartitionOutput> RunMapTask(
+      const std::vector<tpch::LineItemRow>& partition,
+      const expr::ExprPtr& predicate, uint64_t k) const;
+
+  LocalRunOptions options_;
+};
+
+}  // namespace dmr::exec
+
+#endif  // DMR_EXEC_LOCAL_RUNTIME_H_

@@ -1,0 +1,105 @@
+#include "expr/value.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace dmr::expr {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+ValueType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kDouble;
+    case 2:
+      return ValueType::kString;
+    default:
+      return ValueType::kBool;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+      return buf;
+    }
+    case 2:
+      return "'" + std::get<std::string>(v) + "'";
+    default:
+      return std::get<bool>(v) ? "true" : "false";
+  }
+}
+
+Result<double> ToDouble(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return static_cast<double>(std::get<int64_t>(v));
+    case 1:
+      return std::get<double>(v);
+    default:
+      return Status::InvalidArgument("cannot coerce " +
+                                     std::string(ValueTypeToString(TypeOf(v))) +
+                                     " to a number");
+  }
+}
+
+Result<int> CompareValues(const Value& a, const Value& b) {
+  ValueType ta = TypeOf(a);
+  ValueType tb = TypeOf(b);
+  bool a_num = ta == ValueType::kInt64 || ta == ValueType::kDouble;
+  bool b_num = tb == ValueType::kInt64 || tb == ValueType::kDouble;
+  if (a_num && b_num) {
+    if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+      int64_t x = std::get<int64_t>(a);
+      int64_t y = std::get<int64_t>(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = *ToDouble(a);
+    double y = *ToDouble(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (ta == ValueType::kString && tb == ValueType::kString) {
+    const auto& x = std::get<std::string>(a);
+    const auto& y = std::get<std::string>(b);
+    int c = x.compare(y);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (ta == ValueType::kBool && tb == ValueType::kBool) {
+    bool x = std::get<bool>(a);
+    bool y = std::get<bool>(b);
+    return x == y ? 0 : (x ? 1 : -1);
+  }
+  return Status::InvalidArgument(
+      std::string("type mismatch comparing ") + ValueTypeToString(ta) +
+      " with " + ValueTypeToString(tb));
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return -1;
+}
+
+}  // namespace dmr::expr

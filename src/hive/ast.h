@@ -1,0 +1,45 @@
+#ifndef DMR_HIVE_AST_H_
+#define DMR_HIVE_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace dmr::hive {
+
+/// \brief `SELECT cols FROM table [WHERE expr] [LIMIT k]` — the query shape
+/// the paper compiles into one predicate-based-sampling MapReduce job.
+struct SelectStatement {
+  /// Projected column names; empty means `SELECT *`.
+  std::vector<std::string> columns;
+  std::string table;
+  /// Null when there is no WHERE clause.
+  expr::ExprPtr where;
+  std::optional<uint64_t> limit;
+
+  /// Renders back to SQL (for EXPLAIN output and tests).
+  std::string ToString() const;
+};
+
+/// \brief `SET key = value;` — how a Hive end-user picks the runtime policy
+/// ("dynamic.job.policy", paper Section IV).
+struct SetStatement {
+  std::string key;
+  std::string value;
+};
+
+/// \brief `EXPLAIN <select>;` — prints the compiled plan.
+struct ExplainStatement {
+  SelectStatement select;
+};
+
+using Statement = std::variant<SelectStatement, SetStatement,
+                               ExplainStatement>;
+
+}  // namespace dmr::hive
+
+#endif  // DMR_HIVE_AST_H_

@@ -1,0 +1,159 @@
+#include "hive/compiler.h"
+
+#include "common/strings.h"
+#include "hive/parser.h"
+
+namespace dmr::hive {
+
+namespace {
+
+/// Builds a row of per-type default values used for best-effort compile-time
+/// validation of predicates (unknown columns and gross type errors surface
+/// before the job runs).
+expr::Tuple DefaultRow(const expr::Schema& schema) {
+  expr::Tuple row;
+  row.reserve(schema.num_columns());
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    switch (schema.column(i).type) {
+      case expr::ValueType::kInt64:
+        row.emplace_back(int64_t{0});
+        break;
+      case expr::ValueType::kDouble:
+        row.emplace_back(0.0);
+        break;
+      case expr::ValueType::kString:
+        row.emplace_back(std::string());
+        break;
+      case expr::ValueType::kBool:
+        row.emplace_back(false);
+        break;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+HiveCompiler::HiveCompiler(const expr::Schema* schema,
+                           const dynamic::PolicyTable* policies)
+    : schema_(schema), policies_(policies) {
+  session_.Set(mapred::kDynamicPolicyKey, "LA");
+  session_.Set(mapred::kUserNameKey, "default");
+}
+
+Status HiveCompiler::ApplySet(const SetStatement& set) {
+  if (EqualsIgnoreCase(set.key, mapred::kDynamicPolicyKey)) {
+    if (!policies_->Contains(set.value)) {
+      std::string known;
+      for (const auto& p : policies_->policies()) {
+        if (!known.empty()) known += ", ";
+        known += p.name();
+      }
+      return Status::InvalidArgument("unknown policy '" + set.value +
+                                     "' (configured policies: " + known +
+                                     ")");
+    }
+  }
+  session_.Set(set.key, set.value);
+  return Status::OK();
+}
+
+Result<dynamic::GrowthPolicy> HiveCompiler::CurrentPolicy() const {
+  return policies_->Find(session_.Get(mapred::kDynamicPolicyKey, "LA"));
+}
+
+Result<CompiledQuery> HiveCompiler::Compile(
+    const SelectStatement& select) const {
+  CompiledQuery query;
+
+  // Resolve the projection.
+  if (select.columns.empty()) {
+    for (int i = 0; i < schema_->num_columns(); ++i) {
+      query.projection.push_back(i);
+      query.projected_names.push_back(schema_->column(i).name);
+    }
+  } else {
+    for (const auto& name : select.columns) {
+      int index = schema_->FindColumn(name);
+      if (index < 0) {
+        return Status::InvalidArgument("unknown column '" + name + "'");
+      }
+      query.projection.push_back(index);
+      query.projected_names.push_back(schema_->column(index).name);
+    }
+  }
+
+  // Best-effort static validation of the predicate.
+  if (select.where) {
+    expr::Tuple dummy = DefaultRow(*schema_);
+    Result<bool> check =
+        expr::EvaluatePredicate(*select.where, *schema_, dummy);
+    if (!check.ok()) {
+      return Status::InvalidArgument("invalid WHERE clause: " +
+                                     check.status().message());
+    }
+    query.predicate = select.where;
+  }
+
+  query.limit = select.limit.value_or(0);
+
+  // Assemble the JobConf the way the modified Hive compiler does.
+  query.conf.set_name("hive: " + select.ToString());
+  query.conf.set_user(session_.Get(mapred::kUserNameKey, "default"));
+  query.conf.set_input_file(select.table);
+  if (select.where) {
+    query.conf.props().Set(mapred::kPredicateKey, select.where->ToString());
+  }
+  if (query.is_sampling()) {
+    DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy, CurrentPolicy());
+    query.policy_name = policy.name();
+    query.conf.set_sample_size(query.limit);
+    query.conf.props().Set(mapred::kDynamicProviderKey,
+                           "dmr::dynamic::SamplingInputProvider");
+    policy.Apply(&query.conf);
+  } else {
+    query.conf.set_dynamic_job(false);
+  }
+  return query;
+}
+
+Result<HiveCompiler::SessionResult> HiveCompiler::Process(
+    const std::string& sql) {
+  DMR_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  SessionResult result;
+  if (auto* set = std::get_if<SetStatement>(&stmt)) {
+    DMR_RETURN_NOT_OK(ApplySet(*set));
+    result.message = set->key + " = " + set->value;
+    return result;
+  }
+  if (auto* explain = std::get_if<ExplainStatement>(&stmt)) {
+    DMR_ASSIGN_OR_RETURN(CompiledQuery q, Compile(explain->select));
+    result.explain_only = true;
+    result.message = q.ExplainString();
+    result.query = std::move(q);
+    return result;
+  }
+  DMR_ASSIGN_OR_RETURN(CompiledQuery q,
+                       Compile(std::get<SelectStatement>(stmt)));
+  result.query = std::move(q);
+  return result;
+}
+
+std::string CompiledQuery::ExplainString() const {
+  std::string out;
+  out += "Job: " + conf.name() + "\n";
+  out += "  input file : " + conf.input_file() + "\n";
+  out += "  projection : " + JoinStrings(projected_names, ", ") + "\n";
+  out += "  predicate  : " +
+         (predicate ? predicate->ToString() : std::string("<none>")) + "\n";
+  if (is_sampling()) {
+    out += "  execution  : DYNAMIC predicate-based sampling, k = " +
+           std::to_string(limit) + "\n";
+    out += "  policy     : " + policy_name + "\n";
+  } else {
+    out += "  execution  : static full scan (select-project)\n";
+  }
+  return out;
+}
+
+}  // namespace dmr::hive

@@ -1,0 +1,79 @@
+#ifndef DMR_HIVE_COMPILER_H_
+#define DMR_HIVE_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/result.h"
+#include "dynamic/growth_policy.h"
+#include "expr/expression.h"
+#include "hive/ast.h"
+#include "mapred/job_conf.h"
+
+namespace dmr::hive {
+
+/// \brief The compiled form of a SELECT: one MapReduce job description.
+struct CompiledQuery {
+  mapred::JobConf conf;
+  /// Null means no WHERE clause (every record matches).
+  expr::ExprPtr predicate;
+  /// Schema indexes of the projected columns (schema order for SELECT *).
+  std::vector<int> projection;
+  std::vector<std::string> projected_names;
+  /// 0 means no LIMIT (a full select-project job).
+  uint64_t limit = 0;
+  /// The growth policy chosen for the job (sampling queries only).
+  std::string policy_name;
+
+  bool is_sampling() const { return limit > 0; }
+
+  /// Human-readable plan (EXPLAIN output).
+  std::string ExplainString() const;
+};
+
+/// \brief Compiles SELECT statements into JobConfs — the analogue of the
+/// paper's modified Hive compiler (Section IV): a query with a LIMIT is
+/// marked dynamic ("dynamic.job" = true), its sample size recorded, and the
+/// session's "dynamic.job.policy" (chosen via SET, validated against the
+/// policy table / policy.xml) applied.
+class HiveCompiler {
+ public:
+  /// \param schema    table schema queries are validated against.
+  /// \param policies  available growth policies (the policy.xml analogue).
+  HiveCompiler(const expr::Schema* schema,
+               const dynamic::PolicyTable* policies);
+
+  /// Applies a SET statement to the session configuration. Setting
+  /// "dynamic.job.policy" validates the policy name.
+  Status ApplySet(const SetStatement& set);
+
+  /// Compiles a parsed SELECT into a job description.
+  Result<CompiledQuery> Compile(const SelectStatement& select) const;
+
+  /// Parses and compiles in one step (SET statements update the session and
+  /// yield no query; EXPLAIN yields a query flagged explain_only).
+  struct SessionResult {
+    /// Present for SELECT / EXPLAIN.
+    std::optional<CompiledQuery> query;
+    bool explain_only = false;
+    /// Message for statements with textual output (SET acknowledgments).
+    std::string message;
+  };
+  Result<SessionResult> Process(const std::string& sql);
+
+  const Properties& session() const { return session_; }
+
+  /// The policy the session currently selects (default "LA" — the paper's
+  /// best overall policy).
+  Result<dynamic::GrowthPolicy> CurrentPolicy() const;
+
+ private:
+  const expr::Schema* schema_;
+  const dynamic::PolicyTable* policies_;
+  Properties session_;
+};
+
+}  // namespace dmr::hive
+
+#endif  // DMR_HIVE_COMPILER_H_

@@ -1,0 +1,42 @@
+#ifndef DMR_HIVE_LEXER_H_
+#define DMR_HIVE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dmr::hive {
+
+/// \brief Token kinds produced by the HiveQL lexer.
+enum class TokenKind {
+  kIdent,      // bare identifier or keyword (keywords resolved by parser)
+  kInteger,    // 123
+  kDecimal,    // 1.25
+  kString,     // 'abc' (quotes stripped, '' unescaped)
+  kOperator,   // = != <> < <= > >= + - * / ( ) , ; .
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// \brief One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier/operator text (identifiers verbatim)
+  int64_t integer = 0;     // for kInteger
+  double decimal = 0.0;    // for kDecimal
+  size_t pos = 0;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOp(const char* op) const {
+    return kind == TokenKind::kOperator && text == op;
+  }
+};
+
+/// \brief Tokenizes a HiveQL statement. Comments: '--' to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dmr::hive
+
+#endif  // DMR_HIVE_LEXER_H_

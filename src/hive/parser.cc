@@ -1,0 +1,328 @@
+#include "hive/parser.h"
+
+#include "common/strings.h"
+#include "hive/lexer.h"
+
+namespace dmr::hive {
+
+namespace {
+
+using expr::BinaryOp;
+using expr::ExprPtr;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (Peek().IsKeyword("SET")) {
+      ++index_;
+      DMR_ASSIGN_OR_RETURN(SetStatement set, ParseSet());
+      DMR_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(set));
+    }
+    if (Peek().IsKeyword("EXPLAIN")) {
+      ++index_;
+      DMR_ASSIGN_OR_RETURN(SelectStatement select, ParseSelect());
+      DMR_RETURN_NOT_OK(ExpectEnd());
+      return Statement(ExplainStatement{std::move(select)});
+    }
+    DMR_ASSIGN_OR_RETURN(SelectStatement select, ParseSelect());
+    DMR_RETURN_NOT_OK(ExpectEnd());
+    return Statement(std::move(select));
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  Token Take() { return tokens_[index_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at position " +
+                              std::to_string(Peek().pos));
+  }
+
+  Status ExpectEnd() {
+    if (Peek().IsOp(";")) ++index_;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  bool TakeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool TakeOp(const char* op) {
+    if (Peek().IsOp(op)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError(std::string("expected ") + what +
+                                ", got " + TokenKindToString(Peek().kind) +
+                                " at position " + std::to_string(Peek().pos));
+    }
+    return Take().text;
+  }
+
+  Result<SetStatement> ParseSet() {
+    // Keys may be dotted: SET dynamic.job.policy = LA
+    DMR_ASSIGN_OR_RETURN(std::string key, ExpectIdent("parameter name"));
+    while (TakeOp(".")) {
+      DMR_ASSIGN_OR_RETURN(std::string part, ExpectIdent("parameter name"));
+      key += "." + part;
+    }
+    if (!TakeOp("=")) return Error("expected '=' in SET");
+    // Value: everything until ';' / end — identifier, number or string.
+    const Token& v = Peek();
+    std::string value;
+    switch (v.kind) {
+      case TokenKind::kIdent:
+        value = Take().text;
+        break;
+      case TokenKind::kString:
+        value = Take().text;
+        break;
+      case TokenKind::kInteger:
+        value = std::to_string(Take().integer);
+        break;
+      case TokenKind::kDecimal: {
+        Token tok = Take();
+        value = std::to_string(tok.decimal);
+        break;
+      }
+      default:
+        return Error("expected a value in SET");
+    }
+    return SetStatement{std::move(key), std::move(value)};
+  }
+
+  Result<SelectStatement> ParseSelect() {
+    if (!TakeKeyword("SELECT")) return Error("expected SELECT");
+    SelectStatement stmt;
+    if (TakeOp("*")) {
+      // SELECT * — empty projection list.
+    } else {
+      do {
+        DMR_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (TakeOp(","));
+    }
+    if (!TakeKeyword("FROM")) return Error("expected FROM");
+    DMR_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (TakeKeyword("WHERE")) {
+      DMR_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (TakeKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Error("expected an integer after LIMIT");
+      }
+      int64_t k = Take().integer;
+      if (k <= 0) return Error("LIMIT must be positive");
+      stmt.limit = static_cast<uint64_t>(k);
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    DMR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (TakeKeyword("OR")) {
+      DMR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = expr::Bin(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DMR_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (TakeKeyword("AND")) {
+      DMR_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = expr::Bin(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (TakeKeyword("NOT")) {
+      DMR_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(std::make_shared<expr::NotExpr>(std::move(operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DMR_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT")) {
+      // NOT here can only precede BETWEEN / IN / LIKE.
+      ++index_;
+      negated = true;
+    }
+
+    if (TakeKeyword("BETWEEN")) {
+      DMR_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      if (!TakeKeyword("AND")) return Error("expected AND in BETWEEN");
+      DMR_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr between = std::make_shared<expr::BetweenExpr>(
+          std::move(left), std::move(lo), std::move(hi));
+      if (negated) return ExprPtr(std::make_shared<expr::NotExpr>(between));
+      return between;
+    }
+    if (TakeKeyword("IN")) {
+      if (!TakeOp("(")) return Error("expected '(' after IN");
+      std::vector<ExprPtr> candidates;
+      do {
+        DMR_ASSIGN_OR_RETURN(ExprPtr cand, ParseAdditive());
+        candidates.push_back(std::move(cand));
+      } while (TakeOp(","));
+      if (!TakeOp(")")) return Error("expected ')' to close IN list");
+      ExprPtr in = std::make_shared<expr::InExpr>(std::move(left),
+                                                  std::move(candidates));
+      if (negated) return ExprPtr(std::make_shared<expr::NotExpr>(in));
+      return in;
+    }
+    if (TakeKeyword("LIKE")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected a string pattern after LIKE");
+      }
+      std::string pattern = Take().text;
+      return ExprPtr(std::make_shared<expr::LikeExpr>(
+          std::move(left), std::move(pattern), negated));
+    }
+    if (negated) return Error("expected BETWEEN, IN or LIKE after NOT");
+
+    struct CmpOp {
+      const char* text;
+      BinaryOp op;
+    };
+    static const CmpOp kOps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"!=", BinaryOp::kNe},
+        {"<>", BinaryOp::kNe}, {"==", BinaryOp::kEq}, {"=", BinaryOp::kEq},
+        {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& cmp : kOps) {
+      if (TakeOp(cmp.text)) {
+        DMR_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return expr::Bin(cmp.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DMR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (TakeOp("+")) {
+        op = BinaryOp::kAdd;
+      } else if (TakeOp("-")) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      DMR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = expr::Bin(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DMR_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (TakeOp("*")) {
+        op = BinaryOp::kMul;
+      } else if (TakeOp("/")) {
+        op = BinaryOp::kDiv;
+      } else {
+        return left;
+      }
+      DMR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = expr::Bin(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (TakeOp("-")) {
+      DMR_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(std::make_shared<expr::NegateExpr>(std::move(operand)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger:
+        return expr::Lit(Take().integer);
+      case TokenKind::kDecimal:
+        return expr::Lit(Take().decimal);
+      case TokenKind::kString:
+        return expr::Lit(Take().text);
+      case TokenKind::kIdent: {
+        if (tok.IsKeyword("TRUE")) {
+          ++index_;
+          return expr::Lit(true);
+        }
+        if (tok.IsKeyword("FALSE")) {
+          ++index_;
+          return expr::Lit(false);
+        }
+        return expr::Col(Take().text);
+      }
+      case TokenKind::kOperator:
+        if (TakeOp("(")) {
+          DMR_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+          if (!TakeOp(")")) return Error("expected ')'");
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  DMR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  DMR_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (auto* select = std::get_if<SelectStatement>(&stmt)) {
+    return std::move(*select);
+  }
+  return Status::InvalidArgument("statement is not a SELECT");
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (columns.empty()) {
+    out += "*";
+  } else {
+    out += JoinStrings(columns, ", ");
+  }
+  out += " FROM " + table;
+  if (where) out += " WHERE " + where->ToString();
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace dmr::hive

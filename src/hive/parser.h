@@ -1,0 +1,28 @@
+#ifndef DMR_HIVE_PARSER_H_
+#define DMR_HIVE_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hive/ast.h"
+
+namespace dmr::hive {
+
+/// \brief Parses one HiveQL statement (optionally ';'-terminated).
+///
+/// Supported statements:
+///   SELECT col[, col...] | * FROM table [WHERE expr] [LIMIT n]
+///   SET key = value
+///   EXPLAIN <select>
+///
+/// Expression grammar (precedence low to high): OR, AND, NOT, comparison /
+/// BETWEEN / [NOT] IN / [NOT] LIKE, additive, multiplicative, unary minus,
+/// primary (literal, column, parenthesized).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Convenience: parses and requires a SELECT.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace dmr::hive
+
+#endif  // DMR_HIVE_PARSER_H_

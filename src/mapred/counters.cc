@@ -1,0 +1,38 @@
+#include "mapred/counters.h"
+
+namespace dmr::mapred {
+
+void Counters::Add(std::string_view name, int64_t delta) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t Counters::Get(std::string_view name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool Counters::Contains(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+void Counters::Merge(const Counters& other) {
+  for (const auto& [name, value] : other.values_) Add(name, value);
+}
+
+std::string Counters::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    out += name;
+    out += " = ";
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmr::mapred

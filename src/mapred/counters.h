@@ -1,0 +1,53 @@
+#ifndef DMR_MAPRED_COUNTERS_H_
+#define DMR_MAPRED_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dmr::mapred {
+
+/// Standard counter names (the analogue of Hadoop's built-in counters).
+inline constexpr const char* kCounterMapInputRecords = "MAP_INPUT_RECORDS";
+inline constexpr const char* kCounterMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kCounterSplitsProcessed = "SPLITS_PROCESSED";
+inline constexpr const char* kCounterLocalMaps = "DATA_LOCAL_MAPS";
+inline constexpr const char* kCounterRemoteMaps = "REMOTE_MAPS";
+inline constexpr const char* kCounterFailedMaps = "FAILED_MAP_ATTEMPTS";
+inline constexpr const char* kCounterSpeculativeMaps = "SPECULATIVE_MAPS";
+inline constexpr const char* kCounterReduceInputRecords =
+    "REDUCE_INPUT_RECORDS";
+inline constexpr const char* kCounterResultRecords = "RESULT_RECORDS";
+
+/// \brief A named bag of monotonically adjusted 64-bit counters, as exposed
+/// per job by Hadoop. Cheap to copy into JobStats snapshots.
+class Counters {
+ public:
+  /// Adds `delta` (may be negative) to `name`, creating it at 0.
+  void Add(std::string_view name, int64_t delta);
+  void Increment(std::string_view name) { Add(name, 1); }
+
+  /// Value of `name`; 0 when never touched.
+  int64_t Get(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+  size_t size() const { return values_.size(); }
+
+  /// Merges another bag into this one (summing shared names).
+  void Merge(const Counters& other);
+
+  const std::map<std::string, int64_t, std::less<>>& entries() const {
+    return values_;
+  }
+
+  /// One counter per line, "NAME = value", sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t, std::less<>> values_;
+};
+
+}  // namespace dmr::mapred
+
+#endif  // DMR_MAPRED_COUNTERS_H_

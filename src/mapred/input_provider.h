@@ -1,0 +1,67 @@
+#ifndef DMR_MAPRED_INPUT_PROVIDER_H_
+#define DMR_MAPRED_INPUT_PROVIDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/job_conf.h"
+#include "mapred/types.h"
+
+namespace dmr::mapred {
+
+/// \brief The three possible Input Provider responses (paper Figure 3).
+enum class InputResponseKind {
+  /// The job does not need to process additional input; in-flight maps
+  /// finish, then the job proceeds to the shuffle/reduce phase.
+  kEndOfInput,
+  /// Additional partitions should be processed next.
+  kInputAvailable,
+  /// "Wait and see": postpone the decision until the next evaluation.
+  kNoInputAvailable,
+};
+
+const char* InputResponseKindToString(InputResponseKind kind);
+
+/// \brief An Input Provider's answer to an evaluation.
+struct InputResponse {
+  InputResponseKind kind = InputResponseKind::kNoInputAvailable;
+  /// Populated only for kInputAvailable.
+  std::vector<InputSplit> splits;
+
+  static InputResponse EndOfInput() {
+    return {InputResponseKind::kEndOfInput, {}};
+  }
+  static InputResponse NoInput() {
+    return {InputResponseKind::kNoInputAvailable, {}};
+  }
+  static InputResponse Available(std::vector<InputSplit> splits) {
+    return {InputResponseKind::kInputAvailable, std::move(splits)};
+  }
+};
+
+/// \brief Pluggable, client-side logic that controls a dynamic job's intake
+/// of input — the paper's core mechanism (Section III-A).
+///
+/// The provider lives on the client side (initialized by the JobClient, the
+/// JobTracker stays agnostic of it, Section IV). The JobClient invokes
+/// Evaluate at regular intervals with the job's progress and the cluster
+/// load; the provider answers with one of the three responses above.
+class InputProvider {
+ public:
+  virtual ~InputProvider() = default;
+
+  /// Called once at submission with the complete set of input partitions.
+  virtual Status Initialize(const std::vector<InputSplit>& all_splits,
+                            const JobConf& conf) = 0;
+
+  /// Returns the initial set of partitions the job starts with.
+  virtual InputResponse GetInitialInput(const ClusterStatus& cluster) = 0;
+
+  /// Periodic evaluation of the job's need for additional input.
+  virtual InputResponse Evaluate(const JobProgress& progress,
+                                 const ClusterStatus& cluster) = 0;
+};
+
+}  // namespace dmr::mapred
+
+#endif  // DMR_MAPRED_INPUT_PROVIDER_H_

@@ -1,0 +1,37 @@
+#include "mapred/input_splits.h"
+
+namespace dmr::mapred {
+
+Result<std::vector<InputSplit>> MakeInputSplits(
+    const dfs::FileInfo& file,
+    const std::vector<uint64_t>& matching_per_partition) {
+  if (!matching_per_partition.empty() &&
+      matching_per_partition.size() != file.partitions.size()) {
+    return Status::InvalidArgument(
+        "matching_per_partition size (" +
+        std::to_string(matching_per_partition.size()) +
+        ") does not match partition count (" +
+        std::to_string(file.partitions.size()) + ")");
+  }
+  std::vector<InputSplit> splits;
+  splits.reserve(file.partitions.size());
+  for (size_t i = 0; i < file.partitions.size(); ++i) {
+    const dfs::PartitionInfo& p = file.partitions[i];
+    InputSplit split;
+    split.file = file.name;
+    split.index = p.index;
+    split.size_bytes = p.size_bytes;
+    split.num_records = p.num_records;
+    split.num_matching =
+        matching_per_partition.empty() ? 0 : matching_per_partition[i];
+    split.node_id = p.node_id;
+    split.disk_id = p.disk_id;
+    for (const auto& replica : p.locations()) {
+      split.locations.push_back({replica.node_id, replica.disk_id});
+    }
+    splits.push_back(split);
+  }
+  return splits;
+}
+
+}  // namespace dmr::mapred

@@ -1,0 +1,163 @@
+#include "mapred/job_client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dmr::mapred {
+
+const char* InputResponseKindToString(InputResponseKind kind) {
+  switch (kind) {
+    case InputResponseKind::kEndOfInput:
+      return "end-of-input";
+    case InputResponseKind::kInputAvailable:
+      return "input-available";
+    case InputResponseKind::kNoInputAvailable:
+      return "no-input-available";
+  }
+  return "?";
+}
+
+/// Per-dynamic-job evaluation-loop state, kept alive by the scheduled
+/// events that reference it.
+struct JobClient::DynamicLoop {
+  int job_id = -1;
+  std::shared_ptr<InputProvider> provider;
+  double eval_interval = 4.0;
+  double work_threshold_pct = 0.0;
+  int splits_total = 0;
+  int completed_at_last_invoke = 0;
+  int provider_evaluations = 0;
+  int input_increments = 0;
+  bool stopped = false;
+};
+
+JobClient::JobClient(JobTracker* tracker)
+    : tracker_(tracker), sim_(tracker->simulation()) {}
+
+Result<int> JobClient::Submit(JobSubmission submission,
+                              JobTracker::CompletionCallback on_complete) {
+  if (!submission.conf.dynamic_job()) {
+    return tracker_->SubmitStaticJob(
+        std::move(submission.conf), std::move(submission.input),
+        std::move(submission.output_model), std::move(on_complete));
+  }
+
+  if (!submission.input_provider) {
+    return Status::InvalidArgument(
+        "dynamic job requires an input provider (" +
+        std::string(kDynamicProviderKey) + ")");
+  }
+
+  auto loop = std::make_shared<DynamicLoop>();
+  loop->provider = submission.input_provider;
+  loop->eval_interval = submission.conf.eval_interval();
+  loop->work_threshold_pct = submission.conf.work_threshold_pct();
+  loop->splits_total = static_cast<int>(submission.input.size());
+  if (loop->eval_interval <= 0) {
+    return Status::InvalidArgument("evaluation interval must be > 0");
+  }
+
+  DMR_RETURN_NOT_OK(
+      loop->provider->Initialize(submission.input, submission.conf));
+
+  // Wrap the user's callback to stamp the dynamic-loop counters into the
+  // final stats.
+  auto wrapped = [loop, cb = std::move(on_complete)](const JobStats& stats) {
+    loop->stopped = true;
+    if (!cb) return;
+    JobStats augmented = stats;
+    augmented.provider_evaluations = loop->provider_evaluations;
+    augmented.input_increments = loop->input_increments;
+    cb(augmented);
+  };
+
+  DMR_ASSIGN_OR_RETURN(
+      int job_id,
+      tracker_->SubmitDynamicJob(std::move(submission.conf),
+                                 loop->splits_total,
+                                 std::move(submission.output_model),
+                                 std::move(wrapped)));
+  loop->job_id = job_id;
+
+  InputResponse initial =
+      loop->provider->GetInitialInput(tracker_->GetClusterStatus());
+  switch (initial.kind) {
+    case InputResponseKind::kInputAvailable:
+      DMR_RETURN_NOT_OK(tracker_->AddSplits(job_id, initial.splits));
+      ++loop->input_increments;
+      break;
+    case InputResponseKind::kEndOfInput:
+      DMR_RETURN_NOT_OK(tracker_->FinalizeInput(job_id));
+      break;
+    case InputResponseKind::kNoInputAvailable:
+      break;
+  }
+
+  if (initial.kind != InputResponseKind::kEndOfInput) {
+    ScheduleEvaluation(loop);
+  }
+  return job_id;
+}
+
+void JobClient::ScheduleEvaluation(std::shared_ptr<DynamicLoop> loop) {
+  sim_->Schedule(loop->eval_interval,
+                 [this, loop] { RunEvaluation(loop); });
+}
+
+void JobClient::RunEvaluation(std::shared_ptr<DynamicLoop> loop) {
+  if (loop->stopped) return;
+  auto complete = tracker_->IsJobComplete(loop->job_id);
+  if (!complete.ok() || *complete) return;
+
+  auto progress_result = tracker_->GetJobProgress(loop->job_id);
+  if (!progress_result.ok()) return;
+  const JobProgress& progress = *progress_result;
+
+  if (progress.splits_added >= loop->splits_total &&
+      !progress.starved()) {
+    // Whole input already handed over; nothing a provider could add. Wait
+    // for the in-flight maps, then let the starved path finalize.
+    ScheduleEvaluation(loop);
+    return;
+  }
+
+  // Work Threshold (paper Section III-B): require enough new partitions
+  // processed since the last invocation, as a % of the job's total input.
+  // Deviation from the letter of the paper: a *starved* job (all added
+  // input processed, nothing running) is always evaluated — otherwise a
+  // conservative policy whose per-step additions are below the threshold
+  // could never be re-evaluated and the job would hang (see DESIGN.md).
+  double threshold_splits =
+      loop->work_threshold_pct / 100.0 *
+      static_cast<double>(loop->splits_total);
+  int new_done = progress.maps_completed - loop->completed_at_last_invoke;
+  bool threshold_met =
+      static_cast<double>(new_done) >= std::max(1.0, threshold_splits);
+
+  if (threshold_met || progress.starved()) {
+    loop->completed_at_last_invoke = progress.maps_completed;
+    ++loop->provider_evaluations;
+    InputResponse response =
+        loop->provider->Evaluate(progress, tracker_->GetClusterStatus());
+    switch (response.kind) {
+      case InputResponseKind::kEndOfInput: {
+        Status st = tracker_->FinalizeInput(loop->job_id);
+        DMR_CHECK(st.ok()) << st.ToString();
+        loop->stopped = true;  // provider is not invoked further
+        return;
+      }
+      case InputResponseKind::kInputAvailable: {
+        Status st = tracker_->AddSplits(loop->job_id, response.splits);
+        DMR_CHECK(st.ok()) << st.ToString();
+        ++loop->input_increments;
+        break;
+      }
+      case InputResponseKind::kNoInputAvailable:
+        break;
+    }
+  }
+  ScheduleEvaluation(loop);
+}
+
+}  // namespace dmr::mapred

@@ -1,0 +1,93 @@
+#ifndef DMR_MAPRED_JOB_CONF_H_
+#define DMR_MAPRED_JOB_CONF_H_
+
+#include <string>
+
+#include "common/properties.h"
+
+namespace dmr::mapred {
+
+/// Configuration keys understood by the execution engine. The dynamic.* keys
+/// are the JobConf extension the paper introduces in Section IV.
+inline constexpr const char* kJobNameKey = "mapred.job.name";
+inline constexpr const char* kUserNameKey = "user.name";
+inline constexpr const char* kInputFileKey = "mapred.input.file";
+inline constexpr const char* kNumReduceTasksKey = "mapred.reduce.tasks";
+
+/// Boolean flag marking the job as dynamic (paper: "dynamic.job").
+inline constexpr const char* kDynamicJobKey = "dynamic.job";
+/// Name of the growth policy controlling the job (paper:
+/// "dynamic.job.policy").
+inline constexpr const char* kDynamicPolicyKey = "dynamic.job.policy";
+/// Class name of the InputProvider implementation (paper:
+/// "dynamic.input.provider"). Informational in the simulator — the provider
+/// object itself is attached to the job submission.
+inline constexpr const char* kDynamicProviderKey = "dynamic.input.provider";
+/// Seconds between Input Provider evaluations (paper: 4 s).
+inline constexpr const char* kEvalIntervalKey = "dynamic.eval.interval.secs";
+/// Work threshold in percent of input partitions (paper Table I).
+inline constexpr const char* kWorkThresholdKey = "dynamic.work.threshold.pct";
+/// Required sample size k for predicate-based sampling jobs.
+inline constexpr const char* kSampleSizeKey = "sampling.sample.size";
+/// SQL text of the sampling predicate (set by the Hive compiler).
+inline constexpr const char* kPredicateKey = "sampling.predicate";
+
+/// \brief The primary interface for describing a job to the engine — the
+/// analogue of Hadoop's JobConf, extended with the dynamic.* parameters.
+class JobConf {
+ public:
+  JobConf() = default;
+  explicit JobConf(Properties props) : props_(std::move(props)) {}
+
+  Properties& props() { return props_; }
+  const Properties& props() const { return props_; }
+
+  std::string name() const { return props_.Get(kJobNameKey, "job"); }
+  void set_name(std::string_view name) { props_.Set(kJobNameKey, name); }
+
+  std::string user() const { return props_.Get(kUserNameKey, "default"); }
+  void set_user(std::string_view user) { props_.Set(kUserNameKey, user); }
+
+  std::string input_file() const { return props_.Get(kInputFileKey, ""); }
+  void set_input_file(std::string_view f) { props_.Set(kInputFileKey, f); }
+
+  bool dynamic_job() const {
+    return props_.GetBool(kDynamicJobKey, false).ValueOr(false);
+  }
+  void set_dynamic_job(bool dynamic) {
+    props_.SetBool(kDynamicJobKey, dynamic);
+  }
+
+  std::string policy() const { return props_.Get(kDynamicPolicyKey, ""); }
+  void set_policy(std::string_view policy) {
+    props_.Set(kDynamicPolicyKey, policy);
+  }
+
+  double eval_interval() const {
+    return props_.GetDouble(kEvalIntervalKey, 4.0).ValueOr(4.0);
+  }
+  void set_eval_interval(double seconds) {
+    props_.SetDouble(kEvalIntervalKey, seconds);
+  }
+
+  double work_threshold_pct() const {
+    return props_.GetDouble(kWorkThresholdKey, 0.0).ValueOr(0.0);
+  }
+  void set_work_threshold_pct(double pct) {
+    props_.SetDouble(kWorkThresholdKey, pct);
+  }
+
+  uint64_t sample_size() const {
+    return static_cast<uint64_t>(props_.GetInt(kSampleSizeKey, 0).ValueOr(0));
+  }
+  void set_sample_size(uint64_t k) {
+    props_.SetInt(kSampleSizeKey, static_cast<int64_t>(k));
+  }
+
+ private:
+  Properties props_;
+};
+
+}  // namespace dmr::mapred
+
+#endif  // DMR_MAPRED_JOB_CONF_H_

@@ -1,0 +1,362 @@
+#include "mapred/job_tracker.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace dmr::mapred {
+
+JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler)
+    : cluster_(cluster),
+      sim_(cluster->simulation()),
+      scheduler_(scheduler),
+      fault_rng_(cluster->config().fault_seed) {}
+
+void JobTracker::Start() {
+  DMR_CHECK(!started_) << "JobTracker::Start called twice";
+  started_ = true;
+  double interval = cluster_->config().heartbeat_interval;
+  int n = cluster_->num_nodes();
+  for (int i = 0; i < n; ++i) {
+    double offset = interval * (static_cast<double>(i) + 1.0) /
+                    static_cast<double>(n);
+    sim_->Schedule(offset, [this, i] { Heartbeat(i); });
+  }
+}
+
+Result<int> JobTracker::SubmitStaticJob(JobConf conf,
+                                        std::vector<InputSplit> splits,
+                                        MapOutputModel output_model,
+                                        CompletionCallback on_complete) {
+  int splits_total = static_cast<int>(splits.size());
+  DMR_ASSIGN_OR_RETURN(
+      int id, SubmitDynamicJob(std::move(conf), splits_total,
+                               std::move(output_model),
+                               std::move(on_complete)));
+  DMR_RETURN_NOT_OK(AddSplits(id, splits));
+  DMR_RETURN_NOT_OK(FinalizeInput(id));
+  return id;
+}
+
+Result<int> JobTracker::SubmitDynamicJob(JobConf conf, int splits_total,
+                                         MapOutputModel output_model,
+                                         CompletionCallback on_complete) {
+  if (!started_) return Status::FailedPrecondition("tracker not started");
+  if (splits_total < 0) {
+    return Status::InvalidArgument("splits_total must be >= 0");
+  }
+  if (!output_model) {
+    return Status::InvalidArgument("output_model must be set");
+  }
+  int id = NextJobId();
+  auto job = std::make_unique<Job>(id, std::move(conf), splits_total,
+                                   std::move(output_model), sim_->Now());
+  mapping_jobs_.push_back(job.get());
+  jobs_[id] = std::move(job);
+  callbacks_[id] = std::move(on_complete);
+  ++active_jobs_;
+  history_.Record(sim_->Now(), id, JobEventKind::kSubmitted);
+  return id;
+}
+
+Status JobTracker::AddSplits(int job_id,
+                             const std::vector<InputSplit>& splits) {
+  DMR_ASSIGN_OR_RETURN(Job * job, FindJob(job_id));
+  if (job->input_finalized()) {
+    return Status::FailedPrecondition("job " + std::to_string(job_id) +
+                                      ": input already finalized");
+  }
+  job->AddSplits(splits);
+  history_.Record(sim_->Now(), job_id, JobEventKind::kSplitsAdded,
+                  static_cast<int>(splits.size()));
+  return Status::OK();
+}
+
+Status JobTracker::FinalizeInput(int job_id) {
+  DMR_ASSIGN_OR_RETURN(Job * job, FindJob(job_id));
+  if (job->input_finalized()) return Status::OK();
+  job->FinalizeInput();
+  history_.Record(sim_->Now(), job_id, JobEventKind::kInputFinalized);
+  CheckReduceReady(job);
+  return Status::OK();
+}
+
+Result<JobProgress> JobTracker::GetJobProgress(int job_id) const {
+  DMR_ASSIGN_OR_RETURN(Job * job, FindJob(job_id));
+  return job->GetProgress(sim_->Now());
+}
+
+Result<bool> JobTracker::IsJobComplete(int job_id) const {
+  DMR_ASSIGN_OR_RETURN(Job * job, FindJob(job_id));
+  return job->state() == JobState::kSucceeded ||
+         job->state() == JobState::kKilled;
+}
+
+ClusterStatus JobTracker::GetClusterStatus() const {
+  ClusterStatus status;
+  status.total_map_slots = cluster_->total_map_slots();
+  status.occupied_map_slots = cluster_->used_map_slots();
+  status.running_jobs = active_jobs_;
+  return status;
+}
+
+double JobTracker::LocalityPercent() const {
+  int64_t total = total_local_maps_ + total_remote_maps_;
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(total_local_maps_) /
+         static_cast<double>(total);
+}
+
+Result<Job*> JobTracker::FindJob(int job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  return it->second.get();
+}
+
+void JobTracker::PruneMappingJobs() {
+  mapping_jobs_.erase(
+      std::remove_if(mapping_jobs_.begin(), mapping_jobs_.end(),
+                     [](Job* j) { return j->state() != JobState::kMapping; }),
+      mapping_jobs_.end());
+}
+
+void JobTracker::Heartbeat(int node_id) {
+  cluster::Node* node = cluster_->node(node_id);
+
+  // Launch queued reduce tasks first (they are few and cheap).
+  while (!reduce_ready_.empty() && node->free_reduce_slots() > 0) {
+    Job* job = reduce_ready_.front();
+    reduce_ready_.pop_front();
+    LaunchReduce(job, node_id);
+  }
+
+  // Fill free map slots via the pluggable scheduler.
+  PruneMappingJobs();
+  if (node->free_map_slots() > 0 && !mapping_jobs_.empty()) {
+    std::vector<MapAssignment> assignments = scheduler_->AssignMapTasks(
+        mapping_jobs_, node_id, node->free_map_slots(), sim_->Now());
+    DMR_CHECK_LE(static_cast<int>(assignments.size()),
+                 node->free_map_slots());
+    for (auto& a : assignments) {
+      LaunchMap(a.job, a.split, node_id, a.local, /*backup=*/false);
+    }
+  }
+
+  if (cluster_->config().speculative_execution &&
+      node->free_map_slots() > 0) {
+    MaybeLaunchBackups(node_id);
+  }
+
+  sim_->Schedule(cluster_->config().heartbeat_interval,
+                 [this, node_id] { Heartbeat(node_id); });
+}
+
+void JobTracker::MaybeLaunchBackups(int node_id) {
+  const auto& config = cluster_->config();
+  double now = sim_->Now();
+  // At most one backup per heartbeat (mirroring Hadoop's cautious pace):
+  // pick the longest-overdue single-attempt split of the oldest job that
+  // qualifies.
+  AttemptPtr victim;
+  double worst_overrun = 0.0;
+  for (Job* job : mapping_jobs_) {
+    if (job->HasPendingSplits()) continue;   // real work first
+    if (job->maps_completed() == 0) continue;  // no duration baseline yet
+    double mean = job->MeanMapDuration();
+    double threshold = std::max(config.speculative_min_runtime,
+                                config.speculative_slowdown_threshold * mean);
+    for (auto& [key, attempts] : running_splits_) {
+      if (key.first != job->id() || attempts.size() != 1) continue;
+      double elapsed = now - attempts.front()->launch_time;
+      if (elapsed > threshold && elapsed > worst_overrun) {
+        worst_overrun = elapsed;
+        victim = attempts.front();
+      }
+    }
+  }
+  if (!victim) return;
+  ++total_speculative_maps_;
+  victim->job->OnSpeculativeLaunched();
+  LaunchMap(victim->job, victim->split, node_id,
+            victim->split.IsLocalTo(node_id), /*backup=*/true);
+}
+
+void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
+                           bool local, bool backup) {
+  cluster::Node* node = cluster_->node(node_id);
+  node->AcquireMapSlot();
+  // Backups do not change the job's split-level accounting — the split is
+  // already counted as running by its original attempt.
+  if (!backup) job->OnMapLaunched(split, node_id, local);
+  if (local) {
+    ++total_local_maps_;
+  } else {
+    ++total_remote_maps_;
+  }
+
+  const auto& config = cluster_->config();
+  double cpu_demand =
+      static_cast<double>(split.num_records) * config.cpu_cost_per_record;
+  double read_bytes = static_cast<double>(split.size_bytes);
+
+  // Fault injection: a straggler attempt demands proportionally more of
+  // every resource; a failing attempt does its work and then reports
+  // failure, whereupon the split is requeued for another attempt.
+  if (config.straggler_prob > 0 &&
+      fault_rng_.NextBernoulli(config.straggler_prob)) {
+    cpu_demand *= config.straggler_slowdown;
+    read_bytes *= config.straggler_slowdown;
+  }
+  bool will_fail = config.map_failure_prob > 0 &&
+                   fault_rng_.NextBernoulli(config.map_failure_prob);
+
+  auto attempt = std::make_shared<MapAttempt>();
+  attempt->job = job;
+  attempt->split = split;
+  attempt->node_id = node_id;
+  attempt->local = local;
+  attempt->backup = backup;
+  attempt->launch_time = sim_->Now();
+  running_splits_[{job->id(), split.index}].push_back(attempt);
+  history_.Record(sim_->Now(), job->id(),
+                  backup ? JobEventKind::kBackupLaunched
+                         : JobEventKind::kMapLaunched,
+                  split.index, node_id);
+
+  // The task holds its slot through startup, then reads its partition while
+  // applying the map function. Disk (and network, when remote) and CPU are
+  // consumed concurrently; the task finishes when all demands are met.
+  attempt->startup_event = sim_->Schedule(
+      config.task_startup_seconds,
+      [this, attempt, cpu_demand, read_bytes, will_fail] {
+        auto remaining = std::make_shared<int>(attempt->local ? 2 : 3);
+        auto on_part_done = [this, attempt, remaining, will_fail] {
+          if (--(*remaining) != 0) return;
+          OnAttemptDone(attempt, will_fail);
+        };
+        // Read from the replica on this node when there is one, else from
+        // the primary copy over the network.
+        SplitLocation source =
+            attempt->split.ReadLocationFor(attempt->node_id);
+        sim::PsResource* disk =
+            cluster_->node(source.node_id)->disk(source.disk_id);
+        attempt->requests.emplace_back(disk,
+                                       disk->Submit(read_bytes, on_part_done));
+        if (!attempt->local) {
+          sim::PsResource* net = cluster_->network();
+          attempt->requests.emplace_back(
+              net, net->Submit(read_bytes, on_part_done));
+        }
+        sim::PsResource* cpu = cluster_->node(attempt->node_id)->cpu();
+        attempt->requests.emplace_back(cpu,
+                                       cpu->Submit(cpu_demand, on_part_done));
+      });
+}
+
+void JobTracker::KillAttempt(const AttemptPtr& attempt) {
+  DMR_CHECK(!attempt->finished);
+  attempt->finished = true;
+  attempt->startup_event.Cancel();
+  for (auto& [resource, request_id] : attempt->requests) {
+    resource->CancelRequest(request_id);
+  }
+  cluster_->node(attempt->node_id)->ReleaseMapSlot();
+  history_.Record(sim_->Now(), attempt->job->id(),
+                  JobEventKind::kAttemptKilled, attempt->split.index,
+                  attempt->node_id);
+}
+
+void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
+  if (attempt->finished) return;  // lost a race with a sibling's kill
+  attempt->finished = true;
+  cluster_->node(attempt->node_id)->ReleaseMapSlot();
+  Job* job = attempt->job;
+
+  SplitKey key{job->id(), attempt->split.index};
+  auto group_it = running_splits_.find(key);
+  DMR_CHECK(group_it != running_splits_.end());
+  auto& attempts = group_it->second;
+  attempts.erase(std::remove(attempts.begin(), attempts.end(), attempt),
+                 attempts.end());
+
+  history_.Record(sim_->Now(), job->id(),
+                  failed ? JobEventKind::kMapFailed
+                         : JobEventKind::kMapCompleted,
+                  attempt->split.index, attempt->node_id);
+  if (failed) {
+    // A sibling backup may still succeed; only when every attempt has
+    // failed does the split go back on the pending queue.
+    if (attempts.empty()) {
+      running_splits_.erase(group_it);
+      job->OnMapFailed(attempt->split);
+      job->RequeueSplit(attempt->split);
+    }
+    return;
+  }
+
+  // First successful attempt wins; kill the rest.
+  for (auto& sibling : attempts) KillAttempt(sibling);
+  running_splits_.erase(group_it);
+  job->RecordMapDuration(sim_->Now() - attempt->launch_time);
+  job->OnMapCompleted(attempt->split,
+                      job->ComputeMapOutput(attempt->split));
+  CheckReduceReady(job);
+}
+
+void JobTracker::CheckReduceReady(Job* job) {
+  if (!job->ReadyForReduce()) return;
+  job->set_state(JobState::kReducing);
+  reduce_ready_.push_back(job);
+}
+
+void JobTracker::LaunchReduce(Job* job, int node_id) {
+  cluster::Node* node = cluster_->node(node_id);
+  node->AcquireReduceSlot();
+  history_.Record(sim_->Now(), job->id(), JobEventKind::kReduceStarted, -1,
+                  node_id);
+
+  const auto& config = cluster_->config();
+  uint64_t output_records = job->output_records();
+  // The single reduce task shuffles every map-output record across the
+  // cluster interconnect and merges them (paper Algorithm 2).
+  double shuffle_bytes = static_cast<double>(output_records) * 132.0;
+  double cpu_demand = static_cast<double>(output_records) *
+                      config.reduce_cpu_cost_per_record;
+
+  sim_->Schedule(config.task_startup_seconds, [this, job, node_id,
+                                               shuffle_bytes, cpu_demand] {
+    auto remaining = std::make_shared<int>(2);
+    auto on_part_done = [this, job, node_id, remaining] {
+      if (--(*remaining) == 0) OnReduceComplete(job, node_id);
+    };
+    cluster_->network()->Submit(shuffle_bytes, on_part_done);
+    cluster_->node(node_id)->cpu()->Submit(cpu_demand, on_part_done);
+  });
+}
+
+void JobTracker::OnReduceComplete(Job* job, int node_id) {
+  cluster_->node(node_id)->ReleaseReduceSlot();
+
+  uint64_t k = job->conf().sample_size();
+  uint64_t produced = job->output_records();
+  job->set_result_records(k > 0 ? std::min(k, produced) : produced);
+  job->set_state(JobState::kSucceeded);
+  job->set_finish_time(sim_->Now());
+  --active_jobs_;
+
+  history_.Record(sim_->Now(), job->id(), JobEventKind::kJobCompleted);
+  JobStats stats = job->GetStats();
+  completed_jobs_.push_back(stats);
+  auto cb_it = callbacks_.find(job->id());
+  CompletionCallback cb;
+  if (cb_it != callbacks_.end()) {
+    cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+  }
+  if (cb) cb(stats);
+}
+
+}  // namespace dmr::mapred

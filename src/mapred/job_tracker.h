@@ -1,0 +1,145 @@
+#ifndef DMR_MAPRED_JOB_TRACKER_H_
+#define DMR_MAPRED_JOB_TRACKER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "mapred/job.h"
+#include "mapred/job_history.h"
+#include "mapred/task_scheduler.h"
+#include "mapred/types.h"
+#include "sim/simulation.h"
+
+namespace dmr::mapred {
+
+/// \brief The server-side daemon that manages job lifecycles — the analogue
+/// of Hadoop's JobTracker.
+///
+/// Per the paper's design (Section IV), the JobTracker is agnostic of Input
+/// Providers and policies: it only exposes AddSplits / FinalizeInput, which
+/// the client-side JobClient drives. TaskTracker heartbeats are simulated
+/// per node at the configured interval; at each heartbeat the pluggable
+/// TaskScheduler fills free map slots and the tracker launches queued
+/// reduce tasks.
+class JobTracker {
+ public:
+  using CompletionCallback = std::function<void(const JobStats&)>;
+
+  /// \param scheduler  not owned; must outlive the tracker.
+  JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler);
+
+  /// Begins the per-node heartbeat cycle (staggered across nodes).
+  void Start();
+
+  /// Submits a job whose whole input is known up front (ordinary Hadoop
+  /// job): all splits are added and input is finalized immediately.
+  Result<int> SubmitStaticJob(JobConf conf, std::vector<InputSplit> splits,
+                              MapOutputModel output_model,
+                              CompletionCallback on_complete);
+
+  /// Submits a dynamic job with no input yet; the JobClient feeds splits
+  /// via AddSplits and eventually calls FinalizeInput.
+  ///
+  /// \param splits_total  size of the job's complete input (for progress).
+  Result<int> SubmitDynamicJob(JobConf conf, int splits_total,
+                               MapOutputModel output_model,
+                               CompletionCallback on_complete);
+
+  /// Appends input partitions to a job ("input available").
+  Status AddSplits(int job_id, const std::vector<InputSplit>& splits);
+
+  /// Declares a job's input complete ("end of input"); once in-flight maps
+  /// finish, the reduce phase begins.
+  Status FinalizeInput(int job_id);
+
+  Result<JobProgress> GetJobProgress(int job_id) const;
+
+  /// True once the job has fully completed.
+  Result<bool> IsJobComplete(int job_id) const;
+
+  /// Current cluster-load summary (what the JobClient forwards to Input
+  /// Providers).
+  ClusterStatus GetClusterStatus() const;
+
+  cluster::Cluster* cluster() { return cluster_; }
+  sim::Simulation* simulation() { return sim_; }
+
+  /// Stats of all completed jobs, in completion order.
+  const std::vector<JobStats>& completed_jobs() const {
+    return completed_jobs_;
+  }
+
+  int64_t total_local_maps() const { return total_local_maps_; }
+  int64_t total_remote_maps() const { return total_remote_maps_; }
+
+  /// Locality as % of launched map tasks reading from their home node.
+  double LocalityPercent() const;
+
+  /// Speculative (backup) map attempts launched cluster-wide.
+  int64_t total_speculative_maps() const { return total_speculative_maps_; }
+
+  /// Append-only lifecycle event log (the JobHistory analogue).
+  const JobHistory& history() const { return history_; }
+
+ private:
+  /// One running map attempt (original or speculative backup). Attempts are
+  /// killable: their outstanding resource requests are cancelled and the
+  /// slot freed when a sibling attempt wins.
+  struct MapAttempt {
+    Job* job = nullptr;
+    InputSplit split;
+    int node_id = 0;
+    bool local = false;
+    bool backup = false;
+    bool finished = false;
+    double launch_time = 0.0;
+    sim::EventHandle startup_event;
+    std::vector<std::pair<sim::PsResource*, sim::PsResource::RequestId>>
+        requests;
+  };
+  using AttemptPtr = std::shared_ptr<MapAttempt>;
+  /// Key of a running split: (job id, split index).
+  using SplitKey = std::pair<int, int>;
+
+  void Heartbeat(int node_id);
+  void MaybeLaunchBackups(int node_id);
+  void LaunchMap(Job* job, const InputSplit& split, int node_id, bool local,
+                 bool backup);
+  void LaunchReduce(Job* job, int node_id);
+  void OnAttemptDone(const AttemptPtr& attempt, bool failed);
+  void KillAttempt(const AttemptPtr& attempt);
+  void OnReduceComplete(Job* job, int node_id);
+  void CheckReduceReady(Job* job);
+  void PruneMappingJobs();
+  Result<Job*> FindJob(int job_id) const;
+  int NextJobId() { return next_job_id_++; }
+
+  cluster::Cluster* cluster_;
+  sim::Simulation* sim_;
+  TaskScheduler* scheduler_;
+  bool started_ = false;
+  Rng fault_rng_;
+
+  std::map<int, std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> mapping_jobs_;           // submission order
+  std::deque<Job*> reduce_ready_;            // FIFO reduce launch queue
+  std::map<int, CompletionCallback> callbacks_;
+  std::vector<JobStats> completed_jobs_;
+  std::map<SplitKey, std::vector<AttemptPtr>> running_splits_;
+  int next_job_id_ = 1;
+  int active_jobs_ = 0;
+  int64_t total_local_maps_ = 0;
+  int64_t total_remote_maps_ = 0;
+  int64_t total_speculative_maps_ = 0;
+  JobHistory history_;
+};
+
+}  // namespace dmr::mapred
+
+#endif  // DMR_MAPRED_JOB_TRACKER_H_

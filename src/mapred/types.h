@@ -1,0 +1,128 @@
+#ifndef DMR_MAPRED_TYPES_H_
+#define DMR_MAPRED_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapred/counters.h"
+
+namespace dmr::mapred {
+
+/// \brief A candidate read location for a split (one stored replica).
+struct SplitLocation {
+  int node_id = 0;
+  int disk_id = 0;
+};
+
+/// \brief One unit of map input: a DFS partition plus the record statistics
+/// the simulator's cost/output models need.
+///
+/// `num_matching` is ground truth about the data (how many records satisfy
+/// the job's predicate). The *job* never reads it directly — it only observes
+/// output counts of finished map tasks, exactly like a real Hadoop job.
+struct InputSplit {
+  std::string file;
+  int index = 0;
+  uint64_t size_bytes = 0;
+  uint64_t num_records = 0;
+  uint64_t num_matching = 0;
+  /// Primary location (kept in sync with locations.front() when replicas
+  /// are present).
+  int node_id = 0;
+  int disk_id = 0;
+  /// All replica locations, primary first; empty means primary only.
+  std::vector<SplitLocation> locations;
+
+  /// All candidate read locations, uniformly (primary first).
+  std::vector<SplitLocation> all_locations() const {
+    if (!locations.empty()) return locations;
+    return {SplitLocation{node_id, disk_id}};
+  }
+
+  /// True when some replica lives on `node`.
+  bool IsLocalTo(int node) const {
+    for (const auto& loc : all_locations()) {
+      if (loc.node_id == node) return true;
+    }
+    return false;
+  }
+
+  /// The replica on `node`, or the primary when there is none.
+  SplitLocation ReadLocationFor(int node) const {
+    for (const auto& loc : all_locations()) {
+      if (loc.node_id == node) return loc;
+    }
+    return {node_id, disk_id};
+  }
+};
+
+/// \brief Cluster-load summary handed to Input Providers (paper Section III:
+/// "statistics about ... the current load, and the availability of map slots
+/// in the cluster").
+struct ClusterStatus {
+  int total_map_slots = 0;
+  int occupied_map_slots = 0;
+  int running_jobs = 0;
+
+  int available_map_slots() const {
+    return total_map_slots - occupied_map_slots;
+  }
+};
+
+/// \brief Job-progress snapshot handed to Input Providers at each evaluation
+/// (paper Section IV: number of records processed and output tuples produced
+/// by completed map tasks, plus the job status).
+struct JobProgress {
+  /// Splits handed to the job so far (scheduled + running + done).
+  int splits_added = 0;
+  /// Total splits in the job's complete input.
+  int splits_total = 0;
+  int maps_completed = 0;
+  int maps_running = 0;
+  int maps_pending = 0;
+  /// Input records consumed by *completed* map tasks.
+  uint64_t records_processed = 0;
+  /// Output records produced by *completed* map tasks.
+  uint64_t output_records = 0;
+  /// Records in splits that are added but not yet finished.
+  uint64_t pending_records = 0;
+  /// Virtual time of the snapshot.
+  double now = 0.0;
+
+  /// True when every added split has finished and nothing is running.
+  bool starved() const { return maps_running == 0 && maps_pending == 0; }
+};
+
+/// \brief Final accounting for a completed job.
+struct JobStats {
+  int job_id = -1;
+  std::string name;
+  std::string user;
+  std::string policy;
+  double submit_time = 0.0;
+  double finish_time = 0.0;
+  int splits_total = 0;
+  int splits_processed = 0;
+  uint64_t records_processed = 0;
+  uint64_t output_records = 0;
+  /// Records the reduce phase emitted (= min(k, output) for sampling jobs).
+  uint64_t result_records = 0;
+  int local_maps = 0;
+  int remote_maps = 0;
+  /// Failed map attempts that were retried.
+  int failed_maps = 0;
+  /// Speculative (backup) map attempts launched for this job.
+  int speculative_maps = 0;
+  /// Number of times the Input Provider was invoked / added input.
+  int provider_evaluations = 0;
+  int input_increments = 0;
+  /// Hadoop-style named counters (see counters.h for the standard names).
+  Counters counters;
+
+  double response_time() const { return finish_time - submit_time; }
+};
+
+}  // namespace dmr::mapred
+
+#endif  // DMR_MAPRED_TYPES_H_

@@ -1,0 +1,49 @@
+#include "sampling/sampler.h"
+
+namespace dmr::sampling {
+
+SamplingMapper::SamplingMapper(expr::ExprPtr predicate,
+                               const expr::Schema* schema, uint64_t k)
+    : predicate_(std::move(predicate)), schema_(schema), k_(k) {}
+
+Result<bool> SamplingMapper::Map(const expr::Tuple& row,
+                                 std::vector<expr::Tuple>* out) {
+  ++records_seen_;
+  // Algorithm 1 keeps scanning after the cap but stops emitting; matching
+  // is still evaluated so counters reflect the data.
+  DMR_ASSIGN_OR_RETURN(bool matches,
+                       expr::EvaluatePredicate(*predicate_, *schema_, row));
+  if (!matches) return false;
+  ++records_matched_;
+  if (emitted_ < k_) {
+    ++emitted_;
+    out->push_back(row);
+  }
+  return true;
+}
+
+SamplingReducer::SamplingReducer(uint64_t k, SampleMode mode, uint64_t seed)
+    : k_(k), mode_(mode), rng_(seed ^ 0x5EEDCAFEULL) {}
+
+void SamplingReducer::Add(expr::Tuple value) {
+  ++candidates_seen_;
+  if (sample_.size() < k_) {
+    sample_.push_back(std::move(value));
+    return;
+  }
+  if (mode_ == SampleMode::kReservoir) {
+    // Classic reservoir: replace a random slot with probability k / seen.
+    uint64_t j = rng_.NextBounded(candidates_seen_);
+    if (j < k_) sample_[j] = std::move(value);
+  }
+  // kFirstK: excess candidates are dropped (Algorithm 2 keeps the first k).
+}
+
+std::vector<expr::Tuple> SamplingReducer::Finish() {
+  std::vector<expr::Tuple> out = std::move(sample_);
+  sample_.clear();
+  candidates_seen_ = 0;
+  return out;
+}
+
+}  // namespace dmr::sampling

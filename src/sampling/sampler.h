@@ -1,0 +1,80 @@
+#ifndef DMR_SAMPLING_SAMPLER_H_
+#define DMR_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "expr/expression.h"
+
+namespace dmr::sampling {
+
+/// \brief Record-level map logic for predicate-based sampling — the paper's
+/// Algorithm 1.
+///
+/// Each map task evaluates the predicate on every record of its partition
+/// and emits (k_dummy, record) for matches, stopping after k emissions
+/// (every map emits up to k because no other map may find anything).
+class SamplingMapper {
+ public:
+  /// \param predicate  boolean expression over `schema`.
+  /// \param k          required sample size.
+  SamplingMapper(expr::ExprPtr predicate, const expr::Schema* schema,
+                 uint64_t k);
+
+  /// Processes one record; appends to `out` when it is emitted.
+  /// Returns whether the record matched the predicate (even if not emitted
+  /// because the k cap was reached).
+  Result<bool> Map(const expr::Tuple& row, std::vector<expr::Tuple>* out);
+
+  /// Emitted so far by this mapper (<= k).
+  uint64_t emitted() const { return emitted_; }
+  uint64_t records_seen() const { return records_seen_; }
+  uint64_t records_matched() const { return records_matched_; }
+
+ private:
+  expr::ExprPtr predicate_;
+  const expr::Schema* schema_;
+  uint64_t k_;
+  uint64_t emitted_ = 0;
+  uint64_t records_seen_ = 0;
+  uint64_t records_matched_ = 0;
+};
+
+/// \brief How the reduce side trims the candidate list to k records.
+enum class SampleMode {
+  /// Keep the first k values of the list (the paper's Algorithm 2).
+  kFirstK,
+  /// Keep a uniform random k via reservoir sampling (the paper's footnote:
+  /// "One could do a 'random' k instead ... where more randomness is
+  /// desired").
+  kReservoir,
+};
+
+/// \brief Record-level reduce logic — the paper's Algorithm 2. All map
+/// outputs share one dummy key, so a single reducer sees the whole
+/// candidate list.
+class SamplingReducer {
+ public:
+  SamplingReducer(uint64_t k, SampleMode mode, uint64_t seed = 0);
+
+  /// Streams one candidate value into the reducer.
+  void Add(expr::Tuple value);
+
+  /// Returns the final sample (size <= k) and resets the reducer.
+  std::vector<expr::Tuple> Finish();
+
+  uint64_t candidates_seen() const { return candidates_seen_; }
+
+ private:
+  uint64_t k_;
+  SampleMode mode_;
+  Rng rng_;
+  uint64_t candidates_seen_ = 0;
+  std::vector<expr::Tuple> sample_;
+};
+
+}  // namespace dmr::sampling
+
+#endif  // DMR_SAMPLING_SAMPLER_H_

@@ -1,0 +1,63 @@
+#include "sampling/sampling_job.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "dynamic/sampling_input_provider.h"
+#include "mapred/input_splits.h"
+
+namespace dmr::sampling {
+
+mapred::MapOutputModel SamplingMapOutputModel(uint64_t k) {
+  return [k](const mapred::InputSplit& split) {
+    return std::min<uint64_t>(k, split.num_matching);
+  };
+}
+
+mapred::MapOutputModel SelectProjectOutputModel() {
+  return [](const mapred::InputSplit& split) { return split.num_matching; };
+}
+
+Result<mapred::JobSubmission> MakeSamplingJob(
+    const dfs::FileInfo& file,
+    const std::vector<uint64_t>& matching_per_partition,
+    const dynamic::GrowthPolicy& policy, const SamplingJobOptions& options) {
+  if (options.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be > 0");
+  }
+  mapred::JobSubmission submission;
+  submission.conf.set_name(options.job_name);
+  submission.conf.set_user(options.user);
+  submission.conf.set_input_file(file.name);
+  submission.conf.set_sample_size(options.sample_size);
+  if (!options.predicate_sql.empty()) {
+    submission.conf.props().Set(mapred::kPredicateKey, options.predicate_sql);
+  }
+  submission.conf.props().Set(mapred::kDynamicProviderKey,
+                              "dmr::dynamic::SamplingInputProvider");
+  policy.Apply(&submission.conf);
+
+  DMR_ASSIGN_OR_RETURN(submission.input,
+                       mapred::MakeInputSplits(file, matching_per_partition));
+  submission.output_model = SamplingMapOutputModel(options.sample_size);
+  submission.input_provider =
+      std::make_shared<dynamic::SamplingInputProvider>(policy, options.seed);
+  return submission;
+}
+
+Result<mapred::JobSubmission> MakeSelectProjectJob(
+    const dfs::FileInfo& file,
+    const std::vector<uint64_t>& matching_per_partition,
+    const std::string& job_name, const std::string& user) {
+  mapred::JobSubmission submission;
+  submission.conf.set_name(job_name);
+  submission.conf.set_user(user);
+  submission.conf.set_input_file(file.name);
+  submission.conf.set_dynamic_job(false);
+  DMR_ASSIGN_OR_RETURN(submission.input,
+                       mapred::MakeInputSplits(file, matching_per_partition));
+  submission.output_model = SelectProjectOutputModel();
+  return submission;
+}
+
+}  // namespace dmr::sampling

@@ -1,0 +1,26 @@
+#ifndef DMR_SCHEDULER_FIFO_SCHEDULER_H_
+#define DMR_SCHEDULER_FIFO_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "mapred/task_scheduler.h"
+
+namespace dmr::scheduler {
+
+/// \brief Hadoop 0.20's default scheduler: jobs are served strictly in
+/// submission order; for the head job with pending work the scheduler
+/// prefers a node-local split and otherwise launches a remote one
+/// immediately (no locality wait).
+class FifoScheduler : public mapred::TaskScheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+
+  std::vector<mapred::MapAssignment> AssignMapTasks(
+      const std::vector<mapred::Job*>& running_jobs, int node_id,
+      int free_slots, double now) override;
+};
+
+}  // namespace dmr::scheduler
+
+#endif  // DMR_SCHEDULER_FIFO_SCHEDULER_H_

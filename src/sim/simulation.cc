@@ -1,0 +1,62 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace dmr::sim {
+
+bool EventHandle::pending() const {
+  return slot_ && !slot_->cancelled && !slot_->fired;
+}
+
+void EventHandle::Cancel() {
+  if (slot_) slot_->cancelled = true;
+}
+
+EventHandle Simulation::Schedule(SimTime delay, Callback fn) {
+  DMR_CHECK_GE(delay, 0.0) << "negative delay " << delay;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::ScheduleAt(SimTime when, Callback fn) {
+  DMR_CHECK_GE(when, now_) << "scheduling into the past";
+  auto slot = std::make_shared<EventHandle::Slot>();
+  queue_.push(Event{when, next_seq_++, std::move(fn), slot});
+  return EventHandle(slot);
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.slot->cancelled) continue;
+    now_ = ev.time;
+    ev.slot->fired = true;
+    ++events_fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulation::Run(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (fired < max_events && Step()) ++fired;
+  return fired;
+}
+
+uint64_t Simulation::RunUntil(SimTime until) {
+  uint64_t fired = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (ev.slot->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > until) break;
+    if (Step()) ++fired;
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+}  // namespace dmr::sim

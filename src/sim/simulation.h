@@ -1,0 +1,92 @@
+#ifndef DMR_SIM_SIMULATION_H_
+#define DMR_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dmr::sim {
+
+/// \brief Opaque handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the handle refers to an event that has neither fired nor been
+  /// cancelled yet.
+  bool pending() const;
+
+  /// Cancels the event if still pending; safe to call repeatedly.
+  void Cancel();
+
+ private:
+  friend class Simulation;
+  struct Slot {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<Slot> slot) : slot_(std::move(slot)) {}
+  std::shared_ptr<Slot> slot_;
+};
+
+/// \brief A deterministic discrete-event simulation kernel.
+///
+/// Events are (time, sequence) ordered; ties break by insertion order so a
+/// run is exactly reproducible. Callbacks may schedule further events.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle Schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at absolute virtual time `when` (>= Now()).
+  EventHandle ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs until the event queue is empty or `max_events` fired.
+  /// Returns the number of events fired.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs until virtual time reaches `until` (events at exactly `until` are
+  /// fired) or the queue empties. Time advances to `until` even if the queue
+  /// empties earlier.
+  uint64_t RunUntil(SimTime until);
+
+  /// Number of events currently queued (including cancelled placeholders).
+  size_t queue_size() const { return queue_.size(); }
+
+  uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::Slot> slot;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and fires the next non-cancelled event; returns false if none.
+  bool Step();
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+};
+
+}  // namespace dmr::sim
+
+#endif  // DMR_SIM_SIMULATION_H_

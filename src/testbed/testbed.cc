@@ -1,0 +1,80 @@
+#include "testbed/testbed.h"
+
+#include <optional>
+
+#include "scheduler/fair_scheduler.h"
+#include "scheduler/fifo_scheduler.h"
+
+namespace dmr::testbed {
+
+Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
+                 double locality_wait)
+    : config_(config) {
+  cluster_ = std::make_unique<cluster::Cluster>(&sim_, config_);
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      scheduler_ = std::make_unique<scheduler::FifoScheduler>();
+      break;
+    case SchedulerKind::kFair: {
+      scheduler::FairSchedulerOptions options;
+      options.total_map_slots = config_.total_map_slots();
+      options.locality_wait = locality_wait;
+      scheduler_ = std::make_unique<scheduler::FairScheduler>(options);
+      break;
+    }
+  }
+  tracker_ = std::make_unique<mapred::JobTracker>(cluster_.get(),
+                                                  scheduler_.get());
+  tracker_->Start();
+  client_ = std::make_unique<mapred::JobClient>(tracker_.get());
+  monitor_ = std::make_unique<cluster::ClusterMonitor>(cluster_.get());
+  fs_ = std::make_unique<dfs::FileSystem>(config_.num_nodes,
+                                          config_.disks_per_node);
+}
+
+Testbed::~Testbed() { monitor_->Stop(); }
+
+Result<mapred::JobStats> Testbed::RunJobToCompletion(
+    mapred::JobSubmission submission, double timeout) {
+  std::optional<mapred::JobStats> stats;
+  DMR_ASSIGN_OR_RETURN(
+      int job_id,
+      client_->Submit(std::move(submission),
+                      [&stats](const mapred::JobStats& s) { stats = s; }));
+  (void)job_id;
+  double deadline = sim_.Now() + timeout;
+  while (!stats.has_value() && sim_.Now() < deadline) {
+    sim_.RunUntil(std::min(deadline, sim_.Now() + 600.0));
+  }
+  if (!stats.has_value()) {
+    return Status::Internal("job did not complete within " +
+                            std::to_string(timeout) + " virtual seconds");
+  }
+  return *stats;
+}
+
+Result<Dataset> MakeLineItemDataset(dfs::FileSystem* fs, int scale, double z,
+                                    uint64_t seed, const std::string& tag) {
+  Dataset dataset;
+  DMR_ASSIGN_OR_RETURN(dataset.properties, tpch::PropertiesForScale(scale));
+  dataset.zipf_z = z;
+
+  std::string name = dataset.properties.file_name();
+  if (!tag.empty()) name += "_" + tag;
+  DMR_ASSIGN_OR_RETURN(
+      dataset.file,
+      fs->CreateFile(name, dataset.properties.num_partitions,
+                     tpch::kRecordsPerPartition, tpch::kLineItemRecordBytes));
+
+  tpch::SkewSpec spec;
+  spec.num_partitions = dataset.properties.num_partitions;
+  spec.records_per_partition = tpch::kRecordsPerPartition;
+  spec.selectivity = tpch::kPaperSelectivity;
+  spec.zipf_z = z;
+  spec.seed = seed;
+  DMR_ASSIGN_OR_RETURN(dataset.matching_per_partition,
+                       tpch::AssignMatchingRecords(spec));
+  return dataset;
+}
+
+}  // namespace dmr::testbed

@@ -1,0 +1,29 @@
+#include "tpch/dataset_catalog.h"
+
+#include <cmath>
+
+namespace dmr::tpch {
+
+Result<DatasetProperties> PropertiesForScale(int scale) {
+  if (scale < 1) {
+    return Status::InvalidArgument("scale must be >= 1, got " +
+                                   std::to_string(scale));
+  }
+  DatasetProperties props;
+  props.scale = scale;
+  props.num_partitions = scale * kPartitionsPerScale;
+  props.total_records =
+      static_cast<uint64_t>(props.num_partitions) * kRecordsPerPartition;
+  props.total_bytes = props.total_records * kLineItemRecordBytes;
+  props.matching_records = static_cast<uint64_t>(std::llround(
+      static_cast<double>(props.total_records) * kPaperSelectivity));
+  return props;
+}
+
+const std::vector<int>& StandardScales() {
+  static const std::vector<int>* scales = new std::vector<int>{5, 10, 20, 40,
+                                                               100};
+  return *scales;
+}
+
+}  // namespace dmr::tpch

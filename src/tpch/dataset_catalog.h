@@ -1,0 +1,48 @@
+#ifndef DMR_TPCH_DATASET_CATALOG_H_
+#define DMR_TPCH_DATASET_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::tpch {
+
+/// Layout constants for the paper's balanced HDFS placement (Section V-B):
+/// scale 5 data splits into 40 partitions (one per disk), so 8 partitions
+/// per TPC-H scale unit at 750 K records (~94 MB) per partition.
+inline constexpr int kPartitionsPerScale = 8;
+inline constexpr uint64_t kRecordsPerPartition = 750000;
+
+/// The paper fixes predicate selectivity at 0.05 %.
+inline constexpr double kPaperSelectivity = 0.0005;
+
+/// The paper's sample size for all experiments.
+inline constexpr uint64_t kPaperSampleSize = 10000;
+
+/// \brief One row of the paper's Table II: properties of a generated
+/// LINEITEM dataset at a given scale.
+struct DatasetProperties {
+  int scale = 0;
+  uint64_t total_records = 0;
+  uint64_t total_bytes = 0;
+  int num_partitions = 0;
+  /// Matching records at the paper's 0.05 % selectivity.
+  uint64_t matching_records = 0;
+
+  std::string file_name() const {
+    return "lineitem_" + std::to_string(scale) + "x";
+  }
+};
+
+/// Computes Table II properties for a scale factor (must be >= 1).
+Result<DatasetProperties> PropertiesForScale(int scale);
+
+/// The paper's five evaluation scales: 5, 10, 20, 40, 100.
+const std::vector<int>& StandardScales();
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_DATASET_CATALOG_H_

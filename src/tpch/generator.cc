@@ -1,0 +1,124 @@
+#include "tpch/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dmr::tpch {
+
+namespace {
+
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kLineStatusValues[] = {"O", "F"};
+const char* kShipInstructValues[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+const char* kCommentWords[] = {"carefully", "quickly", "furiously", "slyly",
+                               "blithely", "deposits", "requests", "packages",
+                               "accounts", "theodolites", "pinto", "beans"};
+
+std::string RandomDate(Rng* rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng->NextInRange(year_lo, year_hi));
+  int month = static_cast<int>(rng->NextInRange(1, 12));
+  int day = static_cast<int>(rng->NextInRange(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace
+
+LineItemGenerator::LineItemGenerator(uint64_t seed) : rng_(seed) {}
+
+LineItemRow LineItemGenerator::NextBaseRow() {
+  LineItemRow row;
+  row.orderkey = next_orderkey_++;
+  row.partkey = rng_.NextInRange(1, 200000);
+  row.suppkey = rng_.NextInRange(1, 10000);
+  row.linenumber = rng_.NextInRange(1, 7);
+  row.quantity = rng_.NextInRange(1, 50);
+  row.extendedprice =
+      std::round(static_cast<double>(row.quantity) *
+                 (900.0 + static_cast<double>(rng_.NextInRange(0, 110000)) /
+                              100.0) *
+                 100.0) /
+      100.0;
+  row.discount = 0.01 * static_cast<double>(rng_.NextInRange(0, 10));
+  row.tax = 0.01 * static_cast<double>(rng_.NextInRange(0, 8));
+  row.returnflag = kReturnFlags[rng_.NextBounded(3)];
+  row.linestatus = kLineStatusValues[rng_.NextBounded(2)];
+  row.shipdate = RandomDate(&rng_, 1992, 1998);
+  row.commitdate = RandomDate(&rng_, 1992, 1998);
+  row.receiptdate = RandomDate(&rng_, 1992, 1998);
+  row.shipinstruct = kShipInstructValues[rng_.NextBounded(4)];
+  row.shipmode = kShipModes[rng_.NextBounded(7)];
+  row.comment = std::string(kCommentWords[rng_.NextBounded(12)]) + " " +
+                kCommentWords[rng_.NextBounded(12)];
+  return row;
+}
+
+Result<std::vector<LineItemRow>> LineItemGenerator::GeneratePartition(
+    uint64_t num_records, uint64_t num_matching, const SkewPredicate& pred) {
+  if (num_matching > num_records) {
+    return Status::InvalidArgument(
+        "num_matching exceeds num_records (" + std::to_string(num_matching) +
+        " > " + std::to_string(num_records) + ")");
+  }
+  std::vector<LineItemRow> rows;
+  rows.reserve(num_records);
+  uint64_t remaining_matching = num_matching;
+  for (uint64_t i = 0; i < num_records; ++i) {
+    LineItemRow row = NextBaseRow();
+    uint64_t remaining_rows = num_records - i;
+    // Exact uniform placement: include this row among the matching set with
+    // probability remaining_matching / remaining_rows.
+    bool matching =
+        remaining_matching > 0 &&
+        rng_.NextBounded(remaining_rows) < remaining_matching;
+    if (matching) {
+      pred.make_matching(&rng_, &row);
+      --remaining_matching;
+    } else {
+      pred.make_non_matching(&rng_, &row);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+uint64_t MaterializedDataset::total_records() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions) total += p.size();
+  return total;
+}
+
+uint64_t MaterializedDataset::total_matching() const {
+  uint64_t total = 0;
+  for (uint64_t m : matching_per_partition) total += m;
+  return total;
+}
+
+Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec) {
+  DMR_ASSIGN_OR_RETURN(SkewPredicate pred, PredicateForSkew(spec.zipf_z));
+  return MaterializeDataset(spec, pred);
+}
+
+Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
+                                               const SkewPredicate& pred) {
+  DMR_ASSIGN_OR_RETURN(std::vector<uint64_t> matching,
+                       AssignMatchingRecords(spec));
+  MaterializedDataset ds;
+  ds.predicate = pred;
+  ds.matching_per_partition = matching;
+  ds.partitions.reserve(spec.num_partitions);
+  LineItemGenerator gen(spec.seed ^ 0xABCD1234ULL);
+  for (int i = 0; i < spec.num_partitions; ++i) {
+    DMR_ASSIGN_OR_RETURN(
+        std::vector<LineItemRow> rows,
+        gen.GeneratePartition(spec.records_per_partition, matching[i], pred));
+    ds.partitions.push_back(std::move(rows));
+  }
+  return ds;
+}
+
+}  // namespace dmr::tpch

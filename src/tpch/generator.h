@@ -1,0 +1,59 @@
+#ifndef DMR_TPCH_GENERATOR_H_
+#define DMR_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "tpch/lineitem.h"
+#include "tpch/predicates.h"
+#include "tpch/skew_model.h"
+
+namespace dmr::tpch {
+
+/// \brief Deterministic LINEITEM row generator.
+///
+/// Produces TPC-H-shaped rows. `GeneratePartition` yields a partition with
+/// an exact number of predicate-matching rows, uniformly interleaved with
+/// non-matching rows — the materialization step the paper describes after
+/// fixing each partition's matching count ("we then modified the other
+/// records in each partition ... to ensure that the remaining records
+/// contained random values not satisfying the predicate", Section V-B).
+class LineItemGenerator {
+ public:
+  explicit LineItemGenerator(uint64_t seed);
+
+  /// Generates a base row with plausible TPC-H values. The caller applies
+  /// the predicate's make_matching / make_non_matching to fix its class.
+  LineItemRow NextBaseRow();
+
+  /// Generates `num_records` rows, exactly `num_matching` of which satisfy
+  /// `pred.predicate`; matching rows are placed uniformly at random.
+  Result<std::vector<LineItemRow>> GeneratePartition(
+      uint64_t num_records, uint64_t num_matching, const SkewPredicate& pred);
+
+ private:
+  Rng rng_;
+  int64_t next_orderkey_ = 1;
+};
+
+/// \brief A fully materialized dataset (small scales; real record content).
+struct MaterializedDataset {
+  std::vector<std::vector<LineItemRow>> partitions;
+  SkewPredicate predicate;
+  std::vector<uint64_t> matching_per_partition;
+
+  uint64_t total_records() const;
+  uint64_t total_matching() const;
+};
+
+/// \brief Materializes a skewed dataset per `spec` using the suite predicate
+/// for spec.zipf_z (or `pred` when supplied).
+Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec);
+Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
+                                               const SkewPredicate& pred);
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_GENERATOR_H_

@@ -1,0 +1,113 @@
+#include "tpch/lineitem.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace dmr::tpch {
+
+const expr::Schema& LineItemSchema() {
+  using expr::ValueType;
+  static const expr::Schema* schema = new expr::Schema({
+      {"ORDERKEY", ValueType::kInt64},
+      {"PARTKEY", ValueType::kInt64},
+      {"SUPPKEY", ValueType::kInt64},
+      {"LINENUMBER", ValueType::kInt64},
+      {"QUANTITY", ValueType::kInt64},
+      {"EXTENDEDPRICE", ValueType::kDouble},
+      {"DISCOUNT", ValueType::kDouble},
+      {"TAX", ValueType::kDouble},
+      {"RETURNFLAG", ValueType::kString},
+      {"LINESTATUS", ValueType::kString},
+      {"SHIPDATE", ValueType::kString},
+      {"COMMITDATE", ValueType::kString},
+      {"RECEIPTDATE", ValueType::kString},
+      {"SHIPINSTRUCT", ValueType::kString},
+      {"SHIPMODE", ValueType::kString},
+      {"COMMENT", ValueType::kString},
+  });
+  return *schema;
+}
+
+expr::Tuple ToTuple(const LineItemRow& row) {
+  return expr::Tuple{
+      row.orderkey,    row.partkey,    row.suppkey,     row.linenumber,
+      row.quantity,    row.extendedprice, row.discount, row.tax,
+      row.returnflag,  row.linestatus, row.shipdate,    row.commitdate,
+      row.receiptdate, row.shipinstruct, row.shipmode,  row.comment,
+  };
+}
+
+std::string SerializeRow(const LineItemRow& row) {
+  char num[64];
+  std::string out;
+  out.reserve(160);
+  auto add_int = [&](int64_t v) {
+    std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(v));
+    out += num;
+    out += '|';
+  };
+  auto add_double = [&](double v) {
+    std::snprintf(num, sizeof(num), "%.2f", v);
+    out += num;
+    out += '|';
+  };
+  add_int(row.orderkey);
+  add_int(row.partkey);
+  add_int(row.suppkey);
+  add_int(row.linenumber);
+  add_int(row.quantity);
+  add_double(row.extendedprice);
+  add_double(row.discount);
+  add_double(row.tax);
+  out += row.returnflag;
+  out += '|';
+  out += row.linestatus;
+  out += '|';
+  out += row.shipdate;
+  out += '|';
+  out += row.commitdate;
+  out += '|';
+  out += row.receiptdate;
+  out += '|';
+  out += row.shipinstruct;
+  out += '|';
+  out += row.shipmode;
+  out += '|';
+  out += row.comment;
+  return out;
+}
+
+Result<LineItemRow> ParseRow(std::string_view line) {
+  std::vector<std::string> fields = SplitString(line, '|');
+  if (fields.size() != kNumLineItemColumns) {
+    return Status::ParseError("expected " +
+                              std::to_string(int(kNumLineItemColumns)) +
+                              " fields, got " + std::to_string(fields.size()));
+  }
+  LineItemRow row;
+  auto parse_int = [&](int i, int64_t* out) {
+    return ParseInt64(fields[i], out);
+  };
+  auto parse_double = [&](int i, double* out) {
+    return ParseDouble(fields[i], out);
+  };
+  if (!parse_int(0, &row.orderkey) || !parse_int(1, &row.partkey) ||
+      !parse_int(2, &row.suppkey) || !parse_int(3, &row.linenumber) ||
+      !parse_int(4, &row.quantity) || !parse_double(5, &row.extendedprice) ||
+      !parse_double(6, &row.discount) || !parse_double(7, &row.tax)) {
+    return Status::ParseError("malformed numeric field in: " +
+                              std::string(line));
+  }
+  row.returnflag = fields[8];
+  row.linestatus = fields[9];
+  row.shipdate = fields[10];
+  row.commitdate = fields[11];
+  row.receiptdate = fields[12];
+  row.shipinstruct = fields[13];
+  row.shipmode = fields[14];
+  row.comment = fields[15];
+  return row;
+}
+
+}  // namespace dmr::tpch

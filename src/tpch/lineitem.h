@@ -1,0 +1,71 @@
+#ifndef DMR_TPCH_LINEITEM_H_
+#define DMR_TPCH_LINEITEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "expr/value.h"
+
+namespace dmr::tpch {
+
+/// \brief One row of the TPC-H LINEITEM table (all 16 columns).
+struct LineItemRow {
+  int64_t orderkey = 0;
+  int64_t partkey = 0;
+  int64_t suppkey = 0;
+  int64_t linenumber = 0;
+  int64_t quantity = 0;          // 1..50 (matching rows may exceed)
+  double extendedprice = 0.0;
+  double discount = 0.0;         // 0.00..0.10
+  double tax = 0.0;              // 0.00..0.08
+  std::string returnflag;        // "R" | "A" | "N"
+  std::string linestatus;        // "O" | "F"
+  std::string shipdate;          // YYYY-MM-DD
+  std::string commitdate;
+  std::string receiptdate;
+  std::string shipinstruct;
+  std::string shipmode;
+  std::string comment;
+};
+
+/// \brief The LINEITEM schema shared by the expression evaluator, the Hive
+/// front end and the local runtime.
+const expr::Schema& LineItemSchema();
+
+/// Column indexes into LineItemSchema() / ToTuple() output.
+enum LineItemColumn : int {
+  kOrderKey = 0,
+  kPartKey,
+  kSuppKey,
+  kLineNumber,
+  kQuantity,
+  kExtendedPrice,
+  kDiscount,
+  kTax,
+  kReturnFlag,
+  kLineStatus,
+  kShipDate,
+  kCommitDate,
+  kReceiptDate,
+  kShipInstruct,
+  kShipMode,
+  kComment,
+  kNumLineItemColumns,
+};
+
+/// Materializes the row as a typed tuple in schema column order.
+expr::Tuple ToTuple(const LineItemRow& row);
+
+/// Serializes in TPC-H '|' separated text form (no trailing separator).
+std::string SerializeRow(const LineItemRow& row);
+
+/// Parses a row written by SerializeRow.
+Result<LineItemRow> ParseRow(std::string_view line);
+
+/// Average serialized record size used for sizing partitions (bytes).
+inline constexpr uint64_t kLineItemRecordBytes = 132;
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_LINEITEM_H_

@@ -1,0 +1,86 @@
+#include "tpch/predicates.h"
+
+#include <cmath>
+
+namespace dmr::tpch {
+
+namespace {
+
+using expr::Bin;
+using expr::BinaryOp;
+using expr::Col;
+using expr::Lit;
+
+double RoundCents(double v) { return std::round(v * 100.0) / 100.0; }
+
+std::vector<SkewPredicate> BuildSuite() {
+  std::vector<SkewPredicate> suite;
+
+  // z = 0 (uniform): QUANTITY > 50. Normal rows draw 1..50.
+  {
+    SkewPredicate p;
+    p.name = "QTY_GT_50";
+    p.zipf_z = 0.0;
+    p.sql = "QUANTITY > 50";
+    p.predicate = Bin(BinaryOp::kGt, Col("QUANTITY"), Lit(int64_t{50}));
+    p.make_matching = [](Rng* rng, LineItemRow* row) {
+      row->quantity = rng->NextInRange(51, 60);
+    };
+    p.make_non_matching = [](Rng* rng, LineItemRow* row) {
+      row->quantity = rng->NextInRange(1, 50);
+    };
+    suite.push_back(std::move(p));
+  }
+
+  // z = 1 (moderate skew): DISCOUNT > 0.10. Normal rows draw 0.00..0.10.
+  {
+    SkewPredicate p;
+    p.name = "DISC_GT_10PCT";
+    p.zipf_z = 1.0;
+    p.sql = "DISCOUNT > 0.10";
+    p.predicate = Bin(BinaryOp::kGt, Col("DISCOUNT"), Lit(0.10));
+    p.make_matching = [](Rng* rng, LineItemRow* row) {
+      row->discount = RoundCents(0.11 + 0.01 * rng->NextInRange(0, 9));
+    };
+    p.make_non_matching = [](Rng* rng, LineItemRow* row) {
+      row->discount = RoundCents(0.01 * rng->NextInRange(0, 10));
+    };
+    suite.push_back(std::move(p));
+  }
+
+  // z = 2 (high skew): TAX > 0.08. Normal rows draw 0.00..0.08.
+  {
+    SkewPredicate p;
+    p.name = "TAX_GT_8PCT";
+    p.zipf_z = 2.0;
+    p.sql = "TAX > 0.08";
+    p.predicate = Bin(BinaryOp::kGt, Col("TAX"), Lit(0.08));
+    p.make_matching = [](Rng* rng, LineItemRow* row) {
+      row->tax = RoundCents(0.09 + 0.01 * rng->NextInRange(0, 6));
+    };
+    p.make_non_matching = [](Rng* rng, LineItemRow* row) {
+      row->tax = RoundCents(0.01 * rng->NextInRange(0, 8));
+    };
+    suite.push_back(std::move(p));
+  }
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SkewPredicate>& PredicateSuite() {
+  static const std::vector<SkewPredicate>* suite =
+      new std::vector<SkewPredicate>(BuildSuite());
+  return *suite;
+}
+
+Result<SkewPredicate> PredicateForSkew(double z) {
+  for (const auto& p : PredicateSuite()) {
+    if (p.zipf_z == z) return p;
+  }
+  return Status::NotFound("no predicate registered for zipf z = " +
+                          std::to_string(z));
+}
+
+}  // namespace dmr::tpch

@@ -1,0 +1,41 @@
+#ifndef DMR_TPCH_PREDICATES_H_
+#define DMR_TPCH_PREDICATES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "expr/expression.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::tpch {
+
+/// \brief A sampling predicate tied to a skew level — the analogue of the
+/// paper's Table III (one arbitrary column per skew degree, all with 0.05 %
+/// overall selectivity; skew is imposed by the generator's placement of the
+/// matching records, see skew_model.h).
+struct SkewPredicate {
+  std::string name;
+  /// Skew degree this predicate is paired with in the evaluation.
+  double zipf_z;
+  /// SQL text as it appears in the Hive query's WHERE clause.
+  std::string sql;
+  /// Compiled predicate over LineItemSchema().
+  expr::ExprPtr predicate;
+  /// Mutates a base row so the predicate holds.
+  std::function<void(Rng*, LineItemRow*)> make_matching;
+  /// Mutates a base row so the predicate does not hold.
+  std::function<void(Rng*, LineItemRow*)> make_non_matching;
+};
+
+/// The three evaluation predicates (z = 0, 1, 2).
+const std::vector<SkewPredicate>& PredicateSuite();
+
+/// Returns the suite predicate paired with skew `z` (0, 1 or 2).
+Result<SkewPredicate> PredicateForSkew(double z);
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_PREDICATES_H_

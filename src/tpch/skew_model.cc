@@ -1,0 +1,75 @@
+#include "tpch/skew_model.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dmr::tpch {
+
+uint64_t TotalMatchingRecords(const SkewSpec& spec) {
+  double total = static_cast<double>(spec.num_partitions) *
+                 static_cast<double>(spec.records_per_partition);
+  return static_cast<uint64_t>(std::llround(total * spec.selectivity));
+}
+
+Result<std::vector<uint64_t>> AssignMatchingRecords(const SkewSpec& spec) {
+  if (spec.num_partitions <= 0) {
+    return Status::InvalidArgument("num_partitions must be > 0");
+  }
+  if (spec.records_per_partition == 0) {
+    return Status::InvalidArgument("records_per_partition must be > 0");
+  }
+  if (spec.selectivity < 0.0 || spec.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0, 1]");
+  }
+  if (spec.zipf_z < 0.0) {
+    return Status::InvalidArgument("zipf_z must be >= 0");
+  }
+
+  const int n = spec.num_partitions;
+  const uint64_t total_matching = TotalMatchingRecords(spec);
+  std::vector<uint64_t> counts(n, 0);
+  if (total_matching == 0) return counts;
+
+  if (spec.zipf_z == 0.0) {
+    // Uniform: equal share per partition, remainder spread from the front.
+    uint64_t base = total_matching / n;
+    uint64_t rem = total_matching % n;
+    for (int i = 0; i < n; ++i) {
+      counts[i] = base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
+    }
+    return counts;
+  }
+
+  Rng rng(spec.seed);
+
+  // Draw each matching record's rank from the Zipfian, accumulate per rank.
+  ZipfGenerator zipf(n, spec.zipf_z);
+  std::vector<uint64_t> per_rank(n, 0);
+  for (uint64_t i = 0; i < total_matching; ++i) {
+    per_rank[zipf.Next(&rng) - 1]++;
+  }
+
+  // Cap each rank at the partition capacity, spilling overflow down-rank.
+  uint64_t carry = 0;
+  for (int r = 0; r < n; ++r) {
+    uint64_t v = per_rank[r] + carry;
+    if (v > spec.records_per_partition) {
+      carry = v - spec.records_per_partition;
+      per_rank[r] = spec.records_per_partition;
+    } else {
+      per_rank[r] = v;
+      carry = 0;
+    }
+  }
+  // If capacity was exhausted everywhere (degenerate), drop the remainder.
+
+  // Map ranks to physical partitions with a seeded permutation so heavy
+  // partitions land at unpredictable offsets.
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  for (int r = 0; r < n; ++r) counts[perm[r]] = per_rank[r];
+  return counts;
+}
+
+}  // namespace dmr::tpch

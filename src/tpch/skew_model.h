@@ -1,0 +1,38 @@
+#ifndef DMR_TPCH_SKEW_MODEL_H_
+#define DMR_TPCH_SKEW_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace dmr::tpch {
+
+/// \brief Parameters for distributing a predicate's matching records across
+/// input partitions (paper Section V-B, "Modeling data skew").
+struct SkewSpec {
+  int num_partitions = 40;
+  uint64_t records_per_partition = 750000;
+  /// Overall predicate selectivity; the paper fixes 0.05 %.
+  double selectivity = 0.0005;
+  /// Zipf exponent: 0 = uniform, 1 = moderate, 2 = high skew.
+  double zipf_z = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Computes how many matching records each partition holds.
+///
+/// For z = 0 the total matching count is split evenly (the paper's Figure 4
+/// shows an equal count per partition). For z > 0, each matching record's
+/// partition *rank* is drawn from Zipf(z, N) and ranks are mapped to
+/// physical partitions by a seeded permutation; counts are capped by the
+/// partition's record count with overflow pushed to the next ranks.
+Result<std::vector<uint64_t>> AssignMatchingRecords(const SkewSpec& spec);
+
+/// Total matching records implied by a spec: round(T * selectivity).
+uint64_t TotalMatchingRecords(const SkewSpec& spec);
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_SKEW_MODEL_H_

@@ -1,0 +1,110 @@
+#include "workload/workload_driver.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace dmr::workload {
+
+namespace {
+const ClassReport kEmptyReport;
+}  // namespace
+
+const ClassReport& WorkloadReport::For(const std::string& klass) const {
+  auto it = by_class.find(klass);
+  return it == by_class.end() ? kEmptyReport : it->second;
+}
+
+struct WorkloadDriver::UserState {
+  UserSpec spec;
+  int iteration = 0;
+  Rng arrival_rng{1};
+};
+
+WorkloadDriver::WorkloadDriver(mapred::JobClient* client)
+    : client_(client), sim_(client->simulation()) {}
+
+void WorkloadDriver::AddUser(UserSpec user) { users_.push_back(std::move(user)); }
+
+void WorkloadDriver::SubmitNext(std::shared_ptr<UserState> user) {
+  if (sim_->Now() >= options_.duration) return;  // run is over
+  Result<mapred::JobSubmission> submission =
+      user->spec.make_job(user->iteration);
+  if (!submission.ok()) {
+    if (first_error_.ok()) first_error_ = submission.status();
+    return;
+  }
+  ++user->iteration;
+
+  bool open_loop = user->spec.arrival_rate > 0.0;
+  auto on_complete = [this, user, open_loop](const mapred::JobStats& stats) {
+    if (stats.finish_time >= options_.warmup &&
+        stats.finish_time <= options_.duration) {
+      ClassReport& report = by_class_[user->spec.job_class];
+      ++report.completions;
+      report.response_times.Add(stats.response_time());
+      report.mean_partitions_per_job +=
+          static_cast<double>(stats.splits_processed);
+      report.mean_records_per_job +=
+          static_cast<double>(stats.records_processed);
+      ++total_completions_;
+    }
+    if (open_loop) return;  // arrivals are driven by the Poisson clock
+    // Closed loop: resubmit after the user's think time.
+    if (user->spec.think_time > 0.0) {
+      sim_->Schedule(user->spec.think_time,
+                     [this, user] { SubmitNext(user); });
+    } else {
+      SubmitNext(user);
+    }
+  };
+
+  Result<int> job_id = client_->Submit(*std::move(submission), on_complete);
+  if (!job_id.ok() && first_error_.ok()) first_error_ = job_id.status();
+
+  if (open_loop) {
+    // Schedule the next arrival independent of this job's fate.
+    double gap =
+        user->arrival_rng.NextExponential(1.0 / user->spec.arrival_rate);
+    sim_->Schedule(gap, [this, user] { SubmitNext(user); });
+  }
+}
+
+Result<WorkloadReport> WorkloadDriver::Run(const WorkloadOptions& options) {
+  if (users_.empty()) {
+    return Status::FailedPrecondition("no users added to the workload");
+  }
+  if (options.warmup >= options.duration) {
+    return Status::InvalidArgument("warmup must be shorter than duration");
+  }
+  options_ = options;
+  by_class_.clear();
+  total_completions_ = 0;
+  first_error_ = Status::OK();
+
+  for (const auto& spec : users_) {
+    auto user = std::make_shared<UserState>();
+    user->spec = spec;
+    user->arrival_rng = Rng(spec.arrival_seed ^ 0xA11CE5EEDULL);
+    SubmitNext(user);
+  }
+  sim_->RunUntil(options.duration);
+  if (!first_error_.ok()) return first_error_;
+
+  double window_hours = (options.duration - options.warmup) / 3600.0;
+  WorkloadReport report;
+  report.total_completions = total_completions_;
+  for (auto& [klass, r] : by_class_) {
+    if (r.completions > 0) {
+      r.mean_partitions_per_job /= static_cast<double>(r.completions);
+      r.mean_records_per_job /= static_cast<double>(r.completions);
+    }
+    r.throughput_jobs_per_hour =
+        static_cast<double>(r.completions) / window_hours;
+    report.by_class[klass] = std::move(r);
+  }
+  return report;
+}
+
+}  // namespace dmr::workload

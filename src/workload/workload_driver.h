@@ -1,0 +1,92 @@
+#ifndef DMR_WORKLOAD_WORKLOAD_DRIVER_H_
+#define DMR_WORKLOAD_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "mapred/job_client.h"
+
+namespace dmr::workload {
+
+/// \brief One simulated end-user: a closed loop that submits a job, waits
+/// for completion and immediately submits the next — the paper's workload
+/// generator model ("each user submits a query and waits for its completion
+/// before submitting another", Section V-D).
+struct UserSpec {
+  std::string name;
+  /// Class label for per-class reporting ("Sampling" / "NonSampling").
+  std::string job_class;
+  /// Builds the user's next submission; `iteration` counts from 0.
+  std::function<Result<mapred::JobSubmission>(int iteration)> make_job;
+  /// Delay between a job completing and the next submission; models the
+  /// Hive client's compile/submit/fetch overhead plus Hadoop 0.20's job
+  /// setup/cleanup tasks. 0 = immediate resubmission.
+  double think_time = 0.0;
+  /// When > 0 the user is an *open-loop* source: jobs arrive as a Poisson
+  /// process with this rate (jobs/second) regardless of completions —
+  /// useful for studying the cluster beyond its closed-loop saturation
+  /// point. think_time is ignored for open-loop users.
+  double arrival_rate = 0.0;
+  /// Seed for the Poisson arrival draws.
+  uint64_t arrival_seed = 1;
+};
+
+/// \brief Driver options.
+struct WorkloadOptions {
+  /// Virtual duration of the run (seconds).
+  double duration = 4.0 * 3600.0;
+  /// Completions before this time are excluded from steady-state metrics.
+  double warmup = 1800.0;
+};
+
+/// \brief Per-class steady-state results.
+struct ClassReport {
+  int completions = 0;
+  double throughput_jobs_per_hour = 0.0;
+  Histogram response_times;
+  double mean_partitions_per_job = 0.0;
+  double mean_records_per_job = 0.0;
+};
+
+/// \brief Whole-run results.
+struct WorkloadReport {
+  std::map<std::string, ClassReport> by_class;
+  int total_completions = 0;
+
+  const ClassReport& For(const std::string& klass) const;
+};
+
+/// \brief Runs a closed-loop multi-user workload on the simulated cluster.
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(mapred::JobClient* client);
+
+  void AddUser(UserSpec user);
+
+  /// Runs the simulation for options.duration virtual seconds and returns
+  /// steady-state per-class metrics. Jobs completing before options.warmup
+  /// are counted as warm-up and excluded.
+  Result<WorkloadReport> Run(const WorkloadOptions& options);
+
+ private:
+  struct UserState;
+
+  void SubmitNext(std::shared_ptr<UserState> user);
+
+  mapred::JobClient* client_;
+  sim::Simulation* sim_;
+  std::vector<UserSpec> users_;
+  // Populated during Run().
+  WorkloadOptions options_;
+  std::map<std::string, ClassReport> by_class_;
+  int total_completions_ = 0;
+  Status first_error_;
+};
+
+}  // namespace dmr::workload
+
+#endif  // DMR_WORKLOAD_WORKLOAD_DRIVER_H_

@@ -1,0 +1,147 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_monitor.h"
+#include "sim/simulation.h"
+
+namespace dmr::cluster {
+namespace {
+
+TEST(ClusterConfigTest, PaperDefaultsAreValid) {
+  EXPECT_TRUE(ClusterConfig().Validate().ok());
+  EXPECT_TRUE(ClusterConfig::SingleUser().Validate().ok());
+  EXPECT_TRUE(ClusterConfig::MultiUser().Validate().ok());
+}
+
+TEST(ClusterConfigTest, PaperTestbedShape) {
+  ClusterConfig config = ClusterConfig::SingleUser();
+  EXPECT_EQ(config.num_nodes, 10);
+  EXPECT_EQ(config.total_cores(), 40);   // paper Section V-A
+  EXPECT_EQ(config.total_disks(), 40);
+  EXPECT_EQ(config.total_map_slots(), 40);
+  EXPECT_EQ(ClusterConfig::MultiUser().total_map_slots(), 160);
+}
+
+TEST(ClusterConfigTest, ValidationCatchesBadValues) {
+  ClusterConfig config;
+  config.num_nodes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ClusterConfig();
+  config.disk_bandwidth = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ClusterConfig();
+  config.heartbeat_interval = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ClusterConfig();
+  config.map_slots_per_node = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(NodeTest, SlotAccounting) {
+  sim::Simulation sim;
+  ClusterConfig config;
+  Node node(&sim, config, 3);
+  EXPECT_EQ(node.id(), 3);
+  EXPECT_EQ(node.free_map_slots(), config.map_slots_per_node);
+  node.AcquireMapSlot();
+  node.AcquireMapSlot();
+  EXPECT_EQ(node.used_map_slots(), 2);
+  node.ReleaseMapSlot();
+  EXPECT_EQ(node.used_map_slots(), 1);
+  node.AcquireReduceSlot();
+  EXPECT_EQ(node.free_reduce_slots(), config.reduce_slots_per_node - 1);
+  node.ReleaseReduceSlot();
+  EXPECT_EQ(node.free_reduce_slots(), config.reduce_slots_per_node);
+}
+
+TEST(NodeTest, ResourcesAreProvisioned) {
+  sim::Simulation sim;
+  ClusterConfig config;
+  Node node(&sim, config, 0);
+  EXPECT_EQ(node.num_disks(), config.disks_per_node);
+  EXPECT_DOUBLE_EQ(node.cpu()->capacity(),
+                   static_cast<double>(config.cores_per_node));
+  EXPECT_DOUBLE_EQ(node.disk(0)->capacity(), config.disk_bandwidth);
+}
+
+TEST(ClusterTest, AggregatesSlots) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, ClusterConfig::SingleUser());
+  EXPECT_EQ(cluster.num_nodes(), 10);
+  EXPECT_EQ(cluster.free_map_slots(), 40);
+  cluster.node(0)->AcquireMapSlot();
+  cluster.node(9)->AcquireMapSlot();
+  EXPECT_EQ(cluster.free_map_slots(), 38);
+  EXPECT_EQ(cluster.used_map_slots(), 2);
+}
+
+TEST(ClusterTest, CpuUtilizationAveragesNodes) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, ClusterConfig::SingleUser());
+  EXPECT_DOUBLE_EQ(cluster.CpuUtilizationPercent(), 0.0);
+  // Load one node fully (4 tasks on 4 cores) => cluster-wide 10 %.
+  for (int i = 0; i < 4; ++i) {
+    cluster.node(0)->cpu()->Submit(1000.0, nullptr);
+  }
+  EXPECT_NEAR(cluster.CpuUtilizationPercent(), 10.0, 1e-6);
+}
+
+TEST(ClusterTest, DiskBytesAccumulate) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, ClusterConfig::SingleUser());
+  cluster.node(2)->disk(1)->Submit(1.0e6, nullptr);
+  sim.RunUntil(100.0);
+  EXPECT_NEAR(cluster.TotalDiskBytesRead(), 1.0e6, 1.0);
+}
+
+TEST(ClusterMonitorTest, SamplesAtConfiguredInterval) {
+  sim::Simulation sim;
+  ClusterConfig config;
+  config.monitor_interval = 30.0;
+  Cluster cluster(&sim, config);
+  ClusterMonitor monitor(&cluster);
+  sim.RunUntil(95.0);
+  EXPECT_EQ(monitor.cpu_percent().size(), 3u);  // t = 30, 60, 90
+  EXPECT_EQ(monitor.disk_read_kbs().size(), 3u);
+  EXPECT_EQ(monitor.slot_occupancy_percent().size(), 3u);
+}
+
+TEST(ClusterMonitorTest, DiskRateReflectsReads) {
+  sim::Simulation sim;
+  ClusterConfig config;
+  Cluster cluster(&sim, config);
+  ClusterMonitor monitor(&cluster);
+  // Read 40 MB in the first interval on one disk.
+  cluster.node(0)->disk(0)->Submit(40.0e6, nullptr);
+  sim.RunUntil(30.0);
+  ASSERT_EQ(monitor.disk_read_kbs().size(), 1u);
+  // 40 MB over 30 s over 40 disks, in KB/s.
+  double expected = 40.0e6 / 30.0 / 40.0 / 1024.0;
+  EXPECT_NEAR(monitor.disk_read_kbs().points()[0].value, expected, 1.0);
+}
+
+TEST(ClusterMonitorTest, OccupancyTracksSlots) {
+  sim::Simulation sim;
+  ClusterConfig config = ClusterConfig::SingleUser();
+  Cluster cluster(&sim, config);
+  ClusterMonitor monitor(&cluster);
+  for (int i = 0; i < 10; ++i) cluster.node(i % 10)->AcquireMapSlot();
+  sim.RunUntil(30.0);
+  ASSERT_FALSE(monitor.slot_occupancy_percent().empty());
+  EXPECT_NEAR(monitor.slot_occupancy_percent().points()[0].value, 25.0,
+              1e-6);
+}
+
+TEST(ClusterMonitorTest, StopHaltsSampling) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, ClusterConfig());
+  ClusterMonitor monitor(&cluster);
+  sim.RunUntil(35.0);
+  monitor.Stop();
+  sim.RunUntil(200.0);
+  EXPECT_EQ(monitor.cpu_percent().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmr::cluster

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dmr {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Logging::threshold(); }
+  void TearDown() override { Logging::set_threshold(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultThresholdIsWarn) {
+  // The library must be quiet by default for embedders.
+  EXPECT_EQ(Logging::threshold(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, ThresholdIsAdjustable) {
+  Logging::set_threshold(LogLevel::kDebug);
+  EXPECT_EQ(Logging::threshold(), LogLevel::kDebug);
+  Logging::set_threshold(LogLevel::kOff);
+  EXPECT_EQ(Logging::threshold(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateStream) {
+  Logging::set_threshold(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  DMR_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+
+  Logging::set_threshold(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  DMR_LOG(Info) << expensive();
+  std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(output.find("costly"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ChecksPassSilently) {
+  ::testing::internal::CaptureStderr();
+  DMR_CHECK(1 + 1 == 2) << "never shown";
+  DMR_CHECK_GE(5, 5);
+  DMR_CHECK_LT(1, 2);
+  DMR_CHECK_EQ(3, 3);
+  DMR_CHECK_NE(3, 4);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, FailedCheckAborts) {
+  EXPECT_DEATH({ DMR_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ DMR_CHECK_GT(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace dmr

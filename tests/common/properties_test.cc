@@ -1,0 +1,117 @@
+#include "common/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace dmr {
+namespace {
+
+TEST(PropertiesTest, SetGetRoundTrip) {
+  Properties props;
+  props.Set("a.b.c", "value");
+  EXPECT_TRUE(props.Contains("a.b.c"));
+  EXPECT_EQ(props.Get("a.b.c"), "value");
+  EXPECT_EQ(props.Get("missing", "fallback"), "fallback");
+}
+
+TEST(PropertiesTest, SetOverwrites) {
+  Properties props;
+  props.Set("k", "one");
+  props.Set("k", "two");
+  EXPECT_EQ(props.Get("k"), "two");
+  EXPECT_EQ(props.size(), 1u);
+}
+
+TEST(PropertiesTest, TypedSettersAndGetters) {
+  Properties props;
+  props.SetInt("int", -42);
+  props.SetDouble("dbl", 2.5);
+  props.SetBool("yes", true);
+  props.SetBool("no", false);
+  EXPECT_EQ(*props.GetInt("int", 0), -42);
+  EXPECT_DOUBLE_EQ(*props.GetDouble("dbl", 0), 2.5);
+  EXPECT_TRUE(*props.GetBool("yes", false));
+  EXPECT_FALSE(*props.GetBool("no", true));
+}
+
+TEST(PropertiesTest, TypedGettersFallBackWhenAbsent) {
+  Properties props;
+  EXPECT_EQ(*props.GetInt("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(*props.GetDouble("nope", 1.5), 1.5);
+  EXPECT_TRUE(*props.GetBool("nope", true));
+}
+
+TEST(PropertiesTest, TypedGettersErrorOnMalformed) {
+  Properties props;
+  props.Set("bad", "xyz");
+  EXPECT_TRUE(props.GetInt("bad", 0).status().IsParseError());
+  EXPECT_TRUE(props.GetDouble("bad", 0).status().IsParseError());
+  EXPECT_TRUE(props.GetBool("bad", false).status().IsParseError());
+}
+
+TEST(PropertiesTest, BoolAcceptsCommonSpellings) {
+  Properties props;
+  props.Set("a", "TRUE");
+  props.Set("b", "0");
+  props.Set("c", "Yes");
+  EXPECT_TRUE(*props.GetBool("a", false));
+  EXPECT_FALSE(*props.GetBool("b", true));
+  EXPECT_TRUE(*props.GetBool("c", false));
+}
+
+TEST(PropertiesTest, Erase) {
+  Properties props;
+  props.Set("k", "v");
+  EXPECT_TRUE(props.Erase("k"));
+  EXPECT_FALSE(props.Erase("k"));
+  EXPECT_FALSE(props.Contains("k"));
+}
+
+TEST(PropertiesTest, ParseBasicFile) {
+  auto props = Properties::Parse(R"(
+# a comment
+key.one = hello
+key.two=  spaced value
+empty.ok =
+)");
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(props->Get("key.one"), "hello");
+  EXPECT_EQ(props->Get("key.two"), "spaced value");
+  EXPECT_TRUE(props->Contains("empty.ok"));
+  EXPECT_EQ(props->Get("empty.ok"), "");
+}
+
+TEST(PropertiesTest, ParseInlineComments) {
+  auto props = Properties::Parse("k = v  # trailing comment\n");
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(props->Get("k"), "v");
+}
+
+TEST(PropertiesTest, ParseRejectsMissingEquals) {
+  auto props = Properties::Parse("just some words\n");
+  EXPECT_TRUE(props.status().IsParseError());
+}
+
+TEST(PropertiesTest, ParseRejectsEmptyKey) {
+  auto props = Properties::Parse("= value\n");
+  EXPECT_TRUE(props.status().IsParseError());
+}
+
+TEST(PropertiesTest, ToStringRoundTrips) {
+  Properties props;
+  props.Set("b", "2");
+  props.Set("a", "1");
+  auto reparsed = Properties::Parse(props.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Get("a"), "1");
+  EXPECT_EQ(reparsed->Get("b"), "2");
+  EXPECT_EQ(reparsed->size(), 2u);
+}
+
+TEST(PropertiesTest, ValueMayContainEquals) {
+  auto props = Properties::Parse("expr = AS > 0 ? 1 : 2\n");
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(props->Get("expr"), "AS > 0 ? 1 : 2");
+}
+
+}  // namespace
+}  // namespace dmr

@@ -1,0 +1,195 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dmr {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const int kBuckets = 10;
+  const int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBounded(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextInRange(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.15);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.Shuffle(&items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+// --- Zipf property sweep -------------------------------------------------
+
+class ZipfLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfLawTest, PmfFollowsPowerLaw) {
+  double z = GetParam();
+  const uint64_t n = 50;
+  ZipfGenerator zipf(n, z);
+  // f(k) / f(1) == 1 / k^z.
+  double f1 = zipf.Pmf(1);
+  for (uint64_t k : {2ULL, 5ULL, 10ULL, 50ULL}) {
+    EXPECT_NEAR(zipf.Pmf(k) / f1, 1.0 / std::pow(double(k), z), 1e-9)
+        << "k=" << k << " z=" << z;
+  }
+}
+
+TEST_P(ZipfLawTest, PmfSumsToOne) {
+  double z = GetParam();
+  ZipfGenerator zipf(40, z);
+  double sum = 0;
+  for (uint64_t k = 1; k <= 40; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfLawTest, EmpiricalFrequenciesMatchPmf) {
+  double z = GetParam();
+  const uint64_t n = 20;
+  ZipfGenerator zipf(n, z);
+  Rng rng(77);
+  const int kDraws = 200000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next(&rng)]++;
+  for (uint64_t k = 1; k <= n; ++k) {
+    double expected = zipf.Pmf(k) * kDraws;
+    // 5-sigma band for a binomial count (loose, avoids flakiness).
+    double sigma = std::sqrt(expected * (1 - zipf.Pmf(k)));
+    EXPECT_NEAR(counts[k], expected, 5 * sigma + 5) << "k=" << k << " z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, ZipfLawTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0, 3.0));
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  for (uint64_t k = 1; k <= 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnRankOne) {
+  ZipfGenerator zipf(40, 2.0);
+  // H(40, 2) ~= 1.6202 => P(1) ~= 0.617, the paper's "8700 of 15000 in one
+  // partition" regime.
+  EXPECT_NEAR(zipf.Pmf(1), 0.617, 0.005);
+}
+
+TEST(ZipfTest, SingleElementPopulation) {
+  ZipfGenerator zipf(1, 2.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Next(&rng), 1u);
+  EXPECT_NEAR(zipf.Pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmr

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/table_printer.h"
+#include "common/time_series.h"
+
+namespace dmr {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 3.0);
+  EXPECT_NEAR(h.Stddev(), 1.5811, 1e-3);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  for (double v : {0.0, 10.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRange) {
+  Histogram h;
+  h.Add(3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(200), 3.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, AddAfterPercentileInvalidatesCache) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 1.0);
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 50.5);
+}
+
+TEST(TimeSeriesTest, MeanAfterFiltersByTime) {
+  TimeSeries ts;
+  ts.Add(0.0, 10.0);
+  ts.Add(30.0, 20.0);
+  ts.Add(60.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAfter(30.0), 25.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAfter(100.0), 0.0);
+}
+
+TEST(TimeSeriesTest, MaxAndClear) {
+  TimeSeries ts;
+  ts.Add(0, 5);
+  ts.Add(1, 7);
+  ts.Add(2, 3);
+  EXPECT_DOUBLE_EQ(ts.Max(), 7.0);
+  ts.Clear();
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "222"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 222   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, NumericRowFormatsPrecision) {
+  TablePrinter t({"label", "v1", "v2"});
+  t.AddNumericRow("row", {1.234, 5.0}, 2);
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("5.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmr

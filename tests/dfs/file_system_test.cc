@@ -1,0 +1,122 @@
+#include "dfs/file_system.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dmr::dfs {
+namespace {
+
+TEST(FileSystemTest, CreateAndGetFile) {
+  FileSystem fs(10, 4);
+  auto file = fs.CreateFile("data", 40, 1000, 100);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->num_partitions(), 40);
+  EXPECT_EQ(file->total_records(), 40000u);
+  EXPECT_EQ(file->total_bytes(), 4000000u);
+  EXPECT_TRUE(fs.Exists("data"));
+  auto fetched = fs.GetFile("data");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->name, "data");
+}
+
+TEST(FileSystemTest, RoundRobinPlacementIsBalanced) {
+  FileSystem fs(10, 4);
+  auto file = *fs.CreateFile("balanced", 80, 1000, 100);
+  std::map<std::pair<int, int>, int> per_disk;
+  for (const auto& p : file.partitions) {
+    per_disk[{p.node_id, p.disk_id}]++;
+    EXPECT_GE(p.node_id, 0);
+    EXPECT_LT(p.node_id, 10);
+    EXPECT_GE(p.disk_id, 0);
+    EXPECT_LT(p.disk_id, 4);
+  }
+  // 80 partitions over 40 disks: exactly 2 each (paper's balanced layout).
+  EXPECT_EQ(per_disk.size(), 40u);
+  for (const auto& [disk, count] : per_disk) EXPECT_EQ(count, 2);
+}
+
+TEST(FileSystemTest, PartialRoundRobinCoversDistinctDisks) {
+  FileSystem fs(10, 4);
+  auto file = *fs.CreateFile("small", 7, 1000, 100);
+  std::map<std::pair<int, int>, int> per_disk;
+  for (const auto& p : file.partitions) per_disk[{p.node_id, p.disk_id}]++;
+  EXPECT_EQ(per_disk.size(), 7u);  // all on distinct disks
+}
+
+TEST(FileSystemTest, SingleDiskPlacement) {
+  FileSystem fs(10, 4);
+  auto file = *fs.CreateFile("hot", 5, 1000, 100, Placement::kSingleDisk);
+  for (const auto& p : file.partitions) {
+    EXPECT_EQ(p.node_id, 0);
+    EXPECT_EQ(p.disk_id, 0);
+  }
+}
+
+TEST(FileSystemTest, DuplicateNameRejected) {
+  FileSystem fs(2, 2);
+  ASSERT_TRUE(fs.CreateFile("dup", 1, 1, 1).ok());
+  EXPECT_TRUE(fs.CreateFile("dup", 1, 1, 1).status().IsAlreadyExists());
+}
+
+TEST(FileSystemTest, InvalidPartitionCountRejected) {
+  FileSystem fs(2, 2);
+  EXPECT_TRUE(fs.CreateFile("bad", 0, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(fs.CreateFile("bad", -5, 1, 1).status().IsInvalidArgument());
+}
+
+TEST(FileSystemTest, GetMissingFileIsNotFound) {
+  FileSystem fs(2, 2);
+  EXPECT_TRUE(fs.GetFile("ghost").status().IsNotFound());
+}
+
+TEST(FileSystemTest, DeleteFile) {
+  FileSystem fs(2, 2);
+  ASSERT_TRUE(fs.CreateFile("tmp", 2, 10, 10).ok());
+  EXPECT_TRUE(fs.DeleteFile("tmp").ok());
+  EXPECT_FALSE(fs.Exists("tmp"));
+  EXPECT_TRUE(fs.DeleteFile("tmp").IsNotFound());
+}
+
+TEST(FileSystemTest, ListFiles) {
+  FileSystem fs(2, 2);
+  ASSERT_TRUE(fs.CreateFile("b", 1, 1, 1).ok());
+  ASSERT_TRUE(fs.CreateFile("a", 1, 1, 1).ok());
+  EXPECT_EQ(fs.ListFiles(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FileSystemTest, AddFileValidatesPlacement) {
+  FileSystem fs(2, 2);
+  FileInfo file;
+  file.name = "external";
+  PartitionInfo p;
+  p.index = 0;
+  p.node_id = 5;  // outside the 2-node grid
+  file.partitions.push_back(p);
+  EXPECT_TRUE(fs.AddFile(file).IsInvalidArgument());
+  file.partitions[0].node_id = 1;
+  file.partitions[0].disk_id = 1;
+  EXPECT_TRUE(fs.AddFile(file).ok());
+  EXPECT_TRUE(fs.Exists("external"));
+}
+
+TEST(FileSystemTest, AddFileWithHeterogeneousPartitions) {
+  FileSystem fs(2, 2);
+  FileInfo file;
+  file.name = "uneven";
+  for (int i = 0; i < 3; ++i) {
+    PartitionInfo p;
+    p.index = i;
+    p.num_records = 100 * (i + 1);
+    p.size_bytes = 1000 * (i + 1);
+    p.node_id = i % 2;
+    p.disk_id = 0;
+    file.partitions.push_back(p);
+  }
+  ASSERT_TRUE(fs.AddFile(file).ok());
+  EXPECT_EQ(fs.GetFile("uneven")->total_records(), 600u);
+  EXPECT_EQ(fs.GetFile("uneven")->total_bytes(), 6000u);
+}
+
+}  // namespace
+}  // namespace dmr::dfs

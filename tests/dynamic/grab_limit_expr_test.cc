@@ -1,0 +1,109 @@
+#include "dynamic/grab_limit_expr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmr::dynamic {
+namespace {
+
+double Eval(const std::string& text, double as, double ts) {
+  auto expr = GrabLimitExpr::Parse(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  return expr->Evaluate({as, ts});
+}
+
+TEST(GrabLimitExprTest, Literals) {
+  EXPECT_DOUBLE_EQ(Eval("42", 0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(Eval("2.5", 0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("-3", 0, 0), -3.0);
+}
+
+TEST(GrabLimitExprTest, Variables) {
+  EXPECT_DOUBLE_EQ(Eval("AS", 17, 40), 17.0);
+  EXPECT_DOUBLE_EQ(Eval("TS", 17, 40), 40.0);
+  EXPECT_DOUBLE_EQ(Eval("as", 5, 9), 5.0);  // case-insensitive
+  EXPECT_DOUBLE_EQ(Eval("ts", 5, 9), 9.0);
+}
+
+TEST(GrabLimitExprTest, Infinity) {
+  EXPECT_TRUE(std::isinf(Eval("INF", 0, 0)));
+  EXPECT_TRUE(std::isinf(Eval("infinity", 0, 0)));
+}
+
+TEST(GrabLimitExprTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(Eval("1 + 2 * 3", 0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("(1 + 2) * 3", 0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(Eval("10 - 4 - 3", 0, 0), 3.0);  // left associative
+  EXPECT_DOUBLE_EQ(Eval("8 / 2 / 2", 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("0.5 * TS", 0, 40), 20.0);
+  EXPECT_DOUBLE_EQ(Eval("-AS + 1", 4, 0), -3.0);
+}
+
+TEST(GrabLimitExprTest, MaxMin) {
+  EXPECT_DOUBLE_EQ(Eval("max(3, 7)", 0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("min(3, 7)", 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("max(0.5 * TS, AS)", 30, 40), 30.0);
+  EXPECT_DOUBLE_EQ(Eval("max(0.5 * TS, AS)", 10, 40), 20.0);
+  EXPECT_DOUBLE_EQ(Eval("min(max(AS, 1), TS)", 0, 8), 1.0);
+}
+
+TEST(GrabLimitExprTest, Comparisons) {
+  EXPECT_DOUBLE_EQ(Eval("3 > 2", 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 > 3", 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("2 >= 2", 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 <= 1", 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("2 == 2", 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 != 2", 0, 0), 0.0);
+}
+
+TEST(GrabLimitExprTest, Ternary) {
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 ? 0.5 * AS : 0.2 * TS", 10, 40), 5.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 ? 0.5 * AS : 0.2 * TS", 0, 40), 8.0);
+  EXPECT_DOUBLE_EQ(Eval("1 ? 2 : 3", 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("0 ? 2 : 3", 0, 0), 3.0);
+  // Nested / right-associative.
+  EXPECT_DOUBLE_EQ(Eval("AS > 10 ? 1 : AS > 5 ? 2 : 3", 7, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 10 ? 1 : AS > 5 ? 2 : 3", 2, 0), 3.0);
+}
+
+TEST(GrabLimitExprTest, AndOrKeywords) {
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 and TS > 0 ? 1 : 0", 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 and TS > 0 ? 1 : 0", 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 or TS > 0 ? 1 : 0", 0, 1), 1.0);
+}
+
+TEST(GrabLimitExprTest, PaperTableOne) {
+  // All five Table I expressions parse and behave per the paper.
+  EXPECT_TRUE(std::isinf(Eval("INF", 0, 40)));
+  EXPECT_DOUBLE_EQ(Eval("max(0.5 * TS, AS)", 40, 40), 40.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 ? 0.5 * AS : 0.2 * TS", 0, 160), 32.0);
+  EXPECT_DOUBLE_EQ(Eval("AS > 0 ? 0.2 * AS : 0.1 * TS", 0, 160), 16.0);
+  EXPECT_DOUBLE_EQ(Eval("0.1 * AS", 0, 160), 0.0);
+}
+
+TEST(GrabLimitExprTest, DivisionByZeroIsInfinity) {
+  EXPECT_TRUE(std::isinf(Eval("1 / 0", 0, 0)));
+}
+
+TEST(GrabLimitExprTest, TextIsPreserved) {
+  auto expr = GrabLimitExpr::Parse("0.1 * AS");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->text(), "0.1 * AS");
+}
+
+TEST(GrabLimitExprTest, SyntaxErrors) {
+  EXPECT_TRUE(GrabLimitExpr::Parse("").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("AS +").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("max(1)").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("max(1, 2").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("(1 + 2").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("FOO * 2").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("1 ? 2").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("1 2").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("1..5").status().IsParseError());
+  EXPECT_TRUE(GrabLimitExpr::Parse("@").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace dmr::dynamic

@@ -1,0 +1,139 @@
+#include "dynamic/growth_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dmr::dynamic {
+namespace {
+
+mapred::ClusterStatus Status40(int available) {
+  mapred::ClusterStatus s;
+  s.total_map_slots = 40;
+  s.occupied_map_slots = 40 - available;
+  return s;
+}
+
+TEST(GrowthPolicyTest, CreateValidates) {
+  EXPECT_TRUE(GrowthPolicy::Create("", "", 0, "AS").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GrowthPolicy::Create("p", "", -1, "AS").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GrowthPolicy::Create("p", "", 101, "AS").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GrowthPolicy::Create("p", "", 0, "AS", 0.0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      GrowthPolicy::Create("p", "", 0, "bogus expr").status().IsParseError());
+  EXPECT_TRUE(GrowthPolicy::Create("p", "d", 5, "0.5 * AS", 2.0).ok());
+}
+
+TEST(GrowthPolicyTest, BuiltInTableMatchesPaper) {
+  const auto& table = PolicyTable::BuiltIn();
+  ASSERT_EQ(table.policies().size(), 5u);
+  EXPECT_TRUE(table.Contains("Hadoop"));
+  EXPECT_TRUE(table.Contains("HA"));
+  EXPECT_TRUE(table.Contains("MA"));
+  EXPECT_TRUE(table.Contains("LA"));
+  EXPECT_TRUE(table.Contains("C"));
+
+  EXPECT_DOUBLE_EQ(table.Find("HA")->work_threshold_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(table.Find("MA")->work_threshold_pct(), 5.0);
+  EXPECT_DOUBLE_EQ(table.Find("LA")->work_threshold_pct(), 10.0);
+  EXPECT_DOUBLE_EQ(table.Find("C")->work_threshold_pct(), 15.0);
+  // Evaluation interval fixed at 4 s (paper Section III-B).
+  EXPECT_DOUBLE_EQ(table.Find("LA")->eval_interval(), 4.0);
+}
+
+TEST(GrowthPolicyTest, LookupIsCaseInsensitive) {
+  const auto& table = PolicyTable::BuiltIn();
+  EXPECT_TRUE(table.Find("hadoop").ok());
+  EXPECT_TRUE(table.Find("la").ok());
+  EXPECT_TRUE(table.Find("nope").status().IsNotFound());
+}
+
+TEST(GrowthPolicyTest, HadoopPolicyIsUnbounded) {
+  auto hadoop = *PolicyTable::BuiltIn().Find("Hadoop");
+  EXPECT_TRUE(hadoop.unbounded());
+  EXPECT_EQ(hadoop.GrabLimit(Status40(0)),
+            std::numeric_limits<int64_t>::max());
+  auto la = *PolicyTable::BuiltIn().Find("LA");
+  EXPECT_FALSE(la.unbounded());
+}
+
+TEST(GrowthPolicyTest, GrabLimitsMatchTableOne) {
+  const auto& table = PolicyTable::BuiltIn();
+  // Idle 40-slot cluster.
+  EXPECT_EQ(table.Find("HA")->GrabLimit(Status40(40)), 40);
+  EXPECT_EQ(table.Find("MA")->GrabLimit(Status40(40)), 20);
+  EXPECT_EQ(table.Find("LA")->GrabLimit(Status40(40)), 8);
+  EXPECT_EQ(table.Find("C")->GrabLimit(Status40(40)), 4);
+  // Saturated cluster: the fallback branches.
+  EXPECT_EQ(table.Find("HA")->GrabLimit(Status40(0)), 20);   // 0.5*TS
+  EXPECT_EQ(table.Find("MA")->GrabLimit(Status40(0)), 8);    // 0.2*TS
+  EXPECT_EQ(table.Find("LA")->GrabLimit(Status40(0)), 4);    // 0.1*TS
+  EXPECT_EQ(table.Find("C")->GrabLimit(Status40(0)), 0);     // 0.1*0
+}
+
+TEST(GrowthPolicyTest, PositiveFractionsRoundUpToOne) {
+  auto c = *PolicyTable::BuiltIn().Find("C");
+  // 0.1 * 3 = 0.3 -> at least one split so a starved job can progress.
+  EXPECT_EQ(c.GrabLimit(Status40(3)), 1);
+}
+
+TEST(GrowthPolicyTest, ApplyWritesJobConf) {
+  auto la = *PolicyTable::BuiltIn().Find("LA");
+  mapred::JobConf conf;
+  la.Apply(&conf);
+  EXPECT_TRUE(conf.dynamic_job());
+  EXPECT_EQ(conf.policy(), "LA");
+  EXPECT_DOUBLE_EQ(conf.eval_interval(), 4.0);
+  EXPECT_DOUBLE_EQ(conf.work_threshold_pct(), 10.0);
+}
+
+TEST(PolicyTableTest, AddRejectsDuplicates) {
+  PolicyTable table;
+  ASSERT_TRUE(table.Add(*GrowthPolicy::Create("X", "", 0, "AS")).ok());
+  EXPECT_TRUE(table.Add(*GrowthPolicy::Create("x", "", 0, "TS"))
+                  .IsAlreadyExists());
+}
+
+TEST(PolicyTableTest, ParsePolicyFile) {
+  auto table = PolicyTable::Parse(R"(
+# policy.xml analogue
+policy.Fast.description = go fast
+policy.Fast.work_threshold = 0
+policy.Fast.grab_limit = AS
+policy.Fast.eval_interval = 2
+
+policy.Slow.grab_limit = 1
+policy.Slow.work_threshold = 20
+)");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->policies().size(), 2u);
+  auto fast = *table->Find("Fast");
+  EXPECT_EQ(fast.description(), "go fast");
+  EXPECT_DOUBLE_EQ(fast.eval_interval(), 2.0);
+  EXPECT_EQ(fast.GrabLimit(Status40(12)), 12);
+  auto slow = *table->Find("Slow");
+  EXPECT_DOUBLE_EQ(slow.work_threshold_pct(), 20.0);
+  EXPECT_DOUBLE_EQ(slow.eval_interval(), 4.0);  // default
+}
+
+TEST(PolicyTableTest, ParseRejectsMissingGrabLimit) {
+  auto table = PolicyTable::Parse("policy.Bad.work_threshold = 5\n");
+  EXPECT_TRUE(table.status().IsParseError());
+}
+
+TEST(PolicyTableTest, ParseRejectsForeignKeys) {
+  auto table = PolicyTable::Parse("unrelated.key = 1\n");
+  EXPECT_TRUE(table.status().IsParseError());
+}
+
+TEST(PolicyTableTest, ParseRejectsMalformedExpression) {
+  auto table = PolicyTable::Parse("policy.Bad.grab_limit = AS +\n");
+  EXPECT_FALSE(table.ok());
+}
+
+}  // namespace
+}  // namespace dmr::dynamic

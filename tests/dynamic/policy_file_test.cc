@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dynamic/growth_policy.h"
+
+namespace dmr::dynamic {
+namespace {
+
+/// Loads the repo's shipped configs/policies.conf (located relative to the
+/// source tree via the compile-time path).
+std::string ReadShippedConfig() {
+  std::ifstream in(std::string(DMR_SOURCE_DIR) + "/configs/policies.conf");
+  EXPECT_TRUE(in.good()) << "configs/policies.conf missing";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(PolicyFileTest, ShippedConfigParses) {
+  auto table = PolicyTable::Parse(ReadShippedConfig());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->policies().size(), 7u);
+}
+
+TEST(PolicyFileTest, ShippedTableOneMatchesBuiltIns) {
+  auto table = *PolicyTable::Parse(ReadShippedConfig());
+  const auto& builtin = PolicyTable::BuiltIn();
+  for (const char* name : {"Hadoop", "HA", "MA", "LA", "C"}) {
+    auto from_file = table.Find(name);
+    auto from_code = builtin.Find(name);
+    ASSERT_TRUE(from_file.ok()) << name;
+    ASSERT_TRUE(from_code.ok()) << name;
+    EXPECT_DOUBLE_EQ(from_file->work_threshold_pct(),
+                     from_code->work_threshold_pct())
+        << name;
+    // Same grab limits at a spread of cluster states.
+    for (int as : {0, 3, 20, 40}) {
+      mapred::ClusterStatus status;
+      status.total_map_slots = 40;
+      status.occupied_map_slots = 40 - as;
+      EXPECT_EQ(from_file->GrabLimit(status), from_code->GrabLimit(status))
+          << name << " AS=" << as;
+    }
+  }
+}
+
+TEST(PolicyFileTest, CustomPoliciesBehaveAsDocumented) {
+  auto table = *PolicyTable::Parse(ReadShippedConfig());
+  auto load_scaled = *table.Find("LoadScaled");
+  mapred::ClusterStatus idle;
+  idle.total_map_slots = 40;
+  idle.occupied_map_slots = 0;
+  EXPECT_EQ(load_scaled.GrabLimit(idle), 40);
+  mapred::ClusterStatus busy;
+  busy.total_map_slots = 40;
+  busy.occupied_map_slots = 36;
+  EXPECT_EQ(load_scaled.GrabLimit(busy), 1);  // 0.4 floored up
+
+  auto burst = *table.Find("Burst32");
+  mapred::ClusterStatus huge;
+  huge.total_map_slots = 160;
+  huge.occupied_map_slots = 0;
+  EXPECT_EQ(burst.GrabLimit(huge), 32);  // capped
+  EXPECT_DOUBLE_EQ(burst.eval_interval(), 2.0);
+}
+
+}  // namespace
+}  // namespace dmr::dynamic

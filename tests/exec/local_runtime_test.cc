@@ -1,0 +1,201 @@
+#include "exec/local_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "hive/compiler.h"
+#include "tpch/dataset_catalog.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::exec {
+namespace {
+
+class LocalRuntimeTest : public ::testing::Test {
+ protected:
+  LocalRuntimeTest()
+      : compiler_(&tpch::LineItemSchema(),
+                  &dynamic::PolicyTable::BuiltIn()) {}
+
+  tpch::MaterializedDataset MakeData(int partitions, uint64_t records,
+                                     double selectivity, double z,
+                                     uint64_t seed = 5) {
+    tpch::SkewSpec spec;
+    spec.num_partitions = partitions;
+    spec.records_per_partition = records;
+    spec.selectivity = selectivity;
+    spec.zipf_z = z;
+    spec.seed = seed;
+    auto dataset = tpch::MaterializeDataset(spec);
+    EXPECT_TRUE(dataset.ok());
+    return *std::move(dataset);
+  }
+
+  hive::CompiledQuery Compile(const std::string& sql) {
+    auto result = compiler_.Process(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result->query;
+  }
+
+  dynamic::GrowthPolicy Policy(const char* name) {
+    return *dynamic::PolicyTable::BuiltIn().Find(name);
+  }
+
+  hive::HiveCompiler compiler_;
+};
+
+TEST_F(LocalRuntimeTest, SampleSatisfiesPredicateAndSize) {
+  auto data = MakeData(12, 10000, 0.01, 1.0);  // 1200 matching
+  auto query = Compile(
+      "SELECT * FROM lineitem WHERE DISCOUNT > 0.10 LIMIT 100");
+  LocalRuntime runtime({.num_threads = 4});
+  auto result = runtime.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 100u);
+  for (const auto& row : result->rows) {
+    auto matches = expr::EvaluatePredicate(*query.predicate,
+                                           tpch::LineItemSchema(), row);
+    ASSERT_TRUE(matches.ok());
+    EXPECT_TRUE(*matches);
+  }
+}
+
+TEST_F(LocalRuntimeTest, StopsEarlyWhenEnoughFound) {
+  auto data = MakeData(20, 5000, 0.05, 0.0);  // plenty of matches everywhere
+  auto query =
+      Compile("SELECT ORDERKEY FROM lineitem WHERE QUANTITY > 50 LIMIT 50");
+  LocalRuntime runtime({.num_threads = 4});
+  auto result = runtime.Execute(query, data, Policy("C"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 50u);
+  EXPECT_LT(result->partitions_processed, 20);
+}
+
+TEST_F(LocalRuntimeTest, ScansEverythingWhenMatchesAreScarce) {
+  auto data = MakeData(6, 2000, 0.0, 0.0);  // zero matching records
+  auto query =
+      Compile("SELECT ORDERKEY FROM lineitem WHERE QUANTITY > 50 LIMIT 10");
+  LocalRuntime runtime({.num_threads = 2});
+  auto result = runtime.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->partitions_processed, 6);
+  EXPECT_EQ(result->records_scanned, 12000u);
+}
+
+TEST_F(LocalRuntimeTest, PartialSampleWhenMatchesShortOfK) {
+  auto data = MakeData(5, 4000, 0.005, 0.0);  // 100 matching total
+  auto query =
+      Compile("SELECT ORDERKEY FROM lineitem WHERE QUANTITY > 50 LIMIT 500");
+  LocalRuntime runtime({.num_threads = 4});
+  auto result = runtime.Execute(query, data, Policy("HA"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 100u);
+  EXPECT_EQ(result->partitions_processed, 5);
+}
+
+TEST_F(LocalRuntimeTest, ProjectionSelectsRequestedColumns) {
+  auto data = MakeData(4, 1000, 0.01, 0.0);
+  auto query = Compile(
+      "SELECT SUPPKEY, SHIPMODE FROM lineitem WHERE QUANTITY > 50 LIMIT 5");
+  LocalRuntime runtime({.num_threads = 2});
+  auto result = runtime.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->rows.empty());
+  for (const auto& row : result->rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(expr::TypeOf(row[0]), expr::ValueType::kInt64);
+    EXPECT_EQ(expr::TypeOf(row[1]), expr::ValueType::kString);
+  }
+}
+
+TEST_F(LocalRuntimeTest, FullScanWithoutLimitReturnsAllMatches) {
+  auto data = MakeData(8, 2500, 0.01, 1.0);  // 200 matching
+  auto query = Compile("SELECT ORDERKEY FROM lineitem WHERE DISCOUNT > 0.10");
+  LocalRuntime runtime({.num_threads = 4});
+  auto result = runtime.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 200u);
+  EXPECT_EQ(result->partitions_processed, 8);
+}
+
+TEST_F(LocalRuntimeTest, NoWhereClauseSamplesAnything) {
+  auto data = MakeData(4, 1000, 0.0, 0.0);
+  auto query = Compile("SELECT ORDERKEY FROM lineitem LIMIT 7");
+  LocalRuntime runtime({.num_threads = 2});
+  auto result = runtime.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 7u);
+  EXPECT_LT(result->partitions_processed, 4);  // one partition suffices
+}
+
+TEST_F(LocalRuntimeTest, SelectivityEstimateConvergesOnUniformData) {
+  auto data = MakeData(16, 20000, 0.002, 0.0);
+  auto query =
+      Compile("SELECT ORDERKEY FROM lineitem WHERE QUANTITY > 50 LIMIT 200");
+  LocalRuntime runtime({.num_threads = 4});
+  auto result = runtime.Execute(query, data, Policy("C"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 200u);
+  EXPECT_NEAR(result->estimated_selectivity, 0.002, 0.001);
+}
+
+TEST_F(LocalRuntimeTest, ReservoirModeStillSatisfiesPredicate) {
+  auto data = MakeData(10, 5000, 0.01, 1.0);
+  auto query =
+      Compile("SELECT * FROM lineitem WHERE DISCOUNT > 0.10 LIMIT 40");
+  LocalRuntime runtime(
+      {.num_threads = 4, .sample_mode = sampling::SampleMode::kReservoir});
+  auto result = runtime.Execute(query, data, Policy("MA"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 40u);
+  for (const auto& row : result->rows) {
+    EXPECT_TRUE(*expr::EvaluatePredicate(*query.predicate,
+                                         tpch::LineItemSchema(), row));
+  }
+}
+
+TEST_F(LocalRuntimeTest, DeterministicForSeed) {
+  auto data = MakeData(10, 2000, 0.01, 1.0);
+  auto query =
+      Compile("SELECT ORDERKEY FROM lineitem WHERE DISCOUNT > 0.10 LIMIT 30");
+  LocalRuntime a({.num_threads = 3, .seed = 99});
+  LocalRuntime b({.num_threads = 3, .seed = 99});
+  auto ra = a.Execute(query, data, Policy("LA"));
+  auto rb = b.Execute(query, data, Policy("LA"));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->rows.size(), rb->rows.size());
+  EXPECT_EQ(ra->partitions_processed, rb->partitions_processed);
+  for (size_t i = 0; i < ra->rows.size(); ++i) {
+    EXPECT_EQ(std::get<int64_t>(ra->rows[i][0]),
+              std::get<int64_t>(rb->rows[i][0]));
+  }
+}
+
+class LocalPolicySweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LocalPolicySweepTest, EveryPolicyDeliversTheSample) {
+  tpch::SkewSpec spec;
+  spec.num_partitions = 12;
+  spec.records_per_partition = 5000;
+  spec.selectivity = 0.01;
+  spec.zipf_z = 2.0;
+  spec.seed = 31;
+  auto data = *tpch::MaterializeDataset(spec);
+
+  hive::HiveCompiler compiler(&tpch::LineItemSchema(),
+                              &dynamic::PolicyTable::BuiltIn());
+  auto compiled =
+      compiler.Process("SELECT * FROM lineitem WHERE TAX > 0.08 LIMIT 150");
+  ASSERT_TRUE(compiled.ok());
+  LocalRuntime runtime({.num_threads = 4});
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find(GetParam());
+  auto result = runtime.Execute(*compiled->query, data, policy);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 150u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, LocalPolicySweepTest,
+                         ::testing::Values("Hadoop", "HA", "MA", "LA", "C"));
+
+}  // namespace
+}  // namespace dmr::exec

@@ -1,0 +1,137 @@
+#include "hive/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "hive/parser.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::hive {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest()
+      : compiler_(&tpch::LineItemSchema(), &dynamic::PolicyTable::BuiltIn()) {}
+
+  CompiledQuery MustCompile(const std::string& sql) {
+    auto result = compiler_.Process(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    EXPECT_TRUE(result->query.has_value());
+    return *result->query;
+  }
+
+  HiveCompiler compiler_;
+};
+
+TEST_F(CompilerTest, SamplingQueryBecomesDynamicJob) {
+  CompiledQuery q = MustCompile(
+      "SELECT ORDERKEY, PARTKEY, SUPPKEY FROM lineitem "
+      "WHERE DISCOUNT > 0.10 LIMIT 10000");
+  EXPECT_TRUE(q.is_sampling());
+  EXPECT_EQ(q.limit, 10000u);
+  EXPECT_TRUE(q.conf.dynamic_job());
+  EXPECT_EQ(q.conf.sample_size(), 10000u);
+  EXPECT_EQ(q.conf.policy(), "LA");  // session default
+  EXPECT_EQ(q.policy_name, "LA");
+  EXPECT_EQ(q.conf.input_file(), "lineitem");
+  EXPECT_EQ(q.projection,
+            (std::vector<int>{tpch::kOrderKey, tpch::kPartKey,
+                              tpch::kSuppKey}));
+  EXPECT_FALSE(
+      q.conf.props().Get(mapred::kDynamicProviderKey, "").empty());
+}
+
+TEST_F(CompilerTest, FullScanStaysStatic) {
+  CompiledQuery q =
+      MustCompile("SELECT ORDERKEY FROM lineitem WHERE TAX > 0.05");
+  EXPECT_FALSE(q.is_sampling());
+  EXPECT_FALSE(q.conf.dynamic_job());
+  EXPECT_EQ(q.conf.sample_size(), 0u);
+}
+
+TEST_F(CompilerTest, SelectStarProjectsWholeSchema) {
+  CompiledQuery q = MustCompile("SELECT * FROM lineitem LIMIT 5");
+  EXPECT_EQ(q.projection.size(), size_t(tpch::kNumLineItemColumns));
+  EXPECT_EQ(q.projected_names.front(), "ORDERKEY");
+  EXPECT_EQ(q.projected_names.back(), "COMMENT");
+}
+
+TEST_F(CompilerTest, ColumnNamesAreCaseInsensitive) {
+  CompiledQuery q = MustCompile("SELECT orderkey FROM t LIMIT 1");
+  EXPECT_EQ(q.projection, (std::vector<int>{tpch::kOrderKey}));
+  EXPECT_EQ(q.projected_names[0], "ORDERKEY");  // canonical name
+}
+
+TEST_F(CompilerTest, UnknownProjectionColumnRejected) {
+  auto result = compiler_.Process("SELECT bogus FROM t");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(CompilerTest, UnknownPredicateColumnRejected) {
+  auto result = compiler_.Process("SELECT ORDERKEY FROM t WHERE bogus > 1");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(CompilerTest, TypeErrorInPredicateRejected) {
+  auto result =
+      compiler_.Process("SELECT ORDERKEY FROM t WHERE SHIPMODE > 5");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(CompilerTest, SetPolicyChangesCompilation) {
+  ASSERT_TRUE(compiler_.Process("SET dynamic.job.policy = C").ok());
+  CompiledQuery q = MustCompile("SELECT ORDERKEY FROM t LIMIT 10");
+  EXPECT_EQ(q.conf.policy(), "C");
+  EXPECT_DOUBLE_EQ(q.conf.work_threshold_pct(), 15.0);
+}
+
+TEST_F(CompilerTest, SetUnknownPolicyRejected) {
+  auto result = compiler_.Process("SET dynamic.job.policy = Warp9");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // Session unchanged.
+  EXPECT_EQ(compiler_.session().Get(mapred::kDynamicPolicyKey), "LA");
+}
+
+TEST_F(CompilerTest, SetUserPropagatesToJobConf) {
+  ASSERT_TRUE(compiler_.Process("SET user.name = carol").ok());
+  CompiledQuery q = MustCompile("SELECT ORDERKEY FROM t LIMIT 10");
+  EXPECT_EQ(q.conf.user(), "carol");
+}
+
+TEST_F(CompilerTest, ArbitrarySessionSettingsAreStored) {
+  auto result = compiler_.Process("SET my.custom.flag = 17");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->query.has_value());
+  EXPECT_EQ(compiler_.session().Get("my.custom.flag"), "17");
+}
+
+TEST_F(CompilerTest, ExplainProducesPlanWithoutExecution) {
+  auto result = compiler_.Process(
+      "EXPLAIN SELECT ORDERKEY FROM lineitem WHERE TAX > 0.08 LIMIT 100");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->explain_only);
+  EXPECT_NE(result->message.find("DYNAMIC predicate-based sampling"),
+            std::string::npos);
+  EXPECT_NE(result->message.find("policy     : LA"), std::string::npos);
+}
+
+TEST_F(CompilerTest, ExplainStaticPlanSaysFullScan) {
+  auto result = compiler_.Process("EXPLAIN SELECT ORDERKEY FROM lineitem");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->message.find("static full scan"), std::string::npos);
+}
+
+TEST_F(CompilerTest, PredicateTextRecordedInConf) {
+  CompiledQuery q =
+      MustCompile("SELECT ORDERKEY FROM t WHERE QUANTITY > 50 LIMIT 10");
+  EXPECT_EQ(q.conf.props().Get(mapred::kPredicateKey), "(QUANTITY > 50)");
+}
+
+TEST_F(CompilerTest, CurrentPolicyTracksSession) {
+  EXPECT_EQ(compiler_.CurrentPolicy()->name(), "LA");
+  ASSERT_TRUE(compiler_.Process("SET dynamic.job.policy = HA").ok());
+  EXPECT_EQ(compiler_.CurrentPolicy()->name(), "HA");
+}
+
+}  // namespace
+}  // namespace dmr::hive

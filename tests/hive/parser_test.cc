@@ -1,0 +1,161 @@
+#include "hive/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "hive/lexer.h"
+
+namespace dmr::hive {
+namespace {
+
+SelectStatement MustSelect(const std::string& sql) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status().ToString();
+  return *std::move(stmt);
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = *Tokenize("SELECT a1, 'str''ing', 42, 3.14 >= <> !=;");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "a1");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "str'ing");  // escaped quote
+  EXPECT_EQ(tokens[5].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[5].integer, 42);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kDecimal);
+  EXPECT_DOUBLE_EQ(tokens[7].decimal, 3.14);
+  EXPECT_TRUE(tokens[8].IsOp(">="));
+  EXPECT_TRUE(tokens[9].IsOp("<>"));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = *Tokenize("SELECT -- a comment\n x");
+  ASSERT_EQ(tokens.size(), 3u);  // SELECT, x, end
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("1.2.3").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStatement s = MustSelect("SELECT * FROM lineitem");
+  EXPECT_TRUE(s.columns.empty());
+  EXPECT_EQ(s.table, "lineitem");
+  EXPECT_EQ(s.where, nullptr);
+  EXPECT_FALSE(s.limit.has_value());
+}
+
+TEST(ParserTest, PaperQueryTemplate) {
+  SelectStatement s = MustSelect(
+      "SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM "
+      "WHERE DISCOUNT > 0.10 LIMIT 10000;");
+  EXPECT_EQ(s.columns,
+            (std::vector<std::string>{"ORDERKEY", "PARTKEY", "SUPPKEY"}));
+  EXPECT_EQ(s.table, "LINEITEM");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->ToString(), "(DISCOUNT > 0.1)");
+  EXPECT_EQ(s.limit, 10000u);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  SelectStatement s =
+      MustSelect("select x from t where x > 1 limit 5");
+  EXPECT_EQ(s.columns[0], "x");
+  EXPECT_EQ(s.limit, 5u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  SelectStatement s = MustSelect(
+      "SELECT a FROM t WHERE a > 1 + 2 * 3 AND b = 1 OR c = 2");
+  // ((a > (1 + (2*3))) AND (b = 1)) OR (c = 2)
+  EXPECT_EQ(s.where->ToString(),
+            "(((a > (1 + (2 * 3))) AND (b = 1)) OR (c = 2))");
+}
+
+TEST(ParserTest, NotBetweenInLike) {
+  SelectStatement s = MustSelect(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2) "
+      "AND c LIKE 'x%' AND d NOT LIKE '%y' AND NOT e = 1");
+  EXPECT_NE(s.where, nullptr);
+  std::string text = s.where->ToString();
+  EXPECT_NE(text.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(text.find("NOT ((b IN"), std::string::npos);
+  EXPECT_NE(text.find("LIKE 'x%'"), std::string::npos);
+  EXPECT_NE(text.find("NOT LIKE '%y'"), std::string::npos);
+}
+
+TEST(ParserTest, ParenthesizedExpressions) {
+  SelectStatement s =
+      MustSelect("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  EXPECT_EQ(s.where->ToString(), "(((a = 1) OR (b = 2)) AND (c = 3))");
+}
+
+TEST(ParserTest, NegativeNumbersAndArithmetic) {
+  SelectStatement s =
+      MustSelect("SELECT a FROM t WHERE a * -2 < b - 1");
+  EXPECT_EQ(s.where->ToString(), "((a * -(2)) < (b - 1))");
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  SelectStatement s = MustSelect("SELECT a FROM t WHERE TRUE OR false");
+  EXPECT_EQ(s.where->ToString(), "(true OR false)");
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* sql =
+      "SELECT ORDERKEY, SUPPKEY FROM LINEITEM WHERE (TAX > 0.08) "
+      "LIMIT 100";
+  SelectStatement s = MustSelect(sql);
+  SelectStatement again = MustSelect(s.ToString());
+  EXPECT_EQ(s.ToString(), again.ToString());
+}
+
+TEST(ParserTest, SetStatement) {
+  auto stmt = *ParseStatement("SET dynamic.job.policy = LA;");
+  auto* set = std::get_if<SetStatement>(&stmt);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->key, "dynamic.job.policy");
+  EXPECT_EQ(set->value, "LA");
+}
+
+TEST(ParserTest, SetWithNumericAndStringValues) {
+  auto a = *ParseStatement("SET x = 42");
+  EXPECT_EQ(std::get<SetStatement>(a).value, "42");
+  auto b = *ParseStatement("SET y = 'hello world'");
+  EXPECT_EQ(std::get<SetStatement>(b).value, "hello world");
+}
+
+TEST(ParserTest, ExplainStatement) {
+  auto stmt = *ParseStatement("EXPLAIN SELECT a FROM t LIMIT 3");
+  auto* explain = std::get_if<ExplainStatement>(&stmt);
+  ASSERT_NE(explain, nullptr);
+  EXPECT_EQ(explain->select.limit, 3u);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT 0").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT -5").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra").ok());
+  EXPECT_FALSE(ParseStatement("SET = 5").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a, FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a NOT 5").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a LIKE 5").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a BETWEEN 1").ok());
+  EXPECT_FALSE(ParseStatement("").ok());
+}
+
+TEST(ParserTest, ParseSelectRejectsNonSelect) {
+  EXPECT_TRUE(ParseSelect("SET a = b").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dmr::hive

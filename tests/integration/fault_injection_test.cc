@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr {
+namespace {
+
+mapred::JobStats RunWithConfig(const cluster::ClusterConfig& config,
+                               const char* policy_name, uint64_t seed) {
+  testbed::Testbed bed(config);
+  auto dataset = testbed::MakeLineItemDataset(&bed.fs(), 5, 0.0, seed);
+  EXPECT_TRUE(dataset.ok());
+  auto policy = dynamic::PolicyTable::BuiltIn().Find(policy_name);
+  EXPECT_TRUE(policy.ok());
+  sampling::SamplingJobOptions options;
+  options.job_name = "fault-test";
+  options.sample_size = 10000;
+  options.seed = seed;
+  auto submission = sampling::MakeSamplingJob(
+      dataset->file, dataset->matching_per_partition, *policy, options);
+  EXPECT_TRUE(submission.ok());
+  auto stats = bed.RunJobToCompletion(*std::move(submission));
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+TEST(FaultInjectionTest, JobSurvivesMapFailures) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::SingleUser();
+  config.map_failure_prob = 0.2;
+  config.fault_seed = 99;
+  mapred::JobStats stats = RunWithConfig(config, "LA", 11);
+  EXPECT_EQ(stats.result_records, 10000u);
+  EXPECT_GT(stats.failed_maps, 0);
+  // Every completed split was eventually processed exactly once.
+  EXPECT_GE(stats.splits_processed, 26);
+}
+
+TEST(FaultInjectionTest, HadoopPolicySurvivesFailuresToo) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::SingleUser();
+  config.map_failure_prob = 0.3;
+  config.fault_seed = 7;
+  mapred::JobStats stats = RunWithConfig(config, "Hadoop", 13);
+  EXPECT_EQ(stats.splits_processed, 40);  // all input despite retries
+  EXPECT_GT(stats.failed_maps, 3);
+  EXPECT_EQ(stats.result_records, 10000u);
+}
+
+TEST(FaultInjectionTest, FailuresDelayCompletion) {
+  cluster::ClusterConfig healthy = cluster::ClusterConfig::SingleUser();
+  mapred::JobStats ok = RunWithConfig(healthy, "Hadoop", 17);
+
+  cluster::ClusterConfig flaky = healthy;
+  flaky.map_failure_prob = 0.4;
+  flaky.fault_seed = 3;
+  mapred::JobStats slow = RunWithConfig(flaky, "Hadoop", 17);
+  EXPECT_GT(slow.response_time(), ok.response_time());
+}
+
+TEST(FaultInjectionTest, StragglersStretchResponseTime) {
+  cluster::ClusterConfig healthy = cluster::ClusterConfig::SingleUser();
+  mapred::JobStats fast = RunWithConfig(healthy, "HA", 19);
+
+  cluster::ClusterConfig slow_config = healthy;
+  slow_config.straggler_prob = 0.25;
+  slow_config.straggler_slowdown = 5.0;
+  slow_config.fault_seed = 21;
+  mapred::JobStats slow = RunWithConfig(slow_config, "HA", 19);
+  EXPECT_GT(slow.response_time(), fast.response_time());
+  EXPECT_EQ(slow.result_records, 10000u);  // correctness unaffected
+}
+
+TEST(FaultInjectionTest, ConfigValidationRejectsBadProbabilities) {
+  cluster::ClusterConfig config;
+  config.map_failure_prob = 1.0;  // would retry forever
+  EXPECT_FALSE(config.Validate().ok());
+  config = cluster::ClusterConfig();
+  config.straggler_prob = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = cluster::ClusterConfig();
+  config.straggler_slowdown = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FaultInjectionTest, DeterministicGivenSeeds) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::SingleUser();
+  config.map_failure_prob = 0.2;
+  config.fault_seed = 5;
+  mapred::JobStats a = RunWithConfig(config, "MA", 23);
+  mapred::JobStats b = RunWithConfig(config, "MA", 23);
+  EXPECT_DOUBLE_EQ(a.response_time(), b.response_time());
+  EXPECT_EQ(a.failed_maps, b.failed_maps);
+  EXPECT_EQ(a.splits_processed, b.splits_processed);
+}
+
+}  // namespace
+}  // namespace dmr

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "dfs/file_system.h"
+#include "dynamic/growth_policy.h"
+#include "mapred/job_client.h"
+#include "mapred/job_tracker.h"
+#include "sampling/sampling_job.h"
+#include "scheduler/fifo_scheduler.h"
+#include "sim/simulation.h"
+#include "tpch/dataset_catalog.h"
+#include "tpch/skew_model.h"
+
+namespace dmr {
+namespace {
+
+/// A self-contained simulated cluster with one LINEITEM dataset.
+class SimEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = cluster::ClusterConfig::SingleUser();
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, config_);
+    tracker_ =
+        std::make_unique<mapred::JobTracker>(cluster_.get(), &scheduler_);
+    tracker_->Start();
+    client_ = std::make_unique<mapred::JobClient>(tracker_.get());
+    fs_ = std::make_unique<dfs::FileSystem>(config_.num_nodes,
+                                            config_.disks_per_node);
+  }
+
+  /// Creates a dataset at `scale` with skew `z`, returns (file, matching).
+  std::pair<dfs::FileInfo, std::vector<uint64_t>> MakeDataset(int scale,
+                                                              double z) {
+    auto props = tpch::PropertiesForScale(scale);
+    EXPECT_TRUE(props.ok());
+    std::string name =
+        props->file_name() + "_v" + std::to_string(dataset_counter_++);
+    auto file = fs_->CreateFile(name, props->num_partitions,
+                                tpch::kRecordsPerPartition,
+                                tpch::kLineItemRecordBytes);
+    EXPECT_TRUE(file.ok());
+    tpch::SkewSpec spec;
+    spec.num_partitions = props->num_partitions;
+    spec.records_per_partition = tpch::kRecordsPerPartition;
+    spec.selectivity = tpch::kPaperSelectivity;
+    spec.zipf_z = z;
+    spec.seed = 99;
+    auto matching = tpch::AssignMatchingRecords(spec);
+    EXPECT_TRUE(matching.ok());
+    return {*file, *matching};
+  }
+
+  /// Submits a sampling job under `policy_name` and runs to completion.
+  mapred::JobStats RunSamplingJob(const dfs::FileInfo& file,
+                                  const std::vector<uint64_t>& matching,
+                                  const std::string& policy_name,
+                                  uint64_t k = 10000) {
+    auto policy = dynamic::PolicyTable::BuiltIn().Find(policy_name);
+    EXPECT_TRUE(policy.ok());
+    sampling::SamplingJobOptions options;
+    options.job_name = "sample-" + policy_name;
+    options.sample_size = k;
+    options.seed = 4242;
+    auto submission =
+        sampling::MakeSamplingJob(file, matching, *policy, options);
+    EXPECT_TRUE(submission.ok()) << submission.status().ToString();
+    std::optional<mapred::JobStats> stats;
+    auto id = client_->Submit(*std::move(submission),
+                              [&](const mapred::JobStats& s) { stats = s; });
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    sim_.RunUntil(sim_.Now() + 24 * 3600.0);
+    EXPECT_TRUE(stats.has_value()) << "job did not complete";
+    return *stats;
+  }
+
+  sim::Simulation sim_;
+  cluster::ClusterConfig config_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  scheduler::FifoScheduler scheduler_;
+  std::unique_ptr<mapred::JobTracker> tracker_;
+  std::unique_ptr<mapred::JobClient> client_;
+  std::unique_ptr<dfs::FileSystem> fs_;
+  int dataset_counter_ = 0;
+};
+
+TEST_F(SimEndToEndTest, DynamicSamplingJobProducesFullSample) {
+  auto [file, matching] = MakeDataset(5, 0.0);
+  mapred::JobStats stats = RunSamplingJob(file, matching, "LA");
+  EXPECT_EQ(stats.result_records, 10000u);
+  EXPECT_GE(stats.output_records, 10000u);
+  // With 375 matches per partition, ~27 of the 40 partitions suffice; the
+  // dynamic job must not scan everything.
+  EXPECT_LT(stats.splits_processed, 40);
+  EXPECT_GE(stats.splits_processed, 26);
+  EXPECT_GT(stats.provider_evaluations, 0);
+  EXPECT_GT(stats.input_increments, 1);
+  EXPECT_GT(stats.response_time(), 0.0);
+}
+
+TEST_F(SimEndToEndTest, HadoopPolicyProcessesAllInput) {
+  auto [file, matching] = MakeDataset(5, 0.0);
+  mapred::JobStats stats = RunSamplingJob(file, matching, "Hadoop");
+  EXPECT_EQ(stats.splits_processed, 40);
+  EXPECT_EQ(stats.result_records, 10000u);
+  // A single unbounded intake.
+  EXPECT_EQ(stats.input_increments, 1);
+}
+
+TEST_F(SimEndToEndTest, DynamicResponseTimeIsFlatAcrossScales) {
+  auto [small_file, small_matching] = MakeDataset(5, 0.0);
+  mapred::JobStats small = RunSamplingJob(small_file, small_matching, "HA");
+  auto [big_file, big_matching] = MakeDataset(20, 0.0);
+  mapred::JobStats big = RunSamplingJob(big_file, big_matching, "HA");
+  // Paper headline: response time depends on the sample size, not on the
+  // input size. Allow 2x slack for scheduling noise.
+  EXPECT_LT(big.response_time(), 2.0 * small.response_time());
+}
+
+TEST_F(SimEndToEndTest, HadoopResponseTimeGrowsWithScale) {
+  auto [small_file, small_matching] = MakeDataset(5, 0.0);
+  mapred::JobStats small =
+      RunSamplingJob(small_file, small_matching, "Hadoop");
+  auto [big_file, big_matching] = MakeDataset(40, 0.0);
+  mapred::JobStats big = RunSamplingJob(big_file, big_matching, "Hadoop");
+  // 8x the input => 8 map waves instead of 1; fixed overheads (startup,
+  // heartbeats, reduce) damp the ratio below 8 but it must grow strongly.
+  EXPECT_GT(big.response_time(), 2.5 * small.response_time());
+}
+
+TEST_F(SimEndToEndTest, DynamicBeatsHadoopOnLargeInput) {
+  auto [file, matching] = MakeDataset(20, 0.0);
+  mapred::JobStats ha = RunSamplingJob(file, matching, "HA");
+  auto [file2, matching2] = MakeDataset(20, 0.0);
+  (void)file2;
+  mapred::JobStats hadoop = RunSamplingJob(file, matching, "Hadoop");
+  EXPECT_LT(ha.response_time(), hadoop.response_time());
+  EXPECT_LT(ha.splits_processed, hadoop.splits_processed);
+}
+
+TEST_F(SimEndToEndTest, ZeroMatchesConsumesEverythingAndReturnsEmpty) {
+  auto [file, matching] = MakeDataset(5, 0.0);
+  std::vector<uint64_t> none(matching.size(), 0);
+  mapred::JobStats stats = RunSamplingJob(file, none, "MA");
+  EXPECT_EQ(stats.result_records, 0u);
+  EXPECT_EQ(stats.splits_processed, 40);  // had to look everywhere
+}
+
+TEST_F(SimEndToEndTest, StaticSelectProjectJobRuns) {
+  auto [file, matching] = MakeDataset(5, 0.0);
+  auto submission =
+      sampling::MakeSelectProjectJob(file, matching, "sp-job", "alice");
+  ASSERT_TRUE(submission.ok());
+  std::optional<mapred::JobStats> stats;
+  auto id = client_->Submit(*std::move(submission),
+                            [&](const mapred::JobStats& s) { stats = s; });
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(sim_.Now() + 4 * 3600.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->splits_processed, 40);
+  EXPECT_EQ(stats->result_records, 15000u);  // all matches, no LIMIT
+}
+
+TEST_F(SimEndToEndTest, SkewSlowsConservativePolicies) {
+  auto [uniform_file, uniform_matching] = MakeDataset(10, 0.0);
+  mapred::JobStats uniform =
+      RunSamplingJob(uniform_file, uniform_matching, "C");
+  auto [skewed_file, skewed_matching] = MakeDataset(10, 2.0);
+  mapred::JobStats skewed = RunSamplingJob(skewed_file, skewed_matching, "C");
+  // Under high skew most partitions yield nothing, so a conservative job
+  // needs more rounds/partitions than under a uniform spread.
+  EXPECT_GE(skewed.splits_processed, uniform.splits_processed);
+}
+
+}  // namespace
+}  // namespace dmr

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr {
+namespace {
+
+mapred::JobStats RunJob(testbed::Testbed* bed, const char* policy_name,
+                        uint64_t seed) {
+  auto dataset = testbed::MakeLineItemDataset(&bed->fs(), 5, 0.0, seed);
+  EXPECT_TRUE(dataset.ok());
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find(policy_name);
+  sampling::SamplingJobOptions options;
+  options.job_name = "spec-test";
+  options.sample_size = 10000;
+  options.seed = seed;
+  auto submission = sampling::MakeSamplingJob(
+      dataset->file, dataset->matching_per_partition, policy, options);
+  EXPECT_TRUE(submission.ok());
+  auto stats = bed->RunJobToCompletion(*std::move(submission));
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+cluster::ClusterConfig StragglerConfig() {
+  cluster::ClusterConfig config = cluster::ClusterConfig::SingleUser();
+  config.straggler_prob = 0.15;
+  config.straggler_slowdown = 8.0;
+  config.fault_seed = 77;
+  return config;
+}
+
+TEST(SpeculativeExecutionTest, BackupsMitigateStragglersOnAverage) {
+  // Backups can themselves straggle (they draw from the same fault model,
+  // as in real Hadoop), so the benefit is statistical: compare mean
+  // response times over several fault seeds.
+  double slow_sum = 0, fast_sum = 0;
+  int total_backups = 0;
+  for (uint64_t fault_seed : {77u, 78u, 79u, 80u, 81u}) {
+    cluster::ClusterConfig plain = StragglerConfig();
+    plain.fault_seed = fault_seed;
+    testbed::Testbed slow_bed(plain);
+    mapred::JobStats slow = RunJob(&slow_bed, "Hadoop", 41);
+    slow_sum += slow.response_time();
+
+    cluster::ClusterConfig speculative = plain;
+    speculative.speculative_execution = true;
+    speculative.speculative_min_runtime = 5.0;
+    testbed::Testbed fast_bed(speculative);
+    mapred::JobStats fast = RunJob(&fast_bed, "Hadoop", 41);
+    fast_sum += fast.response_time();
+    total_backups += fast.speculative_maps;
+
+    // Correctness is untouched either way.
+    EXPECT_EQ(fast.splits_processed, 40);
+    EXPECT_EQ(fast.result_records, 10000u);
+  }
+  EXPECT_GT(total_backups, 0);
+  EXPECT_LT(fast_sum, slow_sum);
+}
+
+TEST(SpeculativeExecutionTest, NoBackupsWithoutStragglers) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::SingleUser();
+  config.speculative_execution = true;
+  config.speculative_min_runtime = 5.0;
+  testbed::Testbed bed(config);
+  mapred::JobStats stats = RunJob(&bed, "Hadoop", 43);
+  // Homogeneous tasks: nothing runs 1.5x beyond the mean.
+  EXPECT_EQ(stats.speculative_maps, 0);
+  EXPECT_EQ(bed.tracker().total_speculative_maps(), 0);
+}
+
+TEST(SpeculativeExecutionTest, OffByDefault) {
+  testbed::Testbed bed(StragglerConfig());
+  mapred::JobStats stats = RunJob(&bed, "Hadoop", 47);
+  EXPECT_EQ(stats.speculative_maps, 0);
+}
+
+TEST(SpeculativeExecutionTest, SlotAccountingSurvivesKills) {
+  cluster::ClusterConfig config = StragglerConfig();
+  config.speculative_execution = true;
+  config.speculative_min_runtime = 5.0;
+  testbed::Testbed bed(config);
+  mapred::JobStats stats = RunJob(&bed, "HA", 53);
+  EXPECT_EQ(stats.result_records, 10000u);
+  // After everything completed every slot must be free again.
+  EXPECT_EQ(bed.cluster().used_map_slots(), 0);
+  EXPECT_EQ(bed.cluster().free_reduce_slots(),
+            bed.config().total_reduce_slots());
+}
+
+TEST(SpeculativeExecutionTest, WorksTogetherWithFailures) {
+  cluster::ClusterConfig config = StragglerConfig();
+  config.speculative_execution = true;
+  config.speculative_min_runtime = 5.0;
+  config.map_failure_prob = 0.15;
+  testbed::Testbed bed(config);
+  mapred::JobStats stats = RunJob(&bed, "Hadoop", 59);
+  EXPECT_EQ(stats.splits_processed, 40);
+  EXPECT_EQ(stats.result_records, 10000u);
+  EXPECT_EQ(bed.cluster().used_map_slots(), 0);
+}
+
+}  // namespace
+}  // namespace dmr

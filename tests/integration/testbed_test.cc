@@ -1,0 +1,92 @@
+#include "testbed/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/sampling_job.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr::testbed {
+namespace {
+
+TEST(TestbedTest, ProvisionsPaperCluster) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  EXPECT_EQ(bed.cluster().num_nodes(), 10);
+  EXPECT_EQ(bed.cluster().total_map_slots(), 40);
+  EXPECT_EQ(bed.fs().num_nodes(), 10);
+  EXPECT_EQ(bed.fs().disks_per_node(), 4);
+}
+
+TEST(TestbedTest, MakeLineItemDatasetRegistersFile) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = MakeLineItemDataset(&bed.fs(), 5, 1.0, 42);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->file.num_partitions(), 40);
+  EXPECT_EQ(dataset->matching_per_partition.size(), 40u);
+  EXPECT_EQ(dataset->properties.scale, 5);
+  EXPECT_TRUE(bed.fs().Exists(dataset->file.name));
+}
+
+TEST(TestbedTest, TagDisambiguatesCopies) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  ASSERT_TRUE(MakeLineItemDataset(&bed.fs(), 5, 0.0, 1, "a").ok());
+  ASSERT_TRUE(MakeLineItemDataset(&bed.fs(), 5, 0.0, 1, "b").ok());
+  // Same name collides.
+  EXPECT_TRUE(MakeLineItemDataset(&bed.fs(), 5, 0.0, 1, "a")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(TestbedTest, RunJobToCompletionReturnsStats) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = *MakeLineItemDataset(&bed.fs(), 5, 0.0, 42);
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("HA");
+  sampling::SamplingJobOptions options;
+  options.sample_size = 1000;
+  options.seed = 3;
+  auto submission = sampling::MakeSamplingJob(
+      dataset.file, dataset.matching_per_partition, policy, options);
+  ASSERT_TRUE(submission.ok());
+  auto stats = bed.RunJobToCompletion(*std::move(submission));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_records, 1000u);
+}
+
+TEST(TestbedTest, TimeoutSurfacesAsError) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = *MakeLineItemDataset(&bed.fs(), 5, 0.0, 42);
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("C");
+  sampling::SamplingJobOptions options;
+  options.sample_size = 10000;
+  options.seed = 3;
+  auto submission = sampling::MakeSamplingJob(
+      dataset.file, dataset.matching_per_partition, policy, options);
+  ASSERT_TRUE(submission.ok());
+  // One virtual second is not enough for anything.
+  auto stats = bed.RunJobToCompletion(*std::move(submission), 1.0);
+  EXPECT_TRUE(stats.status().IsInternal());
+}
+
+TEST(TestbedTest, MonitorIsRunning) {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  bed.sim().RunUntil(65.0);
+  EXPECT_GE(bed.monitor().cpu_percent().size(), 2u);
+}
+
+TEST(TestbedTest, FairSchedulerVariantWorks) {
+  Testbed bed(cluster::ClusterConfig::MultiUser(), SchedulerKind::kFair,
+              /*locality_wait=*/2.0);
+  auto dataset = *MakeLineItemDataset(&bed.fs(), 5, 0.0, 42);
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("LA");
+  sampling::SamplingJobOptions options;
+  options.sample_size = 1000;
+  options.seed = 5;
+  auto submission = sampling::MakeSamplingJob(
+      dataset.file, dataset.matching_per_partition, policy, options);
+  ASSERT_TRUE(submission.ok());
+  auto stats = bed.RunJobToCompletion(*std::move(submission));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_records, 1000u);
+}
+
+}  // namespace
+}  // namespace dmr::testbed

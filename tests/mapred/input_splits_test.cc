@@ -1,0 +1,79 @@
+#include "mapred/input_splits.h"
+
+#include <gtest/gtest.h>
+
+#include "dfs/file_system.h"
+
+namespace dmr::mapred {
+namespace {
+
+TEST(InputSplitsTest, CopiesMetadataAndMatching) {
+  dfs::FileSystem fs(10, 4);
+  auto file = *fs.CreateFile("f", 8, 1000, 100);
+  std::vector<uint64_t> matching = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto splits = *MakeInputSplits(file, matching);
+  ASSERT_EQ(splits.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(splits[i].file, "f");
+    EXPECT_EQ(splits[i].index, i);
+    EXPECT_EQ(splits[i].num_records, 1000u);
+    EXPECT_EQ(splits[i].size_bytes, 100000u);
+    EXPECT_EQ(splits[i].num_matching, matching[i]);
+    EXPECT_EQ(splits[i].node_id, file.partitions[i].node_id);
+    EXPECT_EQ(splits[i].disk_id, file.partitions[i].disk_id);
+  }
+}
+
+TEST(InputSplitsTest, EmptyMatchingMeansZero) {
+  dfs::FileSystem fs(2, 2);
+  auto file = *fs.CreateFile("f", 3, 10, 10);
+  auto splits = *MakeInputSplits(file, {});
+  for (const auto& s : splits) EXPECT_EQ(s.num_matching, 0u);
+}
+
+TEST(InputSplitsTest, SizeMismatchRejected) {
+  dfs::FileSystem fs(2, 2);
+  auto file = *fs.CreateFile("f", 3, 10, 10);
+  EXPECT_TRUE(
+      MakeInputSplits(file, {1, 2}).status().IsInvalidArgument());
+}
+
+TEST(InputSplitTest, LegacySplitHasPrimaryLocationOnly) {
+  InputSplit split;
+  split.node_id = 4;
+  split.disk_id = 2;
+  auto locations = split.all_locations();
+  ASSERT_EQ(locations.size(), 1u);
+  EXPECT_EQ(locations[0].node_id, 4);
+  EXPECT_EQ(locations[0].disk_id, 2);
+  EXPECT_TRUE(split.IsLocalTo(4));
+  EXPECT_FALSE(split.IsLocalTo(5));
+  EXPECT_EQ(split.ReadLocationFor(9).node_id, 4);
+}
+
+TEST(ClusterStatusTest, AvailableSlots) {
+  ClusterStatus status;
+  status.total_map_slots = 40;
+  status.occupied_map_slots = 15;
+  EXPECT_EQ(status.available_map_slots(), 25);
+}
+
+TEST(JobProgressTest, StarvedSemantics) {
+  JobProgress p;
+  EXPECT_TRUE(p.starved());
+  p.maps_running = 1;
+  EXPECT_FALSE(p.starved());
+  p.maps_running = 0;
+  p.maps_pending = 1;
+  EXPECT_FALSE(p.starved());
+}
+
+TEST(JobStatsTest, ResponseTime) {
+  JobStats stats;
+  stats.submit_time = 10.0;
+  stats.finish_time = 35.5;
+  EXPECT_DOUBLE_EQ(stats.response_time(), 25.5);
+}
+
+}  // namespace
+}  // namespace dmr::mapred

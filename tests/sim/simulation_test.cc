@@ -1,0 +1,148 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmr::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, CallbacksCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.Schedule(1.0, chain);
+  };
+  sim.Schedule(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulationTest, ZeroDelayFiresAtCurrentTime) {
+  Simulation sim;
+  double fire_time = -1;
+  sim.Schedule(5.0, [&] {
+    sim.Schedule(0.0, [&] { fire_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fire_time, 5.0);
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelAfterFiringIsHarmless) {
+  Simulation sim;
+  EventHandle handle = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // no-op
+}
+
+TEST(SimulationTest, DefaultHandleIsNotPending) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // no-op
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.Now(), 2.5);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulationTest, RunUntilIncludesEventsAtBoundary) {
+  Simulation sim;
+  bool fired = false;
+  sim.Schedule(2.0, [&] { fired = true; });
+  sim.RunUntil(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulation sim;
+  sim.RunUntil(42.0);
+  EXPECT_EQ(sim.Now(), 42.0);
+}
+
+TEST(SimulationTest, MaxEventsBoundsRun) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(i, [&] { ++count; });
+  }
+  uint64_t fired = sim.Run(3);
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, EventsFiredCounterAccumulates) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(SimulationTest, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  double when = -1;
+  sim.ScheduleAt(4.5, [&] { when = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(when, 4.5);
+}
+
+TEST(SimulationTest, CancelledEventsDoNotBlockRunUntil) {
+  Simulation sim;
+  EventHandle h1 = sim.Schedule(1.0, [] {});
+  h1.Cancel();
+  bool fired = false;
+  sim.Schedule(5.0, [&] { fired = true; });
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace dmr::sim

@@ -1,0 +1,88 @@
+#include "tpch/lineitem.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/generator.h"
+
+namespace dmr::tpch {
+namespace {
+
+TEST(LineItemSchemaTest, HasAllSixteenColumns) {
+  const auto& schema = LineItemSchema();
+  EXPECT_EQ(schema.num_columns(), int(kNumLineItemColumns));
+  EXPECT_EQ(schema.FindColumn("ORDERKEY"), kOrderKey);
+  EXPECT_EQ(schema.FindColumn("quantity"), kQuantity);
+  EXPECT_EQ(schema.FindColumn("COMMENT"), kComment);
+}
+
+TEST(LineItemSchemaTest, ColumnTypes) {
+  const auto& schema = LineItemSchema();
+  EXPECT_EQ(schema.column(kOrderKey).type, expr::ValueType::kInt64);
+  EXPECT_EQ(schema.column(kExtendedPrice).type, expr::ValueType::kDouble);
+  EXPECT_EQ(schema.column(kShipDate).type, expr::ValueType::kString);
+}
+
+TEST(LineItemTest, ToTupleMatchesSchemaOrder) {
+  LineItemRow row;
+  row.orderkey = 42;
+  row.quantity = 17;
+  row.discount = 0.07;
+  row.shipmode = "AIR";
+  expr::Tuple tuple = ToTuple(row);
+  ASSERT_EQ(tuple.size(), size_t(kNumLineItemColumns));
+  EXPECT_EQ(std::get<int64_t>(tuple[kOrderKey]), 42);
+  EXPECT_EQ(std::get<int64_t>(tuple[kQuantity]), 17);
+  EXPECT_DOUBLE_EQ(std::get<double>(tuple[kDiscount]), 0.07);
+  EXPECT_EQ(std::get<std::string>(tuple[kShipMode]), "AIR");
+}
+
+TEST(LineItemTest, SerializeParseRoundTrip) {
+  LineItemGenerator gen(11);
+  for (int i = 0; i < 200; ++i) {
+    LineItemRow row = gen.NextBaseRow();
+    auto parsed = ParseRow(SerializeRow(row));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->orderkey, row.orderkey);
+    EXPECT_EQ(parsed->partkey, row.partkey);
+    EXPECT_EQ(parsed->suppkey, row.suppkey);
+    EXPECT_EQ(parsed->linenumber, row.linenumber);
+    EXPECT_EQ(parsed->quantity, row.quantity);
+    EXPECT_NEAR(parsed->extendedprice, row.extendedprice, 0.005);
+    EXPECT_NEAR(parsed->discount, row.discount, 0.005);
+    EXPECT_NEAR(parsed->tax, row.tax, 0.005);
+    EXPECT_EQ(parsed->returnflag, row.returnflag);
+    EXPECT_EQ(parsed->linestatus, row.linestatus);
+    EXPECT_EQ(parsed->shipdate, row.shipdate);
+    EXPECT_EQ(parsed->shipinstruct, row.shipinstruct);
+    EXPECT_EQ(parsed->shipmode, row.shipmode);
+    EXPECT_EQ(parsed->comment, row.comment);
+  }
+}
+
+TEST(LineItemTest, ParseRejectsWrongFieldCount) {
+  EXPECT_TRUE(ParseRow("1|2|3").status().IsParseError());
+  EXPECT_TRUE(ParseRow("").status().IsParseError());
+}
+
+TEST(LineItemTest, ParseRejectsMalformedNumbers) {
+  LineItemGenerator gen(12);
+  std::string good = SerializeRow(gen.NextBaseRow());
+  std::string bad = "x" + good;  // corrupts the leading orderkey
+  EXPECT_TRUE(ParseRow(bad).status().IsParseError());
+}
+
+TEST(LineItemTest, SerializedSizeNearNominal) {
+  LineItemGenerator gen(13);
+  size_t total = 0;
+  const int kRows = 500;
+  for (int i = 0; i < kRows; ++i) {
+    total += SerializeRow(gen.NextBaseRow()).size() + 1;  // + newline
+  }
+  double mean = static_cast<double>(total) / kRows;
+  // kLineItemRecordBytes drives the simulated partition sizes; keep it
+  // honest against the actual text format.
+  EXPECT_NEAR(mean, double(kLineItemRecordBytes), 25.0);
+}
+
+}  // namespace
+}  // namespace dmr::tpch

@@ -1,0 +1,148 @@
+#include "tpch/skew_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "tpch/dataset_catalog.h"
+
+namespace dmr::tpch {
+namespace {
+
+SkewSpec PaperSpec(double z, uint64_t seed = 42) {
+  SkewSpec spec;
+  spec.num_partitions = 40;
+  spec.records_per_partition = kRecordsPerPartition;
+  spec.selectivity = kPaperSelectivity;
+  spec.zipf_z = z;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(SkewModelTest, TotalMatchingFollowsSelectivity) {
+  EXPECT_EQ(TotalMatchingRecords(PaperSpec(0.0)), 15000u);  // paper: 15k @5x
+}
+
+TEST(SkewModelTest, ZeroSkewIsExactlyEqual) {
+  auto counts = *AssignMatchingRecords(PaperSpec(0.0));
+  ASSERT_EQ(counts.size(), 40u);
+  for (uint64_t c : counts) EXPECT_EQ(c, 375u);  // paper Fig. 4
+}
+
+TEST(SkewModelTest, ZeroSkewSpreadsRemainder) {
+  SkewSpec spec = PaperSpec(0.0);
+  spec.num_partitions = 7;
+  spec.records_per_partition = 1000;
+  spec.selectivity = 0.01;  // 70 / 7 = 10 exactly; use 0.0103 for remainder
+  spec.selectivity = 0.0103;
+  auto counts = *AssignMatchingRecords(spec);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  EXPECT_EQ(total, TotalMatchingRecords(spec));
+  uint64_t mn = *std::min_element(counts.begin(), counts.end());
+  uint64_t mx = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LE(mx - mn, 1u);
+}
+
+class SkewSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewSweepTest, ConservesTotalMatching) {
+  auto spec = PaperSpec(GetParam());
+  auto counts = *AssignMatchingRecords(spec);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  EXPECT_EQ(total, TotalMatchingRecords(spec));
+}
+
+TEST_P(SkewSweepTest, NeverExceedsPartitionCapacity) {
+  auto spec = PaperSpec(GetParam());
+  auto counts = *AssignMatchingRecords(spec);
+  for (uint64_t c : counts) EXPECT_LE(c, spec.records_per_partition);
+}
+
+TEST_P(SkewSweepTest, DeterministicForSeed) {
+  auto spec = PaperSpec(GetParam(), 123);
+  EXPECT_EQ(*AssignMatchingRecords(spec), *AssignMatchingRecords(spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkews, SkewSweepTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0));
+
+TEST(SkewModelTest, ModerateSkewMatchesPaperHeavyPartition) {
+  // Paper: z=1 put 3,128 of 15,000 records in one partition. Expected mass
+  // of rank 1 is 15000 / H(40) ~= 3506; accept the sampling band.
+  auto counts = *AssignMatchingRecords(PaperSpec(1.0));
+  uint64_t heaviest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(heaviest, 2800u);
+  EXPECT_LT(heaviest, 4300u);
+}
+
+TEST(SkewModelTest, HighSkewMatchesPaperHeavyPartition) {
+  // Paper: z=2 put 8,700 of 15,000 in a single partition (P(1) ~= 0.617).
+  auto counts = *AssignMatchingRecords(PaperSpec(2.0));
+  uint64_t heaviest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(heaviest, 8300u);
+  EXPECT_LT(heaviest, 10200u);
+}
+
+TEST(SkewModelTest, HigherSkewConcentratesMore) {
+  auto z1 = *AssignMatchingRecords(PaperSpec(1.0));
+  auto z2 = *AssignMatchingRecords(PaperSpec(2.0));
+  EXPECT_GT(*std::max_element(z2.begin(), z2.end()),
+            *std::max_element(z1.begin(), z1.end()));
+}
+
+TEST(SkewModelTest, SkewPlacementIsShuffled) {
+  // The heaviest partition should not always be partition 0.
+  int heavy_at_zero = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto counts = *AssignMatchingRecords(PaperSpec(2.0, seed));
+    auto mx = std::max_element(counts.begin(), counts.end());
+    if (mx == counts.begin()) ++heavy_at_zero;
+  }
+  EXPECT_LT(heavy_at_zero, 10);
+}
+
+TEST(SkewModelTest, ZeroSelectivityYieldsNoMatches) {
+  SkewSpec spec = PaperSpec(1.0);
+  spec.selectivity = 0.0;
+  auto counts = *AssignMatchingRecords(spec);
+  for (uint64_t c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(SkewModelTest, FullSelectivityFillsEveryPartition) {
+  SkewSpec spec = PaperSpec(0.0);
+  spec.selectivity = 1.0;
+  auto counts = *AssignMatchingRecords(spec);
+  for (uint64_t c : counts) EXPECT_EQ(c, spec.records_per_partition);
+}
+
+TEST(SkewModelTest, OverflowSpillsToNextRanks) {
+  SkewSpec spec;
+  spec.num_partitions = 4;
+  spec.records_per_partition = 100;
+  spec.selectivity = 0.9;  // 360 of 400: rank 1 must overflow under z=2
+  spec.zipf_z = 2.0;
+  spec.seed = 5;
+  auto counts = *AssignMatchingRecords(spec);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  EXPECT_EQ(total, 360u);
+  for (uint64_t c : counts) EXPECT_LE(c, 100u);
+}
+
+TEST(SkewModelTest, InvalidSpecsAreRejected) {
+  SkewSpec spec = PaperSpec(1.0);
+  spec.num_partitions = 0;
+  EXPECT_TRUE(AssignMatchingRecords(spec).status().IsInvalidArgument());
+  spec = PaperSpec(1.0);
+  spec.records_per_partition = 0;
+  EXPECT_TRUE(AssignMatchingRecords(spec).status().IsInvalidArgument());
+  spec = PaperSpec(1.0);
+  spec.selectivity = 1.5;
+  EXPECT_TRUE(AssignMatchingRecords(spec).status().IsInvalidArgument());
+  spec = PaperSpec(1.0);
+  spec.zipf_z = -0.5;
+  EXPECT_TRUE(AssignMatchingRecords(spec).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dmr::tpch

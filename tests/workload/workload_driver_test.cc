@@ -1,0 +1,205 @@
+#include "workload/workload_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+
+namespace dmr::workload {
+namespace {
+
+class WorkloadDriverTest : public ::testing::Test {
+ protected:
+  WorkloadDriverTest() : bed_(cluster::ClusterConfig::SingleUser()) {}
+
+  testbed::Dataset MakeData(const std::string& tag) {
+    auto dataset =
+        testbed::MakeLineItemDataset(&bed_.fs(), 5, 0.0, 101, tag);
+    EXPECT_TRUE(dataset.ok());
+    return *std::move(dataset);
+  }
+
+  UserSpec SamplingUser(const std::string& name, const testbed::Dataset* ds,
+                        const char* policy_name = "LA") {
+    UserSpec user;
+    user.name = name;
+    user.job_class = "Sampling";
+    auto policy = *dynamic::PolicyTable::BuiltIn().Find(policy_name);
+    user.make_job = [ds, policy,
+                     name](int it) -> Result<mapred::JobSubmission> {
+      sampling::SamplingJobOptions options;
+      options.job_name = name;
+      options.user = name;
+      options.sample_size = 10000;
+      options.seed = 7 + 13ULL * it;
+      return sampling::MakeSamplingJob(ds->file, ds->matching_per_partition,
+                                       policy, options);
+    };
+    return user;
+  }
+
+  testbed::Testbed bed_;
+};
+
+TEST_F(WorkloadDriverTest, RequiresUsers) {
+  WorkloadDriver driver(&bed_.client());
+  EXPECT_TRUE(driver.Run({.duration = 100, .warmup = 10})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(WorkloadDriverTest, RejectsWarmupBeyondDuration) {
+  WorkloadDriver driver(&bed_.client());
+  auto data = MakeData("a");
+  driver.AddUser(SamplingUser("u", &data));
+  EXPECT_TRUE(driver.Run({.duration = 100, .warmup = 100})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(WorkloadDriverTest, ClosedLoopAccumulatesCompletions) {
+  auto data = MakeData("a");
+  WorkloadDriver driver(&bed_.client());
+  driver.AddUser(SamplingUser("u1", &data));
+  auto report = driver.Run({.duration = 1800, .warmup = 0});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ClassReport& sampling = report->For("Sampling");
+  EXPECT_GT(sampling.completions, 5);
+  EXPECT_GT(sampling.throughput_jobs_per_hour, 0.0);
+  EXPECT_GT(sampling.response_times.Mean(), 0.0);
+  EXPECT_GT(sampling.mean_partitions_per_job, 0.0);
+  EXPECT_EQ(report->total_completions, sampling.completions);
+}
+
+TEST_F(WorkloadDriverTest, WarmupExcludesEarlyCompletions) {
+  auto data = MakeData("a");
+  WorkloadDriver cold(&bed_.client());
+  cold.AddUser(SamplingUser("u1", &data));
+  auto report = cold.Run({.duration = 1800, .warmup = 900});
+  ASSERT_TRUE(report.ok());
+  // Steady-state throughput is computed over the post-warmup hour only.
+  double window_hours = 900.0 / 3600.0;
+  EXPECT_NEAR(report->For("Sampling").throughput_jobs_per_hour,
+              report->For("Sampling").completions / window_hours, 1e-9);
+}
+
+TEST_F(WorkloadDriverTest, MultipleClassesAreReportedSeparately) {
+  auto a = MakeData("a");
+  auto b = MakeData("b");
+  WorkloadDriver driver(&bed_.client());
+  driver.AddUser(SamplingUser("u1", &a));
+  UserSpec scan;
+  scan.name = "u2";
+  scan.job_class = "NonSampling";
+  scan.make_job = [&b](int) -> Result<mapred::JobSubmission> {
+    return sampling::MakeSelectProjectJob(b.file, b.matching_per_partition,
+                                          "scan", "u2");
+  };
+  driver.AddUser(std::move(scan));
+  auto report = driver.Run({.duration = 1800, .warmup = 0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->For("Sampling").completions, 0);
+  EXPECT_GT(report->For("NonSampling").completions, 0);
+  EXPECT_EQ(report->total_completions,
+            report->For("Sampling").completions +
+                report->For("NonSampling").completions);
+}
+
+TEST_F(WorkloadDriverTest, ThinkTimeReducesThroughput) {
+  auto a = MakeData("a");
+  auto b = MakeData("b");
+  {
+    WorkloadDriver eager(&bed_.client());
+    eager.AddUser(SamplingUser("u1", &a));
+    auto fast = eager.Run({.duration = 1800, .warmup = 0});
+    ASSERT_TRUE(fast.ok());
+
+    testbed::Testbed bed2(cluster::ClusterConfig::SingleUser());
+    auto data2 = testbed::MakeLineItemDataset(&bed2.fs(), 5, 0.0, 101, "b");
+    ASSERT_TRUE(data2.ok());
+    WorkloadDriver lazy(&bed2.client());
+    UserSpec user = SamplingUser("u1", &*data2);
+    user.think_time = 120.0;
+    lazy.AddUser(std::move(user));
+    auto slow = lazy.Run({.duration = 1800, .warmup = 0});
+    ASSERT_TRUE(slow.ok());
+    EXPECT_LT(slow->For("Sampling").completions,
+              fast->For("Sampling").completions);
+  }
+}
+
+TEST_F(WorkloadDriverTest, MissingClassYieldsEmptyReport) {
+  auto data = MakeData("a");
+  WorkloadDriver driver(&bed_.client());
+  driver.AddUser(SamplingUser("u1", &data));
+  auto report = driver.Run({.duration = 600, .warmup = 0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->For("NoSuchClass").completions, 0);
+}
+
+TEST_F(WorkloadDriverTest, OpenLoopArrivalsFollowTheRate) {
+  auto data = MakeData("a");
+  WorkloadDriver driver(&bed_.client());
+  UserSpec user = SamplingUser("poisson", &data, "HA");
+  user.arrival_rate = 1.0 / 120.0;  // one job every ~2 minutes
+  user.arrival_seed = 9;
+  driver.AddUser(std::move(user));
+  auto report = driver.Run({.duration = 2 * 3600, .warmup = 0});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // ~60 arrivals expected over 2 h; allow a generous Poisson band.
+  int completions = report->For("Sampling").completions;
+  EXPECT_GT(completions, 35);
+  EXPECT_LT(completions, 90);
+}
+
+TEST_F(WorkloadDriverTest, OpenLoopKeepsArrivingWhileJobsRun) {
+  // Closed loop with one user can never have two jobs in flight; an open
+  // loop can. Use a conservative policy so jobs are slow, and a fast
+  // arrival rate, then check more jobs completed than a closed loop could.
+  auto data = MakeData("a");
+
+  WorkloadDriver closed(&bed_.client());
+  closed.AddUser(SamplingUser("closed", &data, "C"));
+  auto closed_report = closed.Run({.duration = 1800, .warmup = 0});
+  ASSERT_TRUE(closed_report.ok());
+
+  testbed::Testbed bed2(cluster::ClusterConfig::SingleUser());
+  auto data2 = *testbed::MakeLineItemDataset(&bed2.fs(), 5, 0.0, 101, "a");
+  WorkloadDriver open(&bed2.client());
+  UserSpec user;
+  user.name = "open";
+  user.job_class = "Sampling";
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("C");
+  const testbed::Dataset* ds = &data2;
+  user.make_job = [ds, policy](int it) -> Result<mapred::JobSubmission> {
+    sampling::SamplingJobOptions options;
+    options.job_name = "open";
+    options.user = "open";
+    options.sample_size = 10000;
+    options.seed = 7 + 13ULL * it;
+    return sampling::MakeSamplingJob(ds->file, ds->matching_per_partition,
+                                     policy, options);
+  };
+  user.arrival_rate = 0.1;  // every ~10 s, far faster than C completes
+  open.AddUser(std::move(user));
+  auto open_report = open.Run({.duration = 1800, .warmup = 0});
+  ASSERT_TRUE(open_report.ok());
+  EXPECT_GT(open_report->For("Sampling").completions,
+            closed_report->For("Sampling").completions);
+}
+
+TEST_F(WorkloadDriverTest, FactoryErrorSurfaces) {
+  WorkloadDriver driver(&bed_.client());
+  UserSpec broken;
+  broken.name = "bad";
+  broken.job_class = "X";
+  broken.make_job = [](int) -> Result<mapred::JobSubmission> {
+    return Status::Internal("factory exploded");
+  };
+  driver.AddUser(std::move(broken));
+  auto report = driver.Run({.duration = 600, .warmup = 0});
+  EXPECT_TRUE(report.status().IsInternal());
+}
+
+}  // namespace
+}  // namespace dmr::workload
