@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_adaptive.dir/ablate_adaptive.cc.o"
+  "CMakeFiles/bench_ablate_adaptive.dir/ablate_adaptive.cc.o.d"
+  "bench_ablate_adaptive"
+  "bench_ablate_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_estimator.dir/ablate_estimator.cc.o"
+  "CMakeFiles/bench_ablate_estimator.dir/ablate_estimator.cc.o.d"
+  "bench_ablate_estimator"
+  "bench_ablate_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_eval_interval.dir/ablate_eval_interval.cc.o"
+  "CMakeFiles/bench_ablate_eval_interval.dir/ablate_eval_interval.cc.o.d"
+  "bench_ablate_eval_interval"
+  "bench_ablate_eval_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_eval_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

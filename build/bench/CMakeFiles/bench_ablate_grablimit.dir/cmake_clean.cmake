@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_grablimit.dir/ablate_grablimit.cc.o"
+  "CMakeFiles/bench_ablate_grablimit.dir/ablate_grablimit.cc.o.d"
+  "bench_ablate_grablimit"
+  "bench_ablate_grablimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_grablimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_locality_wait.dir/ablate_locality_wait.cc.o"
+  "CMakeFiles/bench_ablate_locality_wait.dir/ablate_locality_wait.cc.o.d"
+  "bench_ablate_locality_wait"
+  "bench_ablate_locality_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_locality_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_single_user.dir/fig5_single_user.cc.o"
+  "CMakeFiles/bench_fig5_single_user.dir/fig5_single_user.cc.o.d"
+  "bench_fig5_single_user"
+  "bench_fig5_single_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_single_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

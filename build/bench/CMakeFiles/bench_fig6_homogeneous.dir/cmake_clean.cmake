@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_homogeneous.dir/fig6_homogeneous.cc.o"
+  "CMakeFiles/bench_fig6_homogeneous.dir/fig6_homogeneous.cc.o.d"
+  "bench_fig6_homogeneous"
+  "bench_fig6_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

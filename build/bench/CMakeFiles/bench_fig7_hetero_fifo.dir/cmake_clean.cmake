@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hetero_fifo.dir/fig7_hetero_fifo.cc.o"
+  "CMakeFiles/bench_fig7_hetero_fifo.dir/fig7_hetero_fifo.cc.o.d"
+  "bench_fig7_hetero_fifo"
+  "bench_fig7_hetero_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hetero_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

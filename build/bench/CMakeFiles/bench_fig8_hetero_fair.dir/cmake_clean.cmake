@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hetero_fair.dir/fig8_hetero_fair.cc.o"
+  "CMakeFiles/bench_fig8_hetero_fair.dir/fig8_hetero_fair.cc.o.d"
+  "bench_fig8_hetero_fair"
+  "bench_fig8_hetero_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hetero_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secVF_scheduler.dir/secVF_scheduler.cc.o"
+  "CMakeFiles/bench_secVF_scheduler.dir/secVF_scheduler.cc.o.d"
+  "bench_secVF_scheduler"
+  "bench_secVF_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secVF_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_predicates.dir/table3_predicates.cc.o"
+  "CMakeFiles/bench_table3_predicates.dir/table3_predicates.cc.o.d"
+  "bench_table3_predicates"
+  "bench_table3_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

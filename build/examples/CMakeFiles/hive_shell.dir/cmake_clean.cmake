@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_shell.dir/hive_shell.cpp.o"
+  "CMakeFiles/hive_shell.dir/hive_shell.cpp.o.d"
+  "hive_shell"
+  "hive_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

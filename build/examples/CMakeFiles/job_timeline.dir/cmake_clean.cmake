@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_timeline.dir/job_timeline.cpp.o"
+  "CMakeFiles/job_timeline.dir/job_timeline.cpp.o.d"
+  "job_timeline"
+  "job_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

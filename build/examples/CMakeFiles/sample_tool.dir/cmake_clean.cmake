@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_tool.dir/sample_tool.cpp.o"
+  "CMakeFiles/sample_tool.dir/sample_tool.cpp.o.d"
+  "sample_tool"
+  "sample_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

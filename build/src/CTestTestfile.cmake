@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("tpch")
+subdirs("expr")
+subdirs("dfs")
+subdirs("cluster")
+subdirs("scheduler")
+subdirs("mapred")
+subdirs("dynamic")
+subdirs("sampling")
+subdirs("hive")
+subdirs("exec")
+subdirs("workload")
+subdirs("testbed")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dmr_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/dmr_cluster.dir/cluster_config.cc.o"
+  "CMakeFiles/dmr_cluster.dir/cluster_config.cc.o.d"
+  "CMakeFiles/dmr_cluster.dir/cluster_monitor.cc.o"
+  "CMakeFiles/dmr_cluster.dir/cluster_monitor.cc.o.d"
+  "CMakeFiles/dmr_cluster.dir/node.cc.o"
+  "CMakeFiles/dmr_cluster.dir/node.cc.o.d"
+  "libdmr_cluster.a"
+  "libdmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

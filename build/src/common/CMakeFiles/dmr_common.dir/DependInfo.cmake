@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/dmr_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/dmr_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/properties.cc" "src/common/CMakeFiles/dmr_common.dir/properties.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/properties.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/dmr_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/dmr_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/dmr_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/dmr_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/time_series.cc" "src/common/CMakeFiles/dmr_common.dir/time_series.cc.o" "gcc" "src/common/CMakeFiles/dmr_common.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

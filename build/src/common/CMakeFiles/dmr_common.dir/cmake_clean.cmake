@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_common.dir/histogram.cc.o"
+  "CMakeFiles/dmr_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dmr_common.dir/logging.cc.o"
+  "CMakeFiles/dmr_common.dir/logging.cc.o.d"
+  "CMakeFiles/dmr_common.dir/properties.cc.o"
+  "CMakeFiles/dmr_common.dir/properties.cc.o.d"
+  "CMakeFiles/dmr_common.dir/random.cc.o"
+  "CMakeFiles/dmr_common.dir/random.cc.o.d"
+  "CMakeFiles/dmr_common.dir/status.cc.o"
+  "CMakeFiles/dmr_common.dir/status.cc.o.d"
+  "CMakeFiles/dmr_common.dir/strings.cc.o"
+  "CMakeFiles/dmr_common.dir/strings.cc.o.d"
+  "CMakeFiles/dmr_common.dir/table_printer.cc.o"
+  "CMakeFiles/dmr_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/dmr_common.dir/time_series.cc.o"
+  "CMakeFiles/dmr_common.dir/time_series.cc.o.d"
+  "libdmr_common.a"
+  "libdmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_dfs.dir/file_system.cc.o"
+  "CMakeFiles/dmr_dfs.dir/file_system.cc.o.d"
+  "libdmr_dfs.a"
+  "libdmr_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/adaptive_input_provider.cc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/adaptive_input_provider.cc.o" "gcc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/adaptive_input_provider.cc.o.d"
+  "/root/repo/src/dynamic/grab_limit_expr.cc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/grab_limit_expr.cc.o" "gcc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/grab_limit_expr.cc.o.d"
+  "/root/repo/src/dynamic/growth_policy.cc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/growth_policy.cc.o" "gcc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/growth_policy.cc.o.d"
+  "/root/repo/src/dynamic/sampling_input_provider.cc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/sampling_input_provider.cc.o" "gcc" "src/dynamic/CMakeFiles/dmr_dynamic.dir/sampling_input_provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/dmr_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dmr_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

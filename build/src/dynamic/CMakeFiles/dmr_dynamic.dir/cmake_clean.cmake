@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_dynamic.dir/adaptive_input_provider.cc.o"
+  "CMakeFiles/dmr_dynamic.dir/adaptive_input_provider.cc.o.d"
+  "CMakeFiles/dmr_dynamic.dir/grab_limit_expr.cc.o"
+  "CMakeFiles/dmr_dynamic.dir/grab_limit_expr.cc.o.d"
+  "CMakeFiles/dmr_dynamic.dir/growth_policy.cc.o"
+  "CMakeFiles/dmr_dynamic.dir/growth_policy.cc.o.d"
+  "CMakeFiles/dmr_dynamic.dir/sampling_input_provider.cc.o"
+  "CMakeFiles/dmr_dynamic.dir/sampling_input_provider.cc.o.d"
+  "libdmr_dynamic.a"
+  "libdmr_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

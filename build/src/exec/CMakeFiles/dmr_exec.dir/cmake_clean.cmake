@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_exec.dir/local_runtime.cc.o"
+  "CMakeFiles/dmr_exec.dir/local_runtime.cc.o.d"
+  "libdmr_exec.a"
+  "libdmr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

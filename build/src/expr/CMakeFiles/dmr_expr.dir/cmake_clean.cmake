@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_expr.dir/expression.cc.o"
+  "CMakeFiles/dmr_expr.dir/expression.cc.o.d"
+  "CMakeFiles/dmr_expr.dir/value.cc.o"
+  "CMakeFiles/dmr_expr.dir/value.cc.o.d"
+  "libdmr_expr.a"
+  "libdmr_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

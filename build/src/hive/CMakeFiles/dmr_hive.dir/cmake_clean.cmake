@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_hive.dir/compiler.cc.o"
+  "CMakeFiles/dmr_hive.dir/compiler.cc.o.d"
+  "CMakeFiles/dmr_hive.dir/lexer.cc.o"
+  "CMakeFiles/dmr_hive.dir/lexer.cc.o.d"
+  "CMakeFiles/dmr_hive.dir/parser.cc.o"
+  "CMakeFiles/dmr_hive.dir/parser.cc.o.d"
+  "libdmr_hive.a"
+  "libdmr_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/counters.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/counters.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/counters.cc.o.d"
+  "/root/repo/src/mapred/input_splits.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/input_splits.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/input_splits.cc.o.d"
+  "/root/repo/src/mapred/job.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/job.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/job.cc.o.d"
+  "/root/repo/src/mapred/job_client.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_client.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_client.cc.o.d"
+  "/root/repo/src/mapred/job_history.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_history.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_history.cc.o.d"
+  "/root/repo/src/mapred/job_tracker.cc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_tracker.cc.o" "gcc" "src/mapred/CMakeFiles/dmr_mapred.dir/job_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dmr_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_mapred.dir/counters.cc.o"
+  "CMakeFiles/dmr_mapred.dir/counters.cc.o.d"
+  "CMakeFiles/dmr_mapred.dir/input_splits.cc.o"
+  "CMakeFiles/dmr_mapred.dir/input_splits.cc.o.d"
+  "CMakeFiles/dmr_mapred.dir/job.cc.o"
+  "CMakeFiles/dmr_mapred.dir/job.cc.o.d"
+  "CMakeFiles/dmr_mapred.dir/job_client.cc.o"
+  "CMakeFiles/dmr_mapred.dir/job_client.cc.o.d"
+  "CMakeFiles/dmr_mapred.dir/job_history.cc.o"
+  "CMakeFiles/dmr_mapred.dir/job_history.cc.o.d"
+  "CMakeFiles/dmr_mapred.dir/job_tracker.cc.o"
+  "CMakeFiles/dmr_mapred.dir/job_tracker.cc.o.d"
+  "libdmr_mapred.a"
+  "libdmr_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

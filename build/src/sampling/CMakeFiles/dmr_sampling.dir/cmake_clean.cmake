@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_sampling.dir/sampler.cc.o"
+  "CMakeFiles/dmr_sampling.dir/sampler.cc.o.d"
+  "CMakeFiles/dmr_sampling.dir/sampling_job.cc.o"
+  "CMakeFiles/dmr_sampling.dir/sampling_job.cc.o.d"
+  "libdmr_sampling.a"
+  "libdmr_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_scheduler.dir/fair_scheduler.cc.o"
+  "CMakeFiles/dmr_scheduler.dir/fair_scheduler.cc.o.d"
+  "CMakeFiles/dmr_scheduler.dir/fifo_scheduler.cc.o"
+  "CMakeFiles/dmr_scheduler.dir/fifo_scheduler.cc.o.d"
+  "libdmr_scheduler.a"
+  "libdmr_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

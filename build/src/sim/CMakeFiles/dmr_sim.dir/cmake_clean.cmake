@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_sim.dir/ps_resource.cc.o"
+  "CMakeFiles/dmr_sim.dir/ps_resource.cc.o.d"
+  "CMakeFiles/dmr_sim.dir/simulation.cc.o"
+  "CMakeFiles/dmr_sim.dir/simulation.cc.o.d"
+  "libdmr_sim.a"
+  "libdmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

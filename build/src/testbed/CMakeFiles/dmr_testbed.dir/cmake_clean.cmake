@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_testbed.dir/testbed.cc.o"
+  "CMakeFiles/dmr_testbed.dir/testbed.cc.o.d"
+  "libdmr_testbed.a"
+  "libdmr_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dataset_catalog.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/dataset_catalog.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/dataset_catalog.cc.o.d"
+  "/root/repo/src/tpch/dataset_io.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/dataset_io.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/dataset_io.cc.o.d"
+  "/root/repo/src/tpch/generator.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/generator.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/generator.cc.o.d"
+  "/root/repo/src/tpch/lineitem.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/lineitem.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/lineitem.cc.o.d"
+  "/root/repo/src/tpch/predicates.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/predicates.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/predicates.cc.o.d"
+  "/root/repo/src/tpch/skew_model.cc" "src/tpch/CMakeFiles/dmr_tpch.dir/skew_model.cc.o" "gcc" "src/tpch/CMakeFiles/dmr_tpch.dir/skew_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dmr_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_tpch.dir/dataset_catalog.cc.o"
+  "CMakeFiles/dmr_tpch.dir/dataset_catalog.cc.o.d"
+  "CMakeFiles/dmr_tpch.dir/dataset_io.cc.o"
+  "CMakeFiles/dmr_tpch.dir/dataset_io.cc.o.d"
+  "CMakeFiles/dmr_tpch.dir/generator.cc.o"
+  "CMakeFiles/dmr_tpch.dir/generator.cc.o.d"
+  "CMakeFiles/dmr_tpch.dir/lineitem.cc.o"
+  "CMakeFiles/dmr_tpch.dir/lineitem.cc.o.d"
+  "CMakeFiles/dmr_tpch.dir/predicates.cc.o"
+  "CMakeFiles/dmr_tpch.dir/predicates.cc.o.d"
+  "CMakeFiles/dmr_tpch.dir/skew_model.cc.o"
+  "CMakeFiles/dmr_tpch.dir/skew_model.cc.o.d"
+  "libdmr_tpch.a"
+  "libdmr_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

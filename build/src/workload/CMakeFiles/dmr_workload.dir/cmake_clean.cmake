@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_workload.dir/workload_driver.cc.o"
+  "CMakeFiles/dmr_workload.dir/workload_driver.cc.o.d"
+  "libdmr_workload.a"
+  "libdmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_input_provider_test.dir/dynamic/adaptive_input_provider_test.cc.o"
+  "CMakeFiles/adaptive_input_provider_test.dir/dynamic/adaptive_input_provider_test.cc.o.d"
+  "adaptive_input_provider_test"
+  "adaptive_input_provider_test.pdb"
+  "adaptive_input_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_input_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

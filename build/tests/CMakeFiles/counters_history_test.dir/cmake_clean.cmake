@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_history_test.dir/mapred/counters_history_test.cc.o"
+  "CMakeFiles/counters_history_test.dir/mapred/counters_history_test.cc.o.d"
+  "counters_history_test"
+  "counters_history_test.pdb"
+  "counters_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

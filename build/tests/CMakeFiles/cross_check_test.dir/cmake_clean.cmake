@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_check_test.dir/integration/cross_check_test.cc.o"
+  "CMakeFiles/cross_check_test.dir/integration/cross_check_test.cc.o.d"
+  "cross_check_test"
+  "cross_check_test.pdb"
+  "cross_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_system_test.dir/dfs/file_system_test.cc.o"
+  "CMakeFiles/file_system_test.dir/dfs/file_system_test.cc.o.d"
+  "file_system_test"
+  "file_system_test.pdb"
+  "file_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

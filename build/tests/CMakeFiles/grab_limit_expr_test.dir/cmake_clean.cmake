@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grab_limit_expr_test.dir/dynamic/grab_limit_expr_test.cc.o"
+  "CMakeFiles/grab_limit_expr_test.dir/dynamic/grab_limit_expr_test.cc.o.d"
+  "grab_limit_expr_test"
+  "grab_limit_expr_test.pdb"
+  "grab_limit_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grab_limit_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

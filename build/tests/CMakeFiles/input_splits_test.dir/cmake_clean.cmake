@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_splits_test.dir/mapred/input_splits_test.cc.o"
+  "CMakeFiles/input_splits_test.dir/mapred/input_splits_test.cc.o.d"
+  "input_splits_test"
+  "input_splits_test.pdb"
+  "input_splits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_splits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

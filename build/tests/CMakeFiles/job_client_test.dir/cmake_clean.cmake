@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_client_test.dir/mapred/job_client_test.cc.o"
+  "CMakeFiles/job_client_test.dir/mapred/job_client_test.cc.o.d"
+  "job_client_test"
+  "job_client_test.pdb"
+  "job_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

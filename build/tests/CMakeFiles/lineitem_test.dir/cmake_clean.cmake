@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineitem_test.dir/tpch/lineitem_test.cc.o"
+  "CMakeFiles/lineitem_test.dir/tpch/lineitem_test.cc.o.d"
+  "lineitem_test"
+  "lineitem_test.pdb"
+  "lineitem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineitem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

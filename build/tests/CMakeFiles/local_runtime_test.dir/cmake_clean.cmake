@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_runtime_test.dir/exec/local_runtime_test.cc.o"
+  "CMakeFiles/local_runtime_test.dir/exec/local_runtime_test.cc.o.d"
+  "local_runtime_test"
+  "local_runtime_test.pdb"
+  "local_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

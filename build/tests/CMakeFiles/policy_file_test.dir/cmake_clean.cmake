@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_file_test.dir/dynamic/policy_file_test.cc.o"
+  "CMakeFiles/policy_file_test.dir/dynamic/policy_file_test.cc.o.d"
+  "policy_file_test"
+  "policy_file_test.pdb"
+  "policy_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_properties_test.dir/integration/policy_properties_test.cc.o"
+  "CMakeFiles/policy_properties_test.dir/integration/policy_properties_test.cc.o.d"
+  "policy_properties_test"
+  "policy_properties_test.pdb"
+  "policy_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_resource_test.dir/sim/ps_resource_test.cc.o"
+  "CMakeFiles/ps_resource_test.dir/sim/ps_resource_test.cc.o.d"
+  "ps_resource_test"
+  "ps_resource_test.pdb"
+  "ps_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_input_provider_test.dir/dynamic/sampling_input_provider_test.cc.o"
+  "CMakeFiles/sampling_input_provider_test.dir/dynamic/sampling_input_provider_test.cc.o.d"
+  "sampling_input_provider_test"
+  "sampling_input_provider_test.pdb"
+  "sampling_input_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_input_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_end_to_end_test.dir/integration/sim_end_to_end_test.cc.o"
+  "CMakeFiles/sim_end_to_end_test.dir/integration/sim_end_to_end_test.cc.o.d"
+  "sim_end_to_end_test"
+  "sim_end_to_end_test.pdb"
+  "sim_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

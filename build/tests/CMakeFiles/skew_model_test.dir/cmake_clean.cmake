@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_model_test.dir/tpch/skew_model_test.cc.o"
+  "CMakeFiles/skew_model_test.dir/tpch/skew_model_test.cc.o.d"
+  "skew_model_test"
+  "skew_model_test.pdb"
+  "skew_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

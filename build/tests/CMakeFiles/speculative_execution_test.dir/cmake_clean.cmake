@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_execution_test.dir/integration/speculative_execution_test.cc.o"
+  "CMakeFiles/speculative_execution_test.dir/integration/speculative_execution_test.cc.o.d"
+  "speculative_execution_test"
+  "speculative_execution_test.pdb"
+  "speculative_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/stats_test.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/common/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dmr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dmr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/dmr_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/dmr_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/dmr_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/dmr_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dmr_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/hive/CMakeFiles/dmr_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dmr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/dmr_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
