@@ -4,14 +4,18 @@
 /// characteristics — against the static Table I policies. Two settings:
 /// single user on an idle cluster (aggression pays) and 10 concurrent users
 /// (conservatism pays). A good adaptive provider should be near the best
-/// static policy in *both*.
+/// static policy in *both*. Both provider x skew grids fan out across
+/// hardware threads.
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/adaptive_input_provider.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -42,32 +46,33 @@ Result<mapred::JobSubmission> MakeJob(const testbed::Dataset& dataset,
   return submission;
 }
 
-double SingleUserResponse(const std::string& kind, double z) {
+Result<double> SingleUserResponse(const std::string& kind, double z) {
   double sum = 0;
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
-    auto dataset = bench::UnwrapOrDie(
-        testbed::MakeLineItemDataset(&bed.fs(), 40, z, 6100 + run),
-        "dataset");
-    auto submission = bench::UnwrapOrDie(
-        MakeJob(dataset, kind, "solo", 900 + run), "job");
-    auto stats = bench::UnwrapOrDie(
-        bed.RunJobToCompletion(std::move(submission)), "run");
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
+        testbed::MakeLineItemDataset(&bed.fs(), 40, z, 6100 + run));
+    DMR_ASSIGN_OR_RETURN(mapred::JobSubmission submission,
+                         MakeJob(dataset, kind, "solo", 900 + run));
+    DMR_ASSIGN_OR_RETURN(mapred::JobStats stats,
+                         bed.RunJobToCompletion(std::move(submission)));
     sum += stats.response_time();
   }
   return sum / kRepeats;
 }
 
-double MultiUserThroughput(const std::string& kind, double z) {
+Result<double> MultiUserThroughput(const std::string& kind, double z) {
   constexpr int kUsers = 10;
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser());
   std::vector<testbed::Dataset> datasets;
   for (int u = 0; u < kUsers; ++u) {
-    datasets.push_back(bench::UnwrapOrDie(
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 100, z, 6200 + 31 * u,
-                                     "u" + std::to_string(u)),
-        "dataset"));
+                                     "u" + std::to_string(u)));
+    datasets.push_back(std::move(dataset));
   }
   workload::WorkloadDriver driver(&bed.client());
   for (int u = 0; u < kUsers; ++u) {
@@ -81,16 +86,18 @@ double MultiUserThroughput(const std::string& kind, double z) {
     };
     driver.AddUser(std::move(user));
   }
-  auto report = bench::UnwrapOrDie(
-      driver.Run({.duration = 4.0 * 3600, .warmup = 1800.0}), "workload");
+  DMR_ASSIGN_OR_RETURN(
+      workload::WorkloadReport report,
+      driver.Run({.duration = 4.0 * 3600, .warmup = 1800.0}));
   return report.For("Sampling").throughput_jobs_per_hour;
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Extension: runtime-adaptive policy vs static Table I policies",
       "Grover & Carey, ICDE 2012, Section VII (future work)",
@@ -98,21 +105,54 @@ int main() {
       "LA/C under contention, without being told which world it is in");
 
   const std::vector<std::string> kinds = {"Adaptive", "HA", "MA", "LA", "C"};
+  const std::vector<double> zs = {0.0, 2.0};
 
+  exec::ThreadPool pool = options.MakePool();
+  auto single = bench::UnwrapOrDie(
+      exec::ParallelGrid<double>(
+          &pool, kinds.size(), zs.size(),
+          [&](size_t k, size_t z) {
+            return SingleUserResponse(kinds[k], zs[z]);
+          }),
+      "single-user grid");
+  auto multi = bench::UnwrapOrDie(
+      exec::ParallelGrid<double>(
+          &pool, kinds.size(), zs.size(),
+          [&](size_t k, size_t z) {
+            return MultiUserThroughput(kinds[k], zs[z]);
+          }),
+      "multi-user grid");
+
+  bench::JsonWriter json;
   std::printf("Single user, idle cluster: response time (s)\n");
-  TablePrinter single({"provider", "uniform (z=0)", "high skew (z=2)"});
-  for (const auto& kind : kinds) {
-    single.AddNumericRow(kind, {SingleUserResponse(kind, 0.0),
-                                SingleUserResponse(kind, 2.0)}, 1);
+  TablePrinter single_table({"provider", "uniform (z=0)", "high skew (z=2)"});
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    single_table.AddNumericRow(kinds[k], {single[k][0], single[k][1]}, 1);
+    for (size_t z = 0; z < zs.size(); ++z) {
+      json.AddCell()
+          .Set("study", "ablate_adaptive")
+          .Set("setting", "single_user")
+          .Set("provider", kinds[k])
+          .Set("z", zs[z])
+          .Set("response_time_s", single[k][z]);
+    }
   }
-  single.Print();
+  single_table.Print();
 
   std::printf("\n10 concurrent users: throughput (jobs/hour)\n");
-  TablePrinter multi({"provider", "uniform (z=0)", "high skew (z=2)"});
-  for (const auto& kind : kinds) {
-    multi.AddNumericRow(kind, {MultiUserThroughput(kind, 0.0),
-                               MultiUserThroughput(kind, 2.0)}, 1);
+  TablePrinter multi_table({"provider", "uniform (z=0)", "high skew (z=2)"});
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    multi_table.AddNumericRow(kinds[k], {multi[k][0], multi[k][1]}, 1);
+    for (size_t z = 0; z < zs.size(); ++z) {
+      json.AddCell()
+          .Set("study", "ablate_adaptive")
+          .Set("setting", "multi_user")
+          .Set("provider", kinds[k])
+          .Set("z", zs[z])
+          .Set("throughput_jobs_per_hour", multi[k][z]);
+    }
   }
-  multi.Print();
+  multi_table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

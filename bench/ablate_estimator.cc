@@ -3,15 +3,18 @@
 /// policy-paced growth. The estimator lets the provider stop adding input
 /// once the expected yield of in-flight work covers the sample size; blind
 /// growth keeps adding GrabLimit-sized batches until the output target is
-/// actually met, over-processing partitions.
+/// actually met, over-processing partitions. The policy x skew x estimator
+/// grid fans out across hardware threads.
 
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/sampling_input_provider.h"
+#include "exec/parallel.h"
 #include "mapred/input_splits.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
@@ -26,47 +29,47 @@ struct Row {
   double increments = 0;
 };
 
-Row RunOne(const std::string& policy_name, bool use_estimator, double z) {
+Result<Row> RunOne(const std::string& policy_name, bool use_estimator,
+                   double z) {
   double rt = 0, parts = 0, incs = 0;
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
-    auto dataset = bench::UnwrapOrDie(
-        testbed::MakeLineItemDataset(&bed.fs(), 20, z, 800 + 41 * run),
-        "dataset");
-    auto policy = bench::UnwrapOrDie(
-        dynamic::PolicyTable::BuiltIn().Find(policy_name), "policy");
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
+        testbed::MakeLineItemDataset(&bed.fs(), 20, z, 800 + 41 * run));
+    DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
+                         dynamic::PolicyTable::BuiltIn().Find(policy_name));
 
     sampling::SamplingJobOptions options;
     options.job_name = "ablate-estimator";
     options.sample_size = tpch::kPaperSampleSize;
     options.seed = 4100 + run;
-    auto submission = bench::UnwrapOrDie(
-        sampling::MakeSamplingJob(dataset.file,
-                                  dataset.matching_per_partition, policy,
-                                  options),
-        "job");
+    DMR_ASSIGN_OR_RETURN(
+        mapred::JobSubmission submission,
+        sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                  policy, options));
     // Swap in a provider with estimation toggled.
     dynamic::SamplingInputProvider::Options popts;
     popts.use_selectivity_estimation = use_estimator;
     submission.input_provider =
         std::make_shared<dynamic::SamplingInputProvider>(policy,
                                                          options.seed, popts);
-    auto stats =
-        bench::UnwrapOrDie(bed.RunJobToCompletion(std::move(submission)),
-                           "run");
+    DMR_ASSIGN_OR_RETURN(mapred::JobStats stats,
+                         bed.RunJobToCompletion(std::move(submission)));
     rt += stats.response_time();
     parts += stats.splits_processed;
     incs += stats.input_increments;
   }
-  return {rt / kRepeats, parts / kRepeats, incs / kRepeats};
+  return Row{rt / kRepeats, parts / kRepeats, incs / kRepeats};
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Ablation: online selectivity estimation on/off",
       "DESIGN.md ablation #2 (supports the paper's Section IV estimator)",
@@ -74,20 +77,50 @@ int main() {
       "met in completed output, processing more partitions and taking "
       "longer, especially for aggressive policies");
 
-  TablePrinter table({"policy", "skew z", "estimator", "response (s)",
-                      "partitions", "increments"});
+  struct Cell {
+    const char* policy;
+    double z;
+    bool est;
+  };
+  std::vector<Cell> cells;
   for (const char* policy : {"HA", "MA", "LA", "C"}) {
     for (double z : {0.0, 2.0}) {
       for (bool est : {true, false}) {
-        Row r = RunOne(policy, est, z);
-        table.AddRow({policy, std::to_string(static_cast<int>(z)),
-                      est ? "on" : "off",
-                      std::to_string(r.response).substr(0, 6),
-                      std::to_string(r.partitions).substr(0, 6),
-                      std::to_string(r.increments).substr(0, 4)});
+        cells.push_back({policy, z, est});
       }
     }
   }
+
+  exec::ThreadPool pool = options.MakePool();
+  auto rows = bench::UnwrapOrDie(
+      exec::ParallelMap<Row>(&pool, cells.size(),
+                             [&](size_t i) {
+                               return RunOne(cells[i].policy, cells[i].est,
+                                             cells[i].z);
+                             }),
+      "estimator grid");
+
+  bench::JsonWriter json;
+  TablePrinter table({"policy", "skew z", "estimator", "response (s)",
+                      "partitions", "increments"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Row& r = rows[i];
+    table.AddRow({cells[i].policy,
+                  std::to_string(static_cast<int>(cells[i].z)),
+                  cells[i].est ? "on" : "off",
+                  std::to_string(r.response).substr(0, 6),
+                  std::to_string(r.partitions).substr(0, 6),
+                  std::to_string(r.increments).substr(0, 4)});
+    json.AddCell()
+        .Set("study", "ablate_estimator")
+        .Set("policy", cells[i].policy)
+        .Set("z", cells[i].z)
+        .Set("estimator", cells[i].est)
+        .Set("response_time_s", r.response)
+        .Set("partitions", r.partitions)
+        .Set("increments", r.increments);
+  }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -1,14 +1,17 @@
 /// \file
 /// Ablation: EvaluationInterval sweep (the paper fixes 4 s, Section III-B).
 /// Short intervals react quickly but would cost real evaluation overhead;
-/// long intervals leave the job starved between intakes.
+/// long intervals leave the job starved between intakes. The per-interval
+/// cells fan out across hardware threads.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -16,50 +19,70 @@
 namespace dmr {
 namespace {
 
-double RunWithInterval(double interval, int run) {
+Result<double> RunWithInterval(double interval, int run) {
   testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
-  auto dataset = bench::UnwrapOrDie(
-      testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0, 900 + 13 * run),
-      "dataset");
-  auto policy = bench::UnwrapOrDie(
+  DMR_ASSIGN_OR_RETURN(
+      testbed::Dataset dataset,
+      testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0, 900 + 13 * run));
+  DMR_ASSIGN_OR_RETURN(
+      dynamic::GrowthPolicy policy,
       dynamic::GrowthPolicy::Create("LA-sweep", "LA with custom interval",
                                     10.0, "AS > 0 ? 0.2 * AS : 0.1 * TS",
-                                    interval),
-      "policy");
+                                    interval));
   sampling::SamplingJobOptions options;
   options.job_name = "ablate-interval";
   options.sample_size = tpch::kPaperSampleSize;
   options.seed = 7100 + run;
-  auto submission = bench::UnwrapOrDie(
+  DMR_ASSIGN_OR_RETURN(
+      mapred::JobSubmission submission,
       sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
-                                policy, options),
-      "job");
-  auto stats = bench::UnwrapOrDie(
-      bed.RunJobToCompletion(std::move(submission)), "run");
+                                policy, options));
+  DMR_ASSIGN_OR_RETURN(mapred::JobStats stats,
+                       bed.RunJobToCompletion(std::move(submission)));
   return stats.response_time();
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Ablation: evaluation interval sweep (LA policy, 20x, z=1)",
       "DESIGN.md ablation #3 (supports the paper's 4 s choice)",
       "response time grows with the interval once it dominates the wait "
       "between intakes; very short intervals give diminishing returns");
 
+  const std::vector<double> intervals = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  constexpr int kRepeats = 5;
+
+  exec::ThreadPool pool = options.MakePool();
+  auto means = bench::UnwrapOrDie(
+      exec::ParallelMap<double>(
+          &pool, intervals.size(),
+          [&](size_t i) -> Result<double> {
+            double sum = 0;
+            for (int run = 0; run < kRepeats; ++run) {
+              DMR_ASSIGN_OR_RETURN(double rt,
+                                   RunWithInterval(intervals[i], run));
+              sum += rt;
+            }
+            return sum / kRepeats;
+          }),
+      "interval sweep");
+
+  bench::JsonWriter json;
   TablePrinter table({"interval (s)", "mean response time (s)"});
-  for (double interval : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
-    double sum = 0;
-    constexpr int kRepeats = 5;
-    for (int run = 0; run < kRepeats; ++run) {
-      sum += RunWithInterval(interval, run);
-    }
-    table.AddNumericRow(std::to_string(interval).substr(0, 4),
-                        {sum / kRepeats}, 1);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    table.AddNumericRow(std::to_string(intervals[i]).substr(0, 4),
+                        {means[i]}, 1);
+    json.AddCell()
+        .Set("study", "ablate_eval_interval")
+        .Set("interval_s", intervals[i])
+        .Set("mean_response_time_s", means[i]);
   }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -3,6 +3,7 @@
 /// Single-user sampling on 20x data, moderate skew. Shows why the paper
 /// couples the grab limit to cluster state (AS/TS): small fixed grabs
 /// serialize rounds; huge fixed grabs waste work like the Hadoop policy.
+/// The per-limit cells fan out across hardware threads.
 
 #include <cstdio>
 #include <string>
@@ -11,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -19,45 +21,43 @@ namespace dmr {
 namespace {
 
 struct Row {
-  std::string label;
   double response = 0;
   double partitions = 0;
   double increments = 0;
 };
 
-Row RunWith(const dynamic::GrowthPolicy& policy, const std::string& label) {
+Result<Row> RunWith(const dynamic::GrowthPolicy& policy) {
   double rt = 0, parts = 0, incs = 0;
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
-    auto dataset = bench::UnwrapOrDie(
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0,
-                                     500 + 37 * run),
-        "dataset");
+                                     500 + 37 * run));
     sampling::SamplingJobOptions options;
     options.job_name = "ablate-grab";
     options.sample_size = tpch::kPaperSampleSize;
     options.seed = 1234 + run;
-    auto submission = bench::UnwrapOrDie(
-        sampling::MakeSamplingJob(dataset.file,
-                                  dataset.matching_per_partition, policy,
-                                  options),
-        "job");
-    auto stats =
-        bench::UnwrapOrDie(bed.RunJobToCompletion(std::move(submission)),
-                           "run");
+    DMR_ASSIGN_OR_RETURN(
+        mapred::JobSubmission submission,
+        sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                  policy, options));
+    DMR_ASSIGN_OR_RETURN(mapred::JobStats stats,
+                         bed.RunJobToCompletion(std::move(submission)));
     rt += stats.response_time();
     parts += stats.splits_processed;
     incs += stats.input_increments;
   }
-  return {label, rt / kRepeats, parts / kRepeats, incs / kRepeats};
+  return Row{rt / kRepeats, parts / kRepeats, incs / kRepeats};
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Ablation: grab-limit form (fixed sizes vs cluster-coupled "
       "expressions)",
@@ -65,27 +65,42 @@ int main() {
       "tiny fixed grabs serialize rounds (slow); unbounded grabs waste "
       "partitions; AS/TS-coupled limits sit near the knee");
 
-  std::vector<Row> rows;
+  std::vector<dynamic::GrowthPolicy> policies;
+  std::vector<std::string> labels;
   for (int fixed : {1, 2, 4, 8, 16, 32, 64}) {
-    auto policy = bench::UnwrapOrDie(
+    policies.push_back(bench::UnwrapOrDie(
         dynamic::GrowthPolicy::Create("F" + std::to_string(fixed),
                                       "fixed grab", 0.0,
                                       std::to_string(fixed)),
-        "policy");
-    rows.push_back(RunWith(policy, "fixed " + std::to_string(fixed)));
+        "policy"));
+    labels.push_back("fixed " + std::to_string(fixed));
   }
   for (const char* name : {"HA", "MA", "LA", "C", "Hadoop"}) {
-    auto policy = bench::UnwrapOrDie(
-        dynamic::PolicyTable::BuiltIn().Find(name), "policy");
-    rows.push_back(RunWith(policy, std::string("Table I: ") + name));
+    policies.push_back(bench::UnwrapOrDie(
+        dynamic::PolicyTable::BuiltIn().Find(name), "policy"));
+    labels.push_back(std::string("Table I: ") + name);
   }
 
+  exec::ThreadPool pool = options.MakePool();
+  auto rows = bench::UnwrapOrDie(
+      exec::ParallelMap<Row>(&pool, policies.size(),
+                             [&](size_t i) { return RunWith(policies[i]); }),
+      "grab-limit grid");
+
+  bench::JsonWriter json;
   TablePrinter table({"grab limit", "response time (s)",
                       "partitions processed", "input increments"});
-  for (const auto& row : rows) {
-    table.AddNumericRow(row.label, {row.response, row.partitions,
-                                    row.increments}, 1);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddNumericRow(labels[i], {rows[i].response, rows[i].partitions,
+                                    rows[i].increments}, 1);
+    json.AddCell()
+        .Set("study", "ablate_grablimit")
+        .Set("grab_limit", labels[i])
+        .Set("response_time_s", rows[i].response)
+        .Set("partitions", rows[i].partitions)
+        .Set("increments", rows[i].increments);
   }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -1,12 +1,16 @@
 /// \file
 /// Ablation: delay-scheduling locality wait sweep for the Fair Scheduler on
 /// the heterogeneous workload. Longer waits buy locality with idle slots —
-/// the dial behind the paper's Section V-F observation.
+/// the dial behind the paper's Section V-F observation. The per-wait cells
+/// fan out across hardware threads.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -22,20 +26,21 @@ struct Row {
   double non_sampling_tp = 0;
 };
 
-Row RunWithWait(double wait) {
+Result<Row> RunWithWait(double wait) {
   constexpr int kNumUsers = 10;
   constexpr int kSamplingUsers = 4;
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser(),
                        testbed::SchedulerKind::kFair, wait);
-  auto policy = bench::UnwrapOrDie(
-      dynamic::PolicyTable::BuiltIn().Find("LA"), "policy");
+  DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
+                       dynamic::PolicyTable::BuiltIn().Find("LA"));
 
   std::vector<testbed::Dataset> datasets;
   for (int u = 0; u < kNumUsers; ++u) {
-    datasets.push_back(bench::UnwrapOrDie(
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 100, 0.0, 6000 + 29 * u,
-                                     "u" + std::to_string(u)),
-        "dataset"));
+                                     "u" + std::to_string(u)));
+    datasets.push_back(std::move(dataset));
   }
 
   workload::WorkloadDriver driver(&bed.client());
@@ -67,8 +72,9 @@ Row RunWithWait(double wait) {
     driver.AddUser(std::move(user));
   }
 
-  auto report = bench::UnwrapOrDie(
-      driver.Run({.duration = 4.0 * 3600, .warmup = 1800.0}), "run");
+  DMR_ASSIGN_OR_RETURN(
+      workload::WorkloadReport report,
+      driver.Run({.duration = 4.0 * 3600, .warmup = 1800.0}));
   Row row;
   row.locality = bed.tracker().LocalityPercent();
   row.occupancy = bed.monitor().slot_occupancy_percent().MeanAfter(1800.0);
@@ -80,23 +86,40 @@ Row RunWithWait(double wait) {
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Ablation: Fair Scheduler locality-wait sweep (hetero workload, LA)",
       "DESIGN.md ablation #4 (the dial behind Section V-F)",
       "wait=0 behaves like plain fair sharing (lower locality, higher "
       "occupancy); longer waits raise locality and idle more slots");
 
+  const std::vector<double> waits = {0.0, 2.5, 5.0, 10.0, 20.0};
+  exec::ThreadPool pool = options.MakePool();
+  auto rows = bench::UnwrapOrDie(
+      exec::ParallelMap<Row>(&pool, waits.size(),
+                             [&](size_t i) { return RunWithWait(waits[i]); }),
+      "locality-wait sweep");
+
+  bench::JsonWriter json;
   TablePrinter table({"locality wait (s)", "locality (%)", "occupancy (%)",
                       "Sampling (jobs/h)", "NonSampling (jobs/h)"});
-  for (double wait : {0.0, 2.5, 5.0, 10.0, 20.0}) {
-    Row row = RunWithWait(wait);
-    table.AddNumericRow(std::to_string(wait).substr(0, 4),
+  for (size_t i = 0; i < waits.size(); ++i) {
+    const Row& row = rows[i];
+    table.AddNumericRow(std::to_string(waits[i]).substr(0, 4),
                         {row.locality, row.occupancy, row.sampling_tp,
                          row.non_sampling_tp},
                         1);
+    json.AddCell()
+        .Set("study", "ablate_locality_wait")
+        .Set("locality_wait_s", waits[i])
+        .Set("locality_percent", row.locality)
+        .Set("occupancy_percent", row.occupancy)
+        .Set("sampling_jobs_per_hour", row.sampling_tp)
+        .Set("non_sampling_jobs_per_hour", row.non_sampling_tp);
   }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

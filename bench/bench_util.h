@@ -1,12 +1,18 @@
 #ifndef DMR_BENCH_BENCH_UTIL_H_
 #define DMR_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "exec/parallel.h"
 
 namespace dmr::bench {
 
@@ -31,6 +37,170 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("Expected shape: %s\n", expectation.c_str());
   std::printf("==============================================================\n\n");
+}
+
+/// \brief Command-line options shared by every bench driver.
+///
+/// --threads=N   experiment-cell parallelism (0 or "auto" = all hardware
+///               threads; 1 = the historical serial behaviour)
+/// --json=FILE   additionally emit per-cell results as a JSON array
+struct BenchOptions {
+  int threads = 0;
+  std::string json_path;
+
+  /// Parses the shared flags; unknown --flags abort with usage, bare
+  /// positional arguments are left for the driver (returned indices are
+  /// compacted into argv[1..] with argc updated).
+  static BenchOptions Parse(int& argc, char** argv) {
+    BenchOptions options;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--threads=", 10) == 0) {
+        const char* value = arg + 10;
+        if (std::strcmp(value, "auto") == 0) {
+          options.threads = 0;  // pool picks DMR_THREADS / hardware count
+        } else {
+          char* end = nullptr;
+          long parsed = std::strtol(value, &end, 10);
+          if (end == value || *end != '\0' || parsed < 1 || parsed > 4096) {
+            std::fprintf(stderr, "bad --threads value: %s (want 1..4096 or auto)\n",
+                         value);
+            std::exit(2);
+          }
+          options.threads = static_cast<int>(parsed);
+        }
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        options.json_path = arg + 7;
+      } else if (std::strncmp(arg, "--", 2) == 0) {
+        std::fprintf(stderr,
+                     "unknown flag %s\nusage: %s [--threads=N|auto] "
+                     "[--json=FILE] [driver args]\n",
+                     arg, argv[0]);
+        std::exit(2);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    return options;
+  }
+
+  /// The pool every converted driver fans its cells out on.
+  exec::ThreadPool MakePool() const { return exec::ThreadPool(threads); }
+};
+
+/// \brief Collects per-cell results and renders them as a JSON array of flat
+/// objects — the machine-readable twin of the printed tables, consumed by
+/// the BENCH_*.json perf-trajectory tooling.
+///
+/// Field order follows Set() call order and cells are appended in
+/// deterministic (serial) order by the drivers, so output is byte-identical
+/// across --threads settings.
+class JsonWriter {
+ public:
+  class Cell {
+   public:
+    Cell& Set(const std::string& key, const std::string& value) {
+      return Raw(key, Quote(value));
+    }
+    Cell& Set(const std::string& key, const char* value) {
+      return Raw(key, Quote(value));
+    }
+    Cell& Set(const std::string& key, double value) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      return Raw(key, buf);
+    }
+    Cell& Set(const std::string& key, int value) {
+      return Raw(key, std::to_string(value));
+    }
+    Cell& Set(const std::string& key, int64_t value) {
+      return Raw(key, std::to_string(value));
+    }
+    Cell& Set(const std::string& key, uint64_t value) {
+      return Raw(key, std::to_string(value));
+    }
+    Cell& Set(const std::string& key, bool value) {
+      return Raw(key, value ? "true" : "false");
+    }
+
+   private:
+    friend class JsonWriter;
+    Cell& Raw(const std::string& key, std::string rendered) {
+      fields_.emplace_back(key, std::move(rendered));
+      return *this;
+    }
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Appends an object to the array; the reference stays valid for chaining.
+  Cell& AddCell() {
+    cells_.emplace_back();
+    return cells_.back();
+  }
+
+  std::string ToString() const {
+    std::string out = "[\n";
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      out += "  {";
+      const auto& fields = cells_[i].fields_;
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out += ", ";
+        out += Cell::Quote(fields[f].first) + ": " + fields[f].second;
+      }
+      out += i + 1 < cells_.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  Status WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IoError("cannot open " + path + " for writing");
+    }
+    std::string text = ToString();
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size()) {
+      return Status::IoError("short write to " + path);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::deque<Cell> cells_;
+};
+
+/// Writes the collected cells when --json=FILE was given; dies on IO error.
+inline void MaybeWriteJson(const BenchOptions& options,
+                           const JsonWriter& writer) {
+  if (options.json_path.empty()) return;
+  CheckOk(writer.WriteToFile(options.json_path), "json output");
+  std::printf("\nper-cell results written to %s\n",
+              options.json_path.c_str());
 }
 
 }  // namespace dmr::bench

@@ -9,37 +9,49 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 #include "tpch/dataset_catalog.h"
 #include "tpch/skew_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Figure 4: distribution of matching records across partitions (5x)",
       "Grover & Carey, ICDE 2012, Fig. 4",
       "z=0: equal counts (375/partition); z=1: heaviest partition ~3.1k; "
       "z=2: heaviest partition ~8.7k of 15k");
 
-  for (double z : {0.0, 1.0, 2.0}) {
-    tpch::SkewSpec spec;
-    spec.num_partitions = 40;
-    spec.records_per_partition = tpch::kRecordsPerPartition;
-    spec.selectivity = tpch::kPaperSelectivity;
-    spec.zipf_z = z;
-    spec.seed = 20120401;
-    auto counts =
-        bench::UnwrapOrDie(tpch::AssignMatchingRecords(spec), "skew model");
+  const std::vector<double> zs = {0.0, 1.0, 2.0};
+  exec::ThreadPool pool = options.MakePool();
+  auto all_counts = bench::UnwrapOrDie(
+      exec::ParallelMap<std::vector<uint64_t>>(
+          &pool, zs.size(),
+          [&](size_t i) {
+            tpch::SkewSpec spec;
+            spec.num_partitions = 40;
+            spec.records_per_partition = tpch::kRecordsPerPartition;
+            spec.selectivity = tpch::kPaperSelectivity;
+            spec.zipf_z = zs[i];
+            spec.seed = 20120401;
+            return tpch::AssignMatchingRecords(spec);
+          }),
+      "skew model");
 
+  bench::JsonWriter json;
+  for (size_t zi = 0; zi < zs.size(); ++zi) {
+    const std::vector<uint64_t>& counts = all_counts[zi];
     std::vector<uint64_t> sorted = counts;
     std::sort(sorted.rbegin(), sorted.rend());
     uint64_t total = 0;
     for (uint64_t c : sorted) total += c;
 
-    std::printf("z = %.0f: total matching = %llu\n", z,
+    std::printf("z = %.0f: total matching = %llu\n", zs[zi],
                 static_cast<unsigned long long>(total));
     std::printf("  top partitions: ");
     for (int i = 0; i < 8; ++i) {
@@ -61,8 +73,14 @@ int main() {
       std::printf("   p%02d %6llu |%s\n", i,
                   static_cast<unsigned long long>(counts[i]),
                   std::string(bar, '#').c_str());
+      json.AddCell()
+          .Set("figure", "fig4")
+          .Set("z", zs[zi])
+          .Set("partition", i)
+          .Set("matching_records", counts[i]);
     }
     std::printf("\n");
   }
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -3,13 +3,19 @@
 /// policy (Hadoop, HA, MA, LA, C) over dataset scales 5..100 at zero (a),
 /// moderate (b) and high (c) skew, plus (d) the number of partitions
 /// processed per job under moderate skew.
+///
+/// The policy x scale x skew grid (75 cells, 5 repeats each) fans out
+/// across hardware threads; per-cell seeding is unchanged from the serial
+/// driver so the tables are bit-identical at any --threads setting.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -24,64 +30,42 @@ struct CellResult {
   double partitions = 0;
 };
 
-CellResult RunCell(const std::string& policy_name, int scale, double z) {
+Result<CellResult> RunCell(const std::string& policy_name, int scale,
+                           double z) {
   double rt_sum = 0, parts_sum = 0;
   for (int run = 0; run < kRepeats; ++run) {
     // A fresh cluster per run (the paper's runs are back-to-back on an idle
     // cluster; a fresh testbed avoids cross-run interference).
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
     uint64_t seed = 1000 + 17 * run + scale;
-    auto dataset = bench::UnwrapOrDie(
-        testbed::MakeLineItemDataset(&bed.fs(), scale, z, seed),
-        "dataset generation");
-    auto policy = bench::UnwrapOrDie(
-        dynamic::PolicyTable::BuiltIn().Find(policy_name), "policy lookup");
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
+        testbed::MakeLineItemDataset(&bed.fs(), scale, z, seed));
+    DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
+                         dynamic::PolicyTable::BuiltIn().Find(policy_name));
     sampling::SamplingJobOptions options;
     options.job_name = "fig5-" + policy_name;
     options.sample_size = tpch::kPaperSampleSize;
     options.seed = seed * 31 + 7;
     options.predicate_sql = "selectivity 0.05%, z=" + std::to_string(z);
-    auto submission = bench::UnwrapOrDie(
-        sampling::MakeSamplingJob(dataset.file,
-                                  dataset.matching_per_partition, policy,
-                                  options),
-        "job construction");
-    auto stats = bench::UnwrapOrDie(
-        bed.RunJobToCompletion(std::move(submission)), "job execution");
+    DMR_ASSIGN_OR_RETURN(
+        mapred::JobSubmission submission,
+        sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                  policy, options));
+    DMR_ASSIGN_OR_RETURN(mapred::JobStats stats,
+                         bed.RunJobToCompletion(std::move(submission)));
     rt_sum += stats.response_time();
     parts_sum += stats.splits_processed;
   }
-  return {rt_sum / kRepeats, parts_sum / kRepeats};
-}
-
-void RunSkewPanel(const char* label, double z,
-                  std::vector<std::vector<double>>* partitions_out) {
-  const std::vector<std::string> policies = {"Hadoop", "HA", "MA", "LA", "C"};
-  const std::vector<int>& scales = tpch::StandardScales();
-
-  TablePrinter table({"policy", "5x", "10x", "20x", "40x", "100x"});
-  std::printf("Figure 5 (%s): response time (s) vs dataset scale, z=%g\n",
-              label, z);
-  for (const auto& policy : policies) {
-    std::vector<double> row_rt;
-    std::vector<double> row_parts;
-    for (int scale : scales) {
-      CellResult cell = RunCell(policy, scale, z);
-      row_rt.push_back(cell.response_time);
-      row_parts.push_back(cell.partitions);
-    }
-    table.AddNumericRow(policy, row_rt, 1);
-    if (partitions_out) partitions_out->push_back(row_parts);
-  }
-  table.Print();
-  std::printf("\n");
+  return CellResult{rt_sum / kRepeats, parts_sum / kRepeats};
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Figure 5: single-user workload",
       "Grover & Carey, ICDE 2012, Fig. 5 (a)-(d)",
@@ -89,20 +73,65 @@ int main() {
       "HA <= MA < LA < C on the idle cluster; skew hurts conservative "
       "policies most; Hadoop processes every partition");
 
-  RunSkewPanel("a: zero skew", 0.0, nullptr);
+  const std::vector<std::string> policies = {"Hadoop", "HA", "MA", "LA", "C"};
+  const std::vector<int>& scales = tpch::StandardScales();
+  struct Panel {
+    const char* label;
+    double z;
+  };
+  const std::vector<Panel> panels = {
+      {"a: zero skew", 0.0}, {"b: moderate skew", 1.0}, {"c: high skew", 2.0}};
 
-  std::vector<std::vector<double>> partitions;
-  RunSkewPanel("b: moderate skew", 1.0, &partitions);
+  // Flatten panel x policy x scale into one fan-out.
+  const size_t cells_per_panel = policies.size() * scales.size();
+  exec::ThreadPool pool = options.MakePool();
+  auto flat = bench::UnwrapOrDie(
+      exec::ParallelMap<CellResult>(
+          &pool, panels.size() * cells_per_panel,
+          [&](size_t i) {
+            size_t panel = i / cells_per_panel;
+            size_t p = (i % cells_per_panel) / scales.size();
+            size_t s = i % scales.size();
+            return RunCell(policies[p], scales[s], panels[panel].z);
+          }),
+      "figure 5 grid");
 
-  RunSkewPanel("c: high skew", 2.0, nullptr);
+  bench::JsonWriter json;
+  std::vector<std::vector<double>> partitions_z1;
+  for (size_t panel = 0; panel < panels.size(); ++panel) {
+    TablePrinter table({"policy", "5x", "10x", "20x", "40x", "100x"});
+    std::printf("Figure 5 (%s): response time (s) vs dataset scale, z=%g\n",
+                panels[panel].label, panels[panel].z);
+    for (size_t p = 0; p < policies.size(); ++p) {
+      std::vector<double> row_rt;
+      std::vector<double> row_parts;
+      for (size_t s = 0; s < scales.size(); ++s) {
+        const CellResult& cell =
+            flat[panel * cells_per_panel + p * scales.size() + s];
+        row_rt.push_back(cell.response_time);
+        row_parts.push_back(cell.partitions);
+        json.AddCell()
+            .Set("figure", "fig5")
+            .Set("policy", policies[p])
+            .Set("scale", scales[s])
+            .Set("z", panels[panel].z)
+            .Set("response_time_s", cell.response_time)
+            .Set("partitions", cell.partitions);
+      }
+      table.AddNumericRow(policies[p], row_rt, 1);
+      if (panels[panel].z == 1.0) partitions_z1.push_back(row_parts);
+    }
+    table.Print();
+    std::printf("\n");
+  }
 
   std::printf(
       "Figure 5 (d): partitions processed per job (moderate skew, z=1)\n");
   TablePrinter parts_table({"policy", "5x", "10x", "20x", "40x", "100x"});
-  const char* names[] = {"Hadoop", "HA", "MA", "LA", "C"};
-  for (size_t i = 0; i < partitions.size(); ++i) {
-    parts_table.AddNumericRow(names[i], partitions[i], 1);
+  for (size_t p = 0; p < partitions_z1.size(); ++p) {
+    parts_table.AddNumericRow(policies[p], partitions_z1[p], 1);
   }
   parts_table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -5,6 +5,9 @@
 /// Reports per-policy throughput (jobs/hour), mean CPU utilization (%) and
 /// mean disk reads (KB/s per disk), under a uniform and a highly skewed
 /// (z = 2) distribution of the matching records.
+///
+/// Cells (policy x skew panel) are independent simulations and fan out
+/// across hardware threads; results are printed in deterministic order.
 
 #include <cstdio>
 #include <string>
@@ -13,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -32,20 +36,21 @@ struct PolicyResult {
   double disk_kbs = 0;
 };
 
-PolicyResult RunPolicy(const std::string& policy_name, double z) {
+Result<PolicyResult> RunPolicy(const std::string& policy_name, double z) {
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser());
-  auto policy = bench::UnwrapOrDie(
-      dynamic::PolicyTable::BuiltIn().Find(policy_name), "policy lookup");
+  DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
+                       dynamic::PolicyTable::BuiltIn().Find(policy_name));
 
   // Each user works against a private copy of the dataset (the paper does
   // this to defeat buffer-cache sharing; here it also decorrelates skew
   // realizations across users).
   std::vector<testbed::Dataset> datasets;
   for (int u = 0; u < kNumUsers; ++u) {
-    datasets.push_back(bench::UnwrapOrDie(
-        testbed::MakeLineItemDataset(&bed.fs(), kScale, z,
-                                     9000 + 131 * u, "u" + std::to_string(u)),
-        "dataset generation"));
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
+        testbed::MakeLineItemDataset(&bed.fs(), kScale, z, 9000 + 131 * u,
+                                     "u" + std::to_string(u)));
+    datasets.push_back(std::move(dataset));
   }
 
   workload::WorkloadDriver driver(&bed.client());
@@ -69,9 +74,8 @@ PolicyResult RunPolicy(const std::string& policy_name, double z) {
     driver.AddUser(std::move(user));
   }
 
-  auto report = bench::UnwrapOrDie(
-      driver.Run({.duration = kDuration, .warmup = kWarmup}),
-      "workload run");
+  DMR_ASSIGN_OR_RETURN(workload::WorkloadReport report,
+                       driver.Run({.duration = kDuration, .warmup = kWarmup}));
 
   PolicyResult result;
   result.throughput = report.For("Sampling").throughput_jobs_per_hour;
@@ -80,24 +84,12 @@ PolicyResult RunPolicy(const std::string& policy_name, double z) {
   return result;
 }
 
-void RunPanel(const char* label, double z) {
-  const std::vector<std::string> policies = {"C", "LA", "MA", "HA", "Hadoop"};
-  TablePrinter table(
-      {"policy", "throughput (jobs/h)", "CPU util (%)", "disk reads (KB/s)"});
-  std::printf("Figure 6 (%s)\n", label);
-  for (const auto& policy : policies) {
-    PolicyResult r = RunPolicy(policy, z);
-    table.AddNumericRow(policy, {r.throughput, r.cpu_percent, r.disk_kbs}, 1);
-  }
-  table.Print();
-  std::printf("\n");
-}
-
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Figure 6: homogeneous multi-user workload (10 users, 100x data)",
       "Grover & Carey, ICDE 2012, Fig. 6",
@@ -106,7 +98,44 @@ int main() {
       "with C slightly below LA; high skew lowers throughput and raises "
       "resource usage for dynamic policies, Hadoop unaffected");
 
-  RunPanel("uniform distribution of matching records", 0.0);
-  RunPanel("highly skewed distribution (z = 2)", 2.0);
+  const std::vector<std::string> policies = {"C", "LA", "MA", "HA", "Hadoop"};
+  struct Panel {
+    const char* label;
+    double z;
+  };
+  const std::vector<Panel> panels = {
+      {"uniform distribution of matching records", 0.0},
+      {"highly skewed distribution (z = 2)", 2.0}};
+
+  exec::ThreadPool pool = options.MakePool();
+  auto grid = bench::UnwrapOrDie(
+      exec::ParallelGrid<PolicyResult>(
+          &pool, panels.size(), policies.size(),
+          [&](size_t panel, size_t p) {
+            return RunPolicy(policies[p], panels[panel].z);
+          }),
+      "figure 6 grid");
+
+  bench::JsonWriter json;
+  for (size_t panel = 0; panel < panels.size(); ++panel) {
+    TablePrinter table({"policy", "throughput (jobs/h)", "CPU util (%)",
+                        "disk reads (KB/s)"});
+    std::printf("Figure 6 (%s)\n", panels[panel].label);
+    for (size_t p = 0; p < policies.size(); ++p) {
+      const PolicyResult& r = grid[panel][p];
+      table.AddNumericRow(policies[p],
+                          {r.throughput, r.cpu_percent, r.disk_kbs}, 1);
+      json.AddCell()
+          .Set("figure", "fig6")
+          .Set("policy", policies[p])
+          .Set("z", panels[panel].z)
+          .Set("throughput_jobs_per_hour", r.throughput)
+          .Set("cpu_percent", r.cpu_percent)
+          .Set("disk_read_kbs", r.disk_kbs);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

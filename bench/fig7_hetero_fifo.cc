@@ -2,7 +2,8 @@
 /// Reproduces Figure 7: heterogeneous multi-user workload under the default
 /// (FIFO) scheduler. A fraction (0.2..0.8) of 10 users run dynamic sampling
 /// jobs under each policy; the rest run static select-project scans.
-/// Reports per-class throughput (jobs/hour).
+/// Reports per-class throughput (jobs/hour). The policy x fraction grid
+/// fans out across hardware threads.
 
 #include <cstdio>
 #include <string>
@@ -11,22 +12,40 @@
 #include "bench/bench_util.h"
 #include "bench/hetero_workload.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 
 namespace dmr {
 namespace {
 
-void RunFigure(testbed::SchedulerKind scheduler) {
+void RunFigure(testbed::SchedulerKind scheduler,
+               const bench::BenchOptions& options) {
   const std::vector<std::string> policies = {"C", "LA", "MA", "HA", "Hadoop"};
   const std::vector<int> sampling_counts = {2, 4, 6, 8};
 
+  exec::ThreadPool pool = options.MakePool();
+  auto grid = bench::UnwrapOrDie(
+      exec::ParallelGrid<bench::HeteroResult>(
+          &pool, policies.size(), sampling_counts.size(),
+          [&](size_t p, size_t c) {
+            return bench::RunHeteroWorkload(scheduler, policies[p],
+                                            sampling_counts[c]);
+          }),
+      "figure 7 grid");
+
+  bench::JsonWriter json;
   std::vector<std::vector<double>> sampling_rows(policies.size());
   std::vector<std::vector<double>> non_sampling_rows(policies.size());
   for (size_t p = 0; p < policies.size(); ++p) {
-    for (int count : sampling_counts) {
-      bench::HeteroResult r =
-          bench::RunHeteroWorkload(scheduler, policies[p], count);
+    for (size_t c = 0; c < sampling_counts.size(); ++c) {
+      const bench::HeteroResult& r = grid[p][c];
       sampling_rows[p].push_back(r.sampling_throughput);
       non_sampling_rows[p].push_back(r.non_sampling_throughput);
+      json.AddCell()
+          .Set("figure", "fig7")
+          .Set("policy", policies[p])
+          .Set("sampling_fraction", sampling_counts[c] / 10.0)
+          .Set("sampling_jobs_per_hour", r.sampling_throughput)
+          .Set("non_sampling_jobs_per_hour", r.non_sampling_throughput);
     }
   }
 
@@ -57,13 +76,15 @@ void RunFigure(testbed::SchedulerKind scheduler) {
     std::printf("frac=%.1f: %.1fx  ", sampling_counts[i] / 10.0, gain);
   }
   std::printf("\n");
+  bench::MaybeWriteJson(options, json);
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Figure 7: heterogeneous workload, default (FIFO) scheduler",
       "Grover & Carey, ICDE 2012, Fig. 7 (a), (b)",
@@ -71,6 +92,6 @@ int main() {
       "throughput is lowest when the Sampling class runs the Hadoop policy "
       "and improves ~3x (frac 0.2) to ~8x (frac 0.8) under LA; conservative "
       "policies (C/LA) maximize both classes");
-  RunFigure(testbed::SchedulerKind::kFifo);
+  RunFigure(testbed::SchedulerKind::kFifo, options);
   return 0;
 }

@@ -3,6 +3,7 @@
 /// the Fair Scheduler (with delay scheduling). The paper's finding: the same
 /// policy ordering holds, but overall throughput drops relative to FIFO
 /// because delay scheduling trades slot occupancy for locality.
+/// The policy x fraction grid fans out across hardware threads.
 
 #include <cstdio>
 #include <string>
@@ -11,22 +12,39 @@
 #include "bench/bench_util.h"
 #include "bench/hetero_workload.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 
 namespace dmr {
 namespace {
 
-void RunFigure() {
+void RunFigure(const bench::BenchOptions& options) {
   const std::vector<std::string> policies = {"C", "LA", "MA", "HA", "Hadoop"};
   const std::vector<int> sampling_counts = {2, 4, 6, 8};
 
+  exec::ThreadPool pool = options.MakePool();
+  auto grid = bench::UnwrapOrDie(
+      exec::ParallelGrid<bench::HeteroResult>(
+          &pool, policies.size(), sampling_counts.size(),
+          [&](size_t p, size_t c) {
+            return bench::RunHeteroWorkload(testbed::SchedulerKind::kFair,
+                                            policies[p], sampling_counts[c]);
+          }),
+      "figure 8 grid");
+
+  bench::JsonWriter json;
   std::vector<std::vector<double>> sampling_rows(policies.size());
   std::vector<std::vector<double>> non_sampling_rows(policies.size());
   for (size_t p = 0; p < policies.size(); ++p) {
-    for (int count : sampling_counts) {
-      bench::HeteroResult r = bench::RunHeteroWorkload(
-          testbed::SchedulerKind::kFair, policies[p], count);
+    for (size_t c = 0; c < sampling_counts.size(); ++c) {
+      const bench::HeteroResult& r = grid[p][c];
       sampling_rows[p].push_back(r.sampling_throughput);
       non_sampling_rows[p].push_back(r.non_sampling_throughput);
+      json.AddCell()
+          .Set("figure", "fig8")
+          .Set("policy", policies[p])
+          .Set("sampling_fraction", sampling_counts[c] / 10.0)
+          .Set("sampling_jobs_per_hour", r.sampling_throughput)
+          .Set("non_sampling_jobs_per_hour", r.non_sampling_throughput);
     }
   }
 
@@ -45,19 +63,21 @@ void RunFigure() {
     ns_table.AddNumericRow(policies[p], non_sampling_rows[p], 1);
   }
   ns_table.Print();
+  bench::MaybeWriteJson(options, json);
 }
 
 }  // namespace
 }  // namespace dmr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Figure 8: heterogeneous workload, Fair Scheduler",
       "Grover & Carey, ICDE 2012, Fig. 8 (a), (b)",
       "Same ordering as Figure 7 (conservative sampling policies lift both "
       "classes; Hadoop policy worst), with lower absolute throughput than "
       "the FIFO scheduler due to delay scheduling");
-  RunFigure();
+  RunFigure(options);
   return 0;
 }

@@ -25,25 +25,27 @@ struct HeteroResult {
   double slot_occupancy_percent = 0;
 };
 
-inline HeteroResult RunHeteroWorkload(testbed::SchedulerKind scheduler,
-                                      const std::string& policy_name,
-                                      int sampling_users,
-                                      double duration = 6.0 * 3600,
-                                      double warmup = 1800.0) {
+/// Each call builds a private Testbed, so concurrent calls from the
+/// parallel experiment harness are fully isolated.
+inline Result<HeteroResult> RunHeteroWorkload(testbed::SchedulerKind scheduler,
+                                              const std::string& policy_name,
+                                              int sampling_users,
+                                              double duration = 6.0 * 3600,
+                                              double warmup = 1800.0) {
   constexpr int kNumUsers = 10;
   constexpr int kScale = 100;
 
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser(), scheduler);
-  auto policy =
-      UnwrapOrDie(dynamic::PolicyTable::BuiltIn().Find(policy_name),
-                  "policy lookup");
+  DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
+                       dynamic::PolicyTable::BuiltIn().Find(policy_name));
 
   std::vector<testbed::Dataset> datasets;
   for (int u = 0; u < kNumUsers; ++u) {
-    datasets.push_back(UnwrapOrDie(
+    DMR_ASSIGN_OR_RETURN(
+        testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), kScale, /*z=*/0.0,
-                                     7000 + 311 * u, "u" + std::to_string(u)),
-        "dataset generation"));
+                                     7000 + 311 * u, "u" + std::to_string(u)));
+    datasets.push_back(std::move(dataset));
   }
 
   workload::WorkloadDriver driver(&bed.client());
@@ -76,8 +78,8 @@ inline HeteroResult RunHeteroWorkload(testbed::SchedulerKind scheduler,
     driver.AddUser(std::move(user));
   }
 
-  auto report = UnwrapOrDie(
-      driver.Run({.duration = duration, .warmup = warmup}), "workload run");
+  DMR_ASSIGN_OR_RETURN(workload::WorkloadReport report,
+                       driver.Run({.duration = duration, .warmup = warmup}));
 
   HeteroResult result;
   result.sampling_throughput =

@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "common/properties.h"
 #include "common/random.h"
 #include "dynamic/grab_limit_expr.h"
+#include "exec/parallel.h"
 #include "expr/expression.h"
 #include "hive/parser.h"
 #include "sim/ps_resource.h"
@@ -111,19 +114,70 @@ void BM_PropertiesParse(benchmark::State& state) {
 }
 BENCHMARK(BM_PropertiesParse);
 
-void BM_SimulationScheduleRun(benchmark::State& state) {
+/// The raw Schedule+fire hot path: one event in flight per iteration batch,
+/// no cancellations. Measures callback storage + slot + heap costs.
+void BM_SimSchedule(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Simulation sim;
-    int fired = 0;
-    for (int i = 0; i < state.range(0); ++i) {
+    uint64_t fired = 0;
+    for (int i = 0; i < batch; ++i) {
       sim.Schedule(static_cast<double>(i % 97), [&fired] { ++fired; });
     }
     sim.Run();
     benchmark::DoNotOptimize(fired);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_SimulationScheduleRun)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SimSchedule)->Arg(1000)->Arg(100000);
+
+/// The reschedule pattern PsResource leans on: schedule, cancel, replace.
+/// Half the scheduled events are cancelled via their handles, exercising
+/// slot reuse and the batched queue purge.
+void BM_SimScheduleCancel(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    uint64_t fired = 0;
+    sim::EventHandle last;
+    for (int i = 0; i < batch; ++i) {
+      last.Cancel();
+      last = sim.Schedule(static_cast<double>(i % 89), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimScheduleCancel)->Arg(1000)->Arg(100000);
+
+/// Fan-out scaling of the experiment harness: N simulation cells (each a
+/// private Simulation running an event cascade) spread over the pool.
+/// Compare threads=1 vs higher counts for the harness speedup.
+void BM_ThreadPoolFanOut(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kCells = 64;
+  constexpr int kEventsPerCell = 20000;
+  exec::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::atomic<uint64_t> total{0};
+    Status status = exec::ParallelFor(&pool, kCells, [&](size_t cell) {
+      sim::Simulation sim;
+      uint64_t fired = 0;
+      for (int i = 0; i < kEventsPerCell; ++i) {
+        sim.Schedule(static_cast<double>((i * 31 + cell) % 101),
+                     [&fired] { ++fired; });
+      }
+      sim.Run();
+      total.fetch_add(fired, std::memory_order_relaxed);
+      return Status::OK();
+    });
+    if (!status.ok()) state.SkipWithError("cell failed");
+    benchmark::DoNotOptimize(total.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kCells * kEventsPerCell);
+}
+BENCHMARK(BM_ThreadPoolFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PsResourceChurn(benchmark::State& state) {
   for (auto _ : state) {

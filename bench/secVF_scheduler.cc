@@ -10,36 +10,54 @@
 /// work.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/hetero_workload.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Section V-F: scheduler impact on locality and occupancy",
       "Grover & Carey, ICDE 2012, Section V-F",
       "Fair Scheduler: much higher locality, much lower occupancy and lower "
       "throughput than FIFO (paper: 88%/18% vs 57%/44%)");
 
-  bench::HeteroResult fifo = bench::RunHeteroWorkload(
-      testbed::SchedulerKind::kFifo, "LA", /*sampling_users=*/4);
-  bench::HeteroResult fair = bench::RunHeteroWorkload(
-      testbed::SchedulerKind::kFair, "LA", /*sampling_users=*/4);
+  const std::vector<testbed::SchedulerKind> schedulers = {
+      testbed::SchedulerKind::kFifo, testbed::SchedulerKind::kFair};
+  const char* labels[] = {"default (FIFO)", "Fair Scheduler"};
 
+  exec::ThreadPool pool = options.MakePool();
+  auto results = bench::UnwrapOrDie(
+      exec::ParallelMap<bench::HeteroResult>(
+          &pool, schedulers.size(),
+          [&](size_t i) {
+            return bench::RunHeteroWorkload(schedulers[i], "LA",
+                                            /*sampling_users=*/4);
+          }),
+      "scheduler comparison");
+
+  bench::JsonWriter json;
   TablePrinter table({"scheduler", "locality (%)", "slot occupancy (%)",
                       "Sampling (jobs/h)", "NonSampling (jobs/h)"});
-  table.AddNumericRow("default (FIFO)",
-                      {fifo.locality_percent, fifo.slot_occupancy_percent,
-                       fifo.sampling_throughput,
-                       fifo.non_sampling_throughput},
-                      1);
-  table.AddNumericRow("Fair Scheduler",
-                      {fair.locality_percent, fair.slot_occupancy_percent,
-                       fair.sampling_throughput,
-                       fair.non_sampling_throughput},
-                      1);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bench::HeteroResult& r = results[i];
+    table.AddNumericRow(labels[i],
+                        {r.locality_percent, r.slot_occupancy_percent,
+                         r.sampling_throughput, r.non_sampling_throughput},
+                        1);
+    json.AddCell()
+        .Set("figure", "secVF")
+        .Set("scheduler", labels[i])
+        .Set("locality_percent", r.locality_percent)
+        .Set("slot_occupancy_percent", r.slot_occupancy_percent)
+        .Set("sampling_jobs_per_hour", r.sampling_throughput)
+        .Set("non_sampling_jobs_per_hour", r.non_sampling_throughput);
+  }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

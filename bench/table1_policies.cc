@@ -5,13 +5,25 @@
 
 #include <cstdio>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 
-int main() {
+namespace {
+
+struct StateRow {
+  std::vector<int64_t> limits;  // grab limit per probed AS value
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader("Table I: policies for incremental processing of input",
                      "Grover & Carey, ICDE 2012, Table I",
                      "five policies from Hadoop (unbounded) to C "
@@ -19,29 +31,60 @@ int main() {
                      "cluster states");
 
   const auto& table = dynamic::PolicyTable::BuiltIn();
+  bench::JsonWriter json;
   TablePrinter policies({"policy", "description", "work threshold (%)",
                          "grab limit"});
   for (const auto& p : table.policies()) {
     policies.AddRow({p.name(), p.description(),
                      std::to_string(static_cast<int>(p.work_threshold_pct())),
                      p.grab_limit_text()});
+    json.AddCell()
+        .Set("table", "table1")
+        .Set("policy", p.name())
+        .Set("description", p.description())
+        .Set("work_threshold_pct", p.work_threshold_pct())
+        .Set("grab_limit", p.grab_limit_text());
   }
   policies.Print();
 
   std::printf("\nGrab limits at representative cluster states "
               "(TS = 40 total slots):\n");
+  const std::vector<int> probe_as = {40, 20, 4, 0};
+  exec::ThreadPool pool = options.MakePool();
+  auto rows = bench::UnwrapOrDie(
+      exec::ParallelMap<StateRow>(
+          &pool, table.policies().size(),
+          [&](size_t i) -> Result<StateRow> {
+            StateRow row;
+            for (int as : probe_as) {
+              mapred::ClusterStatus status;
+              status.total_map_slots = 40;
+              status.occupied_map_slots = 40 - as;
+              row.limits.push_back(table.policies()[i].GrabLimit(status));
+            }
+            return row;
+          }),
+      "grab-limit probe");
+
   TablePrinter states({"policy", "AS=40 (idle)", "AS=20", "AS=4", "AS=0"});
-  for (const auto& p : table.policies()) {
-    auto limit = [&](int as) -> std::string {
-      mapred::ClusterStatus status;
-      status.total_map_slots = 40;
-      status.occupied_map_slots = 40 - as;
-      int64_t g = p.GrabLimit(status);
-      return g == std::numeric_limits<int64_t>::max() ? "inf"
-                                                      : std::to_string(g);
-    };
-    states.AddRow({p.name(), limit(40), limit(20), limit(4), limit(0)});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& p = table.policies()[i];
+    std::vector<std::string> cells = {p.name()};
+    for (size_t s = 0; s < probe_as.size(); ++s) {
+      int64_t g = rows[i].limits[s];
+      std::string text = g == std::numeric_limits<int64_t>::max()
+                             ? "inf"
+                             : std::to_string(g);
+      json.AddCell()
+          .Set("table", "table1-states")
+          .Set("policy", p.name())
+          .Set("available_slots", probe_as[s])
+          .Set("grab_limit", text);
+      cells.push_back(std::move(text));
+    }
+    states.AddRow(cells);
   }
   states.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -4,14 +4,17 @@
 /// matching records at the paper's 0.05 % predicate selectivity.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "exec/parallel.h"
 #include "tpch/dataset_catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::PrintHeader(
       "Table II: test dataset properties",
       "Grover & Carey, ICDE 2012, Table II",
@@ -19,17 +22,32 @@ int main() {
       "and records scale linearly; 0.05 % selectivity = 15,000 matches at "
       "5x");
 
+  const std::vector<int>& scales = tpch::StandardScales();
+  exec::ThreadPool pool = options.MakePool();
+  auto props = bench::UnwrapOrDie(
+      exec::ParallelMap<tpch::DatasetProperties>(
+          &pool, scales.size(),
+          [&](size_t i) { return tpch::PropertiesForScale(scales[i]); }),
+      "catalog");
+
+  bench::JsonWriter json;
   TablePrinter table({"scale", "records", "size", "partitions",
                       "matching records (0.05%)"});
-  for (int scale : tpch::StandardScales()) {
-    auto props =
-        bench::UnwrapOrDie(tpch::PropertiesForScale(scale), "catalog");
-    table.AddRow({std::to_string(scale) + "x",
-                  std::to_string(props.total_records),
-                  FormatBytes(props.total_bytes),
-                  std::to_string(props.num_partitions),
-                  std::to_string(props.matching_records)});
+  for (size_t i = 0; i < scales.size(); ++i) {
+    table.AddRow({std::to_string(scales[i]) + "x",
+                  std::to_string(props[i].total_records),
+                  FormatBytes(props[i].total_bytes),
+                  std::to_string(props[i].num_partitions),
+                  std::to_string(props[i].matching_records)});
+    json.AddCell()
+        .Set("table", "table2")
+        .Set("scale", scales[i])
+        .Set("total_records", props[i].total_records)
+        .Set("total_bytes", props[i].total_bytes)
+        .Set("partitions", props[i].num_partitions)
+        .Set("matching_records", props[i].matching_records);
   }
   table.Print();
+  bench::MaybeWriteJson(options, json);
   return 0;
 }

@@ -3,7 +3,8 @@
 /// configured growth policy — including custom policies loaded from a
 /// policy file (the paper's policy.xml analogue) — and prints a comparison
 /// of response time, partitions processed, input increments and provider
-/// evaluations.
+/// evaluations. The per-policy runs are independent simulations and fan
+/// out across hardware threads (DMR_THREADS caps the worker count).
 ///
 /// Usage: policy_explorer [scale] [zipf_z]
 ///   scale   TPC-H scale factor (default 20)
@@ -12,9 +13,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
+#include "exec/parallel.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -44,6 +48,24 @@ policy.Steady.work_threshold = 5
 policy.Steady.grab_limit     = 4
 )";
 
+dmr::Result<dmr::mapred::JobStats> RunPolicy(
+    const dmr::dynamic::GrowthPolicy& policy, int scale, double z) {
+  using namespace dmr;
+  testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+  DMR_ASSIGN_OR_RETURN(
+      testbed::Dataset dataset,
+      testbed::MakeLineItemDataset(&bed.fs(), scale, z, 2024));
+  sampling::SamplingJobOptions options;
+  options.job_name = "explore-" + policy.name();
+  options.sample_size = tpch::kPaperSampleSize;
+  options.seed = 5150;
+  DMR_ASSIGN_OR_RETURN(
+      mapred::JobSubmission submission,
+      sampling::MakeSamplingJob(dataset.file, dataset.matching_per_partition,
+                                policy, options));
+  return bed.RunJobToCompletion(std::move(submission));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,29 +94,24 @@ int main(int argc, char** argv) {
               "the simulated 10-node cluster\n\n",
               scale, z, (unsigned long long)tpch::kPaperSampleSize);
 
+  exec::ThreadPool pool;
+  auto stats = Unwrap(
+      exec::ParallelMap<mapred::JobStats>(
+          &pool, policies.policies().size(),
+          [&](size_t i) {
+            return RunPolicy(policies.policies()[i], scale, z);
+          }),
+      "policy runs");
+
   TablePrinter table({"policy", "response (s)", "partitions", "of total",
                       "increments", "evaluations"});
-  for (const auto& policy : policies.policies()) {
-    testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
-    auto dataset = Unwrap(
-        testbed::MakeLineItemDataset(&bed.fs(), scale, z, 2024), "dataset");
-    sampling::SamplingJobOptions options;
-    options.job_name = "explore-" + policy.name();
-    options.sample_size = tpch::kPaperSampleSize;
-    options.seed = 5150;
-    auto submission = Unwrap(
-        sampling::MakeSamplingJob(dataset.file,
-                                  dataset.matching_per_partition, policy,
-                                  options),
-        "make job");
-    auto stats =
-        Unwrap(bed.RunJobToCompletion(std::move(submission)), "run job");
-    table.AddRow({policy.name(),
-                  std::to_string(stats.response_time()).substr(0, 6),
-                  std::to_string(stats.splits_processed),
-                  std::to_string(stats.splits_total),
-                  std::to_string(stats.input_increments),
-                  std::to_string(stats.provider_evaluations)});
+  for (size_t i = 0; i < stats.size(); ++i) {
+    table.AddRow({policies.policies()[i].name(),
+                  std::to_string(stats[i].response_time()).substr(0, 6),
+                  std::to_string(stats[i].splits_processed),
+                  std::to_string(stats[i].splits_total),
+                  std::to_string(stats[i].input_increments),
+                  std::to_string(stats[i].provider_evaluations)});
   }
   table.Print();
   std::printf("\nTip: edit kCustomPolicyFile (or load your own) to try new "

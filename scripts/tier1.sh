@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency-
+# sensitive pool/kernel tests again under ThreadSanitizer.
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier-1: configure + build (preset: default) =="
+cmake --preset default
+cmake --build --preset default -j "${jobs}"
+
+echo "== tier-1: full test suite =="
+ctest --preset default -j "${jobs}"
+
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  echo "== tier-1: TSan stage skipped (--no-tsan) =="
+  exit 0
+fi
+
+echo "== tier-1: ThreadSanitizer pass (pool + kernel tests) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}" --target parallel_test simulation_test
+ctest --preset tsan
+
+echo "== tier-1: OK =="

@@ -1,0 +1,100 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dmr::exec {
+
+int ThreadPool::HardwareThreads() {
+  if (const char* env = std::getenv("DMR_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_capacity_(queue_capacity > 0 ? queue_capacity : 1) {
+  int n = num_threads > 0 ? num_threads : HardwareThreads();
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_ready_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || shutdown_;
+    });
+    if (shutdown_) return;  // tasks submitted after shutdown are dropped
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn) {
+  // Lowest failed index wins so error reporting is deterministic no matter
+  // how the cells interleave across workers.
+  std::atomic<size_t> first_error{n};
+  std::vector<Status> errors(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&, i] {
+      Status status = fn(i);
+      if (!status.ok()) {
+        errors[i] = std::move(status);
+        size_t current = first_error.load(std::memory_order_relaxed);
+        while (i < current && !first_error.compare_exchange_weak(
+                                  current, i, std::memory_order_release,
+                                  std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+  pool->Wait();
+  size_t bad = first_error.load(std::memory_order_acquire);
+  if (bad < n) return errors[bad];
+  return Status::OK();
+}
+
+}  // namespace dmr::exec

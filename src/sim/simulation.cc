@@ -1,15 +1,45 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dmr::sim {
 
-bool EventHandle::pending() const {
-  return slot_ && !slot_->cancelled && !slot_->fired;
+namespace internal {
+
+void EventSlotPool::Grow() {
+  auto chunk = std::make_unique<EventSlot[]>(kChunkSlots);
+  for (std::size_t i = 0; i < kChunkSlots; ++i) {
+    chunk[i].pool = this;
+    chunk[i].next_free = free_;
+    free_ = &chunk[i];
+  }
+  chunks_.push_back(std::move(chunk));
 }
 
+}  // namespace internal
+
 void EventHandle::Cancel() {
-  if (slot_) slot_->cancelled = true;
+  if (!slot_ || slot_->cancelled || slot_->fired) return;
+  slot_->cancelled = true;
+  if (slot_->owner != nullptr) slot_->owner->OnCancelled();
+}
+
+Simulation::Simulation() : pool_(internal::EventSlotPool::Create()) {}
+
+Simulation::~Simulation() {
+  // Detach and release every still-queued event. Marking the slots
+  // cancelled makes surviving handles report not-pending (the event can
+  // never fire) and turns later Cancel() calls into no-ops; the slot memory
+  // itself outlives us via the handles' pool references.
+  for (Event& ev : heap_) {
+    ev.slot->cancelled = true;
+    ev.slot->owner = nullptr;
+    internal::SlotRelease(ev.slot);
+  }
+  heap_.clear();
+  pool_->DropOwnerRef();
 }
 
 EventHandle Simulation::Schedule(SimTime delay, Callback fn) {
@@ -19,18 +49,55 @@ EventHandle Simulation::Schedule(SimTime delay, Callback fn) {
 
 EventHandle Simulation::ScheduleAt(SimTime when, Callback fn) {
   DMR_CHECK_GE(when, now_) << "scheduling into the past";
-  auto slot = std::make_shared<EventHandle::Slot>();
-  queue_.push(Event{when, next_seq_++, std::move(fn), slot});
+  internal::EventSlot* slot = pool_->Acquire();
+  slot->owner = this;
+  internal::SlotAddRef(slot);  // the queue's reference
+  heap_.push_back(Event{when, next_seq_++, std::move(fn), slot});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   return EventHandle(slot);
 }
 
+void Simulation::ReleaseQueueRef(internal::EventSlot* slot) {
+  slot->owner = nullptr;
+  internal::SlotRelease(slot);
+}
+
+void Simulation::OnCancelled() {
+  ++cancelled_in_queue_;
+  MaybePurgeCancelled();
+}
+
+void Simulation::MaybePurgeCancelled() {
+  static constexpr size_t kMinCancelled = 64;
+  if (cancelled_in_queue_ < kMinCancelled) return;
+  if (cancelled_in_queue_ * 4 < heap_.size()) return;
+  auto keep = heap_.begin();
+  for (auto it = heap_.begin(); it != heap_.end(); ++it) {
+    if (it->slot->cancelled) {
+      ReleaseQueueRef(it->slot);
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  heap_.erase(keep, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  cancelled_in_queue_ = 0;
+}
+
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.slot->cancelled) continue;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (ev.slot->cancelled) {
+      --cancelled_in_queue_;
+      ReleaseQueueRef(ev.slot);
+      continue;
+    }
     now_ = ev.time;
     ev.slot->fired = true;
+    ReleaseQueueRef(ev.slot);
     ++events_fired_;
     ev.fn();
     return true;
@@ -46,13 +113,16 @@ uint64_t Simulation::Run(uint64_t max_events) {
 
 uint64_t Simulation::RunUntil(SimTime until) {
   uint64_t fired = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    if (ev.slot->cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    if (heap_.front().slot->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      Event ev = std::move(heap_.back());
+      heap_.pop_back();
+      --cancelled_in_queue_;
+      ReleaseQueueRef(ev.slot);
       continue;
     }
-    if (ev.time > until) break;
+    if (heap_.front().time > until) break;
     if (Step()) ++fired;
   }
   if (now_ < until) now_ = until;

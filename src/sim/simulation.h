@@ -1,45 +1,255 @@
 #ifndef DMR_SIM_SIMULATION_H_
 #define DMR_SIM_SIMULATION_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 
 namespace dmr::sim {
 
+class Simulation;
+
+namespace internal {
+
+/// \brief A move-only callable with small-buffer optimization, used in place
+/// of std::function on the event hot path.
+///
+/// Callables that are trivially copyable and fit in kInlineBytes are stored
+/// inline (no allocation, moves are byte copies); anything else falls back to
+/// a single heap allocation. Event callbacks in this codebase overwhelmingly
+/// capture a `this` pointer plus a couple of scalars, so the inline path is
+/// the common case. The buffer is deliberately small: events live inside the
+/// priority-queue heap, and every extra byte here is moved on each sift.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 24;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(void*) &&
+                  std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_.inline_bytes))
+          Fn(std::forward<F>(f));
+      invoke_ = [](EventCallback* self) {
+        (*std::launder(
+            reinterpret_cast<Fn*>(self->storage_.inline_bytes)))();
+      };
+      destroy_ = nullptr;
+    } else {
+      storage_.heap = new Fn(std::forward<F>(f));
+      invoke_ = [](EventCallback* self) {
+        (*static_cast<Fn*>(self->storage_.heap))();
+      };
+      destroy_ = [](EventCallback* self) {
+        delete static_cast<Fn*>(self->storage_.heap);
+      };
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept
+      : storage_(other.storage_),
+        invoke_(other.invoke_),
+        destroy_(other.destroy_) {
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      storage_ = other.storage_;
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { invoke_(this); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void Reset() {
+    if (destroy_) destroy_(this);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  union Storage {
+    alignas(void*) unsigned char inline_bytes[kInlineBytes];
+    void* heap;
+  } storage_;
+  void (*invoke_)(EventCallback*) = nullptr;
+  void (*destroy_)(EventCallback*) = nullptr;
+};
+
+class EventSlotPool;
+
+/// \brief Cancellation state shared between a queued event and its handles.
+///
+/// Slots are allocated from an EventSlotPool free list and intrusively
+/// ref-counted: the event queue holds one reference while the event is
+/// pending, and each live EventHandle holds one. Refcounts are NOT atomic —
+/// a Simulation and all handles derived from it must stay on one thread
+/// (the determinism contract; see DESIGN.md).
+struct EventSlot {
+  uint32_t refs = 0;
+  bool cancelled = false;
+  bool fired = false;
+  /// Owning simulation while the event is queued; null once the event fired,
+  /// was purged, or the simulation was destroyed. Used to maintain the
+  /// cancelled-in-queue counter that drives batched purging.
+  Simulation* owner = nullptr;
+  EventSlotPool* pool = nullptr;
+  EventSlot* next_free = nullptr;
+};
+
+/// \brief A chunked free-list allocator for EventSlots.
+///
+/// The pool itself is ref-counted: one reference is held by the owning
+/// Simulation and one by every live slot, so slot memory stays valid even
+/// when an EventHandle outlives the Simulation it came from.
+class EventSlotPool {
+ public:
+  /// Creates a pool holding one owner reference (dropped via DropOwnerRef).
+  static EventSlotPool* Create() { return new EventSlotPool(); }
+
+  /// Returns a fresh slot with refs == 0; the pool gains one reference that
+  /// is returned when the slot goes back on the free list.
+  EventSlot* Acquire() {
+    if (free_ == nullptr) Grow();
+    EventSlot* slot = free_;
+    free_ = slot->next_free;
+    ++refs_;
+    slot->refs = 0;
+    slot->cancelled = false;
+    slot->fired = false;
+    slot->owner = nullptr;
+    return slot;
+  }
+
+  void ReleaseSlot(EventSlot* slot) {
+    slot->next_free = free_;
+    free_ = slot;
+    Unref();
+  }
+
+  void DropOwnerRef() { Unref(); }
+
+ private:
+  static constexpr std::size_t kChunkSlots = 256;
+
+  EventSlotPool() = default;
+  ~EventSlotPool() = default;
+
+  void Unref() {
+    if (--refs_ == 0) delete this;
+  }
+
+  void Grow();
+
+  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+  EventSlot* free_ = nullptr;
+  uint64_t refs_ = 1;  // the owner reference
+};
+
+inline void SlotAddRef(EventSlot* slot) { ++slot->refs; }
+
+inline void SlotRelease(EventSlot* slot) {
+  if (--slot->refs == 0) slot->pool->ReleaseSlot(slot);
+}
+
+}  // namespace internal
+
 /// \brief Opaque handle to a scheduled event; allows cancellation.
+///
+/// Handles are cheap to copy (an intrusive refcount bump) and may safely
+/// outlive the Simulation that issued them: the underlying slot storage is
+/// kept alive by the handle's reference.
 class EventHandle {
  public:
   EventHandle() = default;
 
+  EventHandle(const EventHandle& other) : slot_(other.slot_) {
+    if (slot_) internal::SlotAddRef(slot_);
+  }
+  EventHandle& operator=(const EventHandle& other) {
+    if (this != &other) {
+      if (other.slot_) internal::SlotAddRef(other.slot_);
+      if (slot_) internal::SlotRelease(slot_);
+      slot_ = other.slot_;
+    }
+    return *this;
+  }
+  EventHandle(EventHandle&& other) noexcept : slot_(other.slot_) {
+    other.slot_ = nullptr;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      if (slot_) internal::SlotRelease(slot_);
+      slot_ = other.slot_;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~EventHandle() {
+    if (slot_) internal::SlotRelease(slot_);
+  }
+
   /// True if the handle refers to an event that has neither fired nor been
   /// cancelled yet.
-  bool pending() const;
+  bool pending() const {
+    return slot_ && !slot_->cancelled && !slot_->fired;
+  }
 
   /// Cancels the event if still pending; safe to call repeatedly.
   void Cancel();
 
  private:
   friend class Simulation;
-  struct Slot {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<Slot> slot) : slot_(std::move(slot)) {}
-  std::shared_ptr<Slot> slot_;
+  explicit EventHandle(internal::EventSlot* slot) : slot_(slot) {
+    internal::SlotAddRef(slot_);
+  }
+  internal::EventSlot* slot_ = nullptr;
 };
 
 /// \brief A deterministic discrete-event simulation kernel.
 ///
 /// Events are (time, sequence) ordered; ties break by insertion order so a
 /// run is exactly reproducible. Callbacks may schedule further events.
+///
+/// A Simulation is single-threaded by contract: all scheduling, running and
+/// handle operations must happen on one thread. Independent Simulations on
+/// different threads (one per experiment cell) are fully isolated — this is
+/// the determinism contract the parallel experiment harness relies on.
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = internal::EventCallback;
+
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   /// Current virtual time in seconds.
   SimTime Now() const { return now_; }
@@ -59,19 +269,27 @@ class Simulation {
   /// empties earlier.
   uint64_t RunUntil(SimTime until);
 
-  /// Number of events currently queued (including cancelled placeholders).
-  size_t queue_size() const { return queue_.size(); }
+  /// Number of events currently queued (including cancelled placeholders
+  /// not yet purged).
+  size_t queue_size() const { return heap_.size(); }
 
   uint64_t events_fired() const { return events_fired_; }
 
+  /// Lazily-cancelled events still occupying the queue.
+  size_t cancelled_in_queue() const { return cancelled_in_queue_; }
+
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime time;
     uint64_t seq;
     Callback fn;
-    std::shared_ptr<EventHandle::Slot> slot;
+    internal::EventSlot* slot;  // queue's reference, released explicitly
   };
-  struct EventCompare {
+  /// Heap comparator for std::push_heap/pop_heap (max-heap semantics, so
+  /// "after" ordering yields the earliest event at the front).
+  struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
@@ -81,10 +299,23 @@ class Simulation {
   /// Pops and fires the next non-cancelled event; returns false if none.
   bool Step();
 
+  /// Called by EventHandle::Cancel for a still-queued event.
+  void OnCancelled();
+
+  /// Rebuilds the heap without the cancelled events once they exceed a
+  /// quarter of the queue (and a minimum count, to avoid churn on tiny
+  /// queues).
+  void MaybePurgeCancelled();
+
+  /// Drops the queue's reference on a slot that is leaving the queue.
+  void ReleaseQueueRef(internal::EventSlot* slot);
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  size_t cancelled_in_queue_ = 0;
+  std::vector<Event> heap_;
+  internal::EventSlotPool* pool_;
 };
 
 }  // namespace dmr::sim
