@@ -98,6 +98,7 @@ Result<double> MultiUserThroughput(const std::string& kind, double z) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "ablate_adaptive");
   bench::PrintHeader(
       "Extension: runtime-adaptive policy vs static Table I policies",
       "Grover & Carey, ICDE 2012, Section VII (future work)",

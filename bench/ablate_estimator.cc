@@ -70,6 +70,7 @@ Result<Row> RunOne(const std::string& policy_name, bool use_estimator,
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "ablate_estimator");
   bench::PrintHeader(
       "Ablation: online selectivity estimation on/off",
       "DESIGN.md ablation #2 (supports the paper's Section IV estimator)",

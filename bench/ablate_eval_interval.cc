@@ -48,6 +48,7 @@ Result<double> RunWithInterval(double interval, int run) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "ablate_eval_interval");
   bench::PrintHeader(
       "Ablation: evaluation interval sweep (LA policy, 20x, z=1)",
       "DESIGN.md ablation #3 (supports the paper's 4 s choice)",

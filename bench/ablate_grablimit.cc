@@ -58,6 +58,7 @@ Result<Row> RunWith(const dynamic::GrowthPolicy& policy) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "ablate_grablimit");
   bench::PrintHeader(
       "Ablation: grab-limit form (fixed sizes vs cluster-coupled "
       "expressions)",

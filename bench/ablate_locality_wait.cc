@@ -89,6 +89,7 @@ Result<Row> RunWithWait(double wait) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "ablate_locality_wait");
   bench::PrintHeader(
       "Ablation: Fair Scheduler locality-wait sweep (hetero workload, LA)",
       "DESIGN.md ablation #4 (the dial behind Section V-F)",

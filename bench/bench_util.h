@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +14,10 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 
 namespace dmr::bench {
 
@@ -41,12 +46,22 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
 
 /// \brief Command-line options shared by every bench driver.
 ///
-/// --threads=N   experiment-cell parallelism (0 or "auto" = all hardware
-///               threads; 1 = the historical serial behaviour)
-/// --json=FILE   additionally emit per-cell results as a JSON array
+/// --threads=N    experiment-cell parallelism (0 or "auto" = all hardware
+///                threads; 1 = the historical serial behaviour)
+/// --json=FILE    additionally emit per-cell results as a JSON array
+/// --trace=FILE   record a Chrome trace-event file of every simulated
+///                cluster (open in Perfetto / chrome://tracing)
+/// --metrics=FILE emit the unified metrics report (counters + latency
+///                histogram percentiles) as JSON, plus a text summary
 struct BenchOptions {
   int threads = 0;
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
+
+  bool obs_enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
 
   /// Parses the shared flags; unknown --flags abort with usage, bare
   /// positional arguments are left for the driver (returned indices are
@@ -72,10 +87,15 @@ struct BenchOptions {
         }
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         options.json_path = arg + 7;
+      } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+        options.trace_path = arg + 8;
+      } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        options.metrics_path = arg + 10;
       } else if (std::strncmp(arg, "--", 2) == 0) {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N|auto] "
-                     "[--json=FILE] [driver args]\n",
+                     "[--json=FILE] [--trace=FILE] [--metrics=FILE] "
+                     "[driver args]\n",
                      arg, argv[0]);
         std::exit(2);
       } else {
@@ -192,6 +212,65 @@ class JsonWriter {
 
  private:
   std::deque<Cell> cells_;
+};
+
+/// \brief The driver-side observability session behind --trace/--metrics.
+///
+/// Construct one right after BenchOptions::Parse; it installs the global
+/// obs::Hub so every Testbed the driver creates (including from worker
+/// threads) auto-attaches a per-cell Scope. Finish() — also run by the
+/// destructor — snapshots the metrics into a Report, writes the requested
+/// files and uninstalls the hub. With neither flag given the session is
+/// inert and costs nothing.
+class ObsSession {
+ public:
+  ObsSession(const BenchOptions& options, std::string driver)
+      : driver_(std::move(driver)),
+        trace_path_(options.trace_path),
+        metrics_path_(options.metrics_path) {
+    if (!options.obs_enabled()) return;
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    if (!trace_path_.empty()) {
+      recorder_ = std::make_unique<obs::TraceRecorder>();
+    }
+    obs::Hub::Install(registry_.get(), recorder_.get());
+    installed_ = true;
+  }
+
+  ~ObsSession() { Finish(); }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes the trace / metrics outputs (idempotent). Must only run after
+  /// all experiment cells completed (no concurrent Testbeds).
+  void Finish() {
+    if (!installed_) return;
+    installed_ = false;
+    obs::Hub::Uninstall();
+    if (recorder_ != nullptr) {
+      CheckOk(recorder_->WriteJson(trace_path_), "trace output");
+      std::printf("\ntrace written to %s (%zu events, %zu cells)\n",
+                  trace_path_.c_str(), recorder_->num_events(),
+                  recorder_->num_streams());
+    }
+    obs::Report report;
+    report.SetInfo("driver", driver_);
+    report.SetSnapshot(registry_->TakeSnapshot());
+    std::printf("\n%s", report.ToText().c_str());
+    if (!metrics_path_.empty()) {
+      CheckOk(report.WriteJson(metrics_path_), "metrics output");
+      std::printf("metrics report written to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string driver_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+  bool installed_ = false;
 };
 
 /// Writes the collected cells when --json=FILE was given; dies on IO error.

@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "fig4_skew");
   bench::PrintHeader(
       "Figure 4: distribution of matching records across partitions (5x)",
       "Grover & Carey, ICDE 2012, Fig. 4",

@@ -66,6 +66,7 @@ Result<CellResult> RunCell(const std::string& policy_name, int scale,
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "fig5_single_user");
   bench::PrintHeader(
       "Figure 5: single-user workload",
       "Grover & Carey, ICDE 2012, Fig. 5 (a)-(d)",

@@ -90,6 +90,7 @@ Result<PolicyResult> RunPolicy(const std::string& policy_name, double z) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "fig6_homogeneous");
   bench::PrintHeader(
       "Figure 6: homogeneous multi-user workload (10 users, 100x data)",
       "Grover & Carey, ICDE 2012, Fig. 6",

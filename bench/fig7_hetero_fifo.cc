@@ -85,6 +85,7 @@ void RunFigure(testbed::SchedulerKind scheduler,
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "fig7_hetero_fifo");
   bench::PrintHeader(
       "Figure 7: heterogeneous workload, default (FIFO) scheduler",
       "Grover & Carey, ICDE 2012, Fig. 7 (a), (b)",

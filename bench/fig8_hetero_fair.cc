@@ -72,6 +72,7 @@ void RunFigure(const bench::BenchOptions& options) {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "fig8_hetero_fair");
   bench::PrintHeader(
       "Figure 8: heterogeneous workload, Fair Scheduler",
       "Grover & Carey, ICDE 2012, Fig. 8 (a), (b)",

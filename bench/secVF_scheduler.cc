@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "secVF_scheduler");
   bench::PrintHeader(
       "Section V-F: scheduler impact on locality and occupancy",
       "Grover & Carey, ICDE 2012, Section V-F",

@@ -24,6 +24,7 @@ struct StateRow {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "table1_policies");
   bench::PrintHeader("Table I: policies for incremental processing of input",
                      "Grover & Carey, ICDE 2012, Table I",
                      "five policies from Hadoop (unbounded) to C "

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "table2_datasets");
   bench::PrintHeader(
       "Table II: test dataset properties",
       "Grover & Carey, ICDE 2012, Table II",

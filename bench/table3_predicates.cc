@@ -31,6 +31,7 @@ struct PredicateCell {
 int main(int argc, char** argv) {
   using namespace dmr;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(options, "table3_predicates");
   bench::PrintHeader(
       "Table III: predicates and the associated skew",
       "Grover & Carey, ICDE 2012, Table III",

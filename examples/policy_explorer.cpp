@@ -6,7 +6,8 @@
 /// evaluations. The per-policy runs are independent simulations and fan
 /// out across hardware threads (DMR_THREADS caps the worker count).
 ///
-/// Usage: policy_explorer [scale] [zipf_z]
+/// Usage: policy_explorer [--trace=FILE] [--metrics=FILE] [--threads=N]
+///                        [scale] [zipf_z]
 ///   scale   TPC-H scale factor (default 20)
 ///   zipf_z  skew of the matching-record distribution: 0, 1 or 2
 ///           (default 1)
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "dynamic/growth_policy.h"
 #include "exec/parallel.h"
@@ -70,6 +72,8 @@ dmr::Result<dmr::mapred::JobStats> RunPolicy(
 
 int main(int argc, char** argv) {
   using namespace dmr;
+  bench::BenchOptions bench_options = bench::BenchOptions::Parse(argc, argv);
+  bench::ObsSession obs_session(bench_options, "policy_explorer");
   int scale = argc > 1 ? std::atoi(argv[1]) : 20;
   double z = argc > 2 ? std::atof(argv[2]) : 1.0;
   if (scale < 1 || (z != 0.0 && z != 1.0 && z != 2.0)) {
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
               "the simulated 10-node cluster\n\n",
               scale, z, (unsigned long long)tpch::kPaperSampleSize);
 
-  exec::ThreadPool pool;
+  exec::ThreadPool pool = bench_options.MakePool();
   auto stats = Unwrap(
       exec::ParallelMap<mapred::JobStats>(
           &pool, policies.policies().size(),

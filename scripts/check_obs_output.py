@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Schema check for the observability outputs of a bench driver run.
+
+Usage: check_obs_output.py TRACE.json METRICS.json
+
+Validates that:
+  * the trace file is Chrome trace-event JSON (traceEvents array, known
+    phase codes, complete spans carrying ts/dur/pid/tid),
+  * async begin/end events balance per (cat, id),
+  * there is at least one map-attempt span per launched map (span count
+    equals the mapred.maps_launched counter) and one provider-decision
+    instant event per provider invocation,
+  * the metrics report carries the standard counters and the task-wait
+    latency histogram with ordered p50/p95/p99.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "b", "e", "i", "C", "M"}
+
+
+def fail(message):
+    print(f"check_obs_output: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: expected an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+
+    async_depth = {}
+    stats = {"map_spans": 0, "reduce_spans": 0, "provider_instants": 0,
+             "job_spans": 0, "split_spans": 0}
+    for event in events:
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{path}: unknown phase {ph!r} in {event}")
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "name"):
+            if key not in event:
+                fail(f"{path}: {ph} event missing {key!r}: {event}")
+        cat = event.get("cat", "")
+        if ph == "X":
+            if "dur" not in event or "tid" not in event:
+                fail(f"{path}: complete span missing dur/tid: {event}")
+            if event["dur"] < 0:
+                fail(f"{path}: negative span duration: {event}")
+            if cat == "map":
+                stats["map_spans"] += 1
+            elif cat == "reduce":
+                stats["reduce_spans"] += 1
+        elif ph in ("b", "e"):
+            key = (cat, event.get("id"))
+            if key[1] is None:
+                fail(f"{path}: async event missing id: {event}")
+            async_depth[key] = async_depth.get(key, 0) + (1 if ph == "b" else -1)
+            if async_depth[key] < 0:
+                fail(f"{path}: async end before begin for {key}")
+            if ph == "b" and cat == "job":
+                stats["job_spans"] += 1
+            if ph == "b" and cat == "split":
+                stats["split_spans"] += 1
+        elif ph == "i":
+            if cat == "provider":
+                stats["provider_instants"] += 1
+
+    unbalanced = {k: v for k, v in async_depth.items() if v != 0}
+    # Splits that never completed (e.g. a driver that stops at end-of-input
+    # with maps in flight) legitimately leave open spans; jobs must close.
+    open_jobs = [k for k in unbalanced if k[0] == "job"]
+    if open_jobs:
+        fail(f"{path}: {len(open_jobs)} job spans never ended")
+    return stats
+
+
+def check_metrics(path, trace_stats):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("info", "counters", "histograms"):
+        if section not in doc:
+            fail(f"{path}: missing section {section!r}")
+    counters = doc["counters"]
+    for name in ("mapred.maps_launched", "mapred.maps_completed",
+                 "mapred.jobs_submitted", "mapred.heartbeats"):
+        if name not in counters:
+            fail(f"{path}: missing counter {name!r}")
+    if counters["mapred.maps_launched"] <= 0:
+        fail(f"{path}: no maps launched; the run recorded nothing")
+
+    hists = {h.get("name"): h for h in doc["histograms"]}
+    for name in ("mapred.task_wait", "mapred.task_run",
+                 "mapred.heartbeat_assign", "provider.decision"):
+        if name not in hists:
+            fail(f"{path}: missing histogram {name!r}")
+        h = hists[name]
+        for key in ("unit", "count", "p50", "p95", "p99", "max"):
+            if key not in h:
+                fail(f"{path}: histogram {name} missing {key!r}")
+        if not (h["p50"] <= h["p95"] <= h["p99"] <= h["max"]):
+            fail(f"{path}: histogram {name} percentiles out of order: {h}")
+    if hists["mapred.task_wait"]["count"] <= 0:
+        fail(f"{path}: task_wait histogram is empty")
+
+    # Cross-check trace against counters: one span per map attempt, one
+    # instant per provider decision.
+    if trace_stats["map_spans"] != counters["mapred.maps_launched"]:
+        fail(f"map spans ({trace_stats['map_spans']}) != "
+             f"mapred.maps_launched ({counters['mapred.maps_launched']})")
+    decisions = hists["provider.decision"]["count"]
+    if trace_stats["provider_instants"] != decisions:
+        fail(f"provider instants ({trace_stats['provider_instants']}) != "
+             f"provider.decision count ({decisions})")
+    if trace_stats["job_spans"] != counters["mapred.jobs_submitted"]:
+        fail(f"job spans ({trace_stats['job_spans']}) != "
+             f"mapred.jobs_submitted ({counters['mapred.jobs_submitted']})")
+    return counters
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    trace_stats = check_trace(sys.argv[1])
+    counters = check_metrics(sys.argv[2], trace_stats)
+    print(f"check_obs_output: OK "
+          f"({trace_stats['map_spans']} map spans, "
+          f"{trace_stats['provider_instants']} provider decisions, "
+          f"{counters['mapred.maps_launched']} maps launched)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,14 +15,24 @@ cmake --build --preset default -j "${jobs}"
 echo "== tier-1: full test suite =="
 ctest --preset default -j "${jobs}"
 
+echo "== tier-1: observability outputs (--trace/--metrics schema check) =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "${obs_dir}"' EXIT
+./build/bench/bench_fig5_single_user \
+  --trace="${obs_dir}/trace.json" --metrics="${obs_dir}/metrics.json" \
+  > "${obs_dir}/stdout.txt"
+python3 scripts/check_obs_output.py \
+  "${obs_dir}/trace.json" "${obs_dir}/metrics.json"
+
 if [[ "${1:-}" == "--no-tsan" ]]; then
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
   exit 0
 fi
 
-echo "== tier-1: ThreadSanitizer pass (pool + kernel tests) =="
+echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics tests) =="
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target parallel_test simulation_test
+cmake --build --preset tsan -j "${jobs}" \
+  --target parallel_test simulation_test metrics_test
 ctest --preset tsan
 
 echo "== tier-1: OK =="

@@ -9,7 +9,9 @@ namespace dmr::cluster {
 Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id)
     : id_(node_id),
       map_slots_(config.map_slots_per_node),
-      reduce_slots_(config.reduce_slots_per_node) {
+      reduce_slots_(config.reduce_slots_per_node),
+      map_slot_busy_(static_cast<size_t>(config.map_slots_per_node), false),
+      sim_(sim) {
   cpu_ = std::make_unique<sim::PsResource>(
       sim, "node" + std::to_string(node_id) + ".cpu",
       static_cast<double>(config.cores_per_node), /*per_request_cap=*/1.0);
@@ -22,14 +24,35 @@ Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id)
   }
 }
 
-void Node::AcquireMapSlot() {
-  DMR_CHECK_LT(used_map_slots_, map_slots_) << "node " << id_;
-  ++used_map_slots_;
+void Node::EmitSlotOccupancy() {
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    obs_->trace()->Counter(sim_->Now(), id_, "map_slots", "used",
+                           static_cast<double>(used_map_slots_));
+  }
 }
 
-void Node::ReleaseMapSlot() {
+int Node::AcquireMapSlot() {
+  DMR_CHECK_LT(used_map_slots_, map_slots_) << "node " << id_;
+  ++used_map_slots_;
+  for (int s = 0; s < map_slots_; ++s) {
+    if (!map_slot_busy_[s]) {
+      map_slot_busy_[s] = true;
+      EmitSlotOccupancy();
+      return s;
+    }
+  }
+  DMR_CHECK(false) << "node " << id_ << ": slot count out of sync";
+  return -1;
+}
+
+void Node::ReleaseMapSlot(int slot) {
   DMR_CHECK_GT(used_map_slots_, 0) << "node " << id_;
+  DMR_CHECK_GE(slot, 0) << "node " << id_;
+  DMR_CHECK_LT(slot, map_slots_) << "node " << id_;
+  DMR_CHECK(map_slot_busy_[slot]) << "node " << id_ << " slot " << slot;
+  map_slot_busy_[slot] = false;
   --used_map_slots_;
+  EmitSlotOccupancy();
 }
 
 void Node::AcquireReduceSlot() {

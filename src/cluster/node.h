@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cluster_config.h"
+#include "obs/scope.h"
 #include "sim/ps_resource.h"
 #include "sim/simulation.h"
 
@@ -35,18 +36,29 @@ class Node {
   int free_map_slots() const { return map_slots_ - used_map_slots_; }
   int free_reduce_slots() const { return reduce_slots_ - used_reduce_slots_; }
 
-  /// Slot acquisition; callers must check availability first.
-  void AcquireMapSlot();
-  void ReleaseMapSlot();
+  /// Acquires the lowest-numbered free map slot and returns its index
+  /// (stable per-slot identity — the trace renders one lane per slot).
+  /// Callers must check availability first.
+  int AcquireMapSlot();
+  void ReleaseMapSlot(int slot);
   void AcquireReduceSlot();
   void ReleaseReduceSlot();
 
+  /// Attaches observability (nullable; emits a per-node slot-occupancy
+  /// counter track when a trace stream is present).
+  void set_obs(obs::Scope* obs) { obs_ = obs; }
+
  private:
+  void EmitSlotOccupancy();
+
   int id_;
   int map_slots_;
   int reduce_slots_;
   int used_map_slots_ = 0;
   int used_reduce_slots_ = 0;
+  std::vector<bool> map_slot_busy_;
+  sim::Simulation* sim_;
+  obs::Scope* obs_ = nullptr;
   std::unique_ptr<sim::PsResource> cpu_;
   std::vector<std::unique_ptr<sim::PsResource>> disks_;
 };

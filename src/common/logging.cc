@@ -1,12 +1,31 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dmr {
 
 namespace {
-std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+
+/// -1 marks "not yet initialized from DMR_LOG_LEVEL".
+constexpr int kThresholdUnset = -1;
+std::atomic<int> g_threshold{kThresholdUnset};
+
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("DMR_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  std::optional<LogLevel> parsed = Logging::ParseLevel(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "[WARN logging] ignoring DMR_LOG_LEVEL='%s' "
+                 "(expected debug|info|warn|error|off)\n",
+                 env);
+    return LogLevel::kWarn;
+  }
+  return *parsed;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,11 +45,36 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 LogLevel Logging::threshold() {
-  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+  int value = g_threshold.load(std::memory_order_relaxed);
+  if (value == kThresholdUnset) {
+    int from_env = static_cast<int>(ThresholdFromEnv());
+    // Lose the race gracefully: whoever published first (another thread's
+    // env read or an explicit set_threshold) wins.
+    if (g_threshold.compare_exchange_strong(value, from_env,
+                                            std::memory_order_relaxed)) {
+      value = from_env;
+    }
+  }
+  return static_cast<LogLevel>(value);
 }
 
 void Logging::set_threshold(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> Logging::ParseLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
 }
 
 namespace internal {

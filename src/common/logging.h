@@ -2,6 +2,7 @@
 #define DMR_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,11 +14,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// \brief Process-wide logging configuration.
 ///
 /// Logging defaults to kWarn so that library consumers and benchmark
-/// binaries are quiet unless they opt in.
+/// binaries are quiet unless they opt in. The initial threshold can be
+/// overridden without a rebuild through the DMR_LOG_LEVEL environment
+/// variable (debug | info | warn | error | off, case-insensitive); it is
+/// read once, on first use, and an explicit set_threshold() always wins
+/// afterwards. Messages below the threshold never evaluate their stream
+/// arguments (DMR_LOG expands to a dead branch).
 class Logging {
  public:
   static LogLevel threshold();
   static void set_threshold(LogLevel level);
+
+  /// Parses a level name ("debug", "info", "warn"/"warning", "error",
+  /// "off"/"none", any case); nullopt for anything else.
+  static std::optional<LogLevel> ParseLevel(const std::string& name);
 };
 
 namespace internal {

@@ -1,6 +1,7 @@
 #include "common/time_series.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dmr {
 
@@ -20,6 +21,26 @@ double TimeSeries::Max() const {
   double best = 0.0;
   for (const auto& p : points_) best = std::max(best, p.value);
   return best;
+}
+
+double TimeSeries::Min() const {
+  if (points_.empty()) return 0.0;
+  double best = points_.front().value;
+  for (const auto& p : points_) best = std::min(best, p.value);
+  return best;
+}
+
+double TimeSeries::Percentile(double q) const {
+  if (points_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  std::vector<double> values;
+  values.reserve(points_.size());
+  for (const auto& p : points_) values.push_back(p.value);
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(values.size())));
+  if (rank > 0) --rank;  // 1-based rank -> index
+  return values[rank];
 }
 
 }  // namespace dmr

@@ -31,6 +31,14 @@ class TimeSeries {
 
   double Max() const;
 
+  /// Smallest value in the series (0 when empty, matching Max).
+  double Min() const;
+
+  /// Nearest-rank percentile of the values, q in [0, 100] (clamped):
+  /// the value at 1-based sorted rank ceil(q/100 * n). 0 when empty.
+  /// Percentile(0) == Min(), Percentile(100) == Max().
+  double Percentile(double q) const;
+
   void Clear() { points_.clear(); }
 
  private:

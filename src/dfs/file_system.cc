@@ -74,7 +74,17 @@ Result<FileInfo> FileSystem::CreateFile(const std::string& name,
     file.partitions.push_back(p);
   }
   files_[name] = file;
+  CountPlacement(file);
   return file;
+}
+
+void FileSystem::CountPlacement(const FileInfo& file) {
+  if (obs_ == nullptr) return;
+  const obs::StandardMetrics& m = obs_->m();
+  obs_->Count(m.dfs_files_created);
+  obs_->Count(m.dfs_partitions_placed, file.num_partitions());
+  obs_->Count(m.dfs_bytes_placed,
+              static_cast<int64_t>(file.total_bytes()));
 }
 
 Status FileSystem::AddFile(FileInfo file) {
@@ -88,6 +98,7 @@ Status FileSystem::AddFile(FileInfo file) {
                                      " placed outside the cluster grid");
     }
   }
+  CountPlacement(file);
   files_[file.name] = std::move(file);
   return Status::OK();
 }

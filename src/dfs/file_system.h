@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/scope.h"
 
 namespace dmr::dfs {
 
@@ -103,9 +104,17 @@ class FileSystem {
   int num_nodes() const { return num_nodes_; }
   int disks_per_node() const { return disks_per_node_; }
 
+  /// Attaches observability (nullable; counts files/partitions/bytes
+  /// entering the namespace when set).
+  void set_obs(obs::Scope* obs) { obs_ = obs; }
+
  private:
+  /// Counts one registered file's placement into the dfs.* metrics.
+  void CountPlacement(const FileInfo& file);
+
   int num_nodes_;
   int disks_per_node_;
+  obs::Scope* obs_ = nullptr;
   std::map<std::string, FileInfo> files_;
 };
 

@@ -67,6 +67,14 @@ InputResponse AdaptiveInputProvider::GetInitialInput(
 
 InputResponse AdaptiveInputProvider::Evaluate(const JobProgress& progress,
                                               const ClusterStatus& cluster) {
+  InputResponse response = EvaluateImpl(progress, cluster);
+  response.WithDiagnostic("skew_cv", skew_cv_)
+      .WithDiagnostic("grab_limit", static_cast<double>(last_grab_limit_));
+  return response;
+}
+
+InputResponse AdaptiveInputProvider::EvaluateImpl(
+    const JobProgress& progress, const ClusterStatus& cluster) {
   DMR_CHECK(initialized_);
 
   // Update the per-evaluation yield history (the skew signal).

@@ -60,6 +60,11 @@ class AdaptiveInputProvider : public mapred::InputProvider {
   }
 
  private:
+  /// The decision logic proper; Evaluate wraps it to attach the decision
+  /// diagnostics (skew CV, grab limit) to the response.
+  mapred::InputResponse EvaluateImpl(const mapred::JobProgress& progress,
+                                     const mapred::ClusterStatus& cluster);
+
   /// Load-adaptive grab limit: AS^2 / TS, floored at options_.min_grab.
   int64_t LoadScaledGrab(const mapred::ClusterStatus& cluster) const;
 

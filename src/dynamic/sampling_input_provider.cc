@@ -62,6 +62,16 @@ InputResponse SamplingInputProvider::GetInitialInput(
 
 InputResponse SamplingInputProvider::Evaluate(const JobProgress& progress,
                                               const ClusterStatus& cluster) {
+  InputResponse response = EvaluateImpl(progress, cluster);
+  response
+      .WithDiagnostic("selectivity_estimate", estimated_selectivity_)
+      .WithDiagnostic("grab_limit",
+                      static_cast<double>(policy_.GrabLimit(cluster)));
+  return response;
+}
+
+InputResponse SamplingInputProvider::EvaluateImpl(
+    const JobProgress& progress, const ClusterStatus& cluster) {
   DMR_CHECK(initialized_);
 
   // Completed maps already found enough matching records.

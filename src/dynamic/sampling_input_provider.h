@@ -60,6 +60,11 @@ class SamplingInputProvider : public mapred::InputProvider {
   }
 
  private:
+  /// The decision logic proper; Evaluate wraps it to attach the decision
+  /// diagnostics (selectivity estimate, grab limit) to the response.
+  mapred::InputResponse EvaluateImpl(const mapred::JobProgress& progress,
+                                     const mapred::ClusterStatus& cluster);
+
   /// Draws up to `count` splits uniformly without replacement.
   std::vector<mapred::InputSplit> DrawSplits(int64_t count);
 

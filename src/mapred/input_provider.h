@@ -1,6 +1,8 @@
 #ifndef DMR_MAPRED_INPUT_PROVIDER_H_
 #define DMR_MAPRED_INPUT_PROVIDER_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -27,15 +29,32 @@ struct InputResponse {
   InputResponseKind kind = InputResponseKind::kNoInputAvailable;
   /// Populated only for kInputAvailable.
   std::vector<InputSplit> splits;
+  /// Optional named decision diagnostics (e.g. the provider's selectivity
+  /// estimate, grab limit, observed skew). Purely observational: the
+  /// JobClient forwards them to trace/metric sinks and otherwise ignores
+  /// them, keeping the tracker/client agnostic of provider internals.
+  std::vector<std::pair<std::string, double>> diagnostics;
+
+  InputResponse& WithDiagnostic(std::string name, double value) {
+    diagnostics.emplace_back(std::move(name), value);
+    return *this;
+  }
 
   static InputResponse EndOfInput() {
-    return {InputResponseKind::kEndOfInput, {}};
+    InputResponse response;
+    response.kind = InputResponseKind::kEndOfInput;
+    return response;
   }
   static InputResponse NoInput() {
-    return {InputResponseKind::kNoInputAvailable, {}};
+    InputResponse response;
+    response.kind = InputResponseKind::kNoInputAvailable;
+    return response;
   }
   static InputResponse Available(std::vector<InputSplit> splits) {
-    return {InputResponseKind::kInputAvailable, std::move(splits)};
+    InputResponse response;
+    response.kind = InputResponseKind::kInputAvailable;
+    response.splits = std::move(splits);
+    return response;
   }
 };
 

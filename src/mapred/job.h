@@ -132,6 +132,11 @@ class Job {
   bool delay_waiting = false;
   double delay_wait_start = 0.0;
 
+  // --- tracker scratch state (observability) -----------------------------
+
+  /// Virtual time the reduce task launched (feeds its trace span).
+  double reduce_launch_time = 0.0;
+
  private:
   int id_;
   JobConf conf_;

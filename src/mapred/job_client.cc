@@ -1,10 +1,66 @@
 #include "mapred/job_client.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
 namespace dmr::mapred {
+
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+SteadyTime DecisionStart(const obs::Scope* obs) {
+  return obs != nullptr ? std::chrono::steady_clock::now() : SteadyTime();
+}
+
+/// Records one Input Provider decision: counters by kind, host wall-clock
+/// decision latency, gauges from well-known diagnostics, and an instant
+/// trace event on the client track carrying every diagnostic as an arg.
+void RecordProviderDecision(obs::Scope* obs, double now, int job_id,
+                            const InputResponse& response, SteadyTime t0,
+                            bool initial) {
+  if (obs == nullptr) return;
+  const obs::StandardMetrics& m = obs->m();
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  obs->Observe(m.provider_decision, us);
+  if (!initial) obs->Count(m.provider_evaluations);
+  switch (response.kind) {
+    case InputResponseKind::kInputAvailable:
+      obs->Count(m.provider_grows);
+      break;
+    case InputResponseKind::kNoInputAvailable:
+      obs->Count(m.provider_waits);
+      break;
+    case InputResponseKind::kEndOfInput:
+      obs->Count(m.provider_end_of_input);
+      break;
+  }
+  for (const auto& [name, value] : response.diagnostics) {
+    if (name == "selectivity_estimate") {
+      obs->SetGauge(m.selectivity_estimate, value);
+    } else if (name == "skew_cv") {
+      obs->SetGauge(m.observed_skew_cv, value);
+    }
+  }
+  if (obs::TraceStream* trace = obs->trace()) {
+    obs::TraceArgs args;
+    args.Set("job", job_id);
+    args.Set("kind", InputResponseKindToString(response.kind));
+    args.Set("splits", static_cast<int64_t>(response.splits.size()));
+    args.Set("initial", initial);
+    for (const auto& [name, value] : response.diagnostics) {
+      args.Set(name, value);
+    }
+    trace->Instant(now, trace->num_pids() - 1, 0, "provider.decision",
+                   "provider", args);
+  }
+}
+
+}  // namespace
 
 const char* InputResponseKindToString(InputResponseKind kind) {
   switch (kind) {
@@ -80,8 +136,12 @@ Result<int> JobClient::Submit(JobSubmission submission,
                                  std::move(wrapped)));
   loop->job_id = job_id;
 
+  obs::Scope* obs = tracker_->obs();
+  SteadyTime t0 = DecisionStart(obs);
   InputResponse initial =
       loop->provider->GetInitialInput(tracker_->GetClusterStatus());
+  RecordProviderDecision(obs, sim_->Now(), job_id, initial, t0,
+                         /*initial=*/true);
   switch (initial.kind) {
     case InputResponseKind::kInputAvailable:
       DMR_RETURN_NOT_OK(tracker_->AddSplits(job_id, initial.splits));
@@ -138,8 +198,12 @@ void JobClient::RunEvaluation(std::shared_ptr<DynamicLoop> loop) {
   if (threshold_met || progress.starved()) {
     loop->completed_at_last_invoke = progress.maps_completed;
     ++loop->provider_evaluations;
+    obs::Scope* obs = tracker_->obs();
+    SteadyTime t0 = DecisionStart(obs);
     InputResponse response =
         loop->provider->Evaluate(progress, tracker_->GetClusterStatus());
+    RecordProviderDecision(obs, sim_->Now(), loop->job_id, response, t0,
+                           /*initial=*/false);
     switch (response.kind) {
       case InputResponseKind::kEndOfInput: {
         Status st = tracker_->FinalizeInput(loop->job_id);

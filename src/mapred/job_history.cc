@@ -39,6 +39,22 @@ std::string JobEvent::ToString() const {
   return buf;
 }
 
+std::string JobHistory::ToJson(const std::vector<JobEvent>& events) {
+  std::string out = "[";
+  char buf[160];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JobEvent& ev = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"time\": %.9g, \"job\": %d, \"kind\": \"%s\", "
+                  "\"detail\": %d, \"node\": %d}",
+                  i == 0 ? "" : ", ", ev.time, ev.job_id,
+                  JobEventKindToString(ev.kind), ev.detail, ev.node_id);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 void JobHistory::Record(double time, int job_id, JobEventKind kind,
                         int detail, int node_id) {
   events_.push_back(JobEvent{time, job_id, kind, detail, node_id});

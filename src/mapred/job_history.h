@@ -50,6 +50,12 @@ class JobHistory {
   /// Events of one job, in time order.
   std::vector<JobEvent> ForJob(int job_id) const;
 
+  /// Renders `events` as a JSON array of event objects
+  /// (`[{"time": ..., "job": ..., "kind": "...", ...}, ...]`).
+  static std::string ToJson(const std::vector<JobEvent>& events);
+  /// The whole log as JSON.
+  std::string ToJson() const { return ToJson(events_); }
+
   /// Renders an ASCII occupancy timeline for a job: one row per
   /// `bucket_seconds`, bar length = map tasks running in that bucket.
   std::string RenderTimeline(int job_id, double bucket_seconds = 5.0) const;

@@ -1,16 +1,30 @@
 #include "mapred/job_tracker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "common/logging.h"
 
 namespace dmr::mapred {
 
-JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler)
+namespace {
+
+/// Async-span id of a split ("split" category): job id in the high word so
+/// two jobs' split 0 never correlate.
+uint64_t SplitSpanId(int job_id, int split_index) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(job_id)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(split_index));
+}
+
+}  // namespace
+
+JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler,
+                       obs::Scope* obs)
     : cluster_(cluster),
       sim_(cluster->simulation()),
       scheduler_(scheduler),
+      obs_(obs),
       fault_rng_(cluster->config().fault_seed) {}
 
 void JobTracker::Start() {
@@ -57,6 +71,20 @@ Result<int> JobTracker::SubmitDynamicJob(JobConf conf, int splits_total,
   callbacks_[id] = std::move(on_complete);
   ++active_jobs_;
   history_.Record(sim_->Now(), id, JobEventKind::kSubmitted);
+  DMR_LOG(Info) << "job " << id << " submitted (user "
+                << jobs_[id]->conf().user() << ", " << splits_total
+                << " total splits) at t=" << sim_->Now();
+  if (obs_ != nullptr) {
+    obs_->Count(obs_->m().jobs_submitted);
+    if (obs::TraceStream* trace = obs_->trace()) {
+      // The client/provider track is the last pid of the cluster's stream.
+      obs::TraceArgs args;
+      args.Set("user", jobs_[id]->conf().user());
+      trace->AsyncBegin(sim_->Now(), static_cast<uint64_t>(id),
+                        trace->num_pids() - 1,
+                        "job " + std::to_string(id), "job", args);
+    }
+  }
   return id;
 }
 
@@ -67,7 +95,25 @@ Status JobTracker::AddSplits(int job_id,
     return Status::FailedPrecondition("job " + std::to_string(job_id) +
                                       ": input already finalized");
   }
-  job->AddSplits(splits);
+  if (obs_ == nullptr) {
+    job->AddSplits(splits);
+  } else {
+    // Stamp the queue time so the task-wait histogram can be fed at launch;
+    // the copy happens only with observability attached.
+    double now = sim_->Now();
+    std::vector<InputSplit> stamped = splits;
+    for (InputSplit& split : stamped) split.queued_time = now;
+    job->AddSplits(stamped);
+    obs_->Count(obs_->m().splits_added,
+                static_cast<int64_t>(stamped.size()));
+    if (obs::TraceStream* trace = obs_->trace()) {
+      for (const InputSplit& split : stamped) {
+        trace->AsyncBegin(now, SplitSpanId(job_id, split.index),
+                          split.node_id,
+                          "split " + std::to_string(split.index), "split");
+      }
+    }
+  }
   history_.Record(sim_->Now(), job_id, JobEventKind::kSplitsAdded,
                   static_cast<int>(splits.size()));
   return Status::OK();
@@ -135,9 +181,20 @@ void JobTracker::Heartbeat(int node_id) {
 
   // Fill free map slots via the pluggable scheduler.
   PruneMappingJobs();
+  if (obs_ != nullptr) obs_->Count(obs_->m().heartbeats);
   if (node->free_map_slots() > 0 && !mapping_jobs_.empty()) {
+    // Heartbeat-to-assign latency is *host* wall time of the scheduling
+    // decision (virtual time does not advance inside the callback).
+    std::chrono::steady_clock::time_point t0;
+    if (obs_ != nullptr) t0 = std::chrono::steady_clock::now();
     std::vector<MapAssignment> assignments = scheduler_->AssignMapTasks(
         mapping_jobs_, node_id, node->free_map_slots(), sim_->Now());
+    if (obs_ != nullptr) {
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      obs_->Observe(obs_->m().heartbeat_assign, us);
+    }
     DMR_CHECK_LE(static_cast<int>(assignments.size()),
                  node->free_map_slots());
     for (auto& a : assignments) {
@@ -187,10 +244,17 @@ void JobTracker::MaybeLaunchBackups(int node_id) {
 void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
                            bool local, bool backup) {
   cluster::Node* node = cluster_->node(node_id);
-  node->AcquireMapSlot();
+  int slot = node->AcquireMapSlot();
   // Backups do not change the job's split-level accounting — the split is
   // already counted as running by its original attempt.
   if (!backup) job->OnMapLaunched(split, node_id, local);
+  if (obs_ != nullptr) {
+    obs_->Count(backup ? obs_->m().backups_launched
+                       : obs_->m().maps_launched);
+    if (!backup) {
+      obs_->Observe(obs_->m().task_wait, sim_->Now() - split.queued_time);
+    }
+  }
   if (local) {
     ++total_local_maps_;
   } else {
@@ -219,6 +283,7 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   attempt->node_id = node_id;
   attempt->local = local;
   attempt->backup = backup;
+  attempt->slot = slot;
   attempt->launch_time = sim_->Now();
   running_splits_[{job->id(), split.index}].push_back(attempt);
   history_.Record(sim_->Now(), job->id(),
@@ -256,6 +321,23 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
       });
 }
 
+void JobTracker::TraceAttemptSpan(const MapAttempt& attempt,
+                                  const char* outcome) {
+  obs::TraceStream* trace = obs_->trace();
+  if (trace == nullptr) return;
+  obs::TraceArgs args;
+  args.Set("job", attempt.job->id());
+  args.Set("split", attempt.split.index);
+  args.Set("local", attempt.local);
+  args.Set("backup", attempt.backup);
+  args.Set("outcome", outcome);
+  trace->Complete(attempt.launch_time, sim_->Now() - attempt.launch_time,
+                  attempt.node_id, attempt.slot,
+                  "map j" + std::to_string(attempt.job->id()) + "/s" +
+                      std::to_string(attempt.split.index),
+                  "map", args);
+}
+
 void JobTracker::KillAttempt(const AttemptPtr& attempt) {
   DMR_CHECK(!attempt->finished);
   attempt->finished = true;
@@ -263,17 +345,26 @@ void JobTracker::KillAttempt(const AttemptPtr& attempt) {
   for (auto& [resource, request_id] : attempt->requests) {
     resource->CancelRequest(request_id);
   }
-  cluster_->node(attempt->node_id)->ReleaseMapSlot();
+  cluster_->node(attempt->node_id)->ReleaseMapSlot(attempt->slot);
   history_.Record(sim_->Now(), attempt->job->id(),
                   JobEventKind::kAttemptKilled, attempt->split.index,
                   attempt->node_id);
+  if (obs_ != nullptr) {
+    obs_->Count(obs_->m().attempts_killed);
+    TraceAttemptSpan(*attempt, "killed");
+  }
 }
 
 void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
   if (attempt->finished) return;  // lost a race with a sibling's kill
   attempt->finished = true;
-  cluster_->node(attempt->node_id)->ReleaseMapSlot();
+  cluster_->node(attempt->node_id)->ReleaseMapSlot(attempt->slot);
   Job* job = attempt->job;
+  if (obs_ != nullptr) {
+    obs_->Count(failed ? obs_->m().maps_failed : obs_->m().maps_completed);
+    obs_->Observe(obs_->m().task_run, sim_->Now() - attempt->launch_time);
+    TraceAttemptSpan(*attempt, failed ? "failed" : "ok");
+  }
 
   SplitKey key{job->id(), attempt->split.index};
   auto group_it = running_splits_.find(key);
@@ -300,6 +391,13 @@ void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
   // First successful attempt wins; kill the rest.
   for (auto& sibling : attempts) KillAttempt(sibling);
   running_splits_.erase(group_it);
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    obs_->trace()->AsyncEnd(sim_->Now(),
+                            SplitSpanId(job->id(), attempt->split.index),
+                            attempt->split.node_id,
+                            "split " + std::to_string(attempt->split.index),
+                            "split");
+  }
   job->RecordMapDuration(sim_->Now() - attempt->launch_time);
   job->OnMapCompleted(attempt->split,
                       job->ComputeMapOutput(attempt->split));
@@ -317,6 +415,8 @@ void JobTracker::LaunchReduce(Job* job, int node_id) {
   node->AcquireReduceSlot();
   history_.Record(sim_->Now(), job->id(), JobEventKind::kReduceStarted, -1,
                   node_id);
+  job->reduce_launch_time = sim_->Now();
+  if (obs_ != nullptr) obs_->Count(obs_->m().reduces_launched);
 
   const auto& config = cluster_->config();
   uint64_t output_records = job->output_records();
@@ -348,7 +448,26 @@ void JobTracker::OnReduceComplete(Job* job, int node_id) {
   --active_jobs_;
 
   history_.Record(sim_->Now(), job->id(), JobEventKind::kJobCompleted);
+  DMR_LOG(Info) << "job " << job->id() << " completed in "
+                << sim_->Now() - job->submit_time() << " s ("
+                << job->maps_completed() << " splits processed)";
+  if (obs_ != nullptr) {
+    obs_->Count(obs_->m().jobs_completed);
+    if (obs::TraceStream* trace = obs_->trace()) {
+      obs::TraceArgs args;
+      args.Set("job", job->id());
+      // Reduce tasks render on the lane after the node's map slots.
+      trace->Complete(job->reduce_launch_time,
+                      sim_->Now() - job->reduce_launch_time, node_id,
+                      cluster_->node(node_id)->map_slots(),
+                      "reduce j" + std::to_string(job->id()), "reduce", args);
+      trace->AsyncEnd(sim_->Now(), static_cast<uint64_t>(job->id()),
+                      trace->num_pids() - 1,
+                      "job " + std::to_string(job->id()), "job");
+    }
+  }
   JobStats stats = job->GetStats();
+  stats.history = history_.ForJob(job->id());
   completed_jobs_.push_back(stats);
   auto cb_it = callbacks_.find(job->id());
   CompletionCallback cb;

@@ -14,6 +14,7 @@
 #include "mapred/job_history.h"
 #include "mapred/task_scheduler.h"
 #include "mapred/types.h"
+#include "obs/scope.h"
 #include "sim/simulation.h"
 
 namespace dmr::mapred {
@@ -32,7 +33,10 @@ class JobTracker {
   using CompletionCallback = std::function<void(const JobStats&)>;
 
   /// \param scheduler  not owned; must outlive the tracker.
-  JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler);
+  /// \param obs        nullable observability scope (not owned). When null,
+  ///                   the tracker records nothing (zero-overhead-when-off).
+  JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler,
+             obs::Scope* obs = nullptr);
 
   /// Begins the per-node heartbeat cycle (staggered across nodes).
   void Start();
@@ -87,6 +91,10 @@ class JobTracker {
   /// Append-only lifecycle event log (the JobHistory analogue).
   const JobHistory& history() const { return history_; }
 
+  /// The attached observability scope, or null (shared with the JobClient
+  /// for provider-decision instrumentation).
+  obs::Scope* obs() const { return obs_; }
+
  private:
   /// One running map attempt (original or speculative backup). Attempts are
   /// killable: their outstanding resource requests are cancelled and the
@@ -98,6 +106,8 @@ class JobTracker {
     bool local = false;
     bool backup = false;
     bool finished = false;
+    /// Map slot index on node_id (trace lane), from Node::AcquireMapSlot.
+    int slot = 0;
     double launch_time = 0.0;
     sim::EventHandle startup_event;
     std::vector<std::pair<sim::PsResource*, sim::PsResource::RequestId>>
@@ -116,6 +126,8 @@ class JobTracker {
   void KillAttempt(const AttemptPtr& attempt);
   void OnReduceComplete(Job* job, int node_id);
   void CheckReduceReady(Job* job);
+  /// Emits the trace span of a finished (completed/failed/killed) attempt.
+  void TraceAttemptSpan(const MapAttempt& attempt, const char* outcome);
   void PruneMappingJobs();
   Result<Job*> FindJob(int job_id) const;
   int NextJobId() { return next_job_id_++; }
@@ -123,6 +135,7 @@ class JobTracker {
   cluster::Cluster* cluster_;
   sim::Simulation* sim_;
   TaskScheduler* scheduler_;
+  obs::Scope* obs_;
   bool started_ = false;
   Rng fault_rng_;
 

@@ -6,6 +6,7 @@
 
 #include "mapred/job.h"
 #include "mapred/types.h"
+#include "obs/scope.h"
 
 namespace dmr::mapred {
 
@@ -38,6 +39,13 @@ class TaskScheduler {
   virtual std::vector<MapAssignment> AssignMapTasks(
       const std::vector<Job*>& running_jobs, int node_id, int free_slots,
       double now) = 0;
+
+  /// Attaches observability (nullable; implementations count decisions and
+  /// delay-scheduling holds/skips when set).
+  void set_obs(obs::Scope* obs) { obs_ = obs; }
+
+ protected:
+  obs::Scope* obs_ = nullptr;
 };
 
 }  // namespace dmr::mapred

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mapred/counters.h"
+#include "mapred/job_history.h"
 
 namespace dmr::mapred {
 
@@ -33,6 +34,10 @@ struct InputSplit {
   int disk_id = 0;
   /// All replica locations, primary first; empty means primary only.
   std::vector<SplitLocation> locations;
+  /// Virtual time the split was handed to the JobTracker. Stamped by
+  /// AddSplits only when observability is attached (feeds the task-wait
+  /// latency histogram); 0 otherwise.
+  double queued_time = 0.0;
 
   /// All candidate read locations, uniformly (primary first).
   std::vector<SplitLocation> all_locations() const {
@@ -119,6 +124,9 @@ struct JobStats {
   int input_increments = 0;
   /// Hadoop-style named counters (see counters.h for the standard names).
   Counters counters;
+  /// This job's lifecycle events in time order (the JobHistory slice),
+  /// so callers can assert on ordering without reaching into the tracker.
+  std::vector<JobEvent> history;
 
   double response_time() const { return finish_time - submit_time; }
 };

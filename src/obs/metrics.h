@@ -1,0 +1,161 @@
+#ifndef DMR_OBS_METRICS_H_
+#define DMR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmr::obs {
+
+/// Typed, index-based metric handles. A handle is obtained once via
+/// Register* (which dedupes by name) and then used on the hot path: an
+/// increment through a handle is an array index plus an add — no map
+/// lookup, no string hashing, no lock.
+struct CounterHandle {
+  uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+};
+struct GaugeHandle {
+  uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+};
+struct HistogramHandle {
+  uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+};
+
+/// \brief HDR-style log-bucketed latency histogram state, merged across
+/// shards at snapshot time.
+///
+/// Values are bucketed by binary exponent with kSubBuckets linear
+/// sub-buckets per octave (~3 % relative precision at 32 sub-buckets),
+/// so merging shards is a commutative sum of bucket counts — snapshot
+/// results are deterministic regardless of which worker recorded what.
+class HistogramData {
+ public:
+  static constexpr int kSubBuckets = 32;
+  static constexpr int kMinExponent = -64;  // 2^-64 .. 2^63 value range
+  static constexpr int kMaxExponent = 63;
+  static constexpr int kNumBuckets =
+      1 + (kMaxExponent - kMinExponent + 1) * kSubBuckets;
+
+  void Observe(double value);
+  void MergeFrom(const HistogramData& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank percentile over the bucket counts, q in [0, 100].
+  /// Answers are bucket lower edges (clamped to the recorded min/max), so
+  /// two runs that observed the same multiset of values — in any order,
+  /// from any number of threads — report identical percentiles.
+  double Percentile(double q) const;
+
+ private:
+  static int BucketFor(double value);
+  static double BucketLowerEdge(int bucket);
+
+  /// Lazily sized to kNumBuckets on the first observation.
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief A registry of named counters, gauges and latency histograms with
+/// per-thread (per-ThreadPool-worker) shards.
+///
+/// Design for the simulator's hot path (heartbeats, task launches):
+///  * **Pre-registered handles.** Register* is called at setup (Scope
+///    construction) under a lock; increments then index straight into the
+///    calling thread's shard.
+///  * **Per-worker shards.** Each writer thread lazily gets its own shard
+///    (one pointer compare on the fast path via a thread-local cache), so
+///    parallel experiment cells never contend on metric cache lines.
+///  * **Deterministic merge.** TakeSnapshot sums counters and histogram
+///    buckets across shards and sorts metrics by name, so the snapshot is
+///    byte-stable for a given workload regardless of thread schedule.
+///    Gauges are last-writer-wins (a global version stamp picks the most
+///    recent set) and are the one knowingly schedule-dependent exception.
+///
+/// Threading contract: Register*/Add/Set/Observe may be called from any
+/// thread; TakeSnapshot must only run at a quiescent point (no concurrent
+/// writers — e.g. after ThreadPool::Wait()).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration dedupes by name: re-registering an existing metric of
+  /// the same type returns the original handle, so independently
+  /// constructed Scopes share one metric namespace.
+  CounterHandle RegisterCounter(std::string_view name);
+  GaugeHandle RegisterGauge(std::string_view name);
+  HistogramHandle RegisterHistogram(std::string_view name,
+                                    std::string_view unit = "s");
+
+  void Add(CounterHandle h, int64_t delta = 1);
+  void Set(GaugeHandle h, double value);
+  void Observe(HistogramHandle h, double value);
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::string unit;
+    uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+
+  struct Snapshot {
+    /// Sorted by name.
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    const int64_t* FindCounter(std::string_view name) const;
+    const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  };
+
+  /// Merges all shards; see the threading contract above.
+  Snapshot TakeSnapshot() const;
+
+  size_t num_shards() const;
+
+ private:
+  struct Shard;
+  struct GaugeCell {
+    uint64_t version = 0;
+    double value = 0.0;
+  };
+
+  Shard* ShardSlow();
+  Shard& LocalShard();
+
+  const uint64_t id_;  // process-unique, guards the thread-local cache
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::string> histogram_units_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> gauge_version_{0};
+};
+
+}  // namespace dmr::obs
+
+#endif  // DMR_OBS_METRICS_H_

@@ -1,0 +1,113 @@
+#include "obs/scope.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dmr::obs {
+
+StandardMetrics::StandardMetrics(MetricsRegistry* r) {
+  if (r == nullptr) return;
+
+  heartbeats = r->RegisterCounter("mapred.heartbeats");
+  jobs_submitted = r->RegisterCounter("mapred.jobs_submitted");
+  jobs_completed = r->RegisterCounter("mapred.jobs_completed");
+  splits_added = r->RegisterCounter("mapred.splits_added");
+  maps_launched = r->RegisterCounter("mapred.maps_launched");
+  maps_completed = r->RegisterCounter("mapred.maps_completed");
+  maps_failed = r->RegisterCounter("mapred.maps_failed");
+  backups_launched = r->RegisterCounter("mapred.backups_launched");
+  attempts_killed = r->RegisterCounter("mapred.attempts_killed");
+  reduces_launched = r->RegisterCounter("mapred.reduces_launched");
+
+  provider_evaluations = r->RegisterCounter("provider.evaluations");
+  provider_grows = r->RegisterCounter("provider.grows");
+  provider_waits = r->RegisterCounter("provider.waits");
+  provider_end_of_input = r->RegisterCounter("provider.end_of_input");
+
+  sched_decisions = r->RegisterCounter("sched.decisions");
+  sched_delay_holds = r->RegisterCounter("sched.delay_holds");
+  sched_delay_skips = r->RegisterCounter("sched.delay_skips");
+
+  dfs_files_created = r->RegisterCounter("dfs.files_created");
+  dfs_partitions_placed = r->RegisterCounter("dfs.partitions_placed");
+  dfs_bytes_placed = r->RegisterCounter("dfs.bytes_placed");
+
+  task_wait = r->RegisterHistogram("mapred.task_wait", "sim_s");
+  task_run = r->RegisterHistogram("mapred.task_run", "sim_s");
+  heartbeat_assign = r->RegisterHistogram("mapred.heartbeat_assign", "us");
+  provider_decision = r->RegisterHistogram("provider.decision", "us");
+
+  selectivity_estimate = r->RegisterGauge("provider.selectivity_estimate");
+  observed_skew_cv = r->RegisterGauge("provider.observed_skew_cv");
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+
+namespace {
+
+std::mutex g_hub_mu;
+MetricsRegistry* g_hub_registry = nullptr;
+TraceRecorder* g_hub_recorder = nullptr;
+std::atomic<bool> g_hub_active{false};
+std::atomic<uint64_t> g_hub_cell_seq{0};
+
+}  // namespace
+
+void Hub::Install(MetricsRegistry* registry, TraceRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  g_hub_registry = registry;
+  g_hub_recorder = recorder;
+  g_hub_cell_seq.store(0, std::memory_order_relaxed);
+  g_hub_active.store(registry != nullptr || recorder != nullptr,
+                     std::memory_order_release);
+}
+
+void Hub::Uninstall() {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  g_hub_active.store(false, std::memory_order_release);
+  g_hub_registry = nullptr;
+  g_hub_recorder = nullptr;
+}
+
+bool Hub::active() { return g_hub_active.load(std::memory_order_acquire); }
+
+MetricsRegistry* Hub::registry() {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  return g_hub_registry;
+}
+
+TraceRecorder* Hub::recorder() {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  return g_hub_recorder;
+}
+
+std::string Hub::NextCellLabel() {
+  uint64_t seq = g_hub_cell_seq.fetch_add(1, std::memory_order_relaxed);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cell-%04llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
+                                        TraceRecorder* recorder,
+                                        std::string_view label,
+                                        int num_nodes) {
+  TraceStream* stream = nullptr;
+  if (recorder != nullptr) {
+    // One pid per node, plus the client/provider track at pid num_nodes.
+    stream = recorder->NewStream(label, num_nodes + 1);
+    std::string prefix(label);
+    for (int n = 0; n < num_nodes; ++n) {
+      stream->ProcessName(n, prefix + " node" + std::to_string(n));
+    }
+    stream->ProcessName(num_nodes, prefix + " client");
+  }
+  return std::make_unique<Scope>(registry, stream);
+}
+
+}  // namespace dmr::obs

@@ -1,0 +1,133 @@
+#ifndef DMR_OBS_SCOPE_H_
+#define DMR_OBS_SCOPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmr::obs {
+
+/// \brief The standard pre-registered metric handle set shared by every
+/// instrumented component. Registering the same names twice is safe
+/// (MetricsRegistry dedupes), so each Scope owns its own copy of the
+/// handles while all Scopes on one registry share the metrics.
+struct StandardMetrics {
+  StandardMetrics() = default;
+  /// Registers everything on `registry` (null leaves the handles invalid,
+  /// which makes every recording call a no-op).
+  explicit StandardMetrics(MetricsRegistry* registry);
+
+  // JobTracker lifecycle counters.
+  CounterHandle heartbeats;
+  CounterHandle jobs_submitted;
+  CounterHandle jobs_completed;
+  CounterHandle splits_added;
+  CounterHandle maps_launched;
+  CounterHandle maps_completed;
+  CounterHandle maps_failed;
+  CounterHandle backups_launched;
+  CounterHandle attempts_killed;
+  CounterHandle reduces_launched;
+
+  // Input-provider decision counters (recorded by the JobClient loop).
+  CounterHandle provider_evaluations;
+  CounterHandle provider_grows;
+  CounterHandle provider_waits;
+  CounterHandle provider_end_of_input;
+
+  // Scheduler counters.
+  CounterHandle sched_decisions;
+  CounterHandle sched_delay_holds;
+  CounterHandle sched_delay_skips;
+
+  // DFS counters.
+  CounterHandle dfs_files_created;
+  CounterHandle dfs_partitions_placed;
+  CounterHandle dfs_bytes_placed;
+
+  // Latency histograms. task_wait/task_run are in simulated seconds;
+  // heartbeat_assign/provider_decision are host wall-clock microseconds
+  // (they time the *decision code*, which runs in zero simulated time).
+  HistogramHandle task_wait;
+  HistogramHandle task_run;
+  HistogramHandle heartbeat_assign;
+  HistogramHandle provider_decision;
+
+  // Gauges (last-writer-wins; diagnostic only).
+  GaugeHandle selectivity_estimate;
+  GaugeHandle observed_skew_cv;
+};
+
+/// \brief The nullable observability context threaded through the
+/// execution layers (JobTracker, schedulers, providers, DFS, cluster).
+///
+/// Components hold an `obs::Scope*` that is null by default; every
+/// instrumentation site is guarded by that null check, which preserves
+/// the zero-overhead-when-off contract (no obs work, no allocations, no
+/// atomic traffic on the simulation hot path unless a scope is attached).
+///
+/// A Scope pairs one (shared, sharded) MetricsRegistry with one
+/// (per-cell) TraceStream; either may be absent.
+class Scope {
+ public:
+  Scope(MetricsRegistry* metrics, TraceStream* trace)
+      : metrics_(metrics), trace_(trace), m_(metrics) {}
+
+  MetricsRegistry* metrics() const { return metrics_; }
+  /// Null when tracing is off — callers must check.
+  TraceStream* trace() const { return trace_; }
+  const StandardMetrics& m() const { return m_; }
+
+  void Count(CounterHandle h, int64_t delta = 1) {
+    if (metrics_ != nullptr) metrics_->Add(h, delta);
+  }
+  void Observe(HistogramHandle h, double value) {
+    if (metrics_ != nullptr) metrics_->Observe(h, value);
+  }
+  void SetGauge(GaugeHandle h, double value) {
+    if (metrics_ != nullptr) metrics_->Set(h, value);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  TraceStream* trace_;
+  StandardMetrics m_;
+};
+
+/// \brief A process-global observability session, installed by the bench
+/// harness when `--trace=`/`--metrics=` are given.
+///
+/// Components never read the hub directly; only the Testbed does, to
+/// auto-attach a Scope per experiment cell, so library users who pass
+/// their own Scope (or none) are unaffected. Install/Uninstall are meant
+/// for the single-threaded setup/teardown edges of a driver run.
+class Hub {
+ public:
+  /// Installs the global session (non-owning; either may be null).
+  static void Install(MetricsRegistry* registry, TraceRecorder* recorder);
+  static void Uninstall();
+
+  static bool active();
+  static MetricsRegistry* registry();
+  static TraceRecorder* recorder();
+
+  /// Monotone per-install cell sequence, used to label auto-attached
+  /// testbed streams ("cell-0001", ...).
+  static std::string NextCellLabel();
+};
+
+/// Creates a trace stream + scope for one simulated cluster: pids 0..n-1
+/// are the nodes, pid n is the client/provider track. Either input may be
+/// null; returns a scope recording whatever is available.
+std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
+                                        TraceRecorder* recorder,
+                                        std::string_view label,
+                                        int num_nodes);
+
+}  // namespace dmr::obs
+
+#endif  // DMR_OBS_SCOPE_H_

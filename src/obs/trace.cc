@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace dmr::obs {
+
+using json::JsonQuote;
+
+namespace {
+
+/// Renders a simulated-seconds timestamp as integer-ish microseconds (the
+/// trace-event format's time unit). Three decimals keeps sub-microsecond
+/// event ordering without bloating the file.
+std::string Micros(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string Number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceArgs
+
+TraceArgs& TraceArgs::Raw(std::string_view key, std::string rendered) {
+  fields_.emplace_back(std::string(key), std::move(rendered));
+  return *this;
+}
+
+TraceArgs& TraceArgs::Set(std::string_view key, std::string_view value) {
+  return Raw(key, JsonQuote(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, const char* value) {
+  return Raw(key, JsonQuote(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, double value) {
+  return Raw(key, Number(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, int value) {
+  return Raw(key, std::to_string(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, int64_t value) {
+  return Raw(key, std::to_string(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, uint64_t value) {
+  return Raw(key, std::to_string(value));
+}
+TraceArgs& TraceArgs::Set(std::string_view key, bool value) {
+  return Raw(key, value ? "true" : "false");
+}
+
+std::string TraceArgs::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonQuote(fields_[i].first) + ": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceStream
+
+std::string TraceStream::Header(char ph, double ts, int pid, int tid,
+                                std::string_view name,
+                                std::string_view cat) const {
+  std::string out = "{\"ph\": \"";
+  out += ph;
+  out += "\", \"ts\": " + Micros(ts);
+  out += ", \"pid\": " + std::to_string(pid_base_ + pid);
+  out += ", \"tid\": " + std::to_string(tid);
+  out += ", \"name\": " + JsonQuote(name);
+  if (!cat.empty()) out += ", \"cat\": " + JsonQuote(cat);
+  return out;
+}
+
+void TraceStream::ProcessName(int pid, std::string_view name) {
+  std::string ev = "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+                   std::to_string(pid_base_ + pid) +
+                   ", \"args\": {\"name\": " + JsonQuote(name) + "}}";
+  Push(std::move(ev));
+}
+
+void TraceStream::ThreadName(int pid, int tid, std::string_view name) {
+  std::string ev = "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+                   std::to_string(pid_base_ + pid) +
+                   ", \"tid\": " + std::to_string(tid) +
+                   ", \"args\": {\"name\": " + JsonQuote(name) + "}}";
+  Push(std::move(ev));
+}
+
+void TraceStream::Complete(double ts, double dur, int pid, int tid,
+                           std::string_view name, std::string_view cat,
+                           const TraceArgs& args) {
+  std::string ev = Header('X', ts, pid, tid, name, cat);
+  ev += ", \"dur\": " + Micros(dur);
+  if (!args.empty()) ev += ", \"args\": " + args.ToJson();
+  ev += "}";
+  Push(std::move(ev));
+}
+
+void TraceStream::AsyncBegin(double ts, uint64_t id, int pid,
+                             std::string_view name, std::string_view cat,
+                             const TraceArgs& args) {
+  std::string ev = Header('b', ts, pid, 0, name, cat);
+  ev += ", \"id\": " + std::to_string(id_base_ + id);
+  if (!args.empty()) ev += ", \"args\": " + args.ToJson();
+  ev += "}";
+  Push(std::move(ev));
+}
+
+void TraceStream::AsyncEnd(double ts, uint64_t id, int pid,
+                           std::string_view name, std::string_view cat,
+                           const TraceArgs& args) {
+  std::string ev = Header('e', ts, pid, 0, name, cat);
+  ev += ", \"id\": " + std::to_string(id_base_ + id);
+  if (!args.empty()) ev += ", \"args\": " + args.ToJson();
+  ev += "}";
+  Push(std::move(ev));
+}
+
+void TraceStream::Instant(double ts, int pid, int tid, std::string_view name,
+                          std::string_view cat, const TraceArgs& args) {
+  std::string ev = Header('i', ts, pid, tid, name, cat);
+  ev += ", \"s\": \"t\"";
+  if (!args.empty()) ev += ", \"args\": " + args.ToJson();
+  ev += "}";
+  Push(std::move(ev));
+}
+
+void TraceStream::Counter(double ts, int pid, std::string_view name,
+                          std::string_view series, double value) {
+  std::string ev = Header('C', ts, pid, 0, name, /*cat=*/"");
+  ev += ", \"args\": {" + JsonQuote(series) + ": " + Number(value) + "}}";
+  Push(std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder() = default;
+TraceRecorder::~TraceRecorder() = default;
+
+TraceStream* TraceRecorder::NewStream(std::string_view label, int num_pids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_pids < 1) num_pids = 1;
+  auto stream = std::unique_ptr<TraceStream>(
+      new TraceStream(std::string(label), next_pid_base_, num_pids,
+                      next_id_base_));
+  next_pid_base_ += num_pids;
+  // Generous id namespace per stream: a cell never opens 2^32 async spans.
+  next_id_base_ += uint64_t{1} << 32;
+  streams_.push_back(std::move(stream));
+  return streams_.back().get();
+}
+
+size_t TraceRecorder::num_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.size();
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& s : streams_) n += s->num_events();
+  return n;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& stream : streams_) {
+    for (const auto& event : stream->events_) {
+      if (!first) out += ",\n";
+      first = false;
+      out += event;
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::string text = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dmr::obs

@@ -1,0 +1,143 @@
+#ifndef DMR_OBS_TRACE_H_
+#define DMR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmr::obs {
+
+/// \brief One key/value argument attached to a trace event ("args" in the
+/// Chrome trace-event format). Values are pre-rendered JSON fragments.
+class TraceArgs {
+ public:
+  TraceArgs& Set(std::string_view key, std::string_view value);
+  TraceArgs& Set(std::string_view key, const char* value);
+  TraceArgs& Set(std::string_view key, double value);
+  TraceArgs& Set(std::string_view key, int value);
+  TraceArgs& Set(std::string_view key, int64_t value);
+  TraceArgs& Set(std::string_view key, uint64_t value);
+  TraceArgs& Set(std::string_view key, bool value);
+
+  bool empty() const { return fields_.empty(); }
+
+  /// Renders `{"k": v, ...}`.
+  std::string ToJson() const;
+
+ private:
+  TraceArgs& Raw(std::string_view key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class TraceRecorder;
+
+/// \brief A per-experiment-cell event sink feeding one TraceRecorder.
+///
+/// Chrome's trace-event format organizes events into processes (pid) and
+/// threads (tid); we map **pid = one simulated node** (plus one extra
+/// "client" track) and **tid = one map slot** on that node, so Perfetto
+/// renders the cluster as a swim-lane per slot. Because many independent
+/// simulations may record into one file, each stream owns a contiguous
+/// pid range; local pids passed to the methods below are relative to the
+/// stream and translated internally.
+///
+/// A stream is single-threaded (it belongs to one simulation cell); only
+/// its creation and the final WriteJson are synchronized.
+class TraceStream {
+ public:
+  /// Names the track group, e.g. "cell-0007 node3" (Chrome "process_name"
+  /// metadata).
+  void ProcessName(int pid, std::string_view name);
+  /// Names one lane within a pid (Chrome "thread_name" metadata).
+  void ThreadName(int pid, int tid, std::string_view name);
+
+  /// A complete span ("ph":"X"): `ts`/`dur` in simulated seconds.
+  void Complete(double ts, double dur, int pid, int tid,
+                std::string_view name, std::string_view cat,
+                const TraceArgs& args = {});
+
+  /// Async span pair ("ph":"b"/"e"), correlated by (cat, id).
+  void AsyncBegin(double ts, uint64_t id, int pid, std::string_view name,
+                  std::string_view cat, const TraceArgs& args = {});
+  void AsyncEnd(double ts, uint64_t id, int pid, std::string_view name,
+                std::string_view cat, const TraceArgs& args = {});
+
+  /// An instant event ("ph":"i", thread scope).
+  void Instant(double ts, int pid, int tid, std::string_view name,
+               std::string_view cat, const TraceArgs& args = {});
+
+  /// A counter track sample ("ph":"C").
+  void Counter(double ts, int pid, std::string_view name,
+               std::string_view series, double value);
+
+  int num_pids() const { return num_pids_; }
+  const std::string& label() const { return label_; }
+  size_t num_events() const { return events_.size(); }
+
+ private:
+  friend class TraceRecorder;
+  TraceStream(std::string label, int pid_base, int num_pids,
+              uint64_t id_base)
+      : label_(std::move(label)),
+        pid_base_(pid_base),
+        num_pids_(num_pids),
+        id_base_(id_base) {}
+
+  void Push(std::string event) { events_.push_back(std::move(event)); }
+  std::string Header(char ph, double ts, int pid, int tid,
+                     std::string_view name, std::string_view cat) const;
+
+  std::string label_;
+  int pid_base_;
+  int num_pids_;
+  /// Namespaces async-span ids so two cells' job 1 spans never correlate.
+  uint64_t id_base_;
+  std::vector<std::string> events_;  // rendered JSON objects
+};
+
+/// \brief Collects Chrome trace-event JSON from many simulation cells and
+/// writes a file loadable in Perfetto / chrome://tracing.
+///
+/// Thread contract: NewStream and WriteJson/ToJson lock internally;
+/// individual streams are single-threaded. ToJson must only be called at
+/// a quiescent point (no cell still recording).
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Creates a stream owning `num_pids` process tracks. The recorder keeps
+  /// ownership; the pointer stays valid for the recorder's lifetime.
+  TraceStream* NewStream(std::string_view label, int num_pids);
+
+  /// Streams created so far (creation order).
+  size_t num_streams() const;
+  /// Total events across all streams.
+  size_t num_events() const;
+
+  /// Renders `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Streams
+  /// are emitted in creation order (stable for serial runs; for parallel
+  /// runs the per-stream contents are stable, stream order is not).
+  std::string ToJson() const;
+
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceStream>> streams_;
+  int next_pid_base_ = 0;
+  uint64_t next_id_base_ = 0;
+};
+
+}  // namespace dmr::obs
+
+#endif  // DMR_OBS_TRACE_H_

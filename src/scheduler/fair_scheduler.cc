@@ -96,9 +96,11 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
           if (still_waiting) {
             if (options_.strict_delay) {
               // Strict fairness: hold the slot for the deserving job.
+              if (obs_ != nullptr) obs_->Count(obs_->m().sched_delay_holds);
               held = true;
               break;
             }
+            if (obs_ != nullptr) obs_->Count(obs_->m().sched_delay_skips);
             continue;  // skip to the next job
           }
         }
@@ -113,6 +115,10 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
       if (assigned || held) break;
     }
     if (!assigned) break;  // slot held or nothing assignable right now
+  }
+  if (obs_ != nullptr) {
+    obs_->Count(obs_->m().sched_decisions,
+                static_cast<int64_t>(assignments.size()));
   }
   return assignments;
 }

@@ -10,7 +10,30 @@ namespace dmr::testbed {
 Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
                  double locality_wait)
     : config_(config) {
+  if (obs::Hub::active()) {
+    scope_ = obs::MakeClusterScope(obs::Hub::registry(),
+                                   obs::Hub::recorder(),
+                                   obs::Hub::NextCellLabel(),
+                                   config_.num_nodes);
+    if (obs::TraceStream* trace = scope_->trace()) {
+      // Label the per-slot lanes (tid = map slot; the lane after the map
+      // slots renders reduce tasks).
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        for (int s = 0; s < config_.map_slots_per_node; ++s) {
+          trace->ThreadName(n, s, "slot" + std::to_string(s));
+        }
+        trace->ThreadName(n, config_.map_slots_per_node, "reduce");
+      }
+    }
+  }
+  obs::Scope* obs = scope_.get();
+
   cluster_ = std::make_unique<cluster::Cluster>(&sim_, config_);
+  if (obs != nullptr) {
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      cluster_->node(n)->set_obs(obs);
+    }
+  }
   switch (kind) {
     case SchedulerKind::kFifo:
       scheduler_ = std::make_unique<scheduler::FifoScheduler>();
@@ -23,13 +46,15 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
       break;
     }
   }
+  scheduler_->set_obs(obs);
   tracker_ = std::make_unique<mapred::JobTracker>(cluster_.get(),
-                                                  scheduler_.get());
+                                                  scheduler_.get(), obs);
   tracker_->Start();
   client_ = std::make_unique<mapred::JobClient>(tracker_.get());
   monitor_ = std::make_unique<cluster::ClusterMonitor>(cluster_.get());
   fs_ = std::make_unique<dfs::FileSystem>(config_.num_nodes,
                                           config_.disks_per_node);
+  fs_->set_obs(obs);
 }
 
 Testbed::~Testbed() { monitor_->Stop(); }
@@ -51,6 +76,36 @@ Result<mapred::JobStats> Testbed::RunJobToCompletion(
                             std::to_string(timeout) + " virtual seconds");
   }
   return *stats;
+}
+
+namespace {
+
+obs::Report::SeriesStats DigestSeries(const std::string& name,
+                                      const std::string& unit,
+                                      const TimeSeries& series) {
+  obs::Report::SeriesStats stats;
+  stats.name = name;
+  stats.unit = unit;
+  stats.count = series.size();
+  stats.mean = series.Mean();
+  stats.min = series.Min();
+  stats.max = series.Max();
+  stats.p50 = series.Percentile(50.0);
+  stats.p95 = series.Percentile(95.0);
+  stats.p99 = series.Percentile(99.0);
+  return stats;
+}
+
+}  // namespace
+
+void Testbed::AppendToReport(obs::Report* report) const {
+  report->AddSeries(
+      DigestSeries("cluster.cpu", "%", monitor_->cpu_percent()));
+  report->AddSeries(
+      DigestSeries("cluster.disk_read", "KB/s", monitor_->disk_read_kbs()));
+  report->AddSeries(DigestSeries("cluster.slot_occupancy", "%",
+                                 monitor_->slot_occupancy_percent()));
+  report->AddJsonSection("job_history", tracker_->history().ToJson());
 }
 
 Result<Dataset> MakeLineItemDataset(dfs::FileSystem* fs, int scale, double z,

@@ -12,6 +12,8 @@
 #include "dynamic/growth_policy.h"
 #include "mapred/job_client.h"
 #include "mapred/job_tracker.h"
+#include "obs/report.h"
+#include "obs/scope.h"
 #include "sim/simulation.h"
 #include "tpch/dataset_catalog.h"
 #include "tpch/skew_model.h"
@@ -28,6 +30,12 @@ class Testbed {
  public:
   /// \param locality_wait  Fair-scheduler delay-scheduling wait (ignored
   ///        for FIFO).
+  ///
+  /// Observability: when the process-global obs::Hub is active (bench
+  /// drivers install it for --trace/--metrics), the testbed automatically
+  /// creates a per-cell Scope over the hub's registry/recorder and attaches
+  /// it to every layer (tracker, scheduler, nodes, DFS). Without an active
+  /// hub nothing is attached and the simulation runs obs-free.
   explicit Testbed(const cluster::ClusterConfig& config,
                    SchedulerKind scheduler = SchedulerKind::kFifo,
                    double locality_wait = 5.0);
@@ -49,8 +57,17 @@ class Testbed {
   Result<mapred::JobStats> RunJobToCompletion(
       mapred::JobSubmission submission, double timeout = 48.0 * 3600);
 
+  /// The cell's observability scope (null when the hub was inactive at
+  /// construction).
+  obs::Scope* obs() { return scope_.get(); }
+
+  /// Appends this cell's resource series (cpu / disk-read / slot-occupancy
+  /// digests with p50/p95/p99) and its job-history timeline to `report`.
+  void AppendToReport(obs::Report* report) const;
+
  private:
   sim::Simulation sim_;
+  std::unique_ptr<obs::Scope> scope_;
   cluster::ClusterConfig config_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<mapred::TaskScheduler> scheduler_;

@@ -44,11 +44,14 @@ TEST(NodeTest, SlotAccounting) {
   Node node(&sim, config, 3);
   EXPECT_EQ(node.id(), 3);
   EXPECT_EQ(node.free_map_slots(), config.map_slots_per_node);
-  node.AcquireMapSlot();
-  node.AcquireMapSlot();
+  // Slots are handed out lowest-index-first and are reusable once freed.
+  EXPECT_EQ(node.AcquireMapSlot(), 0);
+  EXPECT_EQ(node.AcquireMapSlot(), 1);
   EXPECT_EQ(node.used_map_slots(), 2);
-  node.ReleaseMapSlot();
+  node.ReleaseMapSlot(0);
   EXPECT_EQ(node.used_map_slots(), 1);
+  EXPECT_EQ(node.AcquireMapSlot(), 0);
+  node.ReleaseMapSlot(0);
   node.AcquireReduceSlot();
   EXPECT_EQ(node.free_reduce_slots(), config.reduce_slots_per_node - 1);
   node.ReleaseReduceSlot();

@@ -1,0 +1,71 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dmr::json {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(JsonParse("null").ValueOrDie().is_null());
+  EXPECT_TRUE(JsonParse("true").ValueOrDie().bool_value);
+  EXPECT_FALSE(JsonParse("false").ValueOrDie().bool_value);
+  EXPECT_DOUBLE_EQ(JsonParse("3.25").ValueOrDie().number_value, 3.25);
+  EXPECT_DOUBLE_EQ(JsonParse("-17").ValueOrDie().number_value, -17.0);
+  EXPECT_DOUBLE_EQ(JsonParse("1.5e3").ValueOrDie().number_value, 1500.0);
+  EXPECT_EQ(JsonParse("\"hi\"").ValueOrDie().string_value, "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  auto result = JsonParse(
+      R"({"name": "map 3", "args": {"local": true, "split": 7},
+          "times": [1.5, 2.5]})");
+  ASSERT_TRUE(result.ok());
+  const JsonValue& doc = result.ValueOrDie();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.StringOr("name", ""), "map 3");
+  const JsonValue* args = doc.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->NumberOr("split", -1.0), 7.0);
+  const JsonValue* times = doc.Find("times");
+  ASSERT_NE(times, nullptr);
+  ASSERT_TRUE(times->is_array());
+  ASSERT_EQ(times->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(times->items[1].number_value, 2.5);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  auto result = JsonParse(R"("a\"b\\c\n\t")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().string_value, "a\"b\\c\n\t");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonParse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonParse("nope").ok());
+  // Trailing garbage after a valid document is an error.
+  EXPECT_FALSE(JsonParse("{} extra").ok());
+}
+
+TEST(JsonParseTest, FindOnNonObjectIsNull) {
+  auto doc = JsonParse("[1, 2]").ValueOrDie();
+  EXPECT_EQ(doc.Find("anything"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("x", 9.0), 9.0);
+  EXPECT_EQ(doc.StringOr("x", "fallback"), "fallback");
+}
+
+TEST(JsonQuoteTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("line\nbreak"), "\"line\\nbreak\"");
+  // Round-trips through the parser.
+  auto parsed = JsonParse(JsonQuote("tab\there \x01 done"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().string_value, "tab\there \x01 done");
+}
+
+}  // namespace
+}  // namespace dmr::json

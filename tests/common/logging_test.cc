@@ -44,6 +44,22 @@ TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateStream) {
   EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
 }
 
+TEST_F(LoggingTest, ParsesLevelNames) {
+  EXPECT_EQ(Logging::ParseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logging::ParseLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(Logging::ParseLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logging::ParseLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(Logging::ParseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(Logging::ParseLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(Logging::ParseLevel("none"), LogLevel::kOff);
+  // Case-insensitive, as DMR_LOG_LEVEL should be forgiving.
+  EXPECT_EQ(Logging::ParseLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(Logging::ParseLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logging::ParseLevel(""), std::nullopt);
+  EXPECT_EQ(Logging::ParseLevel("verbose"), std::nullopt);
+  EXPECT_EQ(Logging::ParseLevel("2"), std::nullopt);
+}
+
 TEST_F(LoggingTest, ChecksPassSilently) {
   ::testing::internal::CaptureStderr();
   DMR_CHECK(1 + 1 == 2) << "never shown";

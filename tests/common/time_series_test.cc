@@ -1,0 +1,62 @@
+#include "common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace dmr {
+namespace {
+
+TEST(TimeSeriesTest, EmptySeriesReportsZeros) {
+  TimeSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_DOUBLE_EQ(series.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(series.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(50.0), 0.0);
+}
+
+TEST(TimeSeriesTest, MinAndMaxTrackExtremes) {
+  TimeSeries series;
+  series.Add(0.0, 7.5);
+  series.Add(30.0, 2.5);
+  series.Add(60.0, 11.0);
+  EXPECT_DOUBLE_EQ(series.Min(), 2.5);
+  EXPECT_DOUBLE_EQ(series.Max(), 11.0);
+}
+
+TEST(TimeSeriesTest, PercentileUsesNearestRank) {
+  // Four values: rank(q) = ceil(q/100 * 4), 1-based.
+  TimeSeries series;
+  series.Add(0.0, 40.0);  // insertion order must not matter
+  series.Add(1.0, 10.0);
+  series.Add(2.0, 30.0);
+  series.Add(3.0, 20.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(25.0), 10.0);  // rank 1
+  EXPECT_DOUBLE_EQ(series.Percentile(50.0), 20.0);  // rank 2
+  EXPECT_DOUBLE_EQ(series.Percentile(75.0), 30.0);  // rank 3
+  EXPECT_DOUBLE_EQ(series.Percentile(95.0), 40.0);  // rank ceil(3.8) = 4
+}
+
+TEST(TimeSeriesTest, PercentileEndpointsMatchMinMax) {
+  TimeSeries series;
+  for (int i = 1; i <= 100; ++i) {
+    series.Add(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(series.Percentile(0.0), series.Min());
+  EXPECT_DOUBLE_EQ(series.Percentile(100.0), series.Max());
+  EXPECT_DOUBLE_EQ(series.Percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(95.0), 95.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(99.0), 99.0);
+  // Out-of-range quantiles clamp rather than crash.
+  EXPECT_DOUBLE_EQ(series.Percentile(-10.0), series.Min());
+  EXPECT_DOUBLE_EQ(series.Percentile(250.0), series.Max());
+}
+
+TEST(TimeSeriesTest, SingleValueIsEveryPercentile) {
+  TimeSeries series;
+  series.Add(0.0, 42.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(100.0), 42.0);
+}
+
+}  // namespace
+}  // namespace dmr

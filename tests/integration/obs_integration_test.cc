@@ -1,0 +1,193 @@
+/// \file
+/// End-to-end observability test: runs the Figure 5 single-user scenario
+/// (one sampling job on the 10-node paper cluster) with the global obs hub
+/// installed and asserts that the emitted trace spans and metric counters
+/// agree with the job's own statistics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "mapred/job_history.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+#include "sampling/sampling_job.h"
+#include "testbed/testbed.h"
+#include "tpch/dataset_catalog.h"
+
+namespace dmr::testbed {
+namespace {
+
+using json::JsonParse;
+using json::JsonValue;
+
+/// RAII hub session so failed assertions cannot leak the global install
+/// into later tests.
+class HubSession {
+ public:
+  HubSession() { obs::Hub::Install(&registry, &recorder); }
+  ~HubSession() { obs::Hub::Uninstall(); }
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+};
+
+mapred::JobStats RunFig5Cell() {
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = *MakeLineItemDataset(&bed.fs(), 5, 1.0, 42);
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("LA");
+  sampling::SamplingJobOptions options;
+  options.sample_size = 1000;
+  options.seed = 7;
+  auto submission = sampling::MakeSamplingJob(
+      dataset.file, dataset.matching_per_partition, policy, options);
+  EXPECT_TRUE(submission.ok());
+  auto stats = bed.RunJobToCompletion(*std::move(submission));
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+int CountEvents(const std::vector<JsonValue>& events, const std::string& ph,
+                const std::string& cat) {
+  int n = 0;
+  for (const auto& e : events) {
+    if (e.StringOr("ph", "") == ph && e.StringOr("cat", "") == cat) ++n;
+  }
+  return n;
+}
+
+TEST(ObsIntegrationTest, TraceSpansMatchTaskCounts) {
+  HubSession hub;
+  mapred::JobStats stats = RunFig5Cell();
+
+  obs::MetricsRegistry::Snapshot snap = hub.registry.TakeSnapshot();
+  const int64_t* launched = snap.FindCounter("mapred.maps_launched");
+  const int64_t* completed = snap.FindCounter("mapred.maps_completed");
+  const int64_t* failed = snap.FindCounter("mapred.maps_failed");
+  const int64_t* backups = snap.FindCounter("mapred.backups_launched");
+  const int64_t* splits = snap.FindCounter("mapred.splits_added");
+  ASSERT_NE(launched, nullptr);
+  ASSERT_NE(completed, nullptr);
+  // The job's own accounting and the obs counters must agree.
+  EXPECT_EQ(*completed, stats.splits_processed);
+  EXPECT_EQ(*launched, *completed + *failed + *backups);
+  EXPECT_EQ(*splits, stats.splits_processed);
+  EXPECT_EQ(*snap.FindCounter("mapred.jobs_submitted"), 1);
+  EXPECT_EQ(*snap.FindCounter("mapred.jobs_completed"), 1);
+  EXPECT_EQ(*snap.FindCounter("mapred.reduces_launched"), 1);
+
+  // Latency histograms: one task_wait sample per primary map launch, one
+  // task_run per finished attempt.
+  const auto* wait = snap.FindHistogram("mapred.task_wait");
+  const auto* run = snap.FindHistogram("mapred.task_run");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(wait->count), *launched - *backups);
+  EXPECT_EQ(static_cast<int64_t>(run->count), *completed + *failed);
+  EXPECT_GT(wait->p95, 0.0);
+  EXPECT_GE(wait->p99, wait->p95);
+  EXPECT_GE(wait->p95, wait->p50);
+
+  // Parse the trace back and compare span counts to the counters.
+  auto doc = JsonParse(hub.recorder.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* trace_events = doc.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  const std::vector<JsonValue>& events = trace_events->items;
+
+  EXPECT_EQ(CountEvents(events, "X", "map"),
+            static_cast<int>(*launched));  // one span per map attempt
+  EXPECT_EQ(CountEvents(events, "X", "reduce"), 1);
+  EXPECT_EQ(CountEvents(events, "b", "job"), 1);
+  EXPECT_EQ(CountEvents(events, "e", "job"), 1);
+  EXPECT_EQ(CountEvents(events, "b", "split"), static_cast<int>(*splits));
+  EXPECT_EQ(CountEvents(events, "e", "split"),
+            static_cast<int>(*completed));
+  // One provider-decision instant per provider invocation (initial grab +
+  // each periodic evaluation).
+  const auto* decisions = snap.FindHistogram("provider.decision");
+  ASSERT_NE(decisions, nullptr);
+  EXPECT_EQ(CountEvents(events, "i", "provider"),
+            static_cast<int>(decisions->count));
+  EXPECT_EQ(*snap.FindCounter("provider.evaluations"),
+            stats.provider_evaluations);
+}
+
+TEST(ObsIntegrationTest, ReportRendersCountersAndHistograms) {
+  HubSession hub;
+  RunFig5Cell();
+
+  obs::Report report;
+  report.SetInfo("driver", "obs_integration_test");
+  report.SetSnapshot(hub.registry.TakeSnapshot());
+
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("mapred.maps_launched"), std::string::npos);
+  EXPECT_NE(text.find("mapred.task_wait"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+
+  auto doc = JsonParse(report.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& root = doc.ValueOrDie();
+  ASSERT_NE(root.Find("counters"), nullptr);
+  EXPECT_GT(root.Find("counters")->NumberOr("mapred.maps_launched", 0.0),
+            0.0);
+  const JsonValue* hists = root.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_TRUE(hists->is_array());
+  EXPECT_FALSE(hists->items.empty());
+}
+
+TEST(ObsIntegrationTest, TestbedAppendsSeriesAndHistory) {
+  HubSession hub;
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  auto dataset = *MakeLineItemDataset(&bed.fs(), 5, 0.0, 42);
+  auto policy = *dynamic::PolicyTable::BuiltIn().Find("HA");
+  sampling::SamplingJobOptions options;
+  options.sample_size = 1000;
+  options.seed = 3;
+  auto submission = sampling::MakeSamplingJob(
+      dataset.file, dataset.matching_per_partition, policy, options);
+  ASSERT_TRUE(submission.ok());
+  auto stats = bed.RunJobToCompletion(*std::move(submission));
+  ASSERT_TRUE(stats.ok());
+
+  // Satellite: JobStats carries the history slice, and it renders as JSON.
+  EXPECT_FALSE(stats->history.empty());
+  auto history_doc = JsonParse(mapred::JobHistory::ToJson(stats->history));
+  ASSERT_TRUE(history_doc.ok()) << history_doc.status().ToString();
+  EXPECT_TRUE(history_doc.ValueOrDie().is_array());
+
+  obs::Report report;
+  report.SetSnapshot(hub.registry.TakeSnapshot());
+  bed.AppendToReport(&report);
+  auto doc = JsonParse(report.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& root = doc.ValueOrDie();
+  const JsonValue* series = root.Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  EXPECT_EQ(series->items.size(), 3u);  // cpu, disk_read, slot_occupancy
+  EXPECT_EQ(series->items[0].StringOr("name", ""), "cluster.cpu");
+  const JsonValue* history = root.Find("job_history");
+  ASSERT_NE(history, nullptr);
+  EXPECT_TRUE(history->is_array());
+  EXPECT_FALSE(history->items.empty());
+}
+
+TEST(ObsIntegrationTest, NoHubMeansNoScopeAndCleanRun) {
+  // Zero-overhead-when-off contract: without an installed hub the testbed
+  // must not attach any scope, and the run must behave identically.
+  ASSERT_FALSE(obs::Hub::active());
+  Testbed bed(cluster::ClusterConfig::SingleUser());
+  EXPECT_EQ(bed.obs(), nullptr);
+  mapred::JobStats stats = RunFig5Cell();
+  EXPECT_EQ(stats.result_records, 1000u);
+}
+
+}  // namespace
+}  // namespace dmr::testbed
