@@ -1,8 +1,9 @@
 /// \file
 /// Component micro-benchmarks (google-benchmark): PRNG and Zipf sampling,
 /// skew assignment, LINEITEM generation and text round-trip, predicate
-/// evaluation, HiveQL parsing, grab-limit expression evaluation, the
-/// discrete-event kernel and the processor-sharing resource.
+/// evaluation (interpreted vs vectorized) and columnar conversion, HiveQL
+/// parsing, grab-limit expression evaluation, the discrete-event kernel and
+/// the processor-sharing resource.
 
 #include <benchmark/benchmark.h>
 
@@ -12,7 +13,9 @@
 #include "common/random.h"
 #include "dynamic/grab_limit_expr.h"
 #include "exec/parallel.h"
+#include "exec/vectorized.h"
 #include "expr/expression.h"
+#include "tpch/columnar.h"
 #include "hive/parser.h"
 #include "sim/ps_resource.h"
 #include "sim/simulation.h"
@@ -68,17 +71,79 @@ void BM_RowSerde(benchmark::State& state) {
 }
 BENCHMARK(BM_RowSerde);
 
-void BM_PredicateEval(benchmark::State& state) {
+/// Rows shared by the predicate-evaluation benchmarks; big enough to
+/// exercise the vectorized engine's batch loop several times over.
+constexpr uint64_t kPredicateBenchRows = 8192;
+
+std::vector<tpch::LineItemRow> PredicateBenchRows(size_t suite_index) {
   tpch::LineItemGenerator gen(5);
-  auto row = tpch::ToTuple(gen.NextBaseRow());
-  const auto& pred = tpch::PredicateSuite()[0];
-  const auto& schema = tpch::LineItemSchema();
-  for (auto _ : state) {
-    auto v = expr::EvaluatePredicate(*pred.predicate, schema, row);
-    benchmark::DoNotOptimize(v);
-  }
+  const auto& pred = tpch::PredicateSuite()[suite_index];
+  // ~2% matching so the selection paths see both outcomes.
+  auto rows = gen.GeneratePartition(kPredicateBenchRows,
+                                    kPredicateBenchRows / 50, pred);
+  return *rows;
 }
-BENCHMARK(BM_PredicateEval);
+
+/// Per-row tree interpretation over variant tuples (the original path and
+/// correctness oracle). Arg = suite predicate index (z = 0, 1, 2).
+void BM_PredicateEvalInterp(benchmark::State& state) {
+  const size_t suite_index = static_cast<size_t>(state.range(0));
+  const auto& pred = tpch::PredicateSuite()[suite_index];
+  const auto& schema = tpch::LineItemSchema();
+  std::vector<expr::Tuple> tuples;
+  tuples.reserve(kPredicateBenchRows);
+  for (const auto& row : PredicateBenchRows(suite_index)) {
+    tuples.push_back(tpch::ToTuple(row));
+  }
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    for (const auto& tuple : tuples) {
+      auto v = expr::EvaluatePredicate(*pred.predicate, schema, tuple);
+      if (v.ok() && *v) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_PredicateEvalInterp)->Arg(0)->Arg(1)->Arg(2);
+
+/// The compiled kernel program over columnar batches. Compile and bind
+/// happen once (as in the runtime, where they amortize over a partition);
+/// the loop measures the per-row scan cost.
+void BM_PredicateEvalVectorized(benchmark::State& state) {
+  const size_t suite_index = static_cast<size_t>(state.range(0));
+  const auto& pred = tpch::PredicateSuite()[suite_index];
+  auto partition =
+      *tpch::ColumnarPartition::FromRows(PredicateBenchRows(suite_index));
+  auto program =
+      std::move(exec::PredicateProgram::Compile(*pred.predicate)).ValueUnsafe();
+  exec::BoundPredicate bound(&program, &partition);
+  std::vector<uint32_t> matches;
+  matches.reserve(partition.num_rows());
+  for (auto _ : state) {
+    matches.clear();
+    Status status = bound.FilterAll(&matches);
+    if (!status.ok()) state.SkipWithError("filter failed");
+    benchmark::DoNotOptimize(matches.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(partition.num_rows()));
+}
+BENCHMARK(BM_PredicateEvalVectorized)->Arg(0)->Arg(1)->Arg(2);
+
+/// Row-to-columnar conversion cost (dates packed, strings dictionary
+/// encoded) — the one-off price of admission for the vectorized scan.
+void BM_ColumnarConvert(benchmark::State& state) {
+  auto rows = PredicateBenchRows(0);
+  for (auto _ : state) {
+    auto partition = tpch::ColumnarPartition::FromRows(rows);
+    benchmark::DoNotOptimize(partition);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_ColumnarConvert);
 
 void BM_HiveParse(benchmark::State& state) {
   const std::string sql =

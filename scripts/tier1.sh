@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the concurrency-
-# sensitive pool/kernel tests again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, a bench smoke run (micro
+# benchmarks + the Table III driver on both predicate engines, asserting
+# identical JSON), then the concurrency-sensitive pool/kernel/vectorized
+# tests again under ThreadSanitizer.
 #
 # Usage: scripts/tier1.sh [--no-tsan]
 set -euo pipefail
@@ -24,15 +26,26 @@ trap 'rm -rf "${obs_dir}"' EXIT
 python3 scripts/check_obs_output.py \
   "${obs_dir}/trace.json" "${obs_dir}/metrics.json"
 
+echo "== tier-1: bench smoke (micro benchmarks + engine-parity diff) =="
+./build/bench/bench_micro --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_(PredicateEval|ColumnarConvert)' \
+  > "${obs_dir}/micro.txt"
+./build/bench/bench_table3_predicates interpreted \
+  --json="${obs_dir}/table3_interpreted.json" > /dev/null
+./build/bench/bench_table3_predicates vectorized \
+  --json="${obs_dir}/table3_vectorized.json" > /dev/null
+diff "${obs_dir}/table3_interpreted.json" "${obs_dir}/table3_vectorized.json"
+echo "table3 JSON identical on both engines"
+
 if [[ "${1:-}" == "--no-tsan" ]]; then
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
   exit 0
 fi
 
-echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics tests) =="
+echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized tests) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}" \
-  --target parallel_test simulation_test metrics_test
+  --target parallel_test simulation_test metrics_test vectorized_test
 ctest --preset tsan
 
 echo "== tier-1: OK =="

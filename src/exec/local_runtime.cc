@@ -43,6 +43,33 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTask(
   return out;
 }
 
+Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTaskVectorized(
+    const tpch::ColumnarPartition& partition, uint32_t partition_id,
+    const PredicateProgram* program, uint64_t k) const {
+  PartitionOutput out;
+  const uint64_t num_rows = partition.num_rows();
+  const uint64_t cap = k == 0 ? num_rows : k;
+  if (!program) {
+    // No WHERE clause: every record is a candidate (up to the per-map cap).
+    out.records_seen = num_rows;
+    out.records_matched = num_rows;
+    const uint32_t limit = static_cast<uint32_t>(std::min(cap, num_rows));
+    out.refs.reserve(limit);
+    for (uint32_t row = 0; row < limit; ++row) {
+      out.refs.push_back(sampling::RowRef{partition_id, row});
+    }
+    return out;
+  }
+  BoundPredicate bound(program, &partition);
+  std::vector<uint32_t> matches;
+  DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
+  sampling::SamplingMapper mapper(nullptr, &tpch::LineItemSchema(), cap);
+  mapper.MapMatches(num_rows, matches, partition_id, &out.refs);
+  out.records_seen = mapper.records_seen();
+  out.records_matched = mapper.records_matched();
+  return out;
+}
+
 Result<LocalRunResult> LocalRuntime::Execute(
     const hive::CompiledQuery& query,
     const tpch::MaterializedDataset& dataset,
@@ -63,6 +90,27 @@ Result<LocalRunResult> LocalRuntime::Execute(
     splits.push_back(split);
   }
 
+  const bool vectorized = options_.engine == Engine::kVectorized;
+  std::unique_ptr<PredicateProgram> program;
+  if (vectorized && query.predicate) {
+    DMR_ASSIGN_OR_RETURN(PredicateProgram compiled,
+                         PredicateProgram::Compile(*query.predicate));
+    program = std::make_unique<PredicateProgram>(std::move(compiled));
+  }
+  // Datasets built by MaterializeDataset carry their columnar form; others
+  // (e.g. loaded from disk) are converted here once per Execute.
+  tpch::ColumnarDataset local_columnar;
+  const tpch::ColumnarDataset* columnar = &dataset.columnar;
+  if (vectorized && dataset.columnar.size() != dataset.partitions.size()) {
+    local_columnar.reserve(dataset.partitions.size());
+    for (const auto& rows : dataset.partitions) {
+      DMR_ASSIGN_OR_RETURN(tpch::ColumnarPartition part,
+                           tpch::ColumnarPartition::FromRows(rows));
+      local_columnar.push_back(std::move(part));
+    }
+    columnar = &local_columnar;
+  }
+
   const uint64_t k = query.limit;
   mapred::ClusterStatus status;
   status.total_map_slots = options_.num_threads;
@@ -81,6 +129,7 @@ Result<LocalRunResult> LocalRuntime::Execute(
   mapred::JobProgress progress;
   progress.splits_total = static_cast<int>(splits.size());
   std::vector<expr::Tuple> candidates;
+  std::vector<sampling::RowRef> ref_candidates;
 
   auto process_batch = [&](const std::vector<InputSplit>& batch) -> Status {
     // Fan the batch out in waves of at most num_threads workers.
@@ -91,22 +140,33 @@ Result<LocalRunResult> LocalRuntime::Execute(
       std::vector<std::future<Result<PartitionOutput>>> futures;
       futures.reserve(wave_end - base);
       for (size_t b = base; b < wave_end; ++b) {
-        const auto* partition = &dataset.partitions[batch[b].index];
-        futures.push_back(std::async(std::launch::async, [this, partition,
-                                                          &query, k] {
-          return RunMapTask(*partition, query.predicate, k);
-        }));
+        const int index = batch[b].index;
+        futures.push_back(std::async(
+            std::launch::async,
+            [this, index, &dataset, columnar, &query, k, vectorized,
+             prog = program.get()]() -> Result<PartitionOutput> {
+              if (vectorized) {
+                return RunMapTaskVectorized((*columnar)[index],
+                                            static_cast<uint32_t>(index),
+                                            prog, k);
+              }
+              return RunMapTask(dataset.partitions[index], query.predicate,
+                                k);
+            }));
       }
       for (auto& future : futures) {
         Result<PartitionOutput> out = future.get();
         if (!out.ok()) return out.status();
         progress.maps_completed += 1;
         progress.records_processed += out->records_seen;
-        progress.output_records += out->emitted.size();
+        progress.output_records += out->emitted.size() + out->refs.size();
         result.records_scanned += out->records_seen;
         result.partitions_processed += 1;
         for (auto& tuple : out->emitted) {
           candidates.push_back(std::move(tuple));
+        }
+        for (sampling::RowRef ref : out->refs) {
+          ref_candidates.push_back(ref);
         }
       }
     }
@@ -139,9 +199,35 @@ Result<LocalRunResult> LocalRuntime::Execute(
     }
   }
 
-  result.candidate_records = candidates.size();
+  result.candidate_records = candidates.size() + ref_candidates.size();
 
-  // Reduce phase: trim to k (Algorithm 2) and project.
+  // Reduce phase: trim to k (Algorithm 2) and project. The vectorized path
+  // reduces positions and materializes only the final sample's projected
+  // columns; both reducers consume the RNG stream identically, so the two
+  // engines select the same rows.
+  if (vectorized) {
+    std::vector<sampling::RowRef> final_refs;
+    if (query.is_sampling()) {
+      sampling::RefSamplingReducer reducer(k, options_.sample_mode,
+                                           options_.seed);
+      for (sampling::RowRef ref : ref_candidates) reducer.Add(ref);
+      final_refs = reducer.Finish();
+    } else {
+      final_refs = std::move(ref_candidates);
+    }
+    result.rows.reserve(final_refs.size());
+    for (sampling::RowRef ref : final_refs) {
+      const tpch::ColumnarPartition& part = (*columnar)[ref.partition];
+      expr::Tuple projected;
+      projected.reserve(query.projection.size());
+      for (int index : query.projection) {
+        projected.push_back(part.ValueAt(index, ref.row));
+      }
+      result.rows.push_back(std::move(projected));
+    }
+    return result;
+  }
+
   std::vector<expr::Tuple> reduced;
   if (query.is_sampling()) {
     sampling::SamplingReducer reducer(k, options_.sample_mode,

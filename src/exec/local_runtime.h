@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "dynamic/growth_policy.h"
+#include "exec/vectorized.h"
 #include "expr/expression.h"
 #include "hive/compiler.h"
 #include "sampling/sampler.h"
@@ -20,6 +21,10 @@ struct LocalRunOptions {
   /// Reduce-side trim mode (Algorithm 2 or the footnote's reservoir).
   sampling::SampleMode sample_mode = sampling::SampleMode::kFirstK;
   uint64_t seed = 7;
+  /// Predicate engine for the record-level scan. Both engines produce the
+  /// same result rows in the same order for the same (seed, dataset); the
+  /// interpreted engine remains as the correctness oracle.
+  Engine engine = Engine::kVectorized;
 };
 
 /// \brief Outcome of a local run.
@@ -60,15 +65,24 @@ class LocalRuntime {
 
  private:
   struct PartitionOutput {
+    /// Interpreted path: copied candidate tuples.
     std::vector<expr::Tuple> emitted;
+    /// Vectorized path: candidate positions; rows materialize post-reduce.
+    std::vector<sampling::RowRef> refs;
     uint64_t records_seen = 0;
     uint64_t records_matched = 0;
   };
 
-  /// Applies Algorithm 1 to one partition.
+  /// Applies Algorithm 1 to one partition (interpreted engine).
   Result<PartitionOutput> RunMapTask(
       const std::vector<tpch::LineItemRow>& partition,
       const expr::ExprPtr& predicate, uint64_t k) const;
+
+  /// Applies Algorithm 1 to one columnar partition (vectorized engine);
+  /// `program` may be null for predicate-less scans.
+  Result<PartitionOutput> RunMapTaskVectorized(
+      const tpch::ColumnarPartition& partition, uint32_t partition_id,
+      const PredicateProgram* program, uint64_t k) const;
 
   LocalRunOptions options_;
 };

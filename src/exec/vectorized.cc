@@ -1,0 +1,1351 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::exec {
+
+using expr::BinaryOp;
+using expr::Expression;
+using expr::Value;
+using expr::ValueType;
+using tpch::ColumnarPartition;
+using tpch::ColumnKind;
+
+namespace {
+
+/// Kernel opcodes. Every instruction reads operand register slots (in1/in2)
+/// or fused column/literal operands and writes one output slot; control ops
+/// (kAndThen/kAndEnd, kOrElse/kOrEnd) refine and restore the selection
+/// vector to give AND/OR exact per-row short-circuit semantics.
+enum class Op : uint8_t {
+  kLoadColI64,
+  kLoadColF64,
+  kLoadLitI64,
+  kLoadLitF64,
+  kLoadLitBool,
+  kCastI64ToF64,
+  kAddI64,
+  kSubI64,
+  kMulI64,
+  kNegI64,
+  kAddF64,
+  kSubF64,
+  kMulF64,
+  kDivF64,
+  kNegF64,
+  kCmpI64,
+  kCmpF64,
+  kCmpBool,
+  kCmpColLit,
+  kCmpColCol,
+  kDictTable,
+  kCmpStrGeneric,
+  kLikeDateCol,
+  kInColI64,
+  kInColF64,
+  kInColDate,
+  kInI64,
+  kInF64,
+  kNot,
+  kAndEager,
+  kAndThen,
+  kAndEnd,
+  kOrElse,
+  kOrEnd,
+};
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoadColI64: return "load_col_i64";
+    case Op::kLoadColF64: return "load_col_f64";
+    case Op::kLoadLitI64: return "load_lit_i64";
+    case Op::kLoadLitF64: return "load_lit_f64";
+    case Op::kLoadLitBool: return "load_lit_bool";
+    case Op::kCastI64ToF64: return "cast_i64_f64";
+    case Op::kAddI64: return "add_i64";
+    case Op::kSubI64: return "sub_i64";
+    case Op::kMulI64: return "mul_i64";
+    case Op::kNegI64: return "neg_i64";
+    case Op::kAddF64: return "add_f64";
+    case Op::kSubF64: return "sub_f64";
+    case Op::kMulF64: return "mul_f64";
+    case Op::kDivF64: return "div_f64";
+    case Op::kNegF64: return "neg_f64";
+    case Op::kCmpI64: return "cmp_i64";
+    case Op::kCmpF64: return "cmp_f64";
+    case Op::kCmpBool: return "cmp_bool";
+    case Op::kCmpColLit: return "cmp_col_lit";
+    case Op::kCmpColCol: return "cmp_col_col";
+    case Op::kDictTable: return "dict_table";
+    case Op::kCmpStrGeneric: return "cmp_str_generic";
+    case Op::kLikeDateCol: return "like_date_col";
+    case Op::kInColI64: return "in_col_i64";
+    case Op::kInColF64: return "in_col_f64";
+    case Op::kInColDate: return "in_col_date";
+    case Op::kInI64: return "in_i64";
+    case Op::kInF64: return "in_f64";
+    case Op::kNot: return "not";
+    case Op::kAndEager: return "and_eager";
+    case Op::kAndThen: return "and_then";
+    case Op::kAndEnd: return "and_end";
+    case Op::kOrElse: return "or_else";
+    case Op::kOrEnd: return "or_end";
+  }
+  return "?";
+}
+
+/// Applies a comparison operator to a three-way comparison sign.
+bool ApplyCmpSign(BinaryOp cmp, int c) {
+  switch (cmp) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: break;
+  }
+  DMR_CHECK(false);
+  return false;
+}
+
+/// Flips a comparison so that `a cmp b` == `b Flip(cmp) a`.
+BinaryOp FlipCmp(BinaryOp cmp) {
+  switch (cmp) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return cmp;  // kEq / kNe are symmetric
+  }
+}
+
+/// Invokes `f` with a comparator functor selected by `cmp` — hoists the
+/// operator dispatch out of the per-lane loops.
+template <typename F>
+void WithCmp(BinaryOp cmp, F&& f) {
+  switch (cmp) {
+    case BinaryOp::kEq: f([](auto a, auto b) { return a == b; }); return;
+    case BinaryOp::kNe: f([](auto a, auto b) { return a != b; }); return;
+    case BinaryOp::kLt: f([](auto a, auto b) { return a < b; }); return;
+    case BinaryOp::kLe: f([](auto a, auto b) { return a <= b; }); return;
+    case BinaryOp::kGt: f([](auto a, auto b) { return a > b; }); return;
+    case BinaryOp::kGe: f([](auto a, auto b) { return a >= b; }); return;
+    default: DMR_CHECK(false);
+  }
+}
+
+}  // namespace
+
+struct PredicateProgram::Instr {
+  Op op;
+  BinaryOp cmp = BinaryOp::kEq;
+  int col = -1;       // primary column (fused ops)
+  int col2 = -1;      // rhs column (kCmpColCol)
+  int slot = -1;      // table/set/str-pool index, or ctrl depth
+  int in1 = -1;       // operand register slots
+  int in2 = -1;
+  int out = -1;       // output register slot
+  int64_t i64 = 0;    // literal payloads
+  double f64 = 0.0;
+  int32_t date = 0;
+  bool flag = false;  // bool literal / LIKE negation
+  uint8_t lit_kind = 0;  // kCmpColLit: 0 = i64, 1 = f64, 2 = date
+  // kCmpStrGeneric operand descriptors: kind 0 = dict col, 1 = date col,
+  // 2 = string-pool literal.
+  uint8_t sa_kind = 0;
+  uint8_t sb_kind = 0;
+  int sa = -1;
+  int sb = -1;
+};
+
+struct PredicateProgram::DictTableSpec {
+  enum class Kind : uint8_t { kCmp, kLike, kIn };
+  Kind kind = Kind::kCmp;
+  int col = -1;
+  BinaryOp cmp = BinaryOp::kEq;
+  std::string text;   // comparison literal or LIKE pattern
+  bool negated = false;
+  std::vector<std::string> in_list;
+};
+
+PredicateProgram::~PredicateProgram() = default;
+size_t PredicateProgram::num_instructions() const { return code_.size(); }
+PredicateProgram::PredicateProgram(PredicateProgram&&) noexcept = default;
+PredicateProgram& PredicateProgram::operator=(PredicateProgram&&) noexcept =
+    default;
+
+/// \brief Compiles an Expression tree into a PredicateProgram.
+///
+/// Compilation performs constant folding (through the interpreter, so folded
+/// semantics are the interpreter's by construction), static type checking
+/// against the LINEITEM column kinds, operator fusion (column-vs-literal and
+/// column-vs-column comparisons never touch scratch registers), and register
+/// allocation (each emitted instruction owns its output slot).
+class ProgramCompiler {
+ public:
+  Result<PredicateProgram> Run(const Expression& root) {
+    DMR_ASSIGN_OR_RETURN(Operand result, CompileNode(root));
+    if (result.type == Type::kBool && result.kind == Kind::kLiteral) {
+      result = EmitLoadLitBool(std::get<bool>(result.lit));
+    }
+    if (result.type != Type::kBool) {
+      return Status::InvalidArgument("predicate did not evaluate to BOOL");
+    }
+    prog_.result_slot_ = result.slot;
+    prog_.num_i64_slots_ = num_i64_;
+    prog_.num_f64_slots_ = num_f64_;
+    prog_.num_bool_slots_ = num_bool_;
+    return std::move(prog_);
+  }
+
+ private:
+  using Instr = PredicateProgram::Instr;
+  using DictTableSpec = PredicateProgram::DictTableSpec;
+  using Spec = DictTableSpec::Kind;
+
+  enum class Kind : uint8_t { kColumn, kLiteral, kStack };
+  /// Static type of a compiled operand. kDate and kDict are column-only;
+  /// kStr is literal-only; registers are kI64 / kF64 / kBool.
+  enum class Type : uint8_t { kI64, kF64, kBool, kStr, kDate, kDict };
+
+  struct Operand {
+    Kind kind;
+    Type type;
+    int col = -1;   // kColumn
+    int slot = -1;  // kStack register
+    Value lit;      // kLiteral
+  };
+
+  /// The value-type name the interpreter would report for this operand.
+  static const char* TypeName(const Operand& o) {
+    switch (o.type) {
+      case Type::kI64: return "INT64";
+      case Type::kF64: return "DOUBLE";
+      case Type::kBool: return "BOOL";
+      default: return "STRING";
+    }
+  }
+
+  static bool IsNumeric(const Operand& o) {
+    return o.type == Type::kI64 || o.type == Type::kF64;
+  }
+  static bool IsStringish(const Operand& o) {
+    return o.type == Type::kStr || o.type == Type::kDate ||
+           o.type == Type::kDict;
+  }
+
+  static bool HasColumnRef(const Expression& e) {
+    switch (e.kind()) {
+      case Expression::Kind::kLiteral:
+        return false;
+      case Expression::Kind::kColumnRef:
+        return true;
+      case Expression::Kind::kBinary: {
+        const auto& b = static_cast<const expr::BinaryExpr&>(e);
+        return HasColumnRef(*b.left()) || HasColumnRef(*b.right());
+      }
+      case Expression::Kind::kNot:
+        return HasColumnRef(
+            *static_cast<const expr::NotExpr&>(e).operand());
+      case Expression::Kind::kNegate:
+        return HasColumnRef(
+            *static_cast<const expr::NegateExpr&>(e).operand());
+      case Expression::Kind::kBetween: {
+        const auto& b = static_cast<const expr::BetweenExpr&>(e);
+        return HasColumnRef(*b.operand()) || HasColumnRef(*b.low()) ||
+               HasColumnRef(*b.high());
+      }
+      case Expression::Kind::kIn: {
+        const auto& in = static_cast<const expr::InExpr&>(e);
+        if (HasColumnRef(*in.operand())) return true;
+        for (const auto& c : in.candidates()) {
+          if (HasColumnRef(*c)) return true;
+        }
+        return false;
+      }
+      case Expression::Kind::kLike:
+        return HasColumnRef(
+            *static_cast<const expr::LikeExpr&>(e).operand());
+    }
+    return true;
+  }
+
+  static Operand LiteralOperand(Value v) {
+    Operand o;
+    o.kind = Kind::kLiteral;
+    switch (expr::TypeOf(v)) {
+      case ValueType::kInt64: o.type = Type::kI64; break;
+      case ValueType::kDouble: o.type = Type::kF64; break;
+      case ValueType::kString: o.type = Type::kStr; break;
+      case ValueType::kBool: o.type = Type::kBool; break;
+    }
+    o.lit = std::move(v);
+    return o;
+  }
+
+  // ---- emission helpers ------------------------------------------------
+
+  Operand PushInstr(Instr instr, Type out_type) {
+    int slot = -1;
+    switch (out_type) {
+      case Type::kI64: slot = num_i64_++; break;
+      case Type::kF64: slot = num_f64_++; break;
+      case Type::kBool: slot = num_bool_++; break;
+      default: DMR_CHECK(false);
+    }
+    instr.out = slot;
+    prog_.code_.push_back(instr);
+    Operand o;
+    o.kind = Kind::kStack;
+    o.type = out_type;
+    o.slot = slot;
+    return o;
+  }
+
+  Operand EmitLoadLitBool(bool value) {
+    Instr instr;
+    instr.op = Op::kLoadLitBool;
+    instr.flag = value;
+    return PushInstr(instr, Type::kBool);
+  }
+
+  /// Materializes `o` as an INT64 register (o must be i64-typed).
+  Result<int> EnsureI64(const Operand& o) {
+    DMR_CHECK(o.type == Type::kI64);
+    if (o.kind == Kind::kStack) return o.slot;
+    Instr instr;
+    if (o.kind == Kind::kColumn) {
+      instr.op = Op::kLoadColI64;
+      instr.col = o.col;
+    } else {
+      instr.op = Op::kLoadLitI64;
+      instr.i64 = std::get<int64_t>(o.lit);
+    }
+    return PushInstr(instr, Type::kI64).slot;
+  }
+
+  /// Materializes `o` as a DOUBLE register, inserting promotions.
+  Result<int> EnsureF64(const Operand& o) {
+    DMR_CHECK(IsNumeric(o));
+    if (o.kind == Kind::kStack && o.type == Type::kF64) return o.slot;
+    if (o.kind == Kind::kLiteral) {
+      Instr instr;
+      instr.op = Op::kLoadLitF64;
+      instr.f64 = *expr::ToDouble(o.lit);
+      return PushInstr(instr, Type::kF64).slot;
+    }
+    if (o.kind == Kind::kColumn && o.type == Type::kF64) {
+      Instr instr;
+      instr.op = Op::kLoadColF64;
+      instr.col = o.col;
+      return PushInstr(instr, Type::kF64).slot;
+    }
+    DMR_ASSIGN_OR_RETURN(int i64_slot, EnsureI64(o));
+    Instr cast;
+    cast.op = Op::kCastI64ToF64;
+    cast.in1 = i64_slot;
+    return PushInstr(cast, Type::kF64).slot;
+  }
+
+  /// Materializes `o` as a BOOL register; mirrors the interpreter's AsBool
+  /// error for non-boolean operands.
+  Result<int> EnsureBool(const Operand& o) {
+    if (o.type != Type::kBool) {
+      return Status::InvalidArgument("expected BOOL, got " +
+                                     std::string(TypeName(o)));
+    }
+    if (o.kind == Kind::kStack) return o.slot;
+    return EmitLoadLitBool(std::get<bool>(o.lit)).slot;
+  }
+
+  int AddString(std::string s) {
+    prog_.str_pool_.push_back(std::move(s));
+    return static_cast<int>(prog_.str_pool_.size()) - 1;
+  }
+
+  Operand EmitDictTable(DictTableSpec spec) {
+    Instr instr;
+    instr.op = Op::kDictTable;
+    instr.col = spec.col;
+    instr.slot = static_cast<int>(prog_.dict_tables_.size());
+    prog_.dict_tables_.push_back(std::move(spec));
+    return PushInstr(instr, Type::kBool);
+  }
+
+  // ---- compilation -----------------------------------------------------
+
+  Result<Operand> CompileNode(const Expression& e) {
+    // Constant subtrees fold through the interpreter itself: whatever it
+    // computes (or whatever error it raises) is exactly what a per-row
+    // evaluation would have produced, since constants see no row data.
+    if (!HasColumnRef(e)) {
+      static const expr::Tuple kEmptyRow;
+      DMR_ASSIGN_OR_RETURN(
+          Value v, e.Evaluate(tpch::LineItemSchema(), kEmptyRow));
+      return LiteralOperand(std::move(v));
+    }
+    switch (e.kind()) {
+      case Expression::Kind::kLiteral:
+        return LiteralOperand(
+            static_cast<const expr::LiteralExpr&>(e).value());
+      case Expression::Kind::kColumnRef:
+        return CompileColumnRef(static_cast<const expr::ColumnRefExpr&>(e));
+      case Expression::Kind::kBinary:
+        return CompileBinary(static_cast<const expr::BinaryExpr&>(e));
+      case Expression::Kind::kNot: {
+        const auto& n = static_cast<const expr::NotExpr&>(e);
+        DMR_ASSIGN_OR_RETURN(Operand o, CompileNode(*n.operand()));
+        DMR_ASSIGN_OR_RETURN(int slot, EnsureBool(o));
+        Instr instr;
+        instr.op = Op::kNot;
+        instr.in1 = slot;
+        return PushInstr(instr, Type::kBool);
+      }
+      case Expression::Kind::kNegate: {
+        const auto& n = static_cast<const expr::NegateExpr&>(e);
+        DMR_ASSIGN_OR_RETURN(Operand o, CompileNode(*n.operand()));
+        if (!IsNumeric(o)) {
+          return Status::InvalidArgument("cannot coerce " +
+                                         std::string(TypeName(o)) +
+                                         " to a number");
+        }
+        Instr instr;
+        if (o.type == Type::kI64) {
+          DMR_ASSIGN_OR_RETURN(instr.in1, EnsureI64(o));
+          instr.op = Op::kNegI64;
+          return PushInstr(instr, Type::kI64);
+        }
+        DMR_ASSIGN_OR_RETURN(instr.in1, EnsureF64(o));
+        instr.op = Op::kNegF64;
+        return PushInstr(instr, Type::kF64);
+      }
+      case Expression::Kind::kBetween:
+        return CompileBetween(static_cast<const expr::BetweenExpr&>(e));
+      case Expression::Kind::kIn:
+        return CompileIn(static_cast<const expr::InExpr&>(e));
+      case Expression::Kind::kLike:
+        return CompileLike(static_cast<const expr::LikeExpr&>(e));
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  Result<Operand> CompileColumnRef(const expr::ColumnRefExpr& ref) {
+    int col = tpch::LineItemSchema().FindColumn(ref.name());
+    if (col < 0) {
+      return Status::NotFound("unknown column '" + ref.name() + "'");
+    }
+    Operand o;
+    o.kind = Kind::kColumn;
+    o.col = col;
+    switch (tpch::LineItemColumnKind(col)) {
+      case ColumnKind::kInt64: o.type = Type::kI64; break;
+      case ColumnKind::kDouble: o.type = Type::kF64; break;
+      case ColumnKind::kDate32: o.type = Type::kDate; break;
+      case ColumnKind::kDict: o.type = Type::kDict; break;
+    }
+    return o;
+  }
+
+  Result<Operand> CompileBinary(const expr::BinaryExpr& b) {
+    if (b.op() == BinaryOp::kAnd || b.op() == BinaryOp::kOr) {
+      return CompileLogic(b);
+    }
+    DMR_ASSIGN_OR_RETURN(Operand l, CompileNode(*b.left()));
+    DMR_ASSIGN_OR_RETURN(Operand r, CompileNode(*b.right()));
+    switch (b.op()) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return EmitCompare(b.op(), l, r);
+      default:
+        return EmitArith(b.op(), l, r);
+    }
+  }
+
+  /// AND/OR with the interpreter's exact short-circuit semantics. When the
+  /// pruning side is a known constant the other side is skipped or passed
+  /// through exactly as per-row evaluation would have done.
+  Result<Operand> CompileLogic(const expr::BinaryExpr& b) {
+    const bool is_and = b.op() == BinaryOp::kAnd;
+    DMR_ASSIGN_OR_RETURN(Operand l, CompileNode(*b.left()));
+    if (l.type != Type::kBool) {
+      return Status::InvalidArgument("expected BOOL, got " +
+                                     std::string(TypeName(l)));
+    }
+    if (l.kind == Kind::kLiteral) {
+      bool lb = std::get<bool>(l.lit);
+      // The interpreter never evaluates the right side on the pruned
+      // value, so neither do we (its compile errors are unreachable too).
+      if (is_and && !lb) return LiteralOperand(Value(false));
+      if (!is_and && lb) return LiteralOperand(Value(true));
+      DMR_ASSIGN_OR_RETURN(Operand r, CompileNode(*b.right()));
+      if (r.type != Type::kBool) {
+        return Status::InvalidArgument("expected BOOL, got " +
+                                       std::string(TypeName(r)));
+      }
+      return r;
+    }
+    DMR_ASSIGN_OR_RETURN(int lslot, EnsureBool(l));
+    int depth = ctrl_depth_++;
+    prog_.max_ctrl_depth_ = std::max(prog_.max_ctrl_depth_, ctrl_depth_);
+    Instr open;
+    open.op = is_and ? Op::kAndThen : Op::kOrElse;
+    open.in1 = lslot;
+    open.slot = depth;
+    prog_.code_.push_back(open);
+    DMR_ASSIGN_OR_RETURN(Operand r, CompileNode(*b.right()));
+    DMR_ASSIGN_OR_RETURN(int rslot, EnsureBool(r));
+    --ctrl_depth_;
+    Instr close;
+    close.op = is_and ? Op::kAndEnd : Op::kOrEnd;
+    close.in1 = lslot;
+    close.in2 = rslot;
+    close.slot = depth;
+    return PushInstr(close, Type::kBool);
+  }
+
+  Result<Operand> EmitArith(BinaryOp op, const Operand& l, const Operand& r) {
+    if (!IsNumeric(l)) {
+      return Status::InvalidArgument("cannot coerce " +
+                                     std::string(TypeName(l)) +
+                                     " to a number");
+    }
+    if (!IsNumeric(r)) {
+      return Status::InvalidArgument("cannot coerce " +
+                                     std::string(TypeName(r)) +
+                                     " to a number");
+    }
+    if (op != BinaryOp::kDiv && l.type == Type::kI64 &&
+        r.type == Type::kI64) {
+      Instr instr;
+      DMR_ASSIGN_OR_RETURN(instr.in1, EnsureI64(l));
+      DMR_ASSIGN_OR_RETURN(instr.in2, EnsureI64(r));
+      switch (op) {
+        case BinaryOp::kAdd: instr.op = Op::kAddI64; break;
+        case BinaryOp::kSub: instr.op = Op::kSubI64; break;
+        default: instr.op = Op::kMulI64; break;
+      }
+      return PushInstr(instr, Type::kI64);
+    }
+    Instr instr;
+    DMR_ASSIGN_OR_RETURN(instr.in1, EnsureF64(l));
+    DMR_ASSIGN_OR_RETURN(instr.in2, EnsureF64(r));
+    switch (op) {
+      case BinaryOp::kAdd: instr.op = Op::kAddF64; break;
+      case BinaryOp::kSub: instr.op = Op::kSubF64; break;
+      case BinaryOp::kMul: instr.op = Op::kMulF64; break;
+      default: instr.op = Op::kDivF64; break;
+    }
+    return PushInstr(instr, Type::kF64);
+  }
+
+  Result<Operand> EmitCompare(BinaryOp cmp, const Operand& l,
+                              const Operand& r) {
+    // Numeric vs numeric.
+    if (IsNumeric(l) && IsNumeric(r)) return EmitNumCompare(cmp, l, r);
+    // String-ish vs string-ish (dict columns, date columns, literals).
+    if (IsStringish(l) && IsStringish(r)) return EmitStrCompare(cmp, l, r);
+    if (l.type == Type::kBool && r.type == Type::kBool) {
+      Instr instr;
+      instr.op = Op::kCmpBool;
+      instr.cmp = cmp;
+      DMR_ASSIGN_OR_RETURN(instr.in1, EnsureBool(l));
+      DMR_ASSIGN_OR_RETURN(instr.in2, EnsureBool(r));
+      return PushInstr(instr, Type::kBool);
+    }
+    return Status::InvalidArgument(std::string("type mismatch comparing ") +
+                                   TypeName(l) + " with " + TypeName(r));
+  }
+
+  Result<Operand> EmitNumCompare(BinaryOp cmp, const Operand& l,
+                                 const Operand& r) {
+    if (l.kind == Kind::kLiteral && r.kind == Kind::kLiteral) {
+      DMR_ASSIGN_OR_RETURN(int c, expr::CompareValues(l.lit, r.lit));
+      return LiteralOperand(Value(ApplyCmpSign(cmp, c)));
+    }
+    if (l.kind == Kind::kLiteral) {
+      return EmitNumCompare(FlipCmp(cmp), r, l);
+    }
+    if (l.kind == Kind::kColumn && r.kind == Kind::kLiteral) {
+      Instr instr;
+      instr.op = Op::kCmpColLit;
+      instr.cmp = cmp;
+      instr.col = l.col;
+      if (l.type == Type::kI64 && r.type == Type::kI64) {
+        instr.lit_kind = 0;
+        instr.i64 = std::get<int64_t>(r.lit);
+      } else {
+        instr.lit_kind = 1;
+        instr.f64 = *expr::ToDouble(r.lit);
+      }
+      return PushInstr(instr, Type::kBool);
+    }
+    if (l.kind == Kind::kColumn && r.kind == Kind::kColumn) {
+      Instr instr;
+      instr.op = Op::kCmpColCol;
+      instr.cmp = cmp;
+      instr.col = l.col;
+      instr.col2 = r.col;
+      return PushInstr(instr, Type::kBool);
+    }
+    // A computed register is involved: compare through registers.
+    Instr instr;
+    instr.cmp = cmp;
+    if (l.type == Type::kI64 && r.type == Type::kI64) {
+      instr.op = Op::kCmpI64;
+      DMR_ASSIGN_OR_RETURN(instr.in1, EnsureI64(l));
+      DMR_ASSIGN_OR_RETURN(instr.in2, EnsureI64(r));
+    } else {
+      instr.op = Op::kCmpF64;
+      DMR_ASSIGN_OR_RETURN(instr.in1, EnsureF64(l));
+      DMR_ASSIGN_OR_RETURN(instr.in2, EnsureF64(r));
+    }
+    return PushInstr(instr, Type::kBool);
+  }
+
+  Result<Operand> EmitStrCompare(BinaryOp cmp, const Operand& l,
+                                 const Operand& r) {
+    if (l.kind == Kind::kLiteral && r.kind == Kind::kLiteral) {
+      DMR_ASSIGN_OR_RETURN(int c, expr::CompareValues(l.lit, r.lit));
+      return LiteralOperand(Value(ApplyCmpSign(cmp, c)));
+    }
+    if (l.kind == Kind::kLiteral) return EmitStrCompare(FlipCmp(cmp), r, l);
+    // l is a column from here on.
+    if (l.type == Type::kDict && r.kind == Kind::kLiteral) {
+      DictTableSpec spec;
+      spec.kind = Spec::kCmp;
+      spec.col = l.col;
+      spec.cmp = cmp;
+      spec.text = std::get<std::string>(r.lit);
+      return EmitDictTable(std::move(spec));
+    }
+    if (l.type == Type::kDate && r.kind == Kind::kLiteral) {
+      const std::string& text = std::get<std::string>(r.lit);
+      Result<int32_t> packed = tpch::EncodeDate32(text);
+      if (packed.ok()) {
+        Instr instr;
+        instr.op = Op::kCmpColLit;
+        instr.cmp = cmp;
+        instr.col = l.col;
+        instr.lit_kind = 2;
+        instr.date = *packed;
+        return PushInstr(instr, Type::kBool);
+      }
+      // Non-canonical literal: compare the formatted date lexicographically.
+      Instr instr;
+      instr.op = Op::kCmpStrGeneric;
+      instr.cmp = cmp;
+      instr.sa_kind = 1;
+      instr.sa = l.col;
+      instr.sb_kind = 2;
+      instr.sb = AddString(text);
+      return PushInstr(instr, Type::kBool);
+    }
+    if (l.type == Type::kDate && r.type == Type::kDate) {
+      Instr instr;
+      instr.op = Op::kCmpColCol;
+      instr.cmp = cmp;
+      instr.col = l.col;
+      instr.col2 = r.col;
+      return PushInstr(instr, Type::kBool);
+    }
+    // Remaining column/column pairs involving a dictionary column.
+    Instr instr;
+    instr.op = Op::kCmpStrGeneric;
+    instr.cmp = cmp;
+    instr.sa_kind = l.type == Type::kDict ? 0 : 1;
+    instr.sa = l.col;
+    instr.sb_kind = r.type == Type::kDict ? 0 : 1;
+    instr.sb = r.col;
+    return PushInstr(instr, Type::kBool);
+  }
+
+  Result<Operand> CompileBetween(const expr::BetweenExpr& b) {
+    // Desugars to (v >= low) AND (v <= high) with an eager AND: the
+    // interpreter evaluates all three operands up front, so no lane may
+    // skip the high-bound evaluation.
+    DMR_ASSIGN_OR_RETURN(Operand v, CompileNode(*b.operand()));
+    DMR_ASSIGN_OR_RETURN(Operand lo, CompileNode(*b.low()));
+    DMR_ASSIGN_OR_RETURN(Operand hi, CompileNode(*b.high()));
+    DMR_ASSIGN_OR_RETURN(Operand ge, EmitCompare(BinaryOp::kGe, v, lo));
+    DMR_ASSIGN_OR_RETURN(Operand le, EmitCompare(BinaryOp::kLe, v, hi));
+    if (ge.kind == Kind::kLiteral && le.kind == Kind::kLiteral) {
+      return LiteralOperand(
+          Value(std::get<bool>(ge.lit) && std::get<bool>(le.lit)));
+    }
+    Instr instr;
+    instr.op = Op::kAndEager;
+    DMR_ASSIGN_OR_RETURN(instr.in1, EnsureBool(ge));
+    DMR_ASSIGN_OR_RETURN(instr.in2, EnsureBool(le));
+    return PushInstr(instr, Type::kBool);
+  }
+
+  Result<Operand> CompileIn(const expr::InExpr& in) {
+    DMR_ASSIGN_OR_RETURN(Operand v, CompileNode(*in.operand()));
+    bool all_const = true;
+    for (const auto& c : in.candidates()) {
+      if (HasColumnRef(*c)) {
+        all_const = false;
+        break;
+      }
+    }
+    if (!all_const || v.type == Type::kBool) {
+      // General fallback: IN is first-match-wins over the candidates,
+      // which is exactly a left-to-right OR chain of equalities.
+      if (in.candidates().empty()) return LiteralOperand(Value(false));
+      expr::ExprPtr chain;
+      for (const auto& c : in.candidates()) {
+        expr::ExprPtr eq = std::make_shared<expr::BinaryExpr>(
+            BinaryOp::kEq, in.operand(), c);
+        chain = chain ? std::make_shared<expr::BinaryExpr>(
+                            BinaryOp::kOr, std::move(chain), std::move(eq))
+                      : std::move(eq);
+      }
+      return CompileNode(*chain);
+    }
+    static const expr::Tuple kEmptyRow;
+    std::vector<Value> values;
+    values.reserve(in.candidates().size());
+    for (const auto& c : in.candidates()) {
+      DMR_ASSIGN_OR_RETURN(
+          Value cv, c->Evaluate(tpch::LineItemSchema(), kEmptyRow));
+      values.push_back(std::move(cv));
+    }
+    if (IsNumeric(v)) return CompileNumIn(v, values);
+    if (v.type == Type::kDate) return CompileDateIn(v, values);
+    if (v.type == Type::kDict) return CompileDictIn(v, values);
+    // v is a string literal and every candidate is constant — the whole IN
+    // is constant and was folded before reaching here.
+    return Status::Internal("unfolded constant IN");
+  }
+
+  Result<Operand> CompileNumIn(const Operand& v,
+                               const std::vector<Value>& values) {
+    bool all_i64 = v.type == Type::kI64;
+    for (const Value& cv : values) {
+      ValueType t = expr::TypeOf(cv);
+      if (t != ValueType::kInt64 && t != ValueType::kDouble) {
+        return Status::InvalidArgument(
+            std::string("type mismatch comparing ") +
+            (v.type == Type::kI64 ? "INT64" : "DOUBLE") + " with " +
+            expr::ValueTypeToString(t));
+      }
+      if (t != ValueType::kInt64) all_i64 = false;
+    }
+    Instr instr;
+    if (all_i64) {
+      std::vector<int64_t> set;
+      set.reserve(values.size());
+      for (const Value& cv : values) set.push_back(std::get<int64_t>(cv));
+      std::sort(set.begin(), set.end());
+      instr.slot = static_cast<int>(prog_.i64_sets_.size());
+      prog_.i64_sets_.push_back(std::move(set));
+      if (v.kind == Kind::kColumn) {
+        instr.op = Op::kInColI64;
+        instr.col = v.col;
+      } else {
+        instr.op = Op::kInI64;
+        DMR_ASSIGN_OR_RETURN(instr.in1, EnsureI64(v));
+      }
+      return PushInstr(instr, Type::kBool);
+    }
+    std::vector<double> set;
+    set.reserve(values.size());
+    for (const Value& cv : values) set.push_back(*expr::ToDouble(cv));
+    std::sort(set.begin(), set.end());
+    instr.slot = static_cast<int>(prog_.f64_sets_.size());
+    prog_.f64_sets_.push_back(std::move(set));
+    if (v.kind == Kind::kColumn && v.type == Type::kF64) {
+      instr.op = Op::kInColF64;
+      instr.col = v.col;
+    } else {
+      instr.op = Op::kInF64;
+      DMR_ASSIGN_OR_RETURN(instr.in1, EnsureF64(v));
+    }
+    return PushInstr(instr, Type::kBool);
+  }
+
+  Result<Operand> CompileDateIn(const Operand& v,
+                                const std::vector<Value>& values) {
+    std::vector<int32_t> set;
+    for (const Value& cv : values) {
+      if (expr::TypeOf(cv) != ValueType::kString) {
+        return Status::InvalidArgument(
+            std::string("type mismatch comparing STRING with ") +
+            expr::ValueTypeToString(expr::TypeOf(cv)));
+      }
+      // A non-canonical string can never equal a stored canonical date.
+      Result<int32_t> packed = tpch::EncodeDate32(std::get<std::string>(cv));
+      if (packed.ok()) set.push_back(*packed);
+    }
+    std::sort(set.begin(), set.end());
+    Instr instr;
+    instr.op = Op::kInColDate;
+    instr.col = v.col;
+    instr.slot = static_cast<int>(prog_.date_sets_.size());
+    prog_.date_sets_.push_back(std::move(set));
+    return PushInstr(instr, Type::kBool);
+  }
+
+  Result<Operand> CompileDictIn(const Operand& v,
+                                const std::vector<Value>& values) {
+    DictTableSpec spec;
+    spec.kind = Spec::kIn;
+    spec.col = v.col;
+    for (const Value& cv : values) {
+      if (expr::TypeOf(cv) != ValueType::kString) {
+        return Status::InvalidArgument(
+            std::string("type mismatch comparing STRING with ") +
+            expr::ValueTypeToString(expr::TypeOf(cv)));
+      }
+      spec.in_list.push_back(std::get<std::string>(cv));
+    }
+    return EmitDictTable(std::move(spec));
+  }
+
+  Result<Operand> CompileLike(const expr::LikeExpr& like) {
+    DMR_ASSIGN_OR_RETURN(Operand v, CompileNode(*like.operand()));
+    if (v.type == Type::kDict) {
+      DictTableSpec spec;
+      spec.kind = Spec::kLike;
+      spec.col = v.col;
+      spec.text = like.pattern();
+      spec.negated = like.negated();
+      return EmitDictTable(std::move(spec));
+    }
+    if (v.type == Type::kDate) {
+      Instr instr;
+      instr.op = Op::kLikeDateCol;
+      instr.col = v.col;
+      instr.slot = AddString(like.pattern());
+      instr.flag = like.negated();
+      return PushInstr(instr, Type::kBool);
+    }
+    if (v.type == Type::kStr && v.kind == Kind::kLiteral) {
+      bool m = expr::LikeMatch(std::get<std::string>(v.lit), like.pattern());
+      return LiteralOperand(Value(like.negated() ? !m : m));
+    }
+    return Status::InvalidArgument("LIKE requires a string operand");
+  }
+
+  PredicateProgram prog_;
+  int num_i64_ = 0;
+  int num_f64_ = 0;
+  int num_bool_ = 0;
+  int ctrl_depth_ = 0;
+};
+
+Result<PredicateProgram> PredicateProgram::Compile(const Expression& expr) {
+  ProgramCompiler compiler;
+  return compiler.Run(expr);
+}
+
+std::string PredicateProgram::ToString() const {
+  std::string out;
+  char line[192];
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    std::snprintf(line, sizeof(line),
+                  "%3zu: %-16s cmp=%s col=%d col2=%d slot=%d in=(%d,%d) "
+                  "out=%d\n",
+                  i, OpName(ins.op), expr::BinaryOpToString(ins.cmp),
+                  ins.col, ins.col2, ins.slot, ins.in1, ins.in2, ins.out);
+    out += line;
+  }
+  return out;
+}
+
+const char* EngineToString(Engine engine) {
+  return engine == Engine::kInterpreted ? "interpreted" : "vectorized";
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+BoundPredicate::BoundPredicate(const PredicateProgram* program,
+                               const tpch::ColumnarPartition* partition)
+    : program_(program), partition_(partition) {
+  using Spec = PredicateProgram::DictTableSpec;
+  // Resolve every dictionary-dependent operation once per distinct value.
+  dict_tables_.reserve(program_->dict_tables_.size());
+  for (const Spec& spec : program_->dict_tables_) {
+    const tpch::StringDictionary& dict = partition_->Dictionary(spec.col);
+    std::vector<uint8_t> table(dict.size(), 0);
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      const std::string& value = dict.value(code);
+      switch (spec.kind) {
+        case Spec::Kind::kCmp: {
+          int c = value.compare(spec.text);
+          c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          table[code] = ApplyCmpSign(spec.cmp, c) ? 1 : 0;
+          break;
+        }
+        case Spec::Kind::kLike: {
+          bool m = expr::LikeMatch(value, spec.text);
+          table[code] = (spec.negated ? !m : m) ? 1 : 0;
+          break;
+        }
+        case Spec::Kind::kIn: {
+          bool found = false;
+          for (const std::string& cand : spec.in_list) {
+            if (value == cand) {
+              found = true;
+              break;
+            }
+          }
+          table[code] = found ? 1 : 0;
+          break;
+        }
+      }
+    }
+    dict_tables_.push_back(std::move(table));
+  }
+  i64_slots_.resize(program_->num_i64_slots_);
+  for (auto& s : i64_slots_) s.resize(kVectorBatchRows);
+  f64_slots_.resize(program_->num_f64_slots_);
+  for (auto& s : f64_slots_) s.resize(kVectorBatchRows);
+  bool_slots_.resize(program_->num_bool_slots_);
+  for (auto& s : bool_slots_) s.resize(kVectorBatchRows);
+  sel_.resize(kVectorBatchRows);
+  saved_sel_.resize(program_->max_ctrl_depth_);
+  for (auto& s : saved_sel_) s.resize(kVectorBatchRows);
+  saved_count_.resize(program_->max_ctrl_depth_, 0);
+}
+
+Status BoundPredicate::FilterAll(std::vector<uint32_t>* out) {
+  return FilterRange(0, partition_->num_rows(), out);
+}
+
+Status BoundPredicate::FilterRange(uint32_t begin, uint32_t end,
+                                   std::vector<uint32_t>* out) {
+  DMR_CHECK_LE(begin, end);
+  DMR_CHECK_LE(end, partition_->num_rows());
+  for (uint32_t base = begin; base < end; base += kVectorBatchRows) {
+    uint32_t batch_end = std::min<uint32_t>(end, base + kVectorBatchRows);
+    DMR_RETURN_NOT_OK(RunBatch(base, batch_end, out));
+  }
+  return Status::OK();
+}
+
+Status BoundPredicate::RunBatch(uint32_t base, uint32_t end,
+                                std::vector<uint32_t>* out) {
+  using Instr = PredicateProgram::Instr;
+  const uint32_t n = end - base;
+  uint32_t count = n;
+  uint32_t* sel = sel_.data();
+  for (uint32_t i = 0; i < n; ++i) sel[i] = base + i;
+
+  for (const Instr& ins : program_->code_) {
+    switch (ins.op) {
+      case Op::kLoadColI64: {
+        const int64_t* col = partition_->Int64Column(ins.col).data();
+        int64_t* o = i64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] = col[row];
+        }
+        break;
+      }
+      case Op::kLoadColF64: {
+        const double* col = partition_->DoubleColumn(ins.col).data();
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] = col[row];
+        }
+        break;
+      }
+      case Op::kLoadLitI64: {
+        int64_t* o = i64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) o[sel[k] - base] = ins.i64;
+        break;
+      }
+      case Op::kLoadLitF64: {
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) o[sel[k] - base] = ins.f64;
+        break;
+      }
+      case Op::kLoadLitBool: {
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          o[sel[k] - base] = ins.flag ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kCastI64ToF64: {
+        const int64_t* a = i64_slots_[ins.in1].data();
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = static_cast<double>(a[i]);
+        }
+        break;
+      }
+      case Op::kAddI64:
+      case Op::kSubI64:
+      case Op::kMulI64: {
+        const int64_t* a = i64_slots_[ins.in1].data();
+        const int64_t* b = i64_slots_[ins.in2].data();
+        int64_t* o = i64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = ins.op == Op::kAddI64   ? a[i] + b[i]
+                 : ins.op == Op::kSubI64 ? a[i] - b[i]
+                                         : a[i] * b[i];
+        }
+        break;
+      }
+      case Op::kNegI64: {
+        const int64_t* a = i64_slots_[ins.in1].data();
+        int64_t* o = i64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = -a[i];
+        }
+        break;
+      }
+      case Op::kAddF64:
+      case Op::kSubF64:
+      case Op::kMulF64: {
+        const double* a = f64_slots_[ins.in1].data();
+        const double* b = f64_slots_[ins.in2].data();
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = ins.op == Op::kAddF64   ? a[i] + b[i]
+                 : ins.op == Op::kSubF64 ? a[i] - b[i]
+                                         : a[i] * b[i];
+        }
+        break;
+      }
+      case Op::kDivF64: {
+        const double* a = f64_slots_[ins.in1].data();
+        const double* b = f64_slots_[ins.in2].data();
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          if (b[i] == 0.0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          o[i] = a[i] / b[i];
+        }
+        break;
+      }
+      case Op::kNegF64: {
+        const double* a = f64_slots_[ins.in1].data();
+        double* o = f64_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = -a[i];
+        }
+        break;
+      }
+      case Op::kCmpI64: {
+        const int64_t* a = i64_slots_[ins.in1].data();
+        const int64_t* b = i64_slots_[ins.in2].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        WithCmp(ins.cmp, [&](auto cmp) {
+          for (uint32_t k = 0; k < count; ++k) {
+            uint32_t i = sel[k] - base;
+            o[i] = cmp(a[i], b[i]) ? 1 : 0;
+          }
+        });
+        break;
+      }
+      case Op::kCmpF64: {
+        const double* a = f64_slots_[ins.in1].data();
+        const double* b = f64_slots_[ins.in2].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        WithCmp(ins.cmp, [&](auto cmp) {
+          for (uint32_t k = 0; k < count; ++k) {
+            uint32_t i = sel[k] - base;
+            o[i] = cmp(a[i], b[i]) ? 1 : 0;
+          }
+        });
+        break;
+      }
+      case Op::kCmpBool: {
+        const uint8_t* a = bool_slots_[ins.in1].data();
+        const uint8_t* b = bool_slots_[ins.in2].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        WithCmp(ins.cmp, [&](auto cmp) {
+          for (uint32_t k = 0; k < count; ++k) {
+            uint32_t i = sel[k] - base;
+            o[i] = cmp(a[i] != 0, b[i] != 0) ? 1 : 0;
+          }
+        });
+        break;
+      }
+      case Op::kCmpColLit: {
+        uint8_t* o = bool_slots_[ins.out].data();
+        if (ins.lit_kind == 0) {
+          const int64_t* col = partition_->Int64Column(ins.col).data();
+          const int64_t lit = ins.i64;
+          WithCmp(ins.cmp, [&](auto cmp) {
+            for (uint32_t k = 0; k < count; ++k) {
+              uint32_t row = sel[k];
+              o[row - base] = cmp(col[row], lit) ? 1 : 0;
+            }
+          });
+        } else if (ins.lit_kind == 1) {
+          const double lit = ins.f64;
+          if (tpch::LineItemColumnKind(ins.col) == ColumnKind::kInt64) {
+            const int64_t* col = partition_->Int64Column(ins.col).data();
+            WithCmp(ins.cmp, [&](auto cmp) {
+              for (uint32_t k = 0; k < count; ++k) {
+                uint32_t row = sel[k];
+                o[row - base] =
+                    cmp(static_cast<double>(col[row]), lit) ? 1 : 0;
+              }
+            });
+          } else {
+            const double* col = partition_->DoubleColumn(ins.col).data();
+            WithCmp(ins.cmp, [&](auto cmp) {
+              for (uint32_t k = 0; k < count; ++k) {
+                uint32_t row = sel[k];
+                o[row - base] = cmp(col[row], lit) ? 1 : 0;
+              }
+            });
+          }
+        } else {
+          const int32_t* col = partition_->Date32Column(ins.col).data();
+          const int32_t lit = ins.date;
+          WithCmp(ins.cmp, [&](auto cmp) {
+            for (uint32_t k = 0; k < count; ++k) {
+              uint32_t row = sel[k];
+              o[row - base] = cmp(col[row], lit) ? 1 : 0;
+            }
+          });
+        }
+        break;
+      }
+      case Op::kCmpColCol: {
+        uint8_t* o = bool_slots_[ins.out].data();
+        ColumnKind ka = tpch::LineItemColumnKind(ins.col);
+        ColumnKind kb = tpch::LineItemColumnKind(ins.col2);
+        if (ka == ColumnKind::kDate32) {
+          const int32_t* a = partition_->Date32Column(ins.col).data();
+          const int32_t* b = partition_->Date32Column(ins.col2).data();
+          WithCmp(ins.cmp, [&](auto cmp) {
+            for (uint32_t k = 0; k < count; ++k) {
+              uint32_t row = sel[k];
+              o[row - base] = cmp(a[row], b[row]) ? 1 : 0;
+            }
+          });
+        } else if (ka == ColumnKind::kInt64 && kb == ColumnKind::kInt64) {
+          const int64_t* a = partition_->Int64Column(ins.col).data();
+          const int64_t* b = partition_->Int64Column(ins.col2).data();
+          WithCmp(ins.cmp, [&](auto cmp) {
+            for (uint32_t k = 0; k < count; ++k) {
+              uint32_t row = sel[k];
+              o[row - base] = cmp(a[row], b[row]) ? 1 : 0;
+            }
+          });
+        } else {
+          // Mixed numeric: promote to double (CompareValues semantics).
+          auto lane = [&](ColumnKind kind, int col, uint32_t row) {
+            return kind == ColumnKind::kInt64
+                       ? static_cast<double>(
+                             partition_->Int64Column(col)[row])
+                       : partition_->DoubleColumn(col)[row];
+          };
+          WithCmp(ins.cmp, [&](auto cmp) {
+            for (uint32_t k = 0; k < count; ++k) {
+              uint32_t row = sel[k];
+              o[row - base] =
+                  cmp(lane(ka, ins.col, row), lane(kb, ins.col2, row)) ? 1
+                                                                       : 0;
+            }
+          });
+        }
+        break;
+      }
+      case Op::kDictTable: {
+        const uint32_t* codes = partition_->DictCodes(ins.col).data();
+        const uint8_t* table = dict_tables_[ins.slot].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] = table[codes[row]];
+        }
+        break;
+      }
+      case Op::kCmpStrGeneric: {
+        uint8_t* o = bool_slots_[ins.out].data();
+        char buf_a[11];
+        char buf_b[11];
+        auto side = [&](uint8_t kind, int ref, uint32_t row,
+                        char* buf) -> std::string_view {
+          if (kind == 0) {
+            const auto& dict = partition_->Dictionary(ref);
+            return dict.value(partition_->DictCodes(ref)[row]);
+          }
+          if (kind == 1) {
+            return tpch::FormatDate32(partition_->Date32Column(ref)[row],
+                                      buf);
+          }
+          return program_->str_pool_[ref];
+        };
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          std::string_view a = side(ins.sa_kind, ins.sa, row, buf_a);
+          std::string_view b = side(ins.sb_kind, ins.sb, row, buf_b);
+          int c = a.compare(b);
+          c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          o[row - base] = ApplyCmpSign(ins.cmp, c) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kLikeDateCol: {
+        const int32_t* col = partition_->Date32Column(ins.col).data();
+        const std::string& pattern = program_->str_pool_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        char buf[11];
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          bool m = expr::LikeMatch(tpch::FormatDate32(col[row], buf),
+                                   pattern);
+          o[row - base] = (ins.flag ? !m : m) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kInColI64: {
+        const int64_t* col = partition_->Int64Column(ins.col).data();
+        const auto& set = program_->i64_sets_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] =
+              std::binary_search(set.begin(), set.end(), col[row]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kInColF64: {
+        const double* col = partition_->DoubleColumn(ins.col).data();
+        const auto& set = program_->f64_sets_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] =
+              std::binary_search(set.begin(), set.end(), col[row]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kInColDate: {
+        const int32_t* col = partition_->Date32Column(ins.col).data();
+        const auto& set = program_->date_sets_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          o[row - base] =
+              std::binary_search(set.begin(), set.end(), col[row]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kInI64: {
+        const int64_t* a = i64_slots_[ins.in1].data();
+        const auto& set = program_->i64_sets_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = std::binary_search(set.begin(), set.end(), a[i]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kInF64: {
+        const double* a = f64_slots_[ins.in1].data();
+        const auto& set = program_->f64_sets_[ins.slot];
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = std::binary_search(set.begin(), set.end(), a[i]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kNot: {
+        const uint8_t* a = bool_slots_[ins.in1].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = a[i] ? 0 : 1;
+        }
+        break;
+      }
+      case Op::kAndEager: {
+        const uint8_t* a = bool_slots_[ins.in1].data();
+        const uint8_t* b = bool_slots_[ins.in2].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t i = sel[k] - base;
+          o[i] = (a[i] && b[i]) ? 1 : 0;
+        }
+        break;
+      }
+      case Op::kAndThen:
+      case Op::kOrElse: {
+        // Save the selection, then keep only the lanes on which the right
+        // side must be evaluated (left true for AND, left false for OR).
+        uint32_t* saved = saved_sel_[ins.slot].data();
+        std::copy(sel, sel + count, saved);
+        saved_count_[ins.slot] = count;
+        const uint8_t* l = bool_slots_[ins.in1].data();
+        const bool keep = ins.op == Op::kAndThen;
+        uint32_t kept = 0;
+        for (uint32_t k = 0; k < count; ++k) {
+          uint32_t row = sel[k];
+          if ((l[row - base] != 0) == keep) sel[kept++] = row;
+        }
+        count = kept;
+        break;
+      }
+      case Op::kAndEnd:
+      case Op::kOrEnd: {
+        const uint32_t* saved = saved_sel_[ins.slot].data();
+        count = saved_count_[ins.slot];
+        std::copy(saved, saved + count, sel);
+        const uint8_t* l = bool_slots_[ins.in1].data();
+        const uint8_t* r = bool_slots_[ins.in2].data();
+        uint8_t* o = bool_slots_[ins.out].data();
+        if (ins.op == Op::kAndEnd) {
+          for (uint32_t k = 0; k < count; ++k) {
+            uint32_t i = sel[k] - base;
+            o[i] = l[i] ? r[i] : 0;
+          }
+        } else {
+          for (uint32_t k = 0; k < count; ++k) {
+            uint32_t i = sel[k] - base;
+            o[i] = l[i] ? 1 : r[i];
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  const uint8_t* result = bool_slots_[program_->result_slot_].data();
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t row = sel[k];
+    if (result[row - base]) out->push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> CountMatches(const PredicateProgram& program,
+                              const tpch::ColumnarPartition& partition) {
+  BoundPredicate bound(&program, &partition);
+  std::vector<uint32_t> matches;
+  matches.reserve(partition.num_rows());
+  DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
+  return static_cast<uint64_t>(matches.size());
+}
+
+}  // namespace dmr::exec

@@ -121,6 +121,7 @@ class NotExpr : public Expression {
   std::string ToString() const override {
     return "NOT (" + operand_->ToString() + ")";
   }
+  const ExprPtr& operand() const { return operand_; }
 
  private:
   ExprPtr operand_;
@@ -134,6 +135,7 @@ class NegateExpr : public Expression {
   std::string ToString() const override {
     return "-(" + operand_->ToString() + ")";
   }
+  const ExprPtr& operand() const { return operand_; }
 
  private:
   ExprPtr operand_;
@@ -148,6 +150,9 @@ class BetweenExpr : public Expression {
         high_(std::move(high)) {}
   Result<Value> Evaluate(const Schema& schema, const Tuple& row) const override;
   std::string ToString() const override;
+  const ExprPtr& operand() const { return operand_; }
+  const ExprPtr& low() const { return low_; }
+  const ExprPtr& high() const { return high_; }
 
  private:
   ExprPtr operand_;
@@ -163,6 +168,8 @@ class InExpr : public Expression {
         candidates_(std::move(candidates)) {}
   Result<Value> Evaluate(const Schema& schema, const Tuple& row) const override;
   std::string ToString() const override;
+  const ExprPtr& operand() const { return operand_; }
+  const std::vector<ExprPtr>& candidates() const { return candidates_; }
 
  private:
   ExprPtr operand_;
@@ -178,6 +185,9 @@ class LikeExpr : public Expression {
         negated_(negated) {}
   Result<Value> Evaluate(const Schema& schema, const Tuple& row) const override;
   std::string ToString() const override;
+  const ExprPtr& operand() const { return operand_; }
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
 
  private:
   ExprPtr operand_;

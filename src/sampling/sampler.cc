@@ -22,28 +22,17 @@ Result<bool> SamplingMapper::Map(const expr::Tuple& row,
   return true;
 }
 
-SamplingReducer::SamplingReducer(uint64_t k, SampleMode mode, uint64_t seed)
-    : k_(k), mode_(mode), rng_(seed ^ 0x5EEDCAFEULL) {}
-
-void SamplingReducer::Add(expr::Tuple value) {
-  ++candidates_seen_;
-  if (sample_.size() < k_) {
-    sample_.push_back(std::move(value));
-    return;
+void SamplingMapper::MapMatches(uint64_t num_rows,
+                                const std::vector<uint32_t>& match_rows,
+                                uint32_t partition,
+                                std::vector<RowRef>* out) {
+  records_seen_ += num_rows;
+  records_matched_ += match_rows.size();
+  for (uint32_t row : match_rows) {
+    if (emitted_ >= k_) break;
+    ++emitted_;
+    out->push_back(RowRef{partition, row});
   }
-  if (mode_ == SampleMode::kReservoir) {
-    // Classic reservoir: replace a random slot with probability k / seen.
-    uint64_t j = rng_.NextBounded(candidates_seen_);
-    if (j < k_) sample_[j] = std::move(value);
-  }
-  // kFirstK: excess candidates are dropped (Algorithm 2 keeps the first k).
-}
-
-std::vector<expr::Tuple> SamplingReducer::Finish() {
-  std::vector<expr::Tuple> out = std::move(sample_);
-  sample_.clear();
-  candidates_seen_ = 0;
-  return out;
 }
 
 }  // namespace dmr::sampling

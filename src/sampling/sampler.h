@@ -10,6 +10,15 @@
 
 namespace dmr::sampling {
 
+/// \brief A candidate identified by position — (partition id, row index) —
+/// instead of a copied tuple. The vectorized path ships these through the
+/// shuffle/reduce stages and materializes actual rows only for the final
+/// sample.
+struct RowRef {
+  uint32_t partition = 0;
+  uint32_t row = 0;
+};
+
 /// \brief Record-level map logic for predicate-based sampling — the paper's
 /// Algorithm 1.
 ///
@@ -27,6 +36,14 @@ class SamplingMapper {
   /// Returns whether the record matched the predicate (even if not emitted
   /// because the k cap was reached).
   Result<bool> Map(const expr::Tuple& row, std::vector<expr::Tuple>* out);
+
+  /// Batch form used by the vectorized engine: accounts for `num_rows`
+  /// scanned records of which `match_rows` (ascending row indices within
+  /// `partition`) satisfied the predicate, and emits the first candidates
+  /// up to the k cap as RowRefs. Counter and emission semantics are
+  /// identical to calling Map() on every record in order.
+  void MapMatches(uint64_t num_rows, const std::vector<uint32_t>& match_rows,
+                  uint32_t partition, std::vector<RowRef>* out);
 
   /// Emitted so far by this mapper (<= k).
   uint64_t emitted() const { return emitted_; }
@@ -55,15 +72,40 @@ enum class SampleMode {
 /// \brief Record-level reduce logic — the paper's Algorithm 2. All map
 /// outputs share one dummy key, so a single reducer sees the whole
 /// candidate list.
-class SamplingReducer {
+///
+/// Generic over the candidate representation: full tuples on the
+/// interpreted path, RowRefs on the vectorized path (where sample rows are
+/// materialized only after Finish()). Trimming consumes the RNG stream
+/// identically for any T, so both paths select the same candidates for the
+/// same (seed, candidate order).
+template <typename T>
+class BasicSamplingReducer {
  public:
-  SamplingReducer(uint64_t k, SampleMode mode, uint64_t seed = 0);
+  BasicSamplingReducer(uint64_t k, SampleMode mode, uint64_t seed = 0)
+      : k_(k), mode_(mode), rng_(seed ^ 0x5EEDCAFEULL) {}
 
   /// Streams one candidate value into the reducer.
-  void Add(expr::Tuple value);
+  void Add(T value) {
+    ++candidates_seen_;
+    if (sample_.size() < k_) {
+      sample_.push_back(std::move(value));
+      return;
+    }
+    if (mode_ == SampleMode::kReservoir) {
+      // Classic reservoir: replace a random slot with probability k / seen.
+      uint64_t j = rng_.NextBounded(candidates_seen_);
+      if (j < k_) sample_[j] = std::move(value);
+    }
+    // kFirstK: excess candidates are dropped (Algorithm 2 keeps first k).
+  }
 
   /// Returns the final sample (size <= k) and resets the reducer.
-  std::vector<expr::Tuple> Finish();
+  std::vector<T> Finish() {
+    std::vector<T> out = std::move(sample_);
+    sample_.clear();
+    candidates_seen_ = 0;
+    return out;
+  }
 
   uint64_t candidates_seen() const { return candidates_seen_; }
 
@@ -72,8 +114,11 @@ class SamplingReducer {
   SampleMode mode_;
   Rng rng_;
   uint64_t candidates_seen_ = 0;
-  std::vector<expr::Tuple> sample_;
+  std::vector<T> sample_;
 };
+
+using SamplingReducer = BasicSamplingReducer<expr::Tuple>;
+using RefSamplingReducer = BasicSamplingReducer<RowRef>;
 
 }  // namespace dmr::sampling
 

@@ -1,0 +1,225 @@
+#include "tpch/columnar.h"
+
+#include "common/logging.h"
+
+namespace dmr::tpch {
+
+namespace {
+
+// Slot of `column` within the arrays of its kind.
+struct ColumnSlot {
+  ColumnKind kind;
+  int slot;
+};
+
+constexpr ColumnSlot kSlots[kNumLineItemColumns] = {
+    {ColumnKind::kInt64, 0},   // ORDERKEY
+    {ColumnKind::kInt64, 1},   // PARTKEY
+    {ColumnKind::kInt64, 2},   // SUPPKEY
+    {ColumnKind::kInt64, 3},   // LINENUMBER
+    {ColumnKind::kInt64, 4},   // QUANTITY
+    {ColumnKind::kDouble, 0},  // EXTENDEDPRICE
+    {ColumnKind::kDouble, 1},  // DISCOUNT
+    {ColumnKind::kDouble, 2},  // TAX
+    {ColumnKind::kDict, 0},    // RETURNFLAG
+    {ColumnKind::kDict, 1},    // LINESTATUS
+    {ColumnKind::kDate32, 0},  // SHIPDATE
+    {ColumnKind::kDate32, 1},  // COMMITDATE
+    {ColumnKind::kDate32, 2},  // RECEIPTDATE
+    {ColumnKind::kDict, 2},    // SHIPINSTRUCT
+    {ColumnKind::kDict, 3},    // SHIPMODE
+    {ColumnKind::kDict, 4},    // COMMENT
+};
+
+int SlotOf(int column, ColumnKind kind) {
+  DMR_CHECK_GE(column, 0);
+  DMR_CHECK_LT(column, int{kNumLineItemColumns});
+  DMR_CHECK(kSlots[column].kind == kind);
+  return kSlots[column].slot;
+}
+
+}  // namespace
+
+ColumnKind LineItemColumnKind(int column) {
+  DMR_CHECK_GE(column, 0);
+  DMR_CHECK_LT(column, int{kNumLineItemColumns});
+  return kSlots[column].kind;
+}
+
+Result<int32_t> EncodeDate32(std::string_view date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') {
+    return Status::InvalidArgument("not a canonical YYYY-MM-DD date: '" +
+                                   std::string(date) + "'");
+  }
+  int32_t fields[3] = {0, 0, 0};
+  static constexpr int kSpans[3][2] = {{0, 4}, {5, 2}, {8, 2}};
+  for (int f = 0; f < 3; ++f) {
+    for (int i = 0; i < kSpans[f][1]; ++i) {
+      char c = date[kSpans[f][0] + i];
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("not a canonical YYYY-MM-DD date: '" +
+                                       std::string(date) + "'");
+      }
+      fields[f] = fields[f] * 10 + (c - '0');
+    }
+  }
+  if (fields[1] < 1 || fields[1] > 12 || fields[2] < 1 || fields[2] > 31) {
+    return Status::InvalidArgument("out-of-range date fields in '" +
+                                   std::string(date) + "'");
+  }
+  return fields[0] * 10000 + fields[1] * 100 + fields[2];
+}
+
+std::string_view FormatDate32(int32_t packed, char* buf) {
+  int32_t year = packed / 10000;
+  int32_t month = (packed / 100) % 100;
+  int32_t day = packed % 100;
+  buf[0] = static_cast<char>('0' + (year / 1000) % 10);
+  buf[1] = static_cast<char>('0' + (year / 100) % 10);
+  buf[2] = static_cast<char>('0' + (year / 10) % 10);
+  buf[3] = static_cast<char>('0' + year % 10);
+  buf[4] = '-';
+  buf[5] = static_cast<char>('0' + month / 10);
+  buf[6] = static_cast<char>('0' + month % 10);
+  buf[7] = '-';
+  buf[8] = static_cast<char>('0' + day / 10);
+  buf[9] = static_cast<char>('0' + day % 10);
+  buf[10] = '\0';
+  return std::string_view(buf, 10);
+}
+
+std::string DecodeDate32(int32_t packed) {
+  char buf[11];
+  return std::string(FormatDate32(packed, buf));
+}
+
+uint32_t StringDictionary::GetOrAdd(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(s);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+ColumnarPartition::ColumnarPartition()
+    : i64_(5), f64_(3), date_(3), codes_(5), dicts_(5) {}
+
+Result<ColumnarPartition> ColumnarPartition::FromRows(
+    const std::vector<LineItemRow>& rows) {
+  ColumnarPartition part;
+  for (auto& col : part.i64_) col.reserve(rows.size());
+  for (auto& col : part.f64_) col.reserve(rows.size());
+  for (auto& col : part.date_) col.reserve(rows.size());
+  for (auto& col : part.codes_) col.reserve(rows.size());
+  for (const auto& row : rows) {
+    DMR_RETURN_NOT_OK(part.AppendRow(row));
+  }
+  return part;
+}
+
+Status ColumnarPartition::AppendRow(const LineItemRow& row) {
+  DMR_ASSIGN_OR_RETURN(int32_t shipdate, EncodeDate32(row.shipdate));
+  DMR_ASSIGN_OR_RETURN(int32_t commitdate, EncodeDate32(row.commitdate));
+  DMR_ASSIGN_OR_RETURN(int32_t receiptdate, EncodeDate32(row.receiptdate));
+  i64_[0].push_back(row.orderkey);
+  i64_[1].push_back(row.partkey);
+  i64_[2].push_back(row.suppkey);
+  i64_[3].push_back(row.linenumber);
+  i64_[4].push_back(row.quantity);
+  f64_[0].push_back(row.extendedprice);
+  f64_[1].push_back(row.discount);
+  f64_[2].push_back(row.tax);
+  date_[0].push_back(shipdate);
+  date_[1].push_back(commitdate);
+  date_[2].push_back(receiptdate);
+  codes_[0].push_back(dicts_[0].GetOrAdd(row.returnflag));
+  codes_[1].push_back(dicts_[1].GetOrAdd(row.linestatus));
+  codes_[2].push_back(dicts_[2].GetOrAdd(row.shipinstruct));
+  codes_[3].push_back(dicts_[3].GetOrAdd(row.shipmode));
+  codes_[4].push_back(dicts_[4].GetOrAdd(row.comment));
+  ++num_rows_;
+  return Status::OK();
+}
+
+const std::vector<int64_t>& ColumnarPartition::Int64Column(int column) const {
+  return i64_[SlotOf(column, ColumnKind::kInt64)];
+}
+
+const std::vector<double>& ColumnarPartition::DoubleColumn(int column) const {
+  return f64_[SlotOf(column, ColumnKind::kDouble)];
+}
+
+const std::vector<int32_t>& ColumnarPartition::Date32Column(int column) const {
+  return date_[SlotOf(column, ColumnKind::kDate32)];
+}
+
+const std::vector<uint32_t>& ColumnarPartition::DictCodes(int column) const {
+  return codes_[SlotOf(column, ColumnKind::kDict)];
+}
+
+const StringDictionary& ColumnarPartition::Dictionary(int column) const {
+  return dicts_[SlotOf(column, ColumnKind::kDict)];
+}
+
+LineItemRow ColumnarPartition::RowAt(uint32_t row) const {
+  DMR_CHECK_LT(row, num_rows_);
+  LineItemRow out;
+  out.orderkey = i64_[0][row];
+  out.partkey = i64_[1][row];
+  out.suppkey = i64_[2][row];
+  out.linenumber = i64_[3][row];
+  out.quantity = i64_[4][row];
+  out.extendedprice = f64_[0][row];
+  out.discount = f64_[1][row];
+  out.tax = f64_[2][row];
+  out.returnflag = dicts_[0].value(codes_[0][row]);
+  out.linestatus = dicts_[1].value(codes_[1][row]);
+  out.shipdate = DecodeDate32(date_[0][row]);
+  out.commitdate = DecodeDate32(date_[1][row]);
+  out.receiptdate = DecodeDate32(date_[2][row]);
+  out.shipinstruct = dicts_[2].value(codes_[2][row]);
+  out.shipmode = dicts_[3].value(codes_[3][row]);
+  out.comment = dicts_[4].value(codes_[4][row]);
+  return out;
+}
+
+expr::Tuple ColumnarPartition::TupleAt(uint32_t row) const {
+  DMR_CHECK_LT(row, num_rows_);
+  expr::Tuple tuple;
+  tuple.reserve(kNumLineItemColumns);
+  for (int c = 0; c < kNumLineItemColumns; ++c) {
+    tuple.push_back(ValueAt(c, row));
+  }
+  return tuple;
+}
+
+expr::Value ColumnarPartition::ValueAt(int column, uint32_t row) const {
+  DMR_CHECK_LT(row, num_rows_);
+  const ColumnSlot& slot = kSlots[column];
+  switch (slot.kind) {
+    case ColumnKind::kInt64:
+      return i64_[slot.slot][row];
+    case ColumnKind::kDouble:
+      return f64_[slot.slot][row];
+    case ColumnKind::kDate32:
+      return DecodeDate32(date_[slot.slot][row]);
+    case ColumnKind::kDict:
+      return dicts_[slot.slot].value(codes_[slot.slot][row]);
+  }
+  return expr::Value(false);  // unreachable
+}
+
+size_t ColumnarPartition::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : i64_) bytes += col.capacity() * sizeof(int64_t);
+  for (const auto& col : f64_) bytes += col.capacity() * sizeof(double);
+  for (const auto& col : date_) bytes += col.capacity() * sizeof(int32_t);
+  for (const auto& col : codes_) bytes += col.capacity() * sizeof(uint32_t);
+  for (const auto& dict : dicts_) {
+    for (const auto& v : dict.values()) bytes += v.size() + sizeof(v);
+  }
+  return bytes;
+}
+
+}  // namespace dmr::tpch

@@ -1,0 +1,116 @@
+#ifndef DMR_TPCH_COLUMNAR_H_
+#define DMR_TPCH_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/value.h"
+#include "tpch/lineitem.h"
+
+namespace dmr::tpch {
+
+/// \brief Physical storage class of a LINEITEM column in the columnar
+/// layout consumed by the vectorized predicate engine (exec/vectorized.h).
+///
+/// kDate32 columns hold 'YYYY-MM-DD' strings packed as yyyymmdd int32;
+/// because the textual form is fixed-width and zero-padded, numeric order
+/// on the packed form coincides with the lexicographic (== chronological)
+/// order the interpreted evaluator uses. kDict columns hold per-partition
+/// dictionary codes; low-cardinality string columns compress to a handful
+/// of distinct values, which lets LIKE and comparisons against literals be
+/// resolved once per distinct value instead of once per row.
+enum class ColumnKind : uint8_t { kInt64, kDouble, kDate32, kDict };
+
+/// Physical kind of each LineItemColumn.
+ColumnKind LineItemColumnKind(int column);
+
+/// Packs a strict 'YYYY-MM-DD' string as yyyymmdd. Rejects any other shape
+/// (wrong width, non-digits, out-of-range month/day fields).
+Result<int32_t> EncodeDate32(std::string_view date);
+
+/// Formats a packed date back to 'YYYY-MM-DD' into `buf` (>= 11 bytes,
+/// NUL-terminated) and returns a view of the 10 characters written.
+std::string_view FormatDate32(int32_t packed, char* buf);
+
+/// Convenience allocation-returning form of FormatDate32.
+std::string DecodeDate32(int32_t packed);
+
+/// \brief Per-column string dictionary: codes are assigned in first-seen
+/// order, so building is deterministic for a deterministic row stream.
+class StringDictionary {
+ public:
+  /// Returns the code for `s`, interning it on first sight.
+  uint32_t GetOrAdd(std::string_view s);
+
+  const std::string& value(uint32_t code) const { return values_[code]; }
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// \brief One LINEITEM partition in columnar form: fixed-width arrays for
+/// numeric and date columns, dictionary codes for string columns. This is
+/// the unit the vectorized engine scans in batches; the row-oriented
+/// std::vector<LineItemRow> form remains the interchange/serde format.
+class ColumnarPartition {
+ public:
+  ColumnarPartition();
+
+  /// Converts a row-oriented partition. Fails if a date column holds a
+  /// string that is not strict 'YYYY-MM-DD' (the layout cannot represent
+  /// it; such rows never come out of LineItemGenerator).
+  static Result<ColumnarPartition> FromRows(
+      const std::vector<LineItemRow>& rows);
+
+  /// Appends one row (the direct-generation path).
+  Status AppendRow(const LineItemRow& row);
+
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Typed column accessors; the slot must match LineItemColumnKind.
+  const std::vector<int64_t>& Int64Column(int column) const;
+  const std::vector<double>& DoubleColumn(int column) const;
+  const std::vector<int32_t>& Date32Column(int column) const;
+  const std::vector<uint32_t>& DictCodes(int column) const;
+  const StringDictionary& Dictionary(int column) const;
+
+  /// Reconstructs row `row` (byte-identical to the LineItemRow that was
+  /// appended/converted).
+  LineItemRow RowAt(uint32_t row) const;
+
+  /// Materializes row `row` as a typed tuple in schema order — identical
+  /// to tpch::ToTuple(RowAt(row)) without the intermediate struct.
+  expr::Tuple TupleAt(uint32_t row) const;
+
+  /// Materializes a single column value of row `row`.
+  expr::Value ValueAt(int column, uint32_t row) const;
+
+  /// Approximate heap footprint (for tests / sizing notes).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class ColumnarPartitionTestPeer;
+
+  uint32_t num_rows_ = 0;
+  // Slot order within each kind follows LineItemColumn order.
+  std::vector<std::vector<int64_t>> i64_;     // orderkey..quantity
+  std::vector<std::vector<double>> f64_;      // extendedprice, discount, tax
+  std::vector<std::vector<int32_t>> date_;    // shipdate, commitdate, receiptdate
+  std::vector<std::vector<uint32_t>> codes_;  // returnflag..comment
+  std::vector<StringDictionary> dicts_;
+};
+
+/// \brief A dataset in columnar form, parallel to
+/// MaterializedDataset::partitions.
+using ColumnarDataset = std::vector<ColumnarPartition>;
+
+}  // namespace dmr::tpch
+
+#endif  // DMR_TPCH_COLUMNAR_H_

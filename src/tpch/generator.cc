@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 namespace dmr::tpch {
 
@@ -86,6 +90,32 @@ Result<std::vector<LineItemRow>> LineItemGenerator::GeneratePartition(
   return rows;
 }
 
+Result<ColumnarPartition> LineItemGenerator::GenerateColumnarPartition(
+    uint64_t num_records, uint64_t num_matching, const SkewPredicate& pred) {
+  if (num_matching > num_records) {
+    return Status::InvalidArgument(
+        "num_matching exceeds num_records (" + std::to_string(num_matching) +
+        " > " + std::to_string(num_records) + ")");
+  }
+  ColumnarPartition part;
+  uint64_t remaining_matching = num_matching;
+  for (uint64_t i = 0; i < num_records; ++i) {
+    LineItemRow row = NextBaseRow();
+    uint64_t remaining_rows = num_records - i;
+    bool matching =
+        remaining_matching > 0 &&
+        rng_.NextBounded(remaining_rows) < remaining_matching;
+    if (matching) {
+      pred.make_matching(&rng_, &row);
+      --remaining_matching;
+    } else {
+      pred.make_non_matching(&rng_, &row);
+    }
+    DMR_RETURN_NOT_OK(part.AppendRow(row));
+  }
+  return part;
+}
+
 uint64_t MaterializedDataset::total_records() const {
   uint64_t total = 0;
   for (const auto& p : partitions) total += p.size();
@@ -112,13 +142,75 @@ Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
   ds.matching_per_partition = matching;
   ds.partitions.reserve(spec.num_partitions);
   LineItemGenerator gen(spec.seed ^ 0xABCD1234ULL);
+  ds.columnar.reserve(spec.num_partitions);
   for (int i = 0; i < spec.num_partitions; ++i) {
     DMR_ASSIGN_OR_RETURN(
         std::vector<LineItemRow> rows,
         gen.GeneratePartition(spec.records_per_partition, matching[i], pred));
+    DMR_ASSIGN_OR_RETURN(ColumnarPartition columnar,
+                         ColumnarPartition::FromRows(rows));
+    ds.columnar.push_back(std::move(columnar));
     ds.partitions.push_back(std::move(rows));
   }
   return ds;
+}
+
+namespace {
+
+using SharedDataset = std::shared_ptr<const MaterializedDataset>;
+
+std::string DatasetCacheKey(const SkewSpec& spec, const SkewPredicate& pred) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "p=%d|r=%llu|sel=%.17g|z=%.17g|seed=%llu|pz=%.17g|",
+                spec.num_partitions,
+                static_cast<unsigned long long>(spec.records_per_partition),
+                spec.selectivity, spec.zipf_z,
+                static_cast<unsigned long long>(spec.seed), pred.zipf_z);
+  return buf + pred.name + "|" + pred.sql;
+}
+
+}  // namespace
+
+Result<SharedDataset> MaterializeDatasetShared(const SkewSpec& spec) {
+  DMR_ASSIGN_OR_RETURN(SkewPredicate pred, PredicateForSkew(spec.zipf_z));
+  return MaterializeDatasetShared(spec, pred);
+}
+
+Result<SharedDataset> MaterializeDatasetShared(const SkewSpec& spec,
+                                               const SkewPredicate& pred) {
+  // Keyed futures rather than finished values: a second thread asking for a
+  // dataset that is still being generated blocks on the same generation
+  // instead of starting its own.
+  static std::mutex mu;
+  static auto& entries =
+      *new std::unordered_map<std::string,
+                              std::shared_future<Result<SharedDataset>>>();
+  const std::string key = DatasetCacheKey(spec, pred);
+  std::promise<Result<SharedDataset>> promise;
+  std::shared_future<Result<SharedDataset>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+      owner = true;
+      future = promise.get_future().share();
+      entries.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (owner) {
+    Result<MaterializedDataset> ds = MaterializeDataset(spec, pred);
+    if (ds.ok()) {
+      promise.set_value(
+          std::make_shared<const MaterializedDataset>(std::move(*ds)));
+    } else {
+      promise.set_value(ds.status());
+    }
+  }
+  return future.get();
 }
 
 }  // namespace dmr::tpch

@@ -2,10 +2,12 @@
 #define DMR_TPCH_GENERATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "tpch/columnar.h"
 #include "tpch/lineitem.h"
 #include "tpch/predicates.h"
 #include "tpch/skew_model.h"
@@ -33,6 +35,11 @@ class LineItemGenerator {
   Result<std::vector<LineItemRow>> GeneratePartition(
       uint64_t num_records, uint64_t num_matching, const SkewPredicate& pred);
 
+  /// GeneratePartition directly into columnar form — same rows (identical
+  /// RNG stream) without materializing the row vector.
+  Result<ColumnarPartition> GenerateColumnarPartition(
+      uint64_t num_records, uint64_t num_matching, const SkewPredicate& pred);
+
  private:
   Rng rng_;
   int64_t next_orderkey_ = 1;
@@ -41,6 +48,11 @@ class LineItemGenerator {
 /// \brief A fully materialized dataset (small scales; real record content).
 struct MaterializedDataset {
   std::vector<std::vector<LineItemRow>> partitions;
+  /// Columnar form of `partitions` (index-parallel) scanned by the
+  /// vectorized engine. Populated by MaterializeDataset; datasets built by
+  /// other means (e.g. loaded from disk) may leave it empty, in which case
+  /// the runtime converts on the fly.
+  ColumnarDataset columnar;
   SkewPredicate predicate;
   std::vector<uint64_t> matching_per_partition;
 
@@ -53,6 +65,19 @@ struct MaterializedDataset {
 Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec);
 Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
                                                const SkewPredicate& pred);
+
+/// \brief Memoized MaterializeDataset: one materialization per distinct
+/// (spec, predicate) for the process lifetime.
+///
+/// Grid drivers and tests that sweep other knobs at a fixed z hit the same
+/// dataset repeatedly; this returns a shared immutable copy instead of
+/// regenerating. Thread-safe: concurrent callers (e.g. under ParallelFor)
+/// requesting the same key block on one generation instead of duplicating
+/// it. Errors are memoized too (generation is deterministic).
+Result<std::shared_ptr<const MaterializedDataset>> MaterializeDatasetShared(
+    const SkewSpec& spec);
+Result<std::shared_ptr<const MaterializedDataset>> MaterializeDatasetShared(
+    const SkewSpec& spec, const SkewPredicate& pred);
 
 }  // namespace dmr::tpch
 
