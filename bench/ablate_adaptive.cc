@@ -51,6 +51,10 @@ Result<double> SingleUserResponse(const std::string& kind, double z) {
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    bed.Annotate("cell", "adaptive-single-s40");
+    bed.Annotate("policy", kind);
+    bed.Annotate("z", z);
+    bed.Annotate("repeat", static_cast<int64_t>(run));
     DMR_ASSIGN_OR_RETURN(
         testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 40, z, 6100 + run));
@@ -66,6 +70,9 @@ Result<double> SingleUserResponse(const std::string& kind, double z) {
 Result<double> MultiUserThroughput(const std::string& kind, double z) {
   constexpr int kUsers = 10;
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser());
+  bed.Annotate("cell", "adaptive-multi-s100");
+  bed.Annotate("policy", kind);
+  bed.Annotate("z", z);
   std::vector<testbed::Dataset> datasets;
   for (int u = 0; u < kUsers; ++u) {
     DMR_ASSIGN_OR_RETURN(

@@ -35,6 +35,10 @@ Result<Row> RunOne(const std::string& policy_name, bool use_estimator,
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    bed.Annotate("cell", use_estimator ? "estimator-on-s20" : "estimator-off-s20");
+    bed.Annotate("policy", policy_name);
+    bed.Annotate("z", z);
+    bed.Annotate("repeat", static_cast<int64_t>(run));
     DMR_ASSIGN_OR_RETURN(
         testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 20, z, 800 + 41 * run));

@@ -21,6 +21,14 @@ namespace {
 
 Result<double> RunWithInterval(double interval, int run) {
   testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+  {
+    char cell[48];
+    std::snprintf(cell, sizeof(cell), "eval-interval-%g", interval);
+    bed.Annotate("cell", cell);
+  }
+  bed.Annotate("policy", "LA");
+  bed.Annotate("z", 1.0);
+  bed.Annotate("repeat", static_cast<int64_t>(run));
   DMR_ASSIGN_OR_RETURN(
       testbed::Dataset dataset,
       testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0, 900 + 13 * run));

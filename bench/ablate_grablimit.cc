@@ -31,6 +31,10 @@ Result<Row> RunWith(const dynamic::GrowthPolicy& policy) {
   constexpr int kRepeats = 5;
   for (int run = 0; run < kRepeats; ++run) {
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    bed.Annotate("cell", "grablimit-s20");
+    bed.Annotate("policy", policy.name());
+    bed.Annotate("z", 1.0);
+    bed.Annotate("repeat", static_cast<int64_t>(run));
     DMR_ASSIGN_OR_RETURN(
         testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), 20, /*z=*/1.0,

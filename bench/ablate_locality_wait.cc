@@ -31,6 +31,13 @@ Result<Row> RunWithWait(double wait) {
   constexpr int kSamplingUsers = 4;
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser(),
                        testbed::SchedulerKind::kFair, wait);
+  {
+    char cell[48];
+    std::snprintf(cell, sizeof(cell), "locality-wait-%g", wait);
+    bed.Annotate("cell", cell);
+  }
+  bed.Annotate("policy", "LA");
+  bed.Annotate("z", 0.0);
   DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
                        dynamic::PolicyTable::BuiltIn().Find("LA"));
 

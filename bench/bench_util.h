@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/parallel.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/scope.h"
@@ -233,7 +234,8 @@ class ObsSession {
     if (!trace_path_.empty()) {
       recorder_ = std::make_unique<obs::TraceRecorder>();
     }
-    obs::Hub::Install(registry_.get(), recorder_.get());
+    book_ = std::make_unique<obs::LedgerBook>();
+    obs::Hub::Install(registry_.get(), recorder_.get(), book_.get());
     installed_ = true;
   }
 
@@ -257,6 +259,10 @@ class ObsSession {
     obs::Report report;
     report.SetInfo("driver", driver_);
     report.SetSnapshot(registry_->TakeSnapshot());
+    // Slot-time attribution + per-job critical paths for every cell;
+    // Resolve() inside LedgerJson asserts the sum-to-total invariant.
+    report.AddJsonSection("ledger", book_->LedgerJson());
+    report.AddJsonSection("critical_path", book_->CriticalPathJson());
     std::printf("\n%s", report.ToText().c_str());
     if (!metrics_path_.empty()) {
       CheckOk(report.WriteJson(metrics_path_), "metrics output");
@@ -270,6 +276,7 @@ class ObsSession {
   std::string metrics_path_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
+  std::unique_ptr<obs::LedgerBook> book_;
   bool installed_ = false;
 };
 

@@ -37,6 +37,10 @@ Result<CellResult> RunCell(const std::string& policy_name, int scale,
     // A fresh cluster per run (the paper's runs are back-to-back on an idle
     // cluster; a fresh testbed avoids cross-run interference).
     testbed::Testbed bed(cluster::ClusterConfig::SingleUser());
+    bed.Annotate("cell", "s" + std::to_string(scale));
+    bed.Annotate("policy", policy_name);
+    bed.Annotate("z", z);
+    bed.Annotate("repeat", static_cast<int64_t>(run));
     uint64_t seed = 1000 + 17 * run + scale;
     DMR_ASSIGN_OR_RETURN(
         testbed::Dataset dataset,

@@ -38,6 +38,9 @@ struct PolicyResult {
 
 Result<PolicyResult> RunPolicy(const std::string& policy_name, double z) {
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser());
+  bed.Annotate("cell", "multiuser-s" + std::to_string(kScale));
+  bed.Annotate("policy", policy_name);
+  bed.Annotate("z", z);
   DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
                        dynamic::PolicyTable::BuiltIn().Find(policy_name));
 

@@ -36,6 +36,13 @@ inline Result<HeteroResult> RunHeteroWorkload(testbed::SchedulerKind scheduler,
   constexpr int kScale = 100;
 
   testbed::Testbed bed(cluster::ClusterConfig::MultiUser(), scheduler);
+  bed.Annotate("cell",
+               std::string(scheduler == testbed::SchedulerKind::kFifo
+                               ? "hetero-fifo-f"
+                               : "hetero-fair-f") +
+                   std::to_string(sampling_users));
+  bed.Annotate("policy", policy_name);
+  bed.Annotate("z", 0.0);
   DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
                        dynamic::PolicyTable::BuiltIn().Find(policy_name));
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema check for the observability outputs of a bench driver run.
 
-Usage: check_obs_output.py TRACE.json METRICS.json
+Usage: check_obs_output.py TRACE.json METRICS.json [ANALYSIS.json]
 
 Validates that:
   * the trace file is Chrome trace-event JSON (traceEvents array, known
@@ -11,7 +11,13 @@ Validates that:
     equals the mapred.maps_launched counter) and one provider-decision
     instant event per provider invocation,
   * the metrics report carries the standard counters and the task-wait
-    latency histogram with ordered p50/p95/p99.
+    latency histogram with ordered p50/p95/p99,
+  * the report's `ledger` section attributes every slot-second to exactly
+    one of the six categories (sum equals nodes x slots x makespan),
+  * the report's `critical_path` section carries, per job, a time-ordered
+    path whose per-category breakdown sums to the path time,
+  * an optional dmr-analyze comparison JSON (third argument) joins the
+    same cells the ledger reported.
 
 Exits non-zero with a message on the first violation.
 """
@@ -125,16 +131,142 @@ def check_metrics(path, trace_stats):
     return counters
 
 
+LEDGER_CATEGORIES = ("useful", "wasted", "speculative", "queueing",
+                     "provider_wait", "idle")
+
+
+def check_ledger(path, doc):
+    """Validates the slot-time ledger section; returns the cell count."""
+    if "ledger" not in doc:
+        fail(f"{path}: missing section 'ledger'")
+    cells = doc["ledger"].get("cells")
+    if not isinstance(cells, list):
+        fail(f"{path}: ledger.cells is not an array")
+    for cell in cells:
+        label = cell.get("label", "?")
+        for key in ("annotations", "nodes", "map_slots_per_node", "makespan",
+                    "total_slot_seconds", "categories", "wasted_pct",
+                    "utilization_pct"):
+            if key not in cell:
+                fail(f"{path}: ledger cell {label} missing {key!r}")
+        cats = cell["categories"]
+        if set(cats) != set(LEDGER_CATEGORIES):
+            fail(f"{path}: ledger cell {label} categories {sorted(cats)} != "
+                 f"{sorted(LEDGER_CATEGORIES)}")
+        if any(cats[c] < 0 for c in cats):
+            fail(f"{path}: ledger cell {label} has a negative category")
+        expected = cell["nodes"] * cell["map_slots_per_node"] * cell["makespan"]
+        total = cell["total_slot_seconds"]
+        tol = 1e-6 * max(1.0, expected)
+        if abs(total - expected) > tol:
+            fail(f"{path}: ledger cell {label} total_slot_seconds {total} != "
+                 f"nodes*slots*makespan {expected}")
+        cat_sum = sum(cats.values())
+        if abs(cat_sum - total) > tol:
+            fail(f"{path}: ledger cell {label} categories sum to {cat_sum}, "
+                 f"not the total {total} (ledger is not exhaustive)")
+        for pct in ("wasted_pct", "utilization_pct"):
+            if not (0.0 <= cell[pct] <= 100.0):
+                fail(f"{path}: ledger cell {label} {pct} out of range: "
+                     f"{cell[pct]}")
+    return len(cells)
+
+
+def check_critical_path(path, doc):
+    """Validates the critical_path section; returns the total job count."""
+    if "critical_path" not in doc:
+        fail(f"{path}: missing section 'critical_path'")
+    cells = doc["critical_path"].get("cells")
+    if not isinstance(cells, list):
+        fail(f"{path}: critical_path.cells is not an array")
+    jobs_total = 0
+    for cell in cells:
+        label = cell.get("label", "?")
+        analysis = cell.get("analysis")
+        if not isinstance(analysis, dict) or "jobs" not in analysis:
+            fail(f"{path}: critical_path cell {label} missing analysis.jobs")
+        for job in analysis["jobs"]:
+            jobs_total += 1
+            jid = job.get("job", "?")
+            for key in ("finish_time", "response_time", "path_time",
+                        "breakdown", "path", "path_truncated"):
+                if key not in job:
+                    fail(f"{path}: critical path of job {jid} in cell "
+                         f"{label} missing {key!r}")
+            if job["response_time"] < 0 or job["path_time"] < 0:
+                fail(f"{path}: job {jid} in cell {label} has a negative "
+                     f"response/path time")
+            steps = job["path"]
+            if not steps:
+                fail(f"{path}: job {jid} in cell {label} has an empty path")
+            for a, b in zip(steps, steps[1:]):
+                if b["t"] < a["t"]:
+                    fail(f"{path}: job {jid} in cell {label} path is not "
+                         f"time-ordered at t={b['t']}")
+            if steps[-1]["event"] != "job_completed":
+                fail(f"{path}: job {jid} in cell {label} path does not end "
+                     f"at job_completed")
+            # The breakdown covers the full (untruncated) path.
+            breakdown_sum = sum(job["breakdown"].values())
+            if abs(breakdown_sum - job["path_time"]) > \
+                    1e-6 * max(1.0, job["path_time"]):
+                fail(f"{path}: job {jid} in cell {label} breakdown sums to "
+                     f"{breakdown_sum}, not path_time {job['path_time']}")
+    return jobs_total
+
+
+def check_analysis(path, ledger_cells):
+    """Validates a dmr-analyze comparison JSON against the report."""
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("runs", "cells"):
+        if section not in doc or not isinstance(doc[section], list):
+            fail(f"{path}: missing array section {section!r}")
+    if not doc["runs"]:
+        fail(f"{path}: no runs in the comparison")
+    joined = 0
+    for cell in doc["cells"]:
+        for key in ("driver", "cell", "policy", "z", "runs"):
+            if key not in cell:
+                fail(f"{path}: comparison cell missing {key!r}: {cell}")
+        if len(cell["runs"]) != len(doc["runs"]):
+            fail(f"{path}: comparison cell {cell['cell']} has "
+                 f"{len(cell['runs'])} run entries for {len(doc['runs'])} "
+                 f"runs")
+        for entry in cell["runs"]:
+            if entry is None:
+                continue
+            joined += entry.get("repeats", 0)
+            for key in ("response_time", "wasted_pct", "utilization_pct",
+                        "makespan", "categories"):
+                if key not in entry:
+                    fail(f"{path}: comparison entry for {cell['cell']} "
+                         f"missing {key!r}")
+    if ledger_cells > 0 and joined != ledger_cells:
+        fail(f"{path}: comparison joined {joined} ledger cells, report "
+             f"emitted {ledger_cells}")
+    return len(doc["cells"])
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     trace_stats = check_trace(sys.argv[1])
     counters = check_metrics(sys.argv[2], trace_stats)
+    with open(sys.argv[2]) as f:
+        metrics_doc = json.load(f)
+    ledger_cells = check_ledger(sys.argv[2], metrics_doc)
+    cp_jobs = check_critical_path(sys.argv[2], metrics_doc)
+    analysis_cells = 0
+    if len(sys.argv) == 4:
+        analysis_cells = check_analysis(sys.argv[3], ledger_cells)
     print(f"check_obs_output: OK "
           f"({trace_stats['map_spans']} map spans, "
           f"{trace_stats['provider_instants']} provider decisions, "
-          f"{counters['mapred.maps_launched']} maps launched)")
+          f"{counters['mapred.maps_launched']} maps launched, "
+          f"{ledger_cells} ledger cells, {cp_jobs} critical paths, "
+          f"{analysis_cells} joined cells)")
 
 
 if __name__ == "__main__":

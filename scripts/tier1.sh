@@ -23,8 +23,15 @@ trap 'rm -rf "${obs_dir}"' EXIT
 ./build/bench/bench_fig5_single_user \
   --trace="${obs_dir}/trace.json" --metrics="${obs_dir}/metrics.json" \
   > "${obs_dir}/stdout.txt"
+./build/src/obs/dmr-analyze --json="${obs_dir}/comparison.json" \
+  "${obs_dir}/metrics.json" > /dev/null
 python3 scripts/check_obs_output.py \
-  "${obs_dir}/trace.json" "${obs_dir}/metrics.json"
+  "${obs_dir}/trace.json" "${obs_dir}/metrics.json" \
+  "${obs_dir}/comparison.json"
+
+echo "== tier-1: ledger/critical-path baseline (dmr-analyze --baseline) =="
+./build/src/obs/dmr-analyze \
+  --baseline=configs/baselines/smoke.json "${obs_dir}/metrics.json"
 
 echo "== tier-1: bench smoke (micro benchmarks + engine-parity diff) =="
 ./build/bench/bench_micro --benchmark_min_time=0.01 \
@@ -42,10 +49,11 @@ if [[ "${1:-}" == "--no-tsan" ]]; then
   exit 0
 fi
 
-echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized tests) =="
+echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}" \
-  --target parallel_test simulation_test metrics_test vectorized_test
+  --target parallel_test simulation_test metrics_test vectorized_test \
+           ledger_test
 ctest --preset tsan
 
 echo "== tier-1: OK =="

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 
 namespace dmr::cluster {
 
@@ -38,6 +39,11 @@ int Node::AcquireMapSlot() {
     if (!map_slot_busy_[s]) {
       map_slot_busy_[s] = true;
       EmitSlotOccupancy();
+      if (obs_ != nullptr) {
+        if (obs::Ledger* ledger = obs_->ledger()) {
+          ledger->OnSlotAcquired(id_, s, sim_->Now());
+        }
+      }
       return s;
     }
   }
@@ -53,6 +59,11 @@ void Node::ReleaseMapSlot(int slot) {
   map_slot_busy_[slot] = false;
   --used_map_slots_;
   EmitSlotOccupancy();
+  if (obs_ != nullptr) {
+    if (obs::Ledger* ledger = obs_->ledger()) {
+      ledger->OnSlotReleased(id_, slot, sim_->Now());
+    }
+  }
 }
 
 void Node::AcquireReduceSlot() {

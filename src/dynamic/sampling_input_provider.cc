@@ -66,7 +66,14 @@ InputResponse SamplingInputProvider::Evaluate(const JobProgress& progress,
   response
       .WithDiagnostic("selectivity_estimate", estimated_selectivity_)
       .WithDiagnostic("grab_limit",
-                      static_cast<double>(policy_.GrabLimit(cluster)));
+                      static_cast<double>(policy_.GrabLimit(cluster)))
+      // Feed the decision-instant trace (and dmr-analyze drill-downs) with
+      // the provider's remaining-input view, so the provider-wait ledger
+      // category can be cross-checked against what the provider still held.
+      .WithDiagnostic("splits_remaining",
+                      static_cast<double>(unprocessed_.size()))
+      .WithDiagnostic("splits_granted",
+                      static_cast<double>(response.splits.size()));
   return response;
 }
 

@@ -20,8 +20,10 @@ inline constexpr const char* kCounterReduceInputRecords =
     "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kCounterResultRecords = "RESULT_RECORDS";
 
-/// \brief A named bag of monotonically adjusted 64-bit counters, as exposed
-/// per job by Hadoop. Cheap to copy into JobStats snapshots.
+/// \brief A named bag of 64-bit counters, as exposed per job by Hadoop.
+/// Deltas may be negative (Hadoop itself decrements counters when a failed
+/// or killed attempt's partial progress is rolled back), so values are not
+/// monotone over time. Cheap to copy into JobStats snapshots.
 class Counters {
  public:
   /// Adds `delta` (may be negative) to `name`, creating it at 0.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/critical_path.h"
 
 namespace dmr::mapred {
 
@@ -57,6 +58,10 @@ void RecordProviderDecision(obs::Scope* obs, double now, int job_id,
     }
     trace->Instant(now, trace->num_pids() - 1, 0, "provider.decision",
                    "provider", args);
+  }
+  if (obs::EventGraph* graph = obs->graph()) {
+    graph->ProviderDecision(job_id, now,
+                            InputResponseKindToString(response.kind));
   }
 }
 

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/critical_path.h"
+#include "obs/ledger.h"
 
 namespace dmr::mapred {
 
@@ -84,6 +86,11 @@ Result<int> JobTracker::SubmitDynamicJob(JobConf conf, int splits_total,
                         trace->num_pids() - 1,
                         "job " + std::to_string(id), "job", args);
     }
+    if (obs::EventGraph* graph = obs_->graph()) {
+      graph->JobSubmitted(id, sim_->Now());
+    }
+    if (obs::Ledger* ledger = obs_->ledger()) ledger->ClearQuiescent();
+    RecordDemandState();
   }
   return id;
 }
@@ -113,6 +120,12 @@ Status JobTracker::AddSplits(int job_id,
                           "split " + std::to_string(split.index), "split");
       }
     }
+    if (obs::EventGraph* graph = obs_->graph()) {
+      for (const InputSplit& split : stamped) {
+        graph->SplitAdded(job_id, split.index, now);
+      }
+    }
+    RecordDemandState();
   }
   history_.Record(sim_->Now(), job_id, JobEventKind::kSplitsAdded,
                   static_cast<int>(splits.size()));
@@ -124,7 +137,13 @@ Status JobTracker::FinalizeInput(int job_id) {
   if (job->input_finalized()) return Status::OK();
   job->FinalizeInput();
   history_.Record(sim_->Now(), job_id, JobEventKind::kInputFinalized);
+  if (obs_ != nullptr) {
+    if (obs::EventGraph* graph = obs_->graph()) {
+      graph->InputFinalized(job_id, sim_->Now());
+    }
+  }
   CheckReduceReady(job);
+  RecordDemandState();
   return Status::OK();
 }
 
@@ -207,6 +226,7 @@ void JobTracker::Heartbeat(int node_id) {
     MaybeLaunchBackups(node_id);
   }
 
+  RecordDemandState();
   sim_->Schedule(cluster_->config().heartbeat_interval,
                  [this, node_id] { Heartbeat(node_id); });
 }
@@ -253,6 +273,12 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
                        : obs_->m().maps_launched);
     if (!backup) {
       obs_->Observe(obs_->m().task_wait, sim_->Now() - split.queued_time);
+    }
+  }
+  if (obs_ != nullptr) {
+    if (obs::EventGraph* graph = obs_->graph()) {
+      graph->AttemptLaunched(job->id(), split.index, sim_->Now(), node_id,
+                             slot, backup);
     }
   }
   if (local) {
@@ -321,6 +347,59 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
       });
 }
 
+void JobTracker::RecordAttemptEnd(const MapAttempt& attempt,
+                                  const char* outcome) {
+  if (obs_ == nullptr) return;
+  if (obs::Ledger* ledger = obs_->ledger()) {
+    obs::Ledger::AttemptKind kind =
+        outcome[0] == 'o' ? obs::Ledger::AttemptKind::kCompleted
+        : outcome[0] == 'f' ? obs::Ledger::AttemptKind::kFailed
+                            : obs::Ledger::AttemptKind::kKilled;
+    ledger->OnAttemptOutcome(attempt.node_id, attempt.slot,
+                             attempt.job->id(), kind);
+  }
+  if (obs::EventGraph* graph = obs_->graph()) {
+    graph->AttemptDone(attempt.job->id(), attempt.split.index, sim_->Now(),
+                       attempt.node_id, attempt.slot, outcome);
+  }
+}
+
+void JobTracker::RecordDemandState() {
+  if (obs_ == nullptr) return;
+  obs::Ledger* ledger = obs_->ledger();
+  if (ledger == nullptr) return;
+  // A free slot right now is queueing delay if some mapping job has a
+  // runnable pending split, provider-wait if the only open demand is jobs
+  // whose input has not arrived yet, and idle otherwise.
+  bool pending = false;
+  bool provider_starved = false;
+  for (const Job* job : mapping_jobs_) {
+    if (job->state() != JobState::kMapping) continue;
+    if (job->HasPendingSplits()) {
+      pending = true;
+      break;
+    }
+    if (!job->input_finalized()) provider_starved = true;
+  }
+  ledger->OnFreeState(pending ? obs::Ledger::FreeState::kQueue
+                      : provider_starved
+                          ? obs::Ledger::FreeState::kProviderWait
+                          : obs::Ledger::FreeState::kIdle,
+                      sim_->Now());
+}
+
+void JobTracker::MaybeRecordSatisfiable(Job* job) {
+  if (obs_ == nullptr) return;
+  uint64_t k = job->conf().sample_size();
+  if (k == 0 || job->output_records() < k) return;
+  if (obs::Ledger* ledger = obs_->ledger()) {
+    ledger->OnSampleSatisfiable(job->id(), sim_->Now());
+  }
+  if (obs::EventGraph* graph = obs_->graph()) {
+    graph->SampleSatisfiable(job->id(), sim_->Now());
+  }
+}
+
 void JobTracker::TraceAttemptSpan(const MapAttempt& attempt,
                                   const char* outcome) {
   obs::TraceStream* trace = obs_->trace();
@@ -345,6 +424,7 @@ void JobTracker::KillAttempt(const AttemptPtr& attempt) {
   for (auto& [resource, request_id] : attempt->requests) {
     resource->CancelRequest(request_id);
   }
+  RecordAttemptEnd(*attempt, "killed");
   cluster_->node(attempt->node_id)->ReleaseMapSlot(attempt->slot);
   history_.Record(sim_->Now(), attempt->job->id(),
                   JobEventKind::kAttemptKilled, attempt->split.index,
@@ -358,6 +438,7 @@ void JobTracker::KillAttempt(const AttemptPtr& attempt) {
 void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
   if (attempt->finished) return;  // lost a race with a sibling's kill
   attempt->finished = true;
+  RecordAttemptEnd(*attempt, failed ? "failed" : "ok");
   cluster_->node(attempt->node_id)->ReleaseMapSlot(attempt->slot);
   Job* job = attempt->job;
   if (obs_ != nullptr) {
@@ -385,6 +466,7 @@ void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
       job->OnMapFailed(attempt->split);
       job->RequeueSplit(attempt->split);
     }
+    RecordDemandState();
     return;
   }
 
@@ -401,7 +483,9 @@ void JobTracker::OnAttemptDone(const AttemptPtr& attempt, bool failed) {
   job->RecordMapDuration(sim_->Now() - attempt->launch_time);
   job->OnMapCompleted(attempt->split,
                       job->ComputeMapOutput(attempt->split));
+  MaybeRecordSatisfiable(job);
   CheckReduceReady(job);
+  RecordDemandState();
 }
 
 void JobTracker::CheckReduceReady(Job* job) {
@@ -416,7 +500,12 @@ void JobTracker::LaunchReduce(Job* job, int node_id) {
   history_.Record(sim_->Now(), job->id(), JobEventKind::kReduceStarted, -1,
                   node_id);
   job->reduce_launch_time = sim_->Now();
-  if (obs_ != nullptr) obs_->Count(obs_->m().reduces_launched);
+  if (obs_ != nullptr) {
+    obs_->Count(obs_->m().reduces_launched);
+    if (obs::EventGraph* graph = obs_->graph()) {
+      graph->ReduceStarted(job->id(), sim_->Now());
+    }
+  }
 
   const auto& config = cluster_->config();
   uint64_t output_records = job->output_records();
@@ -465,6 +554,15 @@ void JobTracker::OnReduceComplete(Job* job, int node_id) {
                       trace->num_pids() - 1,
                       "job " + std::to_string(job->id()), "job");
     }
+  }
+  if (obs_ != nullptr) {
+    if (obs::EventGraph* graph = obs_->graph()) {
+      graph->JobCompleted(job->id(), sim_->Now());
+    }
+    if (obs::Ledger* ledger = obs_->ledger()) {
+      if (active_jobs_ == 0) ledger->MarkQuiescent(sim_->Now());
+    }
+    RecordDemandState();
   }
   JobStats stats = job->GetStats();
   stats.history = history_.ForJob(job->id());

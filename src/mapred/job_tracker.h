@@ -128,6 +128,16 @@ class JobTracker {
   void CheckReduceReady(Job* job);
   /// Emits the trace span of a finished (completed/failed/killed) attempt.
   void TraceAttemptSpan(const MapAttempt& attempt, const char* outcome);
+  /// Reports a finished attempt to the slot-time ledger and the event
+  /// graph. Must run before the node releases the attempt's map slot.
+  void RecordAttemptEnd(const MapAttempt& attempt, const char* outcome);
+  /// Re-derives the cluster-wide free-slot demand state (splits pending /
+  /// starved on the provider / idle) for the ledger. Cheap no-op dedupe in
+  /// the ledger; call after any event that can change demand.
+  void RecordDemandState();
+  /// Records the first instant `job`'s cumulative map output covered its
+  /// LIMIT-k sample (the boundary between useful and wasted slot time).
+  void MaybeRecordSatisfiable(Job* job);
   void PruneMappingJobs();
   Result<Job*> FindJob(int job_id) const;
   int NextJobId() { return next_job_id_++; }

@@ -1,0 +1,521 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace dmr::obs::analysis {
+
+using json::JsonQuote;
+using json::JsonValue;
+
+namespace {
+
+std::string Num(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string Fixed(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+Result<std::string> SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on " + path);
+  return text;
+}
+
+/// The annotation keys that form the join identity; everything else
+/// ("repeat", "scale", "seed", ...) is deliberately aggregated over.
+CellKey KeyOfCell(const std::string& driver, const JsonValue& cell) {
+  CellKey key;
+  key.driver = driver;
+  std::string label = cell.StringOr("label", "");
+  if (const JsonValue* ann = cell.Find("annotations")) {
+    key.cell = ann->StringOr("cell", label);
+    key.policy = ann->StringOr("policy", "");
+    key.z = ann->StringOr("z", "");
+  } else {
+    key.cell = label;
+  }
+  return key;
+}
+
+}  // namespace
+
+bool CellKey::operator<(const CellKey& other) const {
+  if (driver != other.driver) return driver < other.driver;
+  if (cell != other.cell) return cell < other.cell;
+  if (policy != other.policy) return policy < other.policy;
+  return z < other.z;
+}
+
+bool CellKey::operator==(const CellKey& other) const {
+  return driver == other.driver && cell == other.cell &&
+         policy == other.policy && z == other.z;
+}
+
+std::string CellKey::ToString() const {
+  std::string out = driver;
+  if (!cell.empty()) out += " cell=" + cell;
+  if (!policy.empty()) out += " policy=" + policy;
+  if (!z.empty()) out += " z=" + z;
+  return out;
+}
+
+double CellAggregate::response_time() const {
+  return jobs > 0 ? response_time_sum / jobs : 0.0;
+}
+
+double CellAggregate::wasted_pct() const {
+  double busy = category_seconds[0] + category_seconds[1] +
+                category_seconds[2];
+  return busy > 0.0 ? 100.0 * category_seconds[1] / busy : 0.0;
+}
+
+double CellAggregate::utilization_pct() const {
+  double busy = category_seconds[0] + category_seconds[1] +
+                category_seconds[2];
+  return total_slot_seconds > 0.0 ? 100.0 * busy / total_slot_seconds : 0.0;
+}
+
+double CellAggregate::makespan() const {
+  return repeats > 0 ? makespan_sum / repeats : 0.0;
+}
+
+bool CellAggregate::MetricByName(std::string_view name, double* out) const {
+  if (name == "response_time") {
+    *out = response_time();
+  } else if (name == "wasted_pct") {
+    *out = wasted_pct();
+  } else if (name == "utilization_pct") {
+    *out = utilization_pct();
+  } else if (name == "makespan") {
+    *out = makespan();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const CellAggregate* RunData::FindCell(const CellKey& key) const {
+  for (const CellAggregate& cell : cells) {
+    if (cell.key == key) return &cell;
+  }
+  return nullptr;
+}
+
+Result<RunData> ParseReport(std::string_view json, std::string source) {
+  DMR_ASSIGN_OR_RETURN(JsonValue doc, json::JsonParse(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(source + ": report is not a JSON object");
+  }
+  RunData run;
+  run.source = std::move(source);
+  if (const JsonValue* info = doc.Find("info")) {
+    run.driver = info->StringOr("driver", "");
+  }
+
+  std::map<CellKey, CellAggregate> by_key;
+
+  const JsonValue* ledger = doc.Find("ledger");
+  if (ledger != nullptr) {
+    const JsonValue* cells = ledger->Find("cells");
+    if (cells == nullptr || !cells->is_array()) {
+      return Status::InvalidArgument(run.source +
+                                     ": ledger section without cells array");
+    }
+    for (const JsonValue& cell : cells->items) {
+      CellKey key = KeyOfCell(run.driver, cell);
+      CellAggregate& agg = by_key[key];
+      agg.key = key;
+      ++agg.repeats;
+      agg.makespan_sum += cell.NumberOr("makespan", 0.0);
+      agg.total_slot_seconds += cell.NumberOr("total_slot_seconds", 0.0);
+      agg.delay_holds +=
+          static_cast<int64_t>(cell.NumberOr("delay_holds", 0.0));
+      const JsonValue* categories = cell.Find("categories");
+      if (categories == nullptr || !categories->is_object()) {
+        return Status::InvalidArgument(run.source + ": ledger cell " +
+                                       key.ToString() +
+                                       " lacks a categories object");
+      }
+      for (int c = 0; c < kNumSlotCategories; ++c) {
+        const char* name = SlotCategoryName(static_cast<SlotCategory>(c));
+        const JsonValue* v = categories->Find(name);
+        if (v == nullptr || !v->is_number()) {
+          return Status::InvalidArgument(run.source + ": ledger cell " +
+                                         key.ToString() +
+                                         " lacks category " + name);
+        }
+        agg.category_seconds[c] += v->number_value;
+      }
+    }
+  }
+
+  const JsonValue* critical = doc.Find("critical_path");
+  if (critical != nullptr) {
+    const JsonValue* cells = critical->Find("cells");
+    if (cells == nullptr || !cells->is_array()) {
+      return Status::InvalidArgument(
+          run.source + ": critical_path section without cells array");
+    }
+    for (const JsonValue& cell : cells->items) {
+      CellKey key = KeyOfCell(run.driver, cell);
+      CellAggregate& agg = by_key[key];
+      agg.key = key;
+      const JsonValue* anal = cell.Find("analysis");
+      const JsonValue* jobs =
+          anal != nullptr ? anal->Find("jobs") : nullptr;
+      if (jobs == nullptr || !jobs->is_array()) {
+        return Status::InvalidArgument(run.source + ": critical_path cell " +
+                                       key.ToString() +
+                                       " lacks analysis.jobs");
+      }
+      for (const JsonValue& job : jobs->items) {
+        ++agg.jobs;
+        agg.response_time_sum += job.NumberOr("response_time", 0.0);
+        agg.path_time_sum += job.NumberOr("path_time", 0.0);
+        if (const JsonValue* breakdown = job.Find("breakdown")) {
+          for (const auto& [cat, secs] : breakdown->members) {
+            if (secs.is_number()) {
+              agg.path_breakdown[cat] += secs.number_value;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  run.cells.reserve(by_key.size());
+  for (auto& [key, agg] : by_key) run.cells.push_back(std::move(agg));
+  return run;
+}
+
+Result<RunData> LoadReportFile(const std::string& path) {
+  DMR_ASSIGN_OR_RETURN(std::string text, SlurpFile(path));
+  return ParseReport(text, path);
+}
+
+namespace {
+
+std::vector<CellKey> UnionOfKeys(const std::vector<RunData>& runs) {
+  std::set<CellKey> keys;
+  for (const RunData& run : runs) {
+    for (const CellAggregate& cell : run.cells) keys.insert(cell.key);
+  }
+  return std::vector<CellKey>(keys.begin(), keys.end());
+}
+
+/// "execution 62% / queueing 21% / provider 17%" — the top categories of
+/// the aggregate's critical-path composition.
+std::string PathComposition(const CellAggregate& agg) {
+  if (agg.path_time_sum <= 0.0 || agg.path_breakdown.empty()) return "-";
+  std::vector<std::pair<std::string, double>> parts(
+      agg.path_breakdown.begin(), agg.path_breakdown.end());
+  std::sort(parts.begin(), parts.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::string out;
+  int shown = 0;
+  for (const auto& [cat, secs] : parts) {
+    double pct = 100.0 * secs / agg.path_time_sum;
+    if (pct < 0.5 && shown > 0) break;
+    if (shown > 0) out += " / ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %.0f%%", cat.c_str(), pct);
+    out += buf;
+    if (++shown == 3) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderComparisonMarkdown(const std::vector<RunData>& runs) {
+  std::string out;
+  out += "# dmr-analyze comparison\n\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    out += "- run " + std::to_string(i + 1) + ": `" + runs[i].source +
+           "` (driver " + runs[i].driver + ")\n";
+  }
+  out += "\n| cell | policy | z | run | jobs | response time (s) | "
+         "wasted work % | slot util % | makespan (s) | critical path |\n";
+  out += "|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const CellKey& key : UnionOfKeys(runs)) {
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const CellAggregate* agg = runs[i].FindCell(key);
+      out += "| " + key.cell + " | " + key.policy + " | " + key.z + " | " +
+             std::to_string(i + 1) + " | ";
+      if (agg == nullptr) {
+        out += "- | - | - | - | - | - |\n";
+        continue;
+      }
+      out += std::to_string(agg->jobs) + " | " +
+             Fixed(agg->response_time()) + " | " + Fixed(agg->wasted_pct()) +
+             " | " + Fixed(agg->utilization_pct()) + " | " +
+             Fixed(agg->makespan()) + " | " + PathComposition(*agg) +
+             " |\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderComparisonJson(const std::vector<RunData>& runs) {
+  std::string out = "{\n  \"runs\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"source\": " + JsonQuote(runs[i].source) + ", \"driver\": " +
+           JsonQuote(runs[i].driver) + "}";
+  }
+  out += "],\n  \"cells\": [";
+  bool first_cell = true;
+  for (const CellKey& key : UnionOfKeys(runs)) {
+    if (!first_cell) out += ",";
+    first_cell = false;
+    out += "\n    {\"driver\": " + JsonQuote(key.driver) + ", \"cell\": " +
+           JsonQuote(key.cell) + ", \"policy\": " + JsonQuote(key.policy) +
+           ", \"z\": " + JsonQuote(key.z) + ", \"runs\": [";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (i > 0) out += ", ";
+      const CellAggregate* agg = runs[i].FindCell(key);
+      if (agg == nullptr) {
+        out += "null";
+        continue;
+      }
+      out += "{\"repeats\": " + std::to_string(agg->repeats) +
+             ", \"jobs\": " + std::to_string(agg->jobs) +
+             ", \"response_time\": " + Num(agg->response_time()) +
+             ", \"wasted_pct\": " + Num(agg->wasted_pct()) +
+             ", \"utilization_pct\": " + Num(agg->utilization_pct()) +
+             ", \"makespan\": " + Num(agg->makespan()) +
+             ", \"delay_holds\": " + std::to_string(agg->delay_holds) +
+             ", \"categories\": {";
+      for (int c = 0; c < kNumSlotCategories; ++c) {
+        if (c > 0) out += ", ";
+        out += std::string("\"") +
+               SlotCategoryName(static_cast<SlotCategory>(c)) + "\": " +
+               Num(agg->category_seconds[c]);
+      }
+      out += "}, \"path_breakdown\": {";
+      bool first = true;
+      for (const auto& [cat, secs] : agg->path_breakdown) {
+        if (!first) out += ", ";
+        first = false;
+        out += JsonQuote(cat) + ": " + Num(secs);
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += first_cell ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+struct Tolerance {
+  double rel = 0.05;
+  double abs = 1e-9;
+};
+
+Tolerance ToleranceFor(const JsonValue& baseline, const std::string& metric) {
+  Tolerance tol;
+  const JsonValue* tolerances = baseline.Find("tolerances");
+  if (tolerances == nullptr) return tol;
+  const JsonValue* entry = tolerances->Find(metric);
+  if (entry == nullptr) return tol;
+  if (entry->is_number()) {
+    tol.rel = entry->number_value;
+  } else if (entry->is_object()) {
+    tol.rel = entry->NumberOr("rel", tol.rel);
+    tol.abs = entry->NumberOr("abs", tol.abs);
+  }
+  return tol;
+}
+
+/// Resolves a baseline cell reference against the runs (first run with the
+/// matching driver that has the cell wins).
+const CellAggregate* ResolveCell(const std::vector<RunData>& runs,
+                                 const std::string& driver,
+                                 const JsonValue& ref) {
+  for (const RunData& run : runs) {
+    if (!driver.empty() && run.driver != driver) continue;
+    CellKey key;
+    key.driver = run.driver;
+    key.cell = ref.StringOr("cell", "");
+    key.policy = ref.StringOr("policy", "");
+    key.z = ref.StringOr("z", "");
+    if (const CellAggregate* agg = run.FindCell(key)) return agg;
+  }
+  return nullptr;
+}
+
+std::string DescribeRef(const std::string& driver, const JsonValue& ref) {
+  CellKey key;
+  key.driver = driver;
+  key.cell = ref.StringOr("cell", "");
+  key.policy = ref.StringOr("policy", "");
+  key.z = ref.StringOr("z", "");
+  return key.ToString();
+}
+
+}  // namespace
+
+Result<BaselineReport> CheckBaseline(const JsonValue& baseline,
+                                     const std::vector<RunData>& runs) {
+  if (!baseline.is_object()) {
+    return Status::InvalidArgument("baseline is not a JSON object");
+  }
+  BaselineReport report;
+  std::string driver = baseline.StringOr("driver", "");
+  if (!driver.empty()) {
+    bool found = false;
+    for (const RunData& run : runs) found |= run.driver == driver;
+    if (!found) {
+      report.failures.push_back("no input run has driver '" + driver + "'");
+      return report;
+    }
+  }
+
+  if (const JsonValue* entries = baseline.Find("entries")) {
+    for (const JsonValue& entry : entries->items) {
+      const CellAggregate* agg = ResolveCell(runs, driver, entry);
+      if (agg == nullptr) {
+        report.failures.push_back("baseline cell not found in any run: " +
+                                  DescribeRef(driver, entry));
+        continue;
+      }
+      const JsonValue* metrics = entry.Find("metrics");
+      if (metrics == nullptr || !metrics->is_object()) continue;
+      for (const auto& [name, base] : metrics->members) {
+        if (!base.is_number()) continue;
+        double actual = 0.0;
+        if (!agg->MetricByName(name, &actual)) {
+          report.notes.push_back("unknown baseline metric '" + name +
+                                 "' ignored for " + agg->key.ToString());
+          continue;
+        }
+        ++report.entries_checked;
+        Tolerance tol = ToleranceFor(baseline, name);
+        double budget = tol.abs + tol.rel * std::fabs(base.number_value);
+        double delta = actual - base.number_value;
+        if (std::fabs(delta) > budget) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s: %s = %.6g vs baseline %.6g (|delta| %.3g > "
+                        "tolerance %.3g)",
+                        agg->key.ToString().c_str(), name.c_str(), actual,
+                        base.number_value, std::fabs(delta), budget);
+          report.failures.push_back(buf);
+        } else if (delta != 0.0) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s: %s drifted %.3g (within tolerance %.3g)",
+                        agg->key.ToString().c_str(), name.c_str(), delta,
+                        budget);
+          report.notes.push_back(buf);
+        }
+      }
+    }
+  }
+
+  if (const JsonValue* orderings = baseline.Find("orderings")) {
+    for (const JsonValue& ordering : orderings->items) {
+      std::string metric = ordering.StringOr("metric", "");
+      const JsonValue* cells = ordering.Find("cells");
+      if (metric.empty() || cells == nullptr || !cells->is_array() ||
+          cells->items.size() < 2) {
+        report.notes.push_back("skipping malformed ordering entry");
+        continue;
+      }
+      ++report.orderings_checked;
+      double prev = 0.0;
+      std::string prev_desc;
+      bool have_prev = false;
+      for (const JsonValue& ref : cells->items) {
+        const CellAggregate* agg = ResolveCell(runs, driver, ref);
+        if (agg == nullptr) {
+          report.failures.push_back("ordering cell not found: " +
+                                    DescribeRef(driver, ref));
+          have_prev = false;
+          continue;
+        }
+        double value = 0.0;
+        if (!agg->MetricByName(metric, &value)) {
+          report.failures.push_back("ordering uses unknown metric '" +
+                                    metric + "'");
+          break;
+        }
+        if (have_prev && value + 1e-9 < prev) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "ordering violated for %s: %s (%.6g) < %s (%.6g)",
+                        metric.c_str(), agg->key.ToString().c_str(), value,
+                        prev_desc.c_str(), prev);
+          report.failures.push_back(buf);
+        }
+        prev = value;
+        prev_desc = agg->key.ToString();
+        have_prev = true;
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string EmitBaseline(const std::vector<RunData>& runs,
+                         double default_rel_tolerance) {
+  std::string driver;
+  for (const RunData& run : runs) {
+    if (!run.driver.empty()) {
+      driver = run.driver;
+      break;
+    }
+  }
+  std::string out = "{\n  \"driver\": " + JsonQuote(driver) + ",\n";
+  out += "  \"tolerances\": {\"response_time\": " +
+         Num(default_rel_tolerance) + ", \"wasted_pct\": {\"rel\": " +
+         Num(default_rel_tolerance) + ", \"abs\": 0.5}, "
+         "\"utilization_pct\": {\"rel\": " + Num(default_rel_tolerance) +
+         ", \"abs\": 0.5}, \"makespan\": " + Num(default_rel_tolerance) +
+         "},\n";
+  out += "  \"entries\": [";
+  bool first = true;
+  std::set<CellKey> seen;
+  for (const RunData& run : runs) {
+    for (const CellAggregate& agg : run.cells) {
+      if (!seen.insert(agg.key).second) continue;  // first run wins
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"cell\": " + JsonQuote(agg.key.cell) +
+             ", \"policy\": " + JsonQuote(agg.key.policy) + ", \"z\": " +
+             JsonQuote(agg.key.z) + ",\n     \"metrics\": {" +
+             "\"response_time\": " + Num(agg.response_time()) +
+             ", \"wasted_pct\": " + Num(agg.wasted_pct()) +
+             ", \"utilization_pct\": " + Num(agg.utilization_pct()) +
+             ", \"makespan\": " + Num(agg.makespan()) + "}}";
+    }
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"orderings\": []\n}\n";
+  return out;
+}
+
+}  // namespace dmr::obs::analysis

@@ -1,0 +1,123 @@
+#ifndef DMR_OBS_ANALYSIS_H_
+#define DMR_OBS_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "obs/ledger.h"
+
+namespace dmr::obs::analysis {
+
+/// \brief Cross-run analysis of Report::ToJson() files: parse the `ledger`
+/// and `critical_path` sections, aggregate repeats, join cells across runs
+/// by (driver, cell, policy, z), render comparison matrices and diff
+/// against checked-in baselines. This is the library behind `dmr-analyze`;
+/// it is also linked into tests directly.
+
+/// Join key of one experiment cell. `cell` / `policy` / `z` come from the
+/// driver's Testbed::Annotate calls ("cell" falls back to the auto label);
+/// repeats of the same key are aggregated, not distinguished.
+struct CellKey {
+  std::string driver;
+  std::string cell;
+  std::string policy;
+  std::string z;
+
+  bool operator<(const CellKey& other) const;
+  bool operator==(const CellKey& other) const;
+  std::string ToString() const;
+};
+
+/// Aggregated metrics of one join key within one run (repeats summed).
+struct CellAggregate {
+  CellKey key;
+  int repeats = 0;  // number of ledger cells merged into this aggregate
+
+  // Slot-time ledger side.
+  double makespan_sum = 0.0;
+  double total_slot_seconds = 0.0;
+  double category_seconds[kNumSlotCategories] = {};
+  int64_t delay_holds = 0;
+
+  // Critical-path side.
+  int jobs = 0;
+  double response_time_sum = 0.0;
+  double path_time_sum = 0.0;
+  /// Edge-category name -> summed seconds along the jobs' critical paths.
+  std::map<std::string, double> path_breakdown;
+
+  // Derived metrics (the baseline-checked set).
+  double response_time() const;   // mean over jobs, seconds
+  double wasted_pct() const;      // wasted / (useful+wasted+speculative)
+  double utilization_pct() const; // busy slot time / total slot time
+  double makespan() const;        // mean over repeats
+
+  /// Metric by name ("response_time", "wasted_pct", "utilization_pct",
+  /// "makespan"); false when the name is unknown.
+  bool MetricByName(std::string_view name, double* out) const;
+};
+
+/// One parsed report file.
+struct RunData {
+  std::string source;  // file path (or caller-provided tag)
+  std::string driver;
+  std::vector<CellAggregate> cells;  // sorted by key
+
+  const CellAggregate* FindCell(const CellKey& key) const;
+};
+
+/// Parses one Report::ToJson() document. Reports without ledger /
+/// critical_path sections yield an empty cell list (valid: drivers without
+/// a simulated cluster, e.g. fig4's skew model, emit empty sections).
+Result<RunData> ParseReport(std::string_view json, std::string source);
+Result<RunData> LoadReportFile(const std::string& path);
+
+/// Markdown comparison matrix over N runs: one row per join key, per-run
+/// metric columns (response time, wasted-work %, slot utilization,
+/// makespan) plus the critical-path composition.
+std::string RenderComparisonMarkdown(const std::vector<RunData>& runs);
+
+/// The same join as a machine-readable JSON document (consumed by
+/// scripts/check_obs_output.py).
+std::string RenderComparisonJson(const std::vector<RunData>& runs);
+
+/// \brief Result of diffing runs against a baseline file.
+struct BaselineReport {
+  /// Out-of-tolerance metrics and violated orderings (regression => exit 1).
+  std::vector<std::string> failures;
+  /// In-tolerance deviations and informational notes.
+  std::vector<std::string> notes;
+  int entries_checked = 0;
+  int orderings_checked = 0;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Diffs `runs` against a baseline document:
+/// {
+///   "driver": "fig5_single_user",
+///   "tolerances": {"response_time": 0.1,               // relative
+///                  "wasted_pct": {"rel": 0.1, "abs": 1.0}},
+///   "entries": [{"cell": ..., "policy": ..., "z": ...,
+///                "metrics": {"response_time": 123.4, ...}}, ...],
+///   "orderings": [{"metric": "wasted_pct", "comment": ...,
+///                  "cells": [{"policy": "HA", ...}, ...]}]   // nondecreasing
+/// }
+/// A metric fails when |value - base| > abs + rel * |base|; an ordering
+/// fails when the listed cells' metric values are not nondecreasing.
+/// Missing cells fail; unknown driver mismatch fails.
+Result<BaselineReport> CheckBaseline(const json::JsonValue& baseline,
+                                     const std::vector<RunData>& runs);
+
+/// Renders a fresh baseline document from `runs` with the given default
+/// relative tolerance (orderings are meant to be curated by hand on top).
+std::string EmitBaseline(const std::vector<RunData>& runs,
+                         double default_rel_tolerance);
+
+}  // namespace dmr::obs::analysis
+
+#endif  // DMR_OBS_ANALYSIS_H_

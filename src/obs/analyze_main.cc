@@ -1,0 +1,173 @@
+// dmr-analyze: cross-run analysis of obs::Report JSON files.
+//
+// Ingests N reports produced by the bench drivers' --metrics flag, joins
+// their ledger / critical-path cells by (driver, cell, policy, z) and
+// renders a comparison matrix; with --baseline it diffs the join against a
+// checked-in configs/baselines/*.json and exits nonzero on regression.
+//
+// Usage:
+//   dmr-analyze [flags] report.json [report2.json ...]
+//     --markdown[=FILE]    comparison matrix as markdown (default: stdout)
+//     --json=FILE          comparison matrix as JSON
+//     --baseline=FILE      diff against a baseline; exit 1 on regression
+//     --emit-baseline=FILE write a fresh baseline from these reports
+//     --rel-tolerance=X    default relative tolerance for --emit-baseline
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/analysis.h"
+
+namespace {
+
+using dmr::Result;
+using dmr::Status;
+using dmr::obs::analysis::BaselineReport;
+using dmr::obs::analysis::RunData;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--markdown[=FILE]] [--json=FILE] "
+               "[--baseline=FILE] [--emit-baseline=FILE] "
+               "[--rel-tolerance=X] report.json [report2.json ...]\n",
+               argv0);
+  std::exit(2);
+}
+
+void DieOn(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "dmr-analyze: %s: %s\n", what,
+               status.ToString().c_str());
+  std::exit(2);
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IoError("short write " + path);
+  return Status::OK();
+}
+
+Result<std::string> Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on " + path);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string json_path;
+  std::string markdown_path;
+  std::string emit_baseline_path;
+  double rel_tolerance = 0.05;
+  bool want_markdown = false;
+  std::vector<std::string> report_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--markdown") == 0) {
+      want_markdown = true;
+    } else if (std::strncmp(arg, "--markdown=", 11) == 0) {
+      want_markdown = true;
+      markdown_path = arg + 11;
+    } else if (std::strncmp(arg, "--emit-baseline=", 16) == 0) {
+      emit_baseline_path = arg + 16;
+    } else if (std::strncmp(arg, "--rel-tolerance=", 16) == 0) {
+      char* end = nullptr;
+      rel_tolerance = std::strtod(arg + 16, &end);
+      if (end == arg + 16 || *end != '\0' || rel_tolerance < 0) {
+        Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      Usage(argv[0]);
+    } else {
+      report_paths.push_back(arg);
+    }
+  }
+  if (report_paths.empty()) Usage(argv[0]);
+
+  std::vector<RunData> runs;
+  runs.reserve(report_paths.size());
+  for (const std::string& path : report_paths) {
+    Result<RunData> run = dmr::obs::analysis::LoadReportFile(path);
+    DieOn(run.status(), path.c_str());
+    runs.push_back(std::move(run).ValueUnsafe());
+  }
+
+  // Default action: markdown matrix on stdout (unless another output or a
+  // baseline check was requested explicitly).
+  if (!want_markdown && json_path.empty() && baseline_path.empty() &&
+      emit_baseline_path.empty()) {
+    want_markdown = true;
+  }
+
+  if (want_markdown) {
+    std::string markdown =
+        dmr::obs::analysis::RenderComparisonMarkdown(runs);
+    if (markdown_path.empty()) {
+      std::fputs(markdown.c_str(), stdout);
+    } else {
+      DieOn(WriteFile(markdown_path, markdown), markdown_path.c_str());
+      std::printf("comparison markdown written to %s\n",
+                  markdown_path.c_str());
+    }
+  }
+  if (!json_path.empty()) {
+    DieOn(WriteFile(json_path,
+                    dmr::obs::analysis::RenderComparisonJson(runs)),
+          json_path.c_str());
+    std::printf("comparison JSON written to %s\n", json_path.c_str());
+  }
+  if (!emit_baseline_path.empty()) {
+    DieOn(WriteFile(emit_baseline_path,
+                    dmr::obs::analysis::EmitBaseline(runs, rel_tolerance)),
+          emit_baseline_path.c_str());
+    std::printf("baseline written to %s (curate orderings by hand)\n",
+                emit_baseline_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    Result<std::string> text = Slurp(baseline_path);
+    DieOn(text.status(), baseline_path.c_str());
+    Result<dmr::json::JsonValue> baseline =
+        dmr::json::JsonParse(*text);
+    DieOn(baseline.status(), baseline_path.c_str());
+    Result<BaselineReport> checked =
+        dmr::obs::analysis::CheckBaseline(*baseline, runs);
+    DieOn(checked.status(), baseline_path.c_str());
+    for (const std::string& note : checked->notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    if (!checked->ok()) {
+      for (const std::string& failure : checked->failures) {
+        std::fprintf(stderr, "REGRESSION: %s\n", failure.c_str());
+      }
+      std::fprintf(stderr, "dmr-analyze: %zu regression(s) vs %s\n",
+                   checked->failures.size(), baseline_path.c_str());
+      return 1;
+    }
+    std::printf("baseline OK: %d metric(s), %d ordering(s) checked vs %s\n",
+                checked->entries_checked, checked->orderings_checked,
+                baseline_path.c_str());
+  }
+  return 0;
+}

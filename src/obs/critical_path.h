@@ -1,0 +1,162 @@
+#ifndef DMR_OBS_CRITICAL_PATH_H_
+#define DMR_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmr::obs {
+
+/// \brief Records the causal structure of one simulated cluster run as a
+/// DAG of lifecycle events (submit -> provider decision -> split added ->
+/// attempt launched -> attempt done -> sample satisfiable -> finalize ->
+/// reduce -> complete), with parent edges capturing *why* each event
+/// happened when it did.
+///
+/// Every event carries its virtual timestamp; an event with several parents
+/// was gated by the latest of them (the *binding* parent — e.g. an attempt
+/// launch waits on both "split available" and "slot free"). Walking binding
+/// parents backwards from a job-completion event yields the chain that set
+/// that job's finish time: its critical path. The slack of the runner-up
+/// parents says how much the binding dependency could shrink before another
+/// one starts to bind.
+///
+/// One EventGraph per experiment cell, written single-threaded by the cell's
+/// simulation (same threading model as TraceStream). Recording is only
+/// reachable through a non-null obs::Scope, so the zero-observer path pays
+/// nothing.
+class EventGraph {
+ public:
+  enum class EventType : uint8_t {
+    kSubmit,
+    kProviderDecision,
+    kSplitAdded,
+    kAttemptLaunched,
+    kAttemptDone,
+    kSampleSatisfiable,
+    kInputFinalized,
+    kReduceStarted,
+    kJobCompleted,
+  };
+
+  /// What kind of wait a parent->child edge represents (feeds the
+  /// per-category time breakdown of the critical path).
+  enum class EdgeCategory : uint8_t {
+    kProvider,   // waiting on an Input Provider decision / input handover
+    kQueueing,   // split queued behind busy slots / scheduler decisions
+    kExecution,  // a map attempt actually running
+    kBarrier,    // map-phase barrier before the reduce launch
+    kReduce,     // the reduce task running
+  };
+
+  struct Event {
+    EventType type;
+    double t = 0.0;
+    int job = -1;
+    /// Split index for split/attempt events, -1 otherwise.
+    int detail = -1;
+    int node = -1;
+    int slot = -1;
+    /// Parent edges, in recording order.
+    std::vector<std::pair<int32_t, EdgeCategory>> parents;
+  };
+
+  // --- recording (called by JobTracker / JobClient through obs::Scope) ----
+
+  void JobSubmitted(int job, double t);
+  /// `kind` is the InputResponse kind string ("input-available", ...).
+  void ProviderDecision(int job, double t, const char* kind);
+  void SplitAdded(int job, int split, double t);
+  void AttemptLaunched(int job, int split, double t, int node, int slot,
+                       bool backup);
+  /// `outcome` is "ok", "failed" or "killed". A failed attempt re-arms the
+  /// split's availability (the retry's launch will hang off this event).
+  void AttemptDone(int job, int split, double t, int node, int slot,
+                   const char* outcome);
+  void SampleSatisfiable(int job, double t);  // first call per job wins
+  void InputFinalized(int job, double t);
+  void ReduceStarted(int job, double t);
+  void JobCompleted(int job, double t);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  // --- analysis -----------------------------------------------------------
+
+  struct PathStep {
+    EventType type;
+    double t = 0.0;
+    int job = -1;
+    int detail = -1;
+    int node = -1;
+    /// Time since the binding parent (0 for the root).
+    double dur = 0.0;
+    /// Category of the binding edge (meaningless for the root).
+    EdgeCategory category = EdgeCategory::kQueueing;
+    /// binding.t - runner_up.t when the event had >= 2 parents (how much the
+    /// binding dependency could shrink before another parent binds); equal
+    /// to `dur` for single-parent events (the whole edge is compressible).
+    double slack = 0.0;
+  };
+
+  struct JobPath {
+    int job = -1;
+    double finish_time = 0.0;
+    /// finish_time - the job's own submit time (response time as the user
+    /// saw it; falls back to path_time if the submit was never recorded).
+    double response_time = 0.0;
+    /// finish_time - path root time. On a shared cluster the binding chain
+    /// may cross into another job (a slot freed by someone else's attempt),
+    /// so the root is not necessarily this job's own submit event.
+    double path_time = 0.0;
+    int root_job = -1;
+    EventType root_type = EventType::kSubmit;
+    /// Root-first binding chain ending at the job-completed event.
+    std::vector<PathStep> steps;
+    /// Seconds per EdgeCategory along the path (sums to path_time).
+    std::map<EdgeCategory, double> breakdown;
+  };
+
+  /// Extracts the critical path of every completed job, in completion
+  /// (recording) order. Deterministic: timestamp ties between parents break
+  /// towards the later-recorded event.
+  std::vector<JobPath> AnalyzeCriticalPaths() const;
+
+  /// Renders the analysis of this graph as a JSON object:
+  /// `{"jobs": [{"job":, "finish_time":, "path_time":, "breakdown": {...},
+  ///   "path": [...], "path_truncated":}, ...]}`. Paths longer than
+  /// `max_path_steps` keep only the last entries (closest to completion).
+  std::string AnalysisToJson(size_t max_path_steps = 40) const;
+
+  static const char* EventTypeName(EventType type);
+  static const char* EdgeCategoryName(EdgeCategory category);
+
+ private:
+  int32_t AddEvent(EventType type, double t, int job, int detail, int node,
+                   int slot);
+  void AddParent(int32_t child, int32_t parent, EdgeCategory category);
+  /// Latest provider decision of `job`, or its submit event, or -1.
+  int32_t InputSourceOf(int job) const;
+
+  std::vector<Event> events_;
+
+  // Recording-time registries resolving semantic ids to event indices.
+  std::map<int, int32_t> submit_;
+  std::map<int, int32_t> last_provider_;
+  std::map<int, int32_t> last_done_;        // per job
+  std::map<int, int32_t> satisfiable_;
+  std::map<int, int32_t> finalized_;
+  std::map<int, int32_t> reduce_;
+  /// Split availability: the split-added event, re-armed to the failed
+  /// attempt-done when a retry is pending. Keyed by (job, split).
+  std::map<std::pair<int, int>, int32_t> available_;
+  /// Open launch / last release per (node, slot).
+  std::map<std::pair<int, int>, int32_t> open_launch_;
+  std::map<std::pair<int, int>, int32_t> slot_release_;
+};
+
+}  // namespace dmr::obs
+
+#endif  // DMR_OBS_CRITICAL_PATH_H_

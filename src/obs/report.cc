@@ -126,6 +126,21 @@ std::string Report::ToText() const {
     }
   }
 
+  // Raw JSON sections are only rendered in full by ToJson(); surface their
+  // presence here so a text report never hides data silently.
+  if (!sections_.empty()) {
+    out += "== sections (see --metrics JSON) ==\n";
+    size_t key_w = 0;
+    for (const auto& [name, _] : sections_) {
+      key_w = std::max(key_w, name.size());
+    }
+    for (const auto& [name, json] : sections_) {
+      std::string line = "  " + name;
+      Pad(&line, key_w + 4);
+      out += line + std::to_string(json.size()) + " bytes\n";
+    }
+  }
+
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/ledger.h"
+
 namespace dmr::obs {
 
 StandardMetrics::StandardMetrics(MetricsRegistry* r) {
@@ -43,6 +45,23 @@ StandardMetrics::StandardMetrics(MetricsRegistry* r) {
 }
 
 // ---------------------------------------------------------------------------
+// Scope <-> LedgerCell (out-of-line: scope.h only forward-declares ledger
+// types so the hot-path headers stay light).
+
+Ledger* Scope::ledger() const {
+  return cell_ != nullptr ? &cell_->ledger : nullptr;
+}
+
+EventGraph* Scope::graph() const {
+  return cell_ != nullptr ? &cell_->graph : nullptr;
+}
+
+void Scope::Annotate(std::string_view key, std::string_view value) {
+  if (cell_ == nullptr) return;
+  cell_->annotations[std::string(key)] = std::string(value);
+}
+
+// ---------------------------------------------------------------------------
 // Hub
 
 namespace {
@@ -50,18 +69,22 @@ namespace {
 std::mutex g_hub_mu;
 MetricsRegistry* g_hub_registry = nullptr;
 TraceRecorder* g_hub_recorder = nullptr;
+LedgerBook* g_hub_book = nullptr;
 std::atomic<bool> g_hub_active{false};
 std::atomic<uint64_t> g_hub_cell_seq{0};
 
 }  // namespace
 
-void Hub::Install(MetricsRegistry* registry, TraceRecorder* recorder) {
+void Hub::Install(MetricsRegistry* registry, TraceRecorder* recorder,
+                  LedgerBook* book) {
   std::lock_guard<std::mutex> lock(g_hub_mu);
   g_hub_registry = registry;
   g_hub_recorder = recorder;
+  g_hub_book = book;
   g_hub_cell_seq.store(0, std::memory_order_relaxed);
-  g_hub_active.store(registry != nullptr || recorder != nullptr,
-                     std::memory_order_release);
+  g_hub_active.store(
+      registry != nullptr || recorder != nullptr || book != nullptr,
+      std::memory_order_release);
 }
 
 void Hub::Uninstall() {
@@ -69,6 +92,7 @@ void Hub::Uninstall() {
   g_hub_active.store(false, std::memory_order_release);
   g_hub_registry = nullptr;
   g_hub_recorder = nullptr;
+  g_hub_book = nullptr;
 }
 
 bool Hub::active() { return g_hub_active.load(std::memory_order_acquire); }
@@ -83,6 +107,11 @@ TraceRecorder* Hub::recorder() {
   return g_hub_recorder;
 }
 
+LedgerBook* Hub::book() {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  return g_hub_book;
+}
+
 std::string Hub::NextCellLabel() {
   uint64_t seq = g_hub_cell_seq.fetch_add(1, std::memory_order_relaxed);
   char buf[32];
@@ -95,8 +124,10 @@ std::string Hub::NextCellLabel() {
 
 std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
                                         TraceRecorder* recorder,
+                                        LedgerBook* book,
                                         std::string_view label,
-                                        int num_nodes) {
+                                        int num_nodes,
+                                        int map_slots_per_node) {
   TraceStream* stream = nullptr;
   if (recorder != nullptr) {
     // One pid per node, plus the client/provider track at pid num_nodes.
@@ -107,7 +138,11 @@ std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
     }
     stream->ProcessName(num_nodes, prefix + " client");
   }
-  return std::make_unique<Scope>(registry, stream);
+  LedgerCell* cell = nullptr;
+  if (book != nullptr) {
+    cell = book->NewCell(std::string(label), num_nodes, map_slots_per_node);
+  }
+  return std::make_unique<Scope>(registry, stream, cell);
 }
 
 }  // namespace dmr::obs

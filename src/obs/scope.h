@@ -11,6 +11,11 @@
 
 namespace dmr::obs {
 
+class EventGraph;
+class Ledger;
+class LedgerBook;
+struct LedgerCell;
+
 /// \brief The standard pre-registered metric handle set shared by every
 /// instrumented component. Registering the same names twice is safe
 /// (MetricsRegistry dedupes), so each Scope owns its own copy of the
@@ -71,15 +76,25 @@ struct StandardMetrics {
 /// atomic traffic on the simulation hot path unless a scope is attached).
 ///
 /// A Scope pairs one (shared, sharded) MetricsRegistry with one
-/// (per-cell) TraceStream; either may be absent.
+/// (per-cell) TraceStream and one (per-cell) LedgerCell holding the
+/// slot-time ledger + critical-path event graph; any may be absent.
 class Scope {
  public:
-  Scope(MetricsRegistry* metrics, TraceStream* trace)
-      : metrics_(metrics), trace_(trace), m_(metrics) {}
+  Scope(MetricsRegistry* metrics, TraceStream* trace,
+        LedgerCell* cell = nullptr)
+      : metrics_(metrics), trace_(trace), cell_(cell), m_(metrics) {}
 
   MetricsRegistry* metrics() const { return metrics_; }
   /// Null when tracing is off — callers must check.
   TraceStream* trace() const { return trace_; }
+  /// Null when no ledger book is installed — callers must check. Both are
+  /// defined out-of-line so this header needn't pull in ledger.h.
+  Ledger* ledger() const;
+  EventGraph* graph() const;
+  LedgerCell* cell() const { return cell_; }
+  /// Attaches a driver-provided (key, value) annotation to the cell (used
+  /// to key cross-run joins in dmr-analyze). No-op without a cell.
+  void Annotate(std::string_view key, std::string_view value);
   const StandardMetrics& m() const { return m_; }
 
   void Count(CounterHandle h, int64_t delta = 1) {
@@ -95,6 +110,7 @@ class Scope {
  private:
   MetricsRegistry* metrics_;
   TraceStream* trace_;
+  LedgerCell* cell_;
   StandardMetrics m_;
 };
 
@@ -107,13 +123,15 @@ class Scope {
 /// for the single-threaded setup/teardown edges of a driver run.
 class Hub {
  public:
-  /// Installs the global session (non-owning; either may be null).
-  static void Install(MetricsRegistry* registry, TraceRecorder* recorder);
+  /// Installs the global session (non-owning; any may be null).
+  static void Install(MetricsRegistry* registry, TraceRecorder* recorder,
+                      LedgerBook* book = nullptr);
   static void Uninstall();
 
   static bool active();
   static MetricsRegistry* registry();
   static TraceRecorder* recorder();
+  static LedgerBook* book();
 
   /// Monotone per-install cell sequence, used to label auto-attached
   /// testbed streams ("cell-0001", ...).
@@ -121,12 +139,16 @@ class Hub {
 };
 
 /// Creates a trace stream + scope for one simulated cluster: pids 0..n-1
-/// are the nodes, pid n is the client/provider track. Either input may be
-/// null; returns a scope recording whatever is available.
+/// are the nodes, pid n is the client/provider track. When `book` is
+/// non-null, a LedgerCell (slot-time ledger + event graph, dimensioned
+/// `num_nodes x map_slots_per_node`) is opened under `label` as well. Any
+/// input may be null; returns a scope recording whatever is available.
 std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
                                         TraceRecorder* recorder,
+                                        LedgerBook* book,
                                         std::string_view label,
-                                        int num_nodes);
+                                        int num_nodes,
+                                        int map_slots_per_node);
 
 }  // namespace dmr::obs
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/ledger.h"
+
 namespace dmr::scheduler {
 
 using mapred::Job;
@@ -96,7 +98,12 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
           if (still_waiting) {
             if (options_.strict_delay) {
               // Strict fairness: hold the slot for the deserving job.
-              if (obs_ != nullptr) obs_->Count(obs_->m().sched_delay_holds);
+              if (obs_ != nullptr) {
+                obs_->Count(obs_->m().sched_delay_holds);
+                if (obs::Ledger* ledger = obs_->ledger()) {
+                  ledger->OnDelayHold();
+                }
+              }
               held = true;
               break;
             }

@@ -1,6 +1,9 @@
 #include "testbed/testbed.h"
 
+#include <cstdio>
 #include <optional>
+
+#include "obs/ledger.h"
 
 #include "scheduler/fair_scheduler.h"
 #include "scheduler/fifo_scheduler.h"
@@ -13,8 +16,10 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
   if (obs::Hub::active()) {
     scope_ = obs::MakeClusterScope(obs::Hub::registry(),
                                    obs::Hub::recorder(),
+                                   obs::Hub::book(),
                                    obs::Hub::NextCellLabel(),
-                                   config_.num_nodes);
+                                   config_.num_nodes,
+                                   config_.map_slots_per_node);
     if (obs::TraceStream* trace = scope_->trace()) {
       // Label the per-slot lanes (tid = map slot; the lane after the map
       // slots renders reduce tasks).
@@ -57,7 +62,26 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
   fs_->set_obs(obs);
 }
 
-Testbed::~Testbed() { monitor_->Stop(); }
+Testbed::~Testbed() {
+  monitor_->Stop();
+  if (scope_ != nullptr) {
+    if (obs::Ledger* ledger = scope_->ledger()) ledger->Seal(sim_.Now());
+  }
+}
+
+void Testbed::Annotate(std::string_view key, std::string_view value) {
+  if (scope_ != nullptr) scope_->Annotate(key, value);
+}
+
+void Testbed::Annotate(std::string_view key, int64_t value) {
+  Annotate(key, std::to_string(value));
+}
+
+void Testbed::Annotate(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  Annotate(key, buf);
+}
 
 Result<mapred::JobStats> Testbed::RunJobToCompletion(
     mapred::JobSubmission submission, double timeout) {

@@ -1,8 +1,10 @@
 #ifndef DMR_TESTBED_TESTBED_H_
 #define DMR_TESTBED_TESTBED_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -60,6 +62,14 @@ class Testbed {
   /// The cell's observability scope (null when the hub was inactive at
   /// construction).
   obs::Scope* obs() { return scope_.get(); }
+
+  /// Tags this cell's ledger/critical-path records with a driver-provided
+  /// annotation ("policy", "z", "repeat", ...). dmr-analyze joins cells
+  /// across runs by these keys; they also give the report a stable cell
+  /// order under --threads=N. No-op without an active ledger book.
+  void Annotate(std::string_view key, std::string_view value);
+  void Annotate(std::string_view key, int64_t value);
+  void Annotate(std::string_view key, double value);
 
   /// Appends this cell's resource series (cpu / disk-read / slot-occupancy
   /// digests with p50/p95/p99) and its job-history timeline to `report`.

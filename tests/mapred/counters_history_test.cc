@@ -27,6 +27,21 @@ TEST(CountersTest, AddGetMerge) {
   EXPECT_EQ(c.Get("Z"), 1);
 }
 
+TEST(CountersTest, NegativeDeltasRollBackPartialProgress) {
+  // Hadoop decrements counters when a failed/killed attempt's partial
+  // progress is rolled back; Add() must therefore accept negative deltas
+  // and values may go below zero transiently.
+  Counters c;
+  c.Add("MAP_INPUT_RECORDS", 100);
+  c.Add("MAP_INPUT_RECORDS", -40);
+  EXPECT_EQ(c.Get("MAP_INPUT_RECORDS"), 60);
+  c.Add("MAP_INPUT_RECORDS", -70);
+  EXPECT_EQ(c.Get("MAP_INPUT_RECORDS"), -10);
+  c.Add("MAP_INPUT_RECORDS", 10);
+  EXPECT_EQ(c.Get("MAP_INPUT_RECORDS"), 0);
+  EXPECT_TRUE(c.Contains("MAP_INPUT_RECORDS"));
+}
+
 TEST(CountersTest, ToStringIsSorted) {
   Counters c;
   c.Add("B", 2);

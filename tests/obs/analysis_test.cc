@@ -1,0 +1,255 @@
+/// \file
+/// Tests for the dmr-analyze library: report parsing + repeat aggregation,
+/// cross-run rendering, and baseline checking (tolerance bands, ordering
+/// assertions, regression detection with an injected slowdown).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/analysis.h"
+
+namespace dmr::obs::analysis {
+namespace {
+
+/// A minimal Report::ToJson()-shaped document: two repeats of one cell
+/// (policy HA) and one cell of policy Hadoop, each with one job.
+/// HA: useful 40+60, wasted 10+10; Hadoop: useful 20, wasted 80.
+std::string TwoPolicyReport(double hadoop_response) {
+  std::string out = R"({
+  "info": {"driver": "unit_driver"},
+  "ledger": {"cells": [
+    {"label": "cell-0000",
+     "annotations": {"cell": "c1", "policy": "HA", "z": "1", "repeat": "0"},
+     "nodes": 2, "map_slots_per_node": 2, "makespan": 50,
+     "total_slot_seconds": 200,
+     "categories": {"useful": 40, "wasted": 10, "speculative": 0,
+                    "queueing": 50, "provider_wait": 60, "idle": 40},
+     "wasted_pct": 20, "utilization_pct": 25, "delay_holds": 1,
+     "attempts_completed": 4, "attempts_speculative": 0},
+    {"label": "cell-0001",
+     "annotations": {"cell": "c1", "policy": "HA", "z": "1", "repeat": "1"},
+     "nodes": 2, "map_slots_per_node": 2, "makespan": 50,
+     "total_slot_seconds": 200,
+     "categories": {"useful": 60, "wasted": 10, "speculative": 10,
+                    "queueing": 40, "provider_wait": 50, "idle": 30},
+     "wasted_pct": 12.5, "utilization_pct": 40, "delay_holds": 2,
+     "attempts_completed": 5, "attempts_speculative": 1},
+    {"label": "cell-0002",
+     "annotations": {"cell": "c1", "policy": "Hadoop", "z": "1"},
+     "nodes": 2, "map_slots_per_node": 2, "makespan": 100,
+     "total_slot_seconds": 400,
+     "categories": {"useful": 20, "wasted": 80, "speculative": 0,
+                    "queueing": 100, "provider_wait": 0, "idle": 200},
+     "wasted_pct": 80, "utilization_pct": 25, "delay_holds": 0,
+     "attempts_completed": 10, "attempts_speculative": 0}
+  ]},
+  "critical_path": {"cells": [
+    {"label": "cell-0000",
+     "annotations": {"cell": "c1", "policy": "HA", "z": "1", "repeat": "0"},
+     "analysis": {"jobs": [
+       {"job": 1, "finish_time": 50, "response_time": 20, "path_time": 20,
+        "root_job": 1, "root_type": "submit",
+        "breakdown": {"execution": 15, "queueing": 5},
+        "path_truncated": false, "path": []}]}},
+    {"label": "cell-0001",
+     "annotations": {"cell": "c1", "policy": "HA", "z": "1", "repeat": "1"},
+     "analysis": {"jobs": [
+       {"job": 1, "finish_time": 50, "response_time": 30, "path_time": 30,
+        "root_job": 1, "root_type": "submit",
+        "breakdown": {"execution": 25, "queueing": 5},
+        "path_truncated": false, "path": []}]}},
+    {"label": "cell-0002",
+     "annotations": {"cell": "c1", "policy": "Hadoop", "z": "1"},
+     "analysis": {"jobs": [
+       {"job": 1, "finish_time": 100, "response_time": )";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", hadoop_response);
+  out += buf;
+  out += R"(, "path_time": 90,
+        "root_job": 1, "root_type": "submit",
+        "breakdown": {"execution": 80, "queueing": 10},
+        "path_truncated": false, "path": []}]}}
+  ]}
+})";
+  return out;
+}
+
+TEST(AnalysisParseTest, AggregatesRepeatsByJoinKey) {
+  auto run = ParseReport(TwoPolicyReport(90.0), "mem");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->driver, "unit_driver");
+  ASSERT_EQ(run->cells.size(), 2u);  // HA repeats merged, Hadoop separate
+
+  CellKey ha{"unit_driver", "c1", "HA", "1"};
+  const CellAggregate* agg = run->FindCell(ha);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->repeats, 2);
+  EXPECT_EQ(agg->jobs, 2);
+  EXPECT_DOUBLE_EQ(agg->makespan(), 50.0);
+  EXPECT_DOUBLE_EQ(agg->response_time(), 25.0);  // (20 + 30) / 2
+  // wasted = 20 of busy 120 (useful 100, wasted 20, speculative 10 -> 130).
+  EXPECT_NEAR(agg->wasted_pct(), 100.0 * 20 / 130, 1e-9);
+  EXPECT_NEAR(agg->utilization_pct(), 100.0 * 130 / 400, 1e-9);
+  EXPECT_EQ(agg->delay_holds, 3);
+  EXPECT_DOUBLE_EQ(agg->path_breakdown.at("execution"), 40.0);
+
+  CellKey hadoop{"unit_driver", "c1", "Hadoop", "1"};
+  const CellAggregate* h = run->FindCell(hadoop);
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(h->wasted_pct(), 80.0, 1e-9);
+}
+
+TEST(AnalysisParseTest, MissingCategoryIsAnError) {
+  std::string bad = R"({
+    "info": {"driver": "d"},
+    "ledger": {"cells": [
+      {"label": "x", "annotations": {}, "nodes": 1, "map_slots_per_node": 1,
+       "makespan": 1, "total_slot_seconds": 1,
+       "categories": {"useful": 1}}]}})";
+  auto run = ParseReport(bad, "mem");
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(AnalysisParseTest, ReportsWithoutSectionsAreEmptyButValid) {
+  auto run = ParseReport(R"({"info": {"driver": "fig4_skew"}})", "mem");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->cells.empty());
+}
+
+TEST(AnalysisRenderTest, MarkdownAndJsonCarryTheJoin) {
+  auto run = ParseReport(TwoPolicyReport(90.0), "mem");
+  ASSERT_TRUE(run.ok());
+  std::vector<RunData> runs = {*std::move(run)};
+
+  std::string markdown = RenderComparisonMarkdown(runs);
+  EXPECT_NE(markdown.find("| c1 | HA | 1 |"), std::string::npos);
+  EXPECT_NE(markdown.find("| c1 | Hadoop | 1 |"), std::string::npos);
+
+  auto doc = json::JsonParse(RenderComparisonJson(runs));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::JsonValue* cells = doc.ValueOrDie().Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items.size(), 2u);
+  const json::JsonValue* entry = cells->items[0].Find("runs");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->items.size(), 1u);
+  EXPECT_DOUBLE_EQ(entry->items[0].NumberOr("response_time", -1), 25.0);
+}
+
+std::vector<RunData> RunsFor(double hadoop_response) {
+  auto run = ParseReport(TwoPolicyReport(hadoop_response), "mem");
+  EXPECT_TRUE(run.ok());
+  std::vector<RunData> runs;
+  runs.push_back(*std::move(run));
+  return runs;
+}
+
+TEST(BaselineTest, EmittedBaselineChecksClean) {
+  std::vector<RunData> runs = RunsFor(90.0);
+  auto baseline = json::JsonParse(EmitBaseline(runs, 0.05));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto report = CheckBaseline(baseline.ValueOrDie(), runs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->failures.front();
+  EXPECT_EQ(report->entries_checked, 8);  // 2 cells x 4 metrics
+}
+
+TEST(BaselineTest, InjectedSlowdownIsARegression) {
+  // Baseline from the healthy run; check a run where the Hadoop cell's
+  // response time regressed 2x.
+  std::vector<RunData> healthy = RunsFor(90.0);
+  auto baseline = json::JsonParse(EmitBaseline(healthy, 0.05));
+  ASSERT_TRUE(baseline.ok());
+
+  std::vector<RunData> slow = RunsFor(180.0);
+  auto report = CheckBaseline(baseline.ValueOrDie(), slow);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->failures.size(), 1u);
+  EXPECT_NE(report->failures[0].find("response_time"), std::string::npos);
+  EXPECT_NE(report->failures[0].find("Hadoop"), std::string::npos);
+}
+
+TEST(BaselineTest, OrderingViolationsAreDetected) {
+  std::vector<RunData> runs = RunsFor(90.0);
+  // HA (25s) must not be slower than Hadoop (90s): holds -> no failure.
+  std::string good = R"({
+    "driver": "unit_driver",
+    "orderings": [{"metric": "response_time", "cells": [
+      {"cell": "c1", "policy": "HA", "z": "1"},
+      {"cell": "c1", "policy": "Hadoop", "z": "1"}]}]})";
+  auto good_doc = json::JsonParse(good);
+  ASSERT_TRUE(good_doc.ok());
+  auto good_report = CheckBaseline(good_doc.ValueOrDie(), runs);
+  ASSERT_TRUE(good_report.ok());
+  EXPECT_TRUE(good_report->ok());
+  EXPECT_EQ(good_report->orderings_checked, 1);
+
+  // The reverse ordering is violated.
+  std::string bad = R"({
+    "driver": "unit_driver",
+    "orderings": [{"metric": "response_time", "cells": [
+      {"cell": "c1", "policy": "Hadoop", "z": "1"},
+      {"cell": "c1", "policy": "HA", "z": "1"}]}]})";
+  auto bad_doc = json::JsonParse(bad);
+  ASSERT_TRUE(bad_doc.ok());
+  auto bad_report = CheckBaseline(bad_doc.ValueOrDie(), runs);
+  ASSERT_TRUE(bad_report.ok());
+  EXPECT_FALSE(bad_report->ok());
+  EXPECT_NE(bad_report->failures[0].find("ordering violated"),
+            std::string::npos);
+}
+
+TEST(BaselineTest, MissingCellAndWrongDriverFail) {
+  std::vector<RunData> runs = RunsFor(90.0);
+  std::string missing = R"({
+    "driver": "unit_driver",
+    "entries": [{"cell": "nope", "policy": "HA", "z": "1",
+                 "metrics": {"response_time": 1}}]})";
+  auto doc = json::JsonParse(missing);
+  ASSERT_TRUE(doc.ok());
+  auto report = CheckBaseline(doc.ValueOrDie(), runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+
+  auto wrong = json::JsonParse(R"({"driver": "other_driver"})");
+  ASSERT_TRUE(wrong.ok());
+  auto wrong_report = CheckBaseline(wrong.ValueOrDie(), runs);
+  ASSERT_TRUE(wrong_report.ok());
+  EXPECT_FALSE(wrong_report->ok());
+}
+
+TEST(BaselineTest, ToleranceBandsAreRespected) {
+  std::vector<RunData> runs = RunsFor(90.0);
+  // Baseline response_time 85 vs actual 90: within rel 0.1 (8.5), noted
+  // as drift; with rel 0.01 (0.85) it fails.
+  std::string tight = R"({
+    "driver": "unit_driver",
+    "tolerances": {"response_time": 0.01},
+    "entries": [{"cell": "c1", "policy": "Hadoop", "z": "1",
+                 "metrics": {"response_time": 85}}]})";
+  auto tight_doc = json::JsonParse(tight);
+  ASSERT_TRUE(tight_doc.ok());
+  auto tight_report = CheckBaseline(tight_doc.ValueOrDie(), runs);
+  ASSERT_TRUE(tight_report.ok());
+  EXPECT_FALSE(tight_report->ok());
+
+  std::string loose = R"({
+    "driver": "unit_driver",
+    "tolerances": {"response_time": 0.1},
+    "entries": [{"cell": "c1", "policy": "Hadoop", "z": "1",
+                 "metrics": {"response_time": 85}}]})";
+  auto loose_doc = json::JsonParse(loose);
+  ASSERT_TRUE(loose_doc.ok());
+  auto loose_report = CheckBaseline(loose_doc.ValueOrDie(), runs);
+  ASSERT_TRUE(loose_report.ok());
+  EXPECT_TRUE(loose_report->ok());
+  EXPECT_FALSE(loose_report->notes.empty());  // drift is surfaced
+}
+
+}  // namespace
+}  // namespace dmr::obs::analysis
