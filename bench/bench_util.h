@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/parallel.h"
+#include "sim/simulation.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -47,18 +49,24 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
 
 /// \brief Command-line options shared by every bench driver.
 ///
-/// --threads=N    experiment-cell parallelism (0 or "auto" = all hardware
-///                threads; 1 = the historical serial behaviour)
-/// --json=FILE    additionally emit per-cell results as a JSON array
-/// --trace=FILE   record a Chrome trace-event file of every simulated
-///                cluster (open in Perfetto / chrome://tracing)
-/// --metrics=FILE emit the unified metrics report (counters + latency
-///                histogram percentiles) as JSON, plus a text summary
+/// --threads=N        experiment-cell parallelism (0 or "auto" = all
+///                    hardware threads; 1 = the historical serial behaviour)
+/// --json=FILE        additionally emit per-cell results as a JSON array
+/// --trace=FILE       record a Chrome trace-event file of every simulated
+///                    cluster (open in Perfetto / chrome://tracing)
+/// --metrics=FILE     emit the unified metrics report (counters + latency
+///                    histogram percentiles) as JSON, plus a text summary
+/// --shuffle-ties=S   fire same-timestamp simulation events in a seeded
+///                    pseudo-random permutation of insertion order; all
+///                    tables/digests must be identical for every seed
+///                    (the virtual-time tie-race check, see DESIGN.md §13)
 struct BenchOptions {
   int threads = 0;
   std::string json_path;
   std::string trace_path;
   std::string metrics_path;
+  /// Set when --shuffle-ties was given (already applied process-wide).
+  std::optional<uint64_t> shuffle_ties;
 
   bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty();
@@ -92,11 +100,24 @@ struct BenchOptions {
         options.trace_path = arg + 8;
       } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
         options.metrics_path = arg + 10;
+      } else if (std::strncmp(arg, "--shuffle-ties=", 15) == 0) {
+        const char* value = arg + 15;
+        char* end = nullptr;
+        unsigned long long seed = std::strtoull(value, &end, 10);
+        if (end == value || *end != '\0') {
+          std::fprintf(stderr, "bad --shuffle-ties value: %s (want a seed)\n",
+                       value);
+          std::exit(2);
+        }
+        options.shuffle_ties = static_cast<uint64_t>(seed);
+        // Applied process-wide, before any worker threads or Simulations
+        // exist: every experiment cell shuffles its virtual-time ties.
+        sim::Simulation::SetGlobalTieShuffle(options.shuffle_ties);
       } else if (std::strncmp(arg, "--", 2) == 0) {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N|auto] "
                      "[--json=FILE] [--trace=FILE] [--metrics=FILE] "
-                     "[driver args]\n",
+                     "[--shuffle-ties=SEED] [driver args]\n",
                      arg, argv[0]);
         std::exit(2);
       } else {

@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, a bench smoke run (micro
-# benchmarks + the Table III driver on both predicate engines, asserting
-# identical JSON), then the concurrency-sensitive pool/kernel/vectorized
-# tests again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, the dmr-lint determinism
+# checks, a bench smoke run (micro benchmarks + the Table III driver on both
+# predicate engines, asserting identical JSON), the tie-shuffle digest
+# invariance check (fig5 metrics must be byte-identical across shuffle
+# seeds), then the concurrency-sensitive tests under ThreadSanitizer and the
+# sim/mapred/obs tests under ASan+UBSan.
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+run_tsan=1
+run_asan=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build (preset: default) =="
 cmake --preset default
@@ -16,6 +28,9 @@ cmake --build --preset default -j "${jobs}"
 
 echo "== tier-1: full test suite =="
 ctest --preset default -j "${jobs}"
+
+echo "== tier-1: dmr-lint determinism checks (src + bench + examples) =="
+./build/src/lint/dmr-lint
 
 echo "== tier-1: observability outputs (--trace/--metrics schema check) =="
 obs_dir=$(mktemp -d)
@@ -44,16 +59,48 @@ echo "== tier-1: bench smoke (micro benchmarks + engine-parity diff) =="
 diff "${obs_dir}/table3_interpreted.json" "${obs_dir}/table3_vectorized.json"
 echo "table3 JSON identical on both engines"
 
-if [[ "${1:-}" == "--no-tsan" ]]; then
+echo "== tier-1: tie-shuffle digest invariance (frozen host clock, 5 seeds) =="
+# The determinism contract (DESIGN.md): among events tied on (timestamp,
+# EventClass) the handlers must commute, so the full metrics + ledger +
+# critical-path report is byte-identical under any legal tie order.
+digest_ref=""
+for seed in base 11 23 37 41 53; do
+  args=()
+  if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
+  DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
+    --metrics="${obs_dir}/shuffle_${seed}.json" > /dev/null
+  digest=$(sha256sum "${obs_dir}/shuffle_${seed}.json" | cut -d' ' -f1)
+  if [[ -z "${digest_ref}" ]]; then
+    digest_ref="${digest}"
+  elif [[ "${digest}" != "${digest_ref}" ]]; then
+    echo "tie-shuffle digest mismatch: seed ${seed} diverged — a handler" \
+         "pair at one virtual instant does not commute" >&2
+    exit 1
+  fi
+done
+echo "fig5 metrics digest identical across base + 5 shuffle seeds"
+
+if [[ "${run_tsan}" == "1" ]]; then
+  echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${jobs}" \
+    --target parallel_test simulation_test metrics_test vectorized_test \
+             ledger_test
+  ctest --preset tsan
+else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
-  exit 0
 fi
 
-echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
-cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" \
-  --target parallel_test simulation_test metrics_test vectorized_test \
-           ledger_test
-ctest --preset tsan
+if [[ "${run_asan}" == "1" ]]; then
+  echo "== tier-1: ASan+UBSan pass (sim + mapred + obs tests) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "${jobs}" \
+    --target simulation_test tie_race_test ps_resource_test \
+             job_tracker_test job_client_test metrics_test trace_test \
+             ledger_test analysis_test lint_test
+  ctest --preset asan
+else
+  echo "== tier-1: ASan stage skipped (--no-asan) =="
+fi
 
 echo "== tier-1: OK =="

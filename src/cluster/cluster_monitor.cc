@@ -6,7 +6,8 @@ ClusterMonitor::ClusterMonitor(Cluster* cluster)
     : cluster_(cluster),
       interval_(cluster->config().monitor_interval),
       last_disk_bytes_(cluster->TotalDiskBytesRead()) {
-  next_ = cluster_->simulation()->Schedule(interval_, [this] { Sample(); });
+  next_ = cluster_->simulation()->Schedule(
+      interval_, sim::EventClass::kBookkeeping, [this] { Sample(); });
 }
 
 ClusterMonitor::~ClusterMonitor() { Stop(); }
@@ -33,7 +34,8 @@ void ClusterMonitor::Sample() {
                      static_cast<double>(cluster_->total_map_slots());
   slot_occupancy_percent_.Add(now, occupancy);
 
-  next_ = cluster_->simulation()->Schedule(interval_, [this] { Sample(); });
+  next_ = cluster_->simulation()->Schedule(
+      interval_, sim::EventClass::kBookkeeping, [this] { Sample(); });
 }
 
 }  // namespace dmr::cluster

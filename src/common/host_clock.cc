@@ -1,0 +1,53 @@
+#include "common/host_clock.h"
+
+#include <atomic>
+// The one sanctioned include of a host clock; see the class comment.
+#include <chrono>  // dmr-lint: allow(wall-clock) the HostClock seam itself
+#include <cstdlib>
+#include <cstring>
+
+namespace dmr {
+
+namespace {
+
+enum class Mode : int { kUnset = 0, kReal = 1, kFrozen = 2 };
+
+std::atomic<int> g_mode{static_cast<int>(Mode::kUnset)};
+
+Mode ResolveMode() {
+  Mode mode = static_cast<Mode>(g_mode.load(std::memory_order_acquire));
+  if (mode != Mode::kUnset) return mode;
+  const char* env = std::getenv("DMR_HOST_CLOCK");
+  mode = (env != nullptr && std::strcmp(env, "frozen") == 0) ? Mode::kFrozen
+                                                             : Mode::kReal;
+  // Races with a concurrent first read resolve to the same value (the env
+  // var cannot change between them), so a plain store is fine.
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+  return mode;
+}
+
+// dmr-lint: allow(wall-clock) the single place host time is actually read
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+bool HostClock::frozen() { return ResolveMode() == Mode::kFrozen; }
+
+double HostClock::NowMicros() {
+  if (frozen()) return 0.0;
+  // dmr-lint: allow(wall-clock) the single place host time is actually read
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - ProcessStart())
+      .count();
+}
+
+void HostClock::SetFrozenForTest(bool frozen) {
+  g_mode.store(static_cast<int>(frozen ? Mode::kFrozen : Mode::kReal),
+               std::memory_order_release);
+}
+
+}  // namespace dmr

@@ -1,0 +1,45 @@
+#ifndef DMR_COMMON_HOST_CLOCK_H_
+#define DMR_COMMON_HOST_CLOCK_H_
+
+namespace dmr {
+
+/// \brief The sanctioned seam for host wall-clock reads.
+///
+/// Simulated time lives in sim::Simulation and is always deterministic; the
+/// *host* clock exists only to time real decision code (scheduler inner
+/// loops, provider evaluations) for the observability histograms. Reading it
+/// anywhere else is a determinism hazard — raw `std::chrono` clock calls are
+/// banned by the `wall-clock` dmr-lint check, and every legitimate host
+/// timing site must go through this class instead.
+///
+/// Two modes:
+///  * **real** (default): NowMicros() is a monotonic microsecond reading
+///    from std::chrono::steady_clock, relative to process start.
+///  * **frozen**: NowMicros() always returns 0, so every host-derived
+///    duration collapses to 0 and outputs that embed host timings (the
+///    `*_us` metrics histograms) become byte-identical across runs. The
+///    tier-1 tie-shuffle digest stage runs with the clock frozen.
+///
+/// The mode is chosen once, from the DMR_HOST_CLOCK environment variable
+/// ("frozen" freezes; anything else, or unset, is real) on first use, or
+/// programmatically via SetFrozenForTest before any read. Reads are
+/// thread-safe; mode selection must happen before threads start timing.
+class HostClock {
+ public:
+  /// True when host-clock reads are frozen at 0.
+  static bool frozen();
+
+  /// Microseconds since process start (0.0 when frozen). Monotonic.
+  static double NowMicros();
+
+  /// Convenience: NowMicros() - t0 (0.0 when frozen).
+  static double ElapsedMicros(double t0) { return NowMicros() - t0; }
+
+  /// Forces the mode, overriding the environment (test hook; call before
+  /// any timing starts).
+  static void SetFrozenForTest(bool frozen);
+};
+
+}  // namespace dmr
+
+#endif  // DMR_COMMON_HOST_CLOCK_H_

@@ -1,0 +1,92 @@
+// dmr-lint: the DMR determinism checker CLI.
+//
+//   dmr-lint [--json=PATH] [--fail-on=error|warning|note] [PATH...]
+//
+// PATHs are files or directories (default: src bench examples). Prints
+// compiler-style findings, optionally writes the JSON report, and exits
+// nonzero when any unsuppressed finding at or above the --fail-on floor
+// (default: warning) exists — that is the tier-1 gate.
+//
+// Exit codes: 0 clean, 1 findings at/above the floor, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmr-lint [--json=PATH] [--fail-on=error|warning|note] "
+      "[PATH...]\n"
+      "Scans C++ sources for DMR determinism hazards; see src/lint/lint.h\n"
+      "for the check table and the `// dmr-lint: allow(<check>)` "
+      "suppression syntax.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dmr::lint::Finding;
+  using dmr::lint::Severity;
+
+  std::string json_path;
+  Severity floor = Severity::kWarning;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      std::string level = arg.substr(10);
+      if (level == "error") {
+        floor = Severity::kError;
+      } else if (level == "warning") {
+        floor = Severity::kWarning;
+      } else if (level == "note") {
+        floor = Severity::kNote;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "bench", "examples"};
+
+  std::vector<Finding> findings = dmr::lint::LintTree(roots);
+
+  int suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    std::fprintf(stderr, "%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                 dmr::lint::SeverityName(f.severity), f.check.c_str(),
+                 f.message.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "dmr-lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << dmr::lint::FindingsToJson(findings);
+  }
+
+  int actionable = dmr::lint::CountActionable(findings, floor);
+  std::fprintf(stderr,
+               "dmr-lint: %zu finding(s), %d actionable, %d suppressed\n",
+               findings.size(), actionable, suppressed);
+  return actionable > 0 ? 1 : 0;
+}

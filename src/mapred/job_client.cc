@@ -1,8 +1,8 @@
 #include "mapred/job_client.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "common/host_clock.h"
 #include "common/logging.h"
 #include "obs/critical_path.h"
 
@@ -10,24 +10,21 @@ namespace dmr::mapred {
 
 namespace {
 
-using SteadyTime = std::chrono::steady_clock::time_point;
-
-SteadyTime DecisionStart(const obs::Scope* obs) {
-  return obs != nullptr ? std::chrono::steady_clock::now() : SteadyTime();
+// Host wall-clock micros at the start of a provider decision (0 when no
+// scope is attached; the paired duration is then never recorded).
+double DecisionStart(const obs::Scope* obs) {
+  return obs != nullptr ? HostClock::NowMicros() : 0.0;
 }
 
 /// Records one Input Provider decision: counters by kind, host wall-clock
 /// decision latency, gauges from well-known diagnostics, and an instant
 /// trace event on the client track carrying every diagnostic as an arg.
 void RecordProviderDecision(obs::Scope* obs, double now, int job_id,
-                            const InputResponse& response, SteadyTime t0,
+                            const InputResponse& response, double t0,
                             bool initial) {
   if (obs == nullptr) return;
   const obs::StandardMetrics& m = obs->m();
-  double us = std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count();
-  obs->Observe(m.provider_decision, us);
+  obs->Observe(m.provider_decision, HostClock::ElapsedMicros(t0));
   if (!initial) obs->Count(m.provider_evaluations);
   switch (response.kind) {
     case InputResponseKind::kInputAvailable:
@@ -142,7 +139,7 @@ Result<int> JobClient::Submit(JobSubmission submission,
   loop->job_id = job_id;
 
   obs::Scope* obs = tracker_->obs();
-  SteadyTime t0 = DecisionStart(obs);
+  double t0 = DecisionStart(obs);
   InputResponse initial =
       loop->provider->GetInitialInput(tracker_->GetClusterStatus());
   RecordProviderDecision(obs, sim_->Now(), job_id, initial, t0,
@@ -166,7 +163,7 @@ Result<int> JobClient::Submit(JobSubmission submission,
 }
 
 void JobClient::ScheduleEvaluation(std::shared_ptr<DynamicLoop> loop) {
-  sim_->Schedule(loop->eval_interval,
+  sim_->Schedule(loop->eval_interval, sim::EventClass::kInputGrowth,
                  [this, loop] { RunEvaluation(loop); });
 }
 
@@ -204,7 +201,7 @@ void JobClient::RunEvaluation(std::shared_ptr<DynamicLoop> loop) {
     loop->completed_at_last_invoke = progress.maps_completed;
     ++loop->provider_evaluations;
     obs::Scope* obs = tracker_->obs();
-    SteadyTime t0 = DecisionStart(obs);
+    double t0 = DecisionStart(obs);
     InputResponse response =
         loop->provider->Evaluate(progress, tracker_->GetClusterStatus());
     RecordProviderDecision(obs, sim_->Now(), loop->job_id, response, t0,

@@ -1,9 +1,9 @@
 #include "mapred/job_tracker.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 
+#include "common/host_clock.h"
 #include "common/logging.h"
 #include "obs/critical_path.h"
 #include "obs/ledger.h"
@@ -37,7 +37,8 @@ void JobTracker::Start() {
   for (int i = 0; i < n; ++i) {
     double offset = interval * (static_cast<double>(i) + 1.0) /
                     static_cast<double>(n);
-    sim_->Schedule(offset, [this, i] { Heartbeat(i); });
+    sim_->Schedule(offset, sim::EventClass::kScheduling,
+                   [this, i] { Heartbeat(i); });
   }
 }
 
@@ -203,16 +204,15 @@ void JobTracker::Heartbeat(int node_id) {
   if (obs_ != nullptr) obs_->Count(obs_->m().heartbeats);
   if (node->free_map_slots() > 0 && !mapping_jobs_.empty()) {
     // Heartbeat-to-assign latency is *host* wall time of the scheduling
-    // decision (virtual time does not advance inside the callback).
-    std::chrono::steady_clock::time_point t0;
-    if (obs_ != nullptr) t0 = std::chrono::steady_clock::now();
+    // decision (virtual time does not advance inside the callback). Host
+    // reads go through the HostClock seam so frozen-clock runs stay
+    // byte-identical.
+    double t0 = 0.0;
+    if (obs_ != nullptr) t0 = HostClock::NowMicros();
     std::vector<MapAssignment> assignments = scheduler_->AssignMapTasks(
         mapping_jobs_, node_id, node->free_map_slots(), sim_->Now());
     if (obs_ != nullptr) {
-      double us = std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-      obs_->Observe(obs_->m().heartbeat_assign, us);
+      obs_->Observe(obs_->m().heartbeat_assign, HostClock::ElapsedMicros(t0));
     }
     DMR_CHECK_LE(static_cast<int>(assignments.size()),
                  node->free_map_slots());
@@ -228,6 +228,7 @@ void JobTracker::Heartbeat(int node_id) {
 
   RecordDemandState();
   sim_->Schedule(cluster_->config().heartbeat_interval,
+                 sim::EventClass::kScheduling,
                  [this, node_id] { Heartbeat(node_id); });
 }
 
@@ -321,7 +322,7 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   // applying the map function. Disk (and network, when remote) and CPU are
   // consumed concurrently; the task finishes when all demands are met.
   attempt->startup_event = sim_->Schedule(
-      config.task_startup_seconds,
+      config.task_startup_seconds, sim::EventClass::kTaskLifecycle,
       [this, attempt, cpu_demand, read_bytes, will_fail] {
         auto remaining = std::make_shared<int>(attempt->local ? 2 : 3);
         auto on_part_done = [this, attempt, remaining, will_fail] {
@@ -515,8 +516,9 @@ void JobTracker::LaunchReduce(Job* job, int node_id) {
   double cpu_demand = static_cast<double>(output_records) *
                       config.reduce_cpu_cost_per_record;
 
-  sim_->Schedule(config.task_startup_seconds, [this, job, node_id,
-                                               shuffle_bytes, cpu_demand] {
+  sim_->Schedule(config.task_startup_seconds,
+                 sim::EventClass::kTaskLifecycle,
+                 [this, job, node_id, shuffle_bytes, cpu_demand] {
     auto remaining = std::make_shared<int>(2);
     auto on_part_done = [this, job, node_id, remaining] {
       if (--(*remaining) == 0) OnReduceComplete(job, node_id);

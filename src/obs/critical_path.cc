@@ -44,6 +44,76 @@ const char* EventGraph::EdgeCategoryName(EdgeCategory category) {
   return "unknown";
 }
 
+int EventGraph::InstantRank(EventType type) {
+  switch (type) {
+    case EventType::kSubmit: return 0;
+    case EventType::kAttemptDone: return 1;
+    case EventType::kSampleSatisfiable: return 2;
+    case EventType::kProviderDecision: return 3;
+    case EventType::kSplitAdded: return 4;
+    case EventType::kInputFinalized: return 5;
+    case EventType::kReduceStarted: return 6;
+    case EventType::kAttemptLaunched: return 7;
+    case EventType::kJobCompleted: return 8;
+  }
+  return 9;
+}
+
+void EventGraph::Enqueue(Pending p) {
+  if (!pending_.empty() && pending_.front().t != p.t) FlushPending();
+  pending_.push_back(p);
+}
+
+void EventGraph::FlushPending() {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Pending& a, const Pending& b) {
+              int ra = InstantRank(a.type);
+              int rb = InstantRank(b.type);
+              if (ra != rb) return ra < rb;
+              if (a.job != b.job) return a.job < b.job;
+              if (a.detail != b.detail) return a.detail < b.detail;
+              if (a.node != b.node) return a.node < b.node;
+              return a.slot < b.slot;
+            });
+  // Swap the batch out so an Apply can never observe a half-flushed buffer.
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  for (const Pending& p : batch) Apply(p);
+}
+
+void EventGraph::Apply(const Pending& p) {
+  switch (p.type) {
+    case EventType::kSubmit:
+      ApplyJobSubmitted(p.job, p.t);
+      break;
+    case EventType::kProviderDecision:
+      ApplyProviderDecision(p.job, p.t);
+      break;
+    case EventType::kSplitAdded:
+      ApplySplitAdded(p.job, p.detail, p.t);
+      break;
+    case EventType::kAttemptLaunched:
+      ApplyAttemptLaunched(p.job, p.detail, p.t, p.node, p.slot, p.backup);
+      break;
+    case EventType::kAttemptDone:
+      ApplyAttemptDone(p.job, p.detail, p.t, p.node, p.slot, p.outcome);
+      break;
+    case EventType::kSampleSatisfiable:
+      ApplySampleSatisfiable(p.job, p.t);
+      break;
+    case EventType::kInputFinalized:
+      ApplyInputFinalized(p.job, p.t);
+      break;
+    case EventType::kReduceStarted:
+      ApplyReduceStarted(p.job, p.t);
+      break;
+    case EventType::kJobCompleted:
+      ApplyJobCompleted(p.job, p.t);
+      break;
+  }
+}
+
 int32_t EventGraph::AddEvent(EventType type, double t, int job, int detail,
                              int node, int slot) {
   Event e;
@@ -73,11 +143,62 @@ int32_t EventGraph::InputSourceOf(int job) const {
 }
 
 void EventGraph::JobSubmitted(int job, double t) {
-  submit_[job] = AddEvent(EventType::kSubmit, t, job, -1, -1, -1);
+  Enqueue({EventType::kSubmit, t, job, -1, -1, -1, Outcome::kNone, false});
 }
 
 void EventGraph::ProviderDecision(int job, double t, const char* kind) {
   (void)kind;
+  Enqueue({EventType::kProviderDecision, t, job, -1, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::SplitAdded(int job, int split, double t) {
+  Enqueue({EventType::kSplitAdded, t, job, split, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::AttemptLaunched(int job, int split, double t, int node,
+                                 int slot, bool backup) {
+  Enqueue({EventType::kAttemptLaunched, t, job, split, node, slot,
+           Outcome::kNone, backup});
+}
+
+void EventGraph::AttemptDone(int job, int split, double t, int node, int slot,
+                             const char* outcome) {
+  Outcome oc = Outcome::kOther;
+  if (std::strcmp(outcome, "ok") == 0) {
+    oc = Outcome::kOk;
+  } else if (std::strcmp(outcome, "failed") == 0) {
+    oc = Outcome::kFailed;
+  }
+  Enqueue({EventType::kAttemptDone, t, job, split, node, slot, oc, false});
+}
+
+void EventGraph::SampleSatisfiable(int job, double t) {
+  Enqueue({EventType::kSampleSatisfiable, t, job, -1, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::InputFinalized(int job, double t) {
+  Enqueue({EventType::kInputFinalized, t, job, -1, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::ReduceStarted(int job, double t) {
+  Enqueue({EventType::kReduceStarted, t, job, -1, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::JobCompleted(int job, double t) {
+  Enqueue({EventType::kJobCompleted, t, job, -1, -1, -1, Outcome::kNone,
+           false});
+}
+
+void EventGraph::ApplyJobSubmitted(int job, double t) {
+  submit_[job] = AddEvent(EventType::kSubmit, t, job, -1, -1, -1);
+}
+
+void EventGraph::ApplyProviderDecision(int job, double t) {
   int32_t id = AddEvent(EventType::kProviderDecision, t, job, -1, -1, -1);
   // The decision waits on the eval timer since the previous decision (or
   // submit) and on the map completions it evaluated.
@@ -88,14 +209,14 @@ void EventGraph::ProviderDecision(int job, double t, const char* kind) {
   last_provider_[job] = id;
 }
 
-void EventGraph::SplitAdded(int job, int split, double t) {
+void EventGraph::ApplySplitAdded(int job, int split, double t) {
   int32_t id = AddEvent(EventType::kSplitAdded, t, job, split, -1, -1);
   AddParent(id, InputSourceOf(job), EdgeCategory::kProvider);
   available_[{job, split}] = id;
 }
 
-void EventGraph::AttemptLaunched(int job, int split, double t, int node,
-                                 int slot, bool backup) {
+void EventGraph::ApplyAttemptLaunched(int job, int split, double t, int node,
+                                      int slot, bool backup) {
   int32_t id = AddEvent(EventType::kAttemptLaunched, t, job, split, node,
                         slot);
   // The launch was gated by the split existing (retry: the prior failure)
@@ -112,24 +233,24 @@ void EventGraph::AttemptLaunched(int job, int split, double t, int node,
   open_launch_[{node, slot}] = id;
 }
 
-void EventGraph::AttemptDone(int job, int split, double t, int node, int slot,
-                             const char* outcome) {
+void EventGraph::ApplyAttemptDone(int job, int split, double t, int node,
+                                  int slot, Outcome outcome) {
   int32_t id = AddEvent(EventType::kAttemptDone, t, job, split, node, slot);
   if (auto it = open_launch_.find({node, slot}); it != open_launch_.end()) {
     AddParent(id, it->second, EdgeCategory::kExecution);
     open_launch_.erase(it);
   }
   slot_release_[{node, slot}] = id;
-  if (std::strcmp(outcome, "ok") == 0) {
+  if (outcome == Outcome::kOk) {
     last_done_[job] = id;
     available_.erase({job, split});
-  } else if (std::strcmp(outcome, "failed") == 0) {
+  } else if (outcome == Outcome::kFailed) {
     // The retry's launch will wait on this failure.
     available_[{job, split}] = id;
   }
 }
 
-void EventGraph::SampleSatisfiable(int job, double t) {
+void EventGraph::ApplySampleSatisfiable(int job, double t) {
   if (satisfiable_.count(job) != 0) return;
   int32_t id = AddEvent(EventType::kSampleSatisfiable, t, job, -1, -1, -1);
   if (auto it = last_done_.find(job); it != last_done_.end()) {
@@ -140,7 +261,7 @@ void EventGraph::SampleSatisfiable(int job, double t) {
   satisfiable_[job] = id;
 }
 
-void EventGraph::InputFinalized(int job, double t) {
+void EventGraph::ApplyInputFinalized(int job, double t) {
   int32_t id = AddEvent(EventType::kInputFinalized, t, job, -1, -1, -1);
   if (auto it = satisfiable_.find(job); it != satisfiable_.end()) {
     AddParent(id, it->second, EdgeCategory::kProvider);
@@ -149,7 +270,7 @@ void EventGraph::InputFinalized(int job, double t) {
   finalized_[job] = id;
 }
 
-void EventGraph::ReduceStarted(int job, double t) {
+void EventGraph::ApplyReduceStarted(int job, double t) {
   int32_t id = AddEvent(EventType::kReduceStarted, t, job, -1, -1, -1);
   // Map-phase barrier: the reduce waits for the input set to be final and
   // for the last map of the job to drain.
@@ -164,7 +285,7 @@ void EventGraph::ReduceStarted(int job, double t) {
   reduce_[job] = id;
 }
 
-void EventGraph::JobCompleted(int job, double t) {
+void EventGraph::ApplyJobCompleted(int job, double t) {
   int32_t id = AddEvent(EventType::kJobCompleted, t, job, -1, -1, -1);
   if (auto it = reduce_.find(job); it != reduce_.end()) {
     AddParent(id, it->second, EdgeCategory::kReduce);
@@ -176,6 +297,9 @@ void EventGraph::JobCompleted(int job, double t) {
 }
 
 std::vector<EventGraph::JobPath> EventGraph::AnalyzeCriticalPaths() const {
+  // Logically const: materializing the final instant's buffered
+  // notifications changes the representation, not the recorded set.
+  const_cast<EventGraph*>(this)->FlushPending();
   std::vector<JobPath> paths;
   for (size_t i = 0; i < events_.size(); ++i) {
     if (events_[i].type != EventType::kJobCompleted) continue;

@@ -27,6 +27,15 @@ namespace dmr::obs {
 /// simulation (same threading model as TraceStream). Recording is only
 /// reachable through a non-null obs::Scope, so the zero-observer path pays
 /// nothing.
+///
+/// Notifications sharing one virtual timestamp are buffered and applied in a
+/// canonical semantic order (completions, then provider activity, then
+/// launches — see InstantRank), not arrival order. Several attempts finishing
+/// at the same instant are semantically concurrent: which one fires first is
+/// a tie the event queue may break either way (see Simulation's
+/// --shuffle-ties). Buffering makes every "latest X" registry — and therefore
+/// the extracted critical paths — a function of the *set* of events at each
+/// instant, so the analysis is invariant under tie reordering.
 class EventGraph {
  public:
   enum class EventType : uint8_t {
@@ -119,9 +128,10 @@ class EventGraph {
     std::map<EdgeCategory, double> breakdown;
   };
 
-  /// Extracts the critical path of every completed job, in completion
-  /// (recording) order. Deterministic: timestamp ties between parents break
-  /// towards the later-recorded event.
+  /// Extracts the critical path of every completed job, in canonical event
+  /// order. Deterministic and tie-order independent: same-instant
+  /// notifications were applied in InstantRank order, and timestamp ties
+  /// between parents break towards the later-applied event.
   std::vector<JobPath> AnalyzeCriticalPaths() const;
 
   /// Renders the analysis of this graph as a JSON object:
@@ -134,12 +144,54 @@ class EventGraph {
   static const char* EdgeCategoryName(EdgeCategory category);
 
  private:
+  enum class Outcome : uint8_t { kNone, kOk, kFailed, kOther };
+
+  /// One buffered notification, applied at instant flush.
+  struct Pending {
+    EventType type;
+    double t;
+    int job;
+    int detail;
+    int node;
+    int slot;
+    Outcome outcome;  // kAttemptDone only
+    bool backup;      // kAttemptLaunched only
+  };
+
+  /// Canonical application order for notifications sharing a timestamp,
+  /// mirroring the simulator's semantic phases at one instant: settle
+  /// finished work first, then input/provider activity, then launches, then
+  /// job completion. Guarantees intra-instant parents apply before their
+  /// children.
+  static int InstantRank(EventType type);
+
+  /// Buffers `p`, flushing the previous instant's batch if `p.t` moved on.
+  void Enqueue(Pending p);
+  /// Sorts the buffered instant by (InstantRank, job, detail, node, slot)
+  /// and applies it.
+  void FlushPending();
+  void Apply(const Pending& p);
+
+  // The actual recording logic, run at flush time in canonical order.
+  void ApplyJobSubmitted(int job, double t);
+  void ApplyProviderDecision(int job, double t);
+  void ApplySplitAdded(int job, int split, double t);
+  void ApplyAttemptLaunched(int job, int split, double t, int node, int slot,
+                            bool backup);
+  void ApplyAttemptDone(int job, int split, double t, int node, int slot,
+                        Outcome outcome);
+  void ApplySampleSatisfiable(int job, double t);
+  void ApplyInputFinalized(int job, double t);
+  void ApplyReduceStarted(int job, double t);
+  void ApplyJobCompleted(int job, double t);
+
   int32_t AddEvent(EventType type, double t, int job, int detail, int node,
                    int slot);
   void AddParent(int32_t child, int32_t parent, EdgeCategory category);
   /// Latest provider decision of `job`, or its submit event, or -1.
   int32_t InputSourceOf(int job) const;
 
+  std::vector<Pending> pending_;
   std::vector<Event> events_;
 
   // Recording-time registries resolving semantic ids to event indices.

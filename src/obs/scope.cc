@@ -35,6 +35,9 @@ StandardMetrics::StandardMetrics(MetricsRegistry* r) {
   dfs_partitions_placed = r->RegisterCounter("dfs.partitions_placed");
   dfs_bytes_placed = r->RegisterCounter("dfs.bytes_placed");
 
+  sim_tie_groups = r->RegisterCounter("sim.tie_groups");
+  sim_tie_events = r->RegisterCounter("sim.tie_events");
+
   task_wait = r->RegisterHistogram("mapred.task_wait", "sim_s");
   task_run = r->RegisterHistogram("mapred.task_run", "sim_s");
   heartbeat_assign = r->RegisterHistogram("mapred.heartbeat_assign", "us");

@@ -54,6 +54,12 @@ struct StandardMetrics {
   CounterHandle dfs_partitions_placed;
   CounterHandle dfs_bytes_placed;
 
+  // Virtual-time tie-race detector totals (recorded once per cell when the
+  // testbed tears down; see sim::TieStats). Invariant across
+  // --shuffle-ties seeds when the system is tie-order independent.
+  CounterHandle sim_tie_groups;
+  CounterHandle sim_tie_events;
+
   // Latency histograms. task_wait/task_run are in simulated seconds;
   // heartbeat_assign/provider_decision are host wall-clock microseconds
   // (they time the *decision code*, which runs in zero simulated time).

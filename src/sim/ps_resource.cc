@@ -92,7 +92,8 @@ void PsResource::Reschedule() {
   }
   double rate = PerRequestRate();
   double delay = std::max(std::max(0.0, min_remaining) / rate, kMinDelay);
-  next_completion_ = sim_->Schedule(delay, [this] { OnCompletionEvent(); });
+  next_completion_ = sim_->Schedule(delay, EventClass::kTaskLifecycle,
+                                    [this] { OnCompletionEvent(); });
 }
 
 void PsResource::OnCompletionEvent() {

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace dmr::sim {
+
+namespace {
+
+/// The process-wide tie-shuffle default; see SetGlobalTieShuffle.
+std::optional<uint64_t> g_tie_shuffle;
+
+/// SplitMix64's output finalizer over (seed XOR key): a bijection of the
+/// key for any fixed seed, so distinct keys never collide and the shuffled
+/// order is still total.
+uint64_t ShuffleKey(uint64_t seed, uint64_t key) {
+  return Rng(seed ^ key).Next();
+}
+
+}  // namespace
+
+bool Simulation::EventAfter::operator()(const Event& a,
+                                        const Event& b) const {
+  if (a.time != b.time) return a.time > b.time;
+  if (!shuffle) return a.seq > b.seq;
+  const uint64_t a_class = a.seq >> kSeqBits;
+  const uint64_t b_class = b.seq >> kSeqBits;
+  if (a_class != b_class) return a_class > b_class;
+  return ShuffleKey(seed, a.seq) > ShuffleKey(seed, b.seq);
+}
 
 namespace internal {
 
@@ -26,7 +51,42 @@ void EventHandle::Cancel() {
   if (slot_->owner != nullptr) slot_->owner->OnCancelled();
 }
 
-Simulation::Simulation() : pool_(internal::EventSlotPool::Create()) {}
+Simulation::Simulation() : pool_(internal::EventSlotPool::Create()) {
+  if (g_tie_shuffle.has_value()) EnableTieShuffle(*g_tie_shuffle);
+}
+
+void Simulation::SetGlobalTieShuffle(std::optional<uint64_t> seed) {
+  g_tie_shuffle = seed;
+}
+
+std::optional<uint64_t> Simulation::GlobalTieShuffle() {
+  return g_tie_shuffle;
+}
+
+void Simulation::EnableTieShuffle(uint64_t seed) {
+  DMR_CHECK_EQ(next_seq_, uint64_t{0})
+      << "EnableTieShuffle must precede all scheduling";
+  tie_shuffle_ = true;
+  tie_shuffle_seed_ = seed;
+}
+
+void Simulation::NoteFired(SimTime time, uint64_t key) {
+  const uint64_t cls = key >> kSeqBits;
+  if (events_fired_ > 1 && time == last_fired_time_ &&
+      cls == last_fired_class_) {
+    ++current_tie_group_;
+    // The first event of the group retroactively becomes tied too.
+    tie_stats_.tied_events += current_tie_group_ == 2 ? 2 : 1;
+    if (current_tie_group_ == 2) ++tie_stats_.groups;
+    if (current_tie_group_ > tie_stats_.max_group) {
+      tie_stats_.max_group = current_tie_group_;
+    }
+  } else {
+    current_tie_group_ = 1;
+    last_fired_time_ = time;
+    last_fired_class_ = cls;
+  }
+}
 
 Simulation::~Simulation() {
   // Detach and release every still-queued event. Marking the slots
@@ -43,17 +103,29 @@ Simulation::~Simulation() {
 }
 
 EventHandle Simulation::Schedule(SimTime delay, Callback fn) {
+  return Schedule(delay, EventClass::kDefault, std::move(fn));
+}
+
+EventHandle Simulation::Schedule(SimTime delay, EventClass cls, Callback fn) {
   DMR_CHECK_GE(delay, 0.0) << "negative delay " << delay;
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleAt(now_ + delay, cls, std::move(fn));
 }
 
 EventHandle Simulation::ScheduleAt(SimTime when, Callback fn) {
+  return ScheduleAt(when, EventClass::kDefault, std::move(fn));
+}
+
+EventHandle Simulation::ScheduleAt(SimTime when, EventClass cls,
+                                   Callback fn) {
   DMR_CHECK_GE(when, now_) << "scheduling into the past";
+  DMR_CHECK_LT(next_seq_, uint64_t{1} << kSeqBits) << "sequence overflow";
   internal::EventSlot* slot = pool_->Acquire();
   slot->owner = this;
   internal::SlotAddRef(slot);  // the queue's reference
-  heap_.push_back(Event{when, next_seq_++, std::move(fn), slot});
-  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  const uint64_t key =
+      (static_cast<uint64_t>(cls) << kSeqBits) | next_seq_++;
+  heap_.push_back(Event{when, key, std::move(fn), slot});
+  std::push_heap(heap_.begin(), heap_.end(), After());
   return EventHandle(slot);
 }
 
@@ -81,13 +153,13 @@ void Simulation::MaybePurgeCancelled() {
     }
   }
   heap_.erase(keep, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  std::make_heap(heap_.begin(), heap_.end(), After());
   cancelled_in_queue_ = 0;
 }
 
 bool Simulation::Step() {
   while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    std::pop_heap(heap_.begin(), heap_.end(), After());
     Event ev = std::move(heap_.back());
     heap_.pop_back();
     if (ev.slot->cancelled) {
@@ -99,6 +171,7 @@ bool Simulation::Step() {
     ev.slot->fired = true;
     ReleaseQueueRef(ev.slot);
     ++events_fired_;
+    NoteFired(ev.time, ev.seq);
     ev.fn();
     return true;
   }
@@ -115,7 +188,7 @@ uint64_t Simulation::RunUntil(SimTime until) {
   uint64_t fired = 0;
   while (!heap_.empty()) {
     if (heap_.front().slot->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      std::pop_heap(heap_.begin(), heap_.end(), After());
       Event ev = std::move(heap_.back());
       heap_.pop_back();
       --cancelled_in_queue_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -232,6 +233,56 @@ class EventHandle {
   internal::EventSlot* slot_ = nullptr;
 };
 
+/// \brief Semantic phase of an event within one virtual instant.
+///
+/// Events at the same timestamp fire in ascending class order, which
+/// resolves the cross-component races a discrete-event cluster simulator is
+/// otherwise full of (a map completing at exactly the instant a heartbeat
+/// fires, a provider growing input at an evaluation tick that collides with
+/// a scheduling decision, a monitor sampling mid-decision). The contract at
+/// one instant t is:
+///
+///   1. kTaskLifecycle — work that finished by t is credited first (slots
+///      free, split/job state advances);
+///   2. kInputGrowth   — input that arrives at t (provider decisions, user
+///      job submissions) becomes visible;
+///   3. kScheduling    — assignment decisions (heartbeats) then run against
+///      a settled cluster state;
+///   4. kDefault       — unclassified events;
+///   5. kBookkeeping   — observers (monitors, samplers) see the
+///      post-decision state.
+///
+/// Within one (timestamp, class) group the relative order is genuinely
+/// unconstrained: handlers must commute, and the tie-race detector plus
+/// EnableTieShuffle exist to check exactly that property.
+enum class EventClass : uint8_t {
+  kTaskLifecycle = 16,
+  kInputGrowth = 32,
+  kScheduling = 48,
+  kDefault = 64,
+  kBookkeeping = 80,
+};
+
+/// \brief Virtual-time tie statistics maintained by the kernel's tie-race
+/// detector.
+///
+/// A "tie group" is a maximal run of >= 2 events fired at exactly the same
+/// virtual timestamp with the same EventClass. Nothing in the event API
+/// constrains the relative order within such a group — the kernel picks
+/// insertion order (or a seeded permutation of it under tie shuffling) — so
+/// any output that depends on that order is a latent determinism bug. The
+/// detector makes tie exposure measurable; the shuffle mode
+/// (EnableTieShuffle) makes "order among ties never matters" a checked
+/// property: digests must be byte-identical across shuffle seeds.
+struct TieStats {
+  /// Number of same-(timestamp, class) groups (size >= 2) fired so far.
+  uint64_t groups = 0;
+  /// Total events belonging to those groups.
+  uint64_t tied_events = 0;
+  /// Size of the largest group seen.
+  uint64_t max_group = 0;
+};
+
 /// \brief A deterministic discrete-event simulation kernel.
 ///
 /// Events are (time, sequence) ordered; ties break by insertion order so a
@@ -254,11 +305,18 @@ class Simulation {
   /// Current virtual time in seconds.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0), in the
+  /// kDefault phase of that instant.
   EventHandle Schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` with an explicit same-instant phase (see EventClass).
+  EventHandle Schedule(SimTime delay, EventClass cls, Callback fn);
 
   /// Schedules `fn` at absolute virtual time `when` (>= Now()).
   EventHandle ScheduleAt(SimTime when, Callback fn);
+
+  /// Schedules `fn` at `when` with an explicit same-instant phase.
+  EventHandle ScheduleAt(SimTime when, EventClass cls, Callback fn);
 
   /// Runs until the event queue is empty or `max_events` fired.
   /// Returns the number of events fired.
@@ -278,23 +336,54 @@ class Simulation {
   /// Lazily-cancelled events still occupying the queue.
   size_t cancelled_in_queue() const { return cancelled_in_queue_; }
 
+  /// Replaces insertion-order tie-breaking with a seeded pseudo-random
+  /// permutation of it: among events at one timestamp, firing order becomes
+  /// a deterministic function of (seed, insertion index). Different seeds
+  /// exercise different legal orders; a system whose outputs change with
+  /// the seed has a tie race. Must be called before anything is scheduled.
+  void EnableTieShuffle(uint64_t seed);
+
+  bool tie_shuffle_enabled() const { return tie_shuffle_; }
+  uint64_t tie_shuffle_seed() const { return tie_shuffle_seed_; }
+
+  /// Tie-race detector counters (maintained unconditionally; the cost is
+  /// one timestamp compare per fired event).
+  const TieStats& tie_stats() const { return tie_stats_; }
+
+  /// Process-wide default applied to every subsequently constructed
+  /// Simulation (the `--shuffle-ties=SEED` bench flag sets this once at
+  /// startup, before worker threads exist; nullopt restores insertion
+  /// order). Not synchronized — set it only while single-threaded.
+  static void SetGlobalTieShuffle(std::optional<uint64_t> seed);
+  static std::optional<uint64_t> GlobalTieShuffle();
+
  private:
   friend class EventHandle;
 
+  /// Bits of `seq` carrying the insertion sequence number; the EventClass
+  /// lives in the bits above so one u64 compare yields (class, insertion)
+  /// order among same-timestamp events.
+  static constexpr int kSeqBits = 56;
+
   struct Event {
     SimTime time;
+    /// Packed tie-break key: (EventClass << kSeqBits) | insertion sequence.
     uint64_t seq;
     Callback fn;
     internal::EventSlot* slot;  // queue's reference, released explicitly
   };
   /// Heap comparator for std::push_heap/pop_heap (max-heap semantics, so
-  /// "after" ordering yields the earliest event at the front).
+  /// "after" ordering yields the earliest event at the front). When tie
+  /// shuffling is on, same-(time, class) events are ordered by a seeded
+  /// bijective hash of the packed key instead of insertion order — the
+  /// hash is injective, so the order stays total and exactly reproducible
+  /// per seed.
   struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    bool shuffle = false;
+    uint64_t seed = 0;
+    bool operator()(const Event& a, const Event& b) const;
   };
+  EventAfter After() const { return EventAfter{tie_shuffle_, tie_shuffle_seed_}; }
 
   /// Pops and fires the next non-cancelled event; returns false if none.
   bool Step();
@@ -310,10 +399,20 @@ class Simulation {
   /// Drops the queue's reference on a slot that is leaving the queue.
   void ReleaseQueueRef(internal::EventSlot* slot);
 
+  /// Tie-race detector bookkeeping for one fired event; `key` is the
+  /// packed (class | insertion) key.
+  void NoteFired(SimTime time, uint64_t key);
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_fired_ = 0;
   size_t cancelled_in_queue_ = 0;
+  bool tie_shuffle_ = false;
+  uint64_t tie_shuffle_seed_ = 0;
+  TieStats tie_stats_;
+  SimTime last_fired_time_ = 0.0;
+  uint64_t last_fired_class_ = 0;
+  uint64_t current_tie_group_ = 0;
   std::vector<Event> heap_;
   internal::EventSlotPool* pool_;
 };

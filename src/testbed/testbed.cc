@@ -65,6 +65,14 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
 Testbed::~Testbed() {
   monitor_->Stop();
   if (scope_ != nullptr) {
+    // Export the kernel's tie-race totals: under --shuffle-ties these must
+    // not move across seeds (tie groups are a property of the schedule,
+    // not of the order chosen within a group).
+    const sim::TieStats& ties = sim_.tie_stats();
+    scope_->Count(scope_->m().sim_tie_groups,
+                  static_cast<int64_t>(ties.groups));
+    scope_->Count(scope_->m().sim_tie_events,
+                  static_cast<int64_t>(ties.tied_events));
     if (obs::Ledger* ledger = scope_->ledger()) ledger->Seal(sim_.Now());
   }
 }

@@ -53,7 +53,7 @@ void WorkloadDriver::SubmitNext(std::shared_ptr<UserState> user) {
     if (open_loop) return;  // arrivals are driven by the Poisson clock
     // Closed loop: resubmit after the user's think time.
     if (user->spec.think_time > 0.0) {
-      sim_->Schedule(user->spec.think_time,
+      sim_->Schedule(user->spec.think_time, sim::EventClass::kInputGrowth,
                      [this, user] { SubmitNext(user); });
     } else {
       SubmitNext(user);
@@ -67,7 +67,8 @@ void WorkloadDriver::SubmitNext(std::shared_ptr<UserState> user) {
     // Schedule the next arrival independent of this job's fate.
     double gap =
         user->arrival_rng.NextExponential(1.0 / user->spec.arrival_rate);
-    sim_->Schedule(gap, [this, user] { SubmitNext(user); });
+    sim_->Schedule(gap, sim::EventClass::kInputGrowth,
+                   [this, user] { SubmitNext(user); });
   }
 }
 

@@ -1,0 +1,12 @@
+// Check-side-effect fixture: hazards at lines 7 and 10 exactly.
+#include "common/logging.h"
+
+int Consume(int* it, int end) {
+  int taken = 0;
+  // Both arguments below would vanish in a no-check build.
+  DMR_CHECK_LT((*it)++, end);
+  taken = *it;
+  int guard = 0;
+  DMR_CHECK(guard = taken);
+  return guard;
+}

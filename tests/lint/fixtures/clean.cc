@@ -1,0 +1,15 @@
+// Clean fixture: deterministic idioms only — dmr-lint must stay silent.
+// Sorted containers, explicit seeds, virtual time, no pointers printed.
+// Mentions in comments ("std::chrono::system_clock", rand()) and strings
+// must not trip checks either.
+#include <map>
+#include <string>
+
+std::string Render(const std::map<int, double>& stats, unsigned seed) {
+  std::string out = std::to_string(seed);
+  out += "use Rng, not rand(), nor std::chrono::system_clock";
+  for (const auto& [key, value] : stats) {
+    out += "," + std::to_string(key) + ":" + std::to_string(value);
+  }
+  return out;
+}

@@ -1,0 +1,8 @@
+// Ignored-status fixture: the bare call at line 7 drops a Status.
+#include "common/status.h"
+
+struct Tracker { dmr::Status AddSplits(int splits); };
+
+void A(Tracker* tracker_) {
+  tracker_->AddSplits(3);
+}

@@ -1,0 +1,13 @@
+// Pointer-output fixture: hazards at lines 6 and 11 exactly.
+#include <cstdio>
+#include <sstream>
+
+void A(const int* p) {
+  std::printf("at %p\n", static_cast<const void*>(p));
+}
+
+std::string B(const int* p) {
+  std::ostringstream out;
+  out << static_cast<const void*>(p);
+  return out.str();
+}

@@ -1,0 +1,10 @@
+// Suppression fixture: both allow() forms; findings at 6 and 10, both
+// suppressed with a justification.
+#include <chrono>
+
+double A() {
+  return double(std::chrono::steady_clock::now().time_since_epoch().count());  // dmr-lint: allow(wall-clock) trailing form
+}
+
+// dmr-lint: allow(wall-clock) line-above form
+double B() { return double(std::chrono::steady_clock::now().time_since_epoch().count()); }

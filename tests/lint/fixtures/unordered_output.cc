@@ -1,0 +1,12 @@
+// Unordered-output fixture: the loop at line 8 feeds formatted output.
+#include <string>
+#include <unordered_map>
+
+std::string Render(const std::unordered_map<int, double>& stats) {
+  std::string out = "{";
+  // The finding anchors to the for-line below.
+  for (const auto& [key, value] : stats) {
+    out += std::to_string(key) + ":" + std::to_string(value);
+  }
+  return out + "}";
+}

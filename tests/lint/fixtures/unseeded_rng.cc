@@ -1,0 +1,14 @@
+// Unseeded-RNG fixture: hazards at lines 6, 9 and 12 exactly.
+#include <cstdlib>
+#include <random>
+
+int A() {
+  return rand();
+}
+
+std::mt19937 g_default_engine;
+
+int B() {
+  std::random_device dev;
+  return static_cast<int>(dev());
+}

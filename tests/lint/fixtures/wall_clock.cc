@@ -1,0 +1,11 @@
+// Wall-clock fixture: hazards at lines 5, 8 and 11 exactly.
+#include <chrono>
+#include <ctime>
+
+double A() { return double(std::chrono::system_clock::now().time_since_epoch().count()); }
+
+double B() {
+  return static_cast<double>(time(nullptr));
+}
+
+double C() { return double(std::chrono::steady_clock::now().time_since_epoch().count()); }

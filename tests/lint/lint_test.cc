@@ -1,0 +1,147 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dmr::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DMR_SOURCE_DIR) + "/tests/lint/fixtures/" + name;
+}
+
+/// (check id, line) pairs of the unsuppressed findings, in report order.
+std::vector<std::pair<std::string, int>> Hits(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> hits;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) hits.emplace_back(f.check, f.line);
+  }
+  return hits;
+}
+
+using Expected = std::vector<std::pair<std::string, int>>;
+
+TEST(LintFixtureTest, WallClock) {
+  auto findings = LintPath(FixturePath("wall_clock.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"wall-clock", 5},
+                                      {"wall-clock", 8},
+                                      {"wall-clock", 11}}));
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kError);
+  }
+}
+
+TEST(LintFixtureTest, UnseededRng) {
+  auto findings = LintPath(FixturePath("unseeded_rng.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"unseeded-rng", 6},
+                                      {"unseeded-rng", 9},
+                                      {"unseeded-rng", 12}}));
+}
+
+TEST(LintFixtureTest, UnorderedOutputAnchorsToTheLoop) {
+  auto findings = LintPath(FixturePath("unordered_output.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"unordered-output", 8}}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("stats"), std::string::npos);
+}
+
+TEST(LintFixtureTest, PointerOutput) {
+  auto findings = LintPath(FixturePath("pointer_output.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"pointer-output", 6},
+                                      {"pointer-output", 11}}));
+}
+
+TEST(LintFixtureTest, CheckSideEffect) {
+  auto findings = LintPath(FixturePath("check_side_effect.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"check-side-effect", 7},
+                                      {"check-side-effect", 10}}));
+}
+
+TEST(LintFixtureTest, IgnoredStatus) {
+  auto findings = LintPath(FixturePath("ignored_status.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"ignored-status", 7}}));
+}
+
+TEST(LintFixtureTest, CleanFileHasNoFindings) {
+  auto findings = LintPath(FixturePath("clean.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFixtureTest, SuppressionsCoverBothForms) {
+  auto findings = LintPath(FixturePath("suppressed.cc"));
+  EXPECT_TRUE(Hits(findings).empty());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 6);   // trailing-comment form
+  EXPECT_EQ(findings[1].line, 10);  // line-above form
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.suppressed);
+    EXPECT_NE(f.justification.find("form"), std::string::npos);
+  }
+  EXPECT_EQ(CountActionable(findings, Severity::kNote), 0);
+}
+
+TEST(LintTest, AllowForAnotherCheckDoesNotSuppress) {
+  auto findings = LintContent(
+      "wrong_allow.cc",
+      "#include <cstdlib>\n"
+      "int A() { return rand(); }  // dmr-lint: allow(wall-clock)\n");
+  EXPECT_EQ(Hits(findings), (Expected{{"unseeded-rng", 2}}));
+}
+
+TEST(LintTest, MultipleIdsInOneAllow) {
+  auto findings = LintContent(
+      "multi_allow.cc",
+      "// dmr-lint: allow(unseeded-rng, wall-clock) both at once\n"
+      "int A() { return rand() + int(clock()); }\n");
+  EXPECT_TRUE(Hits(findings).empty());
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(LintTest, CountActionableRespectsTheFloor) {
+  auto findings = LintContent(
+      "mixed.cc",
+      "#include <unordered_map>\n"
+      "#include <string>\n"
+      "std::string R(const std::unordered_map<int, int>& m) {\n"
+      "  std::string out;\n"
+      "  for (const auto& [k, v] : m) out += std::to_string(k);\n"
+      "  return out;\n"
+      "}\n");
+  ASSERT_EQ(Hits(findings), (Expected{{"unordered-output", 5}}));
+  EXPECT_EQ(CountActionable(findings, Severity::kWarning), 1);
+  EXPECT_EQ(CountActionable(findings, Severity::kError), 0);
+}
+
+TEST(LintTest, JsonReportParsesAndCounts) {
+  auto findings = LintPath(FixturePath("suppressed.cc"));
+  auto more = LintPath(FixturePath("wall_clock.cc"));
+  findings.insert(findings.end(), more.begin(), more.end());
+  auto doc = json::JsonParse(FindingsToJson(findings));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::JsonValue* list = doc.ValueOrDie().Find("findings");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->items.size(), 5u);
+  const json::JsonValue* counts = doc.ValueOrDie().Find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->NumberOr("errors", -1), 3);
+  EXPECT_EQ(counts->NumberOr("suppressed", -1), 2);
+}
+
+TEST(LintTest, EveryBuiltinCheckHasIdSeverityAndMessage) {
+  for (const CheckDef& check : BuiltinChecks()) {
+    EXPECT_NE(check.id, nullptr);
+    EXPECT_STRNE(check.id, "");
+    EXPECT_NE(check.message, nullptr);
+    EXPECT_FALSE(check.patterns.empty()) << check.id;
+  }
+}
+
+}  // namespace
+}  // namespace dmr::lint
