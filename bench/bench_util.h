@@ -60,6 +60,10 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
 ///                    pseudo-random permutation of insertion order; all
 ///                    tables/digests must be identical for every seed
 ///                    (the virtual-time tie-race check, see DESIGN.md §13)
+/// --queue=KIND       event-queue implementation: "calendar" (default,
+///                    two-tier bucket queue) or "heap" (the legacy binary
+///                    heap oracle); firing order — and hence every digest —
+///                    must be identical for both (see DESIGN.md §14)
 struct BenchOptions {
   int threads = 0;
   std::string json_path;
@@ -67,6 +71,8 @@ struct BenchOptions {
   std::string metrics_path;
   /// Set when --shuffle-ties was given (already applied process-wide).
   std::optional<uint64_t> shuffle_ties;
+  /// The --queue kind (already applied process-wide).
+  sim::QueueKind queue = sim::QueueKind::kCalendar;
 
   bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty();
@@ -113,11 +119,25 @@ struct BenchOptions {
         // Applied process-wide, before any worker threads or Simulations
         // exist: every experiment cell shuffles its virtual-time ties.
         sim::Simulation::SetGlobalTieShuffle(options.shuffle_ties);
+      } else if (std::strncmp(arg, "--queue=", 8) == 0) {
+        const char* value = arg + 8;
+        if (std::strcmp(value, "calendar") == 0) {
+          options.queue = sim::QueueKind::kCalendar;
+        } else if (std::strcmp(value, "heap") == 0) {
+          options.queue = sim::QueueKind::kBinaryHeap;
+        } else {
+          std::fprintf(stderr,
+                       "bad --queue value: %s (want calendar|heap)\n", value);
+          std::exit(2);
+        }
+        // Like --shuffle-ties: process-wide, before any Simulation exists.
+        sim::Simulation::SetGlobalQueueKind(options.queue);
       } else if (std::strncmp(arg, "--", 2) == 0) {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N|auto] "
                      "[--json=FILE] [--trace=FILE] [--metrics=FILE] "
-                     "[--shuffle-ties=SEED] [driver args]\n",
+                     "[--shuffle-ties=SEED] [--queue=calendar|heap] "
+                     "[driver args]\n",
                      arg, argv[0]);
         std::exit(2);
       } else {

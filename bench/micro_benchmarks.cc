@@ -216,6 +216,52 @@ void BM_SimScheduleCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_SimScheduleCancel)->Arg(1000)->Arg(100000);
 
+/// Tombstone purge economics around the MaybePurgeCancelled thresholds.
+/// Cancels push tombstone density to `pct`% of the queue against a fixed
+/// pool of `live` firable events. The sweep runs only at >= 64 tombstones
+/// AND >= 25% (heap) / >= 50% (calendar) density; the cells below sit just
+/// either side of each boundary so the skip-on-pop vs. global-sweep
+/// regimes are both measured.
+void BM_SimCancelPurge(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? sim::QueueKind::kBinaryHeap
+                                        : sim::QueueKind::kCalendar;
+  const int pct = static_cast<int>(state.range(1));
+  const int live = static_cast<int>(state.range(2));
+  // Density pct means cancels / (live + cancels) == pct / 100.
+  const int cancels = live * pct / (100 - pct);
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.queue = kind;
+    sim::Simulation sim(options);
+    uint64_t fired = 0;
+    for (int i = 0; i < live; ++i) {
+      sim.Schedule(1.0 + static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < cancels; ++i) {
+      sim::EventHandle doomed =
+          sim.Schedule(1.0 + static_cast<double>(i % 89),
+                       [&fired] { ++fired; });
+      doomed.Cancel();
+    }
+    benchmark::DoNotOptimize(sim.live_size());
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(live + cancels));
+}
+BENCHMARK(BM_SimCancelPurge)
+    ->ArgNames({"queue", "pct", "live"})
+    // heap (queue=0): density past 25% but only ~54 tombstones, under the
+    // 64-count floor, so no sweep; then just under / just over the 25%
+    // density line at scale.
+    ->Args({0, 30, 128})
+    ->Args({0, 20, 4096})
+    ->Args({0, 30, 4096})
+    // calendar (queue=1): just under / just over its 50% density line.
+    ->Args({1, 40, 4096})
+    ->Args({1, 60, 4096});
+
 /// Fan-out scaling of the experiment harness: N simulation cells (each a
 /// private Simulation running an event cascade) spread over the pool.
 /// Compare threads=1 vs higher counts for the harness speedup.

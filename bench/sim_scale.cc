@@ -1,0 +1,326 @@
+/// \file
+/// Measures raw DES kernel throughput at cluster scale: a synthetic
+/// heartbeat + task-lifecycle + cross-shard-ping event program is run at
+/// 100 / 1k / 10k nodes through every {queue kind} x {engine} combination
+/// ({calendar, heap} x {serial, sharded RunParallel}) and the events/sec
+/// and wall time of each cell are recorded as BENCH_sim_scale.json (via
+/// --json=FILE).
+///
+/// Every cell also folds its firing sequence into per-shard FNV digests
+/// (combined in shard order); the driver aborts unless all cells at one
+/// node count produce the same digest and event count — the order
+/// equivalence contract of DESIGN.md §14, checked end to end.
+///
+/// Event times are constructed to be globally unique (each (node, period,
+/// kind) triple owns a distinct rational multiple of the node slot width),
+/// so the program has no virtual-time ties. That keeps serial and sharded
+/// runs digest-comparable even for cross-shard pings, whose sequence
+/// numbers are assigned at different points by the two engines and which
+/// therefore only commute when untied (see DESIGN.md §14).
+///
+/// Usage: sim_scale [--nodes=100,1000,10000] [--shards=4] [--until=60]
+///                  [--json=FILE] [--queue=calendar|heap]
+///
+/// With --queue given, only that kind runs (the tier-1 smoke uses this to
+/// cross-check the heap oracle); otherwise both kinds run and are compared.
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/host_clock.h"
+#include "common/table_printer.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using dmr::sim::EventClass;
+using dmr::sim::QueueKind;
+using dmr::sim::Simulation;
+using dmr::sim::SimulationOptions;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline uint64_t Mix(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+/// One cache line per shard so parallel workers never share a digest line.
+struct alignas(64) ShardDigest {
+  uint64_t h = kFnvOffset;
+};
+
+/// The synthetic event program. Per node and 3 s heartbeat period:
+///   - a heartbeat (kScheduling) that re-arms itself,
+///   - one task completion (kTaskLifecycle) ~0.5 s later that fires,
+///   - one speculative task that is cancelled immediately (exercising the
+///     tombstone path),
+///   - a ping onto the next shard ~7.1 s ahead (>= two 3 s lookahead
+///     epochs, satisfying the conservative cross-shard contract),
+///   - plus `kLeasesPerNode` far-future lease events scheduled at setup
+///     that never fire inside the run: dead weight every heap operation
+///     pays for and the calendar's overflow tier keeps out of the way.
+struct Workload {
+  Simulation* sim = nullptr;
+  std::vector<ShardDigest>* digests = nullptr;
+  int nodes = 0;
+  int shards = 0;
+  /// True when the simulation itself is sharded (RunParallel cells).
+  /// Serial cells push the whole program through one queue — exactly the
+  /// pre-shard kernel shape, which makes heap/serial the genuine baseline.
+  /// The digest partition below stays ShardOf(node) either way: a node
+  /// group's events fire in time order in both engines, so the per-group
+  /// subsequences — and hence the digests — are comparable.
+  bool sharded_sim = false;
+  double slot = 0.0;  // 3.0 / nodes: each node owns one slot per period
+  long task_cells = 0;  // slots between a heartbeat and its task event
+  long ping_cells = 0;  // slots between a heartbeat and its ping
+
+  static constexpr double kPeriod = 3.0;
+  static constexpr int kLeasesPerNode = 1024;
+
+  int ShardOf(int node) const {
+    return static_cast<int>(static_cast<long>(node) * shards / nodes);
+  }
+
+  /// The simulation shard a node's events are placed on.
+  int PlaceShard(int node) const { return sharded_sim ? ShardOf(node) : 0; }
+
+  /// All fired times are (cell + frac) * slot with frac in (0, 1) unique
+  /// per event kind and cell unique per (node, period, kind): strictly
+  /// monotone in cell + frac, hence collision-free.
+  double TimeAt(long cell, double frac) const {
+    return (static_cast<double>(cell) + frac) * slot;
+  }
+
+  void Note(int shard, uint64_t kind, int node) {
+    uint64_t h = (*digests)[shard].h;
+    h = Mix(h, kind);
+    h = Mix(h, static_cast<uint64_t>(node));
+    h = Mix(h, std::bit_cast<uint64_t>(sim->Now()));
+    (*digests)[shard].h = h;
+  }
+
+  void Heartbeat(int node, long k) {
+    int shard = ShardOf(node);
+    Note(shard, 0x48, node);
+    long cell = k * nodes + node;
+    // Task that completes (and one that is immediately speculated away).
+    // Everything that never needs a handle schedules detached — the shape
+    // product heartbeat chains use — so the cell measures queue cost, not
+    // slot-pool refcounting.
+    sim->ScheduleDetachedAt(TimeAt(cell + task_cells, 0.375),
+                            EventClass::kTaskLifecycle,
+                            [this, node](){ Note(ShardOf(node), 0x54, node); });
+    dmr::sim::EventHandle spec =
+        sim->ScheduleAt(TimeAt(cell + task_cells, 0.5),
+                        EventClass::kTaskLifecycle,
+                        [this, node](){ Note(ShardOf(node), 0x58, node); });
+    spec.Cancel();
+    // Ping the next node group two lookahead epochs out (a cross-shard
+    // staged event in the parallel cells).
+    int target = (shard + 1) % shards;
+    sim->ScheduleOnShardDetached(
+        sharded_sim ? target : 0, TimeAt(cell + ping_cells, 0.75),
+        EventClass::kDefault,
+        [this, target, node](){ Note(target, 0x50, node); });
+    sim->ScheduleDetachedAt(TimeAt(cell + static_cast<long>(nodes), 0.125),
+                            EventClass::kScheduling,
+                            [this, node, k](){ Heartbeat(node, k + 1); });
+  }
+
+  void Seed(double until) {
+    for (int node = 0; node < nodes; ++node) {
+      int shard = PlaceShard(node);
+      sim->ScheduleOnShardDetached(shard, TimeAt(node, 0.125),
+                                   EventClass::kScheduling,
+                                   [this, node](){ Heartbeat(node, 0); });
+      for (int j = 0; j < kLeasesPerNode; ++j) {
+        sim->ScheduleOnShardDetached(
+            shard, until + 1000.0 + j * kPeriod + node * slot,
+            EventClass::kBookkeeping, [](){});
+      }
+    }
+  }
+};
+
+struct CellResult {
+  std::string queue;
+  std::string mode;
+  int shards = 0;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  uint64_t digest = 0;
+};
+
+CellResult RunCell(QueueKind kind, bool parallel, int nodes, int shards,
+                   double until) {
+  SimulationOptions options;
+  options.queue = kind;
+  // Size buckets so one holds only a couple of events regardless of node
+  // count (~2 node slots per bucket), with the near-future horizon sized
+  // to the run so steady-state pushes land in buckets and the lease dead
+  // weight stays in the overflow tier for the duration (the standard
+  // calendar-queue sizing discipline: array spans the active window).
+  options.bucket_width = Workload::kPeriod * 2.0 / nodes;
+  options.num_buckets =
+      static_cast<int>((until + 10.0) / options.bucket_width) + 1;
+
+  Simulation sim(options);
+  sim.ConfigureShards(parallel ? shards : 1);
+  std::vector<ShardDigest> digests(shards);
+
+  Workload w;
+  w.sim = &sim;
+  w.digests = &digests;
+  w.nodes = nodes;
+  w.shards = shards;
+  w.sharded_sim = parallel;
+  w.slot = Workload::kPeriod / nodes;
+  w.task_cells = nodes / 6;  // ~0.5 s
+  w.ping_cells = static_cast<long>(7.1 / Workload::kPeriod * nodes) + 1;
+  w.Seed(until);
+
+  // dmr-lint: allow(wall-clock) measuring real kernel throughput is the
+  // point; timings feed the printed table and JSON only, never a digest.
+  double t0 = dmr::HostClock::NowMicros();
+  uint64_t fired = parallel ? sim.RunParallel(shards, until)
+                            : sim.RunUntil(until);
+  double wall_us = dmr::HostClock::NowMicros() - t0;
+
+  CellResult result;
+  result.queue = sim.options().queue == QueueKind::kCalendar ? "calendar"
+                                                             : "heap";
+  result.mode = parallel ? "parallel" : "serial";
+  result.shards = shards;
+  result.events = fired;
+  result.wall_ms = wall_us / 1000.0;
+  uint64_t combined = kFnvOffset;
+  for (const ShardDigest& d : digests) combined = Mix(combined, d.h);
+  result.digest = combined;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmr;
+
+  // Driver flags, stripped before the shared parser (which rejects
+  // unknown --flags).
+  std::string nodes_list = "100,1000,10000";
+  int shards = 4;
+  double until = 60.0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      nodes_list = arg + 8;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = std::atoi(arg + 9);
+      if (shards < 1 || shards > 256) {
+        std::fprintf(stderr, "bad --shards value: %s (want 1..256)\n",
+                     arg + 9);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--until=", 8) == 0) {
+      until = std::atof(arg + 8);
+      if (until <= 0.0) {
+        std::fprintf(stderr, "bad --until value: %s\n", arg + 8);
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+
+  std::vector<int> node_counts;
+  for (const char* p = nodes_list.c_str(); *p != '\0';) {
+    char* end = nullptr;
+    long n = std::strtol(p, &end, 10);
+    if (end == p || n < shards || n > 10000000) {
+      std::fprintf(stderr, "bad --nodes value: %s (want counts >= shards)\n",
+                   nodes_list.c_str());
+      return 2;
+    }
+    node_counts.push_back(static_cast<int>(n));
+    p = *end == ',' ? end + 1 : end;
+  }
+
+  std::vector<QueueKind> kinds;
+  if (auto forced = sim::Simulation::GlobalQueueKind(); forced.has_value()) {
+    kinds.push_back(*forced);  // --queue smoke mode: one kind, both engines
+  } else {
+    kinds = {QueueKind::kCalendar, QueueKind::kBinaryHeap};
+  }
+
+  bench::PrintHeader(
+      "DES kernel scale: calendar queue + sharded parallel execution",
+      "kernel substrate for all paper figures (DESIGN.md §14)",
+      "identical digests for every {queue} x {engine} cell; calendar "
+      ">= 5x heap events/sec at 10k nodes (serial)");
+
+  bench::JsonWriter json;
+  TablePrinter table(
+      {"nodes", "queue", "mode", "events", "wall ms", "events/sec",
+       "digest"});
+  bool ok = true;
+  for (int nodes : node_counts) {
+    std::vector<CellResult> cells;
+    for (QueueKind kind : kinds) {
+      cells.push_back(RunCell(kind, /*parallel=*/false, nodes, shards,
+                              until));
+      cells.push_back(RunCell(kind, /*parallel=*/true, nodes, shards,
+                              until));
+    }
+    for (const CellResult& cell : cells) {
+      double events_per_sec =
+          static_cast<double>(cell.events) / (cell.wall_ms / 1000.0);
+      char wall_buf[32], eps_buf[32], digest_buf[32];
+      std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", cell.wall_ms);
+      std::snprintf(eps_buf, sizeof(eps_buf), "%.3g", events_per_sec);
+      std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                    static_cast<unsigned long long>(cell.digest));
+      table.AddRow({std::to_string(nodes), cell.queue, cell.mode,
+                    std::to_string(cell.events), wall_buf, eps_buf,
+                    digest_buf});
+      json.AddCell()
+          .Set("bench", "sim_scale")
+          .Set("nodes", nodes)
+          .Set("queue", cell.queue)
+          .Set("mode", cell.mode)
+          .Set("shards", cell.shards)
+          .Set("events", cell.events)
+          .Set("wall_ms", cell.wall_ms)
+          .Set("events_per_sec", events_per_sec)
+          .Set("digest", digest_buf);
+      if (cell.digest != cells[0].digest || cell.events != cells[0].events) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s at %d nodes fired %llu events with digest "
+                     "%016llx; expected %llu / %016llx (%s/%s)\n",
+                     cell.queue.c_str(), cell.mode.c_str(), nodes,
+                     static_cast<unsigned long long>(cell.events),
+                     static_cast<unsigned long long>(cell.digest),
+                     static_cast<unsigned long long>(cells[0].events),
+                     static_cast<unsigned long long>(cells[0].digest),
+                     cells[0].queue.c_str(), cells[0].mode.c_str());
+        ok = false;
+      }
+    }
+  }
+  table.Print();
+  std::printf("\n(per-shard FNV digests over the firing sequence, combined "
+              "in shard order; every cell in a node-count group must "
+              "match)\n");
+  bench::MaybeWriteJson(options, json);
+  if (!ok) {
+    std::fprintf(stderr, "\ndigest mismatch between queue/engine cells\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, the dmr-lint determinism
 # checks, a bench smoke run (micro benchmarks + the Table III driver on both
-# predicate engines, asserting identical JSON), the tie-shuffle digest
-# invariance check (fig5 metrics must be byte-identical across shuffle
-# seeds), then the concurrency-sensitive tests under ThreadSanitizer and the
-# sim/mapred/obs tests under ASan+UBSan.
+# predicate engines, asserting identical JSON), the DES kernel scale smoke
+# (calendar/heap x serial/sharded firing-order digests must agree), the
+# tie-shuffle + queue-kind digest invariance check (fig5 metrics must be
+# byte-identical across shuffle seeds and queue implementations), then the
+# concurrency-sensitive tests under ThreadSanitizer and the sim/mapred/obs
+# tests under ASan+UBSan.
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -59,33 +61,47 @@ echo "== tier-1: bench smoke (micro benchmarks + engine-parity diff) =="
 diff "${obs_dir}/table3_interpreted.json" "${obs_dir}/table3_vectorized.json"
 echo "table3 JSON identical on both engines"
 
-echo "== tier-1: tie-shuffle digest invariance (frozen host clock, 5 seeds) =="
-# The determinism contract (DESIGN.md): among events tied on (timestamp,
-# EventClass) the handlers must commute, so the full metrics + ledger +
-# critical-path report is byte-identical under any legal tie order.
+echo "== tier-1: DES kernel scale smoke (calendar/heap x serial/sharded digest diff) =="
+# The sim_scale driver runs every {queue kind} x {serial, RunParallel}
+# cell at 100 nodes, folds each firing sequence into per-shard digests and
+# exits nonzero unless all four agree — the order-equivalence contract of
+# DESIGN.md §14 end to end.
+./build/bench/bench_sim_scale --nodes=100 --shards=4 \
+  --json="${obs_dir}/sim_scale_smoke.json" > /dev/null
+echo "sim_scale digests identical across queue kinds and engines"
+
+echo "== tier-1: tie-shuffle + queue-kind digest invariance (frozen host clock) =="
+# The determinism contract (DESIGN.md §13/§14): among events tied on
+# (timestamp, EventClass) the handlers must commute, and the calendar
+# queue must realize exactly the heap oracle's order — so the full
+# metrics + ledger + critical-path report is byte-identical under any
+# legal tie order AND either queue implementation.
 digest_ref=""
-for seed in base 11 23 37 41 53; do
-  args=()
-  if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
-  DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
-    --metrics="${obs_dir}/shuffle_${seed}.json" > /dev/null
-  digest=$(sha256sum "${obs_dir}/shuffle_${seed}.json" | cut -d' ' -f1)
-  if [[ -z "${digest_ref}" ]]; then
-    digest_ref="${digest}"
-  elif [[ "${digest}" != "${digest_ref}" ]]; then
-    echo "tie-shuffle digest mismatch: seed ${seed} diverged — a handler" \
-         "pair at one virtual instant does not commute" >&2
-    exit 1
-  fi
+for queue in calendar heap; do
+  for seed in base 11 23 37 41 53; do
+    args=("--queue=${queue}")
+    if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
+    DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
+      --metrics="${obs_dir}/shuffle_${queue}_${seed}.json" > /dev/null
+    digest=$(sha256sum "${obs_dir}/shuffle_${queue}_${seed}.json" | cut -d' ' -f1)
+    if [[ -z "${digest_ref}" ]]; then
+      digest_ref="${digest}"
+    elif [[ "${digest}" != "${digest_ref}" ]]; then
+      echo "digest mismatch: queue=${queue} seed=${seed} diverged — either" \
+           "a handler pair at one virtual instant does not commute or the" \
+           "calendar queue broke the firing-order contract" >&2
+      exit 1
+    fi
+  done
 done
-echo "fig5 metrics digest identical across base + 5 shuffle seeds"
+echo "fig5 metrics digest identical across {calendar, heap} x {base + 5 shuffle seeds}"
 
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${jobs}" \
     --target parallel_test simulation_test metrics_test vectorized_test \
-             ledger_test
+             ledger_test run_parallel_test queue_equivalence_test
   ctest --preset tsan
 else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
@@ -97,7 +113,8 @@ if [[ "${run_asan}" == "1" ]]; then
   cmake --build --preset asan -j "${jobs}" \
     --target simulation_test tie_race_test ps_resource_test \
              job_tracker_test job_client_test metrics_test trace_test \
-             ledger_test analysis_test lint_test
+             ledger_test analysis_test lint_test \
+             run_parallel_test queue_equivalence_test
   ctest --preset asan
 else
   echo "== tier-1: ASan stage skipped (--no-asan) =="

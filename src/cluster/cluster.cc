@@ -5,31 +5,18 @@
 namespace dmr::cluster {
 
 Cluster::Cluster(sim::Simulation* sim, const ClusterConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim),
+      config_(config),
+      state_(config.num_nodes, config.map_slots_per_node,
+             config.reduce_slots_per_node) {
   DMR_CHECK(config.Validate().ok()) << config.Validate().ToString();
   nodes_.reserve(config.num_nodes);
   for (int i = 0; i < config.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim, config, i));
+    nodes_.push_back(std::make_unique<Node>(sim, config, i, &state_));
   }
   network_ = std::make_unique<sim::PsResource>(
       sim, "cluster.network", config.network_bandwidth,
       config.network_stream_cap);
-}
-
-int Cluster::free_map_slots() const {
-  int free = 0;
-  for (const auto& n : nodes_) free += n->free_map_slots();
-  return free;
-}
-
-int Cluster::used_map_slots() const {
-  return total_map_slots() - free_map_slots();
-}
-
-int Cluster::free_reduce_slots() const {
-  int free = 0;
-  for (const auto& n : nodes_) free += n->free_reduce_slots();
-  return free;
 }
 
 double Cluster::CpuUtilizationPercent() const {

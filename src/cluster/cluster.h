@@ -6,6 +6,7 @@
 
 #include "cluster/cluster_config.h"
 #include "cluster/node.h"
+#include "cluster/node_state.h"
 #include "sim/ps_resource.h"
 #include "sim/simulation.h"
 
@@ -29,10 +30,15 @@ class Cluster {
   /// Cluster-wide interconnect used for remote reads and shuffle traffic.
   sim::PsResource* network() { return network_.get(); }
 
+  /// The struct-of-arrays hot scheduling state (slot counts, heartbeat
+  /// times, locality tallies) shared by the nodes, tracker and schedulers.
+  NodeStateTable& state() { return state_; }
+  const NodeStateTable& state() const { return state_; }
+
   int total_map_slots() const { return config_.total_map_slots(); }
-  int free_map_slots() const;
-  int used_map_slots() const;
-  int free_reduce_slots() const;
+  int free_map_slots() const { return state_.total_free_map_slots(); }
+  int used_map_slots() const { return state_.total_used_map_slots(); }
+  int free_reduce_slots() const { return state_.total_free_reduce_slots(); }
 
   /// Mean instantaneous CPU utilization across all nodes, in [0, 100] (%).
   double CpuUtilizationPercent() const;
@@ -43,6 +49,7 @@ class Cluster {
  private:
   sim::Simulation* sim_;
   ClusterConfig config_;
+  NodeStateTable state_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<sim::PsResource> network_;
 };

@@ -7,12 +7,9 @@
 
 namespace dmr::cluster {
 
-Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id)
-    : id_(node_id),
-      map_slots_(config.map_slots_per_node),
-      reduce_slots_(config.reduce_slots_per_node),
-      map_slot_busy_(static_cast<size_t>(config.map_slots_per_node), false),
-      sim_(sim) {
+Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id,
+           NodeStateTable* state)
+    : id_(node_id), state_(state), sim_(sim) {
   cpu_ = std::make_unique<sim::PsResource>(
       sim, "node" + std::to_string(node_id) + ".cpu",
       static_cast<double>(config.cores_per_node), /*per_request_cap=*/1.0);
@@ -28,36 +25,23 @@ Node::Node(sim::Simulation* sim, const ClusterConfig& config, int node_id)
 void Node::EmitSlotOccupancy() {
   if (obs_ != nullptr && obs_->trace() != nullptr) {
     obs_->trace()->Counter(sim_->Now(), id_, "map_slots", "used",
-                           static_cast<double>(used_map_slots_));
+                           static_cast<double>(used_map_slots()));
   }
 }
 
 int Node::AcquireMapSlot() {
-  DMR_CHECK_LT(used_map_slots_, map_slots_) << "node " << id_;
-  ++used_map_slots_;
-  for (int s = 0; s < map_slots_; ++s) {
-    if (!map_slot_busy_[s]) {
-      map_slot_busy_[s] = true;
-      EmitSlotOccupancy();
-      if (obs_ != nullptr) {
-        if (obs::Ledger* ledger = obs_->ledger()) {
-          ledger->OnSlotAcquired(id_, s, sim_->Now());
-        }
-      }
-      return s;
+  const int slot = state_->AcquireMapSlot(id_);
+  EmitSlotOccupancy();
+  if (obs_ != nullptr) {
+    if (obs::Ledger* ledger = obs_->ledger()) {
+      ledger->OnSlotAcquired(id_, slot, sim_->Now());
     }
   }
-  DMR_CHECK(false) << "node " << id_ << ": slot count out of sync";
-  return -1;
+  return slot;
 }
 
 void Node::ReleaseMapSlot(int slot) {
-  DMR_CHECK_GT(used_map_slots_, 0) << "node " << id_;
-  DMR_CHECK_GE(slot, 0) << "node " << id_;
-  DMR_CHECK_LT(slot, map_slots_) << "node " << id_;
-  DMR_CHECK(map_slot_busy_[slot]) << "node " << id_ << " slot " << slot;
-  map_slot_busy_[slot] = false;
-  --used_map_slots_;
+  state_->ReleaseMapSlot(id_, slot);
   EmitSlotOccupancy();
   if (obs_ != nullptr) {
     if (obs::Ledger* ledger = obs_->ledger()) {
@@ -66,14 +50,8 @@ void Node::ReleaseMapSlot(int slot) {
   }
 }
 
-void Node::AcquireReduceSlot() {
-  DMR_CHECK_LT(used_reduce_slots_, reduce_slots_) << "node " << id_;
-  ++used_reduce_slots_;
-}
+void Node::AcquireReduceSlot() { state_->AcquireReduceSlot(id_); }
 
-void Node::ReleaseReduceSlot() {
-  DMR_CHECK_GT(used_reduce_slots_, 0) << "node " << id_;
-  --used_reduce_slots_;
-}
+void Node::ReleaseReduceSlot() { state_->ReleaseReduceSlot(id_); }
 
 }  // namespace dmr::cluster

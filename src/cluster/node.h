@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cluster_config.h"
+#include "cluster/node_state.h"
 #include "obs/scope.h"
 #include "sim/ps_resource.h"
 #include "sim/simulation.h"
@@ -13,9 +14,15 @@ namespace dmr::cluster {
 
 /// \brief One simulated worker machine: CPU cores, disks, and the map/reduce
 /// slot bookkeeping that a Hadoop TaskTracker would advertise.
+///
+/// The hot scheduling fields (slot counts, lane bitmask) live in the
+/// cluster's NodeStateTable (struct-of-arrays, scanned by the schedulers);
+/// Node is the cold storage — resources and observability — and its slot
+/// API delegates to the table so the two views cannot diverge.
 class Node {
  public:
-  Node(sim::Simulation* sim, const ClusterConfig& config, int node_id);
+  Node(sim::Simulation* sim, const ClusterConfig& config, int node_id,
+       NodeStateTable* state);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -29,12 +36,12 @@ class Node {
   sim::PsResource* disk(int disk_id) { return disks_[disk_id].get(); }
   int num_disks() const { return static_cast<int>(disks_.size()); }
 
-  int map_slots() const { return map_slots_; }
-  int reduce_slots() const { return reduce_slots_; }
-  int used_map_slots() const { return used_map_slots_; }
-  int used_reduce_slots() const { return used_reduce_slots_; }
-  int free_map_slots() const { return map_slots_ - used_map_slots_; }
-  int free_reduce_slots() const { return reduce_slots_ - used_reduce_slots_; }
+  int map_slots() const { return state_->map_slots_per_node(); }
+  int reduce_slots() const { return state_->reduce_slots_per_node(); }
+  int used_map_slots() const { return state_->used_map_slots(id_); }
+  int used_reduce_slots() const { return state_->used_reduce_slots(id_); }
+  int free_map_slots() const { return state_->free_map_slots(id_); }
+  int free_reduce_slots() const { return state_->free_reduce_slots(id_); }
 
   /// Acquires the lowest-numbered free map slot and returns its index
   /// (stable per-slot identity — the trace renders one lane per slot).
@@ -52,11 +59,7 @@ class Node {
   void EmitSlotOccupancy();
 
   int id_;
-  int map_slots_;
-  int reduce_slots_;
-  int used_map_slots_ = 0;
-  int used_reduce_slots_ = 0;
-  std::vector<bool> map_slot_busy_;
+  NodeStateTable* state_;
   sim::Simulation* sim_;
   obs::Scope* obs_ = nullptr;
   std::unique_ptr<sim::PsResource> cpu_;

@@ -457,6 +457,23 @@ const std::vector<CheckDef>& BuiltinChecks() {
           {R"(tracker_?\s*(?:\.|->)\s*(?:AddSplits|FinalizeInput))"},
           {},
       },
+      {
+          "arena-alloc",
+          Severity::kError,
+          CheckKind::kLineRegex,
+          "raw heap allocation of a per-event object on the fire path; "
+          "allocate through the simulation arena (sim/arena.h "
+          "ArenaAllocator / std::allocate_shared) so event churn reuses "
+          "pooled slabs instead of hitting the global allocator",
+          {
+              R"(std::make_shared<\s*MapAttempt)",
+              R"(\bnew\s+((sim::)?internal::)?EventSlot\b)",
+              R"(\bnew\s+MapAttempt\b)",
+          },
+          // The kernel and the arena itself are where raw slab/pool
+          // allocation legitimately lives.
+          {"sim/simulation", "sim/arena"},
+      },
   };
   return kChecks;
 }

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "obs/critical_path.h"
 #include "obs/ledger.h"
+#include "sim/arena.h"
 
 namespace dmr::mapred {
 
@@ -191,6 +192,7 @@ void JobTracker::PruneMappingJobs() {
 
 void JobTracker::Heartbeat(int node_id) {
   cluster::Node* node = cluster_->node(node_id);
+  cluster_->state().RecordHeartbeat(node_id, sim_->Now());
 
   // Launch queued reduce tasks first (they are few and cheap).
   while (!reduce_ready_.empty() && node->free_reduce_slots() > 0) {
@@ -287,6 +289,7 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   } else {
     ++total_remote_maps_;
   }
+  cluster_->state().RecordMapLaunch(node_id, local);
 
   const auto& config = cluster_->config();
   double cpu_demand =
@@ -304,7 +307,10 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   bool will_fail = config.map_failure_prob > 0 &&
                    fault_rng_.NextBernoulli(config.map_failure_prob);
 
-  auto attempt = std::make_shared<MapAttempt>();
+  // Task-attempt records churn once per split attempt; draw them (control
+  // block included) from the simulation's arena instead of global malloc.
+  auto attempt = std::allocate_shared<MapAttempt>(
+      sim::ArenaAllocator<MapAttempt>(sim_->arena()));
   attempt->job = job;
   attempt->split = split;
   attempt->node_id = node_id;
@@ -324,7 +330,9 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   attempt->startup_event = sim_->Schedule(
       config.task_startup_seconds, sim::EventClass::kTaskLifecycle,
       [this, attempt, cpu_demand, read_bytes, will_fail] {
-        auto remaining = std::make_shared<int>(attempt->local ? 2 : 3);
+        auto remaining = std::allocate_shared<int>(
+            sim::ArenaAllocator<int>(sim_->arena()),
+            attempt->local ? 2 : 3);
         auto on_part_done = [this, attempt, remaining, will_fail] {
           if (--(*remaining) != 0) return;
           OnAttemptDone(attempt, will_fail);
@@ -519,7 +527,8 @@ void JobTracker::LaunchReduce(Job* job, int node_id) {
   sim_->Schedule(config.task_startup_seconds,
                  sim::EventClass::kTaskLifecycle,
                  [this, job, node_id, shuffle_bytes, cpu_demand] {
-    auto remaining = std::make_shared<int>(2);
+    auto remaining = std::allocate_shared<int>(
+        sim::ArenaAllocator<int>(sim_->arena()), 2);
     auto on_part_done = [this, job, node_id, remaining] {
       if (--(*remaining) == 0) OnReduceComplete(job, node_id);
     };

@@ -1,0 +1,24 @@
+#include "sim/arena.h"
+
+namespace dmr::sim {
+
+void* Arena::Carve(int cls) {
+  const std::size_t block = kMinBlock << cls;
+  if (bump_left_ < block) {
+    // Blocks are powers of two dividing the chunk size, so a fresh chunk
+    // always satisfies the request; the tail of the old chunk (< block
+    // bytes) is abandoned.
+    auto chunk = std::make_unique<unsigned char[]>(kChunkBytes);
+    bump_ = chunk.get();
+    bump_left_ = kChunkBytes;
+    bytes_reserved_ += kChunkBytes;
+    chunks_.push_back(std::move(chunk));
+  }
+  void* p = bump_;
+  bump_ += block;
+  bump_left_ -= block;
+  ++allocations_;
+  return p;
+}
+
+}  // namespace dmr::sim

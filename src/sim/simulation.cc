@@ -1,6 +1,11 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -12,6 +17,9 @@ namespace {
 /// The process-wide tie-shuffle default; see SetGlobalTieShuffle.
 std::optional<uint64_t> g_tie_shuffle;
 
+/// The process-wide queue-kind override; see SetGlobalQueueKind.
+std::optional<QueueKind> g_queue_kind;
+
 /// SplitMix64's output finalizer over (seed XOR key): a bijection of the
 /// key for any fixed seed, so distinct keys never collide and the shuffled
 /// order is still total.
@@ -19,19 +27,27 @@ uint64_t ShuffleKey(uint64_t seed, uint64_t key) {
   return Rng(seed ^ key).Next();
 }
 
+/// std::barrier's completion object must be nothrow-invocable;
+/// std::function is not, so wrap it.
+struct BarrierCompletion {
+  std::function<void()>* fn;
+  void operator()() const noexcept { (*fn)(); }
+};
+
 }  // namespace
 
-bool Simulation::EventAfter::operator()(const Event& a,
-                                        const Event& b) const {
-  if (a.time != b.time) return a.time > b.time;
-  if (!shuffle) return a.seq > b.seq;
-  const uint64_t a_class = a.seq >> kSeqBits;
-  const uint64_t b_class = b.seq >> kSeqBits;
-  if (a_class != b_class) return a_class > b_class;
-  return ShuffleKey(seed, a.seq) > ShuffleKey(seed, b.seq);
-}
-
 namespace internal {
+
+thread_local TlsShard t_shard;
+
+bool EventAfter::operator()(const Event& a, const Event& b) const {
+  if (a.time != b.time) return a.time > b.time;
+  if (!shuffle) return a.key > b.key;
+  const uint64_t a_class = a.key >> kClassShift;
+  const uint64_t b_class = b.key >> kClassShift;
+  if (a_class != b_class) return a_class > b_class;
+  return ShuffleKey(seed, a.key) > ShuffleKey(seed, b.key);
+}
 
 void EventSlotPool::Grow() {
   auto chunk = std::make_unique<EventSlot[]>(kChunkSlots);
@@ -43,16 +59,238 @@ void EventSlotPool::Grow() {
   chunks_.push_back(std::move(chunk));
 }
 
+void EventQueue::Init(QueueKind kind, double bucket_width, int num_buckets,
+                      EventAfter after, std::size_t* cancelled_counter) {
+  DMR_CHECK_GT(bucket_width, 0.0);
+  DMR_CHECK_GE(num_buckets, 1);
+  kind_ = kind;
+  after_ = after;
+  cancelled_counter_ = cancelled_counter;
+  width_ = bucket_width;
+  inv_width_ = 1.0 / bucket_width;
+  if (kind_ == QueueKind::kCalendar) {
+    buckets_.clear();
+    buckets_.resize(static_cast<std::size_t>(num_buckets));
+    horizon_ = epoch_ + width_ * static_cast<double>(buckets_.size());
+  }
+}
+
+void EventQueue::ReleaseCancelled(Event& ev) {
+  ev.slot->owner = nullptr;
+  SlotRelease(ev.slot);
+  --*cancelled_counter_;
+}
+
+std::size_t EventQueue::BucketIndex(SimTime t) const {
+  const double offset = (t - epoch_) * inv_width_;
+  std::size_t idx =
+      offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  if (idx < cur_) idx = cur_;
+  return idx;
+}
+
+void EventQueue::Push(Event&& ev) {
+  ++size_;
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), after_);
+    return;
+  }
+  if (size_ == 1) {
+    // Empty queue: rebase the bucket window at this event's time so sparse
+    // schedules never force a pointless march through empty buckets.
+    epoch_ = std::floor(ev.time / width_) * width_;
+    horizon_ = epoch_ + width_ * static_cast<double>(buckets_.size());
+    cur_ = 0;
+    cur_sorted_ = false;
+  }
+  if (ev.time >= horizon_) {
+    overflow_.push_back(std::move(ev));
+    return;
+  }
+  const std::size_t idx = BucketIndex(ev.time);
+  std::vector<Event>& bucket = buckets_[idx];
+  ++in_buckets_;
+  if (idx == cur_ && cur_sorted_) {
+    // The current bucket is kept sorted latest-first (so the next event to
+    // fire is back()); splice the newcomer into position. Rare: only
+    // schedules landing inside the currently-draining bucket take this.
+    bucket.insert(std::upper_bound(bucket.begin(), bucket.end(), ev, after_),
+                  std::move(ev));
+    return;
+  }
+  if (bucket.capacity() == 0) bucket.reserve(8);
+  bucket.push_back(std::move(ev));
+}
+
+std::size_t EventQueue::Compact(std::vector<Event>& v) {
+  auto keep = v.begin();
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->slot != nullptr && it->slot->cancelled) {
+      ReleaseCancelled(*it);
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  const std::size_t removed = static_cast<std::size_t>(v.end() - keep);
+  v.erase(keep, v.end());
+  return removed;
+}
+
+void EventQueue::Refill() {
+  SimTime tmin = overflow_.front().time;
+  for (const Event& ev : overflow_) tmin = std::min(tmin, ev.time);
+  epoch_ = std::floor(tmin / width_) * width_;
+  horizon_ = epoch_ + width_ * static_cast<double>(buckets_.size());
+  cur_ = 0;
+  cur_sorted_ = false;
+  auto keep = overflow_.begin();
+  for (auto it = overflow_.begin(); it != overflow_.end(); ++it) {
+    if (it->time < horizon_) {
+      buckets_[BucketIndex(it->time)].push_back(std::move(*it));
+      ++in_buckets_;
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  overflow_.erase(keep, overflow_.end());
+  cur_ = BucketIndex(tmin);
+}
+
+bool EventQueue::PrepareCurrent() {
+  while (size_ > 0) {
+    if (in_buckets_ == 0) {
+      // Only the overflow tier holds events (size_ > 0 guarantees it is
+      // non-empty in calendar mode); open a new window there.
+      Refill();
+      continue;
+    }
+    if (buckets_[cur_].empty()) {
+      // in_buckets_ > 0 and pushes are clamped to >= cur_, so a non-empty
+      // bucket exists ahead.
+      do {
+        ++cur_;
+      } while (buckets_[cur_].empty());
+      cur_sorted_ = false;
+      continue;
+    }
+    if (!cur_sorted_) {
+      // Order the bucket once, latest-first, when the cursor arrives:
+      // buckets are small by construction, so a sort beats heap
+      // maintenance and makes every subsequent pop a plain pop_back().
+      std::vector<Event>& bucket = buckets_[cur_];
+      const std::size_t removed = Compact(bucket);
+      in_buckets_ -= removed;
+      size_ -= removed;
+      std::sort(bucket.begin(), bucket.end(), after_);
+      cur_sorted_ = true;
+      if (bucket.empty()) continue;  // bucket was all tombstones
+    }
+    return true;
+  }
+  return false;
+}
+
+Event* EventQueue::PeekLive() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    while (!heap_.empty() && heap_.front().slot != nullptr &&
+           heap_.front().slot->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), after_);
+      ReleaseCancelled(heap_.back());
+      heap_.pop_back();
+      --size_;
+    }
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+  for (;;) {
+    if (!PrepareCurrent()) return nullptr;
+    std::vector<Event>& bucket = buckets_[cur_];
+    EventSlot* slot = bucket.back().slot;
+    if (slot == nullptr || !slot->cancelled) return &bucket.back();
+    ReleaseCancelled(bucket.back());
+    bucket.pop_back();
+    --in_buckets_;
+    --size_;
+  }
+}
+
+Event EventQueue::PopLive() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), after_);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    --size_;
+    return ev;
+  }
+  std::vector<Event>& bucket = buckets_[cur_];
+  Event ev = std::move(bucket.back());
+  bucket.pop_back();
+  --in_buckets_;
+  --size_;
+  return ev;
+}
+
+std::size_t EventQueue::PurgeCancelled() {
+  std::size_t removed = 0;
+  if (kind_ == QueueKind::kBinaryHeap) {
+    removed = Compact(heap_);
+    std::make_heap(heap_.begin(), heap_.end(), after_);
+    size_ -= removed;
+    return removed;
+  }
+  for (std::vector<Event>& bucket : buckets_) {
+    const std::size_t n = Compact(bucket);
+    removed += n;
+    in_buckets_ -= n;
+  }
+  removed += Compact(overflow_);
+  size_ -= removed;
+  // Compaction may have disturbed the current bucket; PrepareCurrent
+  // re-sorts it on the next dequeue.
+  cur_sorted_ = false;
+  return removed;
+}
+
 }  // namespace internal
 
 void EventHandle::Cancel() {
   if (!slot_ || slot_->cancelled || slot_->fired) return;
   slot_->cancelled = true;
-  if (slot_->owner != nullptr) slot_->owner->OnCancelled();
+  if (slot_->owner != nullptr) slot_->owner->OnCancelled(slot_);
 }
 
-Simulation::Simulation() : pool_(internal::EventSlotPool::Create()) {
+Simulation::Simulation() : Simulation(SimulationOptions{}) {}
+
+Simulation::Simulation(const SimulationOptions& options) : options_(options) {
+  if (g_queue_kind.has_value()) options_.queue = *g_queue_kind;
+  AddShard();
   if (g_tie_shuffle.has_value()) EnableTieShuffle(*g_tie_shuffle);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::AddShard() {
+  auto shard = std::make_unique<internal::Shard>();
+  shard->now = now_;
+  shard->queue.Init(options_.queue, options_.bucket_width,
+                    options_.num_buckets, After(),
+                    &shard->cancelled_in_queue);
+  shards_.push_back(std::move(shard));
+}
+
+void Simulation::ConfigureShards(int n) {
+  DMR_CHECK_GE(n, 1);
+  DMR_CHECK_LE(n, 1 << internal::kShardBits);
+  for (const auto& sh : shards_) {
+    DMR_CHECK_EQ(sh->next_seq, uint64_t{0})
+        << "ConfigureShards must precede all scheduling";
+  }
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) AddShard();
 }
 
 void Simulation::SetGlobalTieShuffle(std::optional<uint64_t> seed) {
@@ -63,70 +301,94 @@ std::optional<uint64_t> Simulation::GlobalTieShuffle() {
   return g_tie_shuffle;
 }
 
+void Simulation::SetGlobalQueueKind(std::optional<QueueKind> kind) {
+  g_queue_kind = kind;
+}
+
+std::optional<QueueKind> Simulation::GlobalQueueKind() {
+  return g_queue_kind;
+}
+
 void Simulation::EnableTieShuffle(uint64_t seed) {
-  DMR_CHECK_EQ(next_seq_, uint64_t{0})
-      << "EnableTieShuffle must precede all scheduling";
+  for (const auto& sh : shards_) {
+    DMR_CHECK_EQ(sh->next_seq, uint64_t{0})
+        << "EnableTieShuffle must precede all scheduling";
+  }
   tie_shuffle_ = true;
   tie_shuffle_seed_ = seed;
+  for (const auto& sh : shards_) sh->queue.SetComparator(After());
 }
 
-void Simulation::NoteFired(SimTime time, uint64_t key) {
-  const uint64_t cls = key >> kSeqBits;
-  if (events_fired_ > 1 && time == last_fired_time_ &&
-      cls == last_fired_class_) {
-    ++current_tie_group_;
+void Simulation::NoteFired(internal::Shard* sh, SimTime time, uint64_t key) {
+  const uint64_t cls = key >> internal::kClassShift;
+  if (sh->events_fired > 1 && time == sh->last_fired_time &&
+      cls == sh->last_fired_class) {
+    ++sh->current_tie_group;
     // The first event of the group retroactively becomes tied too.
-    tie_stats_.tied_events += current_tie_group_ == 2 ? 2 : 1;
-    if (current_tie_group_ == 2) ++tie_stats_.groups;
-    if (current_tie_group_ > tie_stats_.max_group) {
-      tie_stats_.max_group = current_tie_group_;
+    sh->ties.tied_events += sh->current_tie_group == 2 ? 2 : 1;
+    if (sh->current_tie_group == 2) ++sh->ties.groups;
+    if (sh->current_tie_group > sh->ties.max_group) {
+      sh->ties.max_group = sh->current_tie_group;
     }
   } else {
-    current_tie_group_ = 1;
-    last_fired_time_ = time;
-    last_fired_class_ = cls;
+    sh->current_tie_group = 1;
+    sh->last_fired_time = time;
+    sh->last_fired_class = cls;
   }
 }
 
-Simulation::~Simulation() {
-  // Detach and release every still-queued event. Marking the slots
-  // cancelled makes surviving handles report not-pending (the event can
-  // never fire) and turns later Cancel() calls into no-ops; the slot memory
-  // itself outlives us via the handles' pool references.
-  for (Event& ev : heap_) {
-    ev.slot->cancelled = true;
-    ev.slot->owner = nullptr;
-    internal::SlotRelease(ev.slot);
-  }
-  heap_.clear();
-  pool_->DropOwnerRef();
-}
-
-EventHandle Simulation::Schedule(SimTime delay, Callback fn) {
-  return Schedule(delay, EventClass::kDefault, std::move(fn));
-}
-
-EventHandle Simulation::Schedule(SimTime delay, EventClass cls, Callback fn) {
+void Simulation::CheckDelay(SimTime delay) const {
   DMR_CHECK_GE(delay, 0.0) << "negative delay " << delay;
-  return ScheduleAt(now_ + delay, cls, std::move(fn));
 }
 
-EventHandle Simulation::ScheduleAt(SimTime when, Callback fn) {
-  return ScheduleAt(when, EventClass::kDefault, std::move(fn));
+Arena* Simulation::ShardArena(int shard) {
+  DMR_CHECK_GE(shard, 0);
+  DMR_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  return &shards_[static_cast<std::size_t>(shard)]->arena;
 }
 
-EventHandle Simulation::ScheduleAt(SimTime when, EventClass cls,
-                                   Callback fn) {
-  DMR_CHECK_GE(when, now_) << "scheduling into the past";
-  DMR_CHECK_LT(next_seq_, uint64_t{1} << kSeqBits) << "sequence overflow";
-  internal::EventSlot* slot = pool_->Acquire();
+EventHandle Simulation::ScheduleLocal(int shard, SimTime when, EventClass cls,
+                                      Callback fn) {
+  internal::Shard* sh = shards_[static_cast<std::size_t>(shard)].get();
+  const SimTime floor_now = parallel_phase_ ? sh->now : now_;
+  DMR_CHECK_GE(when, floor_now) << "scheduling into the past";
+  DMR_CHECK_LT(sh->next_seq, uint64_t{1} << internal::kSeqBits)
+      << "sequence overflow";
+  internal::EventSlot* slot = sh->pool->Acquire();
   slot->owner = this;
+  slot->shard = static_cast<uint32_t>(shard);
   internal::SlotAddRef(slot);  // the queue's reference
   const uint64_t key =
-      (static_cast<uint64_t>(cls) << kSeqBits) | next_seq_++;
-  heap_.push_back(Event{when, key, std::move(fn), slot});
-  std::push_heap(heap_.begin(), heap_.end(), After());
+      (static_cast<uint64_t>(cls) << internal::kClassShift) |
+      (static_cast<uint64_t>(shard) << internal::kSeqBits) | sh->next_seq++;
+  sh->queue.Push(internal::Event{when, key, std::move(fn), slot});
   return EventHandle(slot);
+}
+
+void Simulation::ScheduleLocalDetached(int shard, SimTime when,
+                                       EventClass cls, Callback fn) {
+  internal::Shard* sh = shards_[static_cast<std::size_t>(shard)].get();
+  const SimTime floor_now = parallel_phase_ ? sh->now : now_;
+  DMR_CHECK_GE(when, floor_now) << "scheduling into the past";
+  DMR_CHECK_LT(sh->next_seq, uint64_t{1} << internal::kSeqBits)
+      << "sequence overflow";
+  const uint64_t key =
+      (static_cast<uint64_t>(cls) << internal::kClassShift) |
+      (static_cast<uint64_t>(shard) << internal::kSeqBits) | sh->next_seq++;
+  sh->queue.Push(internal::Event{when, key, std::move(fn), nullptr});
+}
+
+EventHandle Simulation::StageRemote(int target, SimTime when, EventClass cls,
+                                    Callback fn) {
+  DMR_CHECK_GE(target, 0);
+  DMR_CHECK_LT(target, static_cast<int>(shards_.size()));
+  DMR_CHECK_GE(when, epoch_end_)
+      << "cross-shard schedule inside the lookahead window";
+  const int source = CurrentShardIndex();
+  shards_[static_cast<std::size_t>(target)]
+      ->inbox[static_cast<std::size_t>(source)]
+      .push_back(internal::StagedEvent{when, cls, std::move(fn)});
+  return EventHandle();  // cross-shard events cannot be cancelled
 }
 
 void Simulation::ReleaseQueueRef(internal::EventSlot* slot) {
@@ -134,72 +396,183 @@ void Simulation::ReleaseQueueRef(internal::EventSlot* slot) {
   internal::SlotRelease(slot);
 }
 
-void Simulation::OnCancelled() {
-  ++cancelled_in_queue_;
-  MaybePurgeCancelled();
+void Simulation::OnCancelled(internal::EventSlot* slot) {
+  internal::Shard* sh = shards_[slot->shard].get();
+  if (parallel_phase_) {
+    // A shard's slots (and handles) must stay on its worker thread; a
+    // cross-shard Cancel would race the target queue.
+    DMR_CHECK(internal::t_shard.sim == this &&
+              internal::t_shard.shard == static_cast<int>(slot->shard))
+        << "cross-shard Cancel during a parallel phase";
+  }
+  ++sh->cancelled_in_queue;
+  MaybePurgeCancelled(sh);
 }
 
-void Simulation::MaybePurgeCancelled() {
-  static constexpr size_t kMinCancelled = 64;
-  if (cancelled_in_queue_ < kMinCancelled) return;
-  if (cancelled_in_queue_ * 4 < heap_.size()) return;
-  auto keep = heap_.begin();
-  for (auto it = heap_.begin(); it != heap_.end(); ++it) {
-    if (it->slot->cancelled) {
-      ReleaseQueueRef(it->slot);
-    } else {
-      if (keep != it) *keep = std::move(*it);
-      ++keep;
+void Simulation::MaybePurgeCancelled(internal::Shard* sh) {
+  static constexpr std::size_t kMinCancelled = 64;
+  if (sh->cancelled_in_queue < kMinCancelled) return;
+  // Binary heap: sweep once tombstones reach 25% of the queue (every
+  // skipped tombstone costs a full O(log n) pop). Calendar: wait for 50% —
+  // tombstones in the near-future tier are compacted for free when their
+  // bucket is sorted, so the global sweep (which walks every bucket
+  // plus overflow) pays off only at higher densities. BM_SimCancelPurge
+  // covers both boundaries.
+  const std::size_t mult =
+      sh->queue.kind() == QueueKind::kBinaryHeap ? 4 : 2;
+  if (sh->cancelled_in_queue * mult < sh->queue.size()) return;
+  sh->queue.PurgeCancelled();
+}
+
+bool Simulation::Step(SimTime limit) {
+  internal::Shard* best = nullptr;
+  int best_idx = 0;
+  internal::Event* best_ev = nullptr;
+  const internal::EventAfter after = After();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    internal::Event* ev = shards_[i]->queue.PeekLive();
+    if (ev == nullptr) continue;
+    if (best_ev == nullptr || after(*best_ev, *ev)) {
+      best = shards_[i].get();
+      best_idx = static_cast<int>(i);
+      best_ev = ev;
     }
   }
-  heap_.erase(keep, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), After());
-  cancelled_in_queue_ = 0;
-}
-
-bool Simulation::Step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), After());
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    if (ev.slot->cancelled) {
-      --cancelled_in_queue_;
-      ReleaseQueueRef(ev.slot);
-      continue;
-    }
-    now_ = ev.time;
+  if (best == nullptr || best_ev->time > limit) return false;
+  internal::Event ev = best->queue.PopLive();
+  now_ = ev.time;
+  best->now = ev.time;
+  if (ev.slot != nullptr) {
     ev.slot->fired = true;
     ReleaseQueueRef(ev.slot);
-    ++events_fired_;
-    NoteFired(ev.time, ev.seq);
-    ev.fn();
-    return true;
   }
-  return false;
+  ++best->events_fired;
+  NoteFired(best, ev.time, ev.key);
+  serial_current_shard_ = best_idx;
+  ev.fn();
+  serial_current_shard_ = 0;
+  return true;
 }
 
 uint64_t Simulation::Run(uint64_t max_events) {
   uint64_t fired = 0;
-  while (fired < max_events && Step()) ++fired;
+  while (fired < max_events &&
+         Step(std::numeric_limits<SimTime>::infinity())) {
+    ++fired;
+  }
   return fired;
 }
 
 uint64_t Simulation::RunUntil(SimTime until) {
   uint64_t fired = 0;
-  while (!heap_.empty()) {
-    if (heap_.front().slot->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), After());
-      Event ev = std::move(heap_.back());
-      heap_.pop_back();
-      --cancelled_in_queue_;
-      ReleaseQueueRef(ev.slot);
-      continue;
-    }
-    if (heap_.front().time > until) break;
-    if (Step()) ++fired;
-  }
+  while (Step(until)) ++fired;
   if (now_ < until) now_ = until;
+  for (const auto& sh : shards_) {
+    if (sh->now < until) sh->now = until;
+  }
   return fired;
+}
+
+void Simulation::MergeStagedEvents() {
+  for (std::size_t target = 0; target < shards_.size(); ++target) {
+    internal::Shard* sh = shards_[target].get();
+    for (std::size_t source = 0; source < shards_.size(); ++source) {
+      for (internal::StagedEvent& staged : sh->inbox[source]) {
+        // Sequence numbers (and thus tie order) are assigned here, in
+        // deterministic (target, source, staging) order. Staged events
+        // never issued a handle, so they enqueue detached.
+        ScheduleLocalDetached(static_cast<int>(target), staged.time,
+                              staged.cls, std::move(staged.fn));
+      }
+      sh->inbox[source].clear();
+    }
+  }
+}
+
+uint64_t Simulation::RunParallel(int n_shards, SimTime until,
+                                 SimTime lookahead) {
+  DMR_CHECK(!parallel_phase_) << "RunParallel is not reentrant";
+  DMR_CHECK_EQ(n_shards, static_cast<int>(shards_.size()))
+      << "RunParallel(n) requires a prior ConfigureShards(n)";
+  DMR_CHECK_GT(lookahead, 0.0);
+  DMR_CHECK_GE(until, now_);
+  const uint64_t fired_before = events_fired();
+  if (n_shards == 1) {
+    // One shard has no cross-shard edges; the serial engine is the same
+    // computation without thread overhead.
+    return RunUntil(until);
+  }
+  for (const auto& sh : shards_) {
+    sh->inbox.clear();
+    sh->inbox.resize(shards_.size());
+  }
+  parallel_phase_ = true;
+  epoch_end_ = std::min(until, now_ + lookahead);
+  bool done = false;
+
+  // Runs on one worker thread while the rest are parked at the barrier, so
+  // it may touch every shard exclusively. It merges the staged cross-shard
+  // events, then either declares completion or opens the next epoch
+  // (skipping ahead over idle gaps — the next window starts at the
+  // earliest pending event).
+  std::function<void()> completion = [this, until, lookahead, &done] {
+    MergeStagedEvents();
+    SimTime tmin = std::numeric_limits<SimTime>::infinity();
+    for (const auto& sh : shards_) {
+      internal::Event* ev = sh->queue.PeekLive();
+      if (ev != nullptr) tmin = std::min(tmin, ev->time);
+    }
+    if (tmin > until) {
+      done = true;
+      now_ = until;
+      for (const auto& sh : shards_) sh->now = until;
+      return;
+    }
+    const SimTime epoch_start = std::max(epoch_end_, tmin);
+    epoch_end_ = std::min(until, epoch_start + lookahead);
+    now_ = epoch_start;
+    for (const auto& sh : shards_) {
+      if (sh->now < epoch_start) sh->now = epoch_start;
+    }
+  };
+  std::barrier<BarrierCompletion> barrier(n_shards,
+                                          BarrierCompletion{&completion});
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n_shards));
+  for (int i = 0; i < n_shards; ++i) {
+    workers.emplace_back([this, i, until, &barrier, &done] {
+      internal::t_shard = internal::TlsShard{this, i};
+      internal::Shard* sh = shards_[static_cast<std::size_t>(i)].get();
+      for (;;) {
+        const SimTime bound = epoch_end_;
+        // The final window is inclusive so events at exactly `until` fire,
+        // matching RunUntil's boundary semantics.
+        const bool final_window = bound >= until;
+        for (;;) {
+          internal::Event* next = sh->queue.PeekLive();
+          if (next == nullptr) break;
+          if (final_window ? next->time > until : next->time >= bound) break;
+          internal::Event ev = sh->queue.PopLive();
+          sh->now = ev.time;
+          if (ev.slot != nullptr) {
+            ev.slot->fired = true;
+            ReleaseQueueRef(ev.slot);
+          }
+          ++sh->events_fired;
+          NoteFired(sh, ev.time, ev.key);
+          ev.fn();
+        }
+        barrier.arrive_and_wait();
+        if (done) break;
+      }
+      internal::t_shard = internal::TlsShard{};
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  parallel_phase_ = false;
+  epoch_end_ = 0.0;
+  return events_fired() - fired_before;
 }
 
 }  // namespace dmr::sim

@@ -1,6 +1,8 @@
 #ifndef DMR_SIM_SIMULATION_H_
 #define DMR_SIM_SIMULATION_H_
 
+#include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -11,10 +13,24 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/arena.h"
 
 namespace dmr::sim {
 
 class Simulation;
+
+/// \brief Which priority-queue implementation backs a Simulation.
+///
+/// kCalendar is the default and the fast path: a two-tier calendar queue
+/// (near-future time buckets plus an overflow tier) that only sorts a
+/// bucket when it becomes current. kBinaryHeap is the original
+/// std::push_heap queue, kept as the oracle: both produce bit-identical
+/// firing order (see internal::EventQueue), and the equivalence tests and
+/// tier-1 digest stages hold them to that.
+enum class QueueKind : uint8_t {
+  kCalendar = 0,
+  kBinaryHeap = 1,
+};
 
 namespace internal {
 
@@ -22,11 +38,18 @@ namespace internal {
 /// of std::function on the event hot path.
 ///
 /// Callables that are trivially copyable and fit in kInlineBytes are stored
-/// inline (no allocation, moves are byte copies); anything else falls back to
-/// a single heap allocation. Event callbacks in this codebase overwhelmingly
-/// capture a `this` pointer plus a couple of scalars, so the inline path is
-/// the common case. The buffer is deliberately small: events live inside the
-/// priority-queue heap, and every extra byte here is moved on each sift.
+/// inline (no allocation, moves are byte copies); anything else spills to a
+/// single out-of-line allocation. Event callbacks in this codebase
+/// overwhelmingly capture a `this` pointer plus a couple of scalars, so the
+/// inline path is the common case. The buffer is deliberately small: events
+/// live inside the priority-queue storage, and every extra byte here is
+/// moved on each sift.
+///
+/// The spill allocation is drawn from the owning shard's Arena when one is
+/// supplied (the Simulation hot path), falling back to operator new for
+/// arena-less construction — e.g. cross-shard staged events, whose spill
+/// box is freed on the target shard's thread and therefore must not touch
+/// the source shard's single-threaded arena.
 class EventCallback {
  public:
   static constexpr std::size_t kInlineBytes = 24;
@@ -36,7 +59,13 @@ class EventCallback {
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, EventCallback>>>
-  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+  EventCallback(F&& f)  // NOLINT(google-explicit-constructor)
+      : EventCallback(static_cast<Arena*>(nullptr), std::forward<F>(f)) {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(Arena* arena, F&& f) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(void*) &&
@@ -49,7 +78,29 @@ class EventCallback {
             reinterpret_cast<Fn*>(self->storage_.inline_bytes)))();
       };
       destroy_ = nullptr;
+    } else if constexpr (alignof(Fn) <= 16) {
+      struct Box {
+        Arena* arena;
+        Fn fn;
+      };
+      void* mem = arena != nullptr ? arena->Allocate(sizeof(Box))
+                                   : ::operator new(sizeof(Box));
+      storage_.heap = ::new (mem) Box{arena, Fn(std::forward<F>(f))};
+      invoke_ = [](EventCallback* self) {
+        static_cast<Box*>(self->storage_.heap)->fn();
+      };
+      destroy_ = [](EventCallback* self) {
+        Box* box = static_cast<Box*>(self->storage_.heap);
+        Arena* owner = box->arena;
+        box->~Box();
+        if (owner != nullptr) {
+          owner->Deallocate(box, sizeof(Box));
+        } else {
+          ::operator delete(box);
+        }
+      };
     } else {
+      // Over-aligned callables bypass the 16-byte-aligned arena entirely.
       storage_.heap = new Fn(std::forward<F>(f));
       invoke_ = [](EventCallback* self) {
         (*static_cast<Fn*>(self->storage_.heap))();
@@ -111,9 +162,16 @@ class EventSlotPool;
 /// ref-counted: the event queue holds one reference while the event is
 /// pending, and each live EventHandle holds one. Refcounts are NOT atomic —
 /// a Simulation and all handles derived from it must stay on one thread
-/// (the determinism contract; see DESIGN.md).
+/// (the determinism contract; see DESIGN.md). Under RunParallel each shard
+/// has its own pool, and a shard's slots (and the handles wrapping them)
+/// must stay on that shard's worker thread for the duration of the
+/// parallel phase.
 struct EventSlot {
   uint32_t refs = 0;
+  /// Index of the shard whose queue holds the event (0 for the default
+  /// single-shard configuration); routes Cancel() bookkeeping to the right
+  /// per-shard counters.
+  uint32_t shard = 0;
   bool cancelled = false;
   bool fired = false;
   /// Owning simulation while the event is queued; null once the event fired,
@@ -127,8 +185,8 @@ struct EventSlot {
 /// \brief A chunked free-list allocator for EventSlots.
 ///
 /// The pool itself is ref-counted: one reference is held by the owning
-/// Simulation and one by every live slot, so slot memory stays valid even
-/// when an EventHandle outlives the Simulation it came from.
+/// shard and one by every live slot, so slot memory stays valid even when
+/// an EventHandle outlives the Simulation it came from.
 class EventSlotPool {
  public:
   /// Creates a pool holding one owner reference (dropped via DropOwnerRef).
@@ -142,6 +200,7 @@ class EventSlotPool {
     free_ = slot->next_free;
     ++refs_;
     slot->refs = 0;
+    slot->shard = 0;
     slot->cancelled = false;
     slot->fired = false;
     slot->owner = nullptr;
@@ -283,40 +342,343 @@ struct TieStats {
   uint64_t max_group = 0;
 };
 
+/// \brief Construction-time knobs for a Simulation.
+struct SimulationOptions {
+  QueueKind queue = QueueKind::kCalendar;
+  /// Virtual seconds covered by one calendar bucket. The default is sized
+  /// from the cluster heartbeat interval (3 s / 8): heartbeats — the
+  /// densest recurring event family — land ~8 buckets apart, so a bucket
+  /// holds one instant's worth of co-scheduled work rather than several
+  /// heartbeat generations.
+  double bucket_width = 0.375;
+  /// Buckets in the near-future tier; with the default width this covers a
+  /// 96 s window, past which events wait in the unsorted overflow tier.
+  int num_buckets = 256;
+};
+
+namespace internal {
+
+/// Bit layout of an event's packed tie-break key, compared as one u64:
+///
+///   [class: 8][shard: 12][seq: 44]
+///
+/// Class sits on top so same-timestamp events fire in EventClass order;
+/// the shard index below it keeps keys unique across per-shard sequence
+/// counters; the insertion sequence fills the low bits. A single-shard
+/// simulation writes zero shard bits, making its keys numerically
+/// identical to the pre-shard layout (class << 56 | seq) — which keeps
+/// shuffle-seed digests stable across the refactor.
+inline constexpr int kSeqBits = 44;
+inline constexpr int kShardBits = 12;
+inline constexpr int kClassShift = kSeqBits + kShardBits;
+
+struct Event {
+  SimTime time;
+  /// Packed tie-break key; see kSeqBits above.
+  uint64_t key;
+  EventCallback fn;
+  /// Queue's reference, released explicitly; null for detached events
+  /// (no handle was issued, so there is nothing to cancel or refcount).
+  EventSlot* slot;
+};
+
+/// Ordering predicate ("a fires after b") shared by both queue kinds.
+/// When tie shuffling is on, same-(time, class) events are ordered by a
+/// seeded bijective hash of the packed key instead of insertion order —
+/// the hash is injective, so the order stays total and exactly
+/// reproducible per seed.
+struct EventAfter {
+  bool shuffle = false;
+  uint64_t seed = 0;
+  bool operator()(const Event& a, const Event& b) const;
+};
+
+/// \brief The event priority queue: a two-tier calendar queue with a
+/// binary-heap oracle mode.
+///
+/// Calendar mode partitions the near future into fixed-width time buckets
+/// plus an unsorted overflow tier beyond the bucket horizon. Pushes append
+/// to a bucket in O(1); only the *current* bucket is ever ordered (sorted
+/// latest-first, lazily, when the dequeue cursor reaches it, making every
+/// pop a plain pop_back). Because bucket index is a
+/// monotone function of event time, no event in a later bucket can precede
+/// any event in an earlier one, so draining buckets in order with a
+/// per-bucket heap reproduces exactly the total order the binary heap
+/// would produce — EventAfter is the single source of truth for order in
+/// both modes, including under tie shuffling.
+///
+/// Cancelled events are compacted out of a bucket when it is sorted
+/// (cheap, en route) and from the whole structure by PurgeCancelled()
+/// (the batched path driven by Simulation::MaybePurgeCancelled).
+class EventQueue {
+ public:
+  /// `cancelled_counter` is the owning shard's lazily-cancelled count; the
+  /// queue decrements it whenever it releases a cancelled event.
+  void Init(QueueKind kind, double bucket_width, int num_buckets,
+            EventAfter after, std::size_t* cancelled_counter);
+
+  /// Re-arms the comparator (tie shuffle enablement); queue must be empty.
+  void SetComparator(EventAfter after) { after_ = after; }
+
+  QueueKind kind() const { return kind_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void Push(Event&& ev);
+
+  /// Returns the minimum live event per the comparator, dropping (and
+  /// releasing) any cancelled events encountered on the way; null when the
+  /// queue has no live events left. The pointer is invalidated by any
+  /// other queue operation.
+  Event* PeekLive();
+
+  /// Removes and returns the event PeekLive() just returned. PeekLive()
+  /// must have returned non-null with no intervening operations.
+  Event PopLive();
+
+  /// Sweeps every cancelled event out of the structure; returns the number
+  /// removed.
+  std::size_t PurgeCancelled();
+
+  /// Teardown: invokes `fn` on every remaining event, then clears.
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    for (Event& ev : heap_) fn(ev);
+    heap_.clear();
+    for (auto& bucket : buckets_) {
+      for (Event& ev : bucket) fn(ev);
+      bucket.clear();
+    }
+    for (Event& ev : overflow_) fn(ev);
+    overflow_.clear();
+    in_buckets_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  /// Bucket for time `t`, clamped into [cur_, num_buckets): monotone in t,
+  /// which is the property the order-equivalence argument rests on. The
+  /// low clamp folds floating-point boundary wobble (and any event landing
+  /// at the current instant) into the current bucket, where the in-bucket
+  /// heap orders it correctly by time.
+  std::size_t BucketIndex(SimTime t) const;
+
+  /// Positions cur_ on a non-empty, sorted bucket (compacting cancelled
+  /// events and refilling from overflow as needed). False when no events
+  /// remain.
+  bool PrepareCurrent();
+
+  /// Rebases the bucket window at the earliest overflow event and
+  /// redistributes everything inside the new horizon.
+  void Refill();
+
+  /// Removes cancelled events from `v`, releasing their slots; returns the
+  /// number removed.
+  std::size_t Compact(std::vector<Event>& v);
+
+  void ReleaseCancelled(Event& ev);
+
+  QueueKind kind_ = QueueKind::kCalendar;
+  EventAfter after_;
+  std::size_t* cancelled_counter_ = nullptr;
+
+  // kBinaryHeap storage.
+  std::vector<Event> heap_;
+
+  // kCalendar storage.
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> overflow_;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;  // 1 / width_: Push multiplies, never divides
+  double epoch_ = 0.0;      // start time of buckets_[0]
+  double horizon_ = 0.0;    // epoch_ + width_ * buckets_.size()
+  std::size_t cur_ = 0;
+  bool cur_sorted_ = false;
+  std::size_t in_buckets_ = 0;  // events currently in buckets
+
+  std::size_t size_ = 0;
+};
+
+/// \brief A staged cross-shard event, parked in the target shard's inbox
+/// until the next barrier epoch assigns it a slot and sequence number.
+struct StagedEvent {
+  SimTime time;
+  EventClass cls;
+  EventCallback fn;
+};
+
+/// \brief Per-shard simulation state: queue, allocators, clocks, counters.
+///
+/// A default Simulation has exactly one shard; ConfigureShards(n) splits
+/// the event space for RunParallel. Everything an event touches at fire
+/// time lives here, so a shard worker thread runs without sharing mutable
+/// state (pools and arenas are deliberately per-shard for that reason).
+struct Shard {
+  Shard() : pool(EventSlotPool::Create()) {}
+  ~Shard() {
+    queue.Drain([](Event& ev) {
+      if (ev.slot == nullptr) return;  // detached: nothing to release
+      ev.slot->cancelled = true;
+      ev.slot->owner = nullptr;
+      SlotRelease(ev.slot);
+    });
+    pool->DropOwnerRef();
+  }
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Declared before `queue`: draining the queue destroys callbacks whose
+  /// spill boxes deallocate into this arena.
+  Arena arena;
+  EventSlotPool* pool;
+  EventQueue queue;
+  uint64_t next_seq = 0;
+  SimTime now = 0.0;
+  uint64_t events_fired = 0;
+  std::size_t cancelled_in_queue = 0;
+
+  // Tie-race detector state (merged across shards by tie_stats()).
+  TieStats ties;
+  SimTime last_fired_time = 0.0;
+  uint64_t last_fired_class = 0;
+  uint64_t current_tie_group = 0;
+
+  /// inbox[s] holds events staged by shard s for this shard during the
+  /// current parallel epoch; only shard s's worker writes it, and the
+  /// barrier completion merges all inboxes in (target, source) order.
+  std::vector<std::vector<StagedEvent>> inbox;
+};
+
+/// Thread-local shard binding, set by RunParallel workers so Now() and
+/// default-shard Schedule calls resolve against the firing shard.
+struct TlsShard {
+  const Simulation* sim = nullptr;
+  int shard = 0;
+};
+extern thread_local TlsShard t_shard;
+
+}  // namespace internal
+
 /// \brief A deterministic discrete-event simulation kernel.
 ///
-/// Events are (time, sequence) ordered; ties break by insertion order so a
-/// run is exactly reproducible. Callbacks may schedule further events.
+/// Events are (time, class, sequence) ordered; ties break by insertion
+/// order so a run is exactly reproducible. Callbacks may schedule further
+/// events.
 ///
 /// A Simulation is single-threaded by contract: all scheduling, running and
 /// handle operations must happen on one thread. Independent Simulations on
 /// different threads (one per experiment cell) are fully isolated — this is
 /// the determinism contract the parallel experiment harness relies on.
+///
+/// RunParallel is the one sanctioned exception: after ConfigureShards(n),
+/// it drives the n shard queues from n worker threads under a conservative
+/// lookahead bound, with all cross-shard interaction funneled through
+/// barrier epochs (see DESIGN.md §14). Serial Run()/RunUntil() over the
+/// same sharded event program produces bit-identical per-shard results and
+/// remains the oracle.
 class Simulation {
  public:
   using Callback = internal::EventCallback;
 
   Simulation();
+  explicit Simulation(const SimulationOptions& options);
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Current virtual time in seconds.
-  SimTime Now() const { return now_; }
+  /// Current virtual time in seconds. Inside a RunParallel worker this is
+  /// the firing shard's clock; otherwise the global clock.
+  SimTime Now() const {
+    if (parallel_phase_ && internal::t_shard.sim == this) {
+      return shards_[internal::t_shard.shard]->now;
+    }
+    return now_;
+  }
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0), in the
   /// kDefault phase of that instant.
-  EventHandle Schedule(SimTime delay, Callback fn);
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  EventHandle Schedule(SimTime delay, F&& fn) {
+    return Schedule(delay, EventClass::kDefault, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` with an explicit same-instant phase (see EventClass).
-  EventHandle Schedule(SimTime delay, EventClass cls, Callback fn);
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  EventHandle Schedule(SimTime delay, EventClass cls, F&& fn) {
+    CheckDelay(delay);
+    return ScheduleOnShard(CurrentShardIndex(), Now() + delay, cls,
+                           std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute virtual time `when` (>= Now()).
-  EventHandle ScheduleAt(SimTime when, Callback fn);
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  EventHandle ScheduleAt(SimTime when, F&& fn) {
+    return ScheduleAt(when, EventClass::kDefault, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at `when` with an explicit same-instant phase.
-  EventHandle ScheduleAt(SimTime when, EventClass cls, Callback fn);
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  EventHandle ScheduleAt(SimTime when, EventClass cls, F&& fn) {
+    return ScheduleOnShard(CurrentShardIndex(), when, cls,
+                           std::forward<F>(fn));
+  }
+
+  /// Schedules onto an explicit shard. Outside a parallel phase this is
+  /// ordinary scheduling (the serial engine interleaves all shard queues
+  /// into one total order). Inside a parallel phase, scheduling onto
+  /// another shard stages the event for delivery at the next barrier and
+  /// requires `when` to be at or past the current epoch end (the
+  /// conservative-lookahead contract); staged events return an empty
+  /// handle, as cross-shard cancellation is not supported.
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  EventHandle ScheduleOnShard(int shard, SimTime when, EventClass cls,
+                              F&& fn) {
+    if (parallel_phase_ && shard != CurrentShardIndex()) {
+      return StageRemote(shard, when, cls,
+                         Callback(nullptr, std::forward<F>(fn)));
+    }
+    return ScheduleLocal(shard, when, cls,
+                         Callback(ShardArena(shard), std::forward<F>(fn)));
+  }
+
+  /// Fire-and-forget variants: identical ordering semantics, but no
+  /// EventHandle is issued, so the event cannot be cancelled and the
+  /// kernel skips the cancellation-slot allocation and refcounting a
+  /// handle requires. This is the fast path for the overwhelmingly common
+  /// schedules whose handle would be discarded (heartbeat chains,
+  /// monitors, completion callbacks).
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  void ScheduleDetached(SimTime delay, EventClass cls, F&& fn) {
+    CheckDelay(delay);
+    ScheduleOnShardDetached(CurrentShardIndex(), Now() + delay, cls,
+                            std::forward<F>(fn));
+  }
+
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  void ScheduleDetachedAt(SimTime when, EventClass cls, F&& fn) {
+    ScheduleOnShardDetached(CurrentShardIndex(), when, cls,
+                            std::forward<F>(fn));
+  }
+
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  void ScheduleOnShardDetached(int shard, SimTime when, EventClass cls,
+                               F&& fn) {
+    if (parallel_phase_ && shard != CurrentShardIndex()) {
+      StageRemote(shard, when, cls, Callback(nullptr, std::forward<F>(fn)));
+      return;
+    }
+    ScheduleLocalDetached(shard, when, cls,
+                          Callback(ShardArena(shard), std::forward<F>(fn)));
+  }
 
   /// Runs until the event queue is empty or `max_events` fired.
   /// Returns the number of events fired.
@@ -327,14 +689,56 @@ class Simulation {
   /// empties earlier.
   uint64_t RunUntil(SimTime until);
 
-  /// Number of events currently queued (including cancelled placeholders
-  /// not yet purged).
-  size_t queue_size() const { return heap_.size(); }
+  /// Splits the event space into `n` shard queues (1 <= n < 4096). Must be
+  /// called before anything is scheduled. Events inherit the shard of the
+  /// callback that schedules them (shard 0 outside callbacks); use
+  /// ScheduleOnShard to cross. Serial Run()/RunUntil() interleave all
+  /// shards into one deterministic total order.
+  void ConfigureShards(int n);
 
-  uint64_t events_fired() const { return events_fired_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Runs events up to virtual time `until` on `n_shards` worker threads
+  /// (one per shard; `n_shards` must equal num_shards()), synchronizing at
+  /// conservative-lookahead barrier epochs of `lookahead` virtual seconds
+  /// (default: the 3 s cluster heartbeat interval, the natural minimum
+  /// cross-node reaction delay). During an epoch each worker fires only
+  /// its own shard's events; cross-shard schedules must target times at or
+  /// beyond the epoch end and are merged deterministically at the barrier.
+  /// Per-shard state (clocks, counters, tie stats, firing order) is
+  /// bit-identical to a serial RunUntil(until) of the same program.
+  /// Returns the number of events fired.
+  uint64_t RunParallel(int n_shards, SimTime until, SimTime lookahead = 3.0);
+
+  /// Number of events currently queued, including lazily-cancelled
+  /// placeholders not yet purged. Use live_size() to reason about whether
+  /// anything can still fire.
+  std::size_t queue_size() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->queue.size();
+    return total;
+  }
+
+  /// Number of queued events that can still fire (queue_size() minus the
+  /// cancelled placeholders). This is the quantity to DMR_CHECK when
+  /// asserting a simulation has drained: a queue can be "non-empty" while
+  /// holding nothing but tombstones below the purge threshold.
+  std::size_t live_size() const {
+    return queue_size() - cancelled_in_queue();
+  }
+
+  uint64_t events_fired() const {
+    uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->events_fired;
+    return total;
+  }
 
   /// Lazily-cancelled events still occupying the queue.
-  size_t cancelled_in_queue() const { return cancelled_in_queue_; }
+  std::size_t cancelled_in_queue() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->cancelled_in_queue;
+    return total;
+  }
 
   /// Replaces insertion-order tie-breaking with a seeded pseudo-random
   /// permutation of it: among events at one timestamp, firing order becomes
@@ -346,9 +750,25 @@ class Simulation {
   bool tie_shuffle_enabled() const { return tie_shuffle_; }
   uint64_t tie_shuffle_seed() const { return tie_shuffle_seed_; }
 
-  /// Tie-race detector counters (maintained unconditionally; the cost is
-  /// one timestamp compare per fired event).
-  const TieStats& tie_stats() const { return tie_stats_; }
+  /// Tie-race detector counters, merged across shards (maintained
+  /// unconditionally; the cost is one timestamp compare per fired event).
+  TieStats tie_stats() const {
+    TieStats total;
+    for (const auto& sh : shards_) {
+      total.groups += sh->ties.groups;
+      total.tied_events += sh->ties.tied_events;
+      total.max_group = std::max(total.max_group, sh->ties.max_group);
+    }
+    return total;
+  }
+
+  /// The shard-0 arena: scratch allocator for simulation-lifetime objects
+  /// owned by single-threaded consumers (task attempts, completion
+  /// counters). Everything allocated from it must be released before the
+  /// Simulation is destroyed.
+  Arena* arena() { return &shards_[0]->arena; }
+
+  const SimulationOptions& options() const { return options_; }
 
   /// Process-wide default applied to every subsequently constructed
   /// Simulation (the `--shuffle-ties=SEED` bench flag sets this once at
@@ -357,64 +777,73 @@ class Simulation {
   static void SetGlobalTieShuffle(std::optional<uint64_t> seed);
   static std::optional<uint64_t> GlobalTieShuffle();
 
+  /// Process-wide queue-kind override applied to every subsequently
+  /// constructed Simulation, taking precedence over per-instance options
+  /// (the `--queue=heap|calendar` bench flag sets this once at startup).
+  /// Not synchronized — set it only while single-threaded.
+  static void SetGlobalQueueKind(std::optional<QueueKind> kind);
+  static std::optional<QueueKind> GlobalQueueKind();
+
  private:
   friend class EventHandle;
 
-  /// Bits of `seq` carrying the insertion sequence number; the EventClass
-  /// lives in the bits above so one u64 compare yields (class, insertion)
-  /// order among same-timestamp events.
-  static constexpr int kSeqBits = 56;
+  /// The shard new events land on: the firing shard inside a callback
+  /// (worker-thread-local during parallel phases), shard 0 otherwise.
+  int CurrentShardIndex() const {
+    if (parallel_phase_ && internal::t_shard.sim == this) {
+      return internal::t_shard.shard;
+    }
+    return serial_current_shard_;
+  }
 
-  struct Event {
-    SimTime time;
-    /// Packed tie-break key: (EventClass << kSeqBits) | insertion sequence.
-    uint64_t seq;
-    Callback fn;
-    internal::EventSlot* slot;  // queue's reference, released explicitly
-  };
-  /// Heap comparator for std::push_heap/pop_heap (max-heap semantics, so
-  /// "after" ordering yields the earliest event at the front). When tie
-  /// shuffling is on, same-(time, class) events are ordered by a seeded
-  /// bijective hash of the packed key instead of insertion order — the
-  /// hash is injective, so the order stays total and exactly reproducible
-  /// per seed.
-  struct EventAfter {
-    bool shuffle = false;
-    uint64_t seed = 0;
-    bool operator()(const Event& a, const Event& b) const;
-  };
-  EventAfter After() const { return EventAfter{tie_shuffle_, tie_shuffle_seed_}; }
+  internal::EventAfter After() const {
+    return internal::EventAfter{tie_shuffle_, tie_shuffle_seed_};
+  }
 
-  /// Pops and fires the next non-cancelled event; returns false if none.
-  bool Step();
+  void CheckDelay(SimTime delay) const;
+  Arena* ShardArena(int shard);
+  EventHandle ScheduleLocal(int shard, SimTime when, EventClass cls,
+                            Callback fn);
+  void ScheduleLocalDetached(int shard, SimTime when, EventClass cls,
+                             Callback fn);
+  EventHandle StageRemote(int target, SimTime when, EventClass cls,
+                          Callback fn);
+
+  /// Pops and fires the next non-cancelled event across all shard queues
+  /// (serial engine); returns false if none remains at or before `limit`.
+  bool Step(SimTime limit);
 
   /// Called by EventHandle::Cancel for a still-queued event.
-  void OnCancelled();
+  void OnCancelled(internal::EventSlot* slot);
 
-  /// Rebuilds the heap without the cancelled events once they exceed a
-  /// quarter of the queue (and a minimum count, to avoid churn on tiny
-  /// queues).
-  void MaybePurgeCancelled();
+  /// Sweeps the shard's queue once cancelled events exceed a kind-specific
+  /// share of it (see simulation.cc for the thresholds and rationale).
+  void MaybePurgeCancelled(internal::Shard* sh);
 
   /// Drops the queue's reference on a slot that is leaving the queue.
   void ReleaseQueueRef(internal::EventSlot* slot);
 
-  /// Tie-race detector bookkeeping for one fired event; `key` is the
-  /// packed (class | insertion) key.
-  void NoteFired(SimTime time, uint64_t key);
+  /// Tie-race detector bookkeeping for one fired event on `sh`.
+  void NoteFired(internal::Shard* sh, SimTime time, uint64_t key);
 
+  /// Barrier-epoch completion: drains every shard's staging inboxes into
+  /// the target queues in deterministic (target, source, stage) order.
+  void MergeStagedEvents();
+
+  void AddShard();
+
+  SimulationOptions options_;
   SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_fired_ = 0;
-  size_t cancelled_in_queue_ = 0;
   bool tie_shuffle_ = false;
   uint64_t tie_shuffle_seed_ = 0;
-  TieStats tie_stats_;
-  SimTime last_fired_time_ = 0.0;
-  uint64_t last_fired_class_ = 0;
-  uint64_t current_tie_group_ = 0;
-  std::vector<Event> heap_;
-  internal::EventSlotPool* pool_;
+  /// Shard receiving default-scheduled events while the serial engine runs
+  /// a callback (events inherit the firing event's shard).
+  int serial_current_shard_ = 0;
+  bool parallel_phase_ = false;
+  /// End of the current parallel epoch; cross-shard schedules must target
+  /// times at or past it. Written only inside barrier completions.
+  SimTime epoch_end_ = 0.0;
+  std::vector<std::unique_ptr<internal::Shard>> shards_;
 };
 
 }  // namespace dmr::sim

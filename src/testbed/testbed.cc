@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "common/logging.h"
 #include "obs/ledger.h"
 
 #include "scheduler/fair_scheduler.h"
@@ -68,7 +69,7 @@ Testbed::~Testbed() {
     // Export the kernel's tie-race totals: under --shuffle-ties these must
     // not move across seeds (tie groups are a property of the schedule,
     // not of the order chosen within a group).
-    const sim::TieStats& ties = sim_.tie_stats();
+    const sim::TieStats ties = sim_.tie_stats();
     scope_->Count(scope_->m().sim_tie_groups,
                   static_cast<int64_t>(ties.groups));
     scope_->Count(scope_->m().sim_tie_events,
@@ -102,6 +103,12 @@ Result<mapred::JobStats> Testbed::RunJobToCompletion(
   double deadline = sim_.Now() + timeout;
   while (!stats.has_value() && sim_.Now() < deadline) {
     sim_.RunUntil(std::min(deadline, sim_.Now() + 600.0));
+    // The tracker's per-node heartbeat chains must keep the simulation
+    // alive until the job calls back; a drained queue here means the job
+    // can never complete. live_size() is the right gauge — queue_size()
+    // also counts lazily-cancelled tombstones awaiting a batched purge.
+    DMR_CHECK_GT(sim_.live_size(), 0u)
+        << "event queue drained with job still incomplete";
   }
   if (!stats.has_value()) {
     return Status::Internal("job did not complete within " +

@@ -41,7 +41,9 @@ TEST(ClusterConfigTest, ValidationCatchesBadValues) {
 TEST(NodeTest, SlotAccounting) {
   sim::Simulation sim;
   ClusterConfig config;
-  Node node(&sim, config, 3);
+  NodeStateTable state(4, config.map_slots_per_node,
+                       config.reduce_slots_per_node);
+  Node node(&sim, config, 3, &state);
   EXPECT_EQ(node.id(), 3);
   EXPECT_EQ(node.free_map_slots(), config.map_slots_per_node);
   // Slots are handed out lowest-index-first and are reusable once freed.
@@ -61,7 +63,9 @@ TEST(NodeTest, SlotAccounting) {
 TEST(NodeTest, ResourcesAreProvisioned) {
   sim::Simulation sim;
   ClusterConfig config;
-  Node node(&sim, config, 0);
+  NodeStateTable state(1, config.map_slots_per_node,
+                       config.reduce_slots_per_node);
+  Node node(&sim, config, 0, &state);
   EXPECT_EQ(node.num_disks(), config.disks_per_node);
   EXPECT_DOUBLE_EQ(node.cpu()->capacity(),
                    static_cast<double>(config.cores_per_node));

@@ -1,0 +1,15 @@
+// Arena-alloc fixture: hazards at lines 8, 10 and 12 exactly; the
+// suppressed duplicate at the end must not count.
+#include <memory>
+
+struct MapAttempt { int id; };
+struct EventSlot { int refs; };
+
+void* A() { return new EventSlot; }
+
+std::shared_ptr<MapAttempt> B() { return std::make_shared<MapAttempt>(); }
+
+MapAttempt* C() { return new MapAttempt; }
+
+// dmr-lint: allow(arena-alloc) pool bootstrap owns this slab head
+void* D() { return new EventSlot; }

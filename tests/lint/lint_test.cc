@@ -69,6 +69,27 @@ TEST(LintFixtureTest, IgnoredStatus) {
   EXPECT_EQ(Hits(findings), (Expected{{"ignored-status", 7}}));
 }
 
+TEST(LintFixtureTest, ArenaAlloc) {
+  auto findings = LintPath(FixturePath("arena_alloc.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"arena-alloc", 8},
+                                      {"arena-alloc", 10},
+                                      {"arena-alloc", 12}}));
+  // The dmr-lint: allow() form covers the trailing duplicate.
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(findings[3].suppressed);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kError);
+  }
+}
+
+TEST(LintFixtureTest, ArenaAllocExemptsTheKernelItself) {
+  // The slot pool / slab internals are the one sanctioned home for raw
+  // allocation of these types.
+  auto findings =
+      LintContent("src/sim/simulation.cc", "auto* s = new EventSlot;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintFixtureTest, CleanFileHasNoFindings) {
   auto findings = LintPath(FixturePath("clean.cc"));
   EXPECT_TRUE(findings.empty());
