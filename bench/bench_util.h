@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/scope.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace dmr::bench {
@@ -56,6 +57,11 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
 ///                    cluster (open in Perfetto / chrome://tracing)
 /// --metrics=FILE     emit the unified metrics report (counters + latency
 ///                    histogram percentiles) as JSON, plus a text summary
+/// --timeline=FILE    emit the virtual-time telemetry timelines (per-cell
+///                    probe series + sliding-window percentiles + SLO
+///                    breaches + flight-recorder ring) as JSON
+/// --dump-flight-recorder  print every cell's flight-recorder ring to
+///                    stdout at teardown (post-mortem without a crash)
 /// --shuffle-ties=S   fire same-timestamp simulation events in a seeded
 ///                    pseudo-random permutation of insertion order; all
 ///                    tables/digests must be identical for every seed
@@ -69,13 +75,16 @@ struct BenchOptions {
   std::string json_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string timeline_path;
+  bool dump_flight_recorder = false;
   /// Set when --shuffle-ties was given (already applied process-wide).
   std::optional<uint64_t> shuffle_ties;
   /// The --queue kind (already applied process-wide).
   sim::QueueKind queue = sim::QueueKind::kCalendar;
 
   bool obs_enabled() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !timeline_path.empty() || dump_flight_recorder;
   }
 
   /// Parses the shared flags; unknown --flags abort with usage, bare
@@ -106,6 +115,10 @@ struct BenchOptions {
         options.trace_path = arg + 8;
       } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
         options.metrics_path = arg + 10;
+      } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
+        options.timeline_path = arg + 11;
+      } else if (std::strcmp(arg, "--dump-flight-recorder") == 0) {
+        options.dump_flight_recorder = true;
       } else if (std::strncmp(arg, "--shuffle-ties=", 15) == 0) {
         const char* value = arg + 15;
         char* end = nullptr;
@@ -136,6 +149,7 @@ struct BenchOptions {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N|auto] "
                      "[--json=FILE] [--trace=FILE] [--metrics=FILE] "
+                     "[--timeline=FILE] [--dump-flight-recorder] "
                      "[--shuffle-ties=SEED] [--queue=calendar|heap] "
                      "[driver args]\n",
                      arg, argv[0]);
@@ -269,14 +283,20 @@ class ObsSession {
   ObsSession(const BenchOptions& options, std::string driver)
       : driver_(std::move(driver)),
         trace_path_(options.trace_path),
-        metrics_path_(options.metrics_path) {
+        metrics_path_(options.metrics_path),
+        timeline_path_(options.timeline_path),
+        dump_flight_(options.dump_flight_recorder) {
     if (!options.obs_enabled()) return;
     registry_ = std::make_unique<obs::MetricsRegistry>();
     if (!trace_path_.empty()) {
       recorder_ = std::make_unique<obs::TraceRecorder>();
     }
     book_ = std::make_unique<obs::LedgerBook>();
-    obs::Hub::Install(registry_.get(), recorder_.get(), book_.get());
+    if (!timeline_path_.empty() || dump_flight_) {
+      timelines_ = std::make_unique<obs::TimelineBook>();
+    }
+    obs::Hub::Install(registry_.get(), recorder_.get(), book_.get(),
+                      timelines_.get());
     installed_ = true;
   }
 
@@ -309,15 +329,39 @@ class ObsSession {
       CheckOk(report.WriteJson(metrics_path_), "metrics output");
       std::printf("metrics report written to %s\n", metrics_path_.c_str());
     }
+    if (timelines_ != nullptr) {
+      if (dump_flight_) timelines_->DumpFlightRecorders(stdout);
+      if (!timeline_path_.empty()) {
+        // Standalone file (kept out of the metrics report: timelines are
+        // an order of magnitude bigger than the end-of-run aggregates).
+        std::string text = "{\"driver\": \"" + driver_ +
+                           "\",\n \"timeline\": " + timelines_->ToJson() +
+                           "}\n";
+        std::FILE* f = std::fopen(timeline_path_.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot open %s\n", timeline_path_.c_str());
+          std::exit(1);
+        }
+        if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+          std::fprintf(stderr, "short write to %s\n", timeline_path_.c_str());
+          std::exit(1);
+        }
+        std::fclose(f);
+        std::printf("timeline written to %s\n", timeline_path_.c_str());
+      }
+    }
   }
 
  private:
   std::string driver_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string timeline_path_;
+  bool dump_flight_ = false;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
   std::unique_ptr<obs::LedgerBook> book_;
+  std::unique_ptr<obs::TimelineBook> timelines_;
   bool installed_ = false;
 };
 

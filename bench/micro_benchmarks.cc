@@ -12,6 +12,8 @@
 #include "common/properties.h"
 #include "common/random.h"
 #include "dynamic/grab_limit_expr.h"
+#include "obs/flight_recorder.h"
+#include "obs/timeline.h"
 #include "exec/parallel.h"
 #include "exec/vectorized.h"
 #include "expr/expression.h"
@@ -289,6 +291,54 @@ void BM_ThreadPoolFanOut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kCells * kEventsPerCell);
 }
 BENCHMARK(BM_ThreadPoolFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// One timeline tick over a testbed-sized probe/windowed population: the
+/// recurring per-simulated-second cost a cell pays for --timeline. Arg =
+/// windowed observations recorded into the open tick (the hot path that
+/// scales with job throughput).
+void BM_TimelineSample(benchmark::State& state) {
+  const int observations = static_cast<int>(state.range(0));
+  obs::TimelineOptions options;
+  obs::Timeline timeline(options);
+  double probe_value = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    timeline.AddProbe("probe." + std::to_string(i), "units",
+                      obs::Timeline::SeriesKind::kGauge,
+                      [&probe_value] { return probe_value; });
+  }
+  obs::Timeline::WindowedId response =
+      timeline.AddWindowed("bench.response", "sim_s");
+  obs::Timeline::WindowedId wait = timeline.AddWindowed("bench.wait", "sim_s");
+  double now = 0.0;
+  for (auto _ : state) {
+    probe_value += 1.0;
+    for (int i = 0; i < observations; ++i) {
+      timeline.Observe(response, 1.0 + static_cast<double>(i % 37));
+      timeline.Observe(wait, 0.5 + static_cast<double>(i % 11));
+    }
+    now += 1.0;
+    timeline.Sample(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimelineSample)->Arg(0)->Arg(16)->Arg(256);
+
+/// The flight-recorder append hot path: a fixed-size struct copy into an
+/// arena-backed ring. This rides on every schedule/backup/preempt
+/// decision, so it must stay in the few-ns range.
+void BM_FlightRecorderAppend(benchmark::State& state) {
+  sim::Arena arena;
+  obs::FlightRecorder flight(128, &arena);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-3;
+    flight.Append(now, obs::FlightEventKind::kSchedule, /*job=*/1,
+                  /*node=*/2, /*detail=*/3, /*value=*/now);
+    benchmark::DoNotOptimize(flight.appended());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderAppend);
 
 void BM_PsResourceChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema check for the observability outputs of a bench driver run.
 
-Usage: check_obs_output.py TRACE.json METRICS.json [ANALYSIS.json]
+Usage: check_obs_output.py [--timeline=FILE] TRACE.json METRICS.json \
+           [ANALYSIS.json]
 
 Validates that:
   * the trace file is Chrome trace-event JSON (traceEvents array, known
@@ -17,7 +18,13 @@ Validates that:
   * the report's `critical_path` section carries, per job, a time-ordered
     path whose per-category breakdown sums to the path time,
   * an optional dmr-analyze comparison JSON (third argument) joins the
-    same cells the ledger reported.
+    same cells the ledger reported,
+  * an optional --timeline document carries, per cell, probe and windowed
+    series whose retained tick timestamps are strictly monotone and
+    gap-free on the sampling cadence, ordered per-point and whole-run
+    percentiles, SLO breaches placed inside the run, and a flight
+    recorder whose ring arithmetic (appended - dropped == retained,
+    retained <= capacity) and sequence ordering hold.
 
 Exits non-zero with a message on the first violation.
 """
@@ -248,25 +255,214 @@ def check_analysis(path, ledger_cells):
     return len(doc["cells"])
 
 
+def check_tick_times(path, label, name, times, interval):
+    """Retained ring timestamps: strictly monotone, gap-free on the
+    sampling cadence (consecutive ticks exactly one interval apart)."""
+    tol = 1e-9 * max(1.0, interval)
+    for a, b in zip(times, times[1:]):
+        if b <= a:
+            fail(f"{path}: cell {label} series {name} timestamps not "
+                 f"strictly monotone at t={b}")
+        if abs((b - a) - interval) > tol:
+            fail(f"{path}: cell {label} series {name} has a gap: "
+                 f"t={a} -> t={b}, cadence is {interval}s")
+
+
+def check_timeline_cell(path, cell, interval, windows):
+    label = cell.get("label", "?")
+    for key in ("annotations", "timeline", "slo", "flight_recorder"):
+        if key not in cell:
+            fail(f"{path}: timeline cell {label} missing {key!r}")
+    tl = cell["timeline"]
+    for key in ("ticks", "dropped_ticks", "sealed_at", "series", "windowed"):
+        if key not in tl:
+            fail(f"{path}: cell {label} timeline missing {key!r}")
+    retained = tl["ticks"] - tl["dropped_ticks"]
+    if retained < 0:
+        fail(f"{path}: cell {label} dropped more ticks than it sampled")
+
+    tick_times = None
+    for series in tl["series"]:
+        name = series.get("name", "?")
+        for key in ("unit", "kind", "summary", "points"):
+            if key not in series:
+                fail(f"{path}: cell {label} series {name} missing {key!r}")
+        if series["kind"] not in ("gauge", "counter"):
+            fail(f"{path}: cell {label} series {name} has unknown kind "
+                 f"{series['kind']!r}")
+        summary = series["summary"]
+        for key in ("ticks", "min", "max", "mean", "last", "t_at_max"):
+            if key not in summary:
+                fail(f"{path}: cell {label} series {name} summary missing "
+                     f"{key!r}")
+        if summary["ticks"] != tl["ticks"]:
+            fail(f"{path}: cell {label} series {name} sampled "
+                 f"{summary['ticks']} ticks, cell closed {tl['ticks']}")
+        if not (summary["min"] <= summary["mean"] <= summary["max"]):
+            fail(f"{path}: cell {label} series {name} summary extrema out "
+                 f"of order: {summary}")
+        points = series["points"]
+        if len(points) != retained:
+            fail(f"{path}: cell {label} series {name} retained "
+                 f"{len(points)} points, expected {retained}")
+        times = [p[0] for p in points]
+        check_tick_times(path, label, name, times, interval)
+        if tick_times is None:
+            tick_times = times
+        elif times != tick_times:
+            fail(f"{path}: cell {label} series {name} ticks disagree with "
+                 f"the cell's other series")
+        for p in points:
+            if len(p) != 3:
+                fail(f"{path}: cell {label} series {name} point is not "
+                     f"[t, value, rate]: {p}")
+            if not (summary["min"] <= p[1] <= summary["max"]):
+                fail(f"{path}: cell {label} series {name} point value "
+                     f"{p[1]} outside summary [min, max]")
+
+    for series in tl["windowed"]:
+        name = series.get("name", "?")
+        if "windows" not in series:
+            fail(f"{path}: cell {label} windowed {name} missing 'windows'")
+        emitted = [w.get("window") for w in series["windows"]]
+        if emitted != windows:
+            fail(f"{path}: cell {label} windowed {name} windows {emitted} "
+                 f"!= book windows {windows}")
+        for w in series["windows"]:
+            summary = w.get("summary")
+            if not isinstance(summary, dict):
+                fail(f"{path}: cell {label} windowed {name} w={w.get('window')}"
+                     f" missing summary")
+            for key in ("count_max", "p50_max", "p90_max", "p99_max"):
+                if key not in summary:
+                    fail(f"{path}: cell {label} windowed {name} summary "
+                         f"missing {key!r}")
+            if not (summary["p50_max"] <= summary["p90_max"]
+                    <= summary["p99_max"]):
+                fail(f"{path}: cell {label} windowed {name} whole-run "
+                     f"percentile maxima out of order: {summary}")
+            points = w["points"]
+            if len(points) != retained:
+                fail(f"{path}: cell {label} windowed {name} retained "
+                     f"{len(points)} points, expected {retained}")
+            times = [p[0] for p in points]
+            check_tick_times(path, label, name, times, interval)
+            if tick_times is not None and times != tick_times:
+                fail(f"{path}: cell {label} windowed {name} ticks disagree "
+                     f"with the cell's probe series")
+            for p in points:
+                if len(p) != 5:
+                    fail(f"{path}: cell {label} windowed {name} point is "
+                         f"not [t, count, p50, p90, p99]: {p}")
+                if p[1] < 0 or p[1] > summary["count_max"]:
+                    fail(f"{path}: cell {label} windowed {name} count "
+                         f"{p[1]} outside [0, count_max]")
+                if not (p[2] <= p[3] <= p[4]):
+                    fail(f"{path}: cell {label} windowed {name} per-point "
+                         f"percentiles out of order: {p}")
+
+    slo = cell["slo"]
+    for key in ("rules", "breaches"):
+        if key not in slo or not isinstance(slo[key], list):
+            fail(f"{path}: cell {label} slo missing array {key!r}")
+    for rule in slo["rules"]:
+        for key in ("name", "series", "window", "quantile", "max",
+                    "budget_fraction", "evaluated_ticks", "breached_ticks",
+                    "budget_burned"):
+            if key not in rule:
+                fail(f"{path}: cell {label} slo rule missing {key!r}")
+        if rule["breached_ticks"] > rule["evaluated_ticks"]:
+            fail(f"{path}: cell {label} slo rule {rule['name']} breached "
+                 f"more ticks than it evaluated")
+    for breach in slo["breaches"]:
+        for key in ("t", "rule", "kind", "measured"):
+            if key not in breach:
+                fail(f"{path}: cell {label} slo breach missing {key!r}")
+        if not 0 <= breach["rule"] < len(slo["rules"]):
+            fail(f"{path}: cell {label} slo breach references unknown rule "
+                 f"{breach['rule']}")
+        if not 0.0 < breach["t"] <= tl["sealed_at"]:
+            fail(f"{path}: cell {label} slo breach at t={breach['t']} is "
+                 f"outside the run (sealed at {tl['sealed_at']})")
+
+    flight = cell["flight_recorder"]
+    for key in ("capacity", "appended", "dropped", "events"):
+        if key not in flight:
+            fail(f"{path}: cell {label} flight_recorder missing {key!r}")
+    events = flight["events"]
+    if len(events) > flight["capacity"]:
+        fail(f"{path}: cell {label} flight recorder retained more events "
+             f"than its capacity")
+    if flight["appended"] - flight["dropped"] != len(events):
+        fail(f"{path}: cell {label} flight recorder ring arithmetic is "
+             f"wrong: {flight['appended']} - {flight['dropped']} != "
+             f"{len(events)}")
+    for a, b in zip(events, events[1:]):
+        if b["seq"] <= a["seq"]:
+            fail(f"{path}: cell {label} flight events out of sequence at "
+                 f"seq={b['seq']}")
+        if b["t"] < a["t"]:
+            fail(f"{path}: cell {label} flight events go backwards in time "
+                 f"at seq={b['seq']}")
+    return len(slo["breaches"])
+
+
+def check_timeline(path):
+    """Validates a --timeline document; returns (cells, breaches)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "timeline" not in doc:
+        fail(f"{path}: expected an object with a timeline section")
+    book = doc["timeline"]
+    interval = book.get("interval")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        fail(f"{path}: timeline interval must be positive")
+    windows = book.get("windows")
+    if not isinstance(windows, list) or any(w <= 0 for w in windows):
+        fail(f"{path}: timeline windows must be positive")
+    cells = book.get("cells")
+    if not isinstance(cells, list):
+        fail(f"{path}: timeline.cells is not an array")
+    breaches = 0
+    for cell in cells:
+        breaches += check_timeline_cell(path, cell, interval, windows)
+    return len(cells), breaches
+
+
 def main():
-    if len(sys.argv) not in (3, 4):
+    argv = sys.argv[1:]
+    timeline_path = None
+    positional = []
+    for arg in argv:
+        if arg.startswith("--timeline="):
+            timeline_path = arg[len("--timeline="):]
+        elif arg.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            positional.append(arg)
+    if len(positional) not in (2, 3):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    trace_stats = check_trace(sys.argv[1])
-    counters = check_metrics(sys.argv[2], trace_stats)
-    with open(sys.argv[2]) as f:
+    trace_stats = check_trace(positional[0])
+    counters = check_metrics(positional[1], trace_stats)
+    with open(positional[1]) as f:
         metrics_doc = json.load(f)
-    ledger_cells = check_ledger(sys.argv[2], metrics_doc)
-    cp_jobs = check_critical_path(sys.argv[2], metrics_doc)
+    ledger_cells = check_ledger(positional[1], metrics_doc)
+    cp_jobs = check_critical_path(positional[1], metrics_doc)
     analysis_cells = 0
-    if len(sys.argv) == 4:
-        analysis_cells = check_analysis(sys.argv[3], ledger_cells)
+    if len(positional) == 3:
+        analysis_cells = check_analysis(positional[2], ledger_cells)
+    timeline_cells = breaches = 0
+    if timeline_path:
+        timeline_cells, breaches = check_timeline(timeline_path)
     print(f"check_obs_output: OK "
           f"({trace_stats['map_spans']} map spans, "
           f"{trace_stats['provider_instants']} provider decisions, "
           f"{counters['mapred.maps_launched']} maps launched, "
           f"{ledger_cells} ledger cells, {cp_jobs} critical paths, "
-          f"{analysis_cells} joined cells)")
+          f"{analysis_cells} joined cells, {timeline_cells} timeline "
+          f"cells, {breaches} SLO breaches)")
 
 
 if __name__ == "__main__":

@@ -3,8 +3,10 @@
 # checks, a bench smoke run (micro benchmarks + the Table III driver on both
 # predicate engines, asserting identical JSON), the DES kernel scale smoke
 # (calendar/heap x serial/sharded firing-order digests must agree), the
-# tie-shuffle + queue-kind digest invariance check (fig5 metrics must be
-# byte-identical across shuffle seeds and queue implementations), then the
+# tie-shuffle + queue-kind digest invariance check (fig5 metrics AND the
+# virtual-time telemetry timelines must be byte-identical across shuffle
+# seeds and queue implementations), the timeline thread-count invariance +
+# dmr-analyze timeline smoke, then the
 # concurrency-sensitive tests under ThreadSanitizer and the sim/mapred/obs
 # tests under ASan+UBSan.
 #
@@ -39,10 +41,11 @@ obs_dir=$(mktemp -d)
 trap 'rm -rf "${obs_dir}"' EXIT
 ./build/bench/bench_fig5_single_user \
   --trace="${obs_dir}/trace.json" --metrics="${obs_dir}/metrics.json" \
+  --timeline="${obs_dir}/timeline.json" \
   > "${obs_dir}/stdout.txt"
 ./build/src/obs/dmr-analyze --json="${obs_dir}/comparison.json" \
   "${obs_dir}/metrics.json" > /dev/null
-python3 scripts/check_obs_output.py \
+python3 scripts/check_obs_output.py --timeline="${obs_dir}/timeline.json" \
   "${obs_dir}/trace.json" "${obs_dir}/metrics.json" \
   "${obs_dir}/comparison.json"
 
@@ -82,8 +85,14 @@ for queue in calendar heap; do
     args=("--queue=${queue}")
     if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
     DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
-      --metrics="${obs_dir}/shuffle_${queue}_${seed}.json" > /dev/null
-    digest=$(sha256sum "${obs_dir}/shuffle_${queue}_${seed}.json" | cut -d' ' -f1)
+      --metrics="${obs_dir}/shuffle_${queue}_${seed}.json" \
+      --timeline="${obs_dir}/shuffle_tl_${queue}_${seed}.json" > /dev/null
+    # One digest over metrics + timeline: the telemetry timelines (probe
+    # series, windowed percentiles, SLO verdicts, flight-recorder rings)
+    # are part of the same byte-identity contract as the metrics report.
+    digest=$(cat "${obs_dir}/shuffle_${queue}_${seed}.json" \
+                 "${obs_dir}/shuffle_tl_${queue}_${seed}.json" \
+             | sha256sum | cut -d' ' -f1)
     if [[ -z "${digest_ref}" ]]; then
       digest_ref="${digest}"
     elif [[ "${digest}" != "${digest_ref}" ]]; then
@@ -94,14 +103,37 @@ for queue in calendar heap; do
     fi
   done
 done
-echo "fig5 metrics digest identical across {calendar, heap} x {base + 5 shuffle seeds}"
+echo "fig5 metrics+timeline digest identical across {calendar, heap} x {base + 5 shuffle seeds}"
+
+echo "== tier-1: timeline thread-count invariance + dmr-analyze timeline smoke =="
+# The virtual-time timelines sample simulation state only, so the document
+# must be byte-identical whether the experiment cells run serially or on a
+# worker pool.
+for threads in 1 4; do
+  DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user \
+    --threads="${threads}" \
+    --timeline="${obs_dir}/timeline_t${threads}.json" > /dev/null
+done
+diff "${obs_dir}/timeline_t1.json" "${obs_dir}/timeline_t4.json"
+echo "fig5 timeline byte-identical at --threads=1 and --threads=4"
+# Two identical runs through the timeline analyzer: the markdown must
+# render and an emitted baseline must accept the runs it was built from.
+./build/src/obs/dmr-analyze timeline \
+  --markdown="${obs_dir}/timeline.md" \
+  --emit-baseline="${obs_dir}/timeline_baseline.json" \
+  "${obs_dir}/timeline_t1.json" "${obs_dir}/timeline_t4.json" > /dev/null
+./build/src/obs/dmr-analyze timeline \
+  --baseline="${obs_dir}/timeline_baseline.json" \
+  "${obs_dir}/timeline_t1.json" > /dev/null
+echo "dmr-analyze timeline markdown + baseline round-trip OK"
 
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${jobs}" \
     --target parallel_test simulation_test metrics_test vectorized_test \
-             ledger_test run_parallel_test queue_equivalence_test
+             ledger_test run_parallel_test queue_equivalence_test \
+             timeline_test
   ctest --preset tsan
 else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
@@ -114,7 +146,8 @@ if [[ "${run_asan}" == "1" ]]; then
     --target simulation_test tie_race_test ps_resource_test \
              job_tracker_test job_client_test metrics_test trace_test \
              ledger_test analysis_test lint_test \
-             run_parallel_test queue_equivalence_test
+             run_parallel_test queue_equivalence_test \
+             timeline_test flight_recorder_test
   ctest --preset asan
 else
   echo "== tier-1: ASan stage skipped (--no-asan) =="

@@ -62,6 +62,18 @@ void Logging::set_threshold(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<Logging::FatalHook> g_fatal_hook{nullptr};
+}  // namespace
+
+void Logging::set_fatal_hook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+Logging::FatalHook Logging::fatal_hook() {
+  return g_fatal_hook.load(std::memory_order_acquire);
+}
+
 std::optional<LogLevel> Logging::ParseLevel(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
@@ -100,6 +112,14 @@ LogMessage::~LogMessage() { Flush(); }
 
 FatalLogMessage::~FatalLogMessage() {
   Flush();
+  // Give post-mortem machinery (the obs flight recorder) one shot at
+  // dumping state; a reentrant fatal inside the hook would recurse, so
+  // clear it first.
+  Logging::FatalHook hook = Logging::fatal_hook();
+  if (hook != nullptr) {
+    Logging::set_fatal_hook(nullptr);
+    hook();
+  }
   std::abort();
 }
 

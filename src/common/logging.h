@@ -28,6 +28,14 @@ class Logging {
   /// Parses a level name ("debug", "info", "warn"/"warning", "error",
   /// "off"/"none", any case); nullopt for anything else.
   static std::optional<LogLevel> ParseLevel(const std::string& name);
+
+  /// Installed hook runs after a fatal (DMR_CHECK) message is emitted and
+  /// before std::abort() — the flight-recorder dump point. The hook must
+  /// be async-signal-unsafe-tolerant only in the sense that it runs on the
+  /// failing thread; it must not itself DMR_CHECK. Null clears it.
+  using FatalHook = void (*)();
+  static void set_fatal_hook(FatalHook hook);
+  static FatalHook fatal_hook();
 };
 
 namespace internal {

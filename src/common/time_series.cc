@@ -18,7 +18,8 @@ double TimeSeries::MeanAfter(double from) const {
 }
 
 double TimeSeries::Max() const {
-  double best = 0.0;
+  if (points_.empty()) return 0.0;
+  double best = points_.front().value;
   for (const auto& p : points_) best = std::max(best, p.value);
   return best;
 }

@@ -29,6 +29,9 @@ class TimeSeries {
   /// Mean over the whole series.
   double Mean() const { return MeanAfter(-1.0); }
 
+  /// Largest value in the series (0 when empty, matching Min). Seeded
+  /// from the first point, not 0.0 — an all-negative series must report
+  /// its true (negative) maximum.
   double Max() const;
 
   /// Smallest value in the series (0 when empty, matching Max).
@@ -36,7 +39,9 @@ class TimeSeries {
 
   /// Nearest-rank percentile of the values, q in [0, 100] (clamped):
   /// the value at 1-based sorted rank ceil(q/100 * n). 0 when empty.
-  /// Percentile(0) == Min(), Percentile(100) == Max().
+  /// Edge behavior: q == 0 rounds the rank up to 1, so Percentile(0) ==
+  /// Min(); Percentile(100) == Max(); quantiles between two ranks take
+  /// the lower sorted value (no interpolation).
   double Percentile(double q) const;
 
   void Clear() { points_.clear(); }

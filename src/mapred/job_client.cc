@@ -5,6 +5,7 @@
 #include "common/host_clock.h"
 #include "common/logging.h"
 #include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 
 namespace dmr::mapred {
 
@@ -59,6 +60,23 @@ void RecordProviderDecision(obs::Scope* obs, double now, int job_id,
   if (obs::EventGraph* graph = obs->graph()) {
     graph->ProviderDecision(job_id, now,
                             InputResponseKindToString(response.kind));
+  }
+  if (obs::FlightRecorder* flight = obs->flight()) {
+    obs::FlightEventKind kind = obs::FlightEventKind::kProviderGrow;
+    switch (response.kind) {
+      case InputResponseKind::kInputAvailable:
+        kind = obs::FlightEventKind::kProviderGrow;
+        break;
+      case InputResponseKind::kNoInputAvailable:
+        kind = obs::FlightEventKind::kProviderWait;
+        break;
+      case InputResponseKind::kEndOfInput:
+        kind = obs::FlightEventKind::kProviderEndOfInput;
+        break;
+    }
+    flight->Append(now, kind, job_id, /*node=*/-1,
+                   static_cast<int32_t>(response.splits.size()),
+                   /*value=*/initial ? 1.0 : 0.0);
   }
 }
 

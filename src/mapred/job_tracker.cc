@@ -28,7 +28,21 @@ JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler,
       sim_(cluster->simulation()),
       scheduler_(scheduler),
       obs_(obs),
-      fault_rng_(cluster->config().fault_seed) {}
+      fault_rng_(cluster->config().fault_seed) {
+  if (obs_ != nullptr) {
+    tl_ = obs_->timeline();
+    flight_ = obs_->flight();
+    if (tl_ != nullptr) {
+      tl_job_response_ = tl_->AddWindowed("mapred.job_response", "sim_s");
+      tl_task_wait_ = tl_->AddWindowed("mapred.task_wait", "sim_s");
+    }
+  }
+}
+
+int JobTracker::ActiveJobsForUser(const std::string& user) const {
+  auto it = active_by_user_.find(user);
+  return it == active_by_user_.end() ? 0 : it->second;
+}
 
 void JobTracker::Start() {
   DMR_CHECK(!started_) << "JobTracker::Start called twice";
@@ -78,6 +92,16 @@ Result<int> JobTracker::SubmitDynamicJob(JobConf conf, int splits_total,
   DMR_LOG(Info) << "job " << id << " submitted (user "
                 << jobs_[id]->conf().user() << ", " << splits_total
                 << " total splits) at t=" << sim_->Now();
+  if (tl_ != nullptr) {
+    // Per-tenant inflight series: first submission registers the probe
+    // (AddProbe dedupes); the mapped count node is address-stable.
+    const std::string& user = jobs_[id]->conf().user();
+    int* count = &active_by_user_[user];
+    ++*count;
+    tl_->AddProbe("mapred.inflight_jobs." + user, "jobs",
+                  obs::Timeline::SeriesKind::kGauge,
+                  [count] { return static_cast<double>(*count); });
+  }
   if (obs_ != nullptr) {
     obs_->Count(obs_->m().jobs_submitted);
     if (obs::TraceStream* trace = obs_->trace()) {
@@ -275,7 +299,16 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
     obs_->Count(backup ? obs_->m().backups_launched
                        : obs_->m().maps_launched);
     if (!backup) {
-      obs_->Observe(obs_->m().task_wait, sim_->Now() - split.queued_time);
+      const double wait = sim_->Now() - split.queued_time;
+      obs_->Observe(obs_->m().task_wait, wait);
+      if (tl_ != nullptr) tl_->Observe(tl_task_wait_, wait);
+      if (flight_ != nullptr) {
+        flight_->Append(sim_->Now(), obs::FlightEventKind::kSchedule,
+                        job->id(), node_id, split.index, wait);
+      }
+    } else if (flight_ != nullptr) {
+      flight_->Append(sim_->Now(), obs::FlightEventKind::kBackup, job->id(),
+                      node_id, split.index, 0.0);
     }
   }
   if (obs_ != nullptr) {
@@ -441,6 +474,12 @@ void JobTracker::KillAttempt(const AttemptPtr& attempt) {
   if (obs_ != nullptr) {
     obs_->Count(obs_->m().attempts_killed);
     TraceAttemptSpan(*attempt, "killed");
+    if (flight_ != nullptr) {
+      flight_->Append(sim_->Now(), obs::FlightEventKind::kPreempt,
+                      attempt->job->id(), attempt->node_id,
+                      attempt->split.index,
+                      sim_->Now() - attempt->launch_time);
+    }
   }
 }
 
@@ -553,6 +592,13 @@ void JobTracker::OnReduceComplete(Job* job, int node_id) {
                 << job->maps_completed() << " splits processed)";
   if (obs_ != nullptr) {
     obs_->Count(obs_->m().jobs_completed);
+    obs_->Observe(obs_->m().job_response,
+                  sim_->Now() - job->submit_time());
+    if (tl_ != nullptr) {
+      tl_->Observe(tl_job_response_, sim_->Now() - job->submit_time());
+      auto user_it = active_by_user_.find(job->conf().user());
+      if (user_it != active_by_user_.end()) --user_it->second;
+    }
     if (obs::TraceStream* trace = obs_->trace()) {
       obs::TraceArgs args;
       args.Set("job", job->id());

@@ -15,6 +15,7 @@
 #include "mapred/task_scheduler.h"
 #include "mapred/types.h"
 #include "obs/scope.h"
+#include "obs/timeline.h"
 #include "sim/simulation.h"
 
 namespace dmr::mapred {
@@ -95,6 +96,14 @@ class JobTracker {
   /// for provider-decision instrumentation).
   obs::Scope* obs() const { return obs_; }
 
+  /// Jobs submitted and not yet completed (the timeline's
+  /// "mapred.active_jobs" probe).
+  int active_jobs() const { return active_jobs_; }
+
+  /// Active jobs for one tenant; 0 for unknown users. Backs the
+  /// per-tenant "mapred.inflight_jobs.<user>" timeline probes.
+  int ActiveJobsForUser(const std::string& user) const;
+
  private:
   /// One running map attempt (original or speculative backup). Attempts are
   /// killable: their outstanding resource requests are cancelled and the
@@ -146,6 +155,12 @@ class JobTracker {
   sim::Simulation* sim_;
   TaskScheduler* scheduler_;
   obs::Scope* obs_;
+  /// Cached from obs_ at construction (null when no timeline cell is
+  /// attached) so hot-path sites pay one pointer test, not a Scope walk.
+  obs::Timeline* tl_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::Timeline::WindowedId tl_job_response_;
+  obs::Timeline::WindowedId tl_task_wait_;
   bool started_ = false;
   Rng fault_rng_;
 
@@ -157,6 +172,10 @@ class JobTracker {
   std::map<SplitKey, std::vector<AttemptPtr>> running_splits_;
   int next_job_id_ = 1;
   int active_jobs_ = 0;
+  /// Per-tenant inflight counts; only maintained when a timeline is
+  /// attached (node pointers stay stable, so probe lambdas may capture
+  /// the mapped int directly).
+  std::map<std::string, int> active_by_user_;
   int64_t total_local_maps_ = 0;
   int64_t total_remote_maps_ = 0;
   int64_t total_speculative_maps_ = 0;

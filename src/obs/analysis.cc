@@ -480,6 +480,555 @@ Result<BaselineReport> CheckBaseline(const JsonValue& baseline,
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Timeline documents.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 8-level unicode sparkline over `values`, downsampled (bucket maxima) to
+/// at most `max_chars` glyphs. Constant series render as the lowest bar.
+std::string Sparkline(const std::vector<double>& values,
+                      size_t max_chars = 32) {
+  static const char* kLevels[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  if (values.empty()) return "-";
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  size_t n = values.size();
+  size_t buckets = std::min(max_chars, n);
+  std::string out;
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t begin = b * n / buckets;
+    size_t end = (b + 1) * n / buckets;
+    double v = values[begin];
+    for (size_t i = begin + 1; i < end; ++i) v = std::max(v, values[i]);
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * 8.0);
+      level = std::min(level, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+/// Folds one parsed probe-series object into the cell's aggregate.
+Status MergeProbeSeries(const JsonValue& series, const std::string& source,
+                        TimelineCellData* cell) {
+  std::string name = series.StringOr("name", "");
+  const JsonValue* points = series.Find("points");
+  if (name.empty() || points == nullptr || !points->is_array()) {
+    return Status::InvalidArgument(source + ": malformed probe series in " +
+                                   cell->key.ToString());
+  }
+  TimelineSeriesStat& stat = cell->series[name];
+  bool fresh = stat.name.empty();
+  if (fresh) {
+    stat.name = name;
+    stat.unit = series.StringOr("unit", "");
+    stat.kind = series.StringOr("kind", "gauge");
+  }
+  const JsonValue* summary = series.Find("summary");
+  if (summary != nullptr && summary->is_object()) {
+    // Whole-run stats (robust to ring eviction); points feed sparklines
+    // only.
+    auto ticks = static_cast<size_t>(summary->NumberOr("ticks", 0.0));
+    double min = summary->NumberOr("min", 0.0);
+    double max = summary->NumberOr("max", 0.0);
+    double t_at_max = summary->NumberOr("t_at_max", 0.0);
+    if (stat.points == 0) {
+      stat.min = min;
+      stat.max = max;
+      stat.t_at_max = t_at_max;
+    } else {
+      stat.min = std::min(stat.min, min);
+      if (max > stat.max) {
+        stat.max = max;
+        stat.t_at_max = t_at_max;
+      }
+    }
+    stat.sum += summary->NumberOr("mean", 0.0) * static_cast<double>(ticks);
+    stat.points += ticks;
+    stat.last = summary->NumberOr("last", 0.0);
+    if (fresh) {
+      for (const JsonValue& point : points->items) {
+        if (point.is_array() && point.items.size() >= 2) {
+          stat.spark.push_back(point.items[1].number_value);
+        }
+      }
+    }
+    return Status::OK();
+  }
+  for (const JsonValue& point : points->items) {
+    if (!point.is_array() || point.items.size() < 3 ||
+        !point.items[0].is_number() || !point.items[1].is_number()) {
+      return Status::InvalidArgument(source + ": malformed point in series " +
+                                     name);
+    }
+    double t = point.items[0].number_value;
+    double value = point.items[1].number_value;
+    if (stat.points == 0) {
+      stat.min = value;
+      stat.max = value;
+      stat.t_at_max = t;
+    } else {
+      stat.min = std::min(stat.min, value);
+      if (value > stat.max) {
+        stat.max = value;
+        stat.t_at_max = t;
+      }
+    }
+    ++stat.points;
+    stat.sum += value;
+    stat.last = value;
+    if (fresh) stat.spark.push_back(value);
+  }
+  return Status::OK();
+}
+
+/// Folds one parsed windowed-series object into the cell's aggregate.
+Status MergeWindowedSeries(const JsonValue& series, const std::string& source,
+                           TimelineCellData* cell) {
+  std::string name = series.StringOr("name", "");
+  const JsonValue* windows = series.Find("windows");
+  if (name.empty() || windows == nullptr || !windows->is_array()) {
+    return Status::InvalidArgument(source + ": malformed windowed series in " +
+                                   cell->key.ToString());
+  }
+  TimelineSeriesStat& stat = cell->series[name];
+  bool fresh = stat.name.empty();
+  if (fresh) {
+    stat.name = name;
+    stat.unit = series.StringOr("unit", "");
+    stat.kind = "windowed";
+  }
+  for (const JsonValue& window : windows->items) {
+    double w = window.NumberOr("window", 0.0);
+    const JsonValue* points = window.Find("points");
+    if (points == nullptr || !points->is_array()) {
+      return Status::InvalidArgument(source + ": windowed series " + name +
+                                     " lacks points");
+    }
+    TimelineWindowStat* wstat =
+        const_cast<TimelineWindowStat*>(stat.FindWindow(w));
+    if (wstat == nullptr) {
+      stat.windows.emplace_back();
+      wstat = &stat.windows.back();
+      wstat->window = w;
+    }
+    bool fresh_window = wstat->spark.empty();
+    const JsonValue* summary = window.Find("summary");
+    if (summary != nullptr && summary->is_object()) {
+      wstat->count = std::max(
+          wstat->count,
+          static_cast<uint64_t>(summary->NumberOr("count_max", 0.0)));
+      wstat->p50_max =
+          std::max(wstat->p50_max, summary->NumberOr("p50_max", 0.0));
+      wstat->p90_max =
+          std::max(wstat->p90_max, summary->NumberOr("p90_max", 0.0));
+      wstat->p99_max =
+          std::max(wstat->p99_max, summary->NumberOr("p99_max", 0.0));
+      stat.points += points->items.size();
+      if (fresh_window) {
+        for (const JsonValue& point : points->items) {
+          if (point.is_array() && point.items.size() >= 5) {
+            wstat->spark.push_back(point.items[4].number_value);
+          }
+        }
+      }
+      continue;
+    }
+    for (const JsonValue& point : points->items) {
+      if (!point.is_array() || point.items.size() < 5) {
+        return Status::InvalidArgument(source +
+                                       ": malformed windowed point in " +
+                                       name);
+      }
+      double p50 = point.items[2].number_value;
+      double p90 = point.items[3].number_value;
+      double p99 = point.items[4].number_value;
+      wstat->p50_max = std::max(wstat->p50_max, p50);
+      wstat->p90_max = std::max(wstat->p90_max, p90);
+      wstat->p99_max = std::max(wstat->p99_max, p99);
+      ++stat.points;
+      if (fresh_window) wstat->spark.push_back(p99);
+    }
+    if (!points->items.empty()) {
+      const JsonValue& final_point = points->items.back();
+      wstat->count = std::max(
+          wstat->count,
+          static_cast<uint64_t>(final_point.items[1].number_value));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool TimelineWindowStat::MetricByName(std::string_view name,
+                                      double* out) const {
+  if (name == "count") {
+    *out = static_cast<double>(count);
+  } else if (name == "p50_max") {
+    *out = p50_max;
+  } else if (name == "p90_max") {
+    *out = p90_max;
+  } else if (name == "p99_max") {
+    *out = p99_max;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool TimelineSeriesStat::MetricByName(std::string_view name,
+                                      double* out) const {
+  if (name == "min") {
+    *out = min;
+  } else if (name == "max") {
+    *out = max;
+  } else if (name == "mean") {
+    *out = mean();
+  } else if (name == "last") {
+    *out = last;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const TimelineWindowStat* TimelineSeriesStat::FindWindow(
+    double window) const {
+  for (const TimelineWindowStat& w : windows) {
+    if (std::fabs(w.window - window) < 1e-9) return &w;
+  }
+  return nullptr;
+}
+
+const TimelineCellData* TimelineRunData::FindCell(const CellKey& key) const {
+  for (const TimelineCellData& cell : cells) {
+    if (cell.key == key) return &cell;
+  }
+  return nullptr;
+}
+
+Result<TimelineRunData> ParseTimeline(std::string_view json,
+                                      std::string source) {
+  DMR_ASSIGN_OR_RETURN(JsonValue doc, json::JsonParse(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(source +
+                                   ": timeline doc is not a JSON object");
+  }
+  TimelineRunData run;
+  run.source = std::move(source);
+  run.driver = doc.StringOr("driver", "");
+  const JsonValue* book = doc.Find("timeline");
+  if (book == nullptr || !book->is_object()) {
+    return Status::InvalidArgument(run.source +
+                                   ": missing top-level timeline object");
+  }
+  run.interval = book->NumberOr("interval", 1.0);
+  if (const JsonValue* windows = book->Find("windows")) {
+    for (const JsonValue& w : windows->items) {
+      if (w.is_number()) run.windows.push_back(w.number_value);
+    }
+  }
+  const JsonValue* cells = book->Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return Status::InvalidArgument(run.source +
+                                   ": timeline without cells array");
+  }
+
+  std::map<CellKey, TimelineCellData> by_key;
+  for (const JsonValue& cell : cells->items) {
+    CellKey key = KeyOfCell(run.driver, cell);
+    TimelineCellData& agg = by_key[key];
+    agg.key = key;
+    ++agg.repeats;
+    const JsonValue* timeline = cell.Find("timeline");
+    if (timeline == nullptr || !timeline->is_object()) {
+      return Status::InvalidArgument(run.source + ": cell " +
+                                     key.ToString() +
+                                     " lacks a timeline object");
+    }
+    agg.ticks += static_cast<size_t>(timeline->NumberOr("ticks", 0.0));
+    agg.dropped_ticks +=
+        static_cast<uint64_t>(timeline->NumberOr("dropped_ticks", 0.0));
+    if (const JsonValue* series = timeline->Find("series")) {
+      for (const JsonValue& s : series->items) {
+        DMR_RETURN_NOT_OK(MergeProbeSeries(s, run.source, &agg));
+      }
+    }
+    if (const JsonValue* windowed = timeline->Find("windowed")) {
+      for (const JsonValue& s : windowed->items) {
+        DMR_RETURN_NOT_OK(MergeWindowedSeries(s, run.source, &agg));
+      }
+    }
+    if (const JsonValue* slo = cell.Find("slo")) {
+      if (const JsonValue* breaches = slo->Find("breaches")) {
+        agg.slo_breaches += static_cast<int>(breaches->items.size());
+      }
+    }
+  }
+
+  run.cells.reserve(by_key.size());
+  for (auto& [key, agg] : by_key) run.cells.push_back(std::move(agg));
+  return run;
+}
+
+Result<TimelineRunData> LoadTimelineFile(const std::string& path) {
+  DMR_ASSIGN_OR_RETURN(std::string text, SlurpFile(path));
+  return ParseTimeline(text, path);
+}
+
+namespace {
+
+std::vector<CellKey> UnionOfTimelineKeys(
+    const std::vector<TimelineRunData>& runs) {
+  std::set<CellKey> keys;
+  for (const TimelineRunData& run : runs) {
+    for (const TimelineCellData& cell : run.cells) keys.insert(cell.key);
+  }
+  return std::vector<CellKey>(keys.begin(), keys.end());
+}
+
+}  // namespace
+
+std::string RenderTimelineMarkdown(
+    const std::vector<TimelineRunData>& runs) {
+  std::string out;
+  out += "# dmr-analyze timeline\n\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    out += "- run " + std::to_string(i + 1) + ": `" + runs[i].source +
+           "` (driver " + runs[i].driver + ", interval " +
+           Fixed(runs[i].interval) + "s)\n";
+  }
+  for (const CellKey& key : UnionOfTimelineKeys(runs)) {
+    out += "\n## " + key.ToString() + "\n\n";
+
+    // Probe (gauge/counter) series: extrema table with sparklines.
+    out += "| series | kind | run | points | min | mean | max | t@max | "
+           "last | spark |\n";
+    out += "|---|---|---|---|---|---|---|---|---|---|\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const TimelineCellData* cell = runs[i].FindCell(key);
+      if (cell == nullptr) continue;
+      for (const auto& [name, stat] : cell->series) {
+        if (stat.kind == "windowed") continue;
+        out += "| " + name + " | " + stat.kind + " | " +
+               std::to_string(i + 1) + " | " + std::to_string(stat.points) +
+               " | " + Fixed(stat.min) + " | " + Fixed(stat.mean()) + " | " +
+               Fixed(stat.max) + " | " + Fixed(stat.t_at_max) + " | " +
+               Fixed(stat.last) + " | " + Sparkline(stat.spark) + " |\n";
+      }
+    }
+
+    // Windowed percentile series: one row per (series, window, run).
+    out += "\n| series | window (s) | run | count | p50 max | p90 max | "
+           "p99 max | spark(p99) |\n";
+    out += "|---|---|---|---|---|---|---|---|\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const TimelineCellData* cell = runs[i].FindCell(key);
+      if (cell == nullptr) continue;
+      for (const auto& [name, stat] : cell->series) {
+        if (stat.kind != "windowed") continue;
+        for (const TimelineWindowStat& w : stat.windows) {
+          out += "| " + name + " | " + Fixed(w.window) + " | " +
+                 std::to_string(i + 1) + " | " + std::to_string(w.count) +
+                 " | " + Fixed(w.p50_max) + " | " + Fixed(w.p90_max) +
+                 " | " + Fixed(w.p99_max) + " | " + Sparkline(w.spark) +
+                 " |\n";
+        }
+      }
+    }
+
+    out += "\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const TimelineCellData* cell = runs[i].FindCell(key);
+      if (cell == nullptr) {
+        out += "- run " + std::to_string(i + 1) + ": cell missing\n";
+        continue;
+      }
+      out += "- run " + std::to_string(i + 1) + ": " +
+             std::to_string(cell->repeats) + " repeat(s), " +
+             std::to_string(cell->ticks) + " tick(s), " +
+             std::to_string(cell->dropped_ticks) + " dropped, " +
+             std::to_string(cell->slo_breaches) + " SLO breach(es)\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const TimelineCellData* ResolveTimelineCell(
+    const std::vector<TimelineRunData>& runs, const std::string& driver,
+    const JsonValue& ref) {
+  for (const TimelineRunData& run : runs) {
+    if (!driver.empty() && run.driver != driver) continue;
+    CellKey key;
+    key.driver = run.driver;
+    key.cell = ref.StringOr("cell", "");
+    key.policy = ref.StringOr("policy", "");
+    key.z = ref.StringOr("z", "");
+    if (const TimelineCellData* cell = run.FindCell(key)) return cell;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<BaselineReport> CheckTimelineBaseline(
+    const JsonValue& baseline, const std::vector<TimelineRunData>& runs) {
+  if (!baseline.is_object()) {
+    return Status::InvalidArgument("timeline baseline is not a JSON object");
+  }
+  BaselineReport report;
+  std::string driver = baseline.StringOr("driver", "");
+  if (!driver.empty()) {
+    bool found = false;
+    for (const TimelineRunData& run : runs) found |= run.driver == driver;
+    if (!found) {
+      report.failures.push_back("no input timeline has driver '" + driver +
+                                "'");
+      return report;
+    }
+  }
+
+  const JsonValue* entries = baseline.Find("entries");
+  if (entries == nullptr || !entries->is_array()) return report;
+  for (const JsonValue& entry : entries->items) {
+    const TimelineCellData* cell = ResolveTimelineCell(runs, driver, entry);
+    if (cell == nullptr) {
+      report.failures.push_back("baseline timeline cell not found: " +
+                                DescribeRef(driver, entry));
+      continue;
+    }
+    const JsonValue* series_list = entry.Find("series");
+    if (series_list == nullptr || !series_list->is_array()) continue;
+    for (const JsonValue& sref : series_list->items) {
+      std::string name = sref.StringOr("name", "");
+      auto it = cell->series.find(name);
+      if (it == cell->series.end()) {
+        report.failures.push_back("baseline series '" + name +
+                                  "' not found in " + cell->key.ToString());
+        continue;
+      }
+      const TimelineSeriesStat& stat = it->second;
+      const JsonValue* window_ref = sref.Find("window");
+      const TimelineWindowStat* wstat = nullptr;
+      std::string band = name;
+      if (window_ref != nullptr && window_ref->is_number()) {
+        wstat = stat.FindWindow(window_ref->number_value);
+        band += "@w" + Fixed(window_ref->number_value);
+        if (wstat == nullptr) {
+          report.failures.push_back("baseline window band " + band +
+                                    " not found in " + cell->key.ToString());
+          continue;
+        }
+      }
+      const JsonValue* metrics = sref.Find("metrics");
+      if (metrics == nullptr || !metrics->is_object()) continue;
+      for (const auto& [metric, base] : metrics->members) {
+        if (!base.is_number()) continue;
+        double actual = 0.0;
+        bool known = wstat != nullptr ? wstat->MetricByName(metric, &actual)
+                                      : stat.MetricByName(metric, &actual);
+        if (!known) {
+          report.notes.push_back("unknown timeline metric '" + metric +
+                                 "' ignored for " + band + " in " +
+                                 cell->key.ToString());
+          continue;
+        }
+        ++report.entries_checked;
+        Tolerance tol = ToleranceFor(baseline, metric);
+        double budget = tol.abs + tol.rel * std::fabs(base.number_value);
+        double delta = actual - base.number_value;
+        if (std::fabs(delta) > budget) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s: %s %s = %.6g vs baseline %.6g (|delta| %.3g > "
+                        "tolerance %.3g)",
+                        cell->key.ToString().c_str(), band.c_str(),
+                        metric.c_str(), actual, base.number_value,
+                        std::fabs(delta), budget);
+          report.failures.push_back(buf);
+        } else if (delta != 0.0) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s: %s %s drifted %.3g (within tolerance %.3g)",
+                        cell->key.ToString().c_str(), band.c_str(),
+                        metric.c_str(), delta, budget);
+          report.notes.push_back(buf);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string EmitTimelineBaseline(const std::vector<TimelineRunData>& runs,
+                                 double default_rel_tolerance) {
+  std::string driver;
+  for (const TimelineRunData& run : runs) {
+    if (!run.driver.empty()) {
+      driver = run.driver;
+      break;
+    }
+  }
+  std::string rel = Num(default_rel_tolerance);
+  std::string out = "{\n  \"kind\": \"timeline\",\n  \"driver\": " +
+                    JsonQuote(driver) + ",\n";
+  out += "  \"tolerances\": {\"min\": " + rel + ", \"max\": " + rel +
+         ", \"mean\": " + rel + ", \"last\": " + rel +
+         ", \"count\": {\"rel\": " + rel +
+         ", \"abs\": 2}, \"p50_max\": " + rel + ", \"p90_max\": " + rel +
+         ", \"p99_max\": " + rel + "},\n";
+  out += "  \"entries\": [";
+  bool first = true;
+  std::set<CellKey> seen;
+  for (const TimelineRunData& run : runs) {
+    for (const TimelineCellData& cell : run.cells) {
+      if (!seen.insert(cell.key).second) continue;  // first run wins
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"cell\": " + JsonQuote(cell.key.cell) +
+             ", \"policy\": " + JsonQuote(cell.key.policy) + ", \"z\": " +
+             JsonQuote(cell.key.z) + ",\n     \"series\": [";
+      bool first_series = true;
+      for (const auto& [name, stat] : cell.series) {
+        if (stat.kind == "windowed") {
+          for (const TimelineWindowStat& w : stat.windows) {
+            if (!first_series) out += ",";
+            first_series = false;
+            out += "\n      {\"name\": " + JsonQuote(name) +
+                   ", \"window\": " + Num(w.window) + ", \"metrics\": {" +
+                   "\"count\": " + std::to_string(w.count) +
+                   ", \"p50_max\": " + Num(w.p50_max) + ", \"p90_max\": " +
+                   Num(w.p90_max) + ", \"p99_max\": " + Num(w.p99_max) +
+                   "}}";
+          }
+        } else {
+          if (!first_series) out += ",";
+          first_series = false;
+          out += "\n      {\"name\": " + JsonQuote(name) +
+                 ", \"metrics\": {\"min\": " + Num(stat.min) +
+                 ", \"max\": " + Num(stat.max) + ", \"mean\": " +
+                 Num(stat.mean()) + ", \"last\": " + Num(stat.last) + "}}";
+        }
+      }
+      out += first_series ? "]}" : "\n     ]}";
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
 std::string EmitBaseline(const std::vector<RunData>& runs,
                          double default_rel_tolerance) {
   std::string driver;

@@ -118,6 +118,101 @@ Result<BaselineReport> CheckBaseline(const json::JsonValue& baseline,
 std::string EmitBaseline(const std::vector<RunData>& runs,
                          double default_rel_tolerance);
 
+// ---------------------------------------------------------------------------
+// `dmr-analyze timeline`: cross-run analysis of the standalone --timeline
+// documents ({"driver": ..., "timeline": TimelineBook::ToJson()}). Cells are
+// joined by the same (driver, cell, policy, z) key as reports; repeats are
+// aggregated (sums for counts/ticks, extrema for value stats).
+// ---------------------------------------------------------------------------
+
+/// Per-window digest of one windowed (sliding-percentile) series.
+struct TimelineWindowStat {
+  double window = 0.0;   // window length, simulated seconds
+  uint64_t count = 0;    // peak observations in any closed window (max
+                         // across ticks and repeats)
+  double p50_max = 0.0;  // maxima over all closed ticks (and repeats)
+  double p90_max = 0.0;
+  double p99_max = 0.0;
+  std::vector<double> spark;  // p99 per tick (first repeat) for sparklines
+
+  /// "count", "p50_max", "p90_max", "p99_max"; false when unknown.
+  bool MetricByName(std::string_view name, double* out) const;
+};
+
+/// Digest of one timeline series (probe or windowed) within one cell.
+struct TimelineSeriesStat {
+  std::string name;
+  std::string unit;
+  std::string kind;  // "gauge" | "counter" | "windowed"
+  size_t points = 0;       // total points across repeats
+  double min = 0.0;        // over point *values* (not rates)
+  double max = 0.0;
+  double sum = 0.0;
+  double last = 0.0;       // final tick's value (last repeat parsed wins)
+  double t_at_max = 0.0;   // virtual time of the first occurrence of `max`
+  std::vector<double> spark;  // value per tick (first repeat)
+  std::vector<TimelineWindowStat> windows;  // windowed series only
+
+  double mean() const { return points > 0 ? sum / points : 0.0; }
+  /// "min", "max", "mean", "last"; false when unknown.
+  bool MetricByName(std::string_view name, double* out) const;
+  const TimelineWindowStat* FindWindow(double window) const;
+};
+
+/// Aggregated timeline of one join key within one run.
+struct TimelineCellData {
+  CellKey key;
+  int repeats = 0;
+  size_t ticks = 0;           // summed over repeats
+  uint64_t dropped_ticks = 0; // summed over repeats
+  int slo_breaches = 0;       // summed over repeats
+  std::map<std::string, TimelineSeriesStat> series;
+};
+
+/// One parsed --timeline document.
+struct TimelineRunData {
+  std::string source;
+  std::string driver;
+  double interval = 1.0;
+  std::vector<double> windows;
+  std::vector<TimelineCellData> cells;  // sorted by key
+
+  const TimelineCellData* FindCell(const CellKey& key) const;
+};
+
+Result<TimelineRunData> ParseTimeline(std::string_view json,
+                                      std::string source);
+Result<TimelineRunData> LoadTimelineFile(const std::string& path);
+
+/// Markdown digest over N timeline runs: per join key, a probe-series
+/// extrema table and a windowed-percentile table, both with unicode
+/// sparklines, plus the SLO breach summary.
+std::string RenderTimelineMarkdown(const std::vector<TimelineRunData>& runs);
+
+/// Diffs timeline runs against a baseline document:
+/// {
+///   "kind": "timeline",
+///   "driver": "fig5_single_user",
+///   "tolerances": {"p99_max": 0.1, "mean": {"rel": 0.1, "abs": 0.5}},
+///   "entries": [{"cell": ..., "policy": ..., "z": ...,
+///                "series": [{"name": "mapred.job_response", "window": 60,
+///                            "metrics": {"p99_max": 12.5, ...}},
+///                           {"name": "sim.live_size",
+///                            "metrics": {"max": 400, "mean": 210}}]}]
+/// }
+/// Windowed series carry a "window" field (the per-window regression
+/// band); probe series omit it. The tolerance rule is the same as
+/// CheckBaseline: fail when |value - base| > abs + rel * |base|. Missing
+/// cells, series or windows fail.
+Result<BaselineReport> CheckTimelineBaseline(
+    const json::JsonValue& baseline,
+    const std::vector<TimelineRunData>& runs);
+
+/// Renders a fresh timeline baseline from `runs` (first run that has a
+/// cell wins, matching EmitBaseline).
+std::string EmitTimelineBaseline(const std::vector<TimelineRunData>& runs,
+                                 double default_rel_tolerance);
+
 }  // namespace dmr::obs::analysis
 
 #endif  // DMR_OBS_ANALYSIS_H_

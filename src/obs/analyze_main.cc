@@ -12,6 +12,12 @@
 //     --baseline=FILE      diff against a baseline; exit 1 on regression
 //     --emit-baseline=FILE write a fresh baseline from these reports
 //     --rel-tolerance=X    default relative tolerance for --emit-baseline
+//
+//   dmr-analyze timeline [flags] timeline.json [timeline2.json ...]
+//     Joins the bench drivers' --timeline documents instead: markdown
+//     sparkline/extrema tables per cell, and --baseline diffs per-window
+//     percentile regression bands (p50/p90/p99 maxima, counts) plus probe
+//     extrema. Same flags as above except --json.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,10 +34,11 @@ using dmr::Result;
 using dmr::Status;
 using dmr::obs::analysis::BaselineReport;
 using dmr::obs::analysis::RunData;
+using dmr::obs::analysis::TimelineRunData;
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--markdown[=FILE]] [--json=FILE] "
+               "usage: %s [timeline] [--markdown[=FILE]] [--json=FILE] "
                "[--baseline=FILE] [--emit-baseline=FILE] "
                "[--rel-tolerance=X] report.json [report2.json ...]\n",
                argv0);
@@ -67,6 +74,69 @@ Result<std::string> Slurp(const std::string& path) {
   return text;
 }
 
+/// The `dmr-analyze timeline` subcommand: same flag surface as the report
+/// mode (minus --json), over --timeline documents.
+int TimelineMain(const char* argv0, const std::vector<std::string>& paths,
+                 const std::string& markdown_path, bool want_markdown,
+                 const std::string& baseline_path,
+                 const std::string& emit_baseline_path,
+                 double rel_tolerance) {
+  if (paths.empty()) Usage(argv0);
+  std::vector<TimelineRunData> runs;
+  runs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    Result<TimelineRunData> run =
+        dmr::obs::analysis::LoadTimelineFile(path);
+    DieOn(run.status(), path.c_str());
+    runs.push_back(std::move(run).ValueUnsafe());
+  }
+
+  bool render_markdown = want_markdown ||
+                         (baseline_path.empty() && emit_baseline_path.empty());
+  if (render_markdown) {
+    std::string markdown =
+        dmr::obs::analysis::RenderTimelineMarkdown(runs);
+    if (markdown_path.empty()) {
+      std::fputs(markdown.c_str(), stdout);
+    } else {
+      DieOn(WriteFile(markdown_path, markdown), markdown_path.c_str());
+      std::printf("timeline markdown written to %s\n",
+                  markdown_path.c_str());
+    }
+  }
+  if (!emit_baseline_path.empty()) {
+    DieOn(WriteFile(
+              emit_baseline_path,
+              dmr::obs::analysis::EmitTimelineBaseline(runs, rel_tolerance)),
+          emit_baseline_path.c_str());
+    std::printf("timeline baseline written to %s\n",
+                emit_baseline_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    Result<std::string> text = Slurp(baseline_path);
+    DieOn(text.status(), baseline_path.c_str());
+    Result<dmr::json::JsonValue> baseline = dmr::json::JsonParse(*text);
+    DieOn(baseline.status(), baseline_path.c_str());
+    Result<BaselineReport> checked =
+        dmr::obs::analysis::CheckTimelineBaseline(*baseline, runs);
+    DieOn(checked.status(), baseline_path.c_str());
+    for (const std::string& note : checked->notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    if (!checked->ok()) {
+      for (const std::string& failure : checked->failures) {
+        std::fprintf(stderr, "REGRESSION: %s\n", failure.c_str());
+      }
+      std::fprintf(stderr, "dmr-analyze: %zu timeline regression(s) vs %s\n",
+                   checked->failures.size(), baseline_path.c_str());
+      return 1;
+    }
+    std::printf("timeline baseline OK: %d metric(s) checked vs %s\n",
+                checked->entries_checked, baseline_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,9 +146,15 @@ int main(int argc, char** argv) {
   std::string emit_baseline_path;
   double rel_tolerance = 0.05;
   bool want_markdown = false;
+  bool timeline_mode = false;
   std::vector<std::string> report_paths;
 
-  for (int i = 1; i < argc; ++i) {
+  int first_arg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
+    timeline_mode = true;
+    first_arg = 2;
+  }
+  for (int i = first_arg; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--baseline=", 11) == 0) {
       baseline_path = arg + 11;
@@ -104,6 +180,12 @@ int main(int argc, char** argv) {
     }
   }
   if (report_paths.empty()) Usage(argv[0]);
+
+  if (timeline_mode) {
+    if (!json_path.empty()) Usage(argv[0]);
+    return TimelineMain(argv[0], report_paths, markdown_path, want_markdown,
+                        baseline_path, emit_baseline_path, rel_tolerance);
+  }
 
   std::vector<RunData> runs;
   runs.reserve(report_paths.size());

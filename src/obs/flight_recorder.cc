@@ -1,0 +1,189 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/arena.h"
+
+namespace dmr::obs {
+
+std::string_view FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSchedule:
+      return "schedule";
+    case FlightEventKind::kBackup:
+      return "backup";
+    case FlightEventKind::kPreempt:
+      return "preempt";
+    case FlightEventKind::kProviderGrow:
+      return "provider_grow";
+    case FlightEventKind::kProviderWait:
+      return "provider_wait";
+    case FlightEventKind::kProviderEndOfInput:
+      return "provider_end_of_input";
+    case FlightEventKind::kSloBreach:
+      return "slo_breach";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, sim::Arena* arena)
+    : arena_(arena), capacity_(capacity == 0 ? 1 : capacity) {
+  const size_t bytes = capacity_ * sizeof(FlightEvent);
+  void* raw = arena_ != nullptr ? arena_->Allocate(bytes)
+                                : ::operator new(bytes);
+  ring_ = static_cast<FlightEvent*>(raw);
+  // Placement array-new may prepend a cookie; element-wise construction
+  // keeps the layout exactly capacity_ * sizeof(FlightEvent).
+  for (size_t i = 0; i < capacity_; ++i) new (&ring_[i]) FlightEvent();
+}
+
+FlightRecorder::~FlightRecorder() {
+  // FlightEvent is trivially destructible; just return the storage.
+  const size_t bytes = capacity_ * sizeof(FlightEvent);
+  if (arena_ != nullptr) {
+    arena_->Deallocate(ring_, bytes);
+  } else {
+    ::operator delete(ring_);
+  }
+}
+
+void FlightRecorder::Append(const FlightEvent& event) {
+  FlightEvent& slot = ring_[next_seq_ % capacity_];
+  slot = event;
+  slot.seq = next_seq_;
+  ++next_seq_;
+}
+
+size_t FlightRecorder::size() const {
+  return next_seq_ < capacity_ ? static_cast<size_t>(next_seq_) : capacity_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  return next_seq_ < capacity_ ? 0 : next_seq_ - capacity_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  const uint64_t first = next_seq_ - n;
+  for (uint64_t seq = first; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+void FlightRecorder::DumpText(std::FILE* out, std::string_view label) const {
+  std::fprintf(out,
+               "flight[%.*s] capacity=%zu appended=%llu dropped=%llu\n",
+               static_cast<int>(label.size()), label.data(), capacity_,
+               static_cast<unsigned long long>(appended()),
+               static_cast<unsigned long long>(dropped()));
+  for (const FlightEvent& e : Snapshot()) {
+    std::string_view kind = FlightEventKindName(e.kind);
+    std::fprintf(out,
+                 "flight[%.*s] seq=%llu t=%.6f %.*s job=%d node=%d "
+                 "detail=%d value=%.6g\n",
+                 static_cast<int>(label.size()), label.data(),
+                 static_cast<unsigned long long>(e.seq), e.t,
+                 static_cast<int>(kind.size()), kind.data(), e.job, e.node,
+                 e.detail, e.value);
+  }
+}
+
+std::string FlightRecorder::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"capacity\": %zu, \"appended\": %llu, \"dropped\": %llu, "
+                "\"events\": [",
+                capacity_, static_cast<unsigned long long>(appended()),
+                static_cast<unsigned long long>(dropped()));
+  std::string out = buf;
+  bool first = true;
+  for (const FlightEvent& e : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n      {\"seq\": %llu, \"t\": %.17g, \"kind\": \"%.*s\", "
+                  "\"job\": %d, \"node\": %d, \"detail\": %d, "
+                  "\"value\": %.17g}",
+                  static_cast<unsigned long long>(e.seq), e.t,
+                  static_cast<int>(FlightEventKindName(e.kind).size()),
+                  FlightEventKindName(e.kind).data(), e.job, e.node, e.detail,
+                  e.value);
+    out += buf;
+  }
+  out += first ? "]}" : "\n    ]}";
+  return out;
+}
+
+namespace {
+
+struct RegisteredRecorder {
+  const FlightRecorder* recorder;
+  std::string label;
+  uint64_t order;  // registration tiebreak for duplicate labels
+};
+
+std::mutex& FatalDumpMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<RegisteredRecorder>& FatalDumpList() {
+  static std::vector<RegisteredRecorder>* list =
+      new std::vector<RegisteredRecorder>;
+  return *list;
+}
+
+void FatalDumpHook() { DumpRegisteredFlightRecorders(stderr); }
+
+}  // namespace
+
+void RegisterFlightRecorderForFatalDump(const FlightRecorder* recorder,
+                                        std::string label) {
+  std::lock_guard<std::mutex> lock(FatalDumpMutex());
+  std::vector<RegisteredRecorder>& list = FatalDumpList();
+  static uint64_t next_order = 0;
+  list.push_back({recorder, std::move(label), next_order++});
+  Logging::set_fatal_hook(&FatalDumpHook);
+}
+
+void UnregisterFlightRecorderForFatalDump(const FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(FatalDumpMutex());
+  std::vector<RegisteredRecorder>& list = FatalDumpList();
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [recorder](const RegisteredRecorder& r) {
+                              return r.recorder == recorder;
+                            }),
+             list.end());
+  if (list.empty() && Logging::fatal_hook() == &FatalDumpHook) {
+    Logging::set_fatal_hook(nullptr);
+  }
+}
+
+void DumpRegisteredFlightRecorders(std::FILE* out) {
+  // The fatal hook may fire on any thread; take the lock so a concurrent
+  // register/unregister cannot invalidate the list under us. (The failing
+  // thread itself never holds it here — registration sites are setup-time.)
+  std::lock_guard<std::mutex> lock(FatalDumpMutex());
+  std::vector<RegisteredRecorder> sorted = FatalDumpList();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RegisteredRecorder& a, const RegisteredRecorder& b) {
+              if (a.label != b.label) return a.label < b.label;
+              return a.order < b.order;
+            });
+  std::fprintf(out, "=== flight recorder dump (%zu cells) ===\n",
+               sorted.size());
+  for (const RegisteredRecorder& r : sorted) {
+    r.recorder->DumpText(out, r.label);
+  }
+  std::fprintf(out, "=== end flight recorder dump ===\n");
+}
+
+}  // namespace dmr::obs

@@ -61,10 +61,13 @@ class HistogramData {
   /// from any number of threads — report identical percentiles.
   double Percentile(double q) const;
 
- private:
+  /// Bucket mapping, shared with obs::Timeline's sliding-window
+  /// percentiles so the windowed p99 and the end-of-run p99 agree on
+  /// bucket edges. Values <= 0 or non-finite land in bucket 0.
   static int BucketFor(double value);
   static double BucketLowerEdge(int bucket);
 
+ private:
   /// Lazily sized to kNumBuckets on the first observation.
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

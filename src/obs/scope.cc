@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/ledger.h"
+#include "obs/timeline.h"
 
 namespace dmr::obs {
 
@@ -40,6 +41,7 @@ StandardMetrics::StandardMetrics(MetricsRegistry* r) {
 
   task_wait = r->RegisterHistogram("mapred.task_wait", "sim_s");
   task_run = r->RegisterHistogram("mapred.task_run", "sim_s");
+  job_response = r->RegisterHistogram("mapred.job_response", "sim_s");
   heartbeat_assign = r->RegisterHistogram("mapred.heartbeat_assign", "us");
   provider_decision = r->RegisterHistogram("provider.decision", "us");
 
@@ -59,9 +61,25 @@ EventGraph* Scope::graph() const {
   return cell_ != nullptr ? &cell_->graph : nullptr;
 }
 
+Timeline* Scope::timeline() const {
+  return tcell_ != nullptr ? &tcell_->timeline : nullptr;
+}
+
+FlightRecorder* Scope::flight() const {
+  return tcell_ != nullptr ? &tcell_->flight : nullptr;
+}
+
+SloMonitor* Scope::slo() const {
+  return tcell_ != nullptr ? &tcell_->slo : nullptr;
+}
+
 void Scope::Annotate(std::string_view key, std::string_view value) {
-  if (cell_ == nullptr) return;
-  cell_->annotations[std::string(key)] = std::string(value);
+  if (cell_ != nullptr) {
+    cell_->annotations[std::string(key)] = std::string(value);
+  }
+  if (tcell_ != nullptr) {
+    tcell_->annotations[std::string(key)] = std::string(value);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -73,21 +91,23 @@ std::mutex g_hub_mu;
 MetricsRegistry* g_hub_registry = nullptr;
 TraceRecorder* g_hub_recorder = nullptr;
 LedgerBook* g_hub_book = nullptr;
+TimelineBook* g_hub_timelines = nullptr;
 std::atomic<bool> g_hub_active{false};
 std::atomic<uint64_t> g_hub_cell_seq{0};
 
 }  // namespace
 
 void Hub::Install(MetricsRegistry* registry, TraceRecorder* recorder,
-                  LedgerBook* book) {
+                  LedgerBook* book, TimelineBook* timelines) {
   std::lock_guard<std::mutex> lock(g_hub_mu);
   g_hub_registry = registry;
   g_hub_recorder = recorder;
   g_hub_book = book;
+  g_hub_timelines = timelines;
   g_hub_cell_seq.store(0, std::memory_order_relaxed);
-  g_hub_active.store(
-      registry != nullptr || recorder != nullptr || book != nullptr,
-      std::memory_order_release);
+  g_hub_active.store(registry != nullptr || recorder != nullptr ||
+                         book != nullptr || timelines != nullptr,
+                     std::memory_order_release);
 }
 
 void Hub::Uninstall() {
@@ -96,6 +116,7 @@ void Hub::Uninstall() {
   g_hub_registry = nullptr;
   g_hub_recorder = nullptr;
   g_hub_book = nullptr;
+  g_hub_timelines = nullptr;
 }
 
 bool Hub::active() { return g_hub_active.load(std::memory_order_acquire); }
@@ -115,6 +136,11 @@ LedgerBook* Hub::book() {
   return g_hub_book;
 }
 
+TimelineBook* Hub::timeline_book() {
+  std::lock_guard<std::mutex> lock(g_hub_mu);
+  return g_hub_timelines;
+}
+
 std::string Hub::NextCellLabel() {
   uint64_t seq = g_hub_cell_seq.fetch_add(1, std::memory_order_relaxed);
   char buf[32];
@@ -130,7 +156,8 @@ std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
                                         LedgerBook* book,
                                         std::string_view label,
                                         int num_nodes,
-                                        int map_slots_per_node) {
+                                        int map_slots_per_node,
+                                        TimelineBook* timelines) {
   TraceStream* stream = nullptr;
   if (recorder != nullptr) {
     // One pid per node, plus the client/provider track at pid num_nodes.
@@ -145,7 +172,15 @@ std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
   if (book != nullptr) {
     cell = book->NewCell(std::string(label), num_nodes, map_slots_per_node);
   }
-  return std::make_unique<Scope>(registry, stream, cell);
+  TimelineCell* tcell = nullptr;
+  if (timelines != nullptr) {
+    tcell = timelines->NewCell(label);
+    if (stream != nullptr) {
+      // Breach instants land on the client/provider track.
+      tcell->slo.AttachTrace(stream, num_nodes);
+    }
+  }
+  return std::make_unique<Scope>(registry, stream, cell, tcell);
 }
 
 }  // namespace dmr::obs

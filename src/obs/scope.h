@@ -12,9 +12,14 @@
 namespace dmr::obs {
 
 class EventGraph;
+class FlightRecorder;
 class Ledger;
 class LedgerBook;
 struct LedgerCell;
+class SloMonitor;
+class Timeline;
+class TimelineBook;
+struct TimelineCell;
 
 /// \brief The standard pre-registered metric handle set shared by every
 /// instrumented component. Registering the same names twice is safe
@@ -60,11 +65,13 @@ struct StandardMetrics {
   CounterHandle sim_tie_groups;
   CounterHandle sim_tie_events;
 
-  // Latency histograms. task_wait/task_run are in simulated seconds;
-  // heartbeat_assign/provider_decision are host wall-clock microseconds
-  // (they time the *decision code*, which runs in zero simulated time).
+  // Latency histograms. task_wait/task_run/job_response are in simulated
+  // seconds; heartbeat_assign/provider_decision are host wall-clock
+  // microseconds (they time the *decision code*, which runs in zero
+  // simulated time).
   HistogramHandle task_wait;
   HistogramHandle task_run;
+  HistogramHandle job_response;
   HistogramHandle heartbeat_assign;
   HistogramHandle provider_decision;
 
@@ -82,24 +89,37 @@ struct StandardMetrics {
 /// atomic traffic on the simulation hot path unless a scope is attached).
 ///
 /// A Scope pairs one (shared, sharded) MetricsRegistry with one
-/// (per-cell) TraceStream and one (per-cell) LedgerCell holding the
-/// slot-time ledger + critical-path event graph; any may be absent.
+/// (per-cell) TraceStream, one (per-cell) LedgerCell holding the
+/// slot-time ledger + critical-path event graph, and one (per-cell)
+/// TimelineCell holding the virtual-time sampler + SLO monitor + flight
+/// recorder; any may be absent.
 class Scope {
  public:
   Scope(MetricsRegistry* metrics, TraceStream* trace,
-        LedgerCell* cell = nullptr)
-      : metrics_(metrics), trace_(trace), cell_(cell), m_(metrics) {}
+        LedgerCell* cell = nullptr, TimelineCell* tcell = nullptr)
+      : metrics_(metrics),
+        trace_(trace),
+        cell_(cell),
+        tcell_(tcell),
+        m_(metrics) {}
 
   MetricsRegistry* metrics() const { return metrics_; }
   /// Null when tracing is off — callers must check.
   TraceStream* trace() const { return trace_; }
-  /// Null when no ledger book is installed — callers must check. Both are
-  /// defined out-of-line so this header needn't pull in ledger.h.
+  /// Null when no ledger book is installed — callers must check. These
+  /// are defined out-of-line so this header needn't pull in ledger.h /
+  /// timeline.h.
   Ledger* ledger() const;
   EventGraph* graph() const;
+  /// Null when no timeline book is installed — callers must check.
+  Timeline* timeline() const;
+  FlightRecorder* flight() const;
+  SloMonitor* slo() const;
   LedgerCell* cell() const { return cell_; }
+  TimelineCell* timeline_cell() const { return tcell_; }
   /// Attaches a driver-provided (key, value) annotation to the cell (used
-  /// to key cross-run joins in dmr-analyze). No-op without a cell.
+  /// to key cross-run joins in dmr-analyze). Mirrors into both the ledger
+  /// and the timeline cell; no-op when neither is present.
   void Annotate(std::string_view key, std::string_view value);
   const StandardMetrics& m() const { return m_; }
 
@@ -117,6 +137,7 @@ class Scope {
   MetricsRegistry* metrics_;
   TraceStream* trace_;
   LedgerCell* cell_;
+  TimelineCell* tcell_;
   StandardMetrics m_;
 };
 
@@ -131,13 +152,15 @@ class Hub {
  public:
   /// Installs the global session (non-owning; any may be null).
   static void Install(MetricsRegistry* registry, TraceRecorder* recorder,
-                      LedgerBook* book = nullptr);
+                      LedgerBook* book = nullptr,
+                      TimelineBook* timelines = nullptr);
   static void Uninstall();
 
   static bool active();
   static MetricsRegistry* registry();
   static TraceRecorder* recorder();
   static LedgerBook* book();
+  static TimelineBook* timeline_book();
 
   /// Monotone per-install cell sequence, used to label auto-attached
   /// testbed streams ("cell-0001", ...).
@@ -147,14 +170,16 @@ class Hub {
 /// Creates a trace stream + scope for one simulated cluster: pids 0..n-1
 /// are the nodes, pid n is the client/provider track. When `book` is
 /// non-null, a LedgerCell (slot-time ledger + event graph, dimensioned
-/// `num_nodes x map_slots_per_node`) is opened under `label` as well. Any
-/// input may be null; returns a scope recording whatever is available.
+/// `num_nodes x map_slots_per_node`) is opened under `label` as well;
+/// when `timelines` is non-null, a TimelineCell is opened too. Any input
+/// may be null; returns a scope recording whatever is available.
 std::unique_ptr<Scope> MakeClusterScope(MetricsRegistry* registry,
                                         TraceRecorder* recorder,
                                         LedgerBook* book,
                                         std::string_view label,
                                         int num_nodes,
-                                        int map_slots_per_node);
+                                        int map_slots_per_node,
+                                        TimelineBook* timelines = nullptr);
 
 }  // namespace dmr::obs
 

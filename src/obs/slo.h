@@ -1,0 +1,89 @@
+#ifndef DMR_OBS_SLO_H_
+#define DMR_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmr::obs {
+
+class Timeline;
+class TraceStream;
+class FlightRecorder;
+
+/// One declarative service-level objective over a timeline series:
+///   p<quantile>(<series>, <window>s) < max_value
+/// plus an error-budget burn alert: once the fraction of evaluated ticks
+/// in breach exceeds `budget_fraction`, the budget is burned (latched —
+/// a budget, once spent, stays spent for the run).
+struct SloRule {
+  std::string name;        // rule id, e.g. "job_response_p99"
+  std::string series;      // windowed timeline series, e.g. "mapred.job_response"
+  double window = 60.0;    // simulated seconds
+  double quantile = 99.0;  // 50, 90 or 99
+  double max_value = 0.0;  // breach when measured >= max_value
+  double budget_fraction = 1.0;  // burn alert past this breach-tick fraction
+};
+
+/// \brief Evaluates SLO rules against a Timeline each tick and records
+/// breach *instants* — the tick at which a rule crosses from ok to
+/// breached — into the trace (instant event on the client track), the
+/// flight recorder (kSloBreach) and its own JSON report.
+///
+/// Evaluation reads only closed window stats at virtual tick times, so
+/// breach placement inherits the timeline's byte-identity across thread
+/// counts, queue kinds and tie-shuffle seeds.
+class SloMonitor {
+ public:
+  struct Breach {
+    double t = 0.0;
+    int32_t rule = -1;       // index into rules()
+    bool burn = false;       // false: threshold crossing; true: budget burn
+    double measured = 0.0;   // the offending windowed value / burn fraction
+  };
+
+  explicit SloMonitor(Timeline* timeline) : timeline_(timeline) {}
+
+  /// Optional sinks for breach instants (any may stay unset).
+  void AttachTrace(TraceStream* trace, int pid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+  }
+  void AttachFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
+
+  /// Returns the rule index.
+  int AddRule(const SloRule& rule);
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+  const std::vector<Breach>& breaches() const { return breaches_; }
+
+  /// Evaluates every rule at virtual time `now` (call once per closed
+  /// tick, after Timeline::Sample).
+  void Evaluate(double now);
+
+  /// {"rules":[{name, series, window, quantile, max, budget,
+  /// evaluated_ticks, breached_ticks, budget_burned}],
+  ///  "breaches":[{t, rule, kind, measured}]}.
+  std::string ToJson() const;
+
+ private:
+  struct RuleState {
+    uint64_t evaluated_ticks = 0;
+    uint64_t breached_ticks = 0;
+    bool in_breach = false;
+    bool budget_burned = false;
+  };
+
+  Timeline* timeline_;
+  TraceStream* trace_ = nullptr;
+  int trace_pid_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<Breach> breaches_;
+};
+
+}  // namespace dmr::obs
+
+#endif  // DMR_OBS_SLO_H_

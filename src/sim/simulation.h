@@ -309,7 +309,15 @@ class EventHandle {
 ///      a settled cluster state;
 ///   4. kDefault       — unclassified events;
 ///   5. kBookkeeping   — observers (monitors, samplers) see the
-///      post-decision state.
+///      post-decision state;
+///   6. kTelemetry     — meta-observers (the obs::Timeline tick) sample
+///      strictly after every other handler at t, including bookkeeping.
+///
+/// kTelemetry exists because a timeline probe may read kernel statistics
+/// (events fired, queue size) that ordinary bookkeeping handlers perturb:
+/// if the sampling tick could tie with a monitor at the same instant, the
+/// sampled value would depend on the tie order and the timeline would no
+/// longer be byte-identical across --shuffle-ties seeds (DESIGN.md §15).
 ///
 /// Within one (timestamp, class) group the relative order is genuinely
 /// unconstrained: handlers must commute, and the tie-race detector plus
@@ -320,6 +328,7 @@ enum class EventClass : uint8_t {
   kScheduling = 48,
   kDefault = 64,
   kBookkeeping = 80,
+  kTelemetry = 96,
 };
 
 /// \brief Virtual-time tie statistics maintained by the kernel's tie-race

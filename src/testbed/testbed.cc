@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "obs/ledger.h"
+#include "obs/timeline.h"
 
 #include "scheduler/fair_scheduler.h"
 #include "scheduler/fifo_scheduler.h"
@@ -20,7 +21,8 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
                                    obs::Hub::book(),
                                    obs::Hub::NextCellLabel(),
                                    config_.num_nodes,
-                                   config_.map_slots_per_node);
+                                   config_.map_slots_per_node,
+                                   obs::Hub::timeline_book());
     if (obs::TraceStream* trace = scope_->trace()) {
       // Label the per-slot lanes (tid = map slot; the lane after the map
       // slots renders reduce tasks).
@@ -61,10 +63,72 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
   fs_ = std::make_unique<dfs::FileSystem>(config_.num_nodes,
                                           config_.disks_per_node);
   fs_->set_obs(obs);
+  if (obs != nullptr && obs->timeline() != nullptr) SetupTimeline();
+}
+
+void Testbed::SetupTimeline() {
+  obs::Timeline* tl = scope_->timeline();
+
+  // Engine-health probes. Every callback reads state that is a pure
+  // function of virtual time (queue sizes, arena bytes, slot/job counts),
+  // which is what keeps timeline output byte-identical across --threads,
+  // --queue and --shuffle-ties (DESIGN.md §15).
+  tl->AddProbe("sim.live_size", "events", obs::Timeline::SeriesKind::kGauge,
+               [this] { return static_cast<double>(sim_.live_size()); });
+  tl->AddProbe("sim.events_fired", "events",
+               obs::Timeline::SeriesKind::kCounter,
+               [this] { return static_cast<double>(sim_.events_fired()); });
+  tl->AddProbe("sim.arena_bytes", "bytes",
+               obs::Timeline::SeriesKind::kGauge, [this] {
+                 return static_cast<double>(sim_.arena()->bytes_reserved());
+               });
+  tl->AddProbe("cluster.occupied_map_slots", "slots",
+               obs::Timeline::SeriesKind::kGauge, [this] {
+                 return static_cast<double>(cluster_->used_map_slots());
+               });
+  tl->AddProbe("mapred.active_jobs", "jobs",
+               obs::Timeline::SeriesKind::kGauge, [this] {
+                 return static_cast<double>(tracker_->active_jobs());
+               });
+
+  // A permissive default SLO over the windowed job-response p99: a
+  // sampling job that takes an hour has gone badly wrong at any paper
+  // scale. Drivers layer stricter rules via AddSloRule.
+  obs::SloRule rule;
+  rule.name = "job_response_p99_1h";
+  rule.series = "mapred.job_response";
+  rule.window = tl->options().windows.empty() ? 60.0
+                                              : tl->options().windows.back();
+  rule.quantile = 99.0;
+  rule.max_value = 3600.0;
+  scope_->slo()->AddRule(rule);
+
+  // kTelemetry, not kBookkeeping: probes read kernel stats (events fired,
+  // live queue size) that same-instant bookkeeping handlers perturb; the
+  // tick must be totally ordered after them or the sampled values would
+  // depend on the tie order within the instant.
+  timeline_tick_ = sim_.Schedule(tl->options().interval,
+                                 sim::EventClass::kTelemetry,
+                                 [this] { TimelineTick(); });
+}
+
+void Testbed::TimelineTick() {
+  obs::Timeline* tl = scope_->timeline();
+  tl->Sample(sim_.Now());
+  scope_->slo()->Evaluate(sim_.Now());
+  timeline_tick_ = sim_.Schedule(tl->options().interval,
+                                 sim::EventClass::kTelemetry,
+                                 [this] { TimelineTick(); });
+}
+
+int Testbed::AddSloRule(const obs::SloRule& rule) {
+  if (scope_ == nullptr || scope_->slo() == nullptr) return -1;
+  return scope_->slo()->AddRule(rule);
 }
 
 Testbed::~Testbed() {
   monitor_->Stop();
+  timeline_tick_.Cancel();
   if (scope_ != nullptr) {
     // Export the kernel's tie-race totals: under --shuffle-ties these must
     // not move across seeds (tie groups are a property of the schedule,
@@ -75,6 +139,7 @@ Testbed::~Testbed() {
     scope_->Count(scope_->m().sim_tie_events,
                   static_cast<int64_t>(ties.tied_events));
     if (obs::Ledger* ledger = scope_->ledger()) ledger->Seal(sim_.Now());
+    if (obs::Timeline* tl = scope_->timeline()) tl->Seal(sim_.Now());
   }
 }
 

@@ -16,6 +16,7 @@
 #include "mapred/job_tracker.h"
 #include "obs/report.h"
 #include "obs/scope.h"
+#include "obs/slo.h"
 #include "sim/simulation.h"
 #include "tpch/dataset_catalog.h"
 #include "tpch/skew_model.h"
@@ -75,7 +76,16 @@ class Testbed {
   /// digests with p50/p95/p99) and its job-history timeline to `report`.
   void AppendToReport(obs::Report* report) const;
 
+  /// Adds one SLO rule to this cell's monitor (no-op when no timeline
+  /// cell is attached). Returns the rule index, or -1.
+  int AddSloRule(const obs::SloRule& rule);
+
  private:
+  /// Registers the engine-health probes and arms the recurring
+  /// kBookkeeping sampling tick. Only called when a timeline is attached.
+  void SetupTimeline();
+  void TimelineTick();
+
   sim::Simulation sim_;
   std::unique_ptr<obs::Scope> scope_;
   cluster::ClusterConfig config_;
@@ -85,6 +95,7 @@ class Testbed {
   std::unique_ptr<mapred::JobClient> client_;
   std::unique_ptr<cluster::ClusterMonitor> monitor_;
   std::unique_ptr<dfs::FileSystem> fs_;
+  sim::EventHandle timeline_tick_;
 };
 
 /// \brief A generated LINEITEM dataset registered in a testbed's DFS:

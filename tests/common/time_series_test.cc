@@ -22,6 +22,19 @@ TEST(TimeSeriesTest, MinAndMaxTrackExtremes) {
   EXPECT_DOUBLE_EQ(series.Max(), 11.0);
 }
 
+TEST(TimeSeriesTest, MaxOfAllNegativeSeriesIsNegative) {
+  // Max() must seed from the first point: a zero seed would report 0.0
+  // for a series that never reaches zero (e.g. a drift gauge).
+  TimeSeries series;
+  series.Add(0.0, -7.5);
+  series.Add(30.0, -2.5);
+  series.Add(60.0, -11.0);
+  EXPECT_DOUBLE_EQ(series.Max(), -2.5);
+  EXPECT_DOUBLE_EQ(series.Min(), -11.0);
+  EXPECT_DOUBLE_EQ(series.Percentile(100.0), series.Max());
+  EXPECT_DOUBLE_EQ(series.Percentile(0.0), series.Min());
+}
+
 TEST(TimeSeriesTest, PercentileUsesNearestRank) {
   // Four values: rank(q) = ceil(q/100 * 4), 1-based.
   TimeSeries series;

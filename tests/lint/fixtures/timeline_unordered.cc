@@ -1,0 +1,16 @@
+// Timeline-flavoured unordered-output fixture: a telemetry exporter that
+// iterates a probe registry held in an unordered_map while emitting JSON.
+// The real obs::Timeline keeps insertion-ordered probe storage precisely
+// to avoid this hazard; the finding anchors to the for-line below.
+#include <string>
+#include <unordered_map>
+
+std::string ExportTimeline(
+    const std::unordered_map<std::string, double>& probes) {
+  std::string out = "{\"probes\":[";
+  for (const auto& [name, last] : probes) {
+    out += "{\"series\":\"" + name + "\",\"last\":" + std::to_string(last) +
+           "},";
+  }
+  return out + "]}";
+}

@@ -52,6 +52,13 @@ TEST(LintFixtureTest, UnorderedOutputAnchorsToTheLoop) {
   EXPECT_NE(findings[0].message.find("stats"), std::string::npos);
 }
 
+TEST(LintFixtureTest, TimelineExporterUnorderedProbeIteration) {
+  auto findings = LintPath(FixturePath("timeline_unordered.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"unordered-output", 11}}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("probes"), std::string::npos);
+}
+
 TEST(LintFixtureTest, PointerOutput) {
   auto findings = LintPath(FixturePath("pointer_output.cc"));
   EXPECT_EQ(Hits(findings), (Expected{{"pointer-output", 6},

@@ -251,5 +251,97 @@ TEST(BaselineTest, ToleranceBandsAreRespected) {
   EXPECT_FALSE(loose_report->notes.empty());  // drift is surfaced
 }
 
+/// A minimal --timeline document: one cell with one probe series and one
+/// windowed series, shaped like TimelineBook::ToJson. `p99` parameterizes
+/// the 10 s window's whole-run p99 maximum so tests can inject a latency
+/// regression.
+std::string TimelineDoc(double p99) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p99);
+  std::string out = R"({
+  "driver": "unit_driver",
+  "timeline": {
+    "interval": 1,
+    "windows": [10],
+    "cells": [
+      {"label": "cell-0000",
+       "annotations": {"cell": "c1", "policy": "HA", "z": "1"},
+       "timeline": {
+         "ticks": 3, "dropped_ticks": 0, "sealed_at": 3,
+         "series": [
+           {"name": "sim.live", "unit": "events", "kind": "gauge",
+            "summary": {"ticks": 3, "min": 1, "max": 9, "mean": 5,
+                        "last": 5, "t_at_max": 2},
+            "points": [[1, 1, 0], [2, 9, 8], [3, 5, -4]]}],
+         "windowed": [
+           {"name": "job.latency", "unit": "s",
+            "windows": [
+              {"window": 10,
+               "summary": {"count_max": 4, "p50_max": 2.0,
+                           "p90_max": 3.0, "p99_max": )";
+  out += buf;
+  out += R"(},
+               "points": [[1, 2, 1, 1, 2], [2, 4, 2, 3, )";
+  out += buf;
+  out += R"(], [3, 4, 2, 3, 3]]}]}]},
+       "slo": {"rules": [], "breaches": []},
+       "flight_recorder": {"capacity": 8, "appended": 0, "dropped": 0,
+                           "events": []}}
+    ]
+  }
+})";
+  return out;
+}
+
+TEST(TimelineBaselineTest, EmittedBaselineChecksCleanAndCatchesRegression) {
+  auto healthy = ParseTimeline(TimelineDoc(4.0), "healthy.json");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().message();
+  std::vector<TimelineRunData> healthy_runs{healthy.ValueOrDie()};
+
+  auto baseline = json::JsonParse(EmitTimelineBaseline(healthy_runs, 0.05));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().message();
+  auto clean = CheckTimelineBaseline(baseline.ValueOrDie(), healthy_runs);
+  ASSERT_TRUE(clean.ok()) << clean.status().message();
+  EXPECT_TRUE(clean->ok()) << (clean->failures.empty()
+                                   ? ""
+                                   : clean->failures.front());
+  EXPECT_GT(clean->entries_checked, 0);
+
+  // A 3x windowed p99 regression must fail the band.
+  auto slow = ParseTimeline(TimelineDoc(12.0), "slow.json");
+  ASSERT_TRUE(slow.ok()) << slow.status().message();
+  std::vector<TimelineRunData> slow_runs{slow.ValueOrDie()};
+  auto report = CheckTimelineBaseline(baseline.ValueOrDie(), slow_runs);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_FALSE(report->ok());
+  bool mentions_p99 = false;
+  for (const std::string& failure : report->failures) {
+    if (failure.find("p99") != std::string::npos) mentions_p99 = true;
+  }
+  EXPECT_TRUE(mentions_p99);
+
+  // A missing cell is a failure, not a silent skip.
+  auto empty = ParseTimeline(R"({"driver": "unit_driver",
+    "timeline": {"interval": 1, "windows": [10], "cells": []}})",
+                             "empty.json");
+  ASSERT_TRUE(empty.ok()) << empty.status().message();
+  std::vector<TimelineRunData> empty_runs{empty.ValueOrDie()};
+  auto missing = CheckTimelineBaseline(baseline.ValueOrDie(), empty_runs);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->ok());
+}
+
+TEST(TimelineBaselineTest, MarkdownRendersSeriesAndSparklines) {
+  auto run = ParseTimeline(TimelineDoc(4.0), "run.json");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  const std::string markdown =
+      RenderTimelineMarkdown({run.ValueOrDie(), run.ValueOrDie()});
+  EXPECT_NE(markdown.find("sim.live"), std::string::npos);
+  EXPECT_NE(markdown.find("job.latency"), std::string::npos);
+  // Windowed table: header plus a row whose window column is "10".
+  EXPECT_NE(markdown.find("window (s)"), std::string::npos);
+  EXPECT_NE(markdown.find("| job.latency | 10 | "), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dmr::obs::analysis

@@ -1,0 +1,152 @@
+/// \file
+/// FlightRecorder unit tests: ring wraparound accounting, oldest-first
+/// snapshots, arena-backed storage, and the deterministic dump paths
+/// (DumpText and the sorted fatal-dump registry).
+
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "sim/arena.h"
+
+namespace dmr::obs {
+namespace {
+
+/// Runs `fn` against a FILE* and returns everything it wrote.
+template <typename Fn>
+std::string CaptureOutput(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(out.data(), 1, out.size(), f);
+  out.resize(read);
+  std::fclose(f);
+  return out;
+}
+
+void AppendN(FlightRecorder* recorder, int n) {
+  for (int i = 0; i < n; ++i) {
+    recorder->Append(/*t=*/static_cast<double>(i),
+                     FlightEventKind::kSchedule, /*job=*/i, /*node=*/i * 10,
+                     /*detail=*/i + 100, /*value=*/0.5 * i);
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestOldestFirst) {
+  FlightRecorder recorder(4);
+  AppendN(&recorder, 10);
+
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.appended(), 10u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    // Sequences 6..9 survive, oldest first, fields intact.
+    EXPECT_EQ(events[i].seq, static_cast<uint64_t>(6 + i));
+    EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(6 + i));
+    EXPECT_EQ(events[i].job, 6 + i);
+    EXPECT_EQ(events[i].node, (6 + i) * 10);
+    EXPECT_EQ(events[i].detail, 106 + i);
+    EXPECT_DOUBLE_EQ(events[i].value, 0.5 * (6 + i));
+  }
+}
+
+TEST(FlightRecorderTest, UnderfilledRingSnapshotsInAppendOrder) {
+  FlightRecorder recorder(8);
+  AppendN(&recorder, 3);
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(FlightRecorderTest, ArenaBackedRingBehavesLikeHeapBacked) {
+  sim::Arena arena;
+  FlightRecorder arena_backed(4, &arena);
+  FlightRecorder heap_backed(4);
+  AppendN(&arena_backed, 10);
+  AppendN(&heap_backed, 10);
+  EXPECT_EQ(arena_backed.ToJson(), heap_backed.ToJson());
+  const std::string arena_dump = CaptureOutput(
+      [&](std::FILE* f) { arena_backed.DumpText(f, "cell"); });
+  const std::string heap_dump = CaptureOutput(
+      [&](std::FILE* f) { heap_backed.DumpText(f, "cell"); });
+  EXPECT_EQ(arena_dump, heap_dump);
+}
+
+TEST(FlightRecorderTest, DumpTextIsDeterministicAndLabelled) {
+  FlightRecorder recorder(4);
+  AppendN(&recorder, 6);
+  const std::string first = CaptureOutput(
+      [&](std::FILE* f) { recorder.DumpText(f, "cell-0"); });
+  const std::string second = CaptureOutput(
+      [&](std::FILE* f) { recorder.DumpText(f, "cell-0"); });
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("cell-0"), std::string::npos);
+  EXPECT_NE(first.find("schedule"), std::string::npos);
+  // Oldest first: seq 2 must be printed before seq 5.
+  EXPECT_LT(first.find("seq=2"), first.find("seq=5"));
+}
+
+TEST(FlightRecorderTest, RegisteredDumpIsSortedByLabel) {
+  FlightRecorder late(2);
+  FlightRecorder early(2);
+  late.Append(1.0, FlightEventKind::kBackup, 1, 2, 3, 4.0);
+  early.Append(2.0, FlightEventKind::kPreempt, 5, 6, 7, 8.0);
+  RegisterFlightRecorderForFatalDump(&late, "zz-cell");
+  RegisterFlightRecorderForFatalDump(&early, "aa-cell");
+  const std::string dump = CaptureOutput(
+      [](std::FILE* f) { DumpRegisteredFlightRecorders(f); });
+  UnregisterFlightRecorderForFatalDump(&late);
+  UnregisterFlightRecorderForFatalDump(&early);
+  const size_t aa = dump.find("aa-cell");
+  const size_t zz = dump.find("zz-cell");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);  // sorted by label, not registration order
+}
+
+TEST(FlightRecorderTest, ToJsonCarriesCountsAndEvents) {
+  FlightRecorder recorder(4);
+  AppendN(&recorder, 6);
+  auto doc = json::JsonParse(recorder.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  EXPECT_DOUBLE_EQ(doc->NumberOr("capacity", 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(doc->NumberOr("appended", 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(doc->NumberOr("dropped", 0.0), 2.0);
+  const json::JsonValue* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 4u);
+  uint64_t prev_seq = 0;
+  for (size_t i = 0; i < events->items.size(); ++i) {
+    const auto seq =
+        static_cast<uint64_t>(events->items[i].NumberOr("seq", -1.0));
+    if (i > 0) {
+      EXPECT_GT(seq, prev_seq);
+    }
+    prev_seq = seq;
+  }
+}
+
+TEST(FlightRecorderTest, KindNamesAreStable) {
+  EXPECT_EQ(FlightEventKindName(FlightEventKind::kSchedule), "schedule");
+  EXPECT_EQ(FlightEventKindName(FlightEventKind::kSloBreach), "slo_breach");
+}
+
+}  // namespace
+}  // namespace dmr::obs
