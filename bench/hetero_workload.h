@@ -1,10 +1,12 @@
 #ifndef DMR_BENCH_HETERO_WORKLOAD_H_
 #define DMR_BENCH_HETERO_WORKLOAD_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "dfs/file_system.h"
 #include "sampling/sampling_job.h"
 #include "testbed/testbed.h"
 #include "tpch/dataset_catalog.h"
@@ -25,22 +27,38 @@ struct HeteroResult {
   double slot_occupancy_percent = 0;
 };
 
+/// Optional adaptive-layout axis for the V-F extension (DESIGN.md §16):
+/// `divergent_layouts` tags every dataset replica with a cycling
+/// row/columnar/indexed layout (Dittrich et al., per-replica layouts) and
+/// `layout_weight` sets how strongly the Fair Scheduler trades locality
+/// against replica layout quality (ignored by FIFO).
+struct HeteroLayoutOptions {
+  bool divergent_layouts = false;
+  double layout_weight = 0.0;
+};
+
 /// Each call builds a private Testbed, so concurrent calls from the
 /// parallel experiment harness are fully isolated.
-inline Result<HeteroResult> RunHeteroWorkload(testbed::SchedulerKind scheduler,
-                                              const std::string& policy_name,
-                                              int sampling_users,
-                                              double duration = 6.0 * 3600,
-                                              double warmup = 1800.0) {
+inline Result<HeteroResult> RunHeteroWorkload(
+    testbed::SchedulerKind scheduler, const std::string& policy_name,
+    int sampling_users, double duration = 6.0 * 3600, double warmup = 1800.0,
+    const HeteroLayoutOptions& layout = {}) {
   constexpr int kNumUsers = 10;
   constexpr int kScale = 100;
 
-  testbed::Testbed bed(cluster::ClusterConfig::MultiUser(), scheduler);
-  bed.Annotate("cell",
-               std::string(scheduler == testbed::SchedulerKind::kFifo
-                               ? "hetero-fifo-f"
-                               : "hetero-fair-f") +
-                   std::to_string(sampling_users));
+  testbed::Testbed bed(cluster::ClusterConfig::MultiUser(), scheduler,
+                       /*locality_wait=*/5.0, layout.layout_weight);
+  std::string cell = std::string(scheduler == testbed::SchedulerKind::kFifo
+                                     ? "hetero-fifo-f"
+                                     : "hetero-fair-f") +
+                     std::to_string(sampling_users);
+  if (layout.divergent_layouts) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-layout-w%.2f",
+                  layout.layout_weight);
+    cell += suffix;
+  }
+  bed.Annotate("cell", cell);
   bed.Annotate("policy", policy_name);
   bed.Annotate("z", 0.0);
   DMR_ASSIGN_OR_RETURN(dynamic::GrowthPolicy policy,
@@ -52,6 +70,7 @@ inline Result<HeteroResult> RunHeteroWorkload(testbed::SchedulerKind scheduler,
         testbed::Dataset dataset,
         testbed::MakeLineItemDataset(&bed.fs(), kScale, /*z=*/0.0,
                                      7000 + 311 * u, "u" + std::to_string(u)));
+    if (layout.divergent_layouts) dfs::ApplyDivergentLayouts(&dataset.file);
     datasets.push_back(std::move(dataset));
   }
 

@@ -23,6 +23,14 @@
 ///
 /// With --queue given, only that kind runs (the tier-1 smoke uses this to
 /// cross-check the heap oracle); otherwise both kinds run and are compared.
+///
+/// --shards takes a comma list (e.g. --shards=1,2,4,8): each shard count
+/// forms its own digest group (the digest partition is per shard, so cells
+/// are only comparable at equal shard counts) and the driver emits one
+/// `sim_scale_crossover` summary per node count recording the serial
+/// events/sec against the best parallel shard count. When no shard count
+/// beats serial — the current truth at every measured scale, see
+/// EXPERIMENTS.md — the recommendation defaults to serial.
 
 #include <algorithm>
 #include <bit>
@@ -278,7 +286,7 @@ int main(int argc, char** argv) {
   // Driver flags, stripped before the shared parser (which rejects
   // unknown --flags).
   std::string nodes_list = "100,1000,10000";
-  int shards = 4;
+  std::string shards_list = "4";
   double until = 60.0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -286,12 +294,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(arg, "--nodes=", 8) == 0) {
       nodes_list = arg + 8;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
-      shards = std::atoi(arg + 9);
-      if (shards < 1 || shards > 256) {
-        std::fprintf(stderr, "bad --shards value: %s (want 1..256)\n",
-                     arg + 9);
-        return 2;
-      }
+      shards_list = arg + 9;
     } else if (std::strncmp(arg, "--until=", 8) == 0) {
       until = std::atof(arg + 8);
       if (until <= 0.0) {
@@ -305,11 +308,26 @@ int main(int argc, char** argv) {
   argc = kept;
   bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
 
+  std::vector<int> shard_counts;
+  for (const char* p = shards_list.c_str(); *p != '\0';) {
+    char* end = nullptr;
+    long s = std::strtol(p, &end, 10);
+    if (end == p || s < 1 || s > 256) {
+      std::fprintf(stderr, "bad --shards value: %s (want counts in 1..256)\n",
+                   shards_list.c_str());
+      return 2;
+    }
+    shard_counts.push_back(static_cast<int>(s));
+    p = *end == ',' ? end + 1 : end;
+  }
+  const int max_shards =
+      *std::max_element(shard_counts.begin(), shard_counts.end());
+
   std::vector<int> node_counts;
   for (const char* p = nodes_list.c_str(); *p != '\0';) {
     char* end = nullptr;
     long n = std::strtol(p, &end, 10);
-    if (end == p || n < shards || n > 10000000) {
+    if (end == p || n < max_shards || n > 10000000) {
       std::fprintf(stderr, "bad --nodes value: %s (want counts >= shards)\n",
                    nodes_list.c_str());
       return 2;
@@ -333,52 +351,96 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter json;
   TablePrinter table(
-      {"nodes", "queue", "mode", "events", "wall ms", "events/sec",
+      {"nodes", "queue", "mode", "shards", "events", "wall ms", "events/sec",
        "digest"});
   bool ok = true;
   std::vector<std::string> overhead_lines;
+  std::vector<std::string> crossover_lines;
   for (int nodes : node_counts) {
-    std::vector<CellResult> cells;
-    for (QueueKind kind : kinds) {
-      cells.push_back(RunCell(kind, /*parallel=*/false, nodes, shards,
-                              until));
-      cells.push_back(RunCell(kind, /*parallel=*/true, nodes, shards,
-                              until));
-    }
-    for (const CellResult& cell : cells) {
-      double events_per_sec =
-          static_cast<double>(cell.events) / (cell.wall_ms / 1000.0);
-      char wall_buf[32], eps_buf[32], digest_buf[32];
-      std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", cell.wall_ms);
-      std::snprintf(eps_buf, sizeof(eps_buf), "%.3g", events_per_sec);
-      std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
-                    static_cast<unsigned long long>(cell.digest));
-      table.AddRow({std::to_string(nodes), cell.queue, cell.mode,
-                    std::to_string(cell.events), wall_buf, eps_buf,
-                    digest_buf});
-      json.AddCell()
-          .Set("bench", "sim_scale")
-          .Set("nodes", nodes)
-          .Set("queue", cell.queue)
-          .Set("mode", cell.mode)
-          .Set("shards", cell.shards)
-          .Set("events", cell.events)
-          .Set("wall_ms", cell.wall_ms)
-          .Set("events_per_sec", events_per_sec)
-          .Set("digest", digest_buf);
-      if (cell.digest != cells[0].digest || cell.events != cells[0].events) {
-        std::fprintf(stderr,
-                     "FAIL: %s/%s at %d nodes fired %llu events with digest "
-                     "%016llx; expected %llu / %016llx (%s/%s)\n",
-                     cell.queue.c_str(), cell.mode.c_str(), nodes,
-                     static_cast<unsigned long long>(cell.events),
-                     static_cast<unsigned long long>(cell.digest),
-                     static_cast<unsigned long long>(cells[0].events),
-                     static_cast<unsigned long long>(cells[0].digest),
-                     cells[0].queue.c_str(), cells[0].mode.c_str());
-        ok = false;
+    // Crossover bookkeeping (front kind only — calendar unless --queue
+    // forced heap): best serial run vs best parallel run per shard count.
+    double serial_eps = 0.0;
+    double best_par_eps = 0.0;
+    int best_par_shards = 0;
+    uint64_t ref_digest = 0;   // first shard group's digest (overhead cells)
+    for (int shards : shard_counts) {
+      std::vector<CellResult> cells;
+      for (QueueKind kind : kinds) {
+        cells.push_back(RunCell(kind, /*parallel=*/false, nodes, shards,
+                                until));
+        cells.push_back(RunCell(kind, /*parallel=*/true, nodes, shards,
+                                until));
+      }
+      if (shards == shard_counts.front()) ref_digest = cells[0].digest;
+      for (const CellResult& cell : cells) {
+        double events_per_sec =
+            static_cast<double>(cell.events) / (cell.wall_ms / 1000.0);
+        if (cell.queue == cells[0].queue) {
+          if (cell.mode == "serial") {
+            serial_eps = std::max(serial_eps, events_per_sec);
+          } else if (events_per_sec > best_par_eps) {
+            best_par_eps = events_per_sec;
+            best_par_shards = cell.shards;
+          }
+        }
+        char wall_buf[32], eps_buf[32], digest_buf[32];
+        std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", cell.wall_ms);
+        std::snprintf(eps_buf, sizeof(eps_buf), "%.3g", events_per_sec);
+        std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                      static_cast<unsigned long long>(cell.digest));
+        table.AddRow({std::to_string(nodes), cell.queue, cell.mode,
+                      std::to_string(cell.shards),
+                      std::to_string(cell.events), wall_buf, eps_buf,
+                      digest_buf});
+        json.AddCell()
+            .Set("bench", "sim_scale")
+            .Set("nodes", nodes)
+            .Set("queue", cell.queue)
+            .Set("mode", cell.mode)
+            .Set("shards", cell.shards)
+            .Set("events", cell.events)
+            .Set("wall_ms", cell.wall_ms)
+            .Set("events_per_sec", events_per_sec)
+            .Set("digest", digest_buf);
+        // Digest groups are per (nodes, shards): the digest partition is
+        // ShardOf(node), so only equal shard counts are comparable.
+        if (cell.digest != cells[0].digest ||
+            cell.events != cells[0].events) {
+          std::fprintf(stderr,
+                       "FAIL: %s/%s at %d nodes / %d shards fired %llu "
+                       "events with digest %016llx; expected %llu / %016llx "
+                       "(%s/%s)\n",
+                       cell.queue.c_str(), cell.mode.c_str(), nodes,
+                       shards, static_cast<unsigned long long>(cell.events),
+                       static_cast<unsigned long long>(cell.digest),
+                       static_cast<unsigned long long>(cells[0].events),
+                       static_cast<unsigned long long>(cells[0].digest),
+                       cells[0].queue.c_str(), cells[0].mode.c_str());
+          ok = false;
+        }
       }
     }
+    // The serial-by-default recommendation: RunParallel only pays when the
+    // best shard count beats serial on this workload/machine; so far it
+    // never has (EXPERIMENTS.md records the sweep), so drivers keep serial
+    // RunUntil as the default engine and RunParallel stays the explicit
+    // opt-in for scale studies.
+    const bool parallel_pays = best_par_eps > serial_eps;
+    char cross_buf[160];
+    std::snprintf(cross_buf, sizeof(cross_buf),
+                  "%d nodes: serial %.3g ev/s vs best parallel %.3g ev/s "
+                  "(%d shards) -> recommend %s",
+                  nodes, serial_eps, best_par_eps, best_par_shards,
+                  parallel_pays ? "parallel" : "serial");
+    crossover_lines.push_back(cross_buf);
+    json.AddCell()
+        .Set("bench", "sim_scale_crossover")
+        .Set("nodes", nodes)
+        .Set("serial_events_per_sec", serial_eps)
+        .Set("best_parallel_shards", best_par_shards)
+        .Set("best_parallel_events_per_sec", best_par_eps)
+        .Set("parallel_pays", parallel_pays)
+        .Set("recommended_mode", parallel_pays ? "parallel" : "serial");
 
     // Timeline-overhead cells: the same serial program with the obs layer's
     // probe/windowed/flight hot paths attached (see TimelineHooks). Kept
@@ -400,6 +462,7 @@ int main(int argc, char** argv) {
     if (nodes != *std::max_element(node_counts.begin(), node_counts.end())) {
       continue;
     }
+    const int tl_shards = shard_counts.front();  // digest partition only
     for (QueueKind kind : kinds) {
       CellResult base{};
       CellResult with_tl{};
@@ -407,11 +470,11 @@ int main(int argc, char** argv) {
       std::vector<double> null_deltas;
       for (int rep = 0; rep < 5; ++rep) {
         CellResult b1 =
-            RunCell(kind, /*parallel=*/false, nodes, shards, until);
-        CellResult t = RunCell(kind, /*parallel=*/false, nodes, shards, until,
-                               /*with_timeline=*/true);
+            RunCell(kind, /*parallel=*/false, nodes, tl_shards, until);
+        CellResult t = RunCell(kind, /*parallel=*/false, nodes, tl_shards,
+                               until, /*with_timeline=*/true);
         CellResult b2 =
-            RunCell(kind, /*parallel=*/false, nodes, shards, until);
+            RunCell(kind, /*parallel=*/false, nodes, tl_shards, until);
         if (rep == 0 || b1.wall_ms < base.wall_ms) base = b1;
         if (b2.wall_ms < base.wall_ms) base = b2;
         if (rep == 0 || t.wall_ms < with_tl.wall_ms) with_tl = t;
@@ -434,6 +497,7 @@ int main(int argc, char** argv) {
       std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
                     static_cast<unsigned long long>(with_tl.digest));
       table.AddRow({std::to_string(nodes), with_tl.queue, "serial+timeline",
+                    std::to_string(tl_shards),
                     std::to_string(with_tl.events), wall_buf, eps_buf,
                     digest_buf});
       std::snprintf(ovh_buf, sizeof(ovh_buf),
@@ -452,13 +516,13 @@ int main(int argc, char** argv) {
           .Set("median_delta_ms", median_delta)
           .Set("overhead_pct", overhead_pct)
           .Set("noise_floor_pct", noise_floor_pct);
-      if (with_tl.digest != cells[0].digest) {
+      if (with_tl.digest != ref_digest) {
         std::fprintf(stderr,
                      "FAIL: %s/serial+timeline at %d nodes perturbed the "
                      "noted firing sequence (digest %016llx != %016llx)\n",
                      with_tl.queue.c_str(), nodes,
                      static_cast<unsigned long long>(with_tl.digest),
-                     static_cast<unsigned long long>(cells[0].digest));
+                     static_cast<unsigned long long>(ref_digest));
         ok = false;
       }
     }
@@ -467,6 +531,9 @@ int main(int argc, char** argv) {
   std::printf("\n(per-shard FNV digests over the firing sequence, combined "
               "in shard order; every cell in a node-count group must "
               "match)\n");
+  for (const std::string& line : crossover_lines) {
+    std::printf("%s\n", line.c_str());
+  }
   for (const std::string& line : overhead_lines) {
     std::printf("%s\n", line.c_str());
   }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Tier-1 checks for bench_layout_pruning JSON (DESIGN.md §16).
+
+Usage: check_layout_pruning.py RUN_A.json RUN_B.json
+
+Two invariants:
+
+1. Thread-count invariance: the two runs (e.g. --threads=1 vs
+   --threads=4) must agree on every cell field except host wall time
+   and the speedup derived from it.
+2. Pruning invisibility: within each run, every variant of a host
+   (z, selectivity) cell — unpruned/pruned x first/repeated — must
+   report identical match counts, sample row counts and sample
+   digests. Pruning may only move physical-cost counters.
+"""
+
+import json
+import sys
+
+VOLATILE = {"wall_ms", "speedup_vs_unpruned"}
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    cells = doc["cells"] if isinstance(doc, dict) else doc
+    return [{k: v for k, v in cell.items() if k not in VOLATILE}
+            for cell in cells]
+
+
+def check_pruning_invisibility(cells, path):
+    groups = {}
+    for cell in cells:
+        if cell.get("bench") != "layout_pruning":
+            continue
+        key = (cell["z"], cell["selectivity"])
+        groups.setdefault(key, set()).add(
+            (cell["matches"], cell["sample_rows"], cell["sample_digest"]))
+    if not groups:
+        sys.exit(f"{path}: no host layout_pruning cells found")
+    for key, outcomes in sorted(groups.items()):
+        if len(outcomes) != 1:
+            sys.exit(f"{path}: variants disagree at (z, sel)={key}: "
+                     f"{sorted(outcomes)} — pruning changed the sample")
+    return len(groups)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    a, b = sys.argv[1], sys.argv[2]
+    cells_a, cells_b = load_cells(a), load_cells(b)
+    if cells_a != cells_b:
+        for i, (ca, cb) in enumerate(zip(cells_a, cells_b)):
+            if ca != cb:
+                sys.exit(f"thread-count variance at cell {i}:\n"
+                         f"  {a}: {ca}\n  {b}: {cb}")
+        sys.exit(f"cell count differs: {a} has {len(cells_a)}, "
+                 f"{b} has {len(cells_b)}")
+    groups = check_pruning_invisibility(cells_a, a)
+    check_pruning_invisibility(cells_b, b)
+    print(f"layout_pruning OK: {len(cells_a)} cells identical across runs "
+          f"(volatile wall-time fields excluded); match counts and sample "
+          f"digests agree across pruning variants in {groups} cells")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,9 @@
 # tie-shuffle + queue-kind digest invariance check (fig5 metrics AND the
 # virtual-time telemetry timelines must be byte-identical across shuffle
 # seeds and queue implementations), the timeline thread-count invariance +
-# dmr-analyze timeline smoke, then the
+# dmr-analyze timeline smoke, the adaptive-layout smoke (pruning must not
+# change match counts or sample digests, across thread counts, with the
+# simulated cells banded against configs/baselines/), then the
 # concurrency-sensitive tests under ThreadSanitizer and the sim/mapred/obs
 # tests under ASan+UBSan.
 #
@@ -127,13 +129,32 @@ echo "fig5 timeline byte-identical at --threads=1 and --threads=4"
   "${obs_dir}/timeline_t1.json" > /dev/null
 echo "dmr-analyze timeline markdown + baseline round-trip OK"
 
+echo "== tier-1: adaptive-layout smoke (pruning invisibility + thread invariance + baseline) =="
+# DESIGN.md §16: zone-map pruning and piggybacked indexing must be
+# invisible to everything except physical cost. The driver itself asserts
+# per-cell digest agreement across its pruned/unpruned variants; here the
+# checker re-asserts it from the JSON and diffs the two thread counts on
+# every field except host wall time. The simulated cells are then banded
+# against the checked-in baseline.
+for threads in 1 4; do
+  DMR_HOST_CLOCK=frozen ./build/bench/bench_layout_pruning \
+    --threads="${threads}" --reps=3 \
+    --json="${obs_dir}/layout_t${threads}.json" \
+    --metrics="${obs_dir}/layout_metrics_t${threads}.json" > /dev/null
+done
+python3 scripts/check_layout_pruning.py \
+  "${obs_dir}/layout_t1.json" "${obs_dir}/layout_t4.json"
+./build/src/obs/dmr-analyze \
+  --baseline=configs/baselines/layout_pruning.json \
+  "${obs_dir}/layout_metrics_t1.json"
+
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tier-1: ThreadSanitizer pass (pool + kernel + metrics + vectorized + ledger tests) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${jobs}" \
     --target parallel_test simulation_test metrics_test vectorized_test \
              ledger_test run_parallel_test queue_equivalence_test \
-             timeline_test
+             timeline_test layout_pruning_test
   ctest --preset tsan
 else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
@@ -147,7 +168,7 @@ if [[ "${run_asan}" == "1" ]]; then
              job_tracker_test job_client_test metrics_test trace_test \
              ledger_test analysis_test lint_test \
              run_parallel_test queue_equivalence_test \
-             timeline_test flight_recorder_test
+             timeline_test flight_recorder_test layout_pruning_test
   ctest --preset asan
 else
   echo "== tier-1: ASan stage skipped (--no-asan) =="

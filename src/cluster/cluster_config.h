@@ -45,6 +45,17 @@ struct ClusterConfig {
   /// TaskTracker heartbeat period (Hadoop 0.20 default: 3 s).
   double heartbeat_interval = 3.0;
 
+  // --- adaptive-layout cost model (DESIGN.md §16) -----------------------
+
+  /// Bytes a columnar/indexed replica reads relative to the row file for
+  /// the standard filtered scan (only the predicate's columns).
+  double columnar_byte_factor = 0.25;
+
+  /// Floor cost of a stats-read: even a fully pruned split pays for
+  /// fetching and evaluating its zone maps.
+  double stats_read_bytes = 65536.0;
+  double stats_read_records = 64.0;
+
   /// Sampling period of the cluster monitor (the paper samples at 30 s).
   double monitor_interval = 30.0;
 

@@ -4,6 +4,32 @@
 
 namespace dmr::dfs {
 
+const char* ReplicaLayoutToString(ReplicaLayout layout) {
+  switch (layout) {
+    case ReplicaLayout::kRow:
+      return "row";
+    case ReplicaLayout::kColumnar:
+      return "columnar";
+    case ReplicaLayout::kIndexed:
+      return "indexed";
+  }
+  return "unknown";
+}
+
+int LayoutQuality(ReplicaLayout layout) {
+  return static_cast<int>(layout);
+}
+
+void ApplyDivergentLayouts(FileInfo* file) {
+  DMR_CHECK(file != nullptr);
+  for (auto& p : file->partitions) {
+    for (size_t r = 0; r < p.replicas.size(); ++r) {
+      p.replicas[r].layout =
+          static_cast<ReplicaLayout>((p.index + static_cast<int>(r)) % 3);
+    }
+  }
+}
+
 uint64_t FileInfo::total_bytes() const {
   uint64_t total = 0;
   for (const auto& p : partitions) total += p.size_bytes;

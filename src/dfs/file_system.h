@@ -12,11 +12,32 @@
 
 namespace dmr::dfs {
 
+/// \brief Physical layout of one stored replica copy.
+///
+/// Following "Only Aggressive Elephants are Fast Elephants" (Dittrich et
+/// al.), each copy of a partition may keep its own layout, so the
+/// scheduler can pick the cheapest copy for a filtered scan rather than
+/// merely the closest. kRow is the paper's plain un-indexed file (full
+/// read always); kColumnar reads only the predicate's columns and can
+/// skip the whole split when stats prove it empty; kIndexed additionally
+/// carries a piggybacked zone-map index and seeks straight to qualifying
+/// row ranges.
+enum class ReplicaLayout : uint8_t { kRow = 0, kColumnar = 1, kIndexed = 2 };
+
+const char* ReplicaLayoutToString(ReplicaLayout layout);
+
+/// Scan-cost rank of a layout for a filtered scan (higher reads less):
+/// kRow 0, kColumnar 1, kIndexed 2.
+int LayoutQuality(ReplicaLayout layout);
+
 /// \brief One stored copy of a partition.
 struct Replica {
   int node_id = 0;
   int disk_id = 0;
+  ReplicaLayout layout = ReplicaLayout::kRow;
 
+  /// Location identity only; two copies of the same partition in
+  /// different layouts are still the same placement slot.
   bool operator==(const Replica& other) const {
     return node_id == other.node_id && disk_id == other.disk_id;
   }
@@ -56,6 +77,15 @@ struct FileInfo {
   uint64_t total_records() const;
   int num_partitions() const { return static_cast<int>(partitions.size()); }
 };
+
+/// Tags every replica of `file` with a divergent layout, cycling
+/// row/columnar/indexed: replica r of partition i carries layout
+/// (i + r) mod 3. Deterministic, and with replication >= 3 every
+/// partition has one copy of each layout (Dittrich et al.); with fewer
+/// replicas the mix still varies per partition, so both the scheduler's
+/// layout-vs-locality trade-off and the remote-read layout choice are
+/// exercised.
+void ApplyDivergentLayouts(FileInfo* file);
 
 /// \brief Placement strategies for new files.
 enum class Placement {

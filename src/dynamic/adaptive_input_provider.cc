@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "dynamic/split_hints.h"
 
 namespace dmr::dynamic {
 
@@ -44,6 +45,9 @@ int64_t AdaptiveInputProvider::LoadScaledGrab(
 }
 
 std::vector<InputSplit> AdaptiveInputProvider::DrawSplits(int64_t count) {
+  if (options_.use_split_hints) {
+    return TakeCheapestSplits(&unprocessed_, count);
+  }
   std::vector<InputSplit> drawn;
   int64_t n = std::min<int64_t>(count,
                                 static_cast<int64_t>(unprocessed_.size()));
@@ -132,17 +136,29 @@ InputResponse AdaptiveInputProvider::EvaluateImpl(
     return InputResponse::NoInput();
   }
 
-  double records_needed =
-      (static_cast<double>(sample_size_) - expected_total) / selectivity *
-      inflation;
-  double records_per_split =
-      progress.maps_completed > 0
-          ? static_cast<double>(progress.records_processed) /
-                static_cast<double>(progress.maps_completed)
-          : static_cast<double>(unprocessed_.front().num_records);
-  if (records_per_split <= 0.0) records_per_split = 1.0;
-  int64_t splits_needed = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(records_needed / records_per_split)));
+  int64_t splits_needed;
+  if (options_.use_split_hints) {
+    // Per-split yield projection over the cheapest-first grab order
+    // (DESIGN.md §16); the skew inflation widens the matches gap instead
+    // of the records estimate.
+    splits_needed = SplitsNeededWithHints(
+        unprocessed_,
+        (static_cast<double>(sample_size_) - expected_total) * inflation,
+        selectivity);
+  } else {
+    double records_needed =
+        (static_cast<double>(sample_size_) - expected_total) / selectivity *
+        inflation;
+    double records_per_split =
+        progress.maps_completed > 0
+            ? static_cast<double>(progress.records_processed) /
+                  static_cast<double>(progress.maps_completed)
+            : static_cast<double>(unprocessed_.front().num_records);
+    if (records_per_split <= 0.0) records_per_split = 1.0;
+    splits_needed = std::max<int64_t>(
+        1,
+        static_cast<int64_t>(std::ceil(records_needed / records_per_split)));
+  }
 
   int64_t grab = std::min(splits_needed, last_grab_limit_);
   if (grab <= 0) return InputResponse::NoInput();

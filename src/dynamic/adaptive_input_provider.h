@@ -34,6 +34,10 @@ class AdaptiveInputProvider : public mapred::InputProvider {
     double max_skew_inflation = 3.0;
     /// Lower bound on the load-scaled grab (keeps starved jobs alive).
     int64_t min_grab = 1;
+    /// Per-split stats hints (DESIGN.md §16): deterministic cheapest-first
+    /// grab and per-split yield projection, as in
+    /// SamplingInputProvider::Options::use_split_hints.
+    bool use_split_hints = false;
   };
 
   AdaptiveInputProvider(uint64_t seed, Options options);

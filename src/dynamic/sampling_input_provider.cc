@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "dynamic/split_hints.h"
 
 namespace dmr::dynamic {
 
@@ -37,6 +38,9 @@ Status SamplingInputProvider::Initialize(
 }
 
 std::vector<InputSplit> SamplingInputProvider::DrawSplits(int64_t count) {
+  if (options_.use_split_hints) {
+    return TakeCheapestSplits(&unprocessed_, count);
+  }
   std::vector<InputSplit> drawn;
   int64_t n = std::min<int64_t>(count,
                                 static_cast<int64_t>(unprocessed_.size()));
@@ -127,17 +131,27 @@ InputResponse SamplingInputProvider::EvaluateImpl(
   // Records that still need to be scanned to close the gap, and the split
   // count that covers them (records-per-split estimated from the processed
   // prefix, since split metadata record counts may vary; Section IV).
-  double records_needed =
-      (static_cast<double>(sample_size_) - expected_total) / selectivity;
-  double records_per_split =
-      progress.maps_completed > 0
-          ? static_cast<double>(progress.records_processed) /
-                static_cast<double>(progress.maps_completed)
-          : static_cast<double>(unprocessed_.front().num_records);
-  if (records_per_split <= 0.0) records_per_split = 1.0;
-  int64_t splits_needed = static_cast<int64_t>(
-      std::ceil(records_needed / records_per_split));
-  splits_needed = std::max<int64_t>(1, splits_needed);
+  // With per-split hints the projection walks the cheapest-first grab
+  // order and uses each split's own selectivity bound where stats gave
+  // one — the non-stationary-cost refinement of DESIGN.md §16.
+  int64_t splits_needed;
+  if (options_.use_split_hints) {
+    splits_needed = SplitsNeededWithHints(
+        unprocessed_, static_cast<double>(sample_size_) - expected_total,
+        selectivity);
+  } else {
+    double records_needed =
+        (static_cast<double>(sample_size_) - expected_total) / selectivity;
+    double records_per_split =
+        progress.maps_completed > 0
+            ? static_cast<double>(progress.records_processed) /
+                  static_cast<double>(progress.maps_completed)
+            : static_cast<double>(unprocessed_.front().num_records);
+    if (records_per_split <= 0.0) records_per_split = 1.0;
+    splits_needed = static_cast<int64_t>(
+        std::ceil(records_needed / records_per_split));
+    splits_needed = std::max<int64_t>(1, splits_needed);
+  }
 
   int64_t grab = std::min(splits_needed, limit);
   if (grab <= 0) {

@@ -35,6 +35,13 @@ class SamplingInputProvider : public mapred::InputProvider {
     /// job is starved, ignoring the selectivity estimate (ablation knob;
     /// the paper's provider always estimates).
     bool use_selectivity_estimation = true;
+    /// Per-split stats hints (DESIGN.md §16): replace the uniform draw
+    /// with a deterministic cheapest-first grab (ascending scan_fraction)
+    /// and project expected yield per split from hint_selectivity where
+    /// known instead of the single global estimate. This draws a
+    /// *different* (still deterministic) sample than the uniform mode, so
+    /// pruned-vs-unpruned digest comparisons must hold it fixed.
+    bool use_split_hints = false;
   };
 
   /// \param policy  growth policy whose GrabLimit bounds each intake.

@@ -1,0 +1,43 @@
+#include "exec/layout_catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmr::exec {
+
+const PartitionIndex* LayoutCatalog::Find(uint32_t partition_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(partition_id);
+  if (it == indexes_.end()) return nullptr;
+  // std::map nodes are address-stable and entries are never mutated after
+  // insertion, so handing the pointer out of the lock is safe.
+  return &it->second;
+}
+
+bool LayoutCatalog::Register(uint32_t partition_id, PartitionIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.emplace(partition_id, std::move(index)).second;
+}
+
+size_t LayoutCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.size();
+}
+
+PartitionIndex BuildPartitionIndex(const tpch::ColumnarPartition& partition,
+                                   uint32_t batch_rows,
+                                   const tpch::ZoneMapColumns& cols) {
+  DMR_CHECK_GT(batch_rows, 0u);
+  PartitionIndex index;
+  index.num_rows = partition.num_rows();
+  index.batches.reserve((index.num_rows + batch_rows - 1) / batch_rows);
+  for (uint32_t base = 0; base < index.num_rows; base += batch_rows) {
+    uint32_t end = std::min(index.num_rows, base + batch_rows);
+    index.batches.push_back(partition.BuildZoneMap(base, end, cols));
+  }
+  return index;
+}
+
+}  // namespace dmr::exec

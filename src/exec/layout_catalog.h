@@ -1,0 +1,68 @@
+#ifndef DMR_EXEC_LAYOUT_CATALOG_H_
+#define DMR_EXEC_LAYOUT_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "tpch/columnar.h"
+
+namespace dmr::exec {
+
+/// \brief Per-batch refined zone maps for one partition — the piggybacked
+/// index a first map scan leaves behind (Richter et al., "Towards
+/// Zero-Overhead Adaptive Indexing in Hadoop").
+///
+/// One ZoneMap per kVectorBatchRows range, in ascending row order. A
+/// repeated predicate evaluates each batch map and scans only the batches
+/// that may match; everything else is skipped at stats cost.
+struct PartitionIndex {
+  uint32_t num_rows = 0;
+  std::vector<tpch::ZoneMap> batches;
+};
+
+/// \brief Registry of piggybacked per-partition indexes, shared across map
+/// tasks and across queries.
+///
+/// Registration happens as a side effect of the first full scan of a
+/// partition; later scans consult Find(). Entries are immutable once
+/// registered and the map is ordered by partition id, so lookups return
+/// address-stable pointers that remain valid while the catalog lives —
+/// concurrent Find()-then-read from worker threads is safe.
+class LayoutCatalog {
+ public:
+  /// Returns the index for `partition_id`, or nullptr if no scan has
+  /// registered one yet. The pointer stays valid for the catalog lifetime.
+  const PartitionIndex* Find(uint32_t partition_id) const;
+
+  /// Registers the piggybacked index for `partition_id`. Returns true if
+  /// this call inserted it, false if another scan won the race (the first
+  /// registration wins; concurrent scans of one query build identical
+  /// indexes, so the loser's copy is simply dropped). An index built for
+  /// one predicate's columns stays sound for any later predicate: slots it
+  /// never folded are marked invalid and evaluate to kMaybe, which just
+  /// forfeits pruning for that predicate.
+  bool Register(uint32_t partition_id, PartitionIndex index);
+
+  /// Number of partitions with a registered index.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint32_t, PartitionIndex> indexes_;
+};
+
+/// Builds the per-batch refined zone maps of `partition` with
+/// `batch_rows`-row granularity (callers pass exec::kVectorBatchRows so the
+/// index ranges coincide with the vectorized engine's batches). `cols`
+/// selects which slots each batch map folds — the piggybacking scan passes
+/// PredicateProgram::ZoneMapColumnsUsed() so the build sweeps only the
+/// predicate's own columns (near-zero overhead on top of the scan itself).
+PartitionIndex BuildPartitionIndex(
+    const tpch::ColumnarPartition& partition, uint32_t batch_rows,
+    const tpch::ZoneMapColumns& cols = tpch::ZoneMapColumns());
+
+}  // namespace dmr::exec
+
+#endif  // DMR_EXEC_LAYOUT_CATALOG_H_

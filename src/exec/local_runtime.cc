@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "dynamic/sampling_input_provider.h"
+#include "obs/scope.h"
 #include "tpch/lineitem.h"
 
 namespace dmr::exec {
@@ -23,6 +24,7 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTask(
     // No WHERE clause: every record is a candidate (up to the per-map cap).
     out.records_seen = partition.size();
     out.records_matched = partition.size();
+    out.rows_physical = partition.size();
     uint64_t cap = k == 0 ? partition.size() : k;
     for (const auto& row : partition) {
       if (out.emitted.size() >= cap) break;
@@ -40,6 +42,7 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTask(
   }
   out.records_seen = mapper.records_seen();
   out.records_matched = mapper.records_matched();
+  out.rows_physical = out.records_seen;  // the interpreter never prunes
   return out;
 }
 
@@ -53,6 +56,7 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTaskVectorized(
     // No WHERE clause: every record is a candidate (up to the per-map cap).
     out.records_seen = num_rows;
     out.records_matched = num_rows;
+    out.rows_physical = num_rows;
     const uint32_t limit = static_cast<uint32_t>(std::min(cap, num_rows));
     out.refs.reserve(limit);
     for (uint32_t row = 0; row < limit; ++row) {
@@ -62,7 +66,64 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTaskVectorized(
   }
   BoundPredicate bound(program, &partition);
   std::vector<uint32_t> matches;
-  DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
+  if (!options_.zone_map_pruning) {
+    DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
+    out.rows_physical = num_rows;
+  } else {
+    // Adaptive-layout path (DESIGN.md §16). Whatever gets skipped, the
+    // SamplingMapper below still sees `num_rows` records and exactly the
+    // rows a full scan would have matched, so every downstream counter and
+    // RNG draw is byte-identical to the unpruned run.
+    LayoutCatalog* catalog = options_.layout_catalog;
+    const PartitionIndex* index =
+        catalog != nullptr ? catalog->Find(partition_id) : nullptr;
+    const uint32_t rows32 = static_cast<uint32_t>(num_rows);
+    switch (bound.EvaluateZoneMap(partition.zone_map())) {
+      case PruneVerdict::kNoMatch:
+        out.partitions_pruned = 1;
+        break;
+      case PruneVerdict::kAllMatch:
+        out.partitions_pruned = 1;
+        matches.reserve(rows32);
+        for (uint32_t row = 0; row < rows32; ++row) matches.push_back(row);
+        break;
+      case PruneVerdict::kMaybe:
+        if (index != nullptr) {
+          out.index_hit = 1;
+          for (const tpch::ZoneMap& zm : index->batches) {
+            switch (bound.EvaluateZoneMap(zm)) {
+              case PruneVerdict::kNoMatch:
+                ++out.batches_pruned;
+                break;
+              case PruneVerdict::kAllMatch:
+                ++out.batches_pruned;
+                for (uint32_t row = zm.row_begin; row < zm.row_end; ++row) {
+                  matches.push_back(row);
+                }
+                break;
+              case PruneVerdict::kMaybe:
+                out.rows_physical += zm.rows();
+                DMR_RETURN_NOT_OK(
+                    bound.FilterRange(zm.row_begin, zm.row_end, &matches));
+                break;
+            }
+          }
+        } else {
+          // First undecided scan: full filter, and piggyback the per-batch
+          // index for repeated predicates on this partition.
+          out.rows_physical = num_rows;
+          DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
+          if (catalog != nullptr &&
+              catalog->Register(partition_id,
+                                BuildPartitionIndex(
+                                    partition, kVectorBatchRows,
+                                    program->ZoneMapColumnsUsed()))) {
+            out.index_built = 1;
+          }
+        }
+        break;
+    }
+  }
   sampling::SamplingMapper mapper(nullptr, &tpch::LineItemSchema(), cap);
   mapper.MapMatches(num_rows, matches, partition_id, &out.refs);
   out.records_seen = mapper.records_seen();
@@ -111,6 +172,50 @@ Result<LocalRunResult> LocalRuntime::Execute(
     columnar = &local_columnar;
   }
 
+  // With pruning on, stamp each split with its stats hints (DESIGN.md
+  // §16): the zone-map verdict bounds the selectivity, and a registered
+  // piggybacked index refines the scan fraction to the qualifying
+  // batches. The hints feed the provider's cost-aware mode and the
+  // simulator's cost model; the default-constructed values (1.0 / -1)
+  // leave every consumer at full-scan behaviour.
+  if (vectorized && program != nullptr && options_.zone_map_pruning) {
+    for (InputSplit& split : splits) {
+      const tpch::ColumnarPartition& part = (*columnar)[split.index];
+      if (part.num_rows() == 0) {
+        split.scan_fraction = 0.0;
+        split.hint_selectivity = 0.0;
+        continue;
+      }
+      BoundPredicate bound(program.get(), &part);
+      switch (bound.EvaluateZoneMap(part.zone_map())) {
+        case PruneVerdict::kNoMatch:
+          split.scan_fraction = 0.0;
+          split.hint_selectivity = 0.0;
+          break;
+        case PruneVerdict::kAllMatch:
+          split.scan_fraction = 0.0;
+          split.hint_selectivity = 1.0;
+          break;
+        case PruneVerdict::kMaybe:
+          if (options_.layout_catalog != nullptr) {
+            const PartitionIndex* index = options_.layout_catalog->Find(
+                static_cast<uint32_t>(split.index));
+            if (index != nullptr && index->num_rows > 0) {
+              uint64_t maybe_rows = 0;
+              for (const tpch::ZoneMap& zm : index->batches) {
+                if (bound.EvaluateZoneMap(zm) == PruneVerdict::kMaybe) {
+                  maybe_rows += zm.rows();
+                }
+              }
+              split.scan_fraction = static_cast<double>(maybe_rows) /
+                                    static_cast<double>(index->num_rows);
+            }
+          }
+          break;
+      }
+    }
+  }
+
   const uint64_t k = query.limit;
   mapred::ClusterStatus status;
   status.total_map_slots = options_.num_threads;
@@ -121,8 +226,10 @@ Result<LocalRunResult> LocalRuntime::Execute(
   std::vector<std::vector<InputSplit>> batches;
   std::unique_ptr<dynamic::SamplingInputProvider> provider;
   if (query.is_sampling()) {
+    dynamic::SamplingInputProvider::Options popts;
+    popts.use_split_hints = options_.cost_aware_grab;
     provider = std::make_unique<dynamic::SamplingInputProvider>(
-        policy, options_.seed);
+        policy, options_.seed, popts);
     DMR_RETURN_NOT_OK(provider->Initialize(splits, query.conf));
   }
 
@@ -162,6 +269,11 @@ Result<LocalRunResult> LocalRuntime::Execute(
         progress.output_records += out->emitted.size() + out->refs.size();
         result.records_scanned += out->records_seen;
         result.partitions_processed += 1;
+        result.rows_physically_scanned += out->rows_physical;
+        result.partitions_pruned += out->partitions_pruned;
+        result.batches_pruned += out->batches_pruned;
+        result.index_builds += out->index_built;
+        result.index_hits += out->index_hit;
         for (auto& tuple : out->emitted) {
           candidates.push_back(std::move(tuple));
         }
@@ -200,6 +312,21 @@ Result<LocalRunResult> LocalRuntime::Execute(
   }
 
   result.candidate_records = candidates.size() + ref_candidates.size();
+
+  if (options_.obs != nullptr) {
+    obs::Scope* s = options_.obs;
+    s->Count(s->m().exec_partitions_pruned,
+             static_cast<int64_t>(result.partitions_pruned));
+    s->Count(s->m().exec_batches_pruned,
+             static_cast<int64_t>(result.batches_pruned));
+    s->Count(s->m().exec_rows_skipped,
+             static_cast<int64_t>(result.records_scanned -
+                                  result.rows_physically_scanned));
+    s->Count(s->m().exec_index_builds,
+             static_cast<int64_t>(result.index_builds));
+    s->Count(s->m().exec_index_hits,
+             static_cast<int64_t>(result.index_hits));
+  }
 
   // Reduce phase: trim to k (Algorithm 2) and project. The vectorized path
   // reduces positions and materializes only the final sample's projected

@@ -6,11 +6,16 @@
 
 #include "common/result.h"
 #include "dynamic/growth_policy.h"
+#include "exec/layout_catalog.h"
 #include "exec/vectorized.h"
 #include "expr/expression.h"
 #include "hive/compiler.h"
 #include "sampling/sampler.h"
 #include "tpch/generator.h"
+
+namespace dmr::obs {
+class Scope;
+}  // namespace dmr::obs
 
 namespace dmr::exec {
 
@@ -25,6 +30,28 @@ struct LocalRunOptions {
   /// same result rows in the same order for the same (seed, dataset); the
   /// interpreted engine remains as the correctness oracle.
   Engine engine = Engine::kVectorized;
+  /// Zone-map pruning (DESIGN.md §16): evaluate the compiled predicate
+  /// against per-partition stats and skip partitions/batches that provably
+  /// cannot match. Vectorized engine only. Match counts, sampled rows and
+  /// the provider's counter stream are byte-identical with pruning on or
+  /// off — a pruned partition still reports its rows as seen and zero
+  /// matched, exactly like a real scan; only the physical cost changes.
+  bool zone_map_pruning = false;
+  /// Piggybacked adaptive indexing (Richter et al.): the first full scan
+  /// of a partition registers per-batch refined zone maps here as a side
+  /// effect; repeated predicates then scan only qualifying batches. Null
+  /// disables; only consulted when zone_map_pruning is on. The catalog
+  /// must outlive the runtime and belong to this dataset.
+  LayoutCatalog* layout_catalog = nullptr;
+  /// Observability scope for the exec.* pruning/indexing counters
+  /// (null = off, the usual zero-overhead contract).
+  obs::Scope* obs = nullptr;
+  /// Let the sampling provider consume the per-split stats hints computed
+  /// under zone_map_pruning: cheapest-first grab and per-split yield
+  /// projection instead of the uniform draw. Draws a different (still
+  /// deterministic) sample — keep it off when comparing digests against
+  /// the uniform path.
+  bool cost_aware_grab = false;
 };
 
 /// \brief Outcome of a local run.
@@ -40,6 +67,19 @@ struct LocalRunResult {
   int provider_rounds = 0;
   /// Final selectivity estimate (-1 when nothing was processed).
   double estimated_selectivity = -1.0;
+  /// Physical-cost counters of the adaptive-layout path. records_scanned
+  /// above is the logical count (unchanged by pruning); this is what the
+  /// engine actually touched. Equal to records_scanned when pruning is off.
+  uint64_t rows_physically_scanned = 0;
+  /// Partitions skipped whole (or resolved whole) by the partition-level
+  /// zone map.
+  uint64_t partitions_pruned = 0;
+  /// Batches skipped (or resolved) by a piggybacked per-batch index.
+  uint64_t batches_pruned = 0;
+  /// Piggybacked indexes registered by this run's first scans.
+  uint64_t index_builds = 0;
+  /// Map tasks that consumed a previously registered index.
+  uint64_t index_hits = 0;
 };
 
 /// \brief Executes compiled queries over materialized datasets on the local
@@ -71,6 +111,12 @@ class LocalRuntime {
     std::vector<sampling::RowRef> refs;
     uint64_t records_seen = 0;
     uint64_t records_matched = 0;
+    // Adaptive-layout accounting (see LocalRunResult).
+    uint64_t rows_physical = 0;
+    uint32_t partitions_pruned = 0;
+    uint32_t batches_pruned = 0;
+    uint32_t index_built = 0;
+    uint32_t index_hit = 0;
   };
 
   /// Applies Algorithm 1 to one partition (interpreted engine).

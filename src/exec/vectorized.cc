@@ -1,7 +1,9 @@
 #include "exec/vectorized.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/logging.h"
 #include "tpch/lineitem.h"
@@ -175,6 +177,32 @@ struct PredicateProgram::DictTableSpec {
 
 PredicateProgram::~PredicateProgram() = default;
 size_t PredicateProgram::num_instructions() const { return code_.size(); }
+
+tpch::ZoneMapColumns PredicateProgram::ZoneMapColumnsUsed() const {
+  tpch::ZoneMapColumns cols = tpch::ZoneMapColumns::None();
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case Op::kLoadColI64:
+      case Op::kLoadColF64:
+      case Op::kCmpColLit:
+      case Op::kDictTable:
+      case Op::kInColI64:
+      case Op::kInColF64:
+      case Op::kInColDate:
+        cols.MarkColumn(ins.col);
+        break;
+      case Op::kCmpColCol:
+        cols.MarkColumn(ins.col);
+        cols.MarkColumn(ins.col2);
+        break;
+      default:
+        // kCmpStrGeneric / kLikeDateCol land on kMaybe without reading zone
+        // slots; arithmetic and boolean ops read registers, not columns.
+        break;
+    }
+  }
+  return cols;
+}
 PredicateProgram::PredicateProgram(PredicateProgram&&) noexcept = default;
 PredicateProgram& PredicateProgram::operator=(PredicateProgram&&) noexcept =
     default;
@@ -1346,6 +1374,441 @@ Result<uint64_t> CountMatches(const PredicateProgram& program,
   matches.reserve(partition.num_rows());
   DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
   return static_cast<uint64_t>(matches.size());
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning: tri-state abstract interpretation of the program
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Tri : uint8_t { kFalse, kMaybe, kTrue };
+
+Tri TriNot(Tri t) {
+  if (t == Tri::kFalse) return Tri::kTrue;
+  if (t == Tri::kTrue) return Tri::kFalse;
+  return Tri::kMaybe;
+}
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kMaybe;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kMaybe;
+}
+
+/// Integer interval; `top` = unbounded (e.g. after an overflowing multiply,
+/// where the real lanes would wrap — widening to top stays sound).
+struct AbsI64 {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool top = true;
+};
+
+/// Double interval; `top` = unknown.
+struct AbsF64 {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool top = true;
+};
+
+AbsI64 I64Interval(int64_t lo, int64_t hi) { return {lo, hi, false}; }
+AbsF64 F64Interval(double lo, double hi) { return {lo, hi, false}; }
+
+/// Clamps an exactly-computed 128-bit interval back to int64, widening to
+/// top when a bound leaves the representable range.
+AbsI64 ClampI64(__int128 lo, __int128 hi) {
+  constexpr __int128 kMin = std::numeric_limits<int64_t>::min();
+  constexpr __int128 kMax = std::numeric_limits<int64_t>::max();
+  if (lo < kMin || hi > kMax) return AbsI64{};
+  return I64Interval(static_cast<int64_t>(lo), static_cast<int64_t>(hi));
+}
+
+/// Interval-vs-interval comparison. IEEE note: a NaN endpoint fails every
+/// ordered test below, which lands on kMaybe — the sound answer.
+template <typename T>
+Tri CmpIntervals(BinaryOp cmp, T lo1, T hi1, T lo2, T hi2) {
+  switch (cmp) {
+    case BinaryOp::kLt:
+      if (hi1 < lo2) return Tri::kTrue;
+      if (lo1 >= hi2) return Tri::kFalse;
+      return Tri::kMaybe;
+    case BinaryOp::kLe:
+      if (hi1 <= lo2) return Tri::kTrue;
+      if (lo1 > hi2) return Tri::kFalse;
+      return Tri::kMaybe;
+    case BinaryOp::kGt:
+      if (lo1 > hi2) return Tri::kTrue;
+      if (hi1 <= lo2) return Tri::kFalse;
+      return Tri::kMaybe;
+    case BinaryOp::kGe:
+      if (lo1 >= hi2) return Tri::kTrue;
+      if (hi1 < lo2) return Tri::kFalse;
+      return Tri::kMaybe;
+    case BinaryOp::kEq:
+      if (hi1 < lo2 || hi2 < lo1) return Tri::kFalse;
+      if (lo1 == hi1 && lo2 == hi2 && lo1 == lo2) return Tri::kTrue;
+      return Tri::kMaybe;
+    case BinaryOp::kNe:
+      return TriNot(CmpIntervals(BinaryOp::kEq, lo1, hi1, lo2, hi2));
+    default:
+      break;
+  }
+  DMR_CHECK(false);
+  return Tri::kMaybe;
+}
+
+/// Interval membership in a sorted IN set: kFalse when no element lies in
+/// [lo, hi], kTrue when the interval is a single present point.
+template <typename T, typename SetT>
+Tri InInterval(T lo, T hi, const std::vector<SetT>& set) {
+  auto it = std::lower_bound(set.begin(), set.end(), static_cast<SetT>(lo));
+  if (it == set.end() || static_cast<T>(*it) > hi) return Tri::kFalse;
+  if (lo == hi) return Tri::kTrue;
+  return Tri::kMaybe;
+}
+
+bool FiniteInterval(const AbsF64& a) {
+  return std::isfinite(a.lo) && std::isfinite(a.hi);
+}
+
+}  // namespace
+
+const char* PruneVerdictToString(PruneVerdict verdict) {
+  switch (verdict) {
+    case PruneVerdict::kNoMatch: return "no-match";
+    case PruneVerdict::kMaybe: return "maybe";
+    case PruneVerdict::kAllMatch: return "all-match";
+  }
+  return "?";
+}
+
+PruneVerdict BoundPredicate::EvaluateZoneMap(const tpch::ZoneMap& zm) const {
+  using Instr = PredicateProgram::Instr;
+  // An empty range has no rows to match; skipping it is trivially sound.
+  if (zm.rows() == 0) return PruneVerdict::kNoMatch;
+
+  std::vector<AbsI64> i64(program_->num_i64_slots_);
+  std::vector<AbsF64> f64(program_->num_f64_slots_);
+  std::vector<Tri> bools(program_->num_bool_slots_, Tri::kMaybe);
+  // Set when a real scan of the range might raise a runtime error the
+  // abstract run cannot rule out (division by zero); forces kMaybe so the
+  // scan — and its error — still happens.
+  bool poisoned = false;
+
+  // A slot the map never folded (a piggybacked index built for a predicate
+  // over other columns) reads as the full range: `top` for the operators
+  // that check it, real full-range endpoints for the comparison paths that
+  // consume lo/hi directly — either way the verdict degrades to kMaybe.
+  auto col_i64 = [&zm](int col) {
+    int slot = tpch::LineItemColumnSlot(col);
+    if (!zm.I64Valid(slot)) {
+      return AbsI64{std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max(), true};
+    }
+    return I64Interval(zm.i64_min[slot], zm.i64_max[slot]);
+  };
+  auto col_f64 = [&zm](int col) {
+    int slot = tpch::LineItemColumnSlot(col);
+    if (!zm.F64Valid(slot)) {
+      return AbsF64{-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(), true};
+    }
+    return F64Interval(zm.f64_min[slot], zm.f64_max[slot]);
+  };
+  auto col_date = [&zm](int col) {
+    int slot = tpch::LineItemColumnSlot(col);
+    if (!zm.DateValid(slot)) {
+      return AbsI64{std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max(), true};
+    }
+    return I64Interval(zm.date_min[slot], zm.date_max[slot]);
+  };
+  // A numeric column as a double interval (promoting int64 columns, the
+  // kCmpColLit lit_kind == 1 and mixed kCmpColCol paths).
+  auto col_num_f64 = [&](int col) {
+    if (tpch::LineItemColumnKind(col) == ColumnKind::kInt64) {
+      AbsI64 a = col_i64(col);
+      return F64Interval(static_cast<double>(a.lo),
+                         static_cast<double>(a.hi));
+    }
+    return col_f64(col);
+  };
+
+  for (const Instr& ins : program_->code_) {
+    switch (ins.op) {
+      case Op::kLoadColI64:
+        i64[ins.out] = col_i64(ins.col);
+        break;
+      case Op::kLoadColF64:
+        f64[ins.out] = col_f64(ins.col);
+        break;
+      case Op::kLoadLitI64:
+        i64[ins.out] = I64Interval(ins.i64, ins.i64);
+        break;
+      case Op::kLoadLitF64:
+        f64[ins.out] = F64Interval(ins.f64, ins.f64);
+        break;
+      case Op::kLoadLitBool:
+        bools[ins.out] = ins.flag ? Tri::kTrue : Tri::kFalse;
+        break;
+      case Op::kCastI64ToF64: {
+        const AbsI64& a = i64[ins.in1];
+        f64[ins.out] = a.top ? AbsF64{}
+                             : F64Interval(static_cast<double>(a.lo),
+                                           static_cast<double>(a.hi));
+        break;
+      }
+      case Op::kAddI64:
+      case Op::kSubI64:
+      case Op::kMulI64: {
+        const AbsI64& a = i64[ins.in1];
+        const AbsI64& b = i64[ins.in2];
+        if (a.top || b.top) {
+          i64[ins.out] = AbsI64{};
+          break;
+        }
+        __int128 lo;
+        __int128 hi;
+        if (ins.op == Op::kAddI64) {
+          lo = static_cast<__int128>(a.lo) + b.lo;
+          hi = static_cast<__int128>(a.hi) + b.hi;
+        } else if (ins.op == Op::kSubI64) {
+          lo = static_cast<__int128>(a.lo) - b.hi;
+          hi = static_cast<__int128>(a.hi) - b.lo;
+        } else {
+          const __int128 p[4] = {static_cast<__int128>(a.lo) * b.lo,
+                                 static_cast<__int128>(a.lo) * b.hi,
+                                 static_cast<__int128>(a.hi) * b.lo,
+                                 static_cast<__int128>(a.hi) * b.hi};
+          lo = std::min(std::min(p[0], p[1]), std::min(p[2], p[3]));
+          hi = std::max(std::max(p[0], p[1]), std::max(p[2], p[3]));
+        }
+        i64[ins.out] = ClampI64(lo, hi);
+        break;
+      }
+      case Op::kNegI64: {
+        const AbsI64& a = i64[ins.in1];
+        i64[ins.out] = a.top ? AbsI64{}
+                             : ClampI64(-static_cast<__int128>(a.hi),
+                                        -static_cast<__int128>(a.lo));
+        break;
+      }
+      case Op::kAddF64:
+      case Op::kSubF64:
+      case Op::kMulF64: {
+        const AbsF64& a = f64[ins.in1];
+        const AbsF64& b = f64[ins.in2];
+        // Non-finite endpoints could make the corner products NaN; widen
+        // instead of reasoning about them.
+        if (a.top || b.top || !FiniteInterval(a) || !FiniteInterval(b)) {
+          f64[ins.out] = AbsF64{};
+          break;
+        }
+        if (ins.op == Op::kAddF64) {
+          f64[ins.out] = F64Interval(a.lo + b.lo, a.hi + b.hi);
+        } else if (ins.op == Op::kSubF64) {
+          f64[ins.out] = F64Interval(a.lo - b.hi, a.hi - b.lo);
+        } else {
+          const double p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                               a.hi * b.hi};
+          double lo = p[0];
+          double hi = p[0];
+          for (int i = 1; i < 4; ++i) {
+            lo = std::min(lo, p[i]);
+            hi = std::max(hi, p[i]);
+          }
+          f64[ins.out] = F64Interval(lo, hi);
+        }
+        break;
+      }
+      case Op::kDivF64: {
+        const AbsF64& a = f64[ins.in1];
+        const AbsF64& b = f64[ins.in2];
+        // The divisor interval may contain zero (or is unknown): a real
+        // scan could raise the division-by-zero error, so this range must
+        // not be skipped on any account.
+        if (b.top || (b.lo <= 0.0 && b.hi >= 0.0)) {
+          poisoned = true;
+          f64[ins.out] = AbsF64{};
+          break;
+        }
+        if (a.top || !FiniteInterval(a) || !FiniteInterval(b)) {
+          f64[ins.out] = AbsF64{};
+          break;
+        }
+        const double p[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo,
+                             a.hi / b.hi};
+        double lo = p[0];
+        double hi = p[0];
+        for (int i = 1; i < 4; ++i) {
+          lo = std::min(lo, p[i]);
+          hi = std::max(hi, p[i]);
+        }
+        f64[ins.out] = F64Interval(lo, hi);
+        break;
+      }
+      case Op::kNegF64: {
+        const AbsF64& a = f64[ins.in1];
+        f64[ins.out] = a.top ? AbsF64{} : F64Interval(-a.hi, -a.lo);
+        break;
+      }
+      case Op::kCmpI64: {
+        const AbsI64& a = i64[ins.in1];
+        const AbsI64& b = i64[ins.in2];
+        bools[ins.out] = (a.top || b.top)
+                             ? Tri::kMaybe
+                             : CmpIntervals(ins.cmp, a.lo, a.hi, b.lo, b.hi);
+        break;
+      }
+      case Op::kCmpF64: {
+        const AbsF64& a = f64[ins.in1];
+        const AbsF64& b = f64[ins.in2];
+        bools[ins.out] = (a.top || b.top)
+                             ? Tri::kMaybe
+                             : CmpIntervals(ins.cmp, a.lo, a.hi, b.lo, b.hi);
+        break;
+      }
+      case Op::kCmpBool: {
+        Tri a = bools[ins.in1];
+        Tri b = bools[ins.in2];
+        if (a == Tri::kMaybe || b == Tri::kMaybe) {
+          bools[ins.out] = Tri::kMaybe;
+          break;
+        }
+        bool r = false;
+        WithCmp(ins.cmp, [&](auto cmp) {
+          r = cmp(a == Tri::kTrue, b == Tri::kTrue);
+        });
+        bools[ins.out] = r ? Tri::kTrue : Tri::kFalse;
+        break;
+      }
+      case Op::kCmpColLit: {
+        if (ins.lit_kind == 0) {
+          AbsI64 a = col_i64(ins.col);
+          bools[ins.out] =
+              CmpIntervals(ins.cmp, a.lo, a.hi, ins.i64, ins.i64);
+        } else if (ins.lit_kind == 1) {
+          AbsF64 a = col_num_f64(ins.col);
+          bools[ins.out] =
+              CmpIntervals(ins.cmp, a.lo, a.hi, ins.f64, ins.f64);
+        } else {
+          AbsI64 a = col_date(ins.col);
+          bools[ins.out] = CmpIntervals(ins.cmp, a.lo, a.hi,
+                                        static_cast<int64_t>(ins.date),
+                                        static_cast<int64_t>(ins.date));
+        }
+        break;
+      }
+      case Op::kCmpColCol: {
+        ColumnKind ka = tpch::LineItemColumnKind(ins.col);
+        ColumnKind kb = tpch::LineItemColumnKind(ins.col2);
+        if (ka == ColumnKind::kDate32) {
+          AbsI64 a = col_date(ins.col);
+          AbsI64 b = col_date(ins.col2);
+          bools[ins.out] = CmpIntervals(ins.cmp, a.lo, a.hi, b.lo, b.hi);
+        } else if (ka == ColumnKind::kInt64 && kb == ColumnKind::kInt64) {
+          AbsI64 a = col_i64(ins.col);
+          AbsI64 b = col_i64(ins.col2);
+          bools[ins.out] = CmpIntervals(ins.cmp, a.lo, a.hi, b.lo, b.hi);
+        } else {
+          AbsF64 a = col_num_f64(ins.col);
+          AbsF64 b = col_num_f64(ins.col2);
+          bools[ins.out] = CmpIntervals(ins.cmp, a.lo, a.hi, b.lo, b.hi);
+        }
+        break;
+      }
+      case Op::kDictTable: {
+        // Reduce the bind-time truth table over the codes present in the
+        // range. Codes are iterated in ascending order (deterministic).
+        const std::vector<uint8_t>& table = dict_tables_[ins.slot];
+        int dslot = tpch::LineItemColumnSlot(ins.col);
+        if (!zm.DictValid(dslot)) {
+          // No presence bitmap for this range: any subset of the dictionary
+          // could occur, so the reduction is undecided.
+          bools[ins.out] = Tri::kMaybe;
+          break;
+        }
+        bool any_true = false;
+        bool any_false = false;
+        for (uint32_t code = 0;
+             code < table.size() && !(any_true && any_false); ++code) {
+          if (!zm.DictHas(dslot, code)) continue;
+          (table[code] ? any_true : any_false) = true;
+        }
+        bools[ins.out] = any_true
+                             ? (any_false ? Tri::kMaybe : Tri::kTrue)
+                             : (any_false ? Tri::kFalse : Tri::kMaybe);
+        break;
+      }
+      case Op::kCmpStrGeneric:
+      case Op::kLikeDateCol:
+        bools[ins.out] = Tri::kMaybe;
+        break;
+      case Op::kInColI64: {
+        AbsI64 a = col_i64(ins.col);
+        bools[ins.out] =
+            InInterval(a.lo, a.hi, program_->i64_sets_[ins.slot]);
+        break;
+      }
+      case Op::kInColF64: {
+        AbsF64 a = col_f64(ins.col);
+        bools[ins.out] =
+            InInterval(a.lo, a.hi, program_->f64_sets_[ins.slot]);
+        break;
+      }
+      case Op::kInColDate: {
+        AbsI64 a = col_date(ins.col);
+        bools[ins.out] =
+            InInterval(static_cast<int32_t>(a.lo), static_cast<int32_t>(a.hi),
+                       program_->date_sets_[ins.slot]);
+        break;
+      }
+      case Op::kInI64: {
+        const AbsI64& a = i64[ins.in1];
+        bools[ins.out] =
+            a.top ? Tri::kMaybe
+                  : InInterval(a.lo, a.hi, program_->i64_sets_[ins.slot]);
+        break;
+      }
+      case Op::kInF64: {
+        const AbsF64& a = f64[ins.in1];
+        bools[ins.out] =
+            a.top ? Tri::kMaybe
+                  : InInterval(a.lo, a.hi, program_->f64_sets_[ins.slot]);
+        break;
+      }
+      case Op::kNot:
+        bools[ins.out] = TriNot(bools[ins.in1]);
+        break;
+      case Op::kAndEager:
+        bools[ins.out] = TriAnd(bools[ins.in1], bools[ins.in2]);
+        break;
+      case Op::kAndThen:
+      case Op::kOrElse:
+        // Selection-vector bookkeeping only; the abstract run evaluates
+        // both sides over the whole range, which over-approximates every
+        // refined lane set (sound, possibly less precise).
+        break;
+      case Op::kAndEnd:
+        bools[ins.out] = TriAnd(bools[ins.in1], bools[ins.in2]);
+        break;
+      case Op::kOrEnd:
+        bools[ins.out] = TriOr(bools[ins.in1], bools[ins.in2]);
+        break;
+    }
+  }
+
+  if (poisoned) return PruneVerdict::kMaybe;
+  Tri result = bools[program_->result_slot_];
+  if (result == Tri::kFalse) return PruneVerdict::kNoMatch;
+  if (result == Tri::kTrue) return PruneVerdict::kAllMatch;
+  return PruneVerdict::kMaybe;
 }
 
 }  // namespace dmr::exec

@@ -54,6 +54,12 @@ class PredicateProgram {
   /// Number of kernel instructions (after fusion and constant folding).
   size_t num_instructions() const;
 
+  /// The column slots EvaluateZoneMap consults for this program — the set
+  /// a piggybacked per-batch index must fold to be useful for it. Columns
+  /// the abstract evaluator ignores (generic string comparisons, LIKE over
+  /// date text) are excluded: their zone slots would never be read.
+  tpch::ZoneMapColumns ZoneMapColumnsUsed() const;
+
   /// Disassembly, one instruction per line (tests and debugging).
   std::string ToString() const;
 
@@ -79,6 +85,16 @@ class PredicateProgram {
   int result_slot_ = -1;
 };
 
+/// \brief Tri-state verdict of evaluating a predicate against a zone map.
+///
+/// kNoMatch means no row in the zoned range can satisfy the predicate, so
+/// the range may be skipped without scanning (the pruning guarantee);
+/// kAllMatch means every row satisfies it; kMaybe means the zone map
+/// cannot decide and the rows must be scanned.
+enum class PruneVerdict : uint8_t { kNoMatch, kMaybe, kAllMatch };
+
+const char* PruneVerdictToString(PruneVerdict verdict);
+
 /// \brief A PredicateProgram bound to one columnar partition.
 ///
 /// Binding precomputes every dictionary-dependent table (comparisons
@@ -100,6 +116,19 @@ class BoundPredicate {
 
   /// FilterRange over the whole partition.
   Status FilterAll(std::vector<uint32_t>* out);
+
+  /// Evaluates the compiled program against a zone map of this partition
+  /// (the partition-level map or a refined per-range map from
+  /// ColumnarPartition::BuildZoneMap) by tri-state abstract
+  /// interpretation: column loads become [min, max] intervals, dictionary
+  /// tables reduce over the codes present in the range, and booleans live
+  /// in {false, maybe, true}. Returns kNoMatch only when provably no row
+  /// in the range satisfies the predicate — the caller may then skip the
+  /// scan without changing match counts. A division whose divisor
+  /// interval may contain zero poisons the analysis to kMaybe, so a range
+  /// on which the real scan would raise the interpreter's
+  /// division-by-zero error is never skipped.
+  PruneVerdict EvaluateZoneMap(const tpch::ZoneMap& zm) const;
 
  private:
   Status RunBatch(uint32_t base, uint32_t end, std::vector<uint32_t>* out);

@@ -474,6 +474,18 @@ const std::vector<CheckDef>& BuiltinChecks() {
           // allocation legitimately lives.
           {"sim/simulation", "sim/arena"},
       },
+      {
+          "zone-map-unordered",
+          Severity::kError,
+          CheckKind::kUnorderedOutput,
+          "zone-map construction while iterating an unordered container; "
+          "hash order decides the fold order and which index wins the "
+          "catalog's first-wins registration, so pruning verdicts would "
+          "stop replaying — iterate a sorted view or index by partition "
+          "position",
+          {R"(\b(BuildZoneMap|BuildPartitionIndex|FoldRowIntoZoneMap|MarkDict|ZoneMap)\b)"},
+          {},
+      },
   };
   return kChecks;
 }

@@ -27,7 +27,8 @@ Result<std::vector<InputSplit>> MakeInputSplits(
     split.node_id = p.node_id;
     split.disk_id = p.disk_id;
     for (const auto& replica : p.locations()) {
-      split.locations.push_back({replica.node_id, replica.disk_id});
+      split.locations.push_back(
+          {replica.node_id, replica.disk_id, replica.layout});
     }
     splits.push_back(split);
   }

@@ -105,6 +105,37 @@ std::optional<InputSplit> Job::TakeAnyPending() {
   return TakeLocalPending(best_node);
 }
 
+int Job::BestPendingLayoutQuality(int node_id) const {
+  int best = -1;
+  for (const auto& [id, split] : pending_splits_) {
+    for (const auto& loc : split.all_locations()) {
+      if (node_id >= 0 && loc.node_id != node_id) continue;
+      int quality = dfs::LayoutQuality(loc.layout);
+      if (quality > best) best = quality;
+    }
+  }
+  return best;
+}
+
+std::optional<InputSplit> Job::TakeBestLayoutPending(int node_id) {
+  int best_quality = -1;
+  int best_id = -1;
+  // pending_splits_ is ordered by insertion id, and only a strictly
+  // better quality displaces the candidate, so ties keep FIFO order.
+  for (const auto& [id, split] : pending_splits_) {
+    for (const auto& loc : split.all_locations()) {
+      if (node_id >= 0 && loc.node_id != node_id) continue;
+      int quality = dfs::LayoutQuality(loc.layout);
+      if (quality > best_quality) {
+        best_quality = quality;
+        best_id = id;
+      }
+    }
+  }
+  if (best_id < 0) return std::nullopt;
+  return TakePendingById(best_id);
+}
+
 int Job::OnMapLaunched(const InputSplit& split, int node_id, bool local) {
   (void)split;
   (void)node_id;

@@ -74,6 +74,17 @@ class Job {
   /// remote work drains hot spots first).
   std::optional<InputSplit> TakeAnyPending();
 
+  /// Max replica layout quality (dfs::LayoutQuality) over live pending
+  /// splits — restricted to replicas on `node_id` when node_id >= 0; -1
+  /// when no pending split qualifies. Used by the layout-aware fair
+  /// scheduler (DESIGN.md §16).
+  int BestPendingLayoutQuality(int node_id) const;
+
+  /// Pops the pending split whose replica on `node_id` (anywhere, when
+  /// node_id < 0) has the highest layout quality; ties keep insertion
+  /// order, so with uniform layouts this degenerates to FIFO order.
+  std::optional<InputSplit> TakeBestLayoutPending(int node_id);
+
   // --- task accounting --------------------------------------------------
 
   /// Puts a failed attempt's split back on the pending queue. Unlike

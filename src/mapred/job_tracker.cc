@@ -20,6 +20,41 @@ uint64_t SplitSpanId(int job_id, int split_index) {
          static_cast<uint64_t>(static_cast<uint32_t>(split_index));
 }
 
+/// Adaptive-layout cost model (DESIGN.md §16). `scan_fraction` is the
+/// split's stats hint: the fraction of its rows a stats-aware reader must
+/// physically scan for the job's predicate (1.0 = no stats). A row replica
+/// cannot seek inside the file, so any non-empty fraction still scans the
+/// whole split; a columnar replica reads only the predicate's columns; an
+/// indexed replica seeks straight to the qualifying ranges. Whatever gets
+/// skipped, the attempt still pays the stats-read floor. The paper's
+/// default — row layout, no stats — leaves the demands untouched, so
+/// every pre-existing experiment is bit-identical.
+void ApplyLayoutCost(const cluster::ClusterConfig& config,
+                     dfs::ReplicaLayout layout, double scan_fraction,
+                     double* cpu_demand, double* read_bytes) {
+  double frac = std::clamp(scan_fraction, 0.0, 1.0);
+  if (layout == dfs::ReplicaLayout::kRow && frac >= 1.0) return;
+  double cpu_frac = 1.0;
+  double byte_frac = 1.0;
+  switch (layout) {
+    case dfs::ReplicaLayout::kRow:
+      cpu_frac = byte_frac = frac > 0.0 ? 1.0 : 0.0;
+      break;
+    case dfs::ReplicaLayout::kColumnar:
+      cpu_frac = frac > 0.0 ? 1.0 : 0.0;
+      byte_frac = frac > 0.0 ? config.columnar_byte_factor : 0.0;
+      break;
+    case dfs::ReplicaLayout::kIndexed:
+      cpu_frac = frac;
+      byte_frac = config.columnar_byte_factor * frac;
+      break;
+  }
+  *cpu_demand = std::max(*cpu_demand * cpu_frac,
+                         config.stats_read_records *
+                             config.cpu_cost_per_record);
+  *read_bytes = std::max(*read_bytes * byte_frac, config.stats_read_bytes);
+}
+
 }  // namespace
 
 JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler,
@@ -35,6 +70,10 @@ JobTracker::JobTracker(cluster::Cluster* cluster, TaskScheduler* scheduler,
     if (tl_ != nullptr) {
       tl_job_response_ = tl_->AddWindowed("mapred.job_response", "sim_s");
       tl_task_wait_ = tl_->AddWindowed("mapred.task_wait", "sim_s");
+      tl_->AddProbe("mapred.pruned_splits", "splits",
+                    obs::Timeline::SeriesKind::kCounter, [this] {
+                      return static_cast<double>(total_pruned_splits_);
+                    });
     }
   }
 }
@@ -329,6 +368,17 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
       static_cast<double>(split.num_records) * config.cpu_cost_per_record;
   double read_bytes = static_cast<double>(split.size_bytes);
 
+  // Read from the replica on this node when there is one, else from the
+  // best-layout remote copy over the network; that replica's layout and
+  // the split's stats hint set the attempt's effective cost.
+  const SplitLocation source = split.ReadLocationFor(node_id);
+  ApplyLayoutCost(config, source.layout, split.scan_fraction, &cpu_demand,
+                  &read_bytes);
+  if (split.scan_fraction <= 0.0) {
+    ++total_pruned_splits_;
+    if (obs_ != nullptr) obs_->Count(obs_->m().splits_pruned);
+  }
+
   // Fault injection: a straggler attempt demands proportionally more of
   // every resource; a failing attempt does its work and then reports
   // failure, whereupon the split is requeued for another attempt.
@@ -362,7 +412,7 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
   // consumed concurrently; the task finishes when all demands are met.
   attempt->startup_event = sim_->Schedule(
       config.task_startup_seconds, sim::EventClass::kTaskLifecycle,
-      [this, attempt, cpu_demand, read_bytes, will_fail] {
+      [this, attempt, cpu_demand, read_bytes, will_fail, source] {
         auto remaining = std::allocate_shared<int>(
             sim::ArenaAllocator<int>(sim_->arena()),
             attempt->local ? 2 : 3);
@@ -370,10 +420,6 @@ void JobTracker::LaunchMap(Job* job, const InputSplit& split, int node_id,
           if (--(*remaining) != 0) return;
           OnAttemptDone(attempt, will_fail);
         };
-        // Read from the replica on this node when there is one, else from
-        // the primary copy over the network.
-        SplitLocation source =
-            attempt->split.ReadLocationFor(attempt->node_id);
         sim::PsResource* disk =
             cluster_->node(source.node_id)->disk(source.disk_id);
         attempt->requests.emplace_back(disk,

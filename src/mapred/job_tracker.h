@@ -89,6 +89,10 @@ class JobTracker {
   /// Speculative (backup) map attempts launched cluster-wide.
   int64_t total_speculative_maps() const { return total_speculative_maps_; }
 
+  /// Map attempts whose stats hint pruned them to a stats-read
+  /// (split.scan_fraction == 0; adaptive-layout cost model, DESIGN.md §16).
+  int64_t total_pruned_splits() const { return total_pruned_splits_; }
+
   /// Append-only lifecycle event log (the JobHistory analogue).
   const JobHistory& history() const { return history_; }
 
@@ -179,6 +183,7 @@ class JobTracker {
   int64_t total_local_maps_ = 0;
   int64_t total_remote_maps_ = 0;
   int64_t total_speculative_maps_ = 0;
+  int64_t total_pruned_splits_ = 0;
   JobHistory history_;
 };
 

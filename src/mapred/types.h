@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "dfs/file_system.h"
 #include "mapred/counters.h"
 #include "mapred/job_history.h"
 
@@ -14,6 +15,9 @@ namespace dmr::mapred {
 struct SplitLocation {
   int node_id = 0;
   int disk_id = 0;
+  /// Physical layout of this copy (per-replica divergent layouts,
+  /// DESIGN.md §16); kRow is the paper's plain file.
+  dfs::ReplicaLayout layout = dfs::ReplicaLayout::kRow;
 };
 
 /// \brief One unit of map input: a DFS partition plus the record statistics
@@ -38,6 +42,16 @@ struct InputSplit {
   /// AddSplits only when observability is attached (feeds the task-wait
   /// latency histogram); 0 otherwise.
   double queued_time = 0.0;
+  /// Adaptive-layout stats hints (DESIGN.md §16), filled by layers that can
+  /// see partition stats (LocalRuntime, testbed dataset builders). Fraction
+  /// of the split's rows a stats-aware reader must physically scan for the
+  /// job's predicate: 1.0 = no stats, scan everything (the default keeps
+  /// every pre-existing path at full cost); 0.0 = provably empty or
+  /// provably all-matching, costs only a stats-read.
+  double scan_fraction = 1.0;
+  /// Per-split selectivity bound derived from the same stats; < 0 means
+  /// unknown (fall back to the provider's global estimate).
+  double hint_selectivity = -1.0;
 
   /// All candidate read locations, uniformly (primary first).
   std::vector<SplitLocation> all_locations() const {
@@ -53,12 +67,21 @@ struct InputSplit {
     return false;
   }
 
-  /// The replica on `node`, or the primary when there is none.
+  /// The replica on `node`; for a remote read, the best-layout replica
+  /// (ties keep replica order, so this is the primary when layouts do not
+  /// diverge — the pre-layout behaviour).
   SplitLocation ReadLocationFor(int node) const {
-    for (const auto& loc : all_locations()) {
+    std::vector<SplitLocation> locs = all_locations();
+    for (const auto& loc : locs) {
       if (loc.node_id == node) return loc;
     }
-    return {node_id, disk_id};
+    const SplitLocation* best = &locs.front();
+    for (const auto& loc : locs) {
+      if (dfs::LayoutQuality(loc.layout) > dfs::LayoutQuality(best->layout)) {
+        best = &loc;
+      }
+    }
+    return *best;
   }
 };
 

@@ -36,6 +36,13 @@ StandardMetrics::StandardMetrics(MetricsRegistry* r) {
   dfs_partitions_placed = r->RegisterCounter("dfs.partitions_placed");
   dfs_bytes_placed = r->RegisterCounter("dfs.bytes_placed");
 
+  exec_partitions_pruned = r->RegisterCounter("exec.partitions_pruned");
+  exec_batches_pruned = r->RegisterCounter("exec.batches_pruned");
+  exec_rows_skipped = r->RegisterCounter("exec.rows_skipped");
+  exec_index_builds = r->RegisterCounter("exec.index_builds");
+  exec_index_hits = r->RegisterCounter("exec.index_hits");
+  splits_pruned = r->RegisterCounter("mapred.splits_pruned");
+
   sim_tie_groups = r->RegisterCounter("sim.tie_groups");
   sim_tie_events = r->RegisterCounter("sim.tie_events");
 

@@ -59,6 +59,17 @@ struct StandardMetrics {
   CounterHandle dfs_partitions_placed;
   CounterHandle dfs_bytes_placed;
 
+  // Adaptive-layout counters (zone-map pruning + piggybacked indexing,
+  // DESIGN.md §16). The exec.* set is recorded by the record-level
+  // LocalRuntime; splits_pruned by the simulator's per-split cost model
+  // when a grabbed split's stats hint reduced it to a stats-read.
+  CounterHandle exec_partitions_pruned;
+  CounterHandle exec_batches_pruned;
+  CounterHandle exec_rows_skipped;
+  CounterHandle exec_index_builds;
+  CounterHandle exec_index_hits;
+  CounterHandle splits_pruned;
+
   // Virtual-time tie-race detector totals (recorded once per cell when the
   // testbed tears down; see sim::TieStats). Invariant across
   // --shuffle-ties seeds when the system is tie-order independent.

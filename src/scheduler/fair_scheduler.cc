@@ -75,9 +75,12 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
     bool assigned = false;
     bool held = false;
     for (Pool* pool : order) {
+      const bool layout_aware = options_.layout_weight > 0.0;
       for (Job* job : pool->jobs) {
         if (!job->HasPendingSplits()) continue;
-        if (auto local = job->TakeLocalPending(node_id)) {
+        auto local = layout_aware ? job->TakeBestLayoutPending(node_id)
+                                  : job->TakeLocalPending(node_id);
+        if (local) {
           assignments.push_back({job, *local, true});
           job->delay_waiting = false;
           pool->running += 1;
@@ -85,14 +88,25 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
           break;
         }
         // Delay scheduling: make the job wait for a local opportunity
-        // before allowing a remote launch.
-        if (options_.locality_wait > 0.0) {
+        // before allowing a remote launch. With layout awareness the wait
+        // shrinks when a good remote layout is pending: quality 2
+        // (indexed) at weight 1 waives the wait entirely.
+        double wait = options_.locality_wait;
+        if (layout_aware && wait > 0.0) {
+          int quality = job->BestPendingLayoutQuality(-1);
+          if (quality > 0) {
+            wait *= std::max(0.0, 1.0 - options_.layout_weight *
+                                            static_cast<double>(quality) /
+                                            2.0);
+          }
+        }
+        if (wait > 0.0) {
           bool still_waiting = false;
           if (!job->delay_waiting) {
             job->delay_waiting = true;
             job->delay_wait_start = now;
             still_waiting = true;
-          } else if (now - job->delay_wait_start < options_.locality_wait) {
+          } else if (now - job->delay_wait_start < wait) {
             still_waiting = true;
           }
           if (still_waiting) {
@@ -111,7 +125,8 @@ std::vector<MapAssignment> FairScheduler::AssignMapTasks(
             continue;  // skip to the next job
           }
         }
-        auto any = job->TakeAnyPending();
+        auto any = layout_aware ? job->TakeBestLayoutPending(-1)
+                                : job->TakeAnyPending();
         if (!any) continue;
         assignments.push_back({job, *any, any->IsLocalTo(node_id)});
         job->delay_waiting = false;

@@ -27,6 +27,14 @@ struct FairSchedulerOptions {
   /// observes (88 % locality at 18 % occupancy). false = skip to the next
   /// job instead.
   bool strict_delay = true;
+  /// Layout-aware scheduling weight in [0, 1] (DESIGN.md §16). 0 keeps
+  /// the classic layout-blind delay scheduler. When > 0 the scheduler
+  /// (a) prefers the best-layout local pending split over FIFO order, and
+  /// (b) shortens a job's locality wait by weight * quality/2 of its best
+  /// pending replica layout — an indexed remote copy reads so little
+  /// that waiting for a row-layout local copy stops paying (Dittrich et
+  /// al., per-replica layouts).
+  double layout_weight = 0.0;
 };
 
 /// \brief A fair-share scheduler with delay scheduling — modeled after the

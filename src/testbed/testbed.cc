@@ -13,7 +13,7 @@
 namespace dmr::testbed {
 
 Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
-                 double locality_wait)
+                 double locality_wait, double layout_weight)
     : config_(config) {
   if (obs::Hub::active()) {
     scope_ = obs::MakeClusterScope(obs::Hub::registry(),
@@ -50,6 +50,7 @@ Testbed::Testbed(const cluster::ClusterConfig& config, SchedulerKind kind,
       scheduler::FairSchedulerOptions options;
       options.total_map_slots = config_.total_map_slots();
       options.locality_wait = locality_wait;
+      options.layout_weight = layout_weight;
       scheduler_ = std::make_unique<scheduler::FairScheduler>(options);
       break;
     }

@@ -33,6 +33,9 @@ class Testbed {
  public:
   /// \param locality_wait  Fair-scheduler delay-scheduling wait (ignored
   ///        for FIFO).
+  /// \param layout_weight  Fair-scheduler weight of replica-layout quality
+  ///        against locality when ranking candidate (node, split) pairs
+  ///        (0 = pure locality, the paper's behaviour; ignored for FIFO).
   ///
   /// Observability: when the process-global obs::Hub is active (bench
   /// drivers install it for --trace/--metrics), the testbed automatically
@@ -41,7 +44,7 @@ class Testbed {
   /// hub nothing is attached and the simulation runs obs-free.
   explicit Testbed(const cluster::ClusterConfig& config,
                    SchedulerKind scheduler = SchedulerKind::kFifo,
-                   double locality_wait = 5.0);
+                   double locality_wait = 5.0, double layout_weight = 0.0);
   ~Testbed();
 
   Testbed(const Testbed&) = delete;

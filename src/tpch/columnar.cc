@@ -1,5 +1,7 @@
 #include "tpch/columnar.h"
 
+#include <limits>
+
 #include "common/logging.h"
 
 namespace dmr::tpch {
@@ -44,6 +46,12 @@ ColumnKind LineItemColumnKind(int column) {
   DMR_CHECK_GE(column, 0);
   DMR_CHECK_LT(column, int{kNumLineItemColumns});
   return kSlots[column].kind;
+}
+
+int LineItemColumnSlot(int column) {
+  DMR_CHECK_GE(column, 0);
+  DMR_CHECK_LT(column, int{kNumLineItemColumns});
+  return kSlots[column].slot;
 }
 
 Result<int32_t> EncodeDate32(std::string_view date) {
@@ -93,6 +101,45 @@ std::string DecodeDate32(int32_t packed) {
   return std::string(FormatDate32(packed, buf));
 }
 
+ZoneMap::ZoneMap() {
+  for (int s = 0; s < kI64Slots; ++s) {
+    i64_min[s] = std::numeric_limits<int64_t>::max();
+    i64_max[s] = std::numeric_limits<int64_t>::min();
+  }
+  for (int s = 0; s < kF64Slots; ++s) {
+    f64_min[s] = std::numeric_limits<double>::infinity();
+    f64_max[s] = -std::numeric_limits<double>::infinity();
+  }
+  for (int s = 0; s < kDateSlots; ++s) {
+    date_min[s] = std::numeric_limits<int32_t>::max();
+    date_max[s] = std::numeric_limits<int32_t>::min();
+  }
+}
+
+bool ZoneMap::DictHas(int slot, uint32_t code) const {
+  const std::vector<uint64_t>& words = dict_present[slot];
+  uint32_t word = code >> 6;
+  if (word >= words.size()) return false;
+  return (words[word] >> (code & 63)) & 1;
+}
+
+void ZoneMapColumns::MarkColumn(int column) {
+  const uint8_t bit = static_cast<uint8_t>(1u << LineItemColumnSlot(column));
+  switch (LineItemColumnKind(column)) {
+    case ColumnKind::kInt64: i64 |= bit; break;
+    case ColumnKind::kDouble: f64 |= bit; break;
+    case ColumnKind::kDate32: date |= bit; break;
+    case ColumnKind::kDict: dict |= bit; break;
+  }
+}
+
+void ZoneMap::MarkDict(int slot, uint32_t code) {
+  std::vector<uint64_t>& words = dict_present[slot];
+  uint32_t word = code >> 6;
+  if (word >= words.size()) words.resize(word + 1, 0);
+  words[word] |= uint64_t{1} << (code & 63);
+}
+
 uint32_t StringDictionary::GetOrAdd(std::string_view s) {
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
@@ -138,8 +185,98 @@ Status ColumnarPartition::AppendRow(const LineItemRow& row) {
   codes_[2].push_back(dicts_[2].GetOrAdd(row.shipinstruct));
   codes_[3].push_back(dicts_[3].GetOrAdd(row.shipmode));
   codes_[4].push_back(dicts_[4].GetOrAdd(row.comment));
+  FoldRowIntoZoneMap(num_rows_, &zone_map_);
   ++num_rows_;
+  zone_map_.row_end = num_rows_;
   return Status::OK();
+}
+
+void ColumnarPartition::FoldRowIntoZoneMap(uint32_t row, ZoneMap* zm) const {
+  for (int s = 0; s < ZoneMap::kI64Slots; ++s) {
+    int64_t v = i64_[s][row];
+    if (v < zm->i64_min[s]) zm->i64_min[s] = v;
+    if (v > zm->i64_max[s]) zm->i64_max[s] = v;
+  }
+  for (int s = 0; s < ZoneMap::kF64Slots; ++s) {
+    double v = f64_[s][row];
+    if (v < zm->f64_min[s]) zm->f64_min[s] = v;
+    if (v > zm->f64_max[s]) zm->f64_max[s] = v;
+  }
+  for (int s = 0; s < ZoneMap::kDateSlots; ++s) {
+    int32_t v = date_[s][row];
+    if (v < zm->date_min[s]) zm->date_min[s] = v;
+    if (v > zm->date_max[s]) zm->date_max[s] = v;
+  }
+  for (int s = 0; s < ZoneMap::kDictSlots; ++s) {
+    zm->MarkDict(s, codes_[s][row]);
+  }
+}
+
+ZoneMap ColumnarPartition::BuildZoneMap(uint32_t begin, uint32_t end,
+                                        const ZoneMapColumns& cols) const {
+  DMR_CHECK_LE(begin, end);
+  DMR_CHECK_LE(end, num_rows_);
+  ZoneMap zm;
+  zm.row_begin = begin;
+  zm.row_end = end;
+  zm.i64_valid = cols.i64 & ((1u << ZoneMap::kI64Slots) - 1);
+  zm.f64_valid = cols.f64 & ((1u << ZoneMap::kF64Slots) - 1);
+  zm.date_valid = cols.date & ((1u << ZoneMap::kDateSlots) - 1);
+  zm.dict_valid = cols.dict & ((1u << ZoneMap::kDictSlots) - 1);
+  // Column-major folds: one tight min/max (or bit-set) sweep per selected
+  // slot over its contiguous array, instead of a per-row fold that touches
+  // every slot. Results are identical to the row-major fold for the
+  // selected slots.
+  for (int s = 0; s < ZoneMap::kI64Slots; ++s) {
+    if (!zm.I64Valid(s)) continue;
+    const int64_t* v = i64_[s].data();
+    int64_t mn = zm.i64_min[s];
+    int64_t mx = zm.i64_max[s];
+    for (uint32_t row = begin; row < end; ++row) {
+      mn = v[row] < mn ? v[row] : mn;
+      mx = v[row] > mx ? v[row] : mx;
+    }
+    zm.i64_min[s] = mn;
+    zm.i64_max[s] = mx;
+  }
+  for (int s = 0; s < ZoneMap::kF64Slots; ++s) {
+    if (!zm.F64Valid(s)) continue;
+    const double* v = f64_[s].data();
+    double mn = zm.f64_min[s];
+    double mx = zm.f64_max[s];
+    for (uint32_t row = begin; row < end; ++row) {
+      mn = v[row] < mn ? v[row] : mn;
+      mx = v[row] > mx ? v[row] : mx;
+    }
+    zm.f64_min[s] = mn;
+    zm.f64_max[s] = mx;
+  }
+  for (int s = 0; s < ZoneMap::kDateSlots; ++s) {
+    if (!zm.DateValid(s)) continue;
+    const int32_t* v = date_[s].data();
+    int32_t mn = zm.date_min[s];
+    int32_t mx = zm.date_max[s];
+    for (uint32_t row = begin; row < end; ++row) {
+      mn = v[row] < mn ? v[row] : mn;
+      mx = v[row] > mx ? v[row] : mx;
+    }
+    zm.date_min[s] = mn;
+    zm.date_max[s] = mx;
+  }
+  for (int s = 0; s < ZoneMap::kDictSlots; ++s) {
+    if (!zm.DictValid(s)) continue;
+    std::vector<uint64_t>& words = zm.dict_present[s];
+    // Pre-size to the dictionary, set bits without per-row bounds checks,
+    // then trim trailing zero words so the result is byte-identical to the
+    // lazily-sized row-major fold.
+    words.assign((dicts_[s].size() + 63) / 64, 0);
+    const uint32_t* c = codes_[s].data();
+    for (uint32_t row = begin; row < end; ++row) {
+      words[c[row] >> 6] |= uint64_t{1} << (c[row] & 63);
+    }
+    while (!words.empty() && words.back() == 0) words.pop_back();
+  }
+  return zm;
 }
 
 const std::vector<int64_t>& ColumnarPartition::Int64Column(int column) const {

@@ -28,6 +28,10 @@ enum class ColumnKind : uint8_t { kInt64, kDouble, kDate32, kDict };
 /// Physical kind of each LineItemColumn.
 ColumnKind LineItemColumnKind(int column);
 
+/// Slot of `column` within the arrays of its kind — the index into the
+/// ZoneMap min/max/presence arrays below and the typed column accessors.
+int LineItemColumnSlot(int column);
+
 /// Packs a strict 'YYYY-MM-DD' string as yyyymmdd. Rejects any other shape
 /// (wrong width, non-digits, out-of-range month/day fields).
 Result<int32_t> EncodeDate32(std::string_view date);
@@ -53,6 +57,85 @@ class StringDictionary {
  private:
   std::vector<std::string> values_;
   std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// \brief Zone map over a contiguous row range of one ColumnarPartition:
+/// per-slot min/max for the numeric and date columns plus a per-dictionary
+/// value-presence bitmap (bit `code` set <=> `code` occurs in the range).
+/// The partition-level map covers [0, num_rows) and is maintained
+/// incrementally by AppendRow, so both FromRows and the direct-generation
+/// path (LineItemGenerator::GenerateColumnarPartition) populate it for
+/// free; BuildZoneMap produces refined per-range maps for the piggybacked
+/// index (exec/layout_catalog.h).
+///
+/// Dictionary codes are assigned in first-seen order by StringDictionary,
+/// so the bitmaps — and therefore every zone-map byte — are deterministic
+/// for a deterministic row stream. An empty range keeps the min sentinels
+/// above the max sentinels; consumers must check rows() first.
+struct ZoneMap {
+  static constexpr int kI64Slots = 5;
+  static constexpr int kF64Slots = 3;
+  static constexpr int kDateSlots = 3;
+  static constexpr int kDictSlots = 5;
+
+  uint32_t row_begin = 0;
+  uint32_t row_end = 0;  // exclusive
+
+  /// Per-kind validity bitmasks: bit `slot` set <=> that slot's min/max (or
+  /// presence bitmap) was actually folded over the range. Piggybacked
+  /// per-batch maps fold only the columns the triggering predicate reads
+  /// (near-zero build overhead, LIAH-style); consumers must treat an
+  /// invalid slot as "could hold anything". The incremental partition-level
+  /// map folds every column, so the default is all-valid.
+  uint8_t i64_valid = (1u << kI64Slots) - 1;
+  uint8_t f64_valid = (1u << kF64Slots) - 1;
+  uint8_t date_valid = (1u << kDateSlots) - 1;
+  uint8_t dict_valid = (1u << kDictSlots) - 1;
+
+  int64_t i64_min[kI64Slots];
+  int64_t i64_max[kI64Slots];
+  double f64_min[kF64Slots];
+  double f64_max[kF64Slots];
+  int32_t date_min[kDateSlots];
+  int32_t date_max[kDateSlots];
+  /// Presence bitmap per dict slot, indexed by dictionary code; sized lazily
+  /// to the highest code seen in the range (absent words mean absent codes).
+  std::vector<uint64_t> dict_present[kDictSlots];
+
+  ZoneMap();
+
+  uint32_t rows() const { return row_end - row_begin; }
+
+  bool I64Valid(int slot) const { return (i64_valid >> slot) & 1; }
+  bool F64Valid(int slot) const { return (f64_valid >> slot) & 1; }
+  bool DateValid(int slot) const { return (date_valid >> slot) & 1; }
+  bool DictValid(int slot) const { return (dict_valid >> slot) & 1; }
+
+  /// True when dictionary code `code` of dict slot `slot` occurs in range.
+  /// Meaningful only when DictValid(slot).
+  bool DictHas(int slot, uint32_t code) const;
+
+  /// Marks dictionary code `code` of dict slot `slot` present.
+  void MarkDict(int slot, uint32_t code);
+};
+
+/// \brief Selects which column slots BuildZoneMap folds — the piggybacked
+/// index builds maps only over the columns its predicate consults, so the
+/// extra pass costs about as much as the predicate scan itself instead of
+/// touching all sixteen columns. Defaults to every column.
+struct ZoneMapColumns {
+  uint8_t i64 = (1u << ZoneMap::kI64Slots) - 1;
+  uint8_t f64 = (1u << ZoneMap::kF64Slots) - 1;
+  uint8_t date = (1u << ZoneMap::kDateSlots) - 1;
+  uint8_t dict = (1u << ZoneMap::kDictSlots) - 1;
+
+  static ZoneMapColumns All() { return ZoneMapColumns(); }
+  static ZoneMapColumns None() { return ZoneMapColumns{0, 0, 0, 0}; }
+
+  bool empty() const { return i64 == 0 && f64 == 0 && date == 0 && dict == 0; }
+
+  /// Marks LineItemColumn `column` (schema index) as selected.
+  void MarkColumn(int column);
 };
 
 /// \brief One LINEITEM partition in columnar form: fixed-width arrays for
@@ -95,8 +178,22 @@ class ColumnarPartition {
   /// Approximate heap footprint (for tests / sizing notes).
   size_t MemoryBytes() const;
 
+  /// Partition-level zone map over [0, num_rows), maintained incrementally.
+  const ZoneMap& zone_map() const { return zone_map_; }
+
+  /// Builds a refined zone map over rows [begin, end) — the piggybacked
+  /// per-batch index of exec/layout_catalog.h. `begin <= end <= num_rows`.
+  /// Only the slots selected by `cols` are folded (column-major tight
+  /// loops); unselected slots are marked invalid in the result and read as
+  /// "unknown" by the zone-map evaluator.
+  ZoneMap BuildZoneMap(uint32_t begin, uint32_t end,
+                       const ZoneMapColumns& cols = ZoneMapColumns()) const;
+
  private:
   friend class ColumnarPartitionTestPeer;
+
+  /// Folds the already-stored row `row` into `*zm` (min/max + dict bits).
+  void FoldRowIntoZoneMap(uint32_t row, ZoneMap* zm) const;
 
   uint32_t num_rows_ = 0;
   // Slot order within each kind follows LineItemColumn order.
@@ -105,6 +202,7 @@ class ColumnarPartition {
   std::vector<std::vector<int32_t>> date_;    // shipdate, commitdate, receiptdate
   std::vector<std::vector<uint32_t>> codes_;  // returnflag..comment
   std::vector<StringDictionary> dicts_;
+  ZoneMap zone_map_;
 };
 
 /// \brief A dataset in columnar form, parallel to

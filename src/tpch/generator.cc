@@ -135,8 +135,9 @@ Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec) {
 
 Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
                                                const SkewPredicate& pred) {
-  DMR_ASSIGN_OR_RETURN(std::vector<uint64_t> matching,
-                       AssignMatchingRecords(spec));
+  DMR_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<uint64_t>> shared,
+                       AssignMatchingRecordsShared(spec));
+  const std::vector<uint64_t>& matching = *shared;
   MaterializedDataset ds;
   ds.predicate = pred;
   ds.matching_per_partition = matching;
@@ -159,18 +160,46 @@ namespace {
 
 using SharedDataset = std::shared_ptr<const MaterializedDataset>;
 
-std::string DatasetCacheKey(const SkewSpec& spec, const SkewPredicate& pred) {
+/// The predicate-independent part of the cache key: everything the
+/// matching-count assignment (and the stats derived from it) depends on.
+std::string SpecCacheKey(const SkewSpec& spec) {
   char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "p=%d|r=%llu|sel=%.17g|z=%.17g|seed=%llu|pz=%.17g|",
+  std::snprintf(buf, sizeof(buf), "p=%d|r=%llu|sel=%.17g|z=%.17g|seed=%llu|",
                 spec.num_partitions,
                 static_cast<unsigned long long>(spec.records_per_partition),
                 spec.selectivity, spec.zipf_z,
-                static_cast<unsigned long long>(spec.seed), pred.zipf_z);
-  return buf + pred.name + "|" + pred.sql;
+                static_cast<unsigned long long>(spec.seed));
+  return buf;
+}
+
+std::string DatasetCacheKey(const SkewSpec& spec, const SkewPredicate& pred) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pz=%.17g|", pred.zipf_z);
+  return SpecCacheKey(spec) + buf + pred.name + "|" + pred.sql;
 }
 
 }  // namespace
+
+Result<std::shared_ptr<const std::vector<uint64_t>>>
+AssignMatchingRecordsShared(const SkewSpec& spec) {
+  using SharedCounts = std::shared_ptr<const std::vector<uint64_t>>;
+  static std::mutex mu;
+  static auto& entries =
+      *new std::unordered_map<std::string, Result<SharedCounts>>();
+  const std::string key = SpecCacheKey(spec);
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = entries.find(key);
+  if (it == entries.end()) {
+    Result<std::vector<uint64_t>> counts = AssignMatchingRecords(spec);
+    Result<SharedCounts> entry =
+        counts.ok() ? Result<SharedCounts>(
+                          std::make_shared<const std::vector<uint64_t>>(
+                              std::move(*counts)))
+                    : Result<SharedCounts>(counts.status());
+    it = entries.emplace(key, std::move(entry)).first;
+  }
+  return it->second;
+}
 
 Result<SharedDataset> MaterializeDatasetShared(const SkewSpec& spec) {
   DMR_ASSIGN_OR_RETURN(SkewPredicate pred, PredicateForSkew(spec.zipf_z));

@@ -66,6 +66,16 @@ Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec);
 Result<MaterializedDataset> MaterializeDataset(const SkewSpec& spec,
                                                const SkewPredicate& pred);
 
+/// \brief Memoized, spec-keyed AssignMatchingRecords.
+///
+/// The per-partition matching-count assignment (and every stat derived
+/// from it) is predicate-independent, so it is cached once per SkewSpec —
+/// not once per (spec, predicate) dataset entry, where each new predicate
+/// on the same dataset used to repeat the whole stats pass. Thread-safe;
+/// returns a shared immutable vector.
+Result<std::shared_ptr<const std::vector<uint64_t>>>
+AssignMatchingRecordsShared(const SkewSpec& spec);
+
 /// \brief Memoized MaterializeDataset: one materialization per distinct
 /// (spec, predicate) for the process lifetime.
 ///

@@ -1,0 +1,22 @@
+// Zone-map-unordered fixture: the loop at line 17 builds per-batch zone
+// maps while iterating an unordered container, so libstdc++ hash order
+// decides the fold order and which index wins the layout catalog's
+// first-wins registration; the finding anchors to the for-line.
+#include <cstdint>
+#include <unordered_map>
+
+struct ZoneMap {
+  long min_value = 0;
+};
+struct Part {
+  ZoneMap BuildZoneMap(uint32_t begin, uint32_t end) const;
+};
+
+ZoneMap FoldAll(const std::unordered_map<int, Part>& parts) {
+  ZoneMap merged;
+  for (const auto& [id, part] : parts) {
+    ZoneMap zm = part.BuildZoneMap(0, 1024);
+    if (zm.min_value < merged.min_value) merged.min_value = zm.min_value;
+  }
+  return merged;
+}

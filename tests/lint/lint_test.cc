@@ -97,6 +97,20 @@ TEST(LintFixtureTest, ArenaAllocExemptsTheKernelItself) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintFixtureTest, ZoneMapUnorderedIteration) {
+  auto findings = LintPath(FixturePath("zone_map_unordered.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"zone-map-unordered", 17}}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("parts"), std::string::npos);
+}
+
+TEST(LintFixtureTest, ZoneMapOrderedCounterpartIsClean) {
+  // Same fold over std::map: key-ordered iteration, no hazard.
+  auto findings = LintPath(FixturePath("zone_map_ordered.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintFixtureTest, CleanFileHasNoFindings) {
   auto findings = LintPath(FixturePath("clean.cc"));
   EXPECT_TRUE(findings.empty());
