@@ -1,6 +1,9 @@
 #ifndef DMR_BENCH_BENCH_UTIL_H_
 #define DMR_BENCH_BENCH_UTIL_H_
 
+#include <sys/utsname.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,7 +18,9 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/parallel.h"
+#include "prof/prof.h"
 #include "sim/simulation.h"
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -60,6 +65,11 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref,
 /// --timeline=FILE    emit the virtual-time telemetry timelines (per-cell
 ///                    probe series + sliding-window percentiles + SLO
 ///                    breaches + flight-recorder ring) as JSON
+/// --profile=FILE     enable the host-side profiler (prof/prof.h) for the
+///                    whole run and write collapsed flamegraph stacks to
+///                    FILE; the phase tree also lands in the --metrics
+///                    report as the "prof" section. Profiling never touches
+///                    virtual time — every digest stays byte-identical
 /// --dump-flight-recorder  print every cell's flight-recorder ring to
 ///                    stdout at teardown (post-mortem without a crash)
 /// --shuffle-ties=S   fire same-timestamp simulation events in a seeded
@@ -76,6 +86,7 @@ struct BenchOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string timeline_path;
+  std::string profile_path;
   bool dump_flight_recorder = false;
   /// Set when --shuffle-ties was given (already applied process-wide).
   std::optional<uint64_t> shuffle_ties;
@@ -84,7 +95,8 @@ struct BenchOptions {
 
   bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           !timeline_path.empty() || dump_flight_recorder;
+           !timeline_path.empty() || !profile_path.empty() ||
+           dump_flight_recorder;
   }
 
   /// Parses the shared flags; unknown --flags abort with usage, bare
@@ -117,6 +129,11 @@ struct BenchOptions {
         options.metrics_path = arg + 10;
       } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
         options.timeline_path = arg + 11;
+      } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+        options.profile_path = arg + 10;
+        // Process-wide, before any cell runs: every ScopedTimer in the
+        // process records into the phase tree ObsSession seals at Finish.
+        prof::Enable();
       } else if (std::strcmp(arg, "--dump-flight-recorder") == 0) {
         options.dump_flight_recorder = true;
       } else if (std::strncmp(arg, "--shuffle-ties=", 15) == 0) {
@@ -149,9 +166,9 @@ struct BenchOptions {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N|auto] "
                      "[--json=FILE] [--trace=FILE] [--metrics=FILE] "
-                     "[--timeline=FILE] [--dump-flight-recorder] "
-                     "[--shuffle-ties=SEED] [--queue=calendar|heap] "
-                     "[driver args]\n",
+                     "[--timeline=FILE] [--profile=FILE] "
+                     "[--dump-flight-recorder] [--shuffle-ties=SEED] "
+                     "[--queue=calendar|heap] [driver args]\n",
                      arg, argv[0]);
         std::exit(2);
       } else {
@@ -237,16 +254,54 @@ class JsonWriter {
     return cells_.back();
   }
 
+  /// Provenance stamp prepended to every BENCH_*.json array: compiler,
+  /// build preset and host identity, marked "bench": "_meta" so the
+  /// perf-trajectory tooling can tell environments apart (and cell
+  /// consumers skip it by the bench-name mismatch). Deliberately no
+  /// timestamps — rebuilding the same tree must reproduce the same bytes.
+  static Cell MetaCell() {
+    Cell meta;
+    meta.Set("bench", "_meta");
+#ifdef __VERSION__
+    meta.Set("compiler", __VERSION__);
+#else
+    meta.Set("compiler", "unknown");
+#endif
+#ifdef DMR_BUILD_TYPE
+    meta.Set("build_type", DMR_BUILD_TYPE);
+#else
+    meta.Set("build_type", "unknown");
+#endif
+    struct utsname u;
+    if (uname(&u) == 0) {
+      meta.Set("os", std::string(u.sysname) + " " + u.release);
+      meta.Set("arch", u.machine);
+    } else {
+      meta.Set("os", "unknown");
+      meta.Set("arch", "unknown");
+    }
+    char host[256] = {};
+    if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+      meta.Set("host", host);
+    } else {
+      meta.Set("host", "unknown");
+    }
+    return meta;
+  }
+
   std::string ToString() const {
+    std::deque<Cell> all;
+    all.push_back(MetaCell());
+    all.insert(all.end(), cells_.begin(), cells_.end());
     std::string out = "[\n";
-    for (size_t i = 0; i < cells_.size(); ++i) {
+    for (size_t i = 0; i < all.size(); ++i) {
       out += "  {";
-      const auto& fields = cells_[i].fields_;
+      const auto& fields = all[i].fields_;
       for (size_t f = 0; f < fields.size(); ++f) {
         if (f > 0) out += ", ";
         out += Cell::Quote(fields[f].first) + ": " + fields[f].second;
       }
-      out += i + 1 < cells_.size() ? "},\n" : "}\n";
+      out += i + 1 < all.size() ? "},\n" : "}\n";
     }
     out += "]\n";
     return out;
@@ -285,6 +340,7 @@ class ObsSession {
         trace_path_(options.trace_path),
         metrics_path_(options.metrics_path),
         timeline_path_(options.timeline_path),
+        profile_path_(options.profile_path),
         dump_flight_(options.dump_flight_recorder) {
     if (!options.obs_enabled()) return;
     registry_ = std::make_unique<obs::MetricsRegistry>();
@@ -294,6 +350,13 @@ class ObsSession {
     book_ = std::make_unique<obs::LedgerBook>();
     if (!timeline_path_.empty() || dump_flight_) {
       timelines_ = std::make_unique<obs::TimelineBook>();
+    }
+    if (!profile_path_.empty()) {
+      // Session-level ring: records the profile seal (and any timer-stack
+      // imbalance) so post-mortems state whether profiling was live.
+      prof_flight_ = std::make_unique<obs::FlightRecorder>(16);
+      obs::RegisterFlightRecorderForFatalDump(prof_flight_.get(),
+                                              "prof/" + driver_);
     }
     obs::Hub::Install(registry_.get(), recorder_.get(), book_.get(),
                       timelines_.get());
@@ -324,10 +387,47 @@ class ObsSession {
     // Resolve() inside LedgerJson asserts the sum-to-total invariant.
     report.AddJsonSection("ledger", book_->LedgerJson());
     report.AddJsonSection("critical_path", book_->CriticalPathJson());
+    if (!profile_path_.empty()) {
+      // Seal the host profile: stop recording, merge every thread's phase
+      // tree, stamp the seal into the session flight ring (detail = stack
+      // imbalances, value = profiled host ms).
+      prof::Disable();
+      prof::ProfReport prof_report = prof::Collect();
+      double profiled_ms = 0.0;
+      for (const prof::PhaseStat& phase : prof_report.phases) {
+        profiled_ms += static_cast<double>(phase.self_ns) / 1e6;
+      }
+      prof_flight_->Append(0.0, obs::FlightEventKind::kProfSeal, -1, -1,
+                           prof_report.imbalances, profiled_ms);
+      if (prof_report.imbalances != 0) {
+        std::fprintf(stderr,
+                     "prof: WARNING: %d timer-stack imbalance(s) detected\n",
+                     prof_report.imbalances);
+      }
+      report.AddJsonSection("prof", prof::ToJson(prof_report));
+      std::string collapsed = prof::ToCollapsed(prof_report);
+      std::FILE* f = std::fopen(profile_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", profile_path_.c_str());
+        std::exit(1);
+      }
+      if (std::fwrite(collapsed.data(), 1, collapsed.size(), f) !=
+          collapsed.size()) {
+        std::fprintf(stderr, "short write to %s\n", profile_path_.c_str());
+        std::exit(1);
+      }
+      std::fclose(f);
+      std::printf("profile (collapsed stacks) written to %s\n",
+                  profile_path_.c_str());
+    }
     std::printf("\n%s", report.ToText().c_str());
     if (!metrics_path_.empty()) {
       CheckOk(report.WriteJson(metrics_path_), "metrics output");
       std::printf("metrics report written to %s\n", metrics_path_.c_str());
+    }
+    if (prof_flight_ != nullptr) {
+      if (dump_flight_) prof_flight_->DumpText(stdout, "prof/" + driver_);
+      obs::UnregisterFlightRecorderForFatalDump(prof_flight_.get());
     }
     if (timelines_ != nullptr) {
       if (dump_flight_) timelines_->DumpFlightRecorders(stdout);
@@ -357,11 +457,13 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string timeline_path_;
+  std::string profile_path_;
   bool dump_flight_ = false;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
   std::unique_ptr<obs::LedgerBook> book_;
   std::unique_ptr<obs::TimelineBook> timelines_;
+  std::unique_ptr<obs::FlightRecorder> prof_flight_;
   bool installed_ = false;
 };
 

@@ -526,6 +526,85 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+
+    // Prof-overhead cell: the same serial program with the host profiler
+    // recording (chunked dispatch frames + queue refill/purge scopes).
+    // Bracketed A/B/A exactly like the timeline cells above, because the
+    // budget under test — <= 2% events/sec cost at the largest node count
+    // (DESIGN.md §17) — is near this machine's run-to-run noise. The
+    // profiled run must also leave the firing digest untouched: profiling
+    // reads the host clock but never virtual time.
+    {
+      const QueueKind kind = kinds.front();
+      CellResult prof_base{};
+      CellResult with_prof{};
+      std::vector<double> deltas;
+      std::vector<double> null_deltas;
+      for (int rep = 0; rep < 5; ++rep) {
+        CellResult b1 =
+            RunCell(kind, /*parallel=*/false, nodes, tl_shards, until);
+        prof::Enable();
+        CellResult p =
+            RunCell(kind, /*parallel=*/false, nodes, tl_shards, until);
+        prof::Disable();
+        prof::ResetForTest();
+        CellResult b2 =
+            RunCell(kind, /*parallel=*/false, nodes, tl_shards, until);
+        if (rep == 0 || b1.wall_ms < prof_base.wall_ms) prof_base = b1;
+        if (b2.wall_ms < prof_base.wall_ms) prof_base = b2;
+        if (rep == 0 || p.wall_ms < with_prof.wall_ms) with_prof = p;
+        deltas.push_back(p.wall_ms - (b1.wall_ms + b2.wall_ms) / 2.0);
+        null_deltas.push_back(std::abs(b2.wall_ms - b1.wall_ms));
+      }
+      std::sort(deltas.begin(), deltas.end());
+      std::sort(null_deltas.begin(), null_deltas.end());
+      const double median_delta = deltas[deltas.size() / 2];
+      const double noise_floor = null_deltas[null_deltas.size() / 2];
+      double overhead_pct = prof_base.wall_ms > 0.0
+                                ? 100.0 * median_delta / prof_base.wall_ms
+                                : 0.0;
+      double noise_floor_pct = prof_base.wall_ms > 0.0
+                                   ? 100.0 * noise_floor / prof_base.wall_ms
+                                   : 0.0;
+      double events_per_sec = static_cast<double>(with_prof.events) /
+                              (with_prof.wall_ms / 1000.0);
+      char wall_buf[32], eps_buf[32], digest_buf[32], ovh_buf[128];
+      std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", with_prof.wall_ms);
+      std::snprintf(eps_buf, sizeof(eps_buf), "%.3g", events_per_sec);
+      std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                    static_cast<unsigned long long>(with_prof.digest));
+      table.AddRow({std::to_string(nodes), with_prof.queue, "serial+prof",
+                    std::to_string(tl_shards),
+                    std::to_string(with_prof.events), wall_buf, eps_buf,
+                    digest_buf});
+      std::snprintf(ovh_buf, sizeof(ovh_buf),
+                    "prof overhead at %d nodes (%s serial): %+.2f%% "
+                    "(A/A noise floor %.2f%%, budget 2%%)",
+                    nodes, with_prof.queue.c_str(), overhead_pct,
+                    noise_floor_pct);
+      overhead_lines.push_back(ovh_buf);
+      json.AddCell()
+          .Set("bench", "sim_scale_prof_overhead")
+          .Set("nodes", nodes)
+          .Set("queue", with_prof.queue)
+          .Set("events", with_prof.events)
+          .Set("wall_ms", with_prof.wall_ms)
+          .Set("wall_ms_base", prof_base.wall_ms)
+          .Set("median_delta_ms", median_delta)
+          .Set("overhead_pct", overhead_pct)
+          .Set("noise_floor_pct", noise_floor_pct)
+          .Set("budget_pct", 2.0);
+      if (with_prof.digest != ref_digest ||
+          with_prof.events != prof_base.events) {
+        std::fprintf(stderr,
+                     "FAIL: %s/serial+prof at %d nodes perturbed the firing "
+                     "sequence (digest %016llx != %016llx)\n",
+                     with_prof.queue.c_str(), nodes,
+                     static_cast<unsigned long long>(with_prof.digest),
+                     static_cast<unsigned long long>(ref_digest));
+        ok = false;
+      }
+    }
   }
   table.Print();
   std::printf("\n(per-shard FNV digests over the firing sequence, combined "

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Schema check for the observability outputs of a bench driver run.
 
-Usage: check_obs_output.py [--timeline=FILE] TRACE.json METRICS.json \
-           [ANALYSIS.json]
+Usage: check_obs_output.py [--timeline=FILE] [--profile=COLLAPSED] \
+           TRACE.json METRICS.json [ANALYSIS.json]
 
 Validates that:
   * the trace file is Chrome trace-event JSON (traceEvents array, known
@@ -24,7 +24,13 @@ Validates that:
     gap-free on the sampling cadence, ordered per-point and whole-run
     percentiles, SLO breaches placed inside the run, and a flight
     recorder whose ring arithmetic (appended - dropped == retained,
-    retained <= capacity) and sequence ordering hold.
+    retained <= capacity) and sequence ordering hold,
+  * with --profile, the metrics report's `prof` section (host phase tree:
+    paths sorted, counts positive, self <= total, min <= max, self equal
+    to total minus the direct children's totals clamped at zero, zero
+    timer-stack imbalances, nonnegative allocation accounting) and the
+    driver's collapsed flamegraph file, whose path -> self_ns lines must
+    match the JSON section exactly.
 
 Exits non-zero with a message on the first violation.
 """
@@ -429,13 +435,89 @@ def check_timeline(path):
     return len(cells), breaches
 
 
+def check_profile(metrics_path, doc, collapsed_path):
+    """Validates the prof section + the collapsed file; returns the phase
+    count."""
+    if "prof" not in doc:
+        fail(f"{metrics_path}: missing section 'prof' (run with --profile)")
+    prof = doc["prof"]
+    for key in ("calibration_ns", "threads", "imbalances", "phases", "alloc"):
+        if key not in prof:
+            fail(f"{metrics_path}: prof missing {key!r}")
+    if prof["calibration_ns"] < 0:
+        fail(f"{metrics_path}: negative calibration {prof['calibration_ns']}")
+    if prof["threads"] < 1:
+        fail(f"{metrics_path}: prof merged {prof['threads']} threads")
+    if prof["imbalances"] != 0:
+        fail(f"{metrics_path}: {prof['imbalances']} timer-stack imbalances "
+             f"in a clean run")
+    phases = prof["phases"]
+    if not phases:
+        fail(f"{metrics_path}: prof recorded no phases")
+    by_path = {}
+    for phase in phases:
+        path = phase.get("path")
+        if not path:
+            fail(f"{metrics_path}: prof phase without a path: {phase}")
+        if path in by_path:
+            fail(f"{metrics_path}: duplicate prof phase {path}")
+        for key in ("count", "total_ns", "self_ns", "min_ns", "max_ns"):
+            if key not in phase or phase[key] < 0:
+                fail(f"{metrics_path}: prof phase {path} bad {key!r}")
+        if phase["count"] == 0:
+            fail(f"{metrics_path}: prof phase {path} has zero count")
+        if phase["self_ns"] > phase["total_ns"]:
+            fail(f"{metrics_path}: prof phase {path} self > total")
+        if phase["min_ns"] > phase["max_ns"]:
+            fail(f"{metrics_path}: prof phase {path} min > max")
+        by_path[path] = phase
+    if sorted(by_path) != [p["path"] for p in phases]:
+        fail(f"{metrics_path}: prof phases are not sorted by path")
+    for path, phase in by_path.items():
+        children_total = sum(
+            c["total_ns"] for p, c in by_path.items()
+            if p.startswith(path + ";") and ";" not in p[len(path) + 1:])
+        expected_self = max(phase["total_ns"] - children_total, 0)
+        if phase["self_ns"] != expected_self:
+            fail(f"{metrics_path}: prof phase {path} self_ns "
+                 f"{phase['self_ns']} != total - direct children "
+                 f"({expected_self})")
+    seen_sites = set()
+    for stat in prof["alloc"]:
+        site = stat.get("site")
+        if not site or site in seen_sites:
+            fail(f"{metrics_path}: bad/duplicate prof alloc site: {stat}")
+        seen_sites.add(site)
+        if stat.get("count", -1) < 0 or stat.get("bytes", -1) < 0:
+            fail(f"{metrics_path}: prof alloc {site} has negative counters")
+
+    with open(collapsed_path) as f:
+        lines = f.read().splitlines()
+    collapsed = {}
+    for line in lines:
+        path, _, value = line.rpartition(" ")
+        if not path or not value.isdigit():
+            fail(f"{collapsed_path}: malformed collapsed line {line!r}")
+        collapsed[path] = int(value)
+    if list(collapsed) != sorted(collapsed):
+        fail(f"{collapsed_path}: collapsed paths are not sorted")
+    json_view = {p: ph["self_ns"] for p, ph in by_path.items()}
+    if collapsed != json_view:
+        fail(f"{collapsed_path}: collapsed stacks disagree with the prof "
+             f"section of {metrics_path}")
+    return len(phases)
+
+
 def main():
     argv = sys.argv[1:]
     timeline_path = None
+    profile_path = None
     positional = []
     for arg in argv:
         if arg.startswith("--timeline="):
             timeline_path = arg[len("--timeline="):]
+        elif arg.startswith("--profile="):
+            profile_path = arg[len("--profile="):]
         elif arg.startswith("--"):
             print(__doc__, file=sys.stderr)
             sys.exit(2)
@@ -456,13 +538,16 @@ def main():
     timeline_cells = breaches = 0
     if timeline_path:
         timeline_cells, breaches = check_timeline(timeline_path)
+    prof_phases = 0
+    if profile_path:
+        prof_phases = check_profile(positional[1], metrics_doc, profile_path)
     print(f"check_obs_output: OK "
           f"({trace_stats['map_spans']} map spans, "
           f"{trace_stats['provider_instants']} provider decisions, "
           f"{counters['mapred.maps_launched']} maps launched, "
           f"{ledger_cells} ledger cells, {cp_jobs} critical paths, "
           f"{analysis_cells} joined cells, {timeline_cells} timeline "
-          f"cells, {breaches} SLO breaches)")
+          f"cells, {breaches} SLO breaches, {prof_phases} prof phases)")
 
 
 if __name__ == "__main__":

@@ -6,9 +6,11 @@
 # tie-shuffle + queue-kind digest invariance check (fig5 metrics AND the
 # virtual-time telemetry timelines must be byte-identical across shuffle
 # seeds and queue implementations), the timeline thread-count invariance +
-# dmr-analyze timeline smoke, the adaptive-layout smoke (pruning must not
-# change match counts or sample digests, across thread counts, with the
-# simulated cells banded against configs/baselines/), then the
+# dmr-analyze timeline smoke, the profiling digest-invisibility check plus
+# dmr-analyze profile smoke and count-regression gate (banded against
+# configs/baselines/profile_smoke.json), the adaptive-layout smoke (pruning
+# must not change match counts or sample digests, across thread counts, with
+# the simulated cells banded against configs/baselines/), then the
 # concurrency-sensitive tests under ThreadSanitizer and the sim/mapred/obs
 # tests under ASan+UBSan.
 #
@@ -38,16 +40,18 @@ ctest --preset default -j "${jobs}"
 echo "== tier-1: dmr-lint determinism checks (src + bench + examples) =="
 ./build/src/lint/dmr-lint
 
-echo "== tier-1: observability outputs (--trace/--metrics schema check) =="
+echo "== tier-1: observability outputs (--trace/--metrics/--profile schema check) =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "${obs_dir}"' EXIT
 ./build/bench/bench_fig5_single_user \
   --trace="${obs_dir}/trace.json" --metrics="${obs_dir}/metrics.json" \
   --timeline="${obs_dir}/timeline.json" \
+  --profile="${obs_dir}/profile.collapsed" \
   > "${obs_dir}/stdout.txt"
 ./build/src/obs/dmr-analyze --json="${obs_dir}/comparison.json" \
   "${obs_dir}/metrics.json" > /dev/null
 python3 scripts/check_obs_output.py --timeline="${obs_dir}/timeline.json" \
+  --profile="${obs_dir}/profile.collapsed" \
   "${obs_dir}/trace.json" "${obs_dir}/metrics.json" \
   "${obs_dir}/comparison.json"
 
@@ -129,6 +133,62 @@ echo "fig5 timeline byte-identical at --threads=1 and --threads=4"
   "${obs_dir}/timeline_t1.json" > /dev/null
 echo "dmr-analyze timeline markdown + baseline round-trip OK"
 
+echo "== tier-1: profiling digest invisibility (prof on/off x threads x seeds) =="
+# DESIGN.md §17: the prof seam observes host time only, so every simulation
+# artifact must be byte-identical whether profiling is enabled or not — at
+# any thread count and under any legal tie order.
+while read -r threads seed; do
+  args=("--threads=${threads}")
+  if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
+  tag="t${threads}_${seed}"
+  DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
+    --timeline="${obs_dir}/prof_off_${tag}.json" > /dev/null
+  DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user "${args[@]}" \
+    --timeline="${obs_dir}/prof_on_${tag}.json" \
+    --profile="${obs_dir}/prof_${tag}.collapsed" > /dev/null
+  diff "${obs_dir}/prof_off_${tag}.json" "${obs_dir}/prof_on_${tag}.json"
+done <<'CELLS'
+1 base
+4 base
+4 11
+4 23
+CELLS
+echo "fig5 timeline byte-identical profiled vs unprofiled across threads={1,4} and tie seeds"
+
+echo "== tier-1: dmr-analyze profile smoke + regression gate =="
+# A profiled fig5 run must round-trip through the analyzer: the markdown
+# top-phase table renders, the re-emitted collapsed stacks are byte-equal
+# to the driver's own, the checked-in count baseline accepts a fresh run,
+# and a seeded 10x count regression is refused with a nonzero exit.
+DMR_HOST_CLOCK=frozen ./build/bench/bench_fig5_single_user \
+  --metrics="${obs_dir}/prof_metrics.json" \
+  --profile="${obs_dir}/prof_fig5.collapsed" > /dev/null
+./build/src/obs/dmr-analyze profile --top=10 \
+  --markdown="${obs_dir}/profile.md" \
+  "${obs_dir}/prof_metrics.json" > /dev/null
+grep -q "sim.dispatch" "${obs_dir}/profile.md"
+./build/src/obs/dmr-analyze profile \
+  --collapsed="${obs_dir}/prof_reemit.collapsed" \
+  "${obs_dir}/prof_metrics.json" > /dev/null
+diff "${obs_dir}/prof_fig5.collapsed" "${obs_dir}/prof_reemit.collapsed"
+./build/src/obs/dmr-analyze profile \
+  --baseline=configs/baselines/profile_smoke.json \
+  "${obs_dir}/prof_metrics.json"
+python3 - "${obs_dir}/prof_metrics.json" "${obs_dir}/prof_doctored.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for phase in doc["prof"]["phases"]:
+    phase["count"] *= 10
+json.dump(doc, open(sys.argv[2], "w"))
+PY
+if ./build/src/obs/dmr-analyze profile \
+     --baseline=configs/baselines/profile_smoke.json \
+     "${obs_dir}/prof_doctored.json" > /dev/null 2>&1; then
+  echo "profile baseline gate accepted a 10x phase-count regression" >&2
+  exit 1
+fi
+echo "dmr-analyze profile markdown + collapsed round-trip + baseline gate OK"
+
 echo "== tier-1: adaptive-layout smoke (pruning invisibility + thread invariance + baseline) =="
 # DESIGN.md §16: zone-map pruning and piggybacked indexing must be
 # invisible to everything except physical cost. The driver itself asserts
@@ -154,7 +214,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake --build --preset tsan -j "${jobs}" \
     --target parallel_test simulation_test metrics_test vectorized_test \
              ledger_test run_parallel_test queue_equivalence_test \
-             timeline_test layout_pruning_test
+             timeline_test layout_pruning_test prof_test
   ctest --preset tsan
 else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
@@ -168,7 +228,8 @@ if [[ "${run_asan}" == "1" ]]; then
              job_tracker_test job_client_test metrics_test trace_test \
              ledger_test analysis_test lint_test \
              run_parallel_test queue_equivalence_test \
-             timeline_test flight_recorder_test layout_pruning_test
+             timeline_test flight_recorder_test layout_pruning_test \
+             prof_test
   ctest --preset asan
 else
   echo "== tier-1: ASan stage skipped (--no-asan) =="

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "dynamic/sampling_input_provider.h"
 #include "obs/scope.h"
+#include "prof/prof.h"
 #include "tpch/lineitem.h"
 
 namespace dmr::exec {
@@ -64,12 +65,18 @@ Result<LocalRuntime::PartitionOutput> LocalRuntime::RunMapTaskVectorized(
     }
     return out;
   }
+  static const prof::PhaseId kScanPhase =
+      prof::RegisterPhase("exec", "vectorized_scan");
+  static const prof::PhaseId kPrunePhase =
+      prof::RegisterPhase("exec", "zone_prune");
+  prof::ScopedTimer prof_frame(kScanPhase);
   BoundPredicate bound(program, &partition);
   std::vector<uint32_t> matches;
   if (!options_.zone_map_pruning) {
     DMR_RETURN_NOT_OK(bound.FilterAll(&matches));
     out.rows_physical = num_rows;
   } else {
+    prof::ScopedTimer prune_frame(kPrunePhase);
     // Adaptive-layout path (DESIGN.md §16). Whatever gets skipped, the
     // SamplingMapper below still sees `num_rows` records and exactly the
     // rows a full scan would have matched, so every downstream counter and

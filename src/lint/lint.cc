@@ -397,7 +397,25 @@ const std::vector<CheckDef>& BuiltinChecks() {
               R"(\bclock\s*\(\s*\))",
               R"(\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\()",
           },
-          {"common/host_clock"},
+          {"common/host_clock", "prof/prof"},
+      },
+      {
+          "raw-host-timer",
+          Severity::kWarning,
+          CheckKind::kLineRegex,
+          "raw monotonic-clock read outside the sanctioned seams; host "
+          "timing belongs to common/host_clock (frozen-clock reports) or "
+          "prof/prof.h (calibrated scoped phase timers) so there is one "
+          "place to audit for determinism leaks",
+          {
+              // Unqualified uses (typically behind `using namespace
+              // std::chrono`); the fully qualified spelling is already an
+              // error under wall-clock. The leading [^:] rejects the
+              // `chrono::steady_clock` form that wall-clock owns.
+              R"((^|[^:])\b(steady_clock|high_resolution_clock)\s*::\s*now\b)",
+              R"(\busing\s+namespace\s+std::chrono\b)",
+          },
+          {"common/host_clock", "prof/prof"},
       },
       {
           "unseeded-rng",

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 
 namespace dmr::mapred {
 
@@ -158,8 +159,13 @@ Result<int> JobClient::Submit(JobSubmission submission,
 
   obs::Scope* obs = tracker_->obs();
   double t0 = DecisionStart(obs);
-  InputResponse initial =
-      loop->provider->GetInitialInput(tracker_->GetClusterStatus());
+  static const prof::PhaseId kInitialInputPhase =
+      prof::RegisterPhase("mapred", "provider_initial");
+  InputResponse initial;
+  {
+    prof::ScopedTimer prof_frame(kInitialInputPhase);
+    initial = loop->provider->GetInitialInput(tracker_->GetClusterStatus());
+  }
   RecordProviderDecision(obs, sim_->Now(), job_id, initial, t0,
                          /*initial=*/true);
   switch (initial.kind) {
@@ -220,8 +226,13 @@ void JobClient::RunEvaluation(std::shared_ptr<DynamicLoop> loop) {
     ++loop->provider_evaluations;
     obs::Scope* obs = tracker_->obs();
     double t0 = DecisionStart(obs);
-    InputResponse response =
-        loop->provider->Evaluate(progress, tracker_->GetClusterStatus());
+    static const prof::PhaseId kEvaluatePhase =
+        prof::RegisterPhase("mapred", "provider_evaluate");
+    InputResponse response;
+    {
+      prof::ScopedTimer prof_frame(kEvaluatePhase);
+      response = loop->provider->Evaluate(progress, tracker_->GetClusterStatus());
+    }
     RecordProviderDecision(obs, sim_->Now(), loop->job_id, response, t0,
                            /*initial=*/false);
     switch (response.kind) {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "obs/critical_path.h"
 #include "obs/ledger.h"
+#include "prof/prof.h"
 #include "sim/arena.h"
 
 namespace dmr::mapred {
@@ -254,6 +255,9 @@ void JobTracker::PruneMappingJobs() {
 }
 
 void JobTracker::Heartbeat(int node_id) {
+  static const prof::PhaseId kHeartbeatPhase =
+      prof::RegisterPhase("mapred", "heartbeat");
+  prof::ScopedTimer prof_frame(kHeartbeatPhase);
   cluster::Node* node = cluster_->node(node_id);
   cluster_->state().RecordHeartbeat(node_id, sim_->Now());
 
@@ -274,8 +278,14 @@ void JobTracker::Heartbeat(int node_id) {
     // byte-identical.
     double t0 = 0.0;
     if (obs_ != nullptr) t0 = HostClock::NowMicros();
-    std::vector<MapAssignment> assignments = scheduler_->AssignMapTasks(
-        mapping_jobs_, node_id, node->free_map_slots(), sim_->Now());
+    static const prof::PhaseId kAssignPhase =
+        prof::RegisterPhase("mapred", "assign_maps");
+    std::vector<MapAssignment> assignments;
+    {
+      prof::ScopedTimer assign_frame(kAssignPhase);
+      assignments = scheduler_->AssignMapTasks(
+          mapping_jobs_, node_id, node->free_map_slots(), sim_->Now());
+    }
     if (obs_ != nullptr) {
       obs_->Observe(obs_->m().heartbeat_assign, HostClock::ElapsedMicros(t0));
     }
@@ -589,6 +599,9 @@ void JobTracker::CheckReduceReady(Job* job) {
 }
 
 void JobTracker::LaunchReduce(Job* job, int node_id) {
+  static const prof::PhaseId kLaunchReducePhase =
+      prof::RegisterPhase("mapred", "launch_reduce");
+  prof::ScopedTimer prof_frame(kLaunchReducePhase);
   cluster::Node* node = cluster_->node(node_id);
   node->AcquireReduceSlot();
   history_.Record(sim_->Now(), job->id(), JobEventKind::kReduceStarted, -1,

@@ -1067,4 +1067,319 @@ std::string EmitBaseline(const std::vector<RunData>& runs,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Profile documents (the "prof" report section of --profile runs).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t U64Or(const JsonValue& obj, const char* key) {
+  return static_cast<uint64_t>(obj.NumberOr(key, 0.0));
+}
+
+std::string U64(uint64_t value) { return std::to_string(value); }
+
+/// First run (driver-matching when `driver` is set) that has the phase.
+const ProfilePhaseStat* ResolvePhase(const std::vector<ProfileRunData>& runs,
+                                     const std::string& driver,
+                                     const std::string& path) {
+  for (const ProfileRunData& run : runs) {
+    if (!driver.empty() && run.driver != driver) continue;
+    if (const ProfilePhaseStat* phase = run.FindPhase(path)) return phase;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool ProfilePhaseStat::MetricByName(std::string_view name,
+                                    double* out) const {
+  if (name == "count") {
+    *out = static_cast<double>(count);
+  } else if (name == "total_ms") {
+    *out = total_ms();
+  } else if (name == "self_ms") {
+    *out = self_ms();
+  } else if (name == "min_us") {
+    *out = static_cast<double>(min_ns) / 1e3;
+  } else if (name == "max_us") {
+    *out = static_cast<double>(max_ns) / 1e3;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const ProfilePhaseStat* ProfileRunData::FindPhase(
+    std::string_view path) const {
+  for (const ProfilePhaseStat& phase : phases) {
+    if (phase.path == path) return &phase;
+  }
+  return nullptr;
+}
+
+Result<ProfileRunData> ParseProfile(std::string_view json,
+                                    std::string source) {
+  DMR_ASSIGN_OR_RETURN(JsonValue doc, json::JsonParse(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(source + ": report is not a JSON object");
+  }
+  ProfileRunData run;
+  run.source = std::move(source);
+  if (const JsonValue* info = doc.Find("info")) {
+    run.driver = info->StringOr("driver", "");
+  }
+  const JsonValue* prof = doc.Find("prof");
+  if (prof == nullptr || !prof->is_object()) {
+    return Status::InvalidArgument(
+        run.source + ": no prof section (was the run profiled? pass "
+                     "--profile=FILE to the bench driver)");
+  }
+  run.calibration_ns = prof->NumberOr("calibration_ns", 0.0);
+  run.threads = static_cast<int>(prof->NumberOr("threads", 0.0));
+  run.imbalances = static_cast<int>(prof->NumberOr("imbalances", 0.0));
+  const JsonValue* phases = prof->Find("phases");
+  if (phases == nullptr || !phases->is_array()) {
+    return Status::InvalidArgument(run.source +
+                                   ": prof section without phases array");
+  }
+  for (const JsonValue& entry : phases->items) {
+    ProfilePhaseStat phase;
+    phase.path = entry.StringOr("path", "");
+    if (phase.path.empty()) {
+      return Status::InvalidArgument(run.source +
+                                     ": prof phase without a path");
+    }
+    phase.count = U64Or(entry, "count");
+    phase.total_ns = U64Or(entry, "total_ns");
+    phase.self_ns = U64Or(entry, "self_ns");
+    phase.min_ns = U64Or(entry, "min_ns");
+    phase.max_ns = U64Or(entry, "max_ns");
+    if (phase.self_ns > phase.total_ns) {
+      return Status::InvalidArgument(run.source + ": prof phase " +
+                                     phase.path + " has self > total");
+    }
+    run.phases.push_back(std::move(phase));
+  }
+  if (const JsonValue* alloc = prof->Find("alloc")) {
+    for (const JsonValue& entry : alloc->items) {
+      ProfileAllocStat stat;
+      stat.site = entry.StringOr("site", "");
+      stat.count = U64Or(entry, "count");
+      stat.bytes = U64Or(entry, "bytes");
+      run.alloc.push_back(std::move(stat));
+    }
+  }
+  return run;
+}
+
+Result<ProfileRunData> LoadProfileFile(const std::string& path) {
+  DMR_ASSIGN_OR_RETURN(std::string text, SlurpFile(path));
+  return ParseProfile(text, path);
+}
+
+std::string RenderProfileMarkdown(const std::vector<ProfileRunData>& runs,
+                                  size_t top_n) {
+  std::string out = "# Host profile\n";
+  for (const ProfileRunData& run : runs) {
+    out += "\n## " + (run.driver.empty() ? std::string("<no driver>")
+                                         : run.driver) +
+           " (" + run.source + ")\n\n";
+    out += "threads merged: " + std::to_string(run.threads) +
+           " · imbalances: " + std::to_string(run.imbalances) +
+           " · calibration: " + Fixed(run.calibration_ns) + " ns/frame\n\n";
+    uint64_t self_total = 0;
+    for (const ProfilePhaseStat& phase : run.phases) {
+      self_total += phase.self_ns;
+    }
+    std::vector<const ProfilePhaseStat*> ranked;
+    ranked.reserve(run.phases.size());
+    for (const ProfilePhaseStat& phase : run.phases) ranked.push_back(&phase);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ProfilePhaseStat* a, const ProfilePhaseStat* b) {
+                if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+                return a->path < b->path;
+              });
+    if (ranked.size() > top_n) ranked.resize(top_n);
+    out += "| phase | count | total ms | self ms | self % | min µs | "
+           "max µs |\n";
+    out += "|---|---:|---:|---:|---:|---:|---:|\n";
+    for (const ProfilePhaseStat* phase : ranked) {
+      double pct = self_total > 0
+                       ? 100.0 * static_cast<double>(phase->self_ns) /
+                             static_cast<double>(self_total)
+                       : 0.0;
+      out += "| " + phase->path + " | " + U64(phase->count) + " | " +
+             Fixed(phase->total_ms()) + " | " + Fixed(phase->self_ms()) +
+             " | " + Fixed(pct) + " | " +
+             Fixed(static_cast<double>(phase->min_ns) / 1e3) + " | " +
+             Fixed(static_cast<double>(phase->max_ns) / 1e3) + " |\n";
+    }
+    if (run.phases.size() > top_n) {
+      out += "\n(" + std::to_string(run.phases.size() - top_n) +
+             " more phases below the top-" + std::to_string(top_n) +
+             " self-time cut)\n";
+    }
+    if (!run.alloc.empty()) {
+      out += "\n### Allocation accounting\n\n";
+      out += "| site | count | bytes |\n|---|---:|---:|\n";
+      for (const ProfileAllocStat& stat : run.alloc) {
+        out += "| " + stat.site + " | " + U64(stat.count) + " | " +
+               U64(stat.bytes) + " |\n";
+      }
+    }
+  }
+  if (runs.size() >= 2) {
+    // Cross-run comparison matrix: self time per phase, all runs side by
+    // side, over the union of paths (sorted, so the matrix is stable).
+    std::set<std::string> paths;
+    for (const ProfileRunData& run : runs) {
+      for (const ProfilePhaseStat& phase : run.phases) {
+        paths.insert(phase.path);
+      }
+    }
+    out += "\n## Cross-run self time (ms)\n\n| phase |";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      out += " run" + std::to_string(i) + " |";
+    }
+    out += "\n|---|";
+    for (size_t i = 0; i < runs.size(); ++i) out += "---:|";
+    out += "\n";
+    for (const std::string& path : paths) {
+      out += "| " + path + " |";
+      for (const ProfileRunData& run : runs) {
+        const ProfilePhaseStat* phase = run.FindPhase(path);
+        out += phase != nullptr ? " " + Fixed(phase->self_ms()) + " |"
+                                : " - |";
+      }
+      out += "\n";
+    }
+    out += "\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      out += "run" + std::to_string(i) + ": " + runs[i].source + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderProfileCollapsed(const ProfileRunData& run) {
+  std::vector<const ProfilePhaseStat*> ordered;
+  ordered.reserve(run.phases.size());
+  for (const ProfilePhaseStat& phase : run.phases) ordered.push_back(&phase);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProfilePhaseStat* a, const ProfilePhaseStat* b) {
+              return a->path < b->path;
+            });
+  std::string out;
+  for (const ProfilePhaseStat* phase : ordered) {
+    out += phase->path;
+    out += ' ';
+    out += U64(phase->self_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<BaselineReport> CheckProfileBaseline(
+    const JsonValue& baseline, const std::vector<ProfileRunData>& runs) {
+  if (!baseline.is_object()) {
+    return Status::InvalidArgument("baseline is not a JSON object");
+  }
+  BaselineReport report;
+  std::string driver = baseline.StringOr("driver", "");
+  if (!driver.empty()) {
+    bool found = false;
+    for (const ProfileRunData& run : runs) found |= run.driver == driver;
+    if (!found) {
+      report.failures.push_back("no input run has driver '" + driver + "'");
+      return report;
+    }
+  }
+  if (const JsonValue* balanced = baseline.Find("require_balanced")) {
+    if (balanced->bool_value) {
+      for (const ProfileRunData& run : runs) {
+        if (!driver.empty() && run.driver != driver) continue;
+        ++report.entries_checked;
+        if (run.imbalances != 0) {
+          report.failures.push_back(
+              run.source + ": timer-stack imbalances = " +
+              std::to_string(run.imbalances) + " (expected 0)");
+        }
+      }
+    }
+  }
+  const JsonValue* entries = baseline.Find("entries");
+  if (entries == nullptr || !entries->is_array()) return report;
+  for (const JsonValue& entry : entries->items) {
+    std::string path = entry.StringOr("path", "");
+    const ProfilePhaseStat* phase = ResolvePhase(runs, driver, path);
+    if (phase == nullptr) {
+      report.failures.push_back("baseline phase not found in any run: " +
+                                path);
+      continue;
+    }
+    const JsonValue* metrics = entry.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) continue;
+    for (const auto& [name, base] : metrics->members) {
+      if (!base.is_number()) continue;
+      double actual = 0.0;
+      if (!phase->MetricByName(name, &actual)) {
+        report.notes.push_back("unknown profile metric '" + name +
+                               "' ignored for " + path);
+        continue;
+      }
+      ++report.entries_checked;
+      Tolerance tol = ToleranceFor(baseline, name);
+      double budget = tol.abs + tol.rel * std::fabs(base.number_value);
+      double delta = actual - base.number_value;
+      if (std::fabs(delta) > budget) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: %s = %.6g vs baseline %.6g (|delta| %.3g > "
+                      "tolerance %.3g)",
+                      path.c_str(), name.c_str(), actual, base.number_value,
+                      std::fabs(delta), budget);
+        report.failures.push_back(buf);
+      } else if (delta != 0.0) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: %s drifted %.3g (within tolerance %.3g)",
+                      path.c_str(), name.c_str(), delta, budget);
+        report.notes.push_back(buf);
+      }
+    }
+  }
+  return report;
+}
+
+std::string EmitProfileBaseline(const std::vector<ProfileRunData>& runs,
+                                double default_rel_tolerance) {
+  std::string driver;
+  for (const ProfileRunData& run : runs) {
+    if (!run.driver.empty()) {
+      driver = run.driver;
+      break;
+    }
+  }
+  std::string out = "{\n  \"kind\": \"profile\",\n  \"driver\": " +
+                    JsonQuote(driver) + ",\n";
+  out += "  \"require_balanced\": true,\n";
+  out += "  \"tolerances\": {\"count\": {\"rel\": " +
+         Num(default_rel_tolerance) + ", \"abs\": 2}},\n";
+  out += "  \"entries\": [";
+  bool first = true;
+  std::set<std::string> seen;
+  for (const ProfileRunData& run : runs) {
+    for (const ProfilePhaseStat& phase : run.phases) {
+      if (!seen.insert(phase.path).second) continue;  // first run wins
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"path\": " + JsonQuote(phase.path) +
+             ", \"metrics\": {\"count\": " + U64(phase.count) + "}}";
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
 }  // namespace dmr::obs::analysis

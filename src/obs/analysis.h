@@ -213,6 +213,90 @@ Result<BaselineReport> CheckTimelineBaseline(
 std::string EmitTimelineBaseline(const std::vector<TimelineRunData>& runs,
                                  double default_rel_tolerance);
 
+// ---------------------------------------------------------------------------
+// `dmr-analyze profile`: the host-side profile sections ("prof", written by
+// bench drivers under --profile=FILE) of Report::ToJson() metrics files.
+// Phases join across runs by collapsed path ("sim.run_until;sim.dispatch");
+// regression bands are per (path, metric), with the same tolerance rule as
+// CheckBaseline. Raw nanosecond fields are kept as integers so the
+// collapsed-stack re-emission is byte-identical to the driver's --profile
+// file (the round-trip tier-1 check).
+// ---------------------------------------------------------------------------
+
+/// One phase node of a parsed profile (see prof::PhaseStat for semantics).
+struct ProfilePhaseStat {
+  std::string path;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  double self_ms() const { return static_cast<double>(self_ns) / 1e6; }
+
+  /// "count", "total_ms", "self_ms", "min_us", "max_us"; false when unknown.
+  bool MetricByName(std::string_view name, double* out) const;
+};
+
+struct ProfileAllocStat {
+  std::string site;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+/// One parsed metrics file's "prof" section.
+struct ProfileRunData {
+  std::string source;
+  std::string driver;
+  double calibration_ns = 0.0;
+  int threads = 0;
+  int imbalances = 0;
+  std::vector<ProfilePhaseStat> phases;  // sorted by path, as emitted
+  std::vector<ProfileAllocStat> alloc;
+
+  const ProfilePhaseStat* FindPhase(std::string_view path) const;
+};
+
+/// Parses one Report::ToJson() document carrying a "prof" section (a
+/// metrics file from a --profile run). A report without the section is an
+/// error: profiling was not enabled for that run.
+Result<ProfileRunData> ParseProfile(std::string_view json, std::string source);
+Result<ProfileRunData> LoadProfileFile(const std::string& path);
+
+/// Markdown digest over N profile runs: per run, a top-`top_n` self-time
+/// attribution table plus the allocation-accounting table; with two or
+/// more runs, a cross-run self-time comparison matrix over the union of
+/// phase paths.
+std::string RenderProfileMarkdown(const std::vector<ProfileRunData>& runs,
+                                  size_t top_n);
+
+/// Re-emits the run as Brendan-Gregg collapsed-stack text — byte-identical
+/// to the prof::ToCollapsed output the driver wrote, for round-trip checks
+/// and for feeding flamegraph.pl from an archived metrics file.
+std::string RenderProfileCollapsed(const ProfileRunData& run);
+
+/// Diffs profile runs against a baseline document:
+/// {
+///   "kind": "profile",
+///   "driver": "fig5_single_user",
+///   "require_balanced": true,            // fail when imbalances != 0
+///   "tolerances": {"count": 0.05, "self_ms": {"rel": 0.25, "abs": 1.0}},
+///   "entries": [{"path": "sim.run_until;sim.dispatch",
+///                "metrics": {"count": 123456}}, ...]
+/// }
+/// Fail when |value - base| > abs + rel * |base|; missing phases fail.
+/// Checked-in baselines should band call counts (deterministic across
+/// machines); time bands are for same-host A/B comparisons.
+Result<BaselineReport> CheckProfileBaseline(
+    const json::JsonValue& baseline, const std::vector<ProfileRunData>& runs);
+
+/// Renders a fresh profile baseline from `runs` (first run with the phase
+/// wins). Only the deterministic "count" metric is emitted; time bands are
+/// meant to be curated by hand where a stable host can be assumed.
+std::string EmitProfileBaseline(const std::vector<ProfileRunData>& runs,
+                                double default_rel_tolerance);
+
 }  // namespace dmr::obs::analysis
 
 #endif  // DMR_OBS_ANALYSIS_H_

@@ -18,6 +18,13 @@
 //     sparkline/extrema tables per cell, and --baseline diffs per-window
 //     percentile regression bands (p50/p90/p99 maxima, counts) plus probe
 //     extrema. Same flags as above except --json.
+//
+//   dmr-analyze profile [flags] metrics.json [metrics2.json ...]
+//     Reads the "prof" section of --profile runs' metrics files: top-N
+//     self-time tables (--top=N), cross-run self-time matrices, collapsed
+//     flamegraph re-emission (--collapsed=FILE) and per-phase regression
+//     bands (--baseline / --emit-baseline). Same flags as above except
+//     --json, plus --top and --collapsed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,14 +40,16 @@ namespace {
 using dmr::Result;
 using dmr::Status;
 using dmr::obs::analysis::BaselineReport;
+using dmr::obs::analysis::ProfileRunData;
 using dmr::obs::analysis::RunData;
 using dmr::obs::analysis::TimelineRunData;
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [timeline] [--markdown[=FILE]] [--json=FILE] "
-               "[--baseline=FILE] [--emit-baseline=FILE] "
-               "[--rel-tolerance=X] report.json [report2.json ...]\n",
+               "usage: %s [timeline|profile] [--markdown[=FILE]] "
+               "[--json=FILE] [--baseline=FILE] [--emit-baseline=FILE] "
+               "[--rel-tolerance=X] [--top=N] [--collapsed=FILE] "
+               "report.json [report2.json ...]\n",
                argv0);
   std::exit(2);
 }
@@ -137,6 +146,75 @@ int TimelineMain(const char* argv0, const std::vector<std::string>& paths,
   return 0;
 }
 
+/// The `dmr-analyze profile` subcommand: host-profile attribution tables,
+/// collapsed-stack re-emission and per-phase regression bands.
+int ProfileMain(const char* argv0, const std::vector<std::string>& paths,
+                const std::string& markdown_path, bool want_markdown,
+                const std::string& baseline_path,
+                const std::string& emit_baseline_path,
+                const std::string& collapsed_path, size_t top_n,
+                double rel_tolerance) {
+  if (paths.empty()) Usage(argv0);
+  std::vector<ProfileRunData> runs;
+  runs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    Result<ProfileRunData> run = dmr::obs::analysis::LoadProfileFile(path);
+    DieOn(run.status(), path.c_str());
+    runs.push_back(std::move(run).ValueUnsafe());
+  }
+
+  bool render_markdown =
+      want_markdown || (baseline_path.empty() && emit_baseline_path.empty() &&
+                        collapsed_path.empty());
+  if (render_markdown) {
+    std::string markdown =
+        dmr::obs::analysis::RenderProfileMarkdown(runs, top_n);
+    if (markdown_path.empty()) {
+      std::fputs(markdown.c_str(), stdout);
+    } else {
+      DieOn(WriteFile(markdown_path, markdown), markdown_path.c_str());
+      std::printf("profile markdown written to %s\n", markdown_path.c_str());
+    }
+  }
+  if (!collapsed_path.empty()) {
+    DieOn(WriteFile(collapsed_path,
+                    dmr::obs::analysis::RenderProfileCollapsed(runs.front())),
+          collapsed_path.c_str());
+    std::printf("collapsed stacks written to %s\n", collapsed_path.c_str());
+  }
+  if (!emit_baseline_path.empty()) {
+    DieOn(WriteFile(
+              emit_baseline_path,
+              dmr::obs::analysis::EmitProfileBaseline(runs, rel_tolerance)),
+          emit_baseline_path.c_str());
+    std::printf("profile baseline written to %s\n",
+                emit_baseline_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    Result<std::string> text = Slurp(baseline_path);
+    DieOn(text.status(), baseline_path.c_str());
+    Result<dmr::json::JsonValue> baseline = dmr::json::JsonParse(*text);
+    DieOn(baseline.status(), baseline_path.c_str());
+    Result<BaselineReport> checked =
+        dmr::obs::analysis::CheckProfileBaseline(*baseline, runs);
+    DieOn(checked.status(), baseline_path.c_str());
+    for (const std::string& note : checked->notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    if (!checked->ok()) {
+      for (const std::string& failure : checked->failures) {
+        std::fprintf(stderr, "REGRESSION: %s\n", failure.c_str());
+      }
+      std::fprintf(stderr, "dmr-analyze: %zu profile regression(s) vs %s\n",
+                   checked->failures.size(), baseline_path.c_str());
+      return 1;
+    }
+    std::printf("profile baseline OK: %d metric(s) checked vs %s\n",
+                checked->entries_checked, baseline_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,14 +222,20 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string markdown_path;
   std::string emit_baseline_path;
+  std::string collapsed_path;
   double rel_tolerance = 0.05;
+  long top_n = 30;
   bool want_markdown = false;
   bool timeline_mode = false;
+  bool profile_mode = false;
   std::vector<std::string> report_paths;
 
   int first_arg = 1;
   if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
     timeline_mode = true;
+    first_arg = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+    profile_mode = true;
     first_arg = 2;
   }
   for (int i = first_arg; i < argc; ++i) {
@@ -167,6 +251,12 @@ int main(int argc, char** argv) {
       markdown_path = arg + 11;
     } else if (std::strncmp(arg, "--emit-baseline=", 16) == 0) {
       emit_baseline_path = arg + 16;
+    } else if (std::strncmp(arg, "--collapsed=", 12) == 0) {
+      collapsed_path = arg + 12;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      char* end = nullptr;
+      top_n = std::strtol(arg + 6, &end, 10);
+      if (end == arg + 6 || *end != '\0' || top_n <= 0) Usage(argv[0]);
     } else if (std::strncmp(arg, "--rel-tolerance=", 16) == 0) {
       char* end = nullptr;
       rel_tolerance = std::strtod(arg + 16, &end);
@@ -186,6 +276,13 @@ int main(int argc, char** argv) {
     return TimelineMain(argv[0], report_paths, markdown_path, want_markdown,
                         baseline_path, emit_baseline_path, rel_tolerance);
   }
+  if (profile_mode) {
+    if (!json_path.empty()) Usage(argv[0]);
+    return ProfileMain(argv[0], report_paths, markdown_path, want_markdown,
+                       baseline_path, emit_baseline_path, collapsed_path,
+                       static_cast<size_t>(top_n), rel_tolerance);
+  }
+  if (!collapsed_path.empty()) Usage(argv[0]);
 
   std::vector<RunData> runs;
   runs.reserve(report_paths.size());

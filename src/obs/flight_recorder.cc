@@ -27,6 +27,8 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
       return "provider_end_of_input";
     case FlightEventKind::kSloBreach:
       return "slo_breach";
+    case FlightEventKind::kProfSeal:
+      return "prof_seal";
   }
   return "unknown";
 }

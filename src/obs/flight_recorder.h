@@ -24,6 +24,8 @@ enum class FlightEventKind : int32_t {
   kProviderWait = 4,      // provider said "come back later"
   kProviderEndOfInput = 5,  // provider ended the job's input
   kSloBreach = 6,         // SLO rule crossed into breach (value = measured)
+  kProfSeal = 7,          // host profile sealed (detail = timer-stack
+                          // imbalances, value = profiled host ms)
 };
 
 /// Dump-format name for a kind ("schedule", "backup", ...).

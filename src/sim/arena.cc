@@ -8,6 +8,7 @@ void* Arena::Carve(int cls) {
     // Blocks are powers of two dividing the chunk size, so a fresh chunk
     // always satisfies the request; the tail of the old chunk (< block
     // bytes) is abandoned.
+    prof::AccountAlloc(prof::AllocSite::kArenaChunk, 1, kChunkBytes);
     auto chunk = std::make_unique<unsigned char[]>(kChunkBytes);
     bump_ = chunk.get();
     bump_left_ = kChunkBytes;

@@ -7,6 +7,8 @@
 #include <new>
 #include <vector>
 
+#include "prof/prof.h"
+
 namespace dmr::sim {
 
 /// \brief A chunked size-class arena for simulation objects.
@@ -39,7 +41,10 @@ class Arena {
 
   void* Allocate(std::size_t bytes) {
     int cls = ClassIndex(bytes);
-    if (cls < 0) return ::operator new(bytes);
+    if (cls < 0) {
+      prof::AccountAlloc(prof::AllocSite::kArenaLarge, 1, bytes);
+      return ::operator new(bytes);
+    }
     if (free_[cls] != nullptr) {
       FreeNode* node = free_[cls];
       free_[cls] = node->next;

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "prof/prof.h"
 
 namespace dmr::sim {
 
@@ -140,6 +141,9 @@ std::size_t EventQueue::Compact(std::vector<Event>& v) {
 }
 
 void EventQueue::Refill() {
+  static const prof::PhaseId kRefillPhase =
+      prof::RegisterPhase("sim", "queue_refill");
+  prof::ScopedTimer prof_frame(kRefillPhase);
   SimTime tmin = overflow_.front().time;
   for (const Event& ev : overflow_) tmin = std::min(tmin, ev.time);
   epoch_ = std::floor(tmin / width_) * width_;
@@ -234,6 +238,9 @@ Event EventQueue::PopLive() {
 }
 
 std::size_t EventQueue::PurgeCancelled() {
+  static const prof::PhaseId kPurgePhase =
+      prof::RegisterPhase("sim", "queue_purge");
+  prof::ScopedTimer prof_frame(kPurgePhase);
   std::size_t removed = 0;
   if (kind_ == QueueKind::kBinaryHeap) {
     removed = Compact(heap_);
@@ -454,7 +461,34 @@ bool Simulation::Step(SimTime limit) {
   return true;
 }
 
+uint64_t Simulation::StepChunkedProf(SimTime limit, uint64_t max_events) {
+  // Profiled dispatch loop: the frame's two clock reads are amortized over
+  // up to 1024 events so enabled cost stays inside the sim_scale 2% budget.
+  // Chunk boundaries never change which Step fires next, so the firing
+  // order (and every digest) is identical to the unprofiled loop.
+  static const prof::PhaseId kDispatchPhase =
+      prof::RegisterPhase("sim", "dispatch");
+  constexpr uint64_t kChunk = 1024;
+  uint64_t fired = 0;
+  while (fired < max_events) {
+    const uint64_t budget = std::min(kChunk, max_events - fired);
+    prof::BeginPhase(kDispatchPhase);
+    uint64_t n = 0;
+    while (n < budget && Step(limit)) ++n;
+    prof::EndPhase(n);
+    fired += n;
+    if (n < budget) break;
+  }
+  return fired;
+}
+
 uint64_t Simulation::Run(uint64_t max_events) {
+  if (prof::Enabled()) {
+    static const prof::PhaseId kRunPhase = prof::RegisterPhase("sim", "run");
+    prof::ScopedTimer prof_frame(kRunPhase);
+    return StepChunkedProf(std::numeric_limits<SimTime>::infinity(),
+                           max_events);
+  }
   uint64_t fired = 0;
   while (fired < max_events &&
          Step(std::numeric_limits<SimTime>::infinity())) {
@@ -465,7 +499,14 @@ uint64_t Simulation::Run(uint64_t max_events) {
 
 uint64_t Simulation::RunUntil(SimTime until) {
   uint64_t fired = 0;
-  while (Step(until)) ++fired;
+  if (prof::Enabled()) {
+    static const prof::PhaseId kRunUntilPhase =
+        prof::RegisterPhase("sim", "run_until");
+    prof::ScopedTimer prof_frame(kRunUntilPhase);
+    fired = StepChunkedProf(until, std::numeric_limits<uint64_t>::max());
+  } else {
+    while (Step(until)) ++fired;
+  }
   if (now_ < until) now_ = until;
   for (const auto& sh : shards_) {
     if (sh->now < until) sh->now = until;
@@ -474,6 +515,9 @@ uint64_t Simulation::RunUntil(SimTime until) {
 }
 
 void Simulation::MergeStagedEvents() {
+  static const prof::PhaseId kMergePhase =
+      prof::RegisterPhase("sim", "merge_staged");
+  prof::ScopedTimer prof_frame(kMergePhase);
   for (std::size_t target = 0; target < shards_.size(); ++target) {
     internal::Shard* sh = shards_[target].get();
     for (std::size_t source = 0; source < shards_.size(); ++source) {
@@ -496,6 +540,9 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
       << "RunParallel(n) requires a prior ConfigureShards(n)";
   DMR_CHECK_GT(lookahead, 0.0);
   DMR_CHECK_GE(until, now_);
+  static const prof::PhaseId kRunParallelPhase =
+      prof::RegisterPhase("sim", "run_parallel");
+  prof::ScopedTimer prof_frame(kRunParallelPhase);
   const uint64_t fired_before = events_fired();
   if (n_shards == 1) {
     // One shard has no cross-shard edges; the serial engine is the same
@@ -544,11 +591,26 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
     workers.emplace_back([this, i, until, &barrier, &done] {
       internal::t_shard = internal::TlsShard{this, i};
       internal::Shard* sh = shards_[static_cast<std::size_t>(i)].get();
+      // Worker frames are thread-local: each worker opens its own
+      // sim.parallel_worker root with per-epoch dispatch and barrier-wait
+      // children; Collect() merges the workers by name. `profiled` is
+      // latched once so Begin/End stay paired even if profiling is toggled
+      // mid-run from another thread.
+      static const prof::PhaseId kWorkerPhase =
+          prof::RegisterPhase("sim", "parallel_worker");
+      static const prof::PhaseId kEpochPhase =
+          prof::RegisterPhase("sim", "parallel_dispatch");
+      static const prof::PhaseId kBarrierPhase =
+          prof::RegisterPhase("sim", "barrier_wait");
+      const bool profiled = prof::Enabled();
+      if (profiled) prof::BeginPhase(kWorkerPhase);
       for (;;) {
         const SimTime bound = epoch_end_;
         // The final window is inclusive so events at exactly `until` fire,
         // matching RunUntil's boundary semantics.
         const bool final_window = bound >= until;
+        if (profiled) prof::BeginPhase(kEpochPhase);
+        uint64_t fired_in_epoch = 0;
         for (;;) {
           internal::Event* next = sh->queue.PeekLive();
           if (next == nullptr) break;
@@ -560,12 +622,17 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
             ReleaseQueueRef(ev.slot);
           }
           ++sh->events_fired;
+          ++fired_in_epoch;
           NoteFired(sh, ev.time, ev.key);
           ev.fn();
         }
+        if (profiled) prof::EndPhase(fired_in_epoch);
+        if (profiled) prof::BeginPhase(kBarrierPhase);
         barrier.arrive_and_wait();
+        if (profiled) prof::EndPhase(1);
         if (done) break;
       }
+      if (profiled) prof::EndPhase(1);
       internal::t_shard = internal::TlsShard{};
     });
   }

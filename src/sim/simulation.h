@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "prof/prof.h"
 #include "sim/arena.h"
 
 namespace dmr::sim {
@@ -83,6 +84,7 @@ class EventCallback {
         Arena* arena;
         Fn fn;
       };
+      prof::AccountAlloc(prof::AllocSite::kCallbackSpill, 1, sizeof(Box));
       void* mem = arena != nullptr ? arena->Allocate(sizeof(Box))
                                    : ::operator new(sizeof(Box));
       storage_.heap = ::new (mem) Box{arena, Fn(std::forward<F>(f))};
@@ -101,6 +103,7 @@ class EventCallback {
       };
     } else {
       // Over-aligned callables bypass the 16-byte-aligned arena entirely.
+      prof::AccountAlloc(prof::AllocSite::kCallbackSpill, 1, sizeof(Fn));
       storage_.heap = new Fn(std::forward<F>(f));
       invoke_ = [](EventCallback* self) {
         (*static_cast<Fn*>(self->storage_.heap))();
@@ -821,6 +824,11 @@ class Simulation {
   /// Pops and fires the next non-cancelled event across all shard queues
   /// (serial engine); returns false if none remains at or before `limit`.
   bool Step(SimTime limit);
+
+  /// The profiled serial dispatch loop: identical Step sequence to
+  /// Run/RunUntil, with the prof frame's clock reads amortized over
+  /// ~1k-event chunks (sim.dispatch). Returns the number fired.
+  uint64_t StepChunkedProf(SimTime limit, uint64_t max_events);
 
   /// Called by EventHandle::Cancel for a still-queued event.
   void OnCancelled(internal::EventSlot* slot);

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "prof/prof.h"
 
 namespace dmr::tpch {
 
@@ -154,6 +155,9 @@ ColumnarPartition::ColumnarPartition()
 
 Result<ColumnarPartition> ColumnarPartition::FromRows(
     const std::vector<LineItemRow>& rows) {
+  static const prof::PhaseId kBuildPhase =
+      prof::RegisterPhase("tpch", "columnar_build");
+  prof::ScopedTimer prof_frame(kBuildPhase);
   ColumnarPartition part;
   for (auto& col : part.i64_) col.reserve(rows.size());
   for (auto& col : part.f64_) col.reserve(rows.size());
@@ -162,6 +166,7 @@ Result<ColumnarPartition> ColumnarPartition::FromRows(
   for (const auto& row : rows) {
     DMR_RETURN_NOT_OK(part.AppendRow(row));
   }
+  prof::AccountAlloc(prof::AllocSite::kColumnarBuild, 1, part.MemoryBytes());
   return part;
 }
 

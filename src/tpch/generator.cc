@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "prof/prof.h"
+
 namespace dmr::tpch {
 
 namespace {
@@ -231,13 +233,24 @@ Result<SharedDataset> MaterializeDatasetShared(const SkewSpec& spec,
     }
   }
   if (owner) {
+    static const prof::PhaseId kMaterializePhase =
+        prof::RegisterPhase("tpch", "materialize_dataset");
+    prof::ScopedTimer prof_frame(kMaterializePhase);
     Result<MaterializedDataset> ds = MaterializeDataset(spec, pred);
     if (ds.ok()) {
+      uint64_t bytes = 0;
+      for (const auto& part : ds->partitions) {
+        bytes += part.size() * kLineItemRecordBytes;
+      }
+      for (const auto& col : ds->columnar) bytes += col.MemoryBytes();
+      prof::AccountAlloc(prof::AllocSite::kDatasetCacheBuild, 1, bytes);
       promise.set_value(
           std::make_shared<const MaterializedDataset>(std::move(*ds)));
     } else {
       promise.set_value(ds.status());
     }
+  } else {
+    prof::AccountAlloc(prof::AllocSite::kDatasetCacheHit, 1, 0);
   }
   return future.get();
 }

@@ -1,0 +1,13 @@
+// Raw-host-timer fixture: hazards at lines 5, 8 and 12 exactly.
+#include <chrono>
+#include <cstdint>
+
+using namespace std::chrono;
+
+uint64_t A() {
+  return uint64_t(steady_clock::now().time_since_epoch().count());
+}
+
+uint64_t B() {
+  return uint64_t(high_resolution_clock::now().time_since_epoch().count());
+}

@@ -1,0 +1,10 @@
+// Suppressed raw-host-timer fixture: both hazards carry allow() forms.
+#include <chrono>
+#include <cstdint>
+
+using namespace std::chrono;  // dmr-lint: allow(raw-host-timer) trailing form
+
+uint64_t A() {
+  // dmr-lint: allow(raw-host-timer) line-above form
+  return uint64_t(steady_clock::now().time_since_epoch().count());
+}

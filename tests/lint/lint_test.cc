@@ -37,6 +37,39 @@ TEST(LintFixtureTest, WallClock) {
   }
 }
 
+TEST(LintFixtureTest, RawHostTimer) {
+  auto findings = LintPath(FixturePath("raw_host_timer.cc"));
+  EXPECT_EQ(Hits(findings), (Expected{{"raw-host-timer", 5},
+                                      {"raw-host-timer", 8},
+                                      {"raw-host-timer", 12}}));
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kWarning);
+  }
+}
+
+TEST(LintFixtureTest, RawHostTimerSuppressedPair) {
+  auto findings = LintPath(FixturePath("raw_host_timer_suppressed.cc"));
+  EXPECT_TRUE(Hits(findings).empty());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 5);   // trailing-comment form
+  EXPECT_EQ(findings[1].line, 9);   // line-above form
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.suppressed);
+    EXPECT_NE(f.justification.find("form"), std::string::npos);
+  }
+}
+
+TEST(LintFixtureTest, RawHostTimerExemptsTheProfSeam) {
+  // prof/prof.cc is one of the two sanctioned homes for raw monotonic
+  // reads (the other is common/host_clock).
+  auto findings = LintContent(
+      "src/prof/prof.cc",
+      "#include <chrono>\n"
+      "using namespace std::chrono;\n"
+      "long N() { return steady_clock::now().time_since_epoch().count(); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintFixtureTest, UnseededRng) {
   auto findings = LintPath(FixturePath("unseeded_rng.cc"));
   EXPECT_EQ(Hits(findings), (Expected{{"unseeded-rng", 6},
