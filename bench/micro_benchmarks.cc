@@ -11,6 +11,8 @@
 
 #include "common/properties.h"
 #include "common/random.h"
+#include "lint/engine_v1.h"
+#include "lint/lint.h"
 #include "dynamic/grab_limit_expr.h"
 #include "obs/flight_recorder.h"
 #include "obs/timeline.h"
@@ -339,6 +341,66 @@ void BM_FlightRecorderAppend(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlightRecorderAppend);
+
+/// A representative source file for the lint engines: comments, string
+/// literals, a raw string, nested scopes, annotations, one suppressed
+/// hazard. Repeated to the requested line count so the benchmark scales.
+std::string SynthesizeLintInput(int repeats) {
+  static const char* kChunk =
+      "// A chunk of plausible simulator code for the linter.\n"
+      "#include <string>\n"
+      "#include <vector>\n"
+      "struct DMR_SHARD_AFFINE Shardlet {\n"
+      "  std::vector<int> shards_;\n"
+      "  int Sum() const {\n"
+      "    int total = 0;\n"
+      "    for (int v : shards_) total += v;\n"
+      "    return total;\n"
+      "  }\n"
+      "};\n"
+      "std::string Describe(const Shardlet& s) DMR_CROSS_SHARD_OK {\n"
+      "  /* the \"<<\" below lives in a literal */\n"
+      "  std::string out = R\"(sum << goes here)\";\n"
+      "  out += std::to_string(s.shards_.size());\n"
+      "  return out;\n"
+      "}\n"
+      "int Jitter() {\n"
+      "  // dmr-lint: allow(unseeded-rng) benchmark fodder, not real code\n"
+      "  return rand();\n"
+      "}\n";
+  std::string content;
+  for (int i = 0; i < repeats; ++i) content += kChunk;
+  return content;
+}
+
+/// The v2 token/scope engine over a synthetic file: the cost of linting
+/// one file end to end (lex + scope tree + all checks). tier-1 runs this
+/// over every file in src/, so per-file cost bounds the gate's latency.
+void BM_LintFile(benchmark::State& state) {
+  const std::string content =
+      SynthesizeLintInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto findings = lint::LintContent("bench/synth.cc", content);
+    benchmark::DoNotOptimize(findings.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * content.size()));
+}
+BENCHMARK(BM_LintFile)->Arg(4)->Arg(32);
+
+/// The preserved v1 line-regex engine on the same input, for a direct
+/// cost comparison with the rebuild.
+void BM_LintFileV1(benchmark::State& state) {
+  const std::string content =
+      SynthesizeLintInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto findings = lint::v1::LintContentV1("bench/synth.cc", content);
+    benchmark::DoNotOptimize(findings.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * content.size()));
+}
+BENCHMARK(BM_LintFileV1)->Arg(4)->Arg(32);
 
 void BM_PsResourceChurn(benchmark::State& state) {
   for (auto _ : state) {

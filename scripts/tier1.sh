@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, the dmr-lint determinism
-# checks, a bench smoke run (micro benchmarks + the Table III driver on both
+# Tier-1 verification: full build + test suite, the dmr-lint gate
+# (scripts/lint_all.sh: tree lint against configs/lint_baseline.json plus
+# gate self-tests and a wall-clock budget), a bench smoke run (micro benchmarks + the Table III driver on both
 # predicate engines, asserting identical JSON), the DES kernel scale smoke
 # (calendar/heap x serial/sharded firing-order digests must agree), the
 # tie-shuffle + queue-kind digest invariance check (fig5 metrics AND the
@@ -8,7 +9,9 @@
 # seeds and queue implementations), the timeline thread-count invariance +
 # dmr-analyze timeline smoke, the profiling digest-invisibility check plus
 # dmr-analyze profile smoke and count-regression gate (banded against
-# configs/baselines/profile_smoke.json), the adaptive-layout smoke (pruning
+# configs/baselines/profile_smoke.json), the shard-affinity sentinel
+# digest-invisibility check (fig5 artifacts byte-identical with the
+# sentinel armed or disarmed), the adaptive-layout smoke (pruning
 # must not change match counts or sample digests, across thread counts, with
 # the simulated cells banded against configs/baselines/), then the
 # concurrency-sensitive tests under ThreadSanitizer and the sim/mapred/obs
@@ -37,8 +40,8 @@ cmake --build --preset default -j "${jobs}"
 echo "== tier-1: full test suite =="
 ctest --preset default -j "${jobs}"
 
-echo "== tier-1: dmr-lint determinism checks (src + bench + examples) =="
-./build/src/lint/dmr-lint
+echo "== tier-1: dmr-lint gate (baseline + self-tests + wall-clock budget) =="
+scripts/lint_all.sh
 
 echo "== tier-1: observability outputs (--trace/--metrics/--profile schema check) =="
 obs_dir=$(mktemp -d)
@@ -189,6 +192,37 @@ if ./build/src/obs/dmr-analyze profile \
 fi
 echo "dmr-analyze profile markdown + collapsed round-trip + baseline gate OK"
 
+echo "== tier-1: shard-affinity sentinel digest invisibility (on/off x threads x seeds) =="
+# DESIGN.md §18: the sentinel observes thread/shard bindings and never
+# touches virtual time, event order or allocation, so every simulation
+# artifact must be byte-identical with it armed or disarmed — at any
+# thread count and under any legal tie order. Metrics are compared at
+# --threads=1 only: at higher thread counts the per-worker histogram
+# merge order already wobbles in the last float digit run-to-run
+# (sentinel or not), which is why the other multi-thread stages diff
+# timelines too.
+while read -r threads seed; do
+  args=("--threads=${threads}")
+  if [[ "${seed}" != "base" ]]; then args+=("--shuffle-ties=${seed}"); fi
+  tag="t${threads}_${seed}"
+  DMR_HOST_CLOCK=frozen DMR_SHARD_SENTINEL=0 ./build/bench/bench_fig5_single_user \
+    "${args[@]}" --metrics="${obs_dir}/sentinel_off_${tag}.json" \
+    --timeline="${obs_dir}/sentinel_off_tl_${tag}.json" > /dev/null
+  DMR_HOST_CLOCK=frozen DMR_SHARD_SENTINEL=1 ./build/bench/bench_fig5_single_user \
+    "${args[@]}" --metrics="${obs_dir}/sentinel_on_${tag}.json" \
+    --timeline="${obs_dir}/sentinel_on_tl_${tag}.json" > /dev/null
+  if [[ "${threads}" == "1" ]]; then
+    diff "${obs_dir}/sentinel_off_${tag}.json" "${obs_dir}/sentinel_on_${tag}.json"
+  fi
+  diff "${obs_dir}/sentinel_off_tl_${tag}.json" "${obs_dir}/sentinel_on_tl_${tag}.json"
+done <<'CELLS'
+1 base
+1 17
+4 base
+4 17
+CELLS
+echo "fig5 metrics+timeline byte-identical sentinel on vs off across threads={1,4} and tie seeds"
+
 echo "== tier-1: adaptive-layout smoke (pruning invisibility + thread invariance + baseline) =="
 # DESIGN.md §16: zone-map pruning and piggybacked indexing must be
 # invisible to everything except physical cost. The driver itself asserts
@@ -214,7 +248,8 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake --build --preset tsan -j "${jobs}" \
     --target parallel_test simulation_test metrics_test vectorized_test \
              ledger_test run_parallel_test queue_equivalence_test \
-             timeline_test layout_pruning_test prof_test
+             timeline_test layout_pruning_test prof_test \
+             affinity_sentinel_test
   ctest --preset tsan
 else
   echo "== tier-1: TSan stage skipped (--no-tsan) =="
@@ -227,9 +262,10 @@ if [[ "${run_asan}" == "1" ]]; then
     --target simulation_test tie_race_test ps_resource_test \
              job_tracker_test job_client_test metrics_test trace_test \
              ledger_test analysis_test lint_test \
+             lint_diff_test lint_engine_test \
              run_parallel_test queue_equivalence_test \
              timeline_test flight_recorder_test layout_pruning_test \
-             prof_test
+             prof_test affinity_sentinel_test
   ctest --preset asan
 else
   echo "== tier-1: ASan stage skipped (--no-asan) =="

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/affinity.h"
+
 namespace dmr::cluster {
 
 /// \brief Struct-of-arrays storage for the hot per-node scheduling state.
@@ -24,7 +26,11 @@ namespace dmr::cluster {
 /// Map-slot lane identity (the trace renders one lane per slot) is kept as
 /// a per-node busy bitmask: acquire picks the lowest free lane with a
 /// count-trailing-zeros instead of the old linear scan.
-class NodeStateTable {
+///
+/// Shard-affine (sim/affinity.h): a table belongs to the experiment cell
+/// (and under RunParallel, the shard) that built it; nothing here is
+/// synchronized.
+class DMR_SHARD_AFFINE NodeStateTable {
  public:
   /// `map_slots_per_node` must be <= 64 (one bitmask word per node).
   NodeStateTable(int num_nodes, int map_slots_per_node,

@@ -8,171 +8,137 @@
 #include <regex>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/json.h"
+#include "lint/scope.h"
+#include "lint/token.h"
 
 namespace dmr::lint {
 
 namespace {
 
-/// A source file after lexical preprocessing. Checks almost always want
-/// comment-free text; some also want string-literal contents gone (so
-/// identifiers quoted in messages cannot trip identifier patterns) and a
-/// few want them kept (hazards inside format strings). Both variants
-/// preserve line and column positions by blanking, not deleting.
+/// A source file after the v2 front end: one lexer pass yields the token
+/// stream and the two blanked line views (lint/token.h), the scope tracker
+/// classifies every brace pair and collects DMR_SHARD_AFFINE symbols
+/// (lint/scope.h), and the suppression collector resolves each
+/// `dmr-lint: allow()` comment to the statement it covers.
 struct FileText {
-  std::vector<std::string> raw;            ///< verbatim lines
-  std::vector<std::string> code;           ///< comments + string contents blanked
-  std::vector<std::string> code_strings;   ///< comments blanked, strings kept
+  TokenizedFile tok;
+  ScopeTree scopes;
   /// line (1-based) -> check ids allowed there, with justification text.
   std::map<int, std::map<std::string, std::string>> allows;
+  /// Lines whose allow() comment carries no justification: rejected, and
+  /// reported as `lint-allow` errors.
+  std::vector<int> empty_allows;
 };
 
-std::vector<std::string> SplitLines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : content) {
-    if (c == '\n') {
-      lines.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(std::move(current));
-  return lines;
+bool IsPunctTok(const Tok& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
 }
 
-/// Strips comments (and optionally string/char literal contents) by
-/// blanking them with spaces. A small hand-rolled scanner: tracks block
-/// comments across lines, understands escapes inside literals, and knows
-/// enough about raw strings R"delim(...)delim" not to get stuck in one.
-std::vector<std::string> StripLines(const std::vector<std::string>& raw,
-                                    bool keep_strings) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block_comment = false;
-  bool in_raw_string = false;
-  std::string raw_terminator;  // e.g. )delim"
-  for (const std::string& line : raw) {
-    std::string stripped = line;
-    size_t i = 0;
-    while (i < line.size()) {
-      if (in_block_comment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          stripped[i] = stripped[i + 1] = ' ';
-          in_block_comment = false;
-          i += 2;
-        } else {
-          stripped[i] = ' ';
-          ++i;
-        }
-        continue;
-      }
-      if (in_raw_string) {
-        size_t end = line.find(raw_terminator, i);
-        size_t stop = end == std::string::npos ? line.size()
-                                               : end + raw_terminator.size();
-        for (size_t j = i; j < stop; ++j) {
-          if (!keep_strings) stripped[j] = ' ';
-        }
-        if (end != std::string::npos) in_raw_string = false;
-        i = stop;
-        continue;
-      }
-      char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-        for (size_t j = i; j < line.size(); ++j) stripped[j] = ' ';
-        break;
-      }
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        stripped[i] = stripped[i + 1] = ' ';
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
-        size_t open = line.find('(', i + 2);
-        if (open != std::string::npos) {
-          raw_terminator =
-              ")" + line.substr(i + 2, open - (i + 2)) + "\"";
-          size_t end = line.find(raw_terminator, open + 1);
-          size_t stop = end == std::string::npos
-                            ? line.size()
-                            : end + raw_terminator.size();
-          if (!keep_strings) {
-            for (size_t j = i; j < stop; ++j) stripped[j] = ' ';
-          }
-          if (end == std::string::npos) in_raw_string = true;
-          i = stop;
-          continue;
-        }
-      }
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        size_t j = i + 1;
-        while (j < line.size()) {
-          if (line[j] == '\\') {
-            j += 2;
-            continue;
-          }
-          if (line[j] == quote) break;
-          ++j;
-        }
-        size_t stop = std::min(j + 1, line.size());
-        if (!keep_strings) {
-          for (size_t k = i + 1; k < stop && k < j; ++k) stripped[k] = ' ';
-        }
-        i = stop;
-        continue;
-      }
-      ++i;
-    }
-    out.push_back(std::move(stripped));
-  }
-  return out;
+bool IsAnnotationIdent(const Tok& t) {
+  return t.kind == TokKind::kIdent &&
+         (t.text == "DMR_CROSS_SHARD_OK" || t.text == "DMR_BARRIER_PHASE" ||
+          t.text == "DMR_SHARD_AFFINE");
 }
 
-bool IsBlank(const std::string& line) {
-  return std::all_of(line.begin(), line.end(),
+/// First significant token whose extent covers `line` (1-based); -1 when
+/// the line holds no code.
+int FirstSigOnLine(const TokenizedFile& f, int line) {
+  for (int k = 0; k < static_cast<int>(f.tokens.size()); ++k) {
+    const Tok& t = f.tokens[k];
+    if (!IsSig(t)) continue;
+    if (t.line <= line && line <= t.end_line) return k;
+    if (t.line > line) break;
+  }
+  return -1;
+}
+
+/// The significant identifier token starting at (line, col); -1 if none.
+int TokenAt(const TokenizedFile& f, int line, int col) {
+  for (int k = 0; k < static_cast<int>(f.tokens.size()); ++k) {
+    const Tok& t = f.tokens[k];
+    if (t.line == line && t.col == col && IsSig(t)) return k;
+    if (t.line > line) break;
+  }
+  return -1;
+}
+
+bool JustificationIsEmpty(const std::string& j) {
+  // A block-comment allow's trailing `*/` is comment syntax, not text.
+  std::string s = j;
+  if (size_t star = s.rfind("*/"); star != std::string::npos) {
+    s = s.substr(0, star);
+  }
+  return std::all_of(s.begin(), s.end(),
                      [](unsigned char c) { return std::isspace(c); });
 }
 
-/// Parses `// dmr-lint: allow(check-a, check-b) justification...` comments.
-/// An allow covers its own line; when the line holds no code, it covers the
-/// next line that does (so a suppression can sit above the flagged line).
+/// Parses `// dmr-lint: allow(check-a, check-b) justification` comments
+/// from the token stream. An allow covers the statement it is attached
+/// to — the statement containing its line for the trailing form, the
+/// whole following statement (through an attached brace block) for the
+/// line-above form — so a suppression keeps working when the flagged
+/// expression wraps onto the next line. An allow without a justification
+/// is rejected and recorded for the `lint-allow` report.
 void CollectAllows(FileText* text) {
   static const std::regex kAllow(
       R"(dmr-lint:\s*allow\(\s*([A-Za-z0-9_,\- ]+?)\s*\)\s*(.*)$)");
-  for (size_t idx = 0; idx < text->raw.size(); ++idx) {
-    std::smatch m;
-    if (!std::regex_search(text->raw[idx], m, kAllow)) continue;
-    std::string justification = m[2].str();
-    int target = static_cast<int>(idx) + 1;
-    if (IsBlank(text->code[idx])) {
-      for (size_t next = idx + 1; next < text->raw.size(); ++next) {
-        if (!IsBlank(text->code[next])) {
-          target = static_cast<int>(next) + 1;
+  const TokenizedFile& f = text->tok;
+  for (int ti = 0; ti < static_cast<int>(f.tokens.size()); ++ti) {
+    const Tok& tok = f.tokens[ti];
+    if (tok.kind != TokKind::kComment) continue;
+    // Scan the comment line by line so multi-line block comments keep the
+    // per-line allow semantics of the v1 engine.
+    std::istringstream body(tok.text);
+    std::string comment_line;
+    for (int offset = 0; std::getline(body, comment_line); ++offset) {
+      std::smatch m;
+      if (!std::regex_search(comment_line, m, kAllow)) continue;
+      int line = tok.line + offset;
+      std::string justification = m[2].str();
+      if (JustificationIsEmpty(justification)) {
+        text->empty_allows.push_back(line);
+        continue;
+      }
+      // Which statement does this allow cover?
+      std::set<int> lines = {line};
+      bool trailing = false;
+      for (int k = 0; k < ti; ++k) {
+        const Tok& before = f.tokens[k];
+        if (IsSig(before) && before.line <= line && line <= before.end_line) {
+          trailing = true;
           break;
         }
       }
-    }
-    std::stringstream ids(m[1].str());
-    std::string id;
-    while (std::getline(ids, id, ',')) {
-      size_t begin = id.find_first_not_of(" \t");
-      size_t end = id.find_last_not_of(" \t");
-      if (begin == std::string::npos) continue;
-      text->allows[target][id.substr(begin, end - begin + 1)] = justification;
+      int anchor = trailing ? FirstSigOnLine(f, line) : NextSig(f, ti + 1);
+      if (anchor >= 0) {
+        StmtRange r = StatementAround(f, text->scopes, anchor);
+        if (r.first >= 0) {
+          for (int l = f.tokens[r.first].line; l <= f.tokens[r.last].end_line;
+               ++l) {
+            lines.insert(l);
+          }
+        }
+      }
+      std::stringstream ids(m[1].str());
+      std::string id;
+      while (std::getline(ids, id, ',')) {
+        size_t begin = id.find_first_not_of(" \t");
+        size_t end = id.find_last_not_of(" \t");
+        if (begin == std::string::npos) continue;
+        std::string trimmed = id.substr(begin, end - begin + 1);
+        for (int l : lines) text->allows[l][trimmed] = justification;
+      }
     }
   }
 }
 
 FileText Preprocess(const std::string& content) {
   FileText text;
-  text.raw = SplitLines(content);
-  text.code = StripLines(text.raw, /*keep_strings=*/false);
-  text.code_strings = StripLines(text.raw, /*keep_strings=*/true);
+  text.tok = Tokenize(content);
+  text.scopes = BuildScopes(text.tok);
   CollectAllows(&text);
   return text;
 }
@@ -210,7 +176,7 @@ void Emit(const CheckDef& check, const std::string& path, int line,
 void RunLineRegex(const CheckDef& check, const std::string& path,
                   const FileText& text, std::vector<Finding>* findings) {
   const std::vector<std::string>& lines =
-      check.scan_strings ? text.code_strings : text.code;
+      check.scan_strings ? text.tok.code_strings : text.tok.code;
   for (const char* pattern : check.patterns) {
     std::regex re(pattern);
     for (size_t i = 0; i < lines.size(); ++i) {
@@ -251,10 +217,34 @@ bool SkipBalanced(const std::vector<std::string>& lines, size_t* line,
   return false;
 }
 
-/// Collects names declared with an unordered container type anywhere in the
-/// file: `std::unordered_map<K, V> name` (members, locals, params alike).
-std::set<std::string> UnorderedNames(const std::vector<std::string>& lines) {
-  std::set<std::string> names;
+/// True when the scope a declaration lives in is the body of some
+/// function or lambda (as opposed to file/namespace/class level, where
+/// the name is potentially reachable from anywhere in the file).
+bool LocallyScoped(const ScopeTree& t, int scope) {
+  for (int s = scope; s >= 0; s = t.scopes[s].parent) {
+    if (t.scopes[s].kind == ScopeKind::kFunction ||
+        t.scopes[s].kind == ScopeKind::kLambda) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsAncestorOrSelf(const ScopeTree& t, int ancestor, int scope) {
+  for (int s = scope; s >= 0; s = t.scopes[s].parent) {
+    if (s == ancestor) return true;
+  }
+  return false;
+}
+
+/// Names declared with an unordered container type anywhere in the file,
+/// with the scope each declaration lives in — so a loop in one function
+/// is not flagged for iterating a like-named local of another (scope
+/// awareness the v1 engine lacked).
+std::map<std::string, std::vector<int>> UnorderedNameScopes(
+    const FileText& text) {
+  std::map<std::string, std::vector<int>> names;
+  const std::vector<std::string>& lines = text.tok.code;
   static const std::regex kDecl(R"(std::unordered_(?:map|set)\s*<)");
   static const std::regex kName(R"(^[&\s]*([A-Za-z_]\w*))");
   for (size_t i = 0; i < lines.size(); ++i) {
@@ -266,7 +256,11 @@ std::set<std::string> UnorderedNames(const std::vector<std::string>& lines) {
       if (!SkipBalanced(lines, &line, &pos, '<', '>')) continue;
       std::string rest = lines[line].substr(pos);
       std::smatch m;
-      if (std::regex_search(rest, m, kName)) names.insert(m[1].str());
+      if (!std::regex_search(rest, m, kName)) continue;
+      int col = static_cast<int>(pos) + static_cast<int>(m.position(1));
+      int tok = TokenAt(text.tok, static_cast<int>(line) + 1, col);
+      int scope = tok >= 0 ? text.scopes.token_scope[tok] : 0;
+      names[m[1].str()].push_back(scope);
     }
   }
   return names;
@@ -275,28 +269,45 @@ std::set<std::string> UnorderedNames(const std::vector<std::string>& lines) {
 void RunUnorderedOutput(const CheckDef& check, const std::string& path,
                         const FileText& text,
                         std::vector<Finding>* findings) {
-  std::set<std::string> names = UnorderedNames(text.code);
+  std::map<std::string, std::vector<int>> names = UnorderedNameScopes(text);
   if (names.empty()) return;
+  const std::vector<std::string>& code = text.tok.code;
   std::regex emit(check.patterns.empty() ? "$^" : check.patterns[0]);
   static const std::regex kRangeFor(
       R"(\bfor\s*\([^;)]*:\s*\*?([A-Za-z_]\w*)\s*\))");
-  for (size_t i = 0; i < text.code.size(); ++i) {
+  for (size_t i = 0; i < code.size(); ++i) {
     std::smatch m;
-    if (!std::regex_search(text.code[i], m, kRangeFor)) continue;
-    if (names.count(m[1].str()) == 0) continue;
+    if (!std::regex_search(code[i], m, kRangeFor)) continue;
+    auto decl = names.find(m[1].str());
+    if (decl == names.end()) continue;
+    // Scope filter: a declaration buried in some other function's body
+    // cannot be the container this loop iterates.
+    int for_tok = FirstSigOnLine(text.tok, static_cast<int>(i) + 1);
+    int loop_scope = for_tok >= 0 ? text.scopes.token_scope[for_tok] : 0;
+    bool visible = false;
+    for (int decl_scope : decl->second) {
+      if (!LocallyScoped(text.scopes, decl_scope) ||
+          IsAncestorOrSelf(text.scopes, decl_scope, loop_scope)) {
+        visible = true;
+        break;
+      }
+    }
+    if (!visible) continue;
     // The loop body runs from the for's opening brace to its match (or to
-    // the end of a single statement). Scan it for emit patterns.
+    // the end of a single statement). Scan it for emit patterns — over the
+    // string-blanked view, so an emit-looking identifier quoted inside a
+    // message cannot trip the check (v1 scanned literals too).
     size_t line = i;
     size_t pos = static_cast<size_t>(m.position()) + m.length();
     size_t body_end = line;
-    while (line < text.code.size()) {
-      const std::string& s = text.code[line];
+    while (line < code.size()) {
+      const std::string& s = code[line];
       size_t brace = s.find('{', pos);
       size_t semi = s.find(';', pos);
       if (brace != std::string::npos &&
           (semi == std::string::npos || brace < semi)) {
         size_t end_line = line, end_pos = brace;
-        if (SkipBalanced(text.code, &end_line, &end_pos, '{', '}')) {
+        if (SkipBalanced(code, &end_line, &end_pos, '{', '}')) {
           body_end = end_line;
         }
         break;
@@ -308,8 +319,8 @@ void RunUnorderedOutput(const CheckDef& check, const std::string& path,
       ++line;
       pos = 0;
     }
-    for (size_t b = i; b <= body_end && b < text.code.size(); ++b) {
-      if (std::regex_search(text.code_strings[b], emit)) {
+    for (size_t b = i; b <= body_end && b < code.size(); ++b) {
+      if (std::regex_search(code[b], emit)) {
         Emit(check, path, static_cast<int>(i) + 1, text,
              "iterates `" + m[1].str() + "`", findings);
         break;
@@ -327,18 +338,19 @@ void RunCheckSideEffect(const CheckDef& check, const std::string& path,
   // ++/--, or `=` that is not part of a comparison (the excluded preceding
   // characters kill ==, !=, <=, >= while keeping +=, -=, |= and friends).
   std::regex effect(check.patterns.empty() ? "$^" : check.patterns[0]);
-  for (size_t i = 0; i < text.code.size(); ++i) {
+  const std::vector<std::string>& code = text.tok.code;
+  for (size_t i = 0; i < code.size(); ++i) {
     std::smatch m;
-    if (!std::regex_search(text.code[i], m, kMacro)) continue;
+    if (!std::regex_search(code[i], m, kMacro)) continue;
     size_t line = i;
     size_t pos = static_cast<size_t>(m.position()) + m.length() - 1;
     size_t end_line = line, end_pos = pos;
-    if (!SkipBalanced(text.code, &end_line, &end_pos, '(', ')')) continue;
+    if (!SkipBalanced(code, &end_line, &end_pos, '(', ')')) continue;
     std::string arg;
     for (size_t l = line; l <= end_line; ++l) {
       size_t from = l == line ? pos + 1 : 0;
-      size_t to = l == end_line ? end_pos - 1 : text.code[l].size();
-      if (to > from) arg += text.code[l].substr(from, to - from);
+      size_t to = l == end_line ? end_pos - 1 : code[l].size();
+      if (to > from) arg += code[l].substr(from, to - from);
       arg += ' ';
     }
     std::smatch hit;
@@ -354,19 +366,204 @@ void RunCheckSideEffect(const CheckDef& check, const std::string& path,
 void RunIgnoredResult(const CheckDef& check, const std::string& path,
                       const FileText& text,
                       std::vector<Finding>* findings) {
+  const std::vector<std::string>& code = text.tok.code;
   for (const char* pattern : check.patterns) {
     // A bare statement: the configured call pattern (which may pin a
     // receiver, to tell `tracker_->AddSplits` from the void-returning
     // `job->AddSplits`) with nothing before it that could consume the
     // value.
     std::regex re(std::string(R"(^\s*()") + pattern + R"()\s*\()");
-    for (size_t i = 0; i < text.code.size(); ++i) {
+    for (size_t i = 0; i < code.size(); ++i) {
       std::smatch m;
-      if (std::regex_search(text.code[i], m, re)) {
-        Emit(check, path, static_cast<int>(i) + 1, text,
-             "`" + m[1].str() + "` returns Status/Result", findings);
+      if (!std::regex_search(code[i], m, re)) continue;
+      // Statement filter (v2): a call that opens the line but continues a
+      // statement from the previous line (`auto s =` above) has its value
+      // consumed — only flag true statement starts.
+      int tok = FirstSigOnLine(text.tok, static_cast<int>(i) + 1);
+      if (tok >= 0) {
+        int prev = PrevSig(text.tok, tok - 1);
+        if (prev >= 0 && !IsPunctTok(text.tok.tokens[prev], ";") &&
+            !IsPunctTok(text.tok.tokens[prev], "{") &&
+            !IsPunctTok(text.tok.tokens[prev], "}")) {
+          continue;
+        }
+      }
+      Emit(check, path, static_cast<int>(i) + 1, text,
+           "`" + m[1].str() + "` returns Status/Result", findings);
+    }
+  }
+}
+
+// --- kShardOwnership ------------------------------------------------------
+
+/// True when the statement containing token `i` carries one of the
+/// ownership annotations (the statement-level sanction form, used for
+/// declarations and single-statement exemptions).
+bool StatementAnnotated(const FileText& text, int i) {
+  StmtRange r = StatementAround(text.tok, text.scopes, i);
+  if (r.first < 0) return false;
+  for (int k = r.first; k <= r.last; ++k) {
+    if (IsSig(text.tok.tokens[k]) && IsAnnotationIdent(text.tok.tokens[k])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The shard-ownership sanction test: the access is fine inside a scope
+/// annotated DMR_CROSS_SHARD_OK / DMR_BARRIER_PHASE, inside the body of a
+/// DMR_SHARD_AFFINE class (the state's own home), or in a statement that
+/// carries an annotation (declarations annotate themselves). Lambdas do
+/// not inherit sanction from their enclosing function (scope.h).
+bool OwnershipSanctioned(const FileText& text, int i) {
+  constexpr unsigned kBits =
+      kAnnCrossShardOk | kAnnBarrierPhase | kAnnShardAffine;
+  if (ScopeSanctioned(text.scopes, text.scopes.token_scope[i], kBits)) {
+    return true;
+  }
+  return StatementAnnotated(text, i);
+}
+
+void EmitOwnership(const CheckDef& check, const std::string& path,
+                   const FileText& text, int tok, const std::string& detail,
+                   std::set<std::pair<int, std::string>>* seen,
+                   std::vector<Finding>* findings) {
+  int line = text.tok.tokens[tok].line;
+  if (!seen->insert({line, detail}).second) return;
+  Emit(check, path, line, text, detail, findings);
+}
+
+void RunShardAffine(const CheckDef& check, const std::string& path,
+                    const FileText& text, std::vector<Finding>* findings) {
+  std::set<std::string> names(check.patterns.begin(), check.patterns.end());
+  for (const AffineSymbol& sym : text.scopes.affine_symbols) {
+    if (!sym.is_type) names.insert(sym.name);
+  }
+  std::set<std::pair<int, std::string>> seen;
+  for (int i = 0; i < static_cast<int>(text.tok.tokens.size()); ++i) {
+    const Tok& t = text.tok.tokens[i];
+    if (!IsSig(t) || t.kind != TokKind::kIdent) continue;
+    if (names.find(t.text) == names.end()) continue;
+    if (OwnershipSanctioned(text, i)) continue;
+    EmitOwnership(check, path, text, i, "`" + t.text + "`", &seen,
+                  findings);
+  }
+}
+
+/// Forward-matching ')' for the '(' at `open`; -1 on imbalance.
+int MatchParenFwd(const TokenizedFile& f, int open) {
+  int depth = 0;
+  for (int k = open; k >= 0; k = NextSig(f, k + 1)) {
+    if (IsPunctTok(f.tokens[k], "(")) ++depth;
+    if (IsPunctTok(f.tokens[k], ")")) {
+      if (--depth == 0) return k;
+    }
+  }
+  return -1;
+}
+
+void RunCrossShardArena(const CheckDef& check, const std::string& path,
+                        const FileText& text,
+                        std::vector<Finding>* findings) {
+  const TokenizedFile& f = text.tok;
+  std::set<std::pair<int, std::string>> seen;
+  for (int i = 0; i < static_cast<int>(f.tokens.size()); ++i) {
+    const Tok& t = f.tokens[i];
+    if (!IsSig(t) || t.kind != TokKind::kIdent) continue;
+    if (t.text == "ShardArena") {
+      int open = NextSig(f, i + 1);
+      if (open < 0 || !IsPunctTok(f.tokens[open], "(")) continue;
+      int close = MatchParenFwd(f, open);
+      int after = close >= 0 ? NextSig(f, close + 1) : -1;
+      // `Arena* ShardArena(...)` declarations/definitions are the seam
+      // itself, not a use: a body brace, or a `;` with the return type's
+      // `*`/`&` immediately before the name.
+      if (after >= 0 && IsPunctTok(f.tokens[after], "{")) continue;
+      int p = PrevSig(f, i - 1);
+      if (after >= 0 && IsPunctTok(f.tokens[after], ";") && p >= 0 &&
+          (IsPunctTok(f.tokens[p], "*") || IsPunctTok(f.tokens[p], "&"))) {
+        continue;
+      }
+      if (!OwnershipSanctioned(text, i)) {
+        EmitOwnership(check, path, text, i, "`ShardArena()`", &seen,
+                      findings);
+      }
+      continue;
+    }
+    if (t.text == "arena") {
+      int p = PrevSig(f, i - 1);
+      int n = NextSig(f, i + 1);
+      bool member_call = p >= 0 && n >= 0 &&
+                         (IsPunctTok(f.tokens[p], ".") ||
+                          IsPunctTok(f.tokens[p], "->")) &&
+                         IsPunctTok(f.tokens[n], "(");
+      if (member_call && !OwnershipSanctioned(text, i)) {
+        EmitOwnership(check, path, text, i, "`.arena()`", &seen, findings);
+      }
+      continue;
+    }
+    if (t.text == "EventCallback") {
+      // Constructing a callback with a non-null arena arms the spill box:
+      // only the sanctioned seams may do that (the nullptr form is the
+      // cross-shard-safe path).
+      int open = NextSig(f, i + 1);
+      if (open < 0 || !IsPunctTok(f.tokens[open], "(")) continue;
+      int arg = NextSig(f, open + 1);
+      if (arg < 0 || IsPunctTok(f.tokens[arg], ")")) continue;
+      if (f.tokens[arg].kind == TokKind::kIdent &&
+          f.tokens[arg].text == "nullptr") {
+        continue;
+      }
+      if (!OwnershipSanctioned(text, i)) {
+        EmitOwnership(check, path, text, i, "`EventCallback(arena, ...)`",
+                      &seen, findings);
+      }
+      continue;
+    }
+  }
+}
+
+void RunStagedEventBypass(const CheckDef& check, const std::string& path,
+                          const FileText& text,
+                          std::vector<Finding>* findings) {
+  const TokenizedFile& f = text.tok;
+  std::set<std::pair<int, std::string>> seen;
+  for (int i = 0; i < static_cast<int>(f.tokens.size()); ++i) {
+    const Tok& t = f.tokens[i];
+    if (!IsSig(t) || t.kind != TokKind::kIdent) continue;
+    if (t.text == "StagedEvent") {
+      int p = PrevSig(f, i - 1);
+      if (p >= 0 && f.tokens[p].kind == TokKind::kIdent &&
+          (f.tokens[p].text == "struct" || f.tokens[p].text == "class")) {
+        continue;  // the type's own declaration
+      }
+      int n = NextSig(f, i + 1);
+      bool construction = n >= 0 && (IsPunctTok(f.tokens[n], "{") ||
+                                     IsPunctTok(f.tokens[n], "("));
+      if (construction && !OwnershipSanctioned(text, i)) {
+        EmitOwnership(check, path, text, i, "`StagedEvent` constructed",
+                      &seen, findings);
+      }
+      continue;
+    }
+    if (t.text == "inbox") {
+      if (!OwnershipSanctioned(text, i)) {
+        EmitOwnership(check, path, text, i, "`inbox`", &seen, findings);
       }
     }
+  }
+}
+
+void RunShardOwnership(const CheckDef& check, const std::string& path,
+                       const FileText& text,
+                       std::vector<Finding>* findings) {
+  std::string id = check.id;
+  if (id == "shard-affine") {
+    RunShardAffine(check, path, text, findings);
+  } else if (id == "cross-shard-arena") {
+    RunCrossShardArena(check, path, text, findings);
+  } else if (id == "staged-event-bypass") {
+    RunStagedEventBypass(check, path, text, findings);
   }
 }
 
@@ -504,6 +701,46 @@ const std::vector<CheckDef>& BuiltinChecks() {
           {R"(\b(BuildZoneMap|BuildPartitionIndex|FoldRowIntoZoneMap|MarkDict|ZoneMap)\b)"},
           {},
       },
+      {
+          "shard-affine",
+          Severity::kError,
+          CheckKind::kShardOwnership,
+          "shard-affine state touched outside a sanctioned scope; a "
+          "RunParallel worker owns exactly one shard, so cross-shard "
+          "access here would break the determinism contract silently — "
+          "annotate the seam DMR_CROSS_SHARD_OK/DMR_BARRIER_PHASE "
+          "(src/sim/affinity.h) or route the work through ScheduleOnShard",
+          // Seam identifiers enforced across files (the annotated
+          // declarations live in src/sim/simulation.h); names declared
+          // under DMR_SHARD_AFFINE in the linted file are added
+          // automatically.
+          {"shards_"},
+          {},
+      },
+      {
+          "cross-shard-arena",
+          Severity::kError,
+          CheckKind::kShardOwnership,
+          "arena access outside the owning shard's sanctioned seams; a "
+          "shard's arena must only be touched from its worker thread — "
+          "the nullptr-arena callback (spill box freed on the target "
+          "shard) is the one exemption — annotate the seam or allocate "
+          "from the caller's own shard",
+          {"ShardArena", "arena", "EventCallback"},
+          // The arena's own plumbing (allocator handles, slab internals).
+          {"sim/arena"},
+      },
+      {
+          "staged-event-bypass",
+          Severity::kError,
+          CheckKind::kShardOwnership,
+          "staged-event machinery used outside the staging seams; "
+          "cross-shard work must be staged via ScheduleOnShardDetached "
+          "and drained by MergeStagedEvents inside the barrier window, "
+          "or ties and arena ownership stop replaying",
+          {"StagedEvent", "inbox"},
+          {},
+      },
   };
   return kChecks;
 }
@@ -512,6 +749,17 @@ std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content) {
   FileText text = Preprocess(content);
   std::vector<Finding> findings;
+  for (int line : text.empty_allows) {
+    Finding f;
+    f.check = "lint-allow";
+    f.severity = Severity::kError;
+    f.file = path;
+    f.line = line;
+    f.message =
+        "allow() without a justification; say in the comment why this "
+        "hazard is sanctioned — unexplained suppressions rot";
+    findings.push_back(std::move(f));
+  }
   for (const CheckDef& check : BuiltinChecks()) {
     if (PathExempt(path, check)) continue;
     switch (check.kind) {
@@ -526,6 +774,9 @@ std::vector<Finding> LintContent(const std::string& path,
         break;
       case CheckKind::kIgnoredResult:
         RunIgnoredResult(check, path, text, &findings);
+        break;
+      case CheckKind::kShardOwnership:
+        RunShardOwnership(check, path, text, &findings);
         break;
     }
   }
@@ -621,6 +872,115 @@ std::string FindingsToJson(const std::vector<Finding>& findings) {
          ", \"notes\": " + std::to_string(notes) +
          ", \"suppressed\": " + std::to_string(suppressed) + "}}\n";
   return out;
+}
+
+namespace {
+
+std::map<std::pair<std::string, std::string>, int> BaselineCounts(
+    const std::vector<Finding>& findings, Severity floor) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) {
+    if (f.suppressed || f.severity < floor) continue;
+    ++counts[{f.file, f.check}];
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::string BaselineToJson(const std::vector<Finding>& findings,
+                           Severity floor) {
+  using json::JsonQuote;
+  auto counts = BaselineCounts(findings, floor);
+  std::string out = "{\"floor\": ";
+  out += JsonQuote(SeverityName(floor));
+  out += ", \"entries\": [";
+  bool first = true;
+  for (const auto& [key, count] : counts) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"file\": " + JsonQuote(key.first) +
+           ", \"check\": " + JsonQuote(key.second) +
+           ", \"count\": " + std::to_string(count) + "}";
+  }
+  out += first ? "]" : "\n ]";
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> CompareBaseline(
+    const std::vector<Finding>& findings, Severity floor,
+    const std::string& baseline_json, std::string* error) {
+  std::vector<std::string> deltas;
+  auto doc = json::JsonParse(baseline_json);
+  if (!doc.ok()) {
+    if (error) *error = doc.status().ToString();
+    deltas.push_back("baseline: unparseable JSON");
+    return deltas;
+  }
+  const json::JsonValue& root = doc.ValueOrDie();
+  std::string doc_floor = root.StringOr("floor", SeverityName(floor));
+  if (doc_floor != SeverityName(floor)) {
+    deltas.push_back("baseline floor is '" + doc_floor +
+                     "' but the linter ran at '" + SeverityName(floor) +
+                     "' — regenerate with --emit-baseline");
+  }
+  std::map<std::pair<std::string, std::string>, int> base;
+  const json::JsonValue* entries = root.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    if (error) *error = "baseline has no entries array";
+    deltas.push_back("baseline: missing entries array");
+    return deltas;
+  }
+  for (const json::JsonValue& e : entries->items) {
+    std::string file = e.StringOr("file", "");
+    std::string check = e.StringOr("check", "");
+    int count = static_cast<int>(e.NumberOr("count", 0));
+    if (file.empty() || check.empty() || count <= 0) {
+      deltas.push_back("baseline: malformed entry (file/check/count)");
+      continue;
+    }
+    base[{file, check}] += count;
+  }
+  auto current = BaselineCounts(findings, floor);
+  // Union walk, deterministic order: new findings block, and stale
+  // baseline entries block too (a baseline claiming findings that no
+  // longer exist is rotten — or doctored to smuggle new ones in).
+  auto bi = base.begin();
+  auto ci = current.begin();
+  auto report = [&deltas](const std::pair<std::string, std::string>& key,
+                          int have, int recorded) {
+    if (have > recorded) {
+      deltas.push_back("new: " + key.first + " [" + key.second + "] " +
+                       std::to_string(have) + " found, " +
+                       std::to_string(recorded) + " in baseline");
+    } else if (have < recorded) {
+      deltas.push_back("stale: " + key.first + " [" + key.second + "] " +
+                       std::to_string(have) + " found, " +
+                       std::to_string(recorded) +
+                       " in baseline — re-emit the baseline");
+    }
+  };
+  while (bi != base.end() || ci != current.end()) {
+    if (bi == base.end()) {
+      report(ci->first, ci->second, 0);
+      ++ci;
+    } else if (ci == current.end()) {
+      report(bi->first, 0, bi->second);
+      ++bi;
+    } else if (bi->first < ci->first) {
+      report(bi->first, 0, bi->second);
+      ++bi;
+    } else if (ci->first < bi->first) {
+      report(ci->first, ci->second, 0);
+      ++ci;
+    } else {
+      report(ci->first, ci->second, bi->second);
+      ++bi;
+      ++ci;
+    }
+  }
+  return deltas;
 }
 
 }  // namespace dmr::lint

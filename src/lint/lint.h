@@ -17,18 +17,26 @@ namespace dmr::lint {
 /// binary stop agreeing byte-for-byte. These hazards are invisible to the
 /// type system and to tests that only run once, so they are linted.
 ///
-/// The checker is deliberately lexical (comment- and string-aware line
-/// scanning plus a few brace/paren-matched context scanners), not a real
-/// C++ front end: the hazards it hunts are all syntactically local, and a
-/// lexical engine keeps the tool dependency-free and fast enough to run on
-/// every tier-1 invocation. The cost is a small false-positive surface,
-/// which is what the suppression comment is for:
+/// The checker is deliberately lexical, not a real C++ front end: the
+/// hazards it hunts are all syntactically local, and a lexical engine
+/// keeps the tool dependency-free and fast enough to run on every tier-1
+/// invocation. Since v2 the engine is token/scope-aware (lint/token.h,
+/// lint/scope.h): one lexer pass produces a token stream plus the blanked
+/// line views the regex checks run on, and a brace-scope tracker feeds the
+/// statement-scoped suppressions, the false-positive filters, and the
+/// shard-ownership checks (which read the DMR_SHARD_AFFINE /
+/// DMR_CROSS_SHARD_OK / DMR_BARRIER_PHASE annotations of
+/// src/sim/affinity.h). The remaining false-positive surface is what the
+/// suppression comment is for:
 ///
 ///     legit_hazard();  // dmr-lint: allow(check-id) why this one is fine
 ///
-/// An allow() on its own line (no code) covers the next code line. Every
-/// suppression keeps its justification text so the JSON report can audit
-/// deliberate exceptions.
+/// An allow() on its own line (no code) covers the whole following
+/// statement, including an attached brace block; the trailing form covers
+/// the statement its line belongs to. The justification text is required —
+/// an allow() without one is rejected and reported as a `lint-allow`
+/// error — and every suppression keeps its justification so the JSON
+/// report can audit deliberate exceptions.
 ///
 /// Checks are rows in a data-driven table (see kChecks in lint.cc): a new
 /// line-regex rule is one table entry, ~20 lines with tests.
@@ -67,6 +75,14 @@ enum class CheckKind {
   /// Flag bare-statement calls to the named functions, whose Status/Result
   /// return value encodes failure and must be consumed.
   kIgnoredResult,
+  /// v2-only: the shard-ownership checks. Uses of shard-affine state
+  /// (names declared under DMR_SHARD_AFFINE plus the configured seam
+  /// identifiers in `patterns`) must sit inside a scope or statement
+  /// annotated DMR_CROSS_SHARD_OK / DMR_BARRIER_PHASE, or inside the body
+  /// of a DMR_SHARD_AFFINE class (the state's own home). See
+  /// src/sim/affinity.h for the vocabulary and DESIGN.md §18 for the
+  /// contract being enforced.
+  kShardOwnership,
 };
 
 /// One row of the check table. `patterns` holds regexes for kLineRegex and
@@ -111,6 +127,23 @@ int CountActionable(const std::vector<Finding>& findings, Severity floor);
 /// {"findings": [{check, severity, file, line, message, suppressed,
 ///   justification}...], "counts": {errors, warnings, notes, suppressed}}.
 std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// The lint baseline: per-(file, check) counts of unsuppressed findings at
+/// or above `floor`, as deterministic JSON —
+/// {"floor": "...", "entries": [{"file", "check", "count"}...]}.
+/// tier-1 checks src/bench/examples against configs/lint_baseline.json:
+/// pre-existing findings recorded there ride along, new ones block, and a
+/// stale entry (baseline counts a finding that no longer exists) also
+/// blocks so the file cannot rot or be doctored upward.
+std::string BaselineToJson(const std::vector<Finding>& findings,
+                           Severity floor);
+
+/// Compares findings against a baseline document. Returns human-readable
+/// delta lines (empty == exact match). A malformed baseline reports
+/// through `error` and returns a single delta line.
+std::vector<std::string> CompareBaseline(
+    const std::vector<Finding>& findings, Severity floor,
+    const std::string& baseline_json, std::string* error);
 
 }  // namespace dmr::lint
 

@@ -1,17 +1,27 @@
 // dmr-lint: the DMR determinism checker CLI.
 //
-//   dmr-lint [--json=PATH] [--fail-on=error|warning|note] [PATH...]
+//   dmr-lint [--json=PATH] [--format=text|github]
+//            [--baseline=PATH] [--emit-baseline=PATH]
+//            [--fail-on=error|warning|note] [PATH...]
 //
 // PATHs are files or directories (default: src bench examples). Prints
-// compiler-style findings, optionally writes the JSON report, and exits
-// nonzero when any unsuppressed finding at or above the --fail-on floor
-// (default: warning) exists — that is the tier-1 gate.
+// compiler-style findings (or GitHub workflow commands with
+// --format=github), optionally writes the JSON report, and exits nonzero
+// when any unsuppressed finding at or above the --fail-on floor (default:
+// warning) exists — that is the tier-1 gate.
 //
-// Exit codes: 0 clean, 1 findings at/above the floor, 2 usage error.
+// --baseline=PATH compares the run against a checked-in baseline
+// (configs/lint_baseline.json): recorded findings ride along, new ones
+// fail, and stale entries fail too so the file cannot rot or be doctored.
+// --emit-baseline=PATH regenerates that file from the current findings.
+//
+// Exit codes: 0 clean, 1 findings at/above the floor (or baseline
+// mismatch), 2 usage error.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,12 +32,23 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dmr-lint [--json=PATH] [--fail-on=error|warning|note] "
-      "[PATH...]\n"
+      "usage: dmr-lint [--json=PATH] [--format=text|github]\n"
+      "                [--baseline=PATH] [--emit-baseline=PATH]\n"
+      "                [--fail-on=error|warning|note] [PATH...]\n"
       "Scans C++ sources for DMR determinism hazards; see src/lint/lint.h\n"
       "for the check table and the `// dmr-lint: allow(<check>)` "
       "suppression syntax.\n");
   return 2;
+}
+
+// GitHub Actions workflow command per finding: annotates the PR diff.
+// Severity note maps to `notice`, which is what Actions calls it.
+void PrintGithub(const dmr::lint::Finding& f) {
+  const char* level = "error";
+  if (f.severity == dmr::lint::Severity::kWarning) level = "warning";
+  if (f.severity == dmr::lint::Severity::kNote) level = "notice";
+  std::printf("::%s file=%s,line=%d::[%s] %s\n", level, f.file.c_str(),
+              f.line, f.check.c_str(), f.message.c_str());
 }
 
 }  // namespace
@@ -37,12 +58,26 @@ int main(int argc, char** argv) {
   using dmr::lint::Severity;
 
   std::string json_path;
+  std::string baseline_path;
+  std::string emit_baseline_path;
+  bool github = false;
   Severity floor = Severity::kWarning;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--emit-baseline=", 0) == 0) {
+      emit_baseline_path = arg.substr(16);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string format = arg.substr(9);
+      if (format == "github") {
+        github = true;
+      } else if (format != "text") {
+        return Usage();
+      }
     } else if (arg.rfind("--fail-on=", 0) == 0) {
       std::string level = arg.substr(10);
       if (level == "error") {
@@ -70,9 +105,13 @@ int main(int argc, char** argv) {
       ++suppressed;
       continue;
     }
-    std::fprintf(stderr, "%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
-                 dmr::lint::SeverityName(f.severity), f.check.c_str(),
-                 f.message.c_str());
+    if (github) {
+      PrintGithub(f);
+    } else {
+      std::fprintf(stderr, "%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                   dmr::lint::SeverityName(f.severity), f.check.c_str(),
+                   f.message.c_str());
+    }
   }
 
   if (!json_path.empty()) {
@@ -84,9 +123,50 @@ int main(int argc, char** argv) {
     out << dmr::lint::FindingsToJson(findings);
   }
 
+  if (!emit_baseline_path.empty()) {
+    std::ofstream out(emit_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "dmr-lint: cannot write %s\n",
+                   emit_baseline_path.c_str());
+      return 2;
+    }
+    out << dmr::lint::BaselineToJson(findings, floor);
+  }
+
   int actionable = dmr::lint::CountActionable(findings, floor);
+  bool baseline_ok = true;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "dmr-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream doc;
+    doc << in.rdbuf();
+    std::string error;
+    std::vector<std::string> deltas =
+        dmr::lint::CompareBaseline(findings, floor, doc.str(), &error);
+    for (const std::string& delta : deltas) {
+      if (github) {
+        std::printf("::error::baseline %s: %s\n", baseline_path.c_str(),
+                    delta.c_str());
+      } else {
+        std::fprintf(stderr, "dmr-lint: baseline %s: %s\n",
+                     baseline_path.c_str(), delta.c_str());
+      }
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "dmr-lint: baseline parse: %s\n", error.c_str());
+    }
+    baseline_ok = deltas.empty();
+    // With a baseline, recorded findings are the ride-along set: the gate
+    // is the comparison, not the raw count.
+    if (baseline_ok) actionable = 0;
+  }
+
   std::fprintf(stderr,
                "dmr-lint: %zu finding(s), %d actionable, %d suppressed\n",
                findings.size(), actionable, suppressed);
-  return actionable > 0 ? 1 : 0;
+  return (actionable > 0 || !baseline_ok) ? 1 : 0;
 }

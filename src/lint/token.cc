@@ -1,0 +1,300 @@
+#include "lint/token.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dmr::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+/// One pass over the file: emits tokens and blanks the two views in step.
+/// Blanking matches the v1 line scanner exactly: comments are blanked in
+/// both views; string/char contents are blanked (quotes kept) in `code`
+/// only; raw strings are blanked wholesale (R, delimiters and all) in
+/// `code` only.
+class Lexer {
+ public:
+  explicit Lexer(TokenizedFile* f) : f_(*f) {}
+
+  void Run() {
+    bool pp_continues = false;
+    for (li_ = 0; li_ < f_.raw.size(); ++li_) {
+      const std::string& line = f_.raw[li_];
+      if (!in_block_ && !in_raw_) {
+        if (pp_continues) {
+          // Same directive, continued by a trailing backslash.
+        } else {
+          size_t first = line.find_first_not_of(" \t");
+          pp_ = first != std::string::npos && line[first] == '#';
+        }
+      }
+      ci_ = 0;
+      ScanLine(line);
+      if (in_block_ || in_raw_) {
+        pending_.text += '\n';
+        pp_continues = false;
+      } else {
+        pp_continues = pp_ && !line.empty() && line.back() == '\\';
+      }
+    }
+    if (in_block_ || in_raw_) {
+      // Unterminated at EOF: close the token at the last position seen.
+      FinishPending(f_.raw.size(), f_.raw.empty() ? 0 : f_.raw.back().size());
+    }
+  }
+
+ private:
+  void BlankView(std::vector<std::string>* view, size_t line, size_t from,
+                 size_t to) {
+    std::string& s = (*view)[line];
+    to = std::min(to, s.size());
+    for (size_t k = from; k < to; ++k) s[k] = ' ';
+  }
+  void BlankCode(size_t line, size_t from, size_t to) {
+    BlankView(&f_.code, line, from, to);
+  }
+  void BlankBoth(size_t line, size_t from, size_t to) {
+    BlankView(&f_.code, line, from, to);
+    BlankView(&f_.code_strings, line, from, to);
+  }
+
+  void Emit(TokKind kind, size_t line, size_t col, size_t end_col,
+            std::string text) {
+    Tok t;
+    t.kind = kind;
+    t.pp = pp_;
+    t.line = static_cast<int>(line) + 1;
+    t.col = static_cast<int>(col);
+    t.end_line = t.line;
+    t.end_col = static_cast<int>(end_col);
+    t.text = std::move(text);
+    f_.tokens.push_back(std::move(t));
+  }
+
+  void StartPending(TokKind kind, std::string text) {
+    pending_ = Tok{};
+    pending_.kind = kind;
+    pending_.pp = pp_;
+    pending_.line = static_cast<int>(li_) + 1;
+    pending_.col = static_cast<int>(ci_);
+    pending_.text = std::move(text);
+  }
+
+  void FinishPending(size_t end_line, size_t end_col) {
+    pending_.end_line = static_cast<int>(end_line) + 1;
+    pending_.end_col = static_cast<int>(end_col);
+    f_.tokens.push_back(std::move(pending_));
+    in_block_ = false;
+    in_raw_ = false;
+  }
+
+  void ScanLine(const std::string& line) {
+    const size_t n = line.size();
+    while (ci_ < n) {
+      if (in_block_) {
+        size_t end = line.find("*/", ci_);
+        if (end == std::string::npos) {
+          pending_.text += line.substr(ci_);
+          BlankBoth(li_, ci_, n);
+          ci_ = n;
+          return;
+        }
+        pending_.text += line.substr(ci_, end + 2 - ci_);
+        BlankBoth(li_, ci_, end + 2);
+        size_t stop = end + 2;
+        FinishPending(li_, stop);
+        ci_ = stop;
+        continue;
+      }
+      if (in_raw_) {
+        size_t end = line.find(raw_term_, ci_);
+        size_t stop = end == std::string::npos ? n : end + raw_term_.size();
+        pending_.text += line.substr(ci_, stop - ci_);
+        BlankCode(li_, ci_, stop);
+        if (end != std::string::npos) {
+          FinishPending(li_, stop);
+        }
+        ci_ = stop;
+        if (in_raw_) return;
+        continue;
+      }
+      char c = line[ci_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++ci_;
+        continue;
+      }
+      if (c == '/' && ci_ + 1 < n && line[ci_ + 1] == '/') {
+        Emit(TokKind::kComment, li_, ci_, n, line.substr(ci_));
+        BlankBoth(li_, ci_, n);
+        ci_ = n;
+        continue;
+      }
+      if (c == '/' && ci_ + 1 < n && line[ci_ + 1] == '*') {
+        StartPending(TokKind::kComment, "");
+        BlankBoth(li_, ci_, ci_ + 2);
+        in_block_ = true;
+        // The in_block_ branch above consumes the body (and the open
+        // characters' text) from here on.
+        pending_.text += "/*";
+        ci_ += 2;
+        continue;
+      }
+      if (c == 'R' && ci_ + 1 < n && line[ci_ + 1] == '"') {
+        size_t open = line.find('(', ci_ + 2);
+        if (open != std::string::npos) {
+          raw_term_ = ")" + line.substr(ci_ + 2, open - (ci_ + 2)) + "\"";
+          StartPending(TokKind::kRawString, "");
+          size_t end = line.find(raw_term_, open + 1);
+          size_t stop = end == std::string::npos ? n : end + raw_term_.size();
+          pending_.text = line.substr(ci_, stop - ci_);
+          BlankCode(li_, ci_, stop);
+          if (end == std::string::npos) {
+            in_raw_ = true;  // Run() appends the newline and continues.
+            ci_ = stop;
+            return;
+          }
+          FinishPending(li_, stop);
+          ci_ = stop;
+          continue;
+        }
+        // No '(' on the line: not a raw string; fall through so the R
+        // lexes as an identifier and the quote as an ordinary string.
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        size_t j = ci_ + 1;
+        while (j < n) {
+          if (line[j] == '\\') {
+            j += 2;
+            continue;
+          }
+          if (line[j] == quote) break;
+          ++j;
+        }
+        size_t stop = std::min(j + 1, n);
+        for (size_t k = ci_ + 1; k < stop && k < j; ++k) {
+          BlankCode(li_, k, k + 1);
+        }
+        Emit(quote == '"' ? TokKind::kString : TokKind::kCharLit, li_, ci_,
+             stop, line.substr(ci_, stop - ci_));
+        ci_ = stop;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t j = ci_ + 1;
+        while (j < n && IsIdentChar(line[j])) ++j;
+        Emit(TokKind::kIdent, li_, ci_, j, line.substr(ci_, j - ci_));
+        ci_ = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && ci_ + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(line[ci_ + 1])))) {
+        size_t j = ci_ + 1;
+        while (j < n) {
+          char d = line[j];
+          if (IsIdentChar(d) || d == '.') {
+            ++j;
+          } else if (d == '\'' && j + 1 < n &&
+                     std::isalnum(static_cast<unsigned char>(line[j + 1]))) {
+            ++j;  // digit separator
+          } else if ((d == '+' || d == '-') &&
+                     (line[j - 1] == 'e' || line[j - 1] == 'E' ||
+                      line[j - 1] == 'p' || line[j - 1] == 'P')) {
+            ++j;
+          } else {
+            break;
+          }
+        }
+        Emit(TokKind::kNumber, li_, ci_, j, line.substr(ci_, j - ci_));
+        ci_ = j;
+        continue;
+      }
+      // Punctuator: merge the multi-character operators the structural
+      // passes care about; everything else is a single character.
+      static const char* kPunct3[] = {"...", "->*", "<<=", ">>="};
+      static const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>",
+                                      "<=", ">=", "==", "!=", "&&", "||",
+                                      "+=", "-=", "*=", "/=", "%=", "&=",
+                                      "|=", "^=", "##"};
+      size_t len = 1;
+      for (const char* p : kPunct3) {
+        if (line.compare(ci_, 3, p) == 0) {
+          len = 3;
+          break;
+        }
+      }
+      if (len == 1) {
+        for (const char* p : kPunct2) {
+          if (line.compare(ci_, 2, p) == 0) {
+            len = 2;
+            break;
+          }
+        }
+      }
+      Emit(TokKind::kPunct, li_, ci_, ci_ + len, line.substr(ci_, len));
+      ci_ += len;
+    }
+  }
+
+  TokenizedFile& f_;
+  size_t li_ = 0;
+  size_t ci_ = 0;
+  bool pp_ = false;
+  bool in_block_ = false;
+  bool in_raw_ = false;
+  std::string raw_term_;
+  Tok pending_;
+};
+
+}  // namespace
+
+TokenizedFile Tokenize(const std::string& content) {
+  TokenizedFile f;
+  f.raw = SplitLines(content);
+  f.code = f.raw;
+  f.code_strings = f.raw;
+  Lexer lexer(&f);
+  lexer.Run();
+  return f;
+}
+
+int NextSig(const TokenizedFile& f, int i) {
+  for (int k = std::max(i, 0); k < static_cast<int>(f.tokens.size()); ++k) {
+    if (IsSig(f.tokens[k])) return k;
+  }
+  return -1;
+}
+
+int PrevSig(const TokenizedFile& f, int i) {
+  for (int k = std::min(i, static_cast<int>(f.tokens.size()) - 1); k >= 0;
+       --k) {
+    if (IsSig(f.tokens[k])) return k;
+  }
+  return -1;
+}
+
+}  // namespace dmr::lint

@@ -1,0 +1,67 @@
+#ifndef DMR_LINT_TOKEN_H_
+#define DMR_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace dmr::lint {
+
+/// \brief The lexical layer of the dmr-lint v2 engine.
+///
+/// Tokenize() runs one comment/string/raw-string/preprocessor-aware scan
+/// over a source file and produces three aligned artifacts:
+///
+///   - a token stream (identifiers, literals, punctuators, comments) with
+///     line/column extents, feeding the scope tracker and the symbol- and
+///     statement-level checks;
+///   - a `code` view: the raw lines with comments and string/char-literal
+///     *contents* blanked (quote characters kept, raw strings blanked
+///     wholesale), positions preserved;
+///   - a `code_strings` view: comments blanked, literals kept.
+///
+/// The two views deliberately reproduce the v1 line-scanner's blanking
+/// semantics so the regex checks migrated onto this engine keep their
+/// verdicts (tests/lint/lint_diff_test.cc holds the engines to identical
+/// output on every fixture).
+enum class TokKind : unsigned char {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< numeric literal (pp-numbers, digit separators included)
+  kString,     ///< "..." (escapes understood; never spans lines)
+  kRawString,  ///< R"delim(...)delim" (may span lines)
+  kCharLit,    ///< '...'
+  kPunct,      ///< operator/punctuator (a few multi-char forms merged)
+  kComment,    ///< // or /* */ (may span lines)
+};
+
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  bool pp = false;    ///< token belongs to a preprocessor directive
+  int line = 0;       ///< 1-based start line
+  int col = 0;        ///< 0-based start column
+  int end_line = 0;   ///< 1-based line of the last character
+  int end_col = 0;    ///< 0-based column one past the last character
+  std::string text;   ///< verbatim lexeme; multi-line lexemes keep '\n'
+};
+
+struct TokenizedFile {
+  std::vector<std::string> raw;           ///< verbatim lines
+  std::vector<std::string> code;          ///< comments + literal contents blanked
+  std::vector<std::string> code_strings;  ///< comments blanked, literals kept
+  std::vector<Tok> tokens;
+};
+
+TokenizedFile Tokenize(const std::string& content);
+
+/// True for tokens the structural passes look at: not a comment and not
+/// part of a preprocessor directive (a `{` inside a #define must not open
+/// a scope).
+inline bool IsSig(const Tok& t) { return t.kind != TokKind::kComment && !t.pp; }
+
+/// Index of the nearest significant token at or after / before `i`;
+/// -1 when none exists.
+int NextSig(const TokenizedFile& f, int i);
+int PrevSig(const TokenizedFile& f, int i);
+
+}  // namespace dmr::lint
+
+#endif  // DMR_LINT_TOKEN_H_

@@ -1,0 +1,142 @@
+#ifndef DMR_SIM_AFFINITY_H_
+#define DMR_SIM_AFFINITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+
+/// \file
+/// \brief The shard-ownership vocabulary: static annotations consumed by
+/// dmr-lint's shard-ownership checks, plus the dynamic affinity sentinel
+/// that enforces the same contract at run time in sanitizer builds.
+///
+/// The contract (DESIGN.md §14/§18): during a RunParallel epoch each shard
+/// is owned by exactly one worker thread, and everything reachable from a
+/// shard — its queue, arena, slot pool, clocks, staging inboxes — may only
+/// be touched by that owner. Cross-shard work funnels through three seams:
+/// ScheduleOnShard/ScheduleOnShardDetached (which stage remote events),
+/// MergeStagedEvents (which drains inboxes inside the barrier window), and
+/// the nullptr-arena EventCallback spill box (freed on the target shard).
+///
+/// The annotations expand to nothing; they exist so the contract is
+/// machine-checkable:
+///
+///  - DMR_SHARD_AFFINE marks state owned by a single shard. On a
+///    class head (`struct DMR_SHARD_AFFINE Shard`) the whole type is
+///    affine and its own member functions are sanctioned; on a member or
+///    variable declaration it marks that name, and dmr-lint then flags any
+///    use of the name outside a sanctioned scope.
+///  - DMR_CROSS_SHARD_OK marks a scope (function, lambda, class) or a
+///    single statement that is safe to run against foreign shards:
+///    mutex-protected, read-only-racy-by-design probes, or one of the
+///    staging seams themselves.
+///  - DMR_BARRIER_PHASE marks a scope that only runs while no worker is
+///    inside an epoch — setup before RunParallel, the serial engine, and
+///    the barrier-completion callback — and therefore owns every shard.
+///
+/// A lambda never inherits its enclosing function's sanction (its body may
+/// run on another thread); restate the annotation on the lambda itself.
+
+// dmr-lint's scope tracker reads these identifiers from the token stream;
+// the compiler sees empty expansions.
+#define DMR_SHARD_AFFINE
+#define DMR_CROSS_SHARD_OK
+#define DMR_BARRIER_PHASE
+
+namespace dmr::sim {
+
+/// \brief Run-time watchdog for the shard-ownership contract.
+///
+/// Each shard records its owning thread when a RunParallel worker binds to
+/// it; Check(shard) then DMR_CHECK-fails when called from any other thread
+/// while the parallel phase is live and the barrier window is closed.
+/// Strictly observation-only: it never blocks, never orders anything, and
+/// enabling it cannot change a simulation's outputs (the tier-1 digest
+/// stage holds it to that). Off by default in release builds; the tsan and
+/// asan presets compile it on via -DDMR_SHARD_SENTINEL_DEFAULT=1, and the
+/// DMR_SHARD_SENTINEL environment variable overrides either way.
+class AffinitySentinel {
+ public:
+  /// Resolves the compile-time default against the environment override.
+  static bool DefaultEnabled() {
+    if (const char* env = std::getenv("DMR_SHARD_SENTINEL")) {
+      return env[0] != '\0' && env[0] != '0';
+    }
+#ifdef DMR_SHARD_SENTINEL_DEFAULT
+    return DMR_SHARD_SENTINEL_DEFAULT != 0;
+#else
+    return false;
+#endif
+  }
+
+  void set_enabled(bool on) { enabled_.store(on); }
+  bool enabled() const { return enabled_.load(); }
+
+  /// Sizes the owner table; called whenever the shard count changes
+  /// (always outside a parallel phase).
+  void Resize(std::size_t n_shards) {
+    owners_ = std::make_unique<std::atomic<uint64_t>[]>(n_shards);
+    n_ = n_shards;
+    for (std::size_t i = 0; i < n_; ++i) owners_[i].store(0);
+  }
+
+  /// Opens a parallel phase: all ownership records reset, checks arm.
+  void EnterParallel() {
+    for (std::size_t i = 0; i < n_; ++i) owners_[i].store(0);
+    in_barrier_.store(false);
+    parallel_.store(true);
+  }
+
+  void ExitParallel() { parallel_.store(false); }
+
+  /// A worker's first act: claim its shard for this thread.
+  void BindOwner(std::size_t shard) {
+    if (shard < n_) owners_[shard].store(SelfId());
+  }
+
+  /// Brackets the barrier-completion callback, during which one thread
+  /// legitimately touches every shard while the rest are parked.
+  void OpenBarrier() { in_barrier_.store(true); }
+  void CloseBarrier() { in_barrier_.store(false); }
+
+  /// Aborts (DMR_CHECK) when `shard` is accessed from a thread that is not
+  /// its recorded owner during a live epoch. `op` names the seam for the
+  /// failure message. No-op when disabled, outside a parallel phase, or
+  /// inside the barrier window.
+  void Check(std::size_t shard, const char* op) const {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    if (!parallel_.load(std::memory_order_acquire)) return;
+    if (in_barrier_.load(std::memory_order_acquire)) return;
+    if (shard >= n_) return;
+    const uint64_t owner = owners_[shard].load(std::memory_order_acquire);
+    if (owner == 0) return;  // shard not yet bound this epoch
+    DMR_CHECK(owner == SelfId())
+        << "shard-affinity violation: " << op << " touched shard " << shard
+        << " from a thread that does not own it (owner tag " << owner
+        << ", caller tag " << SelfId()
+        << "); cross-shard work must go through ScheduleOnShard or wait "
+           "for the barrier window";
+  }
+
+ private:
+  static uint64_t SelfId() {
+    const uint64_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return h == 0 ? 1 : h;  // 0 is the "unbound" sentinel value
+  }
+
+  std::unique_ptr<std::atomic<uint64_t>[]> owners_;
+  std::size_t n_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> parallel_{false};
+  std::atomic<bool> in_barrier_{false};
+};
+
+}  // namespace dmr::sim
+
+#endif  // DMR_SIM_AFFINITY_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "prof/prof.h"
+#include "sim/affinity.h"
 
 namespace dmr::sim {
 
@@ -31,7 +32,12 @@ namespace dmr::sim {
 /// (or with stricter alignment needs) fall through to operator new; the
 /// caller passes the same byte count to Deallocate so the arena can tell
 /// the two paths apart without a per-block header.
-class Arena {
+///
+/// An Arena is shard-affine (sim/affinity.h): it is single-threaded by
+/// construction, and under RunParallel only the owning shard's worker may
+/// allocate or free from it — the nullptr-arena EventCallback spill box is
+/// the sanctioned way to hand work across shards.
+class DMR_SHARD_AFFINE Arena {
  public:
   Arena() = default;
   ~Arena() = default;

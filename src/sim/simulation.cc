@@ -273,22 +273,24 @@ Simulation::Simulation() : Simulation(SimulationOptions{}) {}
 
 Simulation::Simulation(const SimulationOptions& options) : options_(options) {
   if (g_queue_kind.has_value()) options_.queue = *g_queue_kind;
+  sentinel_.set_enabled(AffinitySentinel::DefaultEnabled());
   AddShard();
   if (g_tie_shuffle.has_value()) EnableTieShuffle(*g_tie_shuffle);
 }
 
 Simulation::~Simulation() = default;
 
-void Simulation::AddShard() {
+void Simulation::AddShard() DMR_BARRIER_PHASE {
   auto shard = std::make_unique<internal::Shard>();
   shard->now = now_;
   shard->queue.Init(options_.queue, options_.bucket_width,
                     options_.num_buckets, After(),
                     &shard->cancelled_in_queue);
   shards_.push_back(std::move(shard));
+  sentinel_.Resize(shards_.size());
 }
 
-void Simulation::ConfigureShards(int n) {
+void Simulation::ConfigureShards(int n) DMR_BARRIER_PHASE {
   DMR_CHECK_GE(n, 1);
   DMR_CHECK_LE(n, 1 << internal::kShardBits);
   for (const auto& sh : shards_) {
@@ -316,7 +318,7 @@ std::optional<QueueKind> Simulation::GlobalQueueKind() {
   return g_queue_kind;
 }
 
-void Simulation::EnableTieShuffle(uint64_t seed) {
+void Simulation::EnableTieShuffle(uint64_t seed) DMR_BARRIER_PHASE {
   for (const auto& sh : shards_) {
     DMR_CHECK_EQ(sh->next_seq, uint64_t{0})
         << "EnableTieShuffle must precede all scheduling";
@@ -348,14 +350,18 @@ void Simulation::CheckDelay(SimTime delay) const {
   DMR_CHECK_GE(delay, 0.0) << "negative delay " << delay;
 }
 
-Arena* Simulation::ShardArena(int shard) {
+// The arena hand-out seam: the sentinel verifies the caller owns the shard
+// whose arena it is about to allocate from.
+Arena* Simulation::ShardArena(int shard) DMR_CROSS_SHARD_OK {
   DMR_CHECK_GE(shard, 0);
   DMR_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  sentinel_.Check(static_cast<std::size_t>(shard), "ShardArena");
   return &shards_[static_cast<std::size_t>(shard)]->arena;
 }
 
 EventHandle Simulation::ScheduleLocal(int shard, SimTime when, EventClass cls,
-                                      Callback fn) {
+                                      Callback fn) DMR_CROSS_SHARD_OK {
+  sentinel_.Check(static_cast<std::size_t>(shard), "ScheduleLocal");
   internal::Shard* sh = shards_[static_cast<std::size_t>(shard)].get();
   const SimTime floor_now = parallel_phase_ ? sh->now : now_;
   DMR_CHECK_GE(when, floor_now) << "scheduling into the past";
@@ -373,7 +379,9 @@ EventHandle Simulation::ScheduleLocal(int shard, SimTime when, EventClass cls,
 }
 
 void Simulation::ScheduleLocalDetached(int shard, SimTime when,
-                                       EventClass cls, Callback fn) {
+                                       EventClass cls,
+                                       Callback fn) DMR_CROSS_SHARD_OK {
+  sentinel_.Check(static_cast<std::size_t>(shard), "ScheduleLocalDetached");
   internal::Shard* sh = shards_[static_cast<std::size_t>(shard)].get();
   const SimTime floor_now = parallel_phase_ ? sh->now : now_;
   DMR_CHECK_GE(when, floor_now) << "scheduling into the past";
@@ -386,12 +394,16 @@ void Simulation::ScheduleLocalDetached(int shard, SimTime when,
 }
 
 EventHandle Simulation::StageRemote(int target, SimTime when, EventClass cls,
-                                    Callback fn) {
+                                    Callback fn) DMR_CROSS_SHARD_OK {
   DMR_CHECK_GE(target, 0);
   DMR_CHECK_LT(target, static_cast<int>(shards_.size()));
   DMR_CHECK_GE(when, epoch_end_)
       << "cross-shard schedule inside the lookahead window";
   const int source = CurrentShardIndex();
+  // The write below goes into the TARGET's inbox, but the inbox column is
+  // the source's: inbox[source] is only ever written by the source's
+  // worker, so ownership of the caller's own shard is the invariant.
+  sentinel_.Check(static_cast<std::size_t>(source), "StageRemote");
   shards_[static_cast<std::size_t>(target)]
       ->inbox[static_cast<std::size_t>(source)]
       .push_back(internal::StagedEvent{when, cls, std::move(fn)});
@@ -403,7 +415,8 @@ void Simulation::ReleaseQueueRef(internal::EventSlot* slot) {
   internal::SlotRelease(slot);
 }
 
-void Simulation::OnCancelled(internal::EventSlot* slot) {
+void Simulation::OnCancelled(internal::EventSlot* slot) DMR_CROSS_SHARD_OK {
+  sentinel_.Check(slot->shard, "Cancel");
   internal::Shard* sh = shards_[slot->shard].get();
   if (parallel_phase_) {
     // A shard's slots (and handles) must stay on its worker thread; a
@@ -431,7 +444,8 @@ void Simulation::MaybePurgeCancelled(internal::Shard* sh) {
   sh->queue.PurgeCancelled();
 }
 
-bool Simulation::Step(SimTime limit) {
+// Serial engine: one thread owns every shard, by definition of serial.
+bool Simulation::Step(SimTime limit) DMR_BARRIER_PHASE {
   internal::Shard* best = nullptr;
   int best_idx = 0;
   internal::Event* best_ev = nullptr;
@@ -497,7 +511,7 @@ uint64_t Simulation::Run(uint64_t max_events) {
   return fired;
 }
 
-uint64_t Simulation::RunUntil(SimTime until) {
+uint64_t Simulation::RunUntil(SimTime until) DMR_BARRIER_PHASE {
   uint64_t fired = 0;
   if (prof::Enabled()) {
     static const prof::PhaseId kRunUntilPhase =
@@ -514,7 +528,7 @@ uint64_t Simulation::RunUntil(SimTime until) {
   return fired;
 }
 
-void Simulation::MergeStagedEvents() {
+void Simulation::MergeStagedEvents() DMR_BARRIER_PHASE {
   static const prof::PhaseId kMergePhase =
       prof::RegisterPhase("sim", "merge_staged");
   prof::ScopedTimer prof_frame(kMergePhase);
@@ -534,7 +548,7 @@ void Simulation::MergeStagedEvents() {
 }
 
 uint64_t Simulation::RunParallel(int n_shards, SimTime until,
-                                 SimTime lookahead) {
+                                 SimTime lookahead) DMR_BARRIER_PHASE {
   DMR_CHECK(!parallel_phase_) << "RunParallel is not reentrant";
   DMR_CHECK_EQ(n_shards, static_cast<int>(shards_.size()))
       << "RunParallel(n) requires a prior ConfigureShards(n)";
@@ -553,6 +567,7 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
     sh->inbox.clear();
     sh->inbox.resize(shards_.size());
   }
+  sentinel_.EnterParallel();
   parallel_phase_ = true;
   epoch_end_ = std::min(until, now_ + lookahead);
   bool done = false;
@@ -562,7 +577,12 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
   // events, then either declares completion or opens the next epoch
   // (skipping ahead over idle gaps — the next window starts at the
   // earliest pending event).
-  std::function<void()> completion = [this, until, lookahead, &done] {
+  // DMR_BARRIER_PHASE is restated on the lambda: sanction does not flow
+  // into lambda bodies (they may run on any worker thread), and this one
+  // really is barrier-phase — it runs while every other worker is parked.
+  std::function<void()> completion = [this, until, lookahead,
+                                      &done] DMR_BARRIER_PHASE {
+    sentinel_.OpenBarrier();
     MergeStagedEvents();
     SimTime tmin = std::numeric_limits<SimTime>::infinity();
     for (const auto& sh : shards_) {
@@ -573,6 +593,7 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
       done = true;
       now_ = until;
       for (const auto& sh : shards_) sh->now = until;
+      sentinel_.CloseBarrier();
       return;
     }
     const SimTime epoch_start = std::max(epoch_end_, tmin);
@@ -581,6 +602,7 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
     for (const auto& sh : shards_) {
       if (sh->now < epoch_start) sh->now = epoch_start;
     }
+    sentinel_.CloseBarrier();
   };
   std::barrier<BarrierCompletion> barrier(n_shards,
                                           BarrierCompletion{&completion});
@@ -590,7 +612,12 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
   for (int i = 0; i < n_shards; ++i) {
     workers.emplace_back([this, i, until, &barrier, &done] {
       internal::t_shard = internal::TlsShard{this, i};
-      internal::Shard* sh = shards_[static_cast<std::size_t>(i)].get();
+      // First act: claim this shard for this thread. The statement-level
+      // annotation sanctions the one direct shards_ read a worker makes —
+      // of its own entry.
+      sentinel_.BindOwner(static_cast<std::size_t>(i));
+      DMR_CROSS_SHARD_OK internal::Shard* sh =
+          shards_[static_cast<std::size_t>(i)].get();
       // Worker frames are thread-local: each worker opens its own
       // sim.parallel_worker root with per-epoch dispatch and barrier-wait
       // children; Collect() merges the workers by name. `profiled` is
@@ -638,6 +665,7 @@ uint64_t Simulation::RunParallel(int n_shards, SimTime until,
   }
   for (std::thread& t : workers) t.join();
   parallel_phase_ = false;
+  sentinel_.ExitParallel();
   epoch_end_ = 0.0;
   return events_fired() - fired_before;
 }

@@ -14,6 +14,7 @@
 
 #include "common/units.h"
 #include "prof/prof.h"
+#include "sim/affinity.h"
 #include "sim/arena.h"
 
 namespace dmr::sim {
@@ -50,8 +51,12 @@ namespace internal {
 /// supplied (the Simulation hot path), falling back to operator new for
 /// arena-less construction — e.g. cross-shard staged events, whose spill
 /// box is freed on the target shard's thread and therefore must not touch
-/// the source shard's single-threaded arena.
-class EventCallback {
+/// the source shard's single-threaded arena. That nullptr-arena path is
+/// the sanctioned spill-box exemption of the shard-ownership contract
+/// (sim/affinity.h), which is why the class body carries the annotation:
+/// the box remembers which arena (if any) it came from and frees itself
+/// correctly wherever it is destroyed.
+class DMR_CROSS_SHARD_OK EventCallback {
  public:
   static constexpr std::size_t kInlineBytes = 24;
 
@@ -189,8 +194,10 @@ struct EventSlot {
 ///
 /// The pool itself is ref-counted: one reference is held by the owning
 /// shard and one by every live slot, so slot memory stays valid even when
-/// an EventHandle outlives the Simulation it came from.
-class EventSlotPool {
+/// an EventHandle outlives the Simulation it came from. Shard-affine: the
+/// refcount is deliberately unsynchronized, so every Acquire/Release must
+/// come from the owning shard's thread.
+class DMR_SHARD_AFFINE EventSlotPool {
  public:
   /// Creates a pool holding one owner reference (dropped via DropOwnerRef).
   static EventSlotPool* Create() { return new EventSlotPool(); }
@@ -524,8 +531,10 @@ struct StagedEvent {
 /// A default Simulation has exactly one shard; ConfigureShards(n) splits
 /// the event space for RunParallel. Everything an event touches at fire
 /// time lives here, so a shard worker thread runs without sharing mutable
-/// state (pools and arenas are deliberately per-shard for that reason).
-struct Shard {
+/// state (pools and arenas are deliberately per-shard for that reason) —
+/// the DMR_SHARD_AFFINE annotation makes that ownership machine-checkable
+/// (sim/affinity.h).
+struct DMR_SHARD_AFFINE Shard {
   Shard() : pool(EventSlotPool::Create()) {}
   ~Shard() {
     queue.Drain([](Event& ev) {
@@ -600,8 +609,9 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current virtual time in seconds. Inside a RunParallel worker this is
-  /// the firing shard's clock; otherwise the global clock.
-  SimTime Now() const {
+  /// the firing shard's clock; otherwise the global clock (cross-shard OK:
+  /// the worker only ever reads its own thread-bound shard's clock).
+  SimTime Now() const DMR_CROSS_SHARD_OK {
     if (parallel_phase_ && internal::t_shard.sim == this) {
       return shards_[internal::t_shard.shard]->now;
     }
@@ -650,7 +660,7 @@ class Simulation {
   template <typename F>
     requires std::invocable<std::decay_t<F>&>
   EventHandle ScheduleOnShard(int shard, SimTime when, EventClass cls,
-                              F&& fn) {
+                              F&& fn) DMR_CROSS_SHARD_OK {
     if (parallel_phase_ && shard != CurrentShardIndex()) {
       return StageRemote(shard, when, cls,
                          Callback(nullptr, std::forward<F>(fn)));
@@ -683,7 +693,7 @@ class Simulation {
   template <typename F>
     requires std::invocable<std::decay_t<F>&>
   void ScheduleOnShardDetached(int shard, SimTime when, EventClass cls,
-                               F&& fn) {
+                               F&& fn) DMR_CROSS_SHARD_OK {
     if (parallel_phase_ && shard != CurrentShardIndex()) {
       StageRemote(shard, when, cls, Callback(nullptr, std::forward<F>(fn)));
       return;
@@ -708,7 +718,9 @@ class Simulation {
   /// shards into one deterministic total order.
   void ConfigureShards(int n);
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const DMR_CROSS_SHARD_OK {
+    return static_cast<int>(shards_.size());  // fixed during an epoch
+  }
 
   /// Runs events up to virtual time `until` on `n_shards` worker threads
   /// (one per shard; `n_shards` must equal num_shards()), synchronizing at
@@ -724,8 +736,9 @@ class Simulation {
 
   /// Number of events currently queued, including lazily-cancelled
   /// placeholders not yet purged. Use live_size() to reason about whether
-  /// anything can still fire.
-  std::size_t queue_size() const {
+  /// anything can still fire. Cross-shard OK as a probe: callers during a
+  /// parallel phase get a racy-by-design instantaneous sum.
+  std::size_t queue_size() const DMR_CROSS_SHARD_OK {
     std::size_t total = 0;
     for (const auto& sh : shards_) total += sh->queue.size();
     return total;
@@ -739,14 +752,14 @@ class Simulation {
     return queue_size() - cancelled_in_queue();
   }
 
-  uint64_t events_fired() const {
+  uint64_t events_fired() const DMR_CROSS_SHARD_OK {
     uint64_t total = 0;
     for (const auto& sh : shards_) total += sh->events_fired;
     return total;
   }
 
   /// Lazily-cancelled events still occupying the queue.
-  std::size_t cancelled_in_queue() const {
+  std::size_t cancelled_in_queue() const DMR_CROSS_SHARD_OK {
     std::size_t total = 0;
     for (const auto& sh : shards_) total += sh->cancelled_in_queue;
     return total;
@@ -764,7 +777,7 @@ class Simulation {
 
   /// Tie-race detector counters, merged across shards (maintained
   /// unconditionally; the cost is one timestamp compare per fired event).
-  TieStats tie_stats() const {
+  TieStats tie_stats() const DMR_CROSS_SHARD_OK {
     TieStats total;
     for (const auto& sh : shards_) {
       total.groups += sh->ties.groups;
@@ -777,10 +790,28 @@ class Simulation {
   /// The shard-0 arena: scratch allocator for simulation-lifetime objects
   /// owned by single-threaded consumers (task attempts, completion
   /// counters). Everything allocated from it must be released before the
-  /// Simulation is destroyed.
-  Arena* arena() { return &shards_[0]->arena; }
+  /// Simulation is destroyed. Cross-shard OK only because its callers are
+  /// serial-phase by contract; the affinity sentinel still checks shard 0
+  /// ownership dynamically through ShardArena.
+  Arena* arena() DMR_CROSS_SHARD_OK { return &shards_[0]->arena; }
 
   const SimulationOptions& options() const { return options_; }
+
+  /// Toggles the shard-affinity sentinel (sim/affinity.h) for this
+  /// simulation. The sentinel is observation-only — enabling it cannot
+  /// change any output — and defaults to AffinitySentinel::DefaultEnabled()
+  /// (env DMR_SHARD_SENTINEL, else -DDMR_SHARD_SENTINEL_DEFAULT, which the
+  /// tsan/asan presets set).
+  void EnableAffinitySentinel(bool on) { sentinel_.set_enabled(on); }
+  bool affinity_sentinel_enabled() const { return sentinel_.enabled(); }
+
+  /// Asserts the calling thread may touch `shard` right now (no-op unless
+  /// a parallel phase is live and the sentinel is enabled). Components
+  /// holding shard-affine state of their own call this from their mutation
+  /// paths; it is also the hook the sentinel death test drives.
+  void CheckShardAccess(int shard) const {
+    sentinel_.Check(static_cast<std::size_t>(shard), "CheckShardAccess");
+  }
 
   /// Process-wide default applied to every subsequently constructed
   /// Simulation (the `--shuffle-ties=SEED` bench flag sets this once at
@@ -860,7 +891,9 @@ class Simulation {
   /// End of the current parallel epoch; cross-shard schedules must target
   /// times at or past it. Written only inside barrier completions.
   SimTime epoch_end_ = 0.0;
-  std::vector<std::unique_ptr<internal::Shard>> shards_;
+  DMR_SHARD_AFFINE std::vector<std::unique_ptr<internal::Shard>> shards_;
+  /// Run-time enforcement of the same contract the annotations document.
+  AffinitySentinel sentinel_;
 };
 
 }  // namespace dmr::sim

@@ -1,0 +1,9 @@
+// Bare allows are rejected: each empty-justification allow produces a
+// lint-allow error and the underlying finding stays live. Expect two
+// lint-allow errors plus two unsuppressed unseeded-rng findings.
+#include <cstdlib>
+
+// dmr-lint: allow(unseeded-rng)
+int A() { return rand(); }
+
+int B() { return rand(); }  // dmr-lint: allow(unseeded-rng)

@@ -1,0 +1,19 @@
+// Statement-scoped allows: the hazards sit on the continuation lines of
+// wrapped statements, covered by a line-above allow (A) and a trailing
+// allow on the statement's first line (B). A purely line-based engine
+// suppresses neither. Expect two suppressed findings, zero actionable.
+#include <chrono>
+
+double A() {
+  // dmr-lint: allow(wall-clock) startup banner timing, outside the
+  // frozen-clock window.
+  auto t0 =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<double>(t0);
+}
+
+double B() {
+  auto t1 =  // dmr-lint: allow(wall-clock) same exemption, trailing form
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<double>(t1);
+}

@@ -1,0 +1,23 @@
+// Cross-shard-arena fixture, clean variant: every use is sanctioned or
+// takes the nullptr spill-box form. Expect zero findings.
+
+struct Arena { void* Allocate(unsigned long n); };
+
+struct Engine {
+  Arena* ShardArena(int shard);
+
+  // Barrier-phase merge code may touch any shard's arena.
+  void* Drain(int shard) DMR_BARRIER_PHASE {
+    return ShardArena(shard)->Allocate(8);
+  }
+};
+
+void* Steal(Engine* e, void* fn) DMR_CROSS_SHARD_OK {
+  void* p = e->arena()->Allocate(16);
+  (void)fn;
+  return p;
+}
+
+// The nullptr-arena form is the cross-shard-safe spill box; it needs no
+// sanction.
+void* Spill(void* fn) { return EventCallback(nullptr, fn); }

@@ -1,0 +1,13 @@
+// Cross-shard-arena fixture, suppressed variant: one violation silenced
+// by a justified allow. Expect one suppressed finding, zero actionable.
+
+struct Arena { void* Allocate(unsigned long n); };
+
+struct Engine {
+  Arena* ShardArena(int shard);
+};
+
+void* Grab(Engine* e) {
+  return e->ShardArena(0)  // dmr-lint: allow(cross-shard-arena) setup
+      ->Allocate(8);       // path runs before workers are spawned
+}

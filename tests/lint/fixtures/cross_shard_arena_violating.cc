@@ -1,0 +1,17 @@
+// Cross-shard-arena fixture: violations at lines 9, 13 and 14 exactly.
+// The ShardArena declaration on line 7 is the seam itself, not a use.
+
+struct Arena { void* Allocate(unsigned long n); };
+
+struct Engine {
+  Arena* ShardArena(int shard);
+
+  void* Grab(int shard) { return ShardArena(shard)->Allocate(8); }
+};
+
+void* Steal(Engine* e, void* fn) {
+  void* p = e->arena()->Allocate(16);
+  void* armed = EventCallback(p, fn);
+  (void)armed;
+  return p;
+}

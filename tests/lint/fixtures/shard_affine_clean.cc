@@ -1,0 +1,17 @@
+// Shard-affine fixture, clean variant: the same accesses as the
+// violating file, each under a sanctioned scope. Expect zero findings.
+
+struct DMR_SHARD_AFFINE Engine {
+  int* shards_;
+
+  // The class body is the state's home: member touches are sanctioned.
+  int Count() { return shards_[0]; }
+};
+
+DMR_SHARD_AFFINE int g_slot_cursor = 0;
+
+// Barrier-phase code owns every shard.
+int Bump() DMR_BARRIER_PHASE { return ++g_slot_cursor; }
+
+// Reviewed cross-shard read of a plain counter.
+int Peek(const Engine& e) DMR_CROSS_SHARD_OK { return e.shards_[1]; }

@@ -1,0 +1,12 @@
+// Shard-affine fixture, suppressed variant: one violation, silenced by
+// a justified allow. Expect one suppressed finding, zero actionable.
+
+struct Engine {
+  DMR_SHARD_AFFINE int* shards_;
+
+  int Count() {
+    // dmr-lint: allow(shard-affine) test-only probe; the engine is
+    // serial here and no worker threads exist yet.
+    return shards_[0];
+  }
+};

@@ -1,0 +1,18 @@
+// Shard-affine fixture: violations at lines 10, 16 and 18 exactly. The
+// member declaration on line 6 sanctions itself via the statement-level
+// annotation; nothing sanctions the accesses.
+
+struct Engine {
+  DMR_SHARD_AFFINE int* shards_;
+
+  int Count() {
+    // Unannotated member touch of shard-affine state.
+    return shards_[0];
+  }
+};
+
+DMR_SHARD_AFFINE int g_slot_cursor = 0;
+
+int Bump() { return ++g_slot_cursor; }
+
+int Peek(const Engine& e) { return e.shards_[1]; }

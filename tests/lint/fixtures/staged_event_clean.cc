@@ -1,0 +1,14 @@
+// Staged-event fixture, clean variant: the same machinery used inside
+// the sanctioned seams. Expect zero findings.
+
+struct StagedEvent { double time; };
+
+// The staging seam itself is cross-shard by design.
+void Stage(StagedEvent* inbox, int n) DMR_CROSS_SHARD_OK {
+  inbox[n] = StagedEvent{2.5};
+}
+
+// The barrier-phase merge drains the inboxes serially.
+void Merge(StagedEvent* inbox, int n) DMR_BARRIER_PHASE {
+  for (int i = 0; i < n; ++i) (void)inbox[i].time;
+}

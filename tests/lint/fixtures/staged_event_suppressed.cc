@@ -1,0 +1,10 @@
+// Staged-event fixture, suppressed variant: one bypass silenced by a
+// justified allow. Expect one suppressed finding, zero actionable.
+
+struct StagedEvent { double time; };
+
+void Sneak(StagedEvent* slot) {
+  // dmr-lint: allow(staged-event-bypass) unit test constructs the event
+  // directly to probe the merge path in isolation.
+  *slot = StagedEvent{2.5};
+}

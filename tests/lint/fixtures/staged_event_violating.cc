@@ -1,0 +1,9 @@
+// Staged-event fixture: violations at line 7 (the inbox parameter) and
+// line 8 twice (the store target and the bypassing construction). The
+// type's own declaration on line 5 is not a use.
+
+struct StagedEvent { double time; };
+
+void Sneak(StagedEvent* inbox, int n) {
+  inbox[n] = StagedEvent{2.5};
+}

@@ -1,0 +1,15 @@
+// Unordered-output false-positive fixture: the only "<<" in the loop
+// body lives inside a string literal. The token-aware engine blanks
+// literals before scanning for emit patterns and reports nothing; the
+// line-regex engine flags the loop at line 8.
+#include <string>
+#include <unordered_map>
+
+std::string A(const std::unordered_map<int, int>& stats) {
+  std::string out;
+  for (const auto& kv : stats) {
+    out.append("the << operator here is quoted prose, not an emit");
+    (void)kv;
+  }
+  return out;
+}

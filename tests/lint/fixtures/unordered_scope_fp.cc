@@ -1,0 +1,21 @@
+// Unordered-output false-positive fixture: B's local `items` is an
+// unordered set, but the loop in A iterates a different `items` — the
+// ordered vector parameter. The scope-aware engine sees that B's
+// declaration scope does not enclose A's loop and reports nothing; the
+// file-global name match flags the loop at line 14.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+void B() {
+  std::unordered_set<int> items;
+  (void)items;
+}
+
+std::string A(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    out += s;
+  }
+  return out;
+}

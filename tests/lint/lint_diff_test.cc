@@ -1,0 +1,116 @@
+/// \file
+/// Differential test for the lint rebuild: the v2 token/scope engine
+/// (lint.cc) must return byte-identical findings to the preserved v1
+/// line-regex engine (engine_v1.cc) on every pre-v2 fixture. The two
+/// engines are allowed to diverge only where v2 is strictly better — the
+/// false-positive fixtures at the bottom pin those divergences down to
+/// the exact finding v1 invents and v2 does not.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine_v1.h"
+#include "lint/lint.h"
+
+namespace dmr::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DMR_SOURCE_DIR) + "/tests/lint/fixtures/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Every fixture that existed before the v2 engine landed. The new-check
+/// and statement-suppression fixtures are deliberately absent: those
+/// exercise behavior v1 never had.
+const char* kPreV2Fixtures[] = {
+    "arena_alloc.cc",
+    "check_side_effect.cc",
+    "clean.cc",
+    "ignored_status.cc",
+    "pointer_output.cc",
+    "raw_host_timer.cc",
+    "raw_host_timer_suppressed.cc",
+    "suppressed.cc",
+    "timeline_unordered.cc",
+    "unordered_output.cc",
+    "unseeded_rng.cc",
+    "wall_clock.cc",
+    "zone_map_ordered.cc",
+    "zone_map_unordered.cc",
+};
+
+TEST(LintDiffTest, V2MatchesV1OnEveryPreV2Fixture) {
+  int total_findings = 0;
+  for (const char* name : kPreV2Fixtures) {
+    const std::string path = FixturePath(name);
+    const std::string content = ReadFileOrDie(path);
+    std::vector<Finding> v1 = v1::LintContentV1(path, content);
+    std::vector<Finding> v2 = LintContent(path, content);
+    ASSERT_EQ(v1.size(), v2.size()) << name << ": finding count diverged";
+    for (size_t i = 0; i < v1.size(); ++i) {
+      EXPECT_EQ(v1[i].check, v2[i].check) << name << " finding " << i;
+      EXPECT_EQ(v1[i].severity, v2[i].severity) << name << " finding " << i;
+      EXPECT_EQ(v1[i].file, v2[i].file) << name << " finding " << i;
+      EXPECT_EQ(v1[i].line, v2[i].line) << name << " finding " << i;
+      EXPECT_EQ(v1[i].message, v2[i].message) << name << " finding " << i;
+      EXPECT_EQ(v1[i].suppressed, v2[i].suppressed)
+          << name << " finding " << i;
+      EXPECT_EQ(v1[i].justification, v2[i].justification)
+          << name << " finding " << i;
+    }
+    total_findings += static_cast<int>(v1.size());
+  }
+  // The oracle must actually be exercised: a bug that made both engines
+  // return nothing everywhere would otherwise pass.
+  EXPECT_GT(total_findings, 20);
+}
+
+TEST(LintDiffTest, JsonReportsAreByteIdenticalOnPreV2Fixtures) {
+  for (const char* name : kPreV2Fixtures) {
+    const std::string path = FixturePath(name);
+    const std::string content = ReadFileOrDie(path);
+    EXPECT_EQ(FindingsToJson(v1::LintContentV1(path, content)),
+              FindingsToJson(LintContent(path, content)))
+        << name;
+  }
+}
+
+/// The sanctioned divergences: measured false positives the token/scope
+/// engine removes. Each asserts both directions — v1 really does flag the
+/// fixture (the FP exists) and v2 really does not (the FP is fixed).
+TEST(LintDiffTest, V2DropsStringLiteralEmitFalsePositive) {
+  const std::string path = FixturePath("unordered_literal_fp.cc");
+  const std::string content = ReadFileOrDie(path);
+  std::vector<Finding> v1 = v1::LintContentV1(path, content);
+  ASSERT_EQ(v1.size(), 1u) << "v1 should flag the quoted `<<`";
+  EXPECT_EQ(v1[0].check, "unordered-output");
+  EXPECT_EQ(v1[0].line, 10);
+  EXPECT_TRUE(LintContent(path, content).empty())
+      << "v2 must not scan string literals for emit patterns";
+}
+
+TEST(LintDiffTest, V2DropsForeignScopeNameCollisionFalsePositive) {
+  const std::string path = FixturePath("unordered_scope_fp.cc");
+  const std::string content = ReadFileOrDie(path);
+  std::vector<Finding> v1 = v1::LintContentV1(path, content);
+  ASSERT_EQ(v1.size(), 1u) << "v1 should flag the name collision";
+  EXPECT_EQ(v1[0].check, "unordered-output");
+  EXPECT_EQ(v1[0].line, 17);
+  EXPECT_TRUE(LintContent(path, content).empty())
+      << "v2 must see that B's declaration does not enclose A's loop";
+}
+
+}  // namespace
+}  // namespace dmr::lint

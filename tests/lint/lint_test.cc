@@ -166,7 +166,8 @@ TEST(LintTest, AllowForAnotherCheckDoesNotSuppress) {
   auto findings = LintContent(
       "wrong_allow.cc",
       "#include <cstdlib>\n"
-      "int A() { return rand(); }  // dmr-lint: allow(wall-clock)\n");
+      "int A() { return rand(); }  // dmr-lint: allow(wall-clock) wrong "
+      "check on purpose\n");
   EXPECT_EQ(Hits(findings), (Expected{{"unseeded-rng", 2}}));
 }
 

@@ -1,0 +1,170 @@
+/// \file
+/// The dynamic shard-affinity sentinel (sim/affinity.h): under
+/// RunParallel each shard is bound to the worker thread that owns it for
+/// the epoch, and a wrong-thread touch of shard state outside a barrier
+/// window is a DMR_CHECK failure. Two contracts are pinned here:
+///
+///  1. The sentinel *fires* — a shard-0 event reaching into shard 1
+///     dies with "shard-affinity violation" (run under the TSan and ASan
+///     presets, where DMR_SHARD_SENTINEL_DEFAULT=1 arms it by default).
+///  2. The sentinel is *observation-only* — enabling it changes no
+///     digest: fired counts, per-shard event logs and tie stats are
+///     byte-identical with the sentinel on and off, serial and parallel,
+///     with and without tie shuffling.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace dmr::sim {
+namespace {
+
+constexpr int kShards = 4;
+
+/// One log per shard, cache-line aligned so parallel workers append
+/// without sharing.
+struct alignas(64) ShardLog {
+  std::vector<std::pair<int, SimTime>> fired;
+};
+
+struct RunOut {
+  uint64_t fired = 0;
+  std::vector<ShardLog> logs;
+  TieStats ties;
+};
+
+/// A cross-shard ping workload with globally unique event times (integer
+/// cells per (k, shard), distinct fractions per event kind), so serial
+/// and parallel schedules are comparable tie-free.
+RunOut RunWorkload(bool sentinel, bool parallel, uint64_t shuffle_seed) {
+  Simulation sim;
+  sim.ConfigureShards(kShards);
+  sim.EnableAffinitySentinel(sentinel);
+  if (shuffle_seed != 0) sim.EnableTieShuffle(shuffle_seed);
+  RunOut out;
+  out.logs.resize(kShards);
+  for (int shard = 0; shard < kShards; ++shard) {
+    for (int k = 0; k < 50; ++k) {
+      const double cell = static_cast<double>(k * kShards + shard);
+      sim.ScheduleOnShardDetached(
+          shard, cell + 0.25, EventClass::kDefault,
+          [&out, &sim, shard, k] {
+            out.logs[static_cast<std::size_t>(shard)].fired.emplace_back(
+                shard * 1000 + k, sim.Now());
+            // Ping the next shard well past the conservative horizon.
+            const int target = (shard + 1) % kShards;
+            const double when = sim.Now() + 150.25;
+            sim.ScheduleOnShardDetached(
+                target, when, EventClass::kDefault, [&out, &sim, target, shard, k] {
+                  out.logs[static_cast<std::size_t>(target)]
+                      .fired.emplace_back(10000 + shard * 1000 + k,
+                                          sim.Now());
+                });
+          });
+    }
+  }
+  out.fired = parallel ? sim.RunParallel(kShards, 400.0, 3.0)
+                       : sim.RunUntil(400.0);
+  out.ties = sim.tie_stats();
+  return out;
+}
+
+void ExpectIdentical(const RunOut& a, const RunOut& b, const char* what) {
+  EXPECT_EQ(a.fired, b.fired) << what;
+  EXPECT_EQ(a.ties.groups, b.ties.groups) << what;
+  EXPECT_EQ(a.ties.tied_events, b.ties.tied_events) << what;
+  for (int s = 0; s < kShards; ++s) {
+    ASSERT_EQ(a.logs[s].fired, b.logs[s].fired)
+        << what << ": shard " << s << " diverged";
+  }
+}
+
+TEST(AffinitySentinelTest, DigestsAreIdenticalWithSentinelOnAndOff) {
+  for (bool parallel : {false, true}) {
+    for (uint64_t shuffle_seed : {0u, 99u}) {
+      RunOut off = RunWorkload(/*sentinel=*/false, parallel, shuffle_seed);
+      RunOut on = RunWorkload(/*sentinel=*/true, parallel, shuffle_seed);
+      EXPECT_EQ(on.fired, 2u * kShards * 50u);
+      ExpectIdentical(off, on,
+                      parallel ? "parallel A/B" : "serial A/B");
+    }
+  }
+}
+
+TEST(AffinitySentinelTest, SerialEngineIsExempt) {
+  // The serial engine legitimately runs every shard on one thread; the
+  // sentinel must only arm inside RunParallel's worker epochs.
+  Simulation sim;
+  sim.ConfigureShards(2);
+  sim.EnableAffinitySentinel(true);
+  bool ran = false;
+  sim.ScheduleOnShardDetached(0, 1.0, EventClass::kDefault, [&] {
+    sim.CheckShardAccess(1);
+    ran = true;
+  });
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(AffinitySentinelTest, OwnShardAccessPassesInParallel) {
+  Simulation sim;
+  sim.ConfigureShards(2);
+  sim.EnableAffinitySentinel(true);
+  for (int shard = 0; shard < 2; ++shard) {
+    for (int i = 0; i < 25; ++i) {
+      sim.ScheduleOnShardDetached(shard, 1.0 + i, EventClass::kDefault,
+                                  [&sim, shard] {
+                                    sim.CheckShardAccess(shard);
+                                  });
+    }
+  }
+  // All 50 events completing is the assertion: any wrong-binding would
+  // have DMR_CHECK-aborted inside a worker.
+  EXPECT_EQ(sim.RunParallel(2, 100.0, 5.0), 50u);
+}
+
+TEST(AffinitySentinelDeathTest, WrongThreadAccessDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto cross = [] {
+    Simulation sim;
+    sim.ConfigureShards(2);
+    sim.EnableAffinitySentinel(true);
+    for (int shard = 0; shard < 2; ++shard) {
+      for (int i = 0; i < 50; ++i) {
+        sim.ScheduleOnShardDetached(
+            shard, 1.0 + i, EventClass::kDefault,
+            // Reaching into the *other* shard from this worker is the
+            // violation the sentinel exists to catch.
+            [&sim, shard] { sim.CheckShardAccess(shard ^ 1); });
+      }
+    }
+    sim.RunParallel(2, 100.0, 5.0);
+  };
+  EXPECT_DEATH(cross(), "shard-affinity violation");
+}
+
+TEST(AffinitySentinelDeathTest, DisabledSentinelDoesNotFire) {
+  // The same wrong-thread access with the sentinel off must complete:
+  // the guard is strictly an observer, never a behavior change.
+  Simulation sim;
+  sim.ConfigureShards(2);
+  sim.EnableAffinitySentinel(false);
+  uint64_t fired = 0;
+  for (int shard = 0; shard < 2; ++shard) {
+    for (int i = 0; i < 25; ++i) {
+      sim.ScheduleOnShardDetached(shard, 1.0 + i, EventClass::kDefault,
+                                  [&sim, shard] {
+                                    sim.CheckShardAccess(shard ^ 1);
+                                  });
+    }
+  }
+  fired = sim.RunParallel(2, 100.0, 5.0);
+  EXPECT_EQ(fired, 50u);
+}
+
+}  // namespace
+}  // namespace dmr::sim
